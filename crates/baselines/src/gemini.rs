@@ -1,0 +1,227 @@
+//! Gemini: CPU-memory checkpointing with periodic durable persistence
+//! (Wang et al., SOSP '23).
+//!
+//! Gemini writes checkpoints to the CPU memory of peer machines (fast
+//! tier) and only periodically to durable storage. We model the peer
+//! memory tier as an in-memory [`CheckpointStore`]; a background thread
+//! performs the memory-tier copy (with traffic interleaved off the
+//! training path, per Gemini's scheduling algorithm) and the periodic
+//! durable write.
+//!
+//! Recovery prefers the memory tier ([`GeminiStrategy::recover_memory`])
+//! and falls back to durable storage when the machine holding the replica
+//! is lost ([`GeminiStrategy::recover_durable`]).
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
+use lowdiff_optim::ModelState;
+use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_util::units::Secs;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+enum Msg {
+    Ckpt(Box<ModelState>),
+    Flush(Sender<()>),
+}
+
+/// Gemini checkpointing strategy.
+pub struct GeminiStrategy {
+    /// Memory-tier interval (iterations); Gemini targets 1 where bandwidth
+    /// allows.
+    mem_every: u64,
+    /// Durable-tier interval (iterations).
+    persist_every: u64,
+    tx: Option<Sender<Msg>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<Mutex<StrategyStats>>,
+    stall: Secs,
+    mem_store: Arc<CheckpointStore>,
+    durable_store: Arc<CheckpointStore>,
+}
+
+impl GeminiStrategy {
+    pub fn new(durable_store: Arc<CheckpointStore>, mem_every: u64, persist_every: u64) -> Self {
+        assert!(mem_every >= 1 && persist_every >= mem_every);
+        let mem_store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        // Depth-2 queue: Gemini's traffic scheduler lets a couple of
+        // checkpoints be in flight to the memory tier.
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(2);
+        let shared = Arc::new(Mutex::new(StrategyStats::default()));
+        let worker = {
+            let mem = Arc::clone(&mem_store);
+            let durable = Arc::clone(&durable_store);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gemini-ckpt".into())
+                .spawn(move || {
+                    for msg in rx.iter() {
+                        match msg {
+                            Msg::Ckpt(state) => {
+                                // Memory-tier copy (peer CPU RAM over the
+                                // network in the real system).
+                                mem.save_full(&state).expect("memory ckpt failed");
+                                // Keep the memory tier small: one live ckpt.
+                                let _ = mem.gc_before(state.iteration);
+                                let mut s = shared.lock();
+                                s.diff_checkpoints += 1; // memory-tier ckpts
+                                s.bytes_written += state.payload_bytes() as u64;
+                                drop(s);
+                                if state.iteration % persist_every == 0 {
+                                    durable.save_full(&state).expect("durable ckpt failed");
+                                    let mut s = shared.lock();
+                                    s.full_checkpoints += 1;
+                                    s.writes += 1;
+                                    s.bytes_written += state.payload_bytes() as u64;
+                                }
+                            }
+                            Msg::Flush(ack) => {
+                                let _ = ack.send(());
+                            }
+                        }
+                    }
+                })
+                .expect("spawn gemini thread")
+        };
+        Self {
+            mem_every,
+            persist_every,
+            tx: Some(tx),
+            worker: Some(worker),
+            shared,
+            stall: Secs::ZERO,
+            mem_store,
+            durable_store,
+        }
+    }
+
+    pub fn persist_every(&self) -> u64 {
+        self.persist_every
+    }
+
+    /// Fast recovery from the memory tier (machine survived).
+    pub fn recover_memory(&self) -> std::io::Result<Option<ModelState>> {
+        self.mem_store.latest_valid_full()
+    }
+
+    /// Fallback recovery from durable storage (replica host lost).
+    pub fn recover_durable(&self) -> std::io::Result<Option<ModelState>> {
+        self.durable_store.latest_valid_full()
+    }
+}
+
+impl CheckpointStrategy for GeminiStrategy {
+    fn name(&self) -> &'static str {
+        "gemini"
+    }
+
+    fn after_update(&mut self, state: &ModelState) -> Secs {
+        if !state.iteration.is_multiple_of(self.mem_every) {
+            return Secs::ZERO;
+        }
+        let t0 = Instant::now();
+        let snapshot = Box::new(state.clone());
+        self.tx
+            .as_ref()
+            .expect("strategy already shut down")
+            .send(Msg::Ckpt(snapshot))
+            .expect("gemini thread died");
+        let stall = Secs(t0.elapsed().as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    fn flush(&mut self) -> Secs {
+        let t0 = Instant::now();
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .as_ref()
+            .expect("strategy already shut down")
+            .send(Msg::Flush(ack_tx))
+            .expect("gemini thread died");
+        ack_rx.recv().expect("flush ack lost");
+        let stall = Secs(t0.elapsed().as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    fn stats(&self) -> StrategyStats {
+        let mut s = self.shared.lock().clone();
+        s.stall = self.stall;
+        s
+    }
+}
+
+impl Drop for GeminiStrategy {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdiff_storage::MemoryBackend as Mem;
+
+    fn durable() -> Arc<CheckpointStore> {
+        Arc::new(CheckpointStore::new(Arc::new(Mem::new())))
+    }
+
+    fn run(s: &mut GeminiStrategy, iters: u64) -> ModelState {
+        let mut state = ModelState::new(vec![0.0; 32]);
+        for i in 0..iters {
+            state.iteration += 1;
+            state.params[0] = i as f32;
+            s.after_update(&state);
+        }
+        s.flush();
+        state
+    }
+
+    #[test]
+    fn memory_tier_is_fresher_than_durable() {
+        let d = durable();
+        let mut s = GeminiStrategy::new(Arc::clone(&d), 1, 5);
+        run(&mut s, 13);
+        let mem = s.recover_memory().unwrap().unwrap();
+        let dur = s.recover_durable().unwrap().unwrap();
+        assert_eq!(mem.iteration, 13, "memory tier: every iteration");
+        assert_eq!(dur.iteration, 10, "durable: every 5th");
+        assert!(mem.iteration >= dur.iteration);
+    }
+
+    #[test]
+    fn memory_tier_keeps_single_checkpoint() {
+        let d = durable();
+        let mut s = GeminiStrategy::new(Arc::clone(&d), 1, 100);
+        run(&mut s, 8);
+        assert_eq!(
+            s.mem_store.full_iterations().unwrap().len(),
+            1,
+            "memory tier must be GC'd to the latest"
+        );
+    }
+
+    #[test]
+    fn stats_distinguish_tiers() {
+        let d = durable();
+        let mut s = GeminiStrategy::new(Arc::clone(&d), 2, 4);
+        run(&mut s, 8);
+        let stats = s.stats();
+        assert_eq!(stats.diff_checkpoints, 4, "memory-tier ckpts at 2,4,6,8");
+        assert_eq!(stats.full_checkpoints, 2, "durable at 4,8");
+    }
+
+    #[test]
+    fn no_durable_checkpoint_before_first_interval() {
+        let d = durable();
+        let mut s = GeminiStrategy::new(Arc::clone(&d), 1, 50);
+        run(&mut s, 10);
+        assert!(s.recover_durable().unwrap().is_none());
+        assert!(s.recover_memory().unwrap().is_some());
+    }
+}

@@ -1,0 +1,309 @@
+//! Naïve differential checkpointing (Check-N-Run transplanted to dense
+//! models) — the paper's "Naïve DC" baseline.
+//!
+//! Per differential interval, ON THE TRAINING THREAD (this is the point):
+//!
+//! 1. compute the parameter delta `x_{t+1} − x_t` (needs the previous
+//!    state retained in memory — the §3.4 data-dependency/memory cost),
+//! 2. Top-K-compress the delta (Challenge 1's compression stall),
+//! 3. write it synchronously together with the **dense, uncompressed**
+//!    optimizer moments (Check-N-Run does not sparsify optimizer state —
+//!    Challenge 2's transmission stall and Exp. 7's storage pathology).
+//!
+//! Blob layout (custom key space `ndc-…` on the shared backend):
+//! param delta as a sparse record, then the full `m`/`v` vectors. Recovery
+//! applies param deltas in order (approximate — Top-K drops mass) and
+//! restores the moments from the newest blob (exact).
+
+use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
+use lowdiff_compress::sparsify::TopK;
+use lowdiff_compress::Compressor;
+use lowdiff_optim::ModelState;
+use lowdiff_storage::codec::DiffEntry;
+use lowdiff_storage::CheckpointStore;
+use lowdiff_util::units::Secs;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Naïve DC baseline strategy.
+pub struct NaiveDcStrategy {
+    store: Arc<CheckpointStore>,
+    /// Differential interval (iterations).
+    diff_every: u64,
+    /// Full-checkpoint interval (iterations).
+    full_every: u64,
+    rho: f64,
+    prev_params: Option<Vec<f32>>,
+    has_base: bool,
+    stats: StrategyStats,
+}
+
+impl NaiveDcStrategy {
+    pub fn new(store: Arc<CheckpointStore>, diff_every: u64, full_every: u64, rho: f64) -> Self {
+        assert!(diff_every >= 1 && full_every >= diff_every);
+        Self {
+            store,
+            diff_every,
+            full_every,
+            rho,
+            prev_params: None,
+            has_base: false,
+            stats: StrategyStats::default(),
+        }
+    }
+
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// Storage key for a Naïve-DC differential (kept in the `diff-` space
+    /// so [`CheckpointStore::diff_chain_from`] discovers it, but the grad
+    /// is a *delta*, and the moments ride along as dense payloads).
+    fn moments_key(iteration: u64) -> String {
+        format!("ndcmoments-{iteration:010}")
+    }
+
+    /// Recover: latest full checkpoint + parameter deltas (merged with the
+    /// paper's parallel tree merge) + moments from the newest blob.
+    pub fn recover(
+        store: &CheckpointStore,
+    ) -> std::io::Result<Option<(ModelState, usize)>> {
+        let Some(mut state) = store.latest_valid_full()? else {
+            return Ok(None);
+        };
+        let chain = store.diff_chain_from(state.iteration)?;
+        let replayed = chain.len();
+        if replayed > 0 {
+            let deltas: Vec<_> = chain
+                .iter()
+                .filter_map(|e| e.grad.as_sparse().cloned())
+                .collect();
+            if let Some(merged) = lowdiff::recovery::merge_deltas_parallel(&deltas) {
+                merged.add_into(&mut state.params);
+            }
+            // Moments from the newest differential blob.
+            let last_iter = chain.last().unwrap().iteration;
+            if let Ok(bytes) = store.backend().get(&Self::moments_key(last_iter)) {
+                let psi = state.params.len();
+                if bytes.len() == psi * 8 + 8 {
+                    let t = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+                    state.opt.t = t;
+                    for i in 0..psi {
+                        let off = 8 + i * 4;
+                        state.opt.m[i] =
+                            f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+                    }
+                    for i in 0..psi {
+                        let off = 8 + (psi + i) * 4;
+                        state.opt.v[i] =
+                            f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+                    }
+                }
+            }
+            state.iteration += replayed as u64;
+        }
+        Ok(Some((state, replayed)))
+    }
+}
+
+impl CheckpointStrategy for NaiveDcStrategy {
+    fn name(&self) -> &'static str {
+        "naive-dc"
+    }
+
+    fn after_update(&mut self, state: &ModelState) -> Secs {
+        let t0 = Instant::now();
+        let mut stalled = false;
+
+        if !self.has_base || state.iteration.is_multiple_of(self.full_every) {
+            // The first checkpoint is always a full base (Equation (2)
+            // needs a C^F to anchor the differential chain).
+            self.has_base = true;
+            // Synchronous full checkpoint (Check-N-Run persists the base
+            // synchronously too).
+            self.store.save_full(state).expect("full write failed");
+            self.stats.full_checkpoints += 1;
+            self.stats.writes += 1;
+            self.stats.bytes_written += state.payload_bytes() as u64;
+            self.prev_params = Some(state.params.clone());
+            stalled = true;
+        } else if state.iteration.is_multiple_of(self.diff_every) {
+            if let Some(prev) = &self.prev_params {
+                // 1. delta computation (training thread).
+                let delta: Vec<f32> = state
+                    .params
+                    .iter()
+                    .zip(prev)
+                    .map(|(&new, &old)| new - old)
+                    .collect();
+                // 2. compression stall (Challenge 1).
+                let mut topk = TopK::new(self.rho);
+                let compressed = topk.compress(&delta);
+                // 3. synchronous write of delta + dense moments
+                //    (Challenge 2 + Exp. 7).
+                let entry = DiffEntry {
+                    iteration: state.iteration - 1,
+                    grad: compressed,
+                };
+                // NB: iteration−1 because the delta advances M_{t-1} → M_t.
+                self.store
+                    .save_diff_batch(std::slice::from_ref(&entry))
+                    .expect("diff write failed");
+                let mut moments = Vec::with_capacity(8 + state.params.len() * 8);
+                moments.extend_from_slice(&state.opt.t.to_le_bytes());
+                for &m in &state.opt.m {
+                    moments.extend_from_slice(&m.to_le_bytes());
+                }
+                for &v in &state.opt.v {
+                    moments.extend_from_slice(&v.to_le_bytes());
+                }
+                self.store
+                    .backend()
+                    .put(&Self::moments_key(state.iteration - 1), &moments)
+                    .expect("moments write failed");
+                self.stats.diff_checkpoints += 1;
+                self.stats.writes += 2;
+                self.stats.bytes_written +=
+                    (entry.grad.payload_bytes() + moments.len()) as u64;
+                self.prev_params = Some(state.params.clone());
+                stalled = true;
+            } else {
+                // No base yet: retain state so the first diff has a parent.
+                self.prev_params = Some(state.params.clone());
+            }
+        }
+
+        let stall = if stalled {
+            Secs(t0.elapsed().as_secs_f64())
+        } else {
+            Secs::ZERO
+        };
+        self.stats.stall += stall;
+        stall
+    }
+
+    fn stats(&self) -> StrategyStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdiff_optim::Adam;
+    use lowdiff_storage::MemoryBackend;
+    use lowdiff_util::DetRng;
+
+    fn store() -> Arc<CheckpointStore> {
+        Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())))
+    }
+
+    /// Train with real Adam updates and NaiveDC attached.
+    fn run(st: Arc<CheckpointStore>, iters: u64, full_every: u64) -> ModelState {
+        run_rho(st, iters, full_every, 0.05)
+    }
+
+    fn run_rho(st: Arc<CheckpointStore>, iters: u64, full_every: u64, rho: f64) -> ModelState {
+        let adam = Adam::default();
+        let mut rng = DetRng::new(3);
+        let mut state = ModelState::new(vec![0.5; 200]);
+        let mut s = NaiveDcStrategy::new(st, 1, full_every, rho);
+        s.after_update(&state); // iteration 0: base full checkpoint
+        for _ in 0..iters {
+            let g: Vec<f32> = (0..200).map(|_| rng.normal() as f32 * 0.1).collect();
+            state.apply_gradient(&adam, &g);
+            s.after_update(&state);
+        }
+        state
+    }
+
+    #[test]
+    fn writes_fulls_and_diffs() {
+        let st = store();
+        run(Arc::clone(&st), 10, 100);
+        assert_eq!(st.full_iterations().unwrap(), vec![0]);
+        assert_eq!(st.diff_keys().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn recovery_moments_exact_params_approximate() {
+        let st = store();
+        // Generous ρ: with white-noise gradients the delta has no heavy
+        // tail, so a tiny Top-K would capture little mass (real
+        // recommendation-model deltas, Check-N-Run's target, are sparse).
+        let live = run_rho(Arc::clone(&st), 8, 100, 0.5);
+        let (rec, replayed) = NaiveDcStrategy::recover(&st).unwrap().unwrap();
+        assert_eq!(replayed, 8);
+        assert_eq!(rec.iteration, live.iteration);
+        // Moments restored exactly from the dense blob.
+        assert_eq!(rec.opt.m, live.opt.m);
+        assert_eq!(rec.opt.v, live.opt.v);
+        assert_eq!(rec.opt.t, live.opt.t);
+        // Params approximate: Top-K dropped delta mass, but the recovered
+        // state must be closer to live than the base checkpoint was.
+        let base = st.load_full(0).unwrap();
+        let err_rec: f32 = rec
+            .params
+            .iter()
+            .zip(&live.params)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let err_base: f32 = base
+            .params
+            .iter()
+            .zip(&live.params)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            err_rec < err_base * 0.5,
+            "diffs did not help: rec {err_rec} vs base {err_base}"
+        );
+    }
+
+    #[test]
+    fn full_checkpoint_resets_diff_base() {
+        let st = store();
+        run(Arc::clone(&st), 10, 5);
+        // Fulls at 0, 5, 10 → recovery starts at 10, replays nothing.
+        let (_, replayed) = NaiveDcStrategy::recover(&st).unwrap().unwrap();
+        assert_eq!(replayed, 0);
+    }
+
+    #[test]
+    fn storage_dominated_by_dense_moments() {
+        // Exp. 7's pathology: with ρ=0.05 on Ψ=200 f32 params, each diff is
+        // ~10 sparse pairs (80 B) + 1608 B of dense moments.
+        let st = store();
+        run(Arc::clone(&st), 4, 100);
+        let moment_bytes: u64 = (0..4)
+            .map(|i| {
+                st.backend()
+                    .get(&NaiveDcStrategy::moments_key(i))
+                    .map(|b| b.len() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        let delta_bytes: u64 = st
+            .diff_keys()
+            .unwrap()
+            .iter()
+            .map(|k| st.backend().get(&k.key).unwrap().len() as u64)
+            .sum();
+        assert!(
+            moment_bytes > delta_bytes * 5,
+            "moments {moment_bytes} should dwarf deltas {delta_bytes}"
+        );
+    }
+
+    #[test]
+    fn blocking_writes_stall_training() {
+        let st = store();
+        let adam = Adam::default();
+        let mut state = ModelState::new(vec![0.0; 50_000]);
+        let mut s = NaiveDcStrategy::new(st, 1, 1000, 0.01);
+        s.after_update(&state);
+        state.apply_gradient(&adam, &vec![0.1; 50_000]);
+        let stall = s.after_update(&state);
+        assert!(stall.as_f64() > 0.0, "sync diff write must stall");
+    }
+}

@@ -1,0 +1,51 @@
+//! BatchedWriter: writes issued and serialization work per differential,
+//! across batch sizes (the Exp. 6 mechanism, microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdiff::batched::{BatchMode, BatchedWriter};
+use lowdiff_compress::{CompressedGrad, Compressor, TopK};
+use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_util::DetRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn grads(n_grads: usize, psi: usize) -> Vec<Arc<CompressedGrad>> {
+    let mut rng = DetRng::new(3);
+    let mut comp = TopK::new(0.01);
+    let mut g = vec![0.0f32; psi];
+    (0..n_grads)
+        .map(|_| {
+            rng.fill_normal_f32(&mut g, 1.0);
+            Arc::new(comp.compress(&g))
+        })
+        .collect()
+}
+
+fn bench_batched_writer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_writer");
+    group.sample_size(10);
+    let gs = grads(40, 500_000);
+    for &bs in &[1usize, 2, 5, 20] {
+        for mode in [BatchMode::Concat, BatchMode::Accumulate] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), bs),
+                &bs,
+                |b, &bs| {
+                    b.iter(|| {
+                        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+                        let mut w = BatchedWriter::new(bs, mode);
+                        for (t, g) in gs.iter().enumerate() {
+                            w.push(&store, t as u64, Arc::clone(g)).unwrap();
+                        }
+                        w.flush(&store).unwrap();
+                        black_box(w.writes())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_writer);
+criterion_main!(benches);

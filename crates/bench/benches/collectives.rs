@@ -1,0 +1,51 @@
+//! Thread-collective benchmarks: dense allreduce and sparse allgather
+//! across worker counts (the gradient-synchronization substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdiff_comm::WorkerGroup;
+use lowdiff_compress::SparseGrad;
+use lowdiff_util::DetRng;
+use std::hint::black_box;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    let n = 100_000usize;
+    for &workers in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_100k", workers),
+            &workers,
+            |b, &w| {
+                let group_ = WorkerGroup::new(w);
+                b.iter(|| {
+                    let out = group_.run(|ctx| {
+                        let mut buf = vec![ctx.rank() as f32; n];
+                        ctx.allreduce_mean(&mut buf);
+                        buf[0]
+                    });
+                    black_box(out)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allgather_sparse_1k_of_100k", workers),
+            &workers,
+            |b, &w| {
+                let group_ = WorkerGroup::new(w);
+                let mut rng = DetRng::new(1);
+                let idx = rng.sample_indices(n, 1000);
+                let vals: Vec<f32> = idx.iter().map(|&i| i as f32).collect();
+                let local = SparseGrad::new(n, idx, vals);
+                b.iter(|| {
+                    let local = &local;
+                    let out = group_.run(move |ctx| ctx.allgather_sparse(local).nnz());
+                    black_box(out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

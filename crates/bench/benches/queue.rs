@@ -1,0 +1,88 @@
+//! ReusingQueue throughput: how many gradient handles per second can flow
+//! between the training and checkpointing threads (the zero-copy claim —
+//! throughput must be payload-size-independent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdiff::queue::ReusingQueue;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reusing_queue");
+    group.sample_size(10);
+    // Same handle count, payloads 1 KB vs 4 MB: times should be close.
+    for &payload in &[256usize, 1_000_000] {
+        group.bench_with_input(
+            BenchmarkId::new("pingpong_1000_handles", payload * 4),
+            &payload,
+            |b, &payload| {
+                b.iter(|| {
+                    let q: ReusingQueue<Vec<f32>> = ReusingQueue::new(64);
+                    let (p, consumer) = q.split();
+                    let data = Arc::new(vec![0.0f32; payload]);
+                    let consumer = std::thread::spawn(move || {
+                        let mut n = 0u64;
+                        while let Some(item) = consumer.get() {
+                            n += item.iteration;
+                        }
+                        n
+                    });
+                    for i in 0..1000u64 {
+                        p.put(i, Arc::clone(&data)).unwrap();
+                    }
+                    drop(p);
+                    black_box(consumer.join().unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: zero-copy handles vs deep-copying the payload per enqueue —
+/// the design choice §4.1 motivates with CUDA IPC. The handle variant's
+/// time must be payload-size-independent; the deep-copy variant scales
+/// with payload bytes.
+fn bench_zero_copy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_copy_ablation");
+    group.sample_size(10);
+    let payload = 1_000_000usize; // 4 MB gradient
+    let data = Arc::new(vec![0.5f32; payload]);
+
+    group.bench_function("enqueue_handle_x100", |b| {
+        b.iter(|| {
+            let q: ReusingQueue<Vec<f32>> = ReusingQueue::new(128);
+            let (p, consumer) = q.split();
+            for i in 0..100u64 {
+                p.put(i, Arc::clone(&data)).unwrap();
+            }
+            drop(p);
+            let mut n = 0;
+            while consumer.get().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("enqueue_deep_copy_x100", |b| {
+        b.iter(|| {
+            let q: ReusingQueue<Vec<f32>> = ReusingQueue::new(128);
+            let (p, consumer) = q.split();
+            for i in 0..100u64 {
+                // The non-zero-copy design: materialize a fresh payload
+                // per transmission (what a pickling IPC queue does).
+                p.put(i, Arc::new((*data).clone())).unwrap();
+            }
+            drop(p);
+            let mut n = 0;
+            while consumer.get().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_zero_copy_ablation);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Recovery benchmarks: serial Adam replay vs sharded parallel replay vs
+//! delta tree-merge (the Exp. 5 mechanisms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowdiff::recovery::{merge_deltas_parallel, recover_serial, recover_sharded};
+use lowdiff_compress::{Compressor, SparseGrad, TopK};
+use lowdiff_optim::{Adam, ModelState};
+use lowdiff_storage::{codec::DiffEntry, CheckpointStore, MemoryBackend};
+use lowdiff_util::DetRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn build_store(psi: usize, n_diffs: usize) -> CheckpointStore {
+    let adam = Adam::default();
+    let mut rng = DetRng::new(5);
+    let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
+    let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+    store.save_full(&state).unwrap();
+    let mut comp = TopK::new(0.01);
+    let mut g = vec![0.0f32; psi];
+    let mut entries = Vec::new();
+    for k in 0..n_diffs {
+        rng.fill_normal_f32(&mut g, 0.1);
+        let cg = comp.compress(&g);
+        state.apply_gradient(&adam, &cg.to_dense());
+        entries.push(DiffEntry {
+            iteration: k as u64,
+            grad: cg,
+        });
+    }
+    for chunk in entries.chunks(4) {
+        store.save_diff_batch(chunk).unwrap();
+    }
+    store
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    let psi = 1_000_000;
+    let store = build_store(psi, 32);
+    let adam = Adam::default();
+
+    group.bench_function("serial_32_diffs_1m", |b| {
+        b.iter(|| black_box(recover_serial(&store, &adam).unwrap()))
+    });
+    for &shards in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_32_diffs_1m", shards),
+            &shards,
+            |b, &s| b.iter(|| black_box(recover_sharded(&store, &adam, s).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tree_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_merge");
+    group.sample_size(10);
+    let mut rng = DetRng::new(6);
+    let deltas: Vec<SparseGrad> = (0..32)
+        .map(|_| {
+            let idx = rng.sample_indices(1_000_000, 10_000);
+            let vals = idx.iter().map(|_| rng.normal() as f32).collect();
+            SparseGrad::new(1_000_000, idx, vals)
+        })
+        .collect();
+    group.bench_function("serial_fold_32", |b| {
+        b.iter(|| black_box(SparseGrad::merge_all(1_000_000, deltas.iter())))
+    });
+    group.bench_function("parallel_tree_32", |b| {
+        b.iter(|| black_box(merge_deltas_parallel(&deltas)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery, bench_tree_merge);
+criterion_main!(benches);

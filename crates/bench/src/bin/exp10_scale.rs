@@ -1,0 +1,74 @@
+//! Experiment 10: effective training-time ratio vs cluster size
+//! (8 / 16 / 32 / 64 GPUs), V100 testbed.
+//!
+//! As GPUs are added, the cluster-level failure rate grows
+//! proportionally (per-GPU MTBF constant). Paper: at 64 GPUs LowDiff
+//! keeps ~98 %, LowDiff+ ~96 %, others fall to ~90 %.
+
+use lowdiff_bench::{compare, print_table};
+use lowdiff_cluster::{hardware, sim, CostModel, SimConfig, StrategyKind};
+use lowdiff_model::zoo::by_name;
+use lowdiff_util::units::Secs;
+
+const JOB_ITERS: u64 = 150_000;
+/// Per-GPU MTBF; cluster MTBF = this / n_gpus.
+const PER_GPU_MTBF_H: f64 = 64.0;
+
+fn ratio(strategy: StrategyKind, n_gpus: usize) -> f64 {
+    let cm = CostModel::new(hardware::v100(), by_name("GPT2-S").unwrap(), n_gpus, 0.01);
+    let mtbf = Secs::hours(PER_GPU_MTBF_H / n_gpus as f64);
+    let cfg = SimConfig::defaults(strategy, mtbf, JOB_ITERS);
+    sim::simulate_job(&cm, &cfg).effective_ratio
+}
+
+fn main() {
+    let sizes = [8usize, 16, 32, 64];
+    let lineup = [
+        StrategyKind::TorchSave,
+        StrategyKind::CheckFreq,
+        StrategyKind::Gemini,
+        StrategyKind::LowDiff,
+        StrategyKind::LowDiffPlus,
+    ];
+
+    let mut rows = Vec::new();
+    for strat in lineup {
+        let mut row = vec![strat.name().to_string()];
+        for &n in &sizes {
+            row.push(format!("{:.1}%", ratio(strat, n) * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Exp. 10 — effective training-time ratio vs number of GPUs (V100, GPT2-S)",
+        &["strategy", "8 GPUs", "16 GPUs", "32 GPUs", "64 GPUs"],
+        &rows,
+    );
+
+    println!();
+    compare(
+        "LowDiff at 64 GPUs",
+        "98%",
+        &format!("{:.1}%", ratio(StrategyKind::LowDiff, 64) * 100.0),
+    );
+    compare(
+        "LowDiff+ at 64 GPUs",
+        "96%",
+        &format!("{:.1}%", ratio(StrategyKind::LowDiffPlus, 64) * 100.0),
+    );
+    compare(
+        "best baseline at 64 GPUs",
+        "~90%",
+        &format!(
+            "{:.1}%",
+            [
+                ratio(StrategyKind::TorchSave, 64),
+                ratio(StrategyKind::CheckFreq, 64),
+                ratio(StrategyKind::Gemini, 64)
+            ]
+            .into_iter()
+            .fold(0.0f64, f64::max)
+                * 100.0
+        ),
+    );
+}

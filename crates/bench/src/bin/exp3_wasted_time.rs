@@ -1,0 +1,83 @@
+//! Experiment 3: wasted time vs MTBF (0.5 / 1 / 2 hours) on GPT2-S.
+//!
+//! Paper: LowDiff lowest throughout; the LowDiff–Gemini gap widens from
+//! 0.061 h (MTBF 2 h) to 0.145 h (MTBF 0.5 h). LowDiff+(S) is 3.7–5.1 %
+//! below LowDiff; LowDiff+(H) slightly above LowDiff but below
+//! CheckFreq/Gemini.
+
+use lowdiff_bench::{compare, print_table};
+use lowdiff_cluster::{hardware, sim, CostModel, FailureKind, SimConfig, StrategyKind};
+use lowdiff_model::zoo::by_name;
+use lowdiff_util::units::Secs;
+
+/// Job: ~6.7 hours of GPT2-S training.
+const JOB_ITERS: u64 = 200_000;
+
+fn run(cm: &CostModel, strategy: StrategyKind, mtbf_h: f64, kind: FailureKind) -> f64 {
+    let mut cfg = SimConfig::defaults(strategy, Secs::hours(mtbf_h), JOB_ITERS);
+    cfg.failure_kind = kind;
+    if strategy == StrategyKind::LowDiff {
+        // LowDiff runs with its Eq.-(5)-tuned configuration.
+        let model = lowdiff::config::WastedTimeModel {
+            n_gpus: cm.n_gpus as f64,
+            mtbf: Secs::hours(mtbf_h),
+            write_bw: cm.hw.ssd_write,
+            full_size: cm.full_bytes(),
+            job_time: Secs(JOB_ITERS as f64 * cm.iter_time().as_f64()),
+            load_full: cm.raw_load(),
+            merge_diff: cm.merge_one(),
+            iter_time: cm.iter_time(),
+        };
+        let opt = lowdiff::config::ConfigOptimizer::new(model, 100, 2);
+        let (fcf, bs) = opt.target();
+        cfg.full_interval = fcf;
+        cfg.batch_size = bs;
+    }
+    if strategy == StrategyKind::LowDiffPlus && kind == FailureKind::Hardware {
+        cfg.ckpt_interval = cm.lowdiff_plus_persist_interval();
+    }
+    sim::simulate_job(cm, &cfg).wasted_time.as_hours()
+}
+
+fn main() {
+    let cm = CostModel::new(hardware::a100(), by_name("GPT2-S").unwrap(), 8, 0.01);
+    let mtbfs = [0.5, 1.0, 2.0];
+
+    let lineup: Vec<(&str, StrategyKind, FailureKind)> = vec![
+        ("Naive DC", StrategyKind::NaiveDc, FailureKind::Software),
+        ("CheckFreq", StrategyKind::CheckFreq, FailureKind::Software),
+        ("Gemini", StrategyKind::Gemini, FailureKind::Software),
+        ("LowDiff", StrategyKind::LowDiff, FailureKind::Software),
+        ("LowDiff+(S)", StrategyKind::LowDiffPlus, FailureKind::Software),
+        ("LowDiff+(H)", StrategyKind::LowDiffPlus, FailureKind::Hardware),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, strat, kind) in &lineup {
+        let mut row = vec![label.to_string()];
+        for &m in &mtbfs {
+            row.push(format!("{:.3}h", run(&cm, *strat, m, *kind)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Exp. 3 — wasted time vs MTBF, GPT2-S (per-iteration diffs; LowDiff at Eq.-5 config)",
+        &["strategy", "MTBF=0.5h", "MTBF=1h", "MTBF=2h"],
+        &rows,
+    );
+
+    println!();
+    let gap = |m: f64| {
+        run(&cm, StrategyKind::Gemini, m, FailureKind::Software)
+            - run(&cm, StrategyKind::LowDiff, m, FailureKind::Software)
+    };
+    compare("Gemini − LowDiff gap at MTBF 2h", "0.061h", &format!("{:.3}h", gap(2.0)));
+    compare("Gemini − LowDiff gap at MTBF 0.5h", "0.145h", &format!("{:.3}h", gap(0.5)));
+    let s = run(&cm, StrategyKind::LowDiffPlus, 1.0, FailureKind::Software);
+    let l = run(&cm, StrategyKind::LowDiff, 1.0, FailureKind::Software);
+    compare(
+        "LowDiff+(S) wasted time vs LowDiff (MTBF 1h)",
+        "3.7% - 5.1% lower",
+        &format!("{:+.1}%", (s / l - 1.0) * 100.0),
+    );
+}

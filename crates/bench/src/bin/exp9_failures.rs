@@ -1,0 +1,65 @@
+//! Experiment 9: effective training-time ratio under frequent failures
+//! (MTBF 0.1 – 5 h), V100 testbed.
+//!
+//! Paper: at MTBF 0.3 h — LowDiff 92 %, LowDiff+ 86 %, Gemini 81 %,
+//! CheckFreq 76 %; LowDiff stays highest throughout.
+
+use lowdiff_bench::{compare, print_table};
+use lowdiff_cluster::{hardware, sim, CostModel, SimConfig, StrategyKind};
+use lowdiff_model::zoo::by_name;
+use lowdiff_util::units::Secs;
+
+const JOB_ITERS: u64 = 150_000;
+
+fn ratio(cm: &CostModel, strategy: StrategyKind, mtbf_h: f64) -> f64 {
+    let cfg = SimConfig::defaults(strategy, Secs::hours(mtbf_h), JOB_ITERS);
+    sim::simulate_job(cm, &cfg).effective_ratio
+}
+
+fn main() {
+    let cm = CostModel::new(hardware::v100(), by_name("GPT2-S").unwrap(), 8, 0.01);
+    let mtbfs = [0.1, 0.3, 0.5, 1.0, 2.0, 5.0];
+    let lineup = [
+        StrategyKind::TorchSave,
+        StrategyKind::CheckFreq,
+        StrategyKind::Gemini,
+        StrategyKind::LowDiff,
+        StrategyKind::LowDiffPlus,
+    ];
+
+    let mut rows = Vec::new();
+    for strat in lineup {
+        let mut row = vec![strat.name().to_string()];
+        for &m in &mtbfs {
+            row.push(format!("{:.1}%", ratio(&cm, strat, m) * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Exp. 9 — effective training-time ratio vs MTBF (V100, GPT2-S)",
+        &["strategy", "0.1h", "0.3h", "0.5h", "1h", "2h", "5h"],
+        &rows,
+    );
+
+    println!();
+    compare(
+        "LowDiff effective ratio at MTBF 0.3h",
+        "92%",
+        &format!("{:.1}%", ratio(&cm, StrategyKind::LowDiff, 0.3) * 100.0),
+    );
+    compare(
+        "LowDiff+ effective ratio at MTBF 0.3h",
+        "86%",
+        &format!("{:.1}%", ratio(&cm, StrategyKind::LowDiffPlus, 0.3) * 100.0),
+    );
+    compare(
+        "Gemini effective ratio at MTBF 0.3h",
+        "81%",
+        &format!("{:.1}%", ratio(&cm, StrategyKind::Gemini, 0.3) * 100.0),
+    );
+    compare(
+        "CheckFreq effective ratio at MTBF 0.3h",
+        "76%",
+        &format!("{:.1}%", ratio(&cm, StrategyKind::CheckFreq, 0.3) * 100.0),
+    );
+}

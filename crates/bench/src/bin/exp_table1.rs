@@ -1,0 +1,71 @@
+//! Table 1: normalized wasted time across full-checkpoint frequency (FCF)
+//! and batching size (BS).
+//!
+//! Paper: minimum at (FCF = 20, BS = 2); each row has an interior BS
+//! optimum (BS = 2 for FCF 10/20, BS = 3 for FCF 50/100).
+
+use lowdiff_bench::print_table;
+use lowdiff::config::WastedTimeModel;
+use lowdiff_util::units::{Bandwidth, ByteSize, Secs};
+
+fn main() {
+    // Table 1's regime (see lowdiff::config tests): fault-injection MTBF,
+    // memory-tier write bandwidth, GPT2-S-sized state. Derived by
+    // inverting Eq. (5) for the paper's reported optimum (20, 2).
+    let model = WastedTimeModel {
+        n_gpus: 8.0,
+        mtbf: Secs(30.0),
+        write_bw: Bandwidth(146.25e9),
+        full_size: ByteSize::f32s(3 * 117_000_000),
+        job_time: Secs::hours(1.0),
+        load_full: Secs(0.5),
+        merge_diff: Secs(0.024),
+        iter_time: Secs::ms(120.0),
+    };
+
+    let fcfs = [10u64, 20, 50, 100];
+    let bss = [1u64, 2, 3, 4, 5, 6];
+    let grid = model.normalized_grid(&fcfs, &bss);
+
+    let mut rows = Vec::new();
+    for (i, &fcf) in fcfs.iter().enumerate() {
+        let mut row = vec![format!("FCF={fcf}")];
+        let min_j = grid[i]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        for (j, v) in grid[i].iter().enumerate() {
+            let cell = format!("{:.3}{}", v, if j == min_j { "*" } else { " " });
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 1 — normalized wasted time (rows FCF in iterations, cols BS; * = row minimum)",
+        &["", "BS=1", "BS=2", "BS=3", "BS=4", "BS=5", "BS=6"],
+        &rows,
+    );
+
+    // Locate the global minimum.
+    let mut best = (f64::INFINITY, 0usize, 0usize);
+    for (i, row) in grid.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v < best.0 {
+                best = (v, i, j);
+            }
+        }
+    }
+    println!(
+        "\nGlobal minimum at FCF={}, BS={} (paper: FCF=20, BS=2)",
+        fcfs[best.1], bss[best.2]
+    );
+
+    let (f_opt, b_opt) = model.optimal_closed_form();
+    println!(
+        "Closed-form Eq. (5): interval = {:.1} iterations, BS = {:.2}",
+        1.0 / (f_opt * model.iter_time.as_f64()),
+        b_opt
+    );
+}

@@ -1,0 +1,62 @@
+//! Run every experiment harness in sequence — the one-command
+//! reproduction of the paper's whole evaluation section.
+//!
+//! ```bash
+//! cargo run --release -p lowdiff-bench --bin run_all_experiments
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_fig1",
+    "exp_table1",
+    "exp1_training_time",
+    "exp2_lowdiff_plus",
+    "exp3_wasted_time",
+    "exp4_frequency",
+    "exp5_recovery",
+    "exp6_batching",
+    "exp7_storage",
+    "exp8_ratio",
+    "exp9_failures",
+    "exp10_scale",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n################ {exp} ################");
+        let path = exe_dir.join(exp);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when binaries aren't co-located.
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "lowdiff-bench", "--bin", exp])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch: {e}");
+                failed.push(*exp);
+            }
+        }
+    }
+    println!("\n################ summary ################");
+    if failed.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,99 @@
+//! # lowdiff-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (`src/bin/exp*.rs`, see DESIGN.md's per-experiment index)
+//! plus Criterion micro-benchmarks of the mechanisms (`benches/`).
+//!
+//! This library crate holds the shared report-formatting helpers so every
+//! harness prints the same kind of table the paper does, alongside the
+//! paper's expected value where one is quoted.
+
+use std::fmt::Display;
+
+/// Print a titled ASCII table: `rows` are already-formatted cells.
+pub fn print_table<S: Display>(title: &str, headers: &[&str], rows: &[Vec<S>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    for r in &rendered {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        out
+    };
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for r in rendered {
+        println!("{}", line(&r));
+    }
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Format seconds compactly.
+pub fn secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.3}h", s / 3600.0)
+    } else if s >= 1.0 {
+        format!("{:.2}s", s)
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Format bytes compactly (decimal units, like the paper's tables).
+pub fn bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2}G", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.0}M", b / 1e6)
+    } else {
+        format!("{:.0}K", b / 1e3)
+    }
+}
+
+/// A paper-vs-measured comparison line for EXPERIMENTS.md-style output.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:<16} measured: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.592), "+59.2%");
+        assert_eq!(secs(7200.0), "2.000h");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.002), "2.0ms");
+        assert_eq!(bytes(8.7e9), "8.70G");
+        assert_eq!(bytes(541e6), "541M");
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Calibration constants fitted to specific paper numbers.
+//!
+//! Each constant records the experiment it was fitted against. Everything
+//! else in the cost model is first-principles arithmetic over the hardware
+//! profile and model sizes; these constants absorb the parts the paper
+//! does not specify mechanistically (overlap efficiencies, fixed software
+//! overheads).
+
+/// Fraction of a Gemini checkpoint transfer hidden behind compute by its
+/// traffic-scheduling algorithm (mix of NVLink intra-node and interleaved
+/// 25 Gbps inter-node traffic). Fitted to Exp. 1: LowDiff reduces training
+/// time by 59.2 % vs Gemini on GPT2-L at per-iteration frequency.
+pub const GEMINI_OVERLAP: f64 = 0.82;
+
+/// Fraction of the LowDiff+ layer-wise D2H gradient stream that remains
+/// exposed as PCIe contention with training traffic. Fitted to Exp. 2:
+/// LowDiff+ is 8.2–10.1 % over W/O CKPT.
+pub const LOWDIFF_PLUS_PCIE_EXPOSED: f64 = 0.18;
+
+/// Fixed per-iteration software overhead of LowDiff+ (thread pools, CPU
+/// replica lock traffic), as a fraction of iteration time. Fitted with
+/// [`LOWDIFF_PLUS_PCIE_EXPOSED`] to Exp. 2's 8.2–10.1 % band.
+pub const LOWDIFF_PLUS_SOFTWARE: f64 = 0.055;
+
+/// Effective SSD derating for LowDiff's small, frequent differential
+/// writes (vs the profile's sequential-write bandwidth). Batched writes
+/// (BS ≥ 2) recover part of the device efficiency. Fitted to Exp. 8:
+/// GPT2-L crosses to a 2-iteration interval at ρ = 0.1.
+pub const LOWDIFF_WRITE_DERATE: f64 = 0.55;
+
+/// SSD derating for *unbatched* sparse differential writes (Naïve DC's
+/// per-event output, Fig. 1(b)'s transmission measurements). Fitted to
+/// Fig. 1(b): 54 % slowdown at per-iteration transmission on GPT2-L.
+pub const UNBATCHED_WRITE_DERATE: f64 = 0.36;
+
+/// torch.load deserialization cost relative to a host-memory copy
+/// (unpickling, tensor reconstruction). Fitted to Exp. 5's baseline
+/// recovery times.
+pub const TORCH_DESER_FACTOR: f64 = 11.0;
+
+/// Fixed cost to re-attach a training process to the preserved CPU replica
+/// after a software failure (process respawn without storage loads) —
+/// seconds. Fitted to Exp. 5's LowDiff+(S) speedup band (9.4–57.1×).
+pub const REPLICA_REINIT_SECS: f64 = 0.06;
+
+/// Fixed per-iteration software overhead of LowDiff's reuse path (queue
+/// handle transfer, IPC bookkeeping), as a fraction of iteration time.
+/// Fitted to Exp. 1: LowDiff is 2.4–3.1 % over W/O CKPT.
+pub const LOWDIFF_SOFTWARE_OVERHEAD: f64 = 0.026;
+
+/// Fraction of the compressed-gradient D2H offload that is exposed
+/// (not hidden behind the next iteration's compute). Small because the
+/// offload runs on the checkpointing process's own stream.
+pub const LOWDIFF_OFFLOAD_EXPOSED: f64 = 0.05;
+
+/// Serialization overhead multiplier for torch.save-style checkpoints
+/// (pickle + tensor marshalling before the raw write). Fitted to the
+/// baseline rows of Exp. 1 / Exp. 5.
+pub const TORCH_SAVE_SER_FACTOR: f64 = 0.5;
+
+/// Fraction of an iteration during which checkpoint-quality PCIe/SSD
+/// overlap windows exist for CheckFreq-style pipelined persists (the
+/// remainder is contended by gradient sync and input pipeline).
+pub const PIPELINE_OVERLAP_WINDOW: f64 = 0.35;
+
+/// Restart fixed cost after a failure (process respawn, NCCL re-init,
+/// dataloader warmup) — seconds. Used by the failure simulator; the
+/// paper's recovery plots include this constant offset.
+pub const RESTART_FIXED_SECS: f64 = 15.0;
+
+/// Additional restart cost per server node (rendezvous and NCCL ring
+/// re-establishment scale with the cluster). Drives the Exp. 10 decline
+/// of effective training ratio with cluster size.
+pub const RESTART_PER_NODE_SECS: f64 = 3.0;
+
+/// Per-differential merge cost at recovery, relative to loading the same
+/// bytes from storage: merges are decompress + elementwise Adam, slightly
+/// more than a pure read. Fitted to Exp. 5's Naïve-DC / LowDiff gap.
+pub const MERGE_COST_FACTOR: f64 = 1.3;

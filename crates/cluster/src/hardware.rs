@@ -1,0 +1,87 @@
+//! Hardware profiles for the paper's two testbeds (§6.1, Table "GPU and
+//! CPU configurations").
+
+use lowdiff_util::units::Bandwidth;
+
+/// Bandwidths and sizes of one server class.
+#[derive(Clone, Copy, Debug)]
+pub struct HardwareProfile {
+    pub name: &'static str,
+    /// GPUs per server.
+    pub gpus_per_node: usize,
+    /// Effective GPU↔CPU copy bandwidth per GPU (PCIe).
+    pub pcie: Bandwidth,
+    /// Cross-server network bandwidth per node (25 Gbps InfiniBand).
+    pub net: Bandwidth,
+    /// Sustained SSD write bandwidth per node.
+    pub ssd_write: Bandwidth,
+    /// Sustained SSD read bandwidth per node (recovery loads).
+    pub ssd_read: Bandwidth,
+    /// Effective GPU memory (HBM) streaming bandwidth for elementwise ops
+    /// (delta accumulation, GPU-side snapshot copies).
+    pub hbm: Bandwidth,
+    /// Host-memory copy bandwidth (CPU replica updates, memory-tier ckpt).
+    pub host_mem: Bandwidth,
+    /// Throughput of Top-K compression on the GPU, in input bytes/s
+    /// (calibrated to the paper's Fig. 1(a) compression stalls).
+    pub compress: Bandwidth,
+}
+
+/// The A100 testbed: PCIe Gen 4, Intel Xeon 8352V, 25 Gbps ConnectX-5.
+pub fn a100() -> HardwareProfile {
+    HardwareProfile {
+        name: "A100",
+        gpus_per_node: 4,
+        pcie: Bandwidth::gbps_bytes(24.0),  // Gen4 x16 effective
+        net: Bandwidth::gbits(25.0),        // 3.125 GB/s
+        ssd_write: Bandwidth::gbps_bytes(2.7),
+        ssd_read: Bandwidth::gbps_bytes(3.5),
+        hbm: Bandwidth::gbps_bytes(390.0),  // effective elementwise stream
+        host_mem: Bandwidth::gbps_bytes(20.0),
+        compress: Bandwidth::gbps_bytes(52.0),
+    }
+}
+
+/// The V100S testbed: PCIe Gen 3, Intel Xeon 4214.
+pub fn v100() -> HardwareProfile {
+    HardwareProfile {
+        name: "V100S",
+        gpus_per_node: 4,
+        pcie: Bandwidth::gbps_bytes(12.0),  // Gen3 x16 effective
+        net: Bandwidth::gbits(25.0),
+        ssd_write: Bandwidth::gbps_bytes(2.0),
+        ssd_read: Bandwidth::gbps_bytes(2.8),
+        hbm: Bandwidth::gbps_bytes(250.0),
+        host_mem: Bandwidth::gbps_bytes(15.0),
+        compress: Bandwidth::gbps_bytes(30.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let a = a100();
+        let v = v100();
+        assert!(a.pcie.bytes_per_sec() > v.pcie.bytes_per_sec(), "Gen4 > Gen3");
+        assert!(a.hbm.bytes_per_sec() > v.hbm.bytes_per_sec());
+        assert_eq!(a.gpus_per_node, 4);
+        // 25 Gbps shared by both testbeds.
+        assert_eq!(a.net.bytes_per_sec(), v.net.bytes_per_sec());
+    }
+
+    #[test]
+    fn network_is_25_gbit() {
+        assert!((a100().net.bytes_per_sec() - 3.125e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn hierarchy_hbm_pcie_net_ssd() {
+        let a = a100();
+        assert!(a.hbm.bytes_per_sec() > a.pcie.bytes_per_sec());
+        assert!(a.pcie.bytes_per_sec() > a.net.bytes_per_sec());
+        assert!(a.net.bytes_per_sec() > a.ssd_write.bytes_per_sec());
+    }
+}

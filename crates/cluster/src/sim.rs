@@ -1,0 +1,384 @@
+//! Discrete-event failure simulator: wasted time and effective training
+//! ratio under exponential failures (Exp. 3, 9, 10).
+//!
+//! The job runs `job_iters` iterations at the strategy's effective
+//! iteration time (compute + steady-state checkpoint overhead). Failures
+//! arrive with exponential inter-arrival times (mean = MTBF). Each failure
+//! rolls progress back to the strategy's newest recoverable point and
+//! charges: fixed restart + state-restore time + re-execution of the lost
+//! iterations.
+//!
+//! Wasted time follows the paper's definition (§2.2): recovery overhead
+//! (restore + re-execution) **plus** the steady-state checkpointing
+//! overhead accumulated while training.
+
+use crate::cost::{CostModel, StrategyKind};
+use crate::calib;
+use lowdiff_util::units::Secs;
+use lowdiff_util::DetRng;
+
+/// What kind of failures the run experiences (matters for Gemini and
+/// LowDiff+, whose fast tiers survive software failures only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Process dies; host memory of surviving daemons intact.
+    Software,
+    /// Machine is lost; recover from durable storage.
+    Hardware,
+}
+
+/// One simulated training job.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub strategy: StrategyKind,
+    /// Differential / memory-tier checkpoint interval (iterations).
+    pub ckpt_interval: u64,
+    /// Durable full-checkpoint interval (iterations).
+    pub full_interval: u64,
+    /// LowDiff batching size (differentials per write).
+    pub batch_size: u64,
+    pub mtbf: Secs,
+    pub job_iters: u64,
+    pub failure_kind: FailureKind,
+    pub recovery_shards: usize,
+    pub seed: u64,
+    /// Explicit failure times (absolute seconds since job start). When
+    /// set, replaces the exponential sampler — used to replay recorded
+    /// cluster incident traces (the Microsoft MTBF study's setting).
+    pub failure_trace: Option<Vec<f64>>,
+}
+
+impl SimConfig {
+    /// Reasonable defaults for a strategy (per-iteration diffs, FCF 100).
+    pub fn defaults(strategy: StrategyKind, mtbf: Secs, job_iters: u64) -> Self {
+        Self {
+            strategy,
+            // The paper's frequent-checkpointing setting: per-iteration
+            // differentials for the DC-capable strategies; CheckFreq at
+            // its design default (~10 iterations); torch.save likewise.
+            ckpt_interval: match strategy {
+                StrategyKind::TorchSave | StrategyKind::CheckFreq => 10,
+                StrategyKind::NaiveDc => 2,
+                // Gemini's traffic scheduler backs off until most of the
+                // replication traffic hides in the compute window (the
+                // NIC cannot sustain per-iteration GPT2-class states).
+                StrategyKind::Gemini => 3,
+                _ => 1,
+            },
+            full_interval: match strategy {
+                StrategyKind::TorchSave | StrategyKind::CheckFreq => 10,
+                _ => 100,
+            },
+            batch_size: 2,
+            mtbf,
+            job_iters,
+            failure_kind: FailureKind::Software,
+            recovery_shards: 8,
+            seed: 7,
+            failure_trace: None,
+        }
+    }
+}
+
+/// Simulation result.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Wall-clock time for the whole job including failures.
+    pub total_time: Secs,
+    /// Paper metric: steady-state ckpt overhead + recovery overhead.
+    pub wasted_time: Secs,
+    /// Useful compute time / total time.
+    pub effective_ratio: f64,
+    pub failures: u64,
+}
+
+/// Newest iteration the strategy can restore to, given current progress.
+fn recoverable_point(cfg: &SimConfig, progress: u64) -> u64 {
+    let full_point = (progress / cfg.full_interval) * cfg.full_interval;
+    match cfg.strategy {
+        StrategyKind::WoCkpt => 0,
+        StrategyKind::TorchSave | StrategyKind::CheckFreq => {
+            (progress / cfg.ckpt_interval) * cfg.ckpt_interval
+        }
+        StrategyKind::Gemini => match cfg.failure_kind {
+            // Memory tier survives (replicated on peers).
+            FailureKind::Software => (progress / cfg.ckpt_interval) * cfg.ckpt_interval,
+            FailureKind::Hardware => full_point,
+        },
+        StrategyKind::NaiveDc => (progress / cfg.ckpt_interval) * cfg.ckpt_interval,
+        StrategyKind::LowDiff => {
+            // Diffs are durable once their batch is written; the unbatched
+            // tail (up to batch_size−1 diffs) is lost.
+            (progress / cfg.batch_size) * cfg.batch_size
+        }
+        StrategyKind::LowDiffPlus => match cfg.failure_kind {
+            FailureKind::Software => progress, // CPU replica is current
+            FailureKind::Hardware => {
+                (progress / cfg.ckpt_interval) * cfg.ckpt_interval
+            }
+        },
+    }
+}
+
+/// State-restore time (no re-execution — that is charged separately).
+fn restore_time(cost: &CostModel, cfg: &SimConfig, restore_to: u64) -> Secs {
+    let diffs_replayed = restore_to.saturating_sub((restore_to / cfg.full_interval) * cfg.full_interval);
+    match cfg.strategy {
+        StrategyKind::WoCkpt => Secs::ZERO,
+        StrategyKind::TorchSave | StrategyKind::CheckFreq => cost.torch_load(),
+        StrategyKind::Gemini => match cfg.failure_kind {
+            FailureKind::Software => {
+                // Pull the replica from peer CPU memory over the network.
+                cost.full_bytes() / cost.hw.net
+            }
+            FailureKind::Hardware => cost.torch_load(),
+        },
+        StrategyKind::NaiveDc => {
+            cost.raw_load()
+                + lowdiff_util::units::ByteSize::f32s(2 * cost.spec.params) / cost.hw.ssd_read
+                + Secs(diffs_replayed as f64 * cost.merge_one().as_f64())
+        }
+        StrategyKind::LowDiff => {
+            let merges =
+                Secs(diffs_replayed as f64 * cost.merge_one().as_f64() / cfg.recovery_shards as f64);
+            cost.raw_load() + merges
+        }
+        StrategyKind::LowDiffPlus => match cfg.failure_kind {
+            FailureKind::Software => Secs(
+                (cost.full_bytes() / cost.hw.pcie).as_f64() + calib::REPLICA_REINIT_SECS,
+            ),
+            FailureKind::Hardware => cost.raw_load(),
+        },
+    }
+}
+
+/// Run the failure simulation.
+pub fn simulate_job(cost: &CostModel, cfg: &SimConfig) -> SimOutcome {
+    let t_it = cost.iter_time().as_f64();
+    let overhead = cost
+        .overhead_per_iter(cfg.strategy, cfg.ckpt_interval.max(1))
+        .as_f64();
+    let t_eff = t_it + overhead;
+
+    let mut rng = DetRng::new(cfg.seed);
+    let mut progress = 0u64; // completed iterations that will survive
+    let mut total = 0.0f64; // wall time
+    let mut wasted = 0.0f64;
+    let mut failures = 0u64;
+    // Failure source: a recorded trace (absolute times) or the
+    // exponential sampler.
+    let mut trace_iter = cfg.failure_trace.as_ref().map(|t| {
+        debug_assert!(t.windows(2).all(|w| w[0] <= w[1]), "trace must be sorted");
+        t.clone().into_iter()
+    });
+    let mut draw_failure = |rng: &mut DetRng, now: f64| -> f64 {
+        match trace_iter.as_mut() {
+            Some(it) => it.next().unwrap_or(f64::INFINITY),
+            None => now + rng.exponential(cfg.mtbf.as_f64()),
+        }
+    };
+    let mut next_failure = draw_failure(&mut rng, 0.0);
+
+    while progress < cfg.job_iters {
+        let remaining_iters = cfg.job_iters - progress;
+        let segment = remaining_iters as f64 * t_eff;
+        if total + segment <= next_failure {
+            // Job finishes before the next failure.
+            total += segment;
+            wasted += remaining_iters as f64 * overhead;
+            break;
+        }
+        // Train until the failure hits.
+        let trained_time = next_failure - total;
+        let trained_iters = (trained_time / t_eff) as u64;
+        total = next_failure;
+        wasted += trained_iters as f64 * overhead;
+        failures += 1;
+
+        let at = progress + trained_iters;
+        let back_to = recoverable_point(cfg, at).max(progress);
+        let lost = at - back_to;
+        // Restart cost grows with cluster size (process respawn + NCCL
+        // re-initialization across nodes).
+        let restart = calib::RESTART_FIXED_SECS + calib::RESTART_PER_NODE_SECS * cost.nodes() as f64;
+        let restore = restore_time(cost, cfg, back_to).as_f64() + restart;
+
+        // Recovery: restore, then the lost iterations are re-executed as
+        // part of normal training (progress resumes from back_to).
+        total += restore;
+        wasted += restore + lost as f64 * t_eff + (trained_time - trained_iters as f64 * t_eff);
+        progress = back_to;
+        next_failure = draw_failure(&mut rng, total).max(total);
+    }
+
+    let useful = cfg.job_iters as f64 * t_it;
+    SimOutcome {
+        total_time: Secs(total),
+        wasted_time: Secs(wasted),
+        effective_ratio: useful / total,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::a100;
+    use lowdiff_model::zoo::by_name;
+
+    fn cm() -> CostModel {
+        CostModel::new(a100(), by_name("GPT2-S").unwrap(), 8, 0.01)
+    }
+
+    fn outcome(strategy: StrategyKind, mtbf_h: f64) -> SimOutcome {
+        let cost = cm();
+        let cfg = SimConfig::defaults(strategy, Secs::hours(mtbf_h), 200_000);
+        simulate_job(&cost, &cfg)
+    }
+
+    #[test]
+    fn no_failures_no_recovery_waste() {
+        let cost = cm();
+        let mut cfg = SimConfig::defaults(StrategyKind::LowDiff, Secs::hours(1e6), 1000);
+        cfg.seed = 1;
+        let out = simulate_job(&cost, &cfg);
+        assert_eq!(out.failures, 0);
+        // Wasted = steady-state overhead only.
+        let expected = cost.overhead_per_iter(StrategyKind::LowDiff, 1).as_f64() * 1000.0;
+        assert!((out.wasted_time.as_f64() - expected).abs() < 1e-6);
+        assert!(out.effective_ratio > 0.95);
+    }
+
+    #[test]
+    fn more_failures_more_waste() {
+        let w2 = outcome(StrategyKind::LowDiff, 2.0).wasted_time.as_f64();
+        let w05 = outcome(StrategyKind::LowDiff, 0.5).wasted_time.as_f64();
+        assert!(w05 > w2, "MTBF 0.5h must waste more than 2h: {w05} vs {w2}");
+    }
+
+    #[test]
+    fn exp3_strategy_ordering() {
+        // Paper Exp. 3: LowDiff < Gemini < CheckFreq ≈ NaiveDC in wasted
+        // time, and the gap grows as MTBF shrinks.
+        for mtbf in [0.5, 1.0, 2.0] {
+            let lowdiff = outcome(StrategyKind::LowDiff, mtbf).wasted_time.as_f64();
+            let gemini = outcome(StrategyKind::Gemini, mtbf).wasted_time.as_f64();
+            let checkfreq = outcome(StrategyKind::CheckFreq, mtbf).wasted_time.as_f64();
+            assert!(
+                lowdiff < gemini && gemini < checkfreq,
+                "mtbf={mtbf}: {lowdiff} / {gemini} / {checkfreq}"
+            );
+        }
+        let gap_2 = outcome(StrategyKind::Gemini, 2.0).wasted_time.as_f64()
+            - outcome(StrategyKind::LowDiff, 2.0).wasted_time.as_f64();
+        let gap_05 = outcome(StrategyKind::Gemini, 0.5).wasted_time.as_f64()
+            - outcome(StrategyKind::LowDiff, 0.5).wasted_time.as_f64();
+        assert!(gap_05 > gap_2, "gap must widen with failure rate");
+    }
+
+    #[test]
+    fn lowdiff_plus_software_beats_hardware() {
+        let cost = cm();
+        let mut cfg = SimConfig::defaults(StrategyKind::LowDiffPlus, Secs::hours(0.5), 200_000);
+        cfg.ckpt_interval = cost.lowdiff_plus_persist_interval();
+        cfg.failure_kind = FailureKind::Software;
+        let soft = simulate_job(&cost, &cfg);
+        cfg.failure_kind = FailureKind::Hardware;
+        let hard = simulate_job(&cost, &cfg);
+        assert!(
+            soft.wasted_time.as_f64() < hard.wasted_time.as_f64(),
+            "software recovery must be cheaper"
+        );
+    }
+
+    #[test]
+    fn effective_ratio_declines_with_cluster_failure_rate() {
+        // Exp. 10 shape: more GPUs → proportionally smaller cluster MTBF →
+        // lower effective ratio; LowDiff degrades the least.
+        let cost = cm();
+        let mut prev = 1.0;
+        for n in [8u64, 16, 32, 64] {
+            let mtbf = Secs::hours(8.0 * 4.0 / n as f64);
+            let cfg = SimConfig::defaults(StrategyKind::LowDiff, mtbf, 200_000);
+            let out = simulate_job(&cost, &cfg);
+            assert!(out.effective_ratio <= prev + 0.01, "n={n}");
+            prev = out.effective_ratio;
+        }
+        assert!(prev > 0.9, "LowDiff at 64 GPUs should stay >90%: {prev}");
+    }
+
+    #[test]
+    fn failure_trace_replays_exact_times() {
+        let cost = cm();
+        let mut cfg = SimConfig::defaults(StrategyKind::LowDiff, Secs::hours(1.0), 50_000);
+        // Three failures at known times, then none.
+        cfg.failure_trace = Some(vec![100.0, 900.0, 2500.0]);
+        let out = simulate_job(&cost, &cfg);
+        assert_eq!(out.failures, 3, "must hit exactly the traced failures");
+        // Same trace, same outcome, regardless of seed.
+        cfg.seed = 999;
+        let out2 = simulate_job(&cost, &cfg);
+        assert_eq!(out.total_time.as_f64(), out2.total_time.as_f64());
+    }
+
+    #[test]
+    fn empty_trace_means_no_failures() {
+        let cost = cm();
+        let mut cfg = SimConfig::defaults(StrategyKind::CheckFreq, Secs::hours(0.01), 20_000);
+        cfg.failure_trace = Some(vec![]);
+        let out = simulate_job(&cost, &cfg);
+        assert_eq!(out.failures, 0, "trace overrides the tiny MTBF");
+    }
+
+    #[test]
+    fn denser_trace_wastes_more() {
+        let cost = cm();
+        let mk = |times: Vec<f64>| {
+            let mut cfg = SimConfig::defaults(StrategyKind::LowDiff, Secs::hours(1.0), 100_000);
+            cfg.failure_trace = Some(times);
+            simulate_job(&cost, &cfg).wasted_time.as_f64()
+        };
+        let sparse = mk(vec![5000.0]);
+        let dense = mk((1..20).map(|i| i as f64 * 500.0).collect());
+        assert!(dense > sparse);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cost = cm();
+        let cfg = SimConfig::defaults(StrategyKind::NaiveDc, Secs::hours(1.0), 50_000);
+        let a = simulate_job(&cost, &cfg);
+        let b = simulate_job(&cost, &cfg);
+        assert_eq!(a.total_time.as_f64(), b.total_time.as_f64());
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn wo_ckpt_restarts_from_scratch() {
+        let cost = cm();
+        let cfg = SimConfig {
+            strategy: StrategyKind::WoCkpt,
+            ckpt_interval: 1,
+            full_interval: u64::MAX,
+            batch_size: 1,
+            mtbf: Secs::hours(2.0),
+            job_iters: 100_000,
+            failure_kind: FailureKind::Software,
+            recovery_shards: 1,
+            seed: 3,
+            failure_trace: None,
+        };
+        let out = simulate_job(&cost, &cfg);
+        if out.failures > 0 {
+            // Every failure rewinds to zero → horrid effective ratio
+            // compared to LowDiff under identical conditions.
+            let ld = SimConfig {
+                strategy: StrategyKind::LowDiff,
+                full_interval: 100,
+                ..cfg.clone()
+            };
+            let ld_out = simulate_job(&cost, &ld);
+            assert!(out.effective_ratio < ld_out.effective_ratio);
+        }
+    }
+}

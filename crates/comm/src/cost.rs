@@ -1,0 +1,99 @@
+//! Collective-communication timing model for the cluster simulator.
+//!
+//! Threads give us *correct* collectives; this module gives us *paper-scale
+//! timing*. Standard alpha-beta models:
+//!
+//! * ring allreduce of `s` bytes over `n` ranks:
+//!   `2(n−1)/n · s / bw + 2(n−1) · α`
+//! * allgather of `s` bytes per rank: `(n−1)/n · n·s / bw + (n−1) · α`
+//!   (every rank receives everyone's contribution).
+
+use lowdiff_util::units::{Bandwidth, ByteSize, Secs};
+
+/// Per-hop latency of the interconnect (α in the alpha-beta model).
+pub const DEFAULT_ALPHA: Secs = Secs(15e-6);
+
+/// Time for a ring allreduce of `bytes` across `n` ranks.
+pub fn ring_allreduce(bytes: ByteSize, n: usize, bw: Bandwidth, alpha: Secs) -> Secs {
+    assert!(n >= 1);
+    if n == 1 {
+        return Secs::ZERO;
+    }
+    let steps = 2 * (n - 1);
+    let volume_factor = 2.0 * (n as f64 - 1.0) / n as f64;
+    Secs((bytes / bw).as_f64() * volume_factor) + alpha * steps as f64
+}
+
+/// Time for an allgather where each rank contributes `bytes_per_rank`.
+pub fn allgather(bytes_per_rank: ByteSize, n: usize, bw: Bandwidth, alpha: Secs) -> Secs {
+    assert!(n >= 1);
+    if n == 1 {
+        return Secs::ZERO;
+    }
+    let steps = n - 1;
+    // Each rank transmits its block (n−1) times around the ring.
+    Secs((bytes_per_rank / bw).as_f64() * steps as f64) + alpha * steps as f64
+}
+
+/// Gradient-synchronization time for a model of `grad_bytes`, compressed at
+/// ratio ρ via Top-K (allgather of 8ρΨ-byte sparse blocks) or dense ring
+/// allreduce when `rho == 1.0`.
+pub fn grad_sync(grad_bytes: ByteSize, rho: f64, n: usize, bw: Bandwidth) -> Secs {
+    if rho >= 1.0 {
+        ring_allreduce(grad_bytes, n, bw, DEFAULT_ALPHA)
+    } else {
+        // Sparse block: indices double the per-element payload (4B+4B).
+        let sparse = grad_bytes.scale(rho * 2.0);
+        allgather(sparse, n, bw, DEFAULT_ALPHA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: Bandwidth = Bandwidth(3.125e9); // 25 Gbit/s
+
+    #[test]
+    fn single_rank_is_free() {
+        assert_eq!(ring_allreduce(ByteSize::gib(1), 1, GB, DEFAULT_ALPHA).as_f64(), 0.0);
+        assert_eq!(allgather(ByteSize::gib(1), 1, GB, DEFAULT_ALPHA).as_f64(), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_approaches_2x_bandwidth_bound() {
+        // As n grows, time → 2·s/bw.
+        let s = ByteSize::bytes(3_125_000_000); // 1 second at GB
+        let t8 = ring_allreduce(s, 8, GB, Secs::ZERO).as_f64();
+        let t64 = ring_allreduce(s, 64, GB, Secs::ZERO).as_f64();
+        assert!((t8 - 2.0 * 7.0 / 8.0).abs() < 1e-9);
+        assert!(t64 > t8 && t64 < 2.0);
+    }
+
+    #[test]
+    fn allgather_scales_with_ranks() {
+        let s = ByteSize::mib(10);
+        let t4 = allgather(s, 4, GB, Secs::ZERO).as_f64();
+        let t8 = allgather(s, 8, GB, Secs::ZERO).as_f64();
+        assert!((t8 / t4 - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressed_sync_is_much_cheaper() {
+        let grad = ByteSize::f32s(762_000_000); // GPT2-L
+        let dense = grad_sync(grad, 1.0, 8, GB);
+        let sparse = grad_sync(grad, 0.01, 8, GB);
+        // Ring allreduce moves ~2·s; sparse allgather moves (n−1)·ρ·2·s.
+        // At n=8, ρ=0.01 the ratio is ~12.5×.
+        assert!(
+            dense.as_f64() / sparse.as_f64() > 10.0,
+            "dense {dense} vs sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn latency_term_counts() {
+        let t = ring_allreduce(ByteSize::bytes(0), 8, GB, Secs(1e-3));
+        assert!((t.as_f64() - 14e-3).abs() < 1e-9);
+    }
+}

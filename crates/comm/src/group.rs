@@ -1,0 +1,263 @@
+//! [`WorkerGroup`]: spawn `n` worker ranks and give each a [`WorkerCtx`]
+//! with the collectives distributed data-parallel training needs.
+
+use crate::rendezvous::Rendezvous;
+use lowdiff_compress::SparseGrad;
+use std::cell::Cell;
+
+/// Handle for one rank inside a running group.
+pub struct WorkerCtx {
+    rank: usize,
+    n: usize,
+    dense: Rendezvous<Vec<f32>>,
+    sparse: Rendezvous<SparseGrad>,
+    unit: Rendezvous<()>,
+    gen_dense: Cell<u64>,
+    gen_sparse: Cell<u64>,
+    gen_unit: Cell<u64>,
+}
+
+impl WorkerCtx {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.n
+    }
+
+    /// Dense allreduce with mean semantics (the standard data-parallel
+    /// gradient synchronization): every rank ends with the elementwise
+    /// average of all contributions.
+    pub fn allreduce_mean(&self, buf: &mut [f32]) {
+        let gen = self.gen_dense.get();
+        self.gen_dense.set(gen + 1);
+        let all = self.dense.exchange(self.rank, gen, buf.to_vec());
+        let inv = 1.0 / self.n as f32;
+        for (i, b) in buf.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for contrib in &all {
+                acc += contrib[i];
+            }
+            *b = acc * inv;
+        }
+    }
+
+    /// Sparse allgather-then-merge: the synchronization used with Top-K
+    /// compression. Every rank contributes its local sparse gradient; all
+    /// ranks receive the union-with-sum merge, scaled by 1/n (mean).
+    pub fn allgather_sparse(&self, local: &SparseGrad) -> SparseGrad {
+        let gen = self.gen_sparse.get();
+        self.gen_sparse.set(gen + 1);
+        let all = self.sparse.exchange(self.rank, gen, local.clone());
+        let mut merged = SparseGrad::merge_all(local.dense_len, all.iter());
+        let inv = 1.0 / self.n as f32;
+        for v in merged.values.iter_mut() {
+            *v *= inv;
+        }
+        merged
+    }
+
+    /// Layer-tagged sparse allgather for concurrent per-layer sync
+    /// (Algorithm 2's `Sync Thread`). `layer` id is the tag; `step` the
+    /// training iteration.
+    ///
+    /// NB: every rank must *eventually* contribute to every tag it blocks
+    /// on. When layers are synchronized from plain sequential code, all
+    /// ranks must use the same layer order; issuing layers from concurrent
+    /// threads (the Algorithm-2 thread pool `P_g`) lifts that restriction,
+    /// which is how LowDiff+ uses it.
+    pub fn allgather_sparse_layer(
+        &self,
+        layer: u64,
+        step: u64,
+        local: &SparseGrad,
+    ) -> SparseGrad {
+        // Tag streams are (layer+1) so they never collide with the default
+        // tag 0 used by `allgather_sparse`.
+        let all = self
+            .sparse
+            .exchange_tagged(layer + 1, self.rank, step, local.clone());
+        let mut merged = SparseGrad::merge_all(local.dense_len, all.iter());
+        let inv = 1.0 / self.n as f32;
+        for v in merged.values.iter_mut() {
+            *v *= inv;
+        }
+        merged
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        let gen = self.gen_unit.get();
+        self.gen_unit.set(gen + 1);
+        self.unit.exchange(self.rank, gen, ());
+    }
+}
+
+/// A group of `n` simulated GPU ranks.
+pub struct WorkerGroup {
+    n: usize,
+}
+
+impl WorkerGroup {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n }
+    }
+
+    /// Run `f` on every rank concurrently; returns each rank's result in
+    /// rank order. Panics in any worker propagate.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(WorkerCtx) -> R + Sync,
+    {
+        let dense: Rendezvous<Vec<f32>> = Rendezvous::new(self.n);
+        let sparse: Rendezvous<SparseGrad> = Rendezvous::new(self.n);
+        let unit: Rendezvous<()> = Rendezvous::new(self.n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.n)
+                .map(|rank| {
+                    let ctx = WorkerCtx {
+                        rank,
+                        n: self.n,
+                        dense: dense.clone(),
+                        sparse: sparse.clone(),
+                        unit: unit.clone(),
+                        gen_dense: Cell::new(0),
+                        gen_sparse: Cell::new(0),
+                        gen_unit: Cell::new(0),
+                    };
+                    let f = &f;
+                    scope.spawn(move || f(ctx))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_mean_matches_serial_average() {
+        let n = 4;
+        let grads: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..16).map(|i| (r * 16 + i) as f32).collect())
+            .collect();
+        let expected: Vec<f32> = (0..16)
+            .map(|i| grads.iter().map(|g| g[i]).sum::<f32>() / n as f32)
+            .collect();
+
+        let group = WorkerGroup::new(n);
+        let results = group.run(|ctx| {
+            let mut buf = grads[ctx.rank()].clone();
+            ctx.allreduce_mean(&mut buf);
+            buf
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r, &expected, "rank {rank} diverged");
+        }
+    }
+
+    #[test]
+    fn allgather_sparse_union() {
+        let n = 3;
+        let group = WorkerGroup::new(n);
+        let results = group.run(|ctx| {
+            let rank = ctx.rank() as u32;
+            // Each rank contributes its own index plus shared index 9.
+            let local = SparseGrad::new(10, vec![rank, 9], vec![1.0, 3.0]);
+            ctx.allgather_sparse(&local)
+        });
+        for r in &results {
+            assert_eq!(r.indices, vec![0, 1, 2, 9]);
+            // Own indices contributed once → 1/3; index 9 summed 3× → 3.0.
+            assert_eq!(r.values, vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_stay_consistent() {
+        let n = 2;
+        let group = WorkerGroup::new(n);
+        let results = group.run(|ctx| {
+            let mut sums = Vec::new();
+            for iter in 0..20 {
+                let mut buf = vec![ctx.rank() as f32 + iter as f32; 4];
+                ctx.allreduce_mean(&mut buf);
+                sums.push(buf[0]);
+                ctx.barrier();
+            }
+            sums
+        });
+        assert_eq!(results[0], results[1]);
+        for (iter, &s) in results[0].iter().enumerate() {
+            assert!((s - (0.5 + iter as f32)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_tagged_sync_keeps_tags_separate() {
+        // Two ranks sync two layers in the same (sequential) order — the
+        // per-tag streams must never mix values.
+        let group = WorkerGroup::new(2);
+        let results = group.run(|ctx| {
+            let l0 = SparseGrad::new(4, vec![0], vec![2.0]);
+            let l1 = SparseGrad::new(4, vec![1], vec![4.0]);
+            let a = ctx.allgather_sparse_layer(0, 0, &l0);
+            let b = ctx.allgather_sparse_layer(1, 0, &l1);
+            (a, b)
+        });
+        for (a, b) in &results {
+            assert_eq!(a.indices, vec![0]);
+            assert_eq!(a.values, vec![2.0]); // (2+2)/2
+            assert_eq!(b.indices, vec![1]);
+            assert_eq!(b.values, vec![4.0]);
+        }
+    }
+
+    #[test]
+    fn layer_tagged_sync_out_of_order_with_threads() {
+        // Algorithm 2's real execution: each rank hands every layer to a
+        // sync thread, so layers complete in ANY order across ranks. Use
+        // the rendezvous directly with one thread per (rank, layer).
+        use crate::rendezvous::Rendezvous;
+        let r: Rendezvous<SparseGrad> = Rendezvous::new(2);
+        let mut handles = Vec::new();
+        for rank in 0..2usize {
+            for layer in 0..4u64 {
+                let r = r.clone();
+                handles.push(std::thread::spawn(move || {
+                    // Stagger ranks in opposite orders to maximize overlap.
+                    let layer = if rank == 0 { layer } else { 3 - layer };
+                    let local =
+                        SparseGrad::new(8, vec![layer as u32], vec![(layer + 1) as f32]);
+                    let all = r.exchange_tagged(layer + 1, rank, 0, local);
+                    (layer, SparseGrad::merge_all(8, all.iter()))
+                }));
+            }
+        }
+        for h in handles {
+            let (layer, merged) = h.join().unwrap();
+            assert_eq!(merged.indices, vec![layer as u32], "tags crossed");
+            assert_eq!(merged.values, vec![2.0 * (layer + 1) as f32]);
+        }
+    }
+
+    #[test]
+    fn single_worker_group_is_identity() {
+        let group = WorkerGroup::new(1);
+        let r = group.run(|ctx| {
+            let mut buf = vec![1.0, 2.0];
+            ctx.allreduce_mean(&mut buf);
+            buf
+        });
+        assert_eq!(r[0], vec![1.0, 2.0]);
+    }
+}

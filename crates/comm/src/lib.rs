@@ -1,0 +1,26 @@
+//! # lowdiff-comm
+//!
+//! Thread-based data-parallel collectives — the NCCL/DeepSpeed stand-in.
+//!
+//! Workers are OS threads (one per simulated GPU rank) meeting at a shared
+//! [`rendezvous::Rendezvous`]. On top of it:
+//!
+//! * [`group::WorkerGroup`] — spawn `n` ranks, each running the same
+//!   closure with a [`group::WorkerCtx`] exposing `allreduce_mean`,
+//!   `allgather_sparse` and `barrier`, matching the synchronization points
+//!   of Algorithm 1 (Line 5, `Sync`).
+//! * [`pool::SyncPool`] — the layer-wise communication thread pool of
+//!   Algorithm 2 (`P_g`): gradients are handed over per layer during the
+//!   backward pass, synchronized concurrently, and completion handles are
+//!   awaited before the model update (`H_g.wait()`).
+//! * [`cost`] — the ring-allreduce timing model used by the cluster
+//!   simulator (we run threads for *correctness*, the cost model for
+//!   *paper-scale timing*).
+
+pub mod cost;
+pub mod group;
+pub mod pool;
+pub mod rendezvous;
+
+pub use group::{WorkerCtx, WorkerGroup};
+pub use pool::SyncPool;

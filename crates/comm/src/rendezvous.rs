@@ -1,0 +1,215 @@
+//! Generation-counted rendezvous: the all-gather primitive every collective
+//! is built from.
+//!
+//! All `n` ranks call [`Rendezvous::exchange`] with their contribution; every
+//! caller blocks until the full set is present and receives a clone of all
+//! contributions in rank order. A generation counter makes the structure
+//! reusable across iterations without re-allocation races (the classic
+//! "reusable barrier" construction, cf. the condition-variable chapter of
+//! *Rust Atomics and Locks*).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Round<T> {
+    slots: Vec<Option<T>>,
+    filled: usize,
+    /// Completed copies handed out; the round resets when all n are taken.
+    taken: usize,
+    /// Snapshot all ranks read from once the round is full.
+    result: Option<Arc<Vec<T>>>,
+}
+
+impl<T> Round<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| None).collect(),
+            filled: 0,
+            taken: 0,
+            result: None,
+        }
+    }
+}
+
+struct Inner<T> {
+    n: usize,
+    /// Keyed by (tag, generation); entries are removed once fully consumed.
+    rounds: Mutex<HashMap<(u64, u64), Round<T>>>,
+    cond: Condvar,
+    /// Per-(tag, rank) generation counters live in the caller (see
+    /// [`Rendezvous::exchange_tagged`]'s `gen` parameter) so the structure
+    /// itself stays wait-free to clone.
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Reusable all-gather point for `n` ranks.
+pub struct Rendezvous<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Rendezvous<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + Send> Rendezvous<T> {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "rendezvous needs at least one rank");
+        Self {
+            inner: Arc::new(Inner {
+                n,
+                rounds: Mutex::new(HashMap::new()),
+                cond: Condvar::new(),
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Exchange on the default tag. `gen` must increase by one per call per
+    /// rank (callers keep a local counter; [`crate::group::WorkerCtx`] does).
+    pub fn exchange(&self, rank: usize, gen: u64, value: T) -> Vec<T> {
+        self.exchange_tagged(0, rank, gen, value)
+    }
+
+    /// Exchange within an independent `tag` stream — used for concurrent
+    /// per-layer collectives, where layer *l*'s gradients from all ranks
+    /// must meet each other and nothing else.
+    pub fn exchange_tagged(&self, tag: u64, rank: usize, gen: u64, value: T) -> Vec<T> {
+        let inner = &*self.inner;
+        assert!(rank < inner.n, "rank {rank} out of range");
+        let key = (tag, gen);
+        let mut rounds = inner.rounds.lock();
+        let round = rounds.entry(key).or_insert_with(|| Round::new(inner.n));
+        assert!(
+            round.slots[rank].is_none(),
+            "rank {rank} contributed twice to tag {tag} gen {gen}"
+        );
+        round.slots[rank] = Some(value);
+        round.filled += 1;
+        if round.filled == inner.n {
+            let vals: Vec<T> = round.slots.iter_mut().map(|s| s.take().unwrap()).collect();
+            round.result = Some(Arc::new(vals));
+            inner.cond.notify_all();
+        } else {
+            inner
+                .cond
+                .wait_while(&mut rounds, |r| r.get(&key).is_none_or(|r| r.result.is_none()));
+        }
+        let round = rounds.get_mut(&key).expect("round vanished");
+        let result = Arc::clone(round.result.as_ref().expect("result missing"));
+        round.taken += 1;
+        if round.taken == inner.n {
+            rounds.remove(&key);
+        }
+        drop(rounds);
+        // Unwrap the Arc if we're the last holder, else clone out.
+        match Arc::try_unwrap(result) {
+            Ok(v) => v,
+            Err(arc) => (*arc).clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_rank_roundtrip() {
+        let r: Rendezvous<i32> = Rendezvous::new(1);
+        assert_eq!(r.exchange(0, 0, 42), vec![42]);
+        assert_eq!(r.exchange(0, 1, 7), vec![7]);
+    }
+
+    #[test]
+    fn all_ranks_see_all_values_in_rank_order() {
+        let n = 4;
+        let r: Rendezvous<usize> = Rendezvous::new(n);
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let r = r.clone();
+                thread::spawn(move || r.exchange(rank, 0, rank * 10))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn generations_are_independent() {
+        let n = 2;
+        let r: Rendezvous<u64> = Rendezvous::new(n);
+        let iters = 50u64;
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    for g in 0..iters {
+                        let vals = r.exchange(rank, g, g * 100 + rank as u64);
+                        assert_eq!(vals, vec![g * 100, g * 100 + 1], "gen {g} corrupted");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tags_are_independent_streams() {
+        // Two "layers" synchronized concurrently by 2 ranks. Each (rank,
+        // layer) contribution runs on its own thread — the Algorithm-2
+        // thread-pool execution model. (Sequential contributions in
+        // *opposite* orders across ranks would deadlock by design: every
+        // rank must eventually feed every tag it blocks on; concurrency
+        // per layer is what makes ordering irrelevant.)
+        let r: Rendezvous<String> = Rendezvous::new(2);
+        let mut handles = Vec::new();
+        for rank in 0..2u32 {
+            for tag in [1u64, 2] {
+                let r = r.clone();
+                handles.push(thread::spawn(move || {
+                    let all = r.exchange_tagged(tag, rank as usize, 0, format!("r{rank}-l{tag}"));
+                    (tag, all)
+                }));
+            }
+        }
+        for h in handles {
+            let (tag, all) = h.join().unwrap();
+            assert_eq!(
+                all,
+                vec![format!("r0-l{tag}"), format!("r1-l{tag}")],
+                "tag {tag} stream crossed"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_map_is_garbage_collected() {
+        let n = 3;
+        let r: Rendezvous<u8> = Rendezvous::new(n);
+        for g in 0..10 {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let r = r.clone();
+                    thread::spawn(move || r.exchange(rank, g, rank as u8))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        assert!(r.inner.rounds.lock().is_empty(), "rounds leaked");
+    }
+}

@@ -1,0 +1,127 @@
+//! Error feedback (residual accumulation) for sparsified training.
+//!
+//! Top-K discards most coordinates; error feedback keeps training convergent
+//! by adding the dropped mass back into the next gradient:
+//!
+//! ```text
+//! acc_t   = g_t + residual_{t-1}
+//! sent_t  = compress(acc_t)
+//! residual_t = acc_t − decompress(sent_t)
+//! ```
+//!
+//! Conservation (`sent + residual == acc` exactly, elementwise) is the
+//! invariant the property tests check.
+
+use crate::grad::CompressedGrad;
+use crate::Compressor;
+
+/// Wraps a compressor with a residual buffer.
+pub struct ErrorFeedback<C: Compressor> {
+    inner: C,
+    residual: Vec<f32>,
+}
+
+impl<C: Compressor> ErrorFeedback<C> {
+    /// `n` is the dense gradient length (fixed per model).
+    pub fn new(inner: C, n: usize) -> Self {
+        Self {
+            inner,
+            residual: vec![0.0; n],
+        }
+    }
+
+    /// Compensate, compress, and update the residual.
+    pub fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
+        assert_eq!(grad.len(), self.residual.len(), "gradient length changed");
+        // acc = grad + residual
+        let acc: Vec<f32> = grad
+            .iter()
+            .zip(&self.residual)
+            .map(|(&g, &r)| g + r)
+            .collect();
+        let sent = self.inner.compress(&acc);
+        // residual = acc - decompress(sent)
+        let sent_dense = sent.to_dense();
+        for ((r, &a), &s) in self.residual.iter_mut().zip(&acc).zip(&sent_dense) {
+            *r = a - s;
+        }
+        sent
+    }
+
+    /// Current residual (for tests / diagnostics).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+
+    /// L2 norm of the residual — a convergence health metric.
+    pub fn residual_norm(&self) -> f64 {
+        self.residual
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsify::TopK;
+    use lowdiff_util::DetRng;
+
+    #[test]
+    fn conservation_exact_for_topk() {
+        // Top-K decompression reproduces kept values exactly, so
+        // sent + residual == grad + old_residual must hold exactly.
+        let mut rng = DetRng::new(5);
+        let n = 500;
+        let mut ef = ErrorFeedback::new(TopK::new(0.05), n);
+        let mut prev_residual = vec![0.0f32; n];
+        for _ in 0..10 {
+            let g: Vec<f32> = (0..n).map(|_| rng.normal() as f32).collect();
+            let sent = ef.compress(&g).to_dense();
+            for i in 0..n {
+                let acc = g[i] + prev_residual[i];
+                assert_eq!(
+                    sent[i] + ef.residual()[i],
+                    acc,
+                    "mass not conserved at {i}"
+                );
+            }
+            prev_residual = ef.residual().to_vec();
+        }
+    }
+
+    #[test]
+    fn residual_zero_for_lossless() {
+        let mut ef = ErrorFeedback::new(TopK::new(1.0), 8);
+        ef.compress(&[1.0, -2.0, 3.0, 0.0, 5.0, -6.0, 7.0, 8.0]);
+        assert!(ef.residual().iter().all(|&r| r == 0.0));
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn dropped_coordinate_eventually_sent() {
+        // A small persistent component must accumulate until it beats the
+        // large transient ones — the core reason EF preserves convergence.
+        let n = 10;
+        let mut ef = ErrorFeedback::new(TopK::new(0.1), n); // k = 1
+        let mut sent_small = false;
+        for _ in 0..50 {
+            // index 0 has a big gradient; index 5 a small persistent one.
+            let mut g = vec![0.0f32; n];
+            g[0] = 1.0;
+            g[5] = 0.1;
+            let s = ef.compress(&g);
+            if s.as_sparse().unwrap().indices.contains(&5) {
+                sent_small = true;
+                break;
+            }
+        }
+        assert!(sent_small, "persistent small gradient was never transmitted");
+    }
+}

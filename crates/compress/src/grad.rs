@@ -1,0 +1,266 @@
+//! Compressed-gradient representations.
+//!
+//! [`SparseGrad`] is the workhorse: a sorted `(index, value)` list. Its
+//! `merge` operation (union-with-sum) is the "gradient accumulation"
+//! primitive behind LowDiff's *batched gradient writing* (§4.2): several
+//! differential checkpoints can be folded into one batch `C^B` before a
+//! single storage write.
+
+/// Sparse gradient: `k` surviving coordinates of a length-`dense_len`
+/// gradient. Indices are strictly increasing `u32` (models up to 4.3 B
+/// parameters — enough for GPT2-L's 762 M).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SparseGrad {
+    pub dense_len: usize,
+    pub indices: Vec<u32>,
+    pub values: Vec<f32>,
+}
+
+impl SparseGrad {
+    /// Build, validating the invariants (sorted, unique, in range).
+    pub fn new(dense_len: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dense_len, "index {last} out of range");
+        }
+        Self {
+            dense_len,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of stored coordinates (k).
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Wire/storage size: 4 bytes index + 4 bytes value per coordinate,
+    /// plus an 8-byte dense-length header.
+    pub fn payload_bytes(&self) -> usize {
+        8 + self.nnz() * 8
+    }
+
+    /// Expand into a dense vector (zeros elsewhere).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dense_len];
+        self.add_into(&mut out);
+        out
+    }
+
+    /// Accumulate into an existing dense buffer: `out[i] += v`.
+    pub fn add_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dense_len, "dense buffer length mismatch");
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] += v;
+        }
+    }
+
+    /// Union-with-sum merge of two sparse gradients over the same dense
+    /// space. This is the "tensor addition" accumulation of §4.2's batched
+    /// writes; exact for *delta* differentials (deltas are additive), lossy
+    /// for Adam gradient replay (documented in DESIGN.md).
+    pub fn merge(&self, other: &SparseGrad) -> SparseGrad {
+        assert_eq!(self.dense_len, other.dense_len, "dense_len mismatch");
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.nnz() && b < other.nnz() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => {
+                    indices.push(self.indices[a]);
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    indices.push(other.indices[b]);
+                    values.push(other.values[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    indices.push(self.indices[a]);
+                    values.push(self.values[a] + other.values[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        indices.extend_from_slice(&self.indices[a..]);
+        values.extend_from_slice(&self.values[a..]);
+        indices.extend_from_slice(&other.indices[b..]);
+        values.extend_from_slice(&other.values[b..]);
+        SparseGrad {
+            dense_len: self.dense_len,
+            indices,
+            values,
+        }
+    }
+
+    /// Merge a sequence of sparse gradients (left fold).
+    pub fn merge_all<'a, I: IntoIterator<Item = &'a SparseGrad>>(
+        dense_len: usize,
+        grads: I,
+    ) -> SparseGrad {
+        let mut acc = SparseGrad {
+            dense_len,
+            indices: Vec::new(),
+            values: Vec::new(),
+        };
+        for g in grads {
+            acc = acc.merge(g);
+        }
+        acc
+    }
+}
+
+/// Linearly quantized gradient: `value ≈ scale · (q − zero)` per element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantGrad {
+    pub dense_len: usize,
+    /// Bits per element (8 or 4).
+    pub bits: u8,
+    /// Packed codes; 4-bit codes are packed two per byte, low nibble first.
+    pub codes: Vec<u8>,
+    pub scale: f32,
+    pub zero: f32,
+}
+
+impl QuantGrad {
+    /// Storage size: packed codes + 16-byte header (len, bits, scale, zero).
+    pub fn payload_bytes(&self) -> usize {
+        16 + self.codes.len()
+    }
+}
+
+/// A compressed gradient in any representation, plus the escape hatch of an
+/// uncompressed dense gradient (the LowDiff+ non-compression scenario).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompressedGrad {
+    Sparse(SparseGrad),
+    Quant(QuantGrad),
+    Dense(Vec<f32>),
+}
+
+impl CompressedGrad {
+    /// Expand back to a dense gradient.
+    pub fn to_dense(&self) -> Vec<f32> {
+        match self {
+            CompressedGrad::Sparse(s) => s.to_dense(),
+            CompressedGrad::Quant(q) => crate::quant::dequantize(q),
+            CompressedGrad::Dense(d) => d.clone(),
+        }
+    }
+
+    /// Length of the dense gradient this encodes.
+    pub fn dense_len(&self) -> usize {
+        match self {
+            CompressedGrad::Sparse(s) => s.dense_len,
+            CompressedGrad::Quant(q) => q.dense_len,
+            CompressedGrad::Dense(d) => d.len(),
+        }
+    }
+
+    /// Exact serialized size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            CompressedGrad::Sparse(s) => s.payload_bytes(),
+            CompressedGrad::Quant(q) => q.payload_bytes(),
+            CompressedGrad::Dense(d) => 8 + d.len() * 4,
+        }
+    }
+
+    /// Borrow as sparse, when the caller knows the representation.
+    pub fn as_sparse(&self) -> Option<&SparseGrad> {
+        match self {
+            CompressedGrad::Sparse(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sg(n: usize, pairs: &[(u32, f32)]) -> SparseGrad {
+        SparseGrad::new(
+            n,
+            pairs.iter().map(|p| p.0).collect(),
+            pairs.iter().map(|p| p.1).collect(),
+        )
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let g = sg(6, &[(1, 2.0), (4, -3.0)]);
+        assert_eq!(g.to_dense(), vec![0.0, 2.0, 0.0, 0.0, -3.0, 0.0]);
+        assert_eq!(g.nnz(), 2);
+    }
+
+    #[test]
+    fn add_into_accumulates() {
+        let g = sg(4, &[(0, 1.0), (3, 2.0)]);
+        let mut buf = vec![10.0f32; 4];
+        g.add_into(&mut buf);
+        assert_eq!(buf, vec![11.0, 10.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn merge_disjoint_and_overlapping() {
+        let a = sg(8, &[(0, 1.0), (4, 2.0)]);
+        let b = sg(8, &[(2, 5.0), (4, -1.0), (7, 3.0)]);
+        let m = a.merge(&b);
+        assert_eq!(m.indices, vec![0, 2, 4, 7]);
+        assert_eq!(m.values, vec![1.0, 5.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_equals_dense_sum() {
+        let a = sg(10, &[(1, 1.5), (3, -2.0), (9, 4.0)]);
+        let b = sg(10, &[(0, 0.5), (3, 2.0), (8, 1.0)]);
+        let m = a.merge(&b);
+        let dense_sum: Vec<f32> = a
+            .to_dense()
+            .iter()
+            .zip(b.to_dense())
+            .map(|(&x, y)| x + y)
+            .collect();
+        assert_eq!(m.to_dense(), dense_sum);
+    }
+
+    #[test]
+    fn merge_all_folds() {
+        let gs = vec![
+            sg(4, &[(0, 1.0)]),
+            sg(4, &[(1, 2.0)]),
+            sg(4, &[(0, 3.0), (3, 1.0)]),
+        ];
+        let m = SparseGrad::merge_all(4, &gs);
+        assert_eq!(m.to_dense(), vec![4.0, 2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let g = sg(100, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        assert_eq!(g.payload_bytes(), 8 + 3 * 8);
+        let d = CompressedGrad::Dense(vec![0.0; 100]);
+        assert_eq!(d.payload_bytes(), 8 + 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_index() {
+        sg(4, &[(4, 1.0)]);
+    }
+
+    #[test]
+    fn empty_sparse_is_fine() {
+        let g = sg(5, &[]);
+        assert_eq!(g.to_dense(), vec![0.0; 5]);
+        assert_eq!(g.merge(&g).nnz(), 0);
+    }
+}

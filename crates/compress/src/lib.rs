@@ -1,0 +1,45 @@
+//! # lowdiff-compress
+//!
+//! Gradient compression (§2.3 of the paper): the substrate whose outputs
+//! LowDiff *reuses* as differential checkpoints.
+//!
+//! Two families are implemented, matching the paper's taxonomy:
+//!
+//! * **Sparsification** — [`TopK`] (used in the paper's evaluation with
+//!   ρ = 0.01), [`RandomK`], and [`ThresholdK`]; all produce a
+//!   [`SparseGrad`] of `(index, value)` pairs.
+//! * **Quantization** — [`UniformQuant`] (8/4-bit linear), producing a
+//!   [`QuantGrad`].
+//!
+//! [`ErrorFeedback`] implements the standard residual-accumulation trick
+//! that keeps Top-K training convergent: whatever the compressor drops this
+//! iteration is added back into the next iteration's gradient.
+//!
+//! Size accounting (`payload_bytes`) is exact — the storage experiments
+//! (Exp. 7) and the transmission cost model read these numbers.
+
+pub mod error_feedback;
+pub mod grad;
+pub mod qsgd;
+pub mod quant;
+pub mod sparsify;
+
+pub use error_feedback::ErrorFeedback;
+pub use grad::{CompressedGrad, QuantGrad, SparseGrad};
+pub use qsgd::Qsgd;
+pub use quant::UniformQuant;
+pub use sparsify::{RandomK, ThresholdK, TopK};
+
+/// A gradient compressor: dense in, compressed out.
+///
+/// `compress` takes `&mut self` because some compressors are stateful
+/// (Random-K advances an RNG so successive iterations pick different
+/// coordinates — required for convergence).
+pub trait Compressor: Send {
+    /// Compress a dense gradient.
+    fn compress(&mut self, grad: &[f32]) -> CompressedGrad;
+    /// Nominal fraction of elements kept (ρ); 1.0 for quantizers.
+    fn ratio(&self) -> f64;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}

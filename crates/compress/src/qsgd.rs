@@ -1,0 +1,177 @@
+//! QSGD stochastic quantization (Alistarh et al., NeurIPS 2017) — the
+//! quantization family the paper cites alongside sparsification (§2.3).
+//!
+//! Each element is encoded as `sign · ‖g‖₂ · (ℓ/s)` where the level `ℓ` is
+//! *stochastically rounded* so the quantizer is **unbiased**:
+//! `E[decompress(compress(g))] = g`. Unbiasedness is what lets compressed
+//! training converge without error feedback, and it is property-tested.
+
+use crate::grad::{CompressedGrad, QuantGrad};
+use crate::Compressor;
+use lowdiff_util::DetRng;
+
+/// QSGD quantizer with `s` quantization levels (s = 2^bits − 1).
+///
+/// Encoding: the gradient's L2 norm is stored in `scale`; each element's
+/// code packs the level (0..=s). The sign rides in a second code plane:
+/// for the 8-bit variant we store `level` in the low 7 bits and the sign
+/// in the MSB, so `s ≤ 127`.
+#[derive(Debug)]
+pub struct Qsgd {
+    /// Quantization levels (≤ 127).
+    pub levels: u8,
+    rng: DetRng,
+}
+
+impl Qsgd {
+    pub fn new(levels: u8, seed: u64) -> Self {
+        assert!((1..=127).contains(&levels), "levels must be 1..=127");
+        Self {
+            levels,
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl Compressor for Qsgd {
+    fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
+        let n = grad.len();
+        let norm = (grad.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32;
+        let s = self.levels as f32;
+        let codes: Vec<u8> = if norm == 0.0 {
+            vec![0u8; n]
+        } else {
+            grad.iter()
+                .map(|&x| {
+                    let ratio = x.abs() / norm * s; // in [0, s]
+                    let floor = ratio.floor();
+                    let frac = ratio - floor;
+                    // Stochastic rounding: up with probability frac.
+                    let level =
+                        (floor as u32 + u32::from((self.rng.uniform() as f32) < frac)).min(self.levels as u32) as u8;
+                    let sign_bit = if x < 0.0 { 0x80 } else { 0x00 };
+                    sign_bit | level
+                })
+                .collect()
+        };
+        CompressedGrad::Quant(QuantGrad {
+            dense_len: n,
+            bits: 8,
+            codes,
+            // scale carries ‖g‖₂ / s so value = scale · level (signed).
+            scale: if norm == 0.0 { 0.0 } else { norm / s },
+            // zero == f32::NAN would poison; we flag QSGD by zero = MAX.
+            zero: f32::MAX,
+        })
+    }
+
+    fn ratio(&self) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "qsgd"
+    }
+}
+
+/// Decode a QSGD-encoded [`QuantGrad`] (recognized by `zero == f32::MAX`).
+pub fn dequantize_qsgd(q: &QuantGrad) -> Vec<f32> {
+    assert_eq!(q.bits, 8, "QSGD uses the 8-bit plane");
+    q.codes
+        .iter()
+        .map(|&c| {
+            let level = (c & 0x7F) as f32;
+            let sign = if c & 0x80 != 0 { -1.0 } else { 1.0 };
+            sign * q.scale * level
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(g: &CompressedGrad) -> Vec<f32> {
+        match g {
+            CompressedGrad::Quant(q) => dequantize_qsgd(q),
+            _ => panic!("expected quant"),
+        }
+    }
+
+    #[test]
+    fn zero_gradient_roundtrips() {
+        let mut q = Qsgd::new(64, 1);
+        let out = decode(&q.compress(&[0.0; 10]));
+        assert_eq!(out, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn signs_preserved() {
+        let mut q = Qsgd::new(127, 2);
+        let g = vec![3.0, -3.0, 1.0, -1.0];
+        let d = decode(&q.compress(&g));
+        for (a, b) in g.iter().zip(&d) {
+            assert!(a.signum() == b.signum() || *b == 0.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        // Average many stochastic encodings: must converge to the input.
+        let g = vec![0.7f32, -0.3, 0.05, -1.2, 0.0];
+        let mut q = Qsgd::new(8, 3);
+        let trials = 4000;
+        let mut acc = vec![0.0f64; g.len()];
+        for _ in 0..trials {
+            for (a, v) in acc.iter_mut().zip(decode(&q.compress(&g))) {
+                *a += v as f64;
+            }
+        }
+        for (i, (a, &want)) in acc.iter().zip(&g).enumerate() {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - want as f64).abs() < 0.02,
+                "element {i}: E[q] = {mean}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_one_level() {
+        let g: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let norm = (g.iter().map(|&x| x as f64 * x as f64).sum::<f64>()).sqrt() as f32;
+        let mut q = Qsgd::new(127, 4);
+        let d = decode(&q.compress(&g));
+        let step = norm / 127.0;
+        for (a, b) in g.iter().zip(&d) {
+            assert!((a - b).abs() <= step + 1e-5, "{a} vs {b} (step {step})");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = vec![0.5f32, -0.5, 0.25];
+        let a = Qsgd::new(16, 9).compress(&g);
+        let b = Qsgd::new(16, 9).compress(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generic_to_dense_dispatches_to_qsgd() {
+        // A QSGD gradient flowing through the generic CompressedGrad path
+        // (trainer, codec, recovery) must decode with QSGD semantics.
+        let g = vec![1.0f32, -2.0, 0.5];
+        let mut q = Qsgd::new(127, 8);
+        let c = q.compress(&g);
+        let via_enum = c.to_dense();
+        let direct = decode(&c);
+        assert_eq!(via_enum, direct);
+    }
+
+    #[test]
+    fn payload_is_one_byte_per_element() {
+        let mut q = Qsgd::new(64, 5);
+        let c = q.compress(&vec![1.0f32; 1000]);
+        assert_eq!(c.payload_bytes(), 16 + 1000);
+    }
+}

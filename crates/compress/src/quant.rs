@@ -1,0 +1,167 @@
+//! Uniform linear quantization (8- and 4-bit).
+//!
+//! `q = round((v − lo) / scale)`, `v̂ = lo + q · scale`. Simple min/max
+//! range quantizer — enough to exercise the "Quantization" branch of §2.3
+//! and to give the cost model a 4×/8× size point between Top-K and dense.
+
+use crate::grad::{CompressedGrad, QuantGrad};
+use crate::Compressor;
+
+/// Uniform quantizer with a fixed bit width.
+#[derive(Clone, Debug)]
+pub struct UniformQuant {
+    pub bits: u8,
+}
+
+impl UniformQuant {
+    pub fn new(bits: u8) -> Self {
+        assert!(bits == 8 || bits == 4, "supported widths: 8, 4 (got {bits})");
+        Self { bits }
+    }
+
+    fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+}
+
+impl Compressor for UniformQuant {
+    fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
+        let n = grad.len();
+        let lo = grad.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = grad.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let (lo, hi) = if n == 0 { (0.0, 0.0) } else { (lo, hi) };
+        let levels = self.levels() as f32;
+        let scale = if hi > lo { (hi - lo) / levels } else { 1.0 };
+
+        let quantize = |v: f32| -> u32 {
+            (((v - lo) / scale).round() as i64).clamp(0, self.levels() as i64) as u32
+        };
+
+        let codes = match self.bits {
+            8 => grad.iter().map(|&v| quantize(v) as u8).collect(),
+            4 => {
+                let mut packed = Vec::with_capacity(n.div_ceil(2));
+                let mut it = grad.iter();
+                while let Some(&a) = it.next() {
+                    let qa = quantize(a) as u8;
+                    let qb = it.next().map(|&b| quantize(b) as u8).unwrap_or(0);
+                    packed.push(qa | (qb << 4));
+                }
+                packed
+            }
+            _ => unreachable!(),
+        };
+
+        CompressedGrad::Quant(QuantGrad {
+            dense_len: n,
+            bits: self.bits,
+            codes,
+            scale,
+            zero: lo,
+        })
+    }
+
+    fn ratio(&self) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        match self.bits {
+            8 => "quant8",
+            _ => "quant4",
+        }
+    }
+}
+
+/// Reconstruct the dense gradient from a quantized one.
+///
+/// Dispatches on the encoding: `zero == f32::MAX` marks a QSGD record
+/// (sign+level planes), anything else is uniform linear quantization.
+pub fn dequantize(q: &QuantGrad) -> Vec<f32> {
+    if q.zero == f32::MAX {
+        return crate::qsgd::dequantize_qsgd(q);
+    }
+    let mut out = Vec::with_capacity(q.dense_len);
+    match q.bits {
+        8 => {
+            for &c in &q.codes {
+                out.push(q.zero + c as f32 * q.scale);
+            }
+        }
+        4 => {
+            for &byte in &q.codes {
+                out.push(q.zero + (byte & 0x0F) as f32 * q.scale);
+                if out.len() < q.dense_len {
+                    out.push(q.zero + (byte >> 4) as f32 * q.scale);
+                }
+            }
+        }
+        b => panic!("unsupported bit width {b}"),
+    }
+    out.truncate(q.dense_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdiff_util::DetRng;
+
+    #[test]
+    fn roundtrip_error_bounded_8bit() {
+        let mut rng = DetRng::new(1);
+        let g: Vec<f32> = (0..1000).map(|_| rng.normal() as f32).collect();
+        let mut q = UniformQuant::new(8);
+        let c = q.compress(&g);
+        let d = c.to_dense();
+        let range = g.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+            - g.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+        let step = range / 255.0;
+        for (a, b) in g.iter().zip(&d) {
+            assert!((a - b).abs() <= step * 0.5 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_4bit() {
+        let g: Vec<f32> = (0..100).map(|i| (i as f32) / 10.0).collect();
+        let mut q = UniformQuant::new(4);
+        let d = q.compress(&g).to_dense();
+        assert_eq!(d.len(), 100);
+        let step = (9.9 - 0.0) / 15.0;
+        for (a, b) in g.iter().zip(&d) {
+            assert!((a - b).abs() <= step * 0.5 + 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn odd_length_4bit() {
+        let g = vec![1.0, 2.0, 3.0];
+        let mut q = UniformQuant::new(4);
+        let d = q.compress(&g).to_dense();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn constant_input_exact() {
+        let g = vec![2.5f32; 17];
+        let mut q = UniformQuant::new(8);
+        let d = q.compress(&g).to_dense();
+        assert!(d.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let g = vec![0.0f32; 1000];
+        let c8 = UniformQuant::new(8).compress(&g);
+        let c4 = UniformQuant::new(4).compress(&g);
+        assert_eq!(c8.payload_bytes(), 16 + 1000);
+        assert_eq!(c4.payload_bytes(), 16 + 500);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut q = UniformQuant::new(8);
+        assert_eq!(q.compress(&[]).to_dense(), Vec::<f32>::new());
+    }
+}

@@ -1,0 +1,252 @@
+//! Sparsification compressors: Top-K, Random-K, Threshold.
+//!
+//! Top-K with ρ = 0.01 is the paper's default (§6.1). Selection uses
+//! `select_nth_unstable` on |value| — O(n) expected, no full sort — and
+//! deterministic tie-breaking by index so runs are replayable.
+
+use crate::grad::{CompressedGrad, SparseGrad};
+use crate::Compressor;
+use lowdiff_util::DetRng;
+
+/// Number of elements kept for a ratio over a dense length:
+/// `max(1, round(ρ·n))` (never zero, or training would stall).
+pub fn k_for_ratio(dense_len: usize, ratio: f64) -> usize {
+    assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} out of [0,1]");
+    if dense_len == 0 {
+        return 0;
+    }
+    ((dense_len as f64 * ratio).round() as usize).clamp(1, dense_len)
+}
+
+/// Keep the k elements of largest magnitude.
+///
+/// ```
+/// use lowdiff_compress::{Compressor, TopK};
+///
+/// let mut topk = TopK::new(0.5); // keep 50%
+/// let compressed = topk.compress(&[0.1, -5.0, 0.3, 4.0]);
+/// let sparse = compressed.as_sparse().unwrap();
+/// assert_eq!(sparse.indices, vec![1, 3]);   // the two largest |values|
+/// assert_eq!(sparse.values, vec![-5.0, 4.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopK {
+    pub ratio: f64,
+}
+
+impl TopK {
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "TopK ratio {ratio}");
+        Self { ratio }
+    }
+
+    /// Core selection, exposed for tests: returns sorted indices of the k
+    /// largest-|v| entries, ties broken toward lower index.
+    pub fn select(grad: &[f32], k: usize) -> Vec<u32> {
+        let n = grad.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == n {
+            return (0..n as u32).collect();
+        }
+        // Partial selection on (|v|, index) pairs; order: bigger |v| first,
+        // then smaller index first (deterministic).
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let cmp = |&a: &u32, &b: &u32| {
+            let (va, vb) = (grad[a as usize].abs(), grad[b as usize].abs());
+            vb.partial_cmp(&va)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        };
+        idx.select_nth_unstable_by(k - 1, cmp);
+        let mut kept = idx[..k].to_vec();
+        kept.sort_unstable();
+        kept
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
+        let k = k_for_ratio(grad.len(), self.ratio);
+        let indices = Self::select(grad, k);
+        let values = indices.iter().map(|&i| grad[i as usize]).collect();
+        CompressedGrad::Sparse(SparseGrad::new(grad.len(), indices, values))
+    }
+
+    fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+}
+
+/// Keep k uniformly random elements (fresh coordinates each call).
+#[derive(Debug)]
+pub struct RandomK {
+    pub ratio: f64,
+    rng: DetRng,
+}
+
+impl RandomK {
+    pub fn new(ratio: f64, seed: u64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "RandomK ratio {ratio}");
+        Self {
+            ratio,
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl Compressor for RandomK {
+    fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
+        let k = k_for_ratio(grad.len(), self.ratio);
+        let indices = self.rng.sample_indices(grad.len(), k);
+        let values = indices.iter().map(|&i| grad[i as usize]).collect();
+        CompressedGrad::Sparse(SparseGrad::new(grad.len(), indices, values))
+    }
+
+    fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    fn name(&self) -> &'static str {
+        "randomk"
+    }
+}
+
+/// Keep every element with `|v| ≥ threshold`. Size is data-dependent; the
+/// nominal `ratio()` reports 1.0 because no fixed k is guaranteed.
+#[derive(Clone, Debug)]
+pub struct ThresholdK {
+    pub threshold: f32,
+}
+
+impl ThresholdK {
+    pub fn new(threshold: f32) -> Self {
+        assert!(threshold >= 0.0, "negative threshold");
+        Self { threshold }
+    }
+}
+
+impl Compressor for ThresholdK {
+    fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in grad.iter().enumerate() {
+            if v.abs() >= self.threshold {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        CompressedGrad::Sparse(SparseGrad::new(grad.len(), indices, values))
+    }
+
+    fn ratio(&self) -> f64 {
+        1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_for_ratio_bounds() {
+        assert_eq!(k_for_ratio(1000, 0.01), 10);
+        assert_eq!(k_for_ratio(1000, 1.0), 1000);
+        assert_eq!(k_for_ratio(10, 0.001), 1, "k must never be 0");
+        assert_eq!(k_for_ratio(0, 0.5), 0);
+    }
+
+    #[test]
+    fn topk_picks_true_top() {
+        let g = vec![0.1, -5.0, 0.3, 4.0, -0.2, 2.0];
+        let mut c = TopK::new(0.5); // k = 3
+        let out = c.compress(&g);
+        let s = out.as_sparse().unwrap();
+        assert_eq!(s.indices, vec![1, 3, 5]);
+        assert_eq!(s.values, vec![-5.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn topk_tie_break_is_deterministic() {
+        let g = vec![1.0f32; 8];
+        let a = TopK::select(&g, 3);
+        let b = TopK::select(&g, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 1, 2], "ties must prefer lower indices");
+    }
+
+    #[test]
+    fn topk_magnitudes_dominate_dropped() {
+        let mut rng = DetRng::new(77);
+        let g: Vec<f32> = (0..5000).map(|_| rng.normal() as f32).collect();
+        let kept = TopK::select(&g, 50);
+        let min_kept = kept
+            .iter()
+            .map(|&i| g[i as usize].abs())
+            .fold(f32::INFINITY, f32::min);
+        let kept_set: std::collections::HashSet<u32> = kept.iter().copied().collect();
+        let max_dropped = g
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !kept_set.contains(&(*i as u32)))
+            .map(|(_, v)| v.abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            min_kept >= max_dropped,
+            "kept {min_kept} < dropped {max_dropped}"
+        );
+    }
+
+    #[test]
+    fn topk_decompress_is_projection() {
+        // compress(decompress(compress(g))) keeps the same support.
+        let g = vec![0.5, -2.0, 0.1, 3.0];
+        let mut c = TopK::new(0.5);
+        let once = c.compress(&g);
+        let twice = c.compress(&once.to_dense());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn randomk_different_each_call_same_across_seeds() {
+        let g = vec![1.0f32; 1000];
+        let mut c1 = RandomK::new(0.05, 42);
+        let mut c2 = RandomK::new(0.05, 42);
+        let a1 = c1.compress(&g);
+        let a2 = c1.compress(&g);
+        let b1 = c2.compress(&g);
+        assert_eq!(a1, b1, "same seed must replay identically");
+        assert_ne!(
+            a1.as_sparse().unwrap().indices,
+            a2.as_sparse().unwrap().indices,
+            "successive calls should sample fresh coordinates"
+        );
+        assert_eq!(a1.as_sparse().unwrap().nnz(), 50);
+    }
+
+    #[test]
+    fn threshold_keeps_only_large() {
+        let g = vec![0.1, -0.5, 0.9, -0.05];
+        let mut c = ThresholdK::new(0.5);
+        let s = c.compress(&g);
+        let s = s.as_sparse().unwrap();
+        assert_eq!(s.indices, vec![1, 2]);
+    }
+
+    #[test]
+    fn ratio_one_is_lossless() {
+        let g = vec![1.0, -2.0, 0.0, 4.0];
+        let mut c = TopK::new(1.0);
+        assert_eq!(c.compress(&g).to_dense(), g);
+    }
+}

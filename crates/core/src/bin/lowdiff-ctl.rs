@@ -1,0 +1,202 @@
+//! `lowdiff-ctl` — inspect and operate on a LowDiff checkpoint directory.
+//!
+//! ```text
+//! lowdiff-ctl list <dir>                 list checkpoints and chains
+//! lowdiff-ctl validate <dir>             CRC-check every blob
+//! lowdiff-ctl recover <dir> [--shards N] [--out FILE]
+//!                                        restore the newest state
+//! lowdiff-ctl gc <dir> --keep-from ITER  delete older checkpoints
+//! ```
+
+use lowdiff::recovery::{recover_serial, recover_sharded};
+use lowdiff_optim::Adam;
+use lowdiff_storage::{codec, CheckpointStore, DiskBackend};
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  lowdiff-ctl list <dir>\n  lowdiff-ctl validate <dir>\n  \
+         lowdiff-ctl recover <dir> [--shards N] [--out FILE]\n  \
+         lowdiff-ctl gc <dir> --keep-from ITER"
+    );
+    exit(2);
+}
+
+fn open(dir: &str) -> CheckpointStore {
+    match DiskBackend::new(dir) {
+        Ok(b) => CheckpointStore::new(Arc::new(b)),
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn fmt_bytes(n: usize) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2} GB", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1} MB", n as f64 / 1e6)
+    } else {
+        format!("{:.1} KB", n as f64 / 1e3)
+    }
+}
+
+fn cmd_list(dir: &str) {
+    let store = open(dir);
+    let fulls = store.full_iterations().expect("list fulls");
+    println!("full checkpoints ({}):", fulls.len());
+    for it in &fulls {
+        let key = format!("full-{it:010}.ckpt");
+        let size = store.backend().get(&key).map(|b| b.len()).unwrap_or(0);
+        let valid = store.load_full(*it).is_ok();
+        println!(
+            "  iter {:>8}  {:>10}  {}",
+            it,
+            fmt_bytes(size),
+            if valid { "ok" } else { "CORRUPT" }
+        );
+    }
+    let diffs = store.diff_keys().expect("list diffs");
+    println!("differential batches ({}):", diffs.len());
+    for dk in &diffs {
+        let bytes = store.backend().get(&dk.key).map(|b| b.len()).unwrap_or(0);
+        let valid = store
+            .backend()
+            .get(&dk.key)
+            .ok()
+            .map(|b| codec::decode_diff_batch(&b).is_ok())
+            .unwrap_or(false);
+        println!(
+            "  iters {:>8}..={:<8}  {:>10}  {}",
+            dk.start,
+            dk.end,
+            fmt_bytes(bytes),
+            if valid { "ok" } else { "CORRUPT" }
+        );
+    }
+    if let Some(latest) = fulls.last() {
+        let chain = store.diff_chain_from(*latest).expect("chain");
+        println!(
+            "recoverable to iteration {} (full@{} + {} differentials)",
+            latest + chain.len() as u64,
+            latest,
+            chain.len()
+        );
+    } else {
+        println!("no full checkpoint: nothing recoverable");
+    }
+}
+
+fn cmd_validate(dir: &str) {
+    let store = open(dir);
+    let mut bad = 0usize;
+    let mut total = 0usize;
+    for key in store.backend().list().expect("list blobs") {
+        total += 1;
+        let Ok(bytes) = store.backend().get(&key) else {
+            println!("UNREADABLE  {key}");
+            bad += 1;
+            continue;
+        };
+        let ok = if key.starts_with("full-") {
+            codec::decode_model_state(&bytes).is_ok()
+        } else if key.starts_with("diff-") {
+            codec::decode_diff_batch(&bytes).is_ok()
+        } else {
+            true // foreign blob: not ours to judge
+        };
+        if !ok {
+            println!("CORRUPT     {key}");
+            bad += 1;
+        }
+    }
+    println!("{} blobs checked, {} corrupt", total, bad);
+    if bad > 0 {
+        exit(1);
+    }
+}
+
+fn cmd_recover(dir: &str, shards: usize, out: Option<&str>) {
+    let store = open(dir);
+    let adam = Adam::default();
+    let result = if shards <= 1 {
+        recover_serial(&store, &adam)
+    } else {
+        recover_sharded(&store, &adam, shards)
+    };
+    match result {
+        Ok(Some((state, report))) => {
+            println!(
+                "recovered to iteration {} (full@{} + {} differentials, {} mode, {:?})",
+                state.iteration, report.full_iteration, report.replayed, report.mode,
+                report.elapsed
+            );
+            if let Some(path) = out {
+                let bytes = codec::encode_model_state(&state);
+                std::fs::write(path, &bytes).expect("write output");
+                println!("wrote {} to {path}", fmt_bytes(bytes.len()));
+            }
+        }
+        Ok(None) => {
+            eprintln!("no valid checkpoint found in {dir}");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("recovery failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_gc(dir: &str, keep_from: u64) {
+    let store = open(dir);
+    let removed = store.gc_before(keep_from).expect("gc");
+    println!("removed {removed} blobs older than iteration {keep_from}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("list") => cmd_list(args.get(2).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("validate") => {
+            cmd_validate(args.get(2).map(String::as_str).unwrap_or_else(|| usage()))
+        }
+        Some("recover") => {
+            let dir = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let mut shards = 1usize;
+            let mut out = None;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--shards" => {
+                        shards = args
+                            .get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
+                    "--out" => {
+                        out = Some(args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage()));
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            cmd_recover(dir, shards, out);
+        }
+        Some("gc") => {
+            let dir = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            if args.get(3).map(String::as_str) != Some("--keep-from") {
+                usage();
+            }
+            let keep: u64 = args
+                .get(4)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            cmd_gc(dir, keep);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,38 @@
+//! # lowdiff — the paper's core contribution
+//!
+//! An efficient frequent-checkpointing framework that **reuses compressed
+//! gradients as differential checkpoints** (SC 2025). The pieces map to the
+//! paper one-to-one:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Reusing Queue + zero-copy IPC (§4.1) | [`queue::ReusingQueue`] |
+//! | Algorithm 1 (training/checkpointing/recovery) | [`strategy`], [`lowdiff::LowDiffStrategy`], [`recovery`] |
+//! | Batched gradient writing, steps ①②③ (§4.2) | [`batched::BatchedWriter`] |
+//! | Optimal configuration, Eq. (3)–(5) (§4.3) | [`config`] |
+//! | Parallel recovery (§6, Fig. "Parallel Fast Recovery") | [`recovery`] |
+//! | LowDiff+ / Algorithm 2 (§5) | [`lowdiff_plus::LowDiffPlusStrategy`] |
+//!
+//! The [`trainer::Trainer`] drives real model training with a pluggable
+//! [`strategy::CheckpointStrategy`]; the baselines crate implements
+//! CheckFreq/Gemini/Naïve-DC against the same trait so every comparison in
+//! the experiments is apples-to-apples.
+
+pub mod batched;
+pub mod config;
+pub mod lowdiff;
+pub mod lowdiff_plus;
+pub mod pipeline;
+pub mod queue;
+pub mod recovery;
+pub mod strategy;
+pub mod trainer;
+
+pub use batched::{BatchMode, BatchedWriter};
+pub use config::{ConfigOptimizer, WastedTimeModel};
+pub use lowdiff::{LowDiffConfig, LowDiffStrategy};
+pub use lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
+pub use queue::ReusingQueue;
+pub use recovery::{recover_serial, recover_sharded, RecoveryReport};
+pub use strategy::{CheckpointStrategy, NoCheckpoint, StrategyStats};
+pub use trainer::{Trainer, TrainerConfig, TrainerReport};

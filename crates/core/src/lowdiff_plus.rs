@@ -1,0 +1,378 @@
+//! [`LowDiffPlusStrategy`] — Algorithm 2: gradient reuse *without*
+//! compression (§5).
+//!
+//! Three mechanisms, matching the paper's design:
+//!
+//! * **Layer-wise reuse & snapshotting** — each layer's gradient is copied
+//!   to host memory the moment the backward pass produces it, and the
+//!   placement into the staging buffer runs on a snapshot thread pool
+//!   (`P_s`), overlapping with the remainder of backpropagation.
+//! * **CPU-resident model replica** — the checkpointing thread owns a full
+//!   `M^C` copy of the model state and applies Adam to it with the reused
+//!   gradients, keeping an always-up-to-date *in-memory checkpoint*
+//!   (per-iteration frequency, Exp. 4's LowDiff+(S)).
+//! * **Asynchronous persistence** — every `persist_every` iterations the
+//!   replica is written to storage as a plain full checkpoint, off the
+//!   training thread's critical path (LowDiff+(P)). No differential blobs
+//!   are ever written: gradients are *fused* into the replica instead
+//!   (the §5.2 write-volume argument).
+//!
+//! Failure model (§5.3): a **software** failure leaves the checkpointing
+//! thread's memory intact → recover instantly from the replica
+//! ([`LowDiffPlusStrategy::recover_software`]); a **hardware** failure
+//! loses host memory → recover from the last persisted full checkpoint
+//! ([`LowDiffPlusStrategy::recover_hardware`]).
+
+use crate::strategy::{CheckpointStrategy, StrategyStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lowdiff_comm::SyncPool;
+use lowdiff_optim::{Adam, ModelState};
+use lowdiff_storage::CheckpointStore;
+use lowdiff_util::units::Secs;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for [`LowDiffPlusStrategy`].
+#[derive(Clone, Debug)]
+pub struct LowDiffPlusConfig {
+    /// Persist the CPU replica to storage every this many iterations.
+    pub persist_every: u64,
+    /// Snapshot thread-pool size (`P_s`).
+    pub snapshot_threads: usize,
+}
+
+impl Default for LowDiffPlusConfig {
+    fn default() -> Self {
+        Self {
+            persist_every: 10,
+            snapshot_threads: 4,
+        }
+    }
+}
+
+enum Ctl {
+    /// A complete staged gradient for one iteration.
+    Grad(u64, Vec<f32>),
+    Flush(Sender<()>),
+}
+
+/// LowDiff+ checkpointing strategy.
+pub struct LowDiffPlusStrategy {
+    cfg: LowDiffPlusConfig,
+    psi: usize,
+    /// Host-memory staging buffer the snapshot pool writes into.
+    staging: Arc<Mutex<Vec<f32>>>,
+    pool: SyncPool,
+    ctl_tx: Option<Sender<Ctl>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    /// The CPU-resident replica `M^C` (shared with the worker).
+    replica: Arc<Mutex<ModelState>>,
+    shared: Arc<Mutex<StrategyStats>>,
+    stall: Secs,
+    store: Arc<CheckpointStore>,
+}
+
+impl LowDiffPlusStrategy {
+    /// `initial` must equal the training-side model state at attach time
+    /// (the paper initializes `M^C` with a deep copy of the GPU model).
+    pub fn new(store: Arc<CheckpointStore>, cfg: LowDiffPlusConfig, initial: ModelState) -> Self {
+        assert!(cfg.persist_every >= 1);
+        let psi = initial.num_params();
+        let staging = Arc::new(Mutex::new(vec![0.0f32; psi]));
+        let replica = Arc::new(Mutex::new(initial));
+        let shared = Arc::new(Mutex::new(StrategyStats::default()));
+        let (ctl_tx, ctl_rx) = unbounded();
+        let worker = {
+            let store = Arc::clone(&store);
+            let replica = Arc::clone(&replica);
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("lowdiff-plus-ckpt".into())
+                .spawn(move || replica_loop(store, replica, ctl_rx, cfg, shared))
+                .expect("spawn replica thread")
+        };
+        Self {
+            pool: SyncPool::new(cfg.snapshot_threads),
+            cfg,
+            psi,
+            staging,
+            ctl_tx: Some(ctl_tx),
+            worker: Some(worker),
+            replica,
+            shared,
+            stall: Secs::ZERO,
+            store,
+        }
+    }
+
+    pub fn config(&self) -> &LowDiffPlusConfig {
+        &self.cfg
+    }
+
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// Software-failure recovery: the checkpointing side survived, so the
+    /// in-memory replica *is* the checkpoint. O(copy), no storage I/O.
+    pub fn recover_software(&self) -> ModelState {
+        self.replica.lock().clone()
+    }
+
+    /// Hardware-failure recovery: host memory is gone; reload the newest
+    /// valid persisted full checkpoint.
+    pub fn recover_hardware(store: &CheckpointStore) -> std::io::Result<Option<ModelState>> {
+        store.latest_valid_full()
+    }
+
+    /// Iteration the in-memory replica has reached (for tests/metrics).
+    pub fn replica_iteration(&self) -> u64 {
+        self.replica.lock().iteration
+    }
+}
+
+/// The checkpointing process of Algorithm 2 (lines 8–13): apply reused
+/// gradients to the CPU replica, persist it periodically.
+fn replica_loop(
+    store: Arc<CheckpointStore>,
+    replica: Arc<Mutex<ModelState>>,
+    ctl_rx: Receiver<Ctl>,
+    cfg: LowDiffPlusConfig,
+    shared: Arc<Mutex<StrategyStats>>,
+) {
+    let adam = Adam::default();
+    for msg in ctl_rx.iter() {
+        match msg {
+            Ctl::Grad(iter, grad) => {
+                let mut m_c = replica.lock();
+                debug_assert_eq!(m_c.iteration, iter, "replica fell out of step");
+                m_c.apply_gradient(&adam, &grad); // update in CPU (line 12)
+                let reached = m_c.iteration;
+                let persist = reached.is_multiple_of(cfg.persist_every);
+                let snapshot = persist.then(|| m_c.clone());
+                drop(m_c); // never hold the replica lock across storage I/O
+                {
+                    let mut s = shared.lock();
+                    s.diff_checkpoints += 1; // one in-memory ckpt per iter
+                }
+                if let Some(state) = snapshot {
+                    store.save_full(&state).expect("persist failed");
+                    let mut s = shared.lock();
+                    s.full_checkpoints += 1;
+                    s.writes += 1;
+                    s.bytes_written += state.payload_bytes() as u64;
+                }
+            }
+            Ctl::Flush(ack) => {
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+impl LowDiffPlusStrategy {
+    /// Adam instance the replica loop uses; must match the trainer's. The
+    /// default is hard-wired for now — exposed for documentation purposes.
+    pub fn replica_adam() -> Adam {
+        Adam::default()
+    }
+}
+
+impl CheckpointStrategy for LowDiffPlusStrategy {
+    fn name(&self) -> &'static str {
+        "lowdiff+"
+    }
+
+    fn on_layer_gradient(
+        &mut self,
+        _iteration: u64,
+        _layer: usize,
+        range: Range<usize>,
+        grad: &[f32],
+    ) -> Secs {
+        let t0 = Instant::now();
+        // Own the layer gradient (the D2H copy), then let the snapshot
+        // pool place it into the staging buffer concurrently with the
+        // rest of backpropagation.
+        let owned = grad.to_vec();
+        let staging = Arc::clone(&self.staging);
+        self.pool.execute(move || {
+            let mut buf = staging.lock();
+            buf[range].copy_from_slice(&owned);
+        });
+        let stall = Secs(t0.elapsed().as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    fn on_synced_gradient(
+        &mut self,
+        iteration: u64,
+        _grad: &Arc<lowdiff_compress::CompressedGrad>,
+    ) -> Secs {
+        let t0 = Instant::now();
+        // H_s.wait(): all layer snapshots of this iteration must be staged.
+        self.pool.wait();
+        // Hand the complete gradient to the replica thread and reset the
+        // staging buffer for the next iteration.
+        let grad = {
+            let mut buf = self.staging.lock();
+            std::mem::replace(&mut *buf, vec![0.0f32; self.psi])
+        };
+        self.ctl_tx
+            .as_ref()
+            .expect("strategy already shut down")
+            .send(Ctl::Grad(iteration, grad))
+            .expect("replica thread died");
+        let stall = Secs(t0.elapsed().as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    fn flush(&mut self) -> Secs {
+        let t0 = Instant::now();
+        self.pool.wait();
+        let (ack_tx, ack_rx) = unbounded();
+        self.ctl_tx
+            .as_ref()
+            .expect("strategy already shut down")
+            .send(Ctl::Flush(ack_tx))
+            .expect("replica thread died");
+        ack_rx.recv().expect("flush ack lost");
+        let stall = Secs(t0.elapsed().as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    fn stats(&self) -> StrategyStats {
+        let mut s = self.shared.lock().clone();
+        s.stall = self.stall;
+        s
+    }
+}
+
+impl Drop for LowDiffPlusStrategy {
+    fn drop(&mut self) {
+        self.pool.wait();
+        self.ctl_tx.take(); // closes the channel; worker drains and exits
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{Trainer, TrainerConfig};
+    use lowdiff_model::builders::mlp;
+    use lowdiff_model::data::Regression;
+    use lowdiff_model::loss::mse;
+    use lowdiff_model::Network;
+    use lowdiff_storage::MemoryBackend;
+    use lowdiff_util::DetRng;
+
+    fn store() -> Arc<CheckpointStore> {
+        Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())))
+    }
+
+    fn step_fn(seed: u64) -> impl FnMut(&mut Network, u64) -> (f64, lowdiff_tensor::Tensor) {
+        let task = Regression::new(5, 2, 99);
+        let mut rng = DetRng::new(seed);
+        move |net, _| {
+            let (x, y) = task.batch(&mut rng, 8);
+            let pred = net.forward(&x);
+            mse(&pred, &y)
+        }
+    }
+
+    fn make_trainer(
+        st: Arc<CheckpointStore>,
+        persist_every: u64,
+    ) -> Trainer<LowDiffPlusStrategy> {
+        let net = mlp(&[5, 16, 2], 21);
+        let initial = ModelState::new(net.params_flat());
+        let strat = LowDiffPlusStrategy::new(
+            st,
+            LowDiffPlusConfig {
+                persist_every,
+                snapshot_threads: 3,
+            },
+            initial,
+        );
+        Trainer::new(
+            net,
+            Adam::default(),
+            strat,
+            // LowDiff+ is the non-compression scenario.
+            TrainerConfig {
+                compress_ratio: None,
+                error_feedback: false,
+            },
+        )
+    }
+
+    #[test]
+    fn replica_tracks_training_state_exactly() {
+        let st = store();
+        let mut tr = make_trainer(Arc::clone(&st), 5);
+        tr.run(12, step_fn(1));
+        let live = tr.state().clone();
+        // In-memory checkpoint == live state (software-failure recovery).
+        let replica = tr.strategy().recover_software();
+        assert_eq!(replica.iteration, live.iteration);
+        assert_eq!(replica.params, live.params, "replica drifted from GPU state");
+        assert_eq!(replica.opt.m, live.opt.m);
+        assert_eq!(replica.opt.v, live.opt.v);
+    }
+
+    #[test]
+    fn software_recovery_is_instant_and_exact_mid_run() {
+        let st = store();
+        let mut tr = make_trainer(Arc::clone(&st), 100); // rarely persists
+        tr.run(7, step_fn(2));
+        let live = tr.state().clone();
+        let rec = tr.strategy().recover_software();
+        assert_eq!(rec.iteration, 7);
+        assert_eq!(rec.params, live.params);
+    }
+
+    #[test]
+    fn hardware_recovery_uses_persisted_fulls() {
+        let st = store();
+        let mut tr = make_trainer(Arc::clone(&st), 4);
+        tr.run(10, step_fn(3));
+        drop(tr); // hardware failure: replica memory gone
+        let rec = LowDiffPlusStrategy::recover_hardware(&st).unwrap().unwrap();
+        // Persists happened at replica iterations 4 and 8.
+        assert_eq!(rec.iteration, 8);
+        assert_eq!(st.full_iterations().unwrap(), vec![4, 8]);
+    }
+
+    #[test]
+    fn no_differential_blobs_are_written() {
+        // §5.2: gradients are fused into the replica, never persisted
+        // separately.
+        let st = store();
+        let mut tr = make_trainer(Arc::clone(&st), 3);
+        tr.run(9, step_fn(4));
+        drop(tr);
+        assert!(st.diff_keys().unwrap().is_empty());
+        assert_eq!(st.full_iterations().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn in_memory_checkpoint_frequency_is_per_iteration() {
+        let st = store();
+        let mut tr = make_trainer(Arc::clone(&st), 1000);
+        let report = tr.run(15, step_fn(5));
+        assert_eq!(
+            report.stats.diff_checkpoints, 15,
+            "one in-memory checkpoint per iteration"
+        );
+        assert_eq!(tr.strategy().replica_iteration(), 15);
+    }
+}

@@ -1,0 +1,295 @@
+//! [`ReusingQueue`] — the compressed-gradient reusing queue of §4.1.
+//!
+//! Design requirements from the paper:
+//!
+//! 1. **Sequential order** — differential checkpoints must capture model
+//!    state changes in iteration order; FIFO delivery provides it.
+//! 2. **Low-overhead transmission** — the paper shares CUDA memory handles
+//!    across processes (zero-copy via `torch.multiprocessing.Queue`). Here
+//!    training and checkpointing are threads, and the queue carries
+//!    `Arc<T>` handles: enqueue/dequeue moves a pointer-sized refcount, the
+//!    gradient payload itself is never copied (asserted by pointer-equality
+//!    tests).
+//!
+//! The queue is bounded: a checkpointing thread that cannot keep up
+//! exercises backpressure instead of exhausting memory — the condition the
+//! batched-writing optimization of §4.2 exists to relieve.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An item tagged with the training iteration that produced it.
+#[derive(Clone, Debug)]
+pub struct Tagged<T> {
+    pub iteration: u64,
+    pub handle: Arc<T>,
+}
+
+struct Stats {
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    /// Number of `put` calls that had to block on a full queue.
+    backpressure_events: AtomicU64,
+}
+
+/// Bounded FIFO of `Arc` handles between the training and checkpointing
+/// threads.
+///
+/// ```
+/// use lowdiff::queue::ReusingQueue;
+/// use std::sync::Arc;
+///
+/// let queue: ReusingQueue<Vec<f32>> = ReusingQueue::new(8);
+/// let (producer, consumer) = queue.split();
+/// let gradient = Arc::new(vec![0.5; 1024]);
+/// producer.put(0, Arc::clone(&gradient)).unwrap();   // zero-copy: a handle moves
+/// let item = consumer.get().unwrap();
+/// assert!(Arc::ptr_eq(&item.handle, &gradient));      // same allocation
+/// ```
+pub struct ReusingQueue<T> {
+    tx: Sender<Tagged<T>>,
+    rx: Receiver<Tagged<T>>,
+    stats: Arc<Stats>,
+    capacity: usize,
+}
+
+impl<T: Send> ReusingQueue<T> {
+    /// Create a queue holding at most `capacity` in-flight gradients.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue needs capacity >= 1");
+        let (tx, rx) = bounded(capacity);
+        Self {
+            tx,
+            rx,
+            stats: Arc::new(Stats {
+                enqueued: AtomicU64::new(0),
+                dequeued: AtomicU64::new(0),
+                backpressure_events: AtomicU64::new(0),
+            }),
+            capacity,
+        }
+    }
+
+    /// Split into the producer and consumer halves (training side /
+    /// checkpointing side). The queue itself can also be used directly.
+    pub fn split(self) -> (Producer<T>, Consumer<T>) {
+        (
+            Producer {
+                tx: self.tx,
+                stats: Arc::clone(&self.stats),
+            },
+            Consumer {
+                rx: self.rx,
+                stats: self.stats,
+            },
+        )
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Training-side handle: `Q.put` (Algorithm 1, line 6).
+pub struct Producer<T> {
+    tx: Sender<Tagged<T>>,
+    stats: Arc<Stats>,
+}
+
+impl<T: Send> Producer<T> {
+    /// Enqueue a gradient handle, blocking if the queue is full
+    /// (backpressure). Returns `Err` only if the consumer is gone.
+    pub fn put(&self, iteration: u64, handle: Arc<T>) -> Result<(), Arc<T>> {
+        let item = Tagged { iteration, handle };
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(item)) => {
+                self.stats.backpressure_events.fetch_add(1, Ordering::Relaxed);
+                match self.tx.send(item) {
+                    Ok(()) => {
+                        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(e) => Err(e.into_inner().handle),
+                }
+            }
+            Err(TrySendError::Disconnected(item)) => Err(item.handle),
+        }
+    }
+
+    /// Times `put` had to block on a full queue.
+    pub fn backpressure_events(&self) -> u64 {
+        self.stats.backpressure_events.load(Ordering::Relaxed)
+    }
+
+    pub fn enqueued(&self) -> u64 {
+        self.stats.enqueued.load(Ordering::Relaxed)
+    }
+}
+
+/// Checkpointing-side handle: `Q.get` (Algorithm 1, line 11).
+pub struct Consumer<T> {
+    rx: Receiver<Tagged<T>>,
+    stats: Arc<Stats>,
+}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeue the next gradient, blocking until one arrives. `None` when
+    /// the producer is gone and the queue drained (clean shutdown).
+    pub fn get(&self) -> Option<Tagged<T>> {
+        match self.rx.recv() {
+            Ok(item) => {
+                self.stats.dequeued.fetch_add(1, Ordering::Relaxed);
+                Some(item)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Dequeue with a timeout; `Ok(None)` = timed out, `Err(())` = closed.
+    #[allow(clippy::result_unit_err)]
+    pub fn get_timeout(&self, d: Duration) -> Result<Option<Tagged<T>>, ()> {
+        match self.rx.recv_timeout(d) {
+            Ok(item) => {
+                self.stats.dequeued.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(item))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(()),
+        }
+    }
+
+    pub fn dequeued(&self) -> u64 {
+        self.stats.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Items currently in flight.
+    pub fn depth(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q: ReusingQueue<u64> = ReusingQueue::new(128);
+        let (p, c) = q.split();
+        for i in 0..100 {
+            p.put(i, Arc::new(i * 7)).unwrap();
+        }
+        for i in 0..100 {
+            let item = c.get().unwrap();
+            assert_eq!(item.iteration, i);
+            assert_eq!(*item.handle, i * 7);
+        }
+    }
+
+    #[test]
+    fn zero_copy_same_allocation() {
+        // The dequeued handle must point at the same payload the producer
+        // enqueued — the Arc analog of sharing a CUDA memory handle.
+        let q: ReusingQueue<Vec<f32>> = ReusingQueue::new(4);
+        let (p, c) = q.split();
+        let payload = Arc::new(vec![1.0f32; 1024]);
+        let ptr_before = Arc::as_ptr(&payload);
+        p.put(0, Arc::clone(&payload)).unwrap();
+        let got = c.get().unwrap();
+        assert_eq!(Arc::as_ptr(&got.handle), ptr_before, "payload was copied");
+    }
+
+    #[test]
+    fn backpressure_blocks_then_delivers() {
+        let q: ReusingQueue<u32> = ReusingQueue::new(2);
+        let (p, c) = q.split();
+        p.put(0, Arc::new(0)).unwrap();
+        p.put(1, Arc::new(1)).unwrap();
+        // Queue is now full; a third put must block until the consumer runs.
+        let producer = thread::spawn(move || {
+            p.put(2, Arc::new(2)).unwrap();
+            p.backpressure_events()
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(c.get().unwrap().iteration, 0);
+        let bp = producer.join().unwrap();
+        assert_eq!(bp, 1, "blocking put must be counted");
+        assert_eq!(c.get().unwrap().iteration, 1);
+        assert_eq!(c.get().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn consumer_sees_none_after_producer_drops() {
+        let q: ReusingQueue<u8> = ReusingQueue::new(4);
+        let (p, c) = q.split();
+        p.put(0, Arc::new(9)).unwrap();
+        drop(p);
+        assert_eq!(*c.get().unwrap().handle, 9);
+        assert!(c.get().is_none(), "closed queue must yield None");
+    }
+
+    #[test]
+    fn producer_put_fails_after_consumer_drops() {
+        let q: ReusingQueue<u8> = ReusingQueue::new(1);
+        let (p, c) = q.split();
+        drop(c);
+        let payload = Arc::new(5u8);
+        assert!(p.put(0, payload).is_err());
+    }
+
+    #[test]
+    fn get_timeout_behaviour() {
+        let q: ReusingQueue<u8> = ReusingQueue::new(1);
+        let (p, c) = q.split();
+        assert_eq!(c.get_timeout(Duration::from_millis(10)), Ok(None));
+        p.put(3, Arc::new(1)).unwrap();
+        assert!(matches!(
+            c.get_timeout(Duration::from_millis(10)),
+            Ok(Some(t)) if t.iteration == 3
+        ));
+        drop(p);
+        assert_eq!(c.get_timeout(Duration::from_millis(10)), Err(()));
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_counts() {
+        let q: ReusingQueue<u64> = ReusingQueue::new(8);
+        let (p, c) = q.split();
+        let n = 1000u64;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                p.put(i, Arc::new(i)).unwrap();
+            }
+            p.enqueued()
+        });
+        let mut seen = 0u64;
+        let mut last = None;
+        while let Some(item) = c.get() {
+            // Strictly increasing iterations == FIFO under concurrency.
+            if let Some(prev) = last {
+                assert!(item.iteration > prev);
+            }
+            last = Some(item.iteration);
+            seen += 1;
+        }
+        assert_eq!(seen, n);
+        assert_eq!(producer.join().unwrap(), n);
+        assert_eq!(c.dequeued(), n);
+    }
+
+    impl<T> PartialEq for Tagged<T>
+    where
+        T: PartialEq,
+    {
+        fn eq(&self, other: &Self) -> bool {
+            self.iteration == other.iteration && self.handle == other.handle
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The [`CheckpointStrategy`] trait: the contract between the training loop
+//! and every checkpointing scheme (LowDiff, LowDiff+, and the baselines in
+//! `lowdiff-baselines`).
+//!
+//! The trainer calls the hooks at the paper's natural interception points:
+//!
+//! ```text
+//! backward ──layer-by-layer──▶ on_layer_gradient    (LowDiff+ reuse point)
+//! gradient sync ─────────────▶ on_synced_gradient   (LowDiff reuse point)
+//! model update ──────────────▶ after_update         (full-ckpt / diff point)
+//! ```
+//!
+//! A hook's *return value is its stall*: strategies report how long they
+//! blocked the training thread (real time for mechanism runs), which the
+//! trainer accumulates into [`StrategyStats`] — the quantity every
+//! training-time experiment measures.
+
+use lowdiff_compress::CompressedGrad;
+use lowdiff_optim::ModelState;
+use lowdiff_util::units::Secs;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Accumulated accounting for one training run.
+#[derive(Clone, Debug, Default)]
+pub struct StrategyStats {
+    /// Time the training thread spent blocked inside strategy hooks.
+    pub stall: Secs,
+    /// Differential checkpoints produced (before batching).
+    pub diff_checkpoints: u64,
+    /// Full checkpoints produced.
+    pub full_checkpoints: u64,
+    /// Storage writes issued (after batching).
+    pub writes: u64,
+    /// Bytes handed to storage.
+    pub bytes_written: u64,
+}
+
+impl StrategyStats {
+    pub fn merge(&mut self, other: &StrategyStats) {
+        self.stall += other.stall;
+        self.diff_checkpoints += other.diff_checkpoints;
+        self.full_checkpoints += other.full_checkpoints;
+        self.writes += other.writes;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// A checkpointing scheme plugged into the [`crate::trainer::Trainer`].
+pub trait CheckpointStrategy: Send {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// A layer's parameter gradient just became available during the
+    /// backward pass (fires in reverse layer order). `range` addresses the
+    /// layer within the flat gradient. Default: ignore.
+    fn on_layer_gradient(
+        &mut self,
+        _iteration: u64,
+        _layer: usize,
+        _range: Range<usize>,
+        _grad: &[f32],
+    ) -> Secs {
+        Secs::ZERO
+    }
+
+    /// The synchronized (post-allreduce) compressed gradient of this
+    /// iteration — the artifact LowDiff reuses. The `Arc` is the zero-copy
+    /// handle; cloning it must be the only "transmission".
+    fn on_synced_gradient(&mut self, _iteration: u64, _grad: &Arc<CompressedGrad>) -> Secs {
+        Secs::ZERO
+    }
+
+    /// The model update completed; `state` is `M_{t+1}`. Full-checkpoint
+    /// points and state-diff baselines hook here.
+    fn after_update(&mut self, _state: &ModelState) -> Secs {
+        Secs::ZERO
+    }
+
+    /// Block until all asynchronous checkpoint work is durable. Called at
+    /// run end and before intentionally injected failures in tests.
+    fn flush(&mut self) -> Secs {
+        Secs::ZERO
+    }
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> StrategyStats;
+}
+
+/// The W/O-CKPT configuration: no checkpointing at all (the paper's
+/// upper-bound training speed).
+#[derive(Default)]
+pub struct NoCheckpoint {
+    stats: StrategyStats,
+}
+
+impl NoCheckpoint {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStrategy for NoCheckpoint {
+    fn name(&self) -> &'static str {
+        "wo-ckpt"
+    }
+
+    fn stats(&self) -> StrategyStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_checkpoint_is_free() {
+        let mut s = NoCheckpoint::new();
+        assert_eq!(s.name(), "wo-ckpt");
+        let st = ModelState::new(vec![0.0; 4]);
+        assert_eq!(s.after_update(&st).as_f64(), 0.0);
+        assert_eq!(s.flush().as_f64(), 0.0);
+        assert_eq!(s.stats().writes, 0);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = StrategyStats {
+            stall: Secs(1.0),
+            diff_checkpoints: 2,
+            full_checkpoints: 1,
+            writes: 3,
+            bytes_written: 100,
+        };
+        let b = StrategyStats {
+            stall: Secs(0.5),
+            diff_checkpoints: 1,
+            full_checkpoints: 0,
+            writes: 1,
+            bytes_written: 50,
+        };
+        a.merge(&b);
+        assert!((a.stall.as_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(a.diff_checkpoints, 3);
+        assert_eq!(a.writes, 4);
+        assert_eq!(a.bytes_written, 150);
+    }
+}

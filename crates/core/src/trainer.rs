@@ -1,0 +1,372 @@
+//! [`Trainer`]: the training process of Algorithm 1, with a pluggable
+//! [`CheckpointStrategy`].
+//!
+//! Per iteration (paper lines 2–8):
+//!
+//! 1. forward + loss (caller-provided step closure),
+//! 2. backward — layer by layer, firing `on_layer_gradient` as each layer's
+//!    gradient completes (LowDiff+'s reuse point),
+//! 3. compress (Top-K with optional error feedback; `None` = the
+//!    non-compression scenario, gradients travel dense),
+//! 4. `on_synced_gradient` with the shared handle (LowDiff's reuse point),
+//! 5. decompress and update the model state (`M_{t+1} = M_t + Adam(G_t)`) —
+//!    note training updates from the *decompressed* gradient, which is what
+//!    makes gradient-replay recovery bit-exact,
+//! 6. `after_update` (full checkpoints, state-diff baselines).
+
+use crate::strategy::{CheckpointStrategy, StrategyStats};
+use lowdiff_compress::{CompressedGrad, Compressor, ErrorFeedback, TopK};
+use lowdiff_model::Network;
+use lowdiff_optim::{Adam, ModelState};
+use lowdiff_tensor::Tensor;
+use lowdiff_util::units::Secs;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Trainer configuration.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Top-K compression ratio ρ; `None` disables compression (gradients
+    /// are shared dense — the LowDiff+ scenario).
+    pub compress_ratio: Option<f64>,
+    /// Error feedback (residual accumulation) for compressed training.
+    pub error_feedback: bool,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            compress_ratio: Some(0.01),
+            error_feedback: true,
+        }
+    }
+}
+
+enum Comp {
+    None,
+    Plain(TopK),
+    Ef(ErrorFeedback<TopK>),
+}
+
+/// What one training run produced.
+#[derive(Clone, Debug)]
+pub struct TrainerReport {
+    /// Loss per iteration.
+    pub losses: Vec<f64>,
+    /// Wall-clock run time.
+    pub elapsed: Secs,
+    /// Strategy accounting (stall, writes, checkpoints).
+    pub stats: StrategyStats,
+    /// Iterations completed in this run.
+    pub iterations: u64,
+}
+
+/// Training engine binding a model, optimizer, compressor and strategy.
+pub struct Trainer<S: CheckpointStrategy> {
+    net: Network,
+    state: ModelState,
+    adam: Adam,
+    comp: Comp,
+    strategy: S,
+}
+
+impl<S: CheckpointStrategy> Trainer<S> {
+    /// Fresh trainer; the initial model state is the network's parameters.
+    pub fn new(net: Network, adam: Adam, strategy: S, cfg: TrainerConfig) -> Self {
+        let params = net.params_flat();
+        let state = ModelState::new(params);
+        Self::with_state(net, adam, strategy, cfg, state)
+    }
+
+    /// Resume from a recovered [`ModelState`] (the recovery path).
+    pub fn with_state(
+        net: Network,
+        adam: Adam,
+        strategy: S,
+        cfg: TrainerConfig,
+        state: ModelState,
+    ) -> Self {
+        assert_eq!(
+            net.num_params(),
+            state.num_params(),
+            "state does not fit the network"
+        );
+        let psi = state.num_params();
+        let comp = match cfg.compress_ratio {
+            None => Comp::None,
+            Some(rho) if cfg.error_feedback => Comp::Ef(ErrorFeedback::new(TopK::new(rho), psi)),
+            Some(rho) => Comp::Plain(TopK::new(rho)),
+        };
+        Self {
+            net,
+            state,
+            adam,
+            comp,
+            strategy,
+        }
+    }
+
+    pub fn state(&self) -> &ModelState {
+        &self.state
+    }
+
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    pub fn strategy_mut(&mut self) -> &mut S {
+        &mut self.strategy
+    }
+
+    /// Dismantle the trainer, handing back the strategy (e.g. to inspect
+    /// final stats or drive recovery APIs after the run).
+    pub fn into_strategy(self) -> S {
+        self.strategy
+    }
+
+    /// Run `iters` iterations. `step` does forward + loss on the network
+    /// and returns `(loss, dL/d-output)`; the trainer does the rest.
+    pub fn run<F>(&mut self, iters: u64, mut step: F) -> TrainerReport
+    where
+        F: FnMut(&mut Network, u64) -> (f64, Tensor),
+    {
+        let t_start = Instant::now();
+        let mut losses = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t = self.state.iteration;
+            // Model state is the single source of truth; materialize it
+            // into the network before the forward pass.
+            self.net.set_params_flat(&self.state.params);
+            let (loss, grad_out) = step(&mut self.net, t);
+            losses.push(loss);
+
+            // Backward with the layer-wise reuse hook.
+            let strategy = &mut self.strategy;
+            let flat_grad = self
+                .net
+                .backward_layerwise(&grad_out, |layer, grad, range| {
+                    strategy.on_layer_gradient(t, layer, range, grad);
+                });
+
+            // Compress (or pass through dense).
+            let compressed = match &mut self.comp {
+                Comp::None => CompressedGrad::Dense(flat_grad.clone()),
+                Comp::Plain(c) => c.compress(&flat_grad),
+                Comp::Ef(c) => c.compress(&flat_grad),
+            };
+            let handle = Arc::new(compressed);
+
+            // Reuse point (Q.put) — zero-copy handle.
+            self.strategy.on_synced_gradient(t, &handle);
+
+            // Decompress and update (lines 7–8).
+            let dense = handle.to_dense();
+            self.state.apply_gradient(&self.adam, &dense);
+            self.strategy.after_update(&self.state);
+        }
+        self.strategy.flush();
+        TrainerReport {
+            losses,
+            elapsed: Secs(t_start.elapsed().as_secs_f64()),
+            stats: self.strategy.stats(),
+            iterations: iters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowdiff::{LowDiffConfig, LowDiffStrategy};
+    use crate::recovery::recover_serial;
+    use crate::strategy::NoCheckpoint;
+    use lowdiff_model::builders::mlp;
+    use lowdiff_model::data::Regression;
+    use lowdiff_model::loss::mse;
+    use lowdiff_storage::{CheckpointStore, MemoryBackend};
+    use lowdiff_util::DetRng;
+
+    fn regression_step(
+        task: Regression,
+        seed: u64,
+    ) -> impl FnMut(&mut Network, u64) -> (f64, Tensor) {
+        let mut rng = DetRng::new(seed);
+        move |net: &mut Network, _t: u64| {
+            let (x, y) = task.batch(&mut rng, 8);
+            let pred = net.forward(&x);
+            let (loss, grad) = mse(&pred, &y);
+            (loss, grad)
+        }
+    }
+
+    #[test]
+    fn trains_with_no_checkpointing() {
+        let net = mlp(&[6, 24, 2], 1);
+        let mut tr = Trainer::new(
+            net,
+            Adam { lr: 3e-3, ..Adam::default() },
+            NoCheckpoint::new(),
+            TrainerConfig { compress_ratio: Some(0.3), error_feedback: true },
+        );
+        let report = tr.run(120, regression_step(Regression::new(6, 2, 2), 3));
+        assert_eq!(report.iterations, 120);
+        let first = report.losses[0];
+        let last = *report.losses.last().unwrap();
+        assert!(last < first * 0.6, "loss {first} -> {last}");
+        assert_eq!(tr.state().iteration, 120);
+    }
+
+    #[test]
+    fn compressed_training_with_lowdiff_recovers_bit_exact() {
+        let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let net = mlp(&[5, 16, 2], 4);
+        let strat = LowDiffStrategy::new(
+            Arc::clone(&store),
+            LowDiffConfig { full_every: 10, batch_size: 3, ..LowDiffConfig::default() },
+        );
+        let mut tr = Trainer::new(
+            net,
+            Adam::default(),
+            strat,
+            TrainerConfig { compress_ratio: Some(0.1), error_feedback: true },
+        );
+        let report = tr.run(27, regression_step(Regression::new(5, 2, 5), 6));
+        assert_eq!(report.stats.diff_checkpoints, 27);
+        let live = tr.state().clone();
+        drop(tr); // crash
+
+        let (rec, rep) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
+        assert_eq!(rep.full_iteration, 20);
+        assert_eq!(rec.iteration, 27);
+        assert_eq!(rec.params, live.params, "recovered params differ");
+        assert_eq!(rec.opt.m, live.opt.m);
+        assert_eq!(rec.opt.v, live.opt.v);
+    }
+
+    #[test]
+    fn resumed_training_continues_identically() {
+        // Train 30 iters straight vs train 15 + recover + train 15:
+        // identical final state (deterministic data keyed by iteration).
+        let mk_step = |seed: u64| {
+            let task = Regression::new(4, 2, 7);
+            move |net: &mut Network, t: u64| {
+                // Key the batch RNG by iteration so both runs see the same
+                // data at the same iteration regardless of restart.
+                let mut rng = DetRng::new(seed ^ t.wrapping_mul(0x9E3779B9));
+                let (x, y) = task.batch(&mut rng, 8);
+                let pred = net.forward(&x);
+                mse(&pred, &y)
+            }
+        };
+
+        // Straight run.
+        let mut tr = Trainer::new(
+            mlp(&[4, 12, 2], 8),
+            Adam::default(),
+            NoCheckpoint::new(),
+            TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+        );
+        tr.run(30, mk_step(11));
+        let straight = tr.state().clone();
+
+        // Checkpointed + restarted run.
+        let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let strat = LowDiffStrategy::new(
+            Arc::clone(&store),
+            LowDiffConfig { full_every: 5, batch_size: 2, ..LowDiffConfig::default() },
+        );
+        let mut tr1 = Trainer::new(
+            mlp(&[4, 12, 2], 8),
+            Adam::default(),
+            strat,
+            TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+        );
+        tr1.run(15, mk_step(11));
+        drop(tr1); // crash at iteration 15
+
+        let (rec, _) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
+        assert_eq!(rec.iteration, 15);
+        let mut tr2 = Trainer::with_state(
+            mlp(&[4, 12, 2], 8),
+            Adam::default(),
+            NoCheckpoint::new(),
+            TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+            rec,
+        );
+        tr2.run(15, mk_step(11));
+
+        assert_eq!(tr2.state().iteration, 30);
+        assert_eq!(tr2.state().params, straight.params, "resume diverged");
+        assert_eq!(tr2.state().opt.m, straight.opt.m);
+    }
+
+    #[test]
+    fn dense_mode_produces_dense_handles() {
+        // compress_ratio: None → the LowDiff+ scenario: gradient handles
+        // are Dense and still flow through the strategy.
+        struct Probe {
+            dense_seen: u64,
+            stats: StrategyStats,
+        }
+        impl CheckpointStrategy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn on_synced_gradient(&mut self, _: u64, g: &Arc<CompressedGrad>) -> Secs {
+                if matches!(**g, CompressedGrad::Dense(_)) {
+                    self.dense_seen += 1;
+                }
+                Secs::ZERO
+            }
+            fn stats(&self) -> StrategyStats {
+                self.stats.clone()
+            }
+        }
+        let mut tr = Trainer::new(
+            mlp(&[3, 8, 1], 9),
+            Adam::default(),
+            Probe { dense_seen: 0, stats: StrategyStats::default() },
+            TrainerConfig { compress_ratio: None, error_feedback: false },
+        );
+        tr.run(5, regression_step(Regression::new(3, 1, 10), 12));
+        assert_eq!(tr.strategy().dense_seen, 5);
+    }
+
+    #[test]
+    fn layerwise_hook_fires_per_parameterized_layer() {
+        struct Probe {
+            layer_events: Vec<(u64, usize)>,
+            stats: StrategyStats,
+        }
+        impl CheckpointStrategy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn on_layer_gradient(
+                &mut self,
+                iter: u64,
+                layer: usize,
+                _r: std::ops::Range<usize>,
+                _g: &[f32],
+            ) -> Secs {
+                self.layer_events.push((iter, layer));
+                Secs::ZERO
+            }
+            fn stats(&self) -> StrategyStats {
+                self.stats.clone()
+            }
+        }
+        let mut tr = Trainer::new(
+            mlp(&[3, 8, 1], 13), // fc0, relu, fc1 → 2 parameterized layers
+            Adam::default(),
+            Probe { layer_events: vec![], stats: StrategyStats::default() },
+            TrainerConfig::default(),
+        );
+        tr.run(3, regression_step(Regression::new(3, 1, 14), 15));
+        let probe = tr.strategy();
+        assert_eq!(probe.layer_events.len(), 6, "2 layers × 3 iters");
+        // Reverse layer order within an iteration.
+        assert_eq!(probe.layer_events[0], (0, 2));
+        assert_eq!(probe.layer_events[1], (0, 0));
+    }
+}

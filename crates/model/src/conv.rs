@@ -1,0 +1,375 @@
+//! Convolutional layers for the CNN workloads (the ResNet/VGG stand-ins).
+//!
+//! Naive direct convolution — clarity over speed; the training workloads in
+//! this reproduction are deliberately small, and the checkpointing system
+//! under test is indifferent to kernel implementation.
+
+use crate::layer::Layer;
+use lowdiff_tensor::Tensor;
+use lowdiff_util::DetRng;
+
+/// 2-D convolution, stride 1, symmetric zero padding.
+/// Input (batch, c_in, h, w) → output (batch, c_out, h, w) when
+/// `pad = k/2` (same-padding for odd k).
+pub struct Conv2d {
+    name: String,
+    pub c_in: usize,
+    pub c_out: usize,
+    pub k: usize,
+    pub pad: usize,
+    w: Vec<f32>,      // (c_out, c_in, k, k)
+    b: Vec<f32>,      // (c_out)
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    pub fn new(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        rng: &mut DetRng,
+    ) -> Self {
+        let fan_in = (c_in * k * k) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let mut w = vec![0.0f32; c_out * c_in * k * k];
+        rng.fill_normal_f32(&mut w, scale);
+        Self {
+            name: name.into(),
+            c_in,
+            c_out,
+            k,
+            pad: k / 2,
+            w,
+            b: vec![0.0; c_out],
+            grad_w: vec![0.0; c_out * c_in * k * k],
+            grad_b: vec![0.0; c_out],
+            cached_input: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
+    }
+
+    #[inline]
+    fn widx(&self, co: usize, ci: usize, i: usize, j: usize) -> usize {
+        ((co * self.c_in + ci) * self.k + i) * self.k + j
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let nw = self.w.len();
+        out[..nw].copy_from_slice(&self.w);
+        out[nw..].copy_from_slice(&self.b);
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let nw = self.w.len();
+        self.w.copy_from_slice(&src[..nw]);
+        self.b.copy_from_slice(&src[nw..]);
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let nw = self.grad_w.len();
+        out[..nw].copy_from_slice(&self.grad_w);
+        out[nw..].copy_from_slice(&self.grad_b);
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [batch, c_in, h, w] = input.shape() else {
+            panic!("Conv2d expects 4-D input, got {:?}", input.shape());
+        };
+        let (batch, c_in, h, w) = (*batch, *c_in, *h, *w);
+        assert_eq!(c_in, self.c_in, "channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; batch * self.c_out * oh * ow];
+        let xi = |b: usize, c: usize, i: usize, j: usize| ((b * c_in + c) * h + i) * w + j;
+        for b in 0..batch {
+            for co in 0..self.c_out {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = self.b[co];
+                        for ci in 0..c_in {
+                            for ki in 0..self.k {
+                                let ii = oi + ki;
+                                if ii < self.pad || ii - self.pad >= h {
+                                    continue;
+                                }
+                                for kj in 0..self.k {
+                                    let jj = oj + kj;
+                                    if jj < self.pad || jj - self.pad >= w {
+                                        continue;
+                                    }
+                                    acc += self.w[self.widx(co, ci, ki, kj)]
+                                        * x[xi(b, ci, ii - self.pad, jj - self.pad)];
+                                }
+                            }
+                        }
+                        out[((b * self.c_out + co) * oh + oi) * ow + oj] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(&[batch, self.c_out, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward before forward on Conv2d");
+        let [batch, c_in, h, w] = input.shape() else { unreachable!() };
+        let (batch, c_in, h, w) = (*batch, *c_in, *h, *w);
+        let (oh, ow) = self.out_hw(h, w);
+        let x = input.as_slice();
+        let g = grad_out.as_slice();
+        let xi = |b: usize, c: usize, i: usize, j: usize| ((b * c_in + c) * h + i) * w + j;
+        let gi = |b: usize, c: usize, i: usize, j: usize| ((b * self.c_out + c) * oh + i) * ow + j;
+
+        self.grad_w.iter_mut().for_each(|v| *v = 0.0);
+        self.grad_b.iter_mut().for_each(|v| *v = 0.0);
+        let mut gin = vec![0.0f32; x.len()];
+
+        for b in 0..batch {
+            for co in 0..self.c_out {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let go = g[gi(b, co, oi, oj)];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.grad_b[co] += go;
+                        for ci in 0..c_in {
+                            for ki in 0..self.k {
+                                let ii = oi + ki;
+                                if ii < self.pad || ii - self.pad >= h {
+                                    continue;
+                                }
+                                for kj in 0..self.k {
+                                    let jj = oj + kj;
+                                    if jj < self.pad || jj - self.pad >= w {
+                                        continue;
+                                    }
+                                    let wi = self.widx(co, ci, ki, kj);
+                                    let xv = x[xi(b, ci, ii - self.pad, jj - self.pad)];
+                                    self.grad_w[wi] += go * xv;
+                                    gin[xi(b, ci, ii - self.pad, jj - self.pad)] +=
+                                        go * self.w[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(input.shape(), gin)
+    }
+}
+
+/// 2×2 max-pooling with stride 2. Input (batch, c, h, w) with even h, w.
+pub struct MaxPool2 {
+    name: String,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2 {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn param_count(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) {}
+    fn read_params(&mut self, _src: &[f32]) {}
+    fn write_grads(&self, _out: &mut [f32]) {}
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [batch, c, h, w] = input.shape() else {
+            panic!("MaxPool2 expects 4-D input");
+        };
+        let (batch, c, h, w) = (*batch, *c, *h, *w);
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2 needs even dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let x = input.as_slice();
+        self.in_shape = input.shape().to_vec();
+        let mut out = vec![0.0f32; batch * c * oh * ow];
+        self.argmax = vec![0; out.len()];
+        for b in 0..batch {
+            for ch in 0..c {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for di in 0..2 {
+                            for dj in 0..2 {
+                                let idx = ((b * c + ch) * h + oi * 2 + di) * w + oj * 2 + dj;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((b * c + ch) * oh + oi) * ow + oj;
+                        out[o] = best;
+                        self.argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[batch, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut gin = vec![0.0f32; self.in_shape.iter().product()];
+        for (o, &g) in grad_out.as_slice().iter().enumerate() {
+            gin[self.argmax[o]] += g;
+        }
+        Tensor::from_vec(&self.in_shape, gin)
+    }
+}
+
+/// Flatten (batch, …) → (batch, rest).
+pub struct Flatten {
+    name: String,
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn param_count(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) {}
+    fn read_params(&mut self, _src: &[f32]) {}
+    fn write_grads(&self, _out: &mut [f32]) {}
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        let batch = self.in_shape[0];
+        let rest: usize = self.in_shape[1..].iter().product();
+        input.clone().reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(&self.in_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut rng = DetRng::new(1);
+        let mut conv = Conv2d::new("c", 1, 1, 3, &mut rng);
+        // Dirac kernel: output == input under same-padding.
+        let mut p = vec![0.0f32; conv.param_count()];
+        p[4] = 1.0; // center of 3x3
+        conv.read_params(&p);
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        let mut rng = DetRng::new(2);
+        let mut conv = Conv2d::new("c", 1, 1, 3, &mut rng);
+        let p = vec![1.0f32; conv.param_count() - 1]
+            .into_iter()
+            .chain(std::iter::once(0.0))
+            .collect::<Vec<_>>();
+        conv.read_params(&p);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(&x);
+        // Center pixel sees all 9 ones; corners see 4.
+        assert_eq!(y.at_center(), 9.0);
+        assert_eq!(y.as_slice()[0], 4.0);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut rng = DetRng::new(3);
+        let mut conv = Conv2d::new("c", 2, 3, 3, &mut rng);
+        let mut x = Tensor::zeros(&[2, 2, 4, 4]);
+        let mut r = DetRng::new(9);
+        r.fill_normal_f32(x.as_mut_slice(), 1.0);
+        gradcheck::check(&mut conv, &x, 3e-2, true);
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let mut mp = MaxPool2::new("mp");
+        let x = Tensor::from_vec(
+            &[1, 1, 2, 4],
+            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0],
+        );
+        let y = mp.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 6.0]);
+        let g = mp.backward(&Tensor::from_vec(&[1, 1, 1, 2], vec![10.0, 20.0]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 0.0, 10.0, 0.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new("f");
+        let x = Tensor::from_vec(&[2, 3, 2, 2], (0..24).map(|i| i as f32).collect());
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    // Small helper for the sum-kernel test.
+    trait CenterExt {
+        fn at_center(&self) -> f32;
+    }
+    impl CenterExt for Tensor {
+        fn at_center(&self) -> f32 {
+            let s = self.shape();
+            let (h, w) = (s[2], s[3]);
+            self.as_slice()[(h / 2) * w + w / 2]
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! The [`Layer`] trait and the dense/normalization/activation layers.
+//!
+//! Layers cache whatever their backward pass needs during `forward`;
+//! `backward` consumes the cache, returns the gradient w.r.t. the input,
+//! and *stores* the parameter gradient for the network to collect
+//! (mirroring how autograd engines accumulate `.grad` on parameters).
+
+use lowdiff_tensor::{ops, Tensor};
+use lowdiff_util::DetRng;
+
+/// A differentiable layer with flat-addressable parameters.
+pub trait Layer: Send {
+    /// Stable layer name (unique within a network after construction).
+    fn name(&self) -> &str;
+
+    /// Number of trainable parameters (0 for activations).
+    fn param_count(&self) -> usize;
+
+    /// Copy parameters into `out` (length `param_count()`), layer-defined
+    /// order. The network concatenates these into the flat buffer.
+    fn write_params(&self, out: &mut [f32]);
+
+    /// Overwrite parameters from a flat slice (inverse of `write_params`).
+    fn read_params(&mut self, src: &[f32]);
+
+    /// Copy the parameter gradient from the last `backward` into `out`.
+    fn write_grads(&self, out: &mut [f32]);
+
+    /// Forward pass; must cache anything backward needs.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass: given dL/d(output), compute and store dL/d(params),
+    /// return dL/d(input).
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+}
+
+/// Fully connected layer: `y = x · Wᵀ + b`, weights stored (out, in).
+pub struct Linear {
+    name: String,
+    pub w: Tensor,      // (out, in)
+    pub b: Vec<f32>,    // (out)
+    grad_w: Vec<f32>,   // flat (out*in)
+    grad_b: Vec<f32>,   // (out)
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-uniform initialization, deterministic per seed.
+    pub fn new(name: impl Into<String>, in_dim: usize, out_dim: usize, rng: &mut DetRng) -> Self {
+        let scale = (6.0 / in_dim as f32).sqrt();
+        let mut w = vec![0.0f32; out_dim * in_dim];
+        for x in w.iter_mut() {
+            *x = rng.uniform_f32(scale);
+        }
+        Self {
+            name: name.into(),
+            w: Tensor::from_vec(&[out_dim, in_dim], w),
+            b: vec![0.0; out_dim],
+            grad_w: vec![0.0; out_dim * in_dim],
+            grad_b: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.shape()[1]
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.shape()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let nw = self.w.len();
+        out[..nw].copy_from_slice(self.w.as_slice());
+        out[nw..].copy_from_slice(&self.b);
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let nw = self.w.len();
+        self.w.as_mut_slice().copy_from_slice(&src[..nw]);
+        self.b.copy_from_slice(&src[nw..]);
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let nw = self.grad_w.len();
+        out[..nw].copy_from_slice(&self.grad_w);
+        out[nw..].copy_from_slice(&self.grad_b);
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        // input: (batch, in) ; output: (batch, out) = input · Wᵀ + b
+        let mut out = ops::matmul_nt(input, &self.w);
+        let (batch, od) = (out.shape()[0], out.shape()[1]);
+        let data = out.as_mut_slice();
+        for r in 0..batch {
+            for c in 0..od {
+                data[r * od + c] += self.b[c];
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward before forward on Linear");
+        // dW = grad_outᵀ · input  →  (out, in)
+        let gw = ops::matmul_tn(grad_out, &input);
+        self.grad_w.copy_from_slice(gw.as_slice());
+        // db = column sums of grad_out
+        let (batch, od) = (grad_out.shape()[0], grad_out.shape()[1]);
+        let g = grad_out.as_slice();
+        self.grad_b.iter_mut().for_each(|x| *x = 0.0);
+        for r in 0..batch {
+            for c in 0..od {
+                self.grad_b[c] += g[r * od + c];
+            }
+        }
+        // dX = grad_out · W  →  (batch, in)
+        ops::matmul(grad_out, &self.w)
+    }
+}
+
+/// ReLU activation.
+pub struct Relu {
+    name: String,
+    mask: Vec<bool>,
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            mask: Vec::new(),
+            shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn param_count(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) {}
+    fn read_params(&mut self, _src: &[f32]) {}
+    fn write_grads(&self, _out: &mut [f32]) {}
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.shape = input.shape().to_vec();
+        self.mask = input.as_slice().iter().map(|&x| x > 0.0).collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .map(|&x| if x > 0.0 { x } else { 0.0 })
+            .collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.shape(), &self.shape[..], "ReLU shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(&self.shape, data)
+    }
+}
+
+/// GELU activation (tanh approximation, as used by GPT-2).
+pub struct Gelu {
+    name: String,
+    cached_input: Option<Tensor>,
+}
+
+impl Gelu {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cached_input: None,
+        }
+    }
+
+    #[inline]
+    fn gelu(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    }
+
+    #[inline]
+    fn dgelu(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6;
+        let u = C * (x + 0.044715 * x * x * x);
+        let t = u.tanh();
+        let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+        0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+    }
+}
+
+impl Layer for Gelu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn param_count(&self) -> usize {
+        0
+    }
+    fn write_params(&self, _out: &mut [f32]) {}
+    fn read_params(&mut self, _src: &[f32]) {}
+    fn write_grads(&self, _out: &mut [f32]) {}
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        let data = input.as_slice().iter().map(|&x| Self::gelu(x)).collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward before forward on Gelu");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(input.as_slice())
+            .map(|(&g, &x)| g * Self::dgelu(x))
+            .collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+}
+
+/// Layer normalization over the last dimension, with learnable gain/bias.
+pub struct LayerNorm {
+    name: String,
+    pub gamma: Vec<f32>,
+    pub beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    eps: f32,
+    // Cache: normalized input and per-row inverse std.
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    pub fn new(name: impl Into<String>, dim: usize) -> Self {
+        Self {
+            name: name.into(),
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            grad_gamma: vec![0.0; dim],
+            grad_beta: vec![0.0; dim],
+            eps: 1e-5,
+            cached_xhat: None,
+            cached_inv_std: Vec::new(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let d = self.gamma.len();
+        out[..d].copy_from_slice(&self.gamma);
+        out[d..].copy_from_slice(&self.beta);
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let d = self.gamma.len();
+        self.gamma.copy_from_slice(&src[..d]);
+        self.beta.copy_from_slice(&src[d..]);
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let d = self.grad_gamma.len();
+        out[..d].copy_from_slice(&self.grad_gamma);
+        out[d..].copy_from_slice(&self.grad_beta);
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let d = self.gamma.len();
+        let rows = input.len() / d;
+        assert_eq!(input.len(), rows * d, "LayerNorm dim mismatch");
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; input.len()];
+        let mut xhat = vec![0.0f32; input.len()];
+        self.cached_inv_std.clear();
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.cached_inv_std.push(inv_std);
+            for c in 0..d {
+                let h = (row[c] - mean) * inv_std;
+                xhat[r * d + c] = h;
+                out[r * d + c] = self.gamma[c] * h + self.beta[c];
+            }
+        }
+        self.cached_xhat = Some(Tensor::from_vec(input.shape(), xhat));
+        Tensor::from_vec(input.shape(), out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let d = self.gamma.len();
+        let xhat = self
+            .cached_xhat
+            .take()
+            .expect("backward before forward on LayerNorm");
+        let rows = xhat.len() / d;
+        let g = grad_out.as_slice();
+        let xh = xhat.as_slice();
+        self.grad_gamma.iter_mut().for_each(|v| *v = 0.0);
+        self.grad_beta.iter_mut().for_each(|v| *v = 0.0);
+        let mut gin = vec![0.0f32; xhat.len()];
+        for r in 0..rows {
+            let inv_std = self.cached_inv_std[r];
+            // dL/dxhat_c = g_c * gamma_c
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for c in 0..d {
+                let i = r * d + c;
+                let dxh = g[i] * self.gamma[c];
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh[i];
+                self.grad_gamma[c] += g[i] * xh[i];
+                self.grad_beta[c] += g[i];
+            }
+            let inv_d = 1.0 / d as f32;
+            for c in 0..d {
+                let i = r * d + c;
+                let dxh = g[i] * self.gamma[c];
+                gin[i] = inv_std * (dxh - inv_d * sum_dxhat - inv_d * xh[i] * sum_dxhat_xhat);
+            }
+        }
+        Tensor::from_vec(grad_out.shape(), gin)
+    }
+}
+
+/// Embedding lookup: input holds token ids encoded as f32 (shape (seq, 1)),
+/// output is (seq, dim). Gradients accumulate per looked-up row.
+pub struct Embedding {
+    name: String,
+    pub table: Tensor, // (vocab, dim)
+    grad: Vec<f32>,
+    cached_ids: Vec<usize>,
+}
+
+impl Embedding {
+    pub fn new(name: impl Into<String>, vocab: usize, dim: usize, rng: &mut DetRng) -> Self {
+        let mut t = vec![0.0f32; vocab * dim];
+        rng.fill_normal_f32(&mut t, 0.02);
+        Self {
+            name: name.into(),
+            table: Tensor::from_vec(&[vocab, dim], t),
+            grad: vec![0.0; vocab * dim],
+            cached_ids: Vec::new(),
+        }
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.table.shape()[0]
+    }
+
+    pub fn dim(&self) -> usize {
+        self.table.shape()[1]
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.table.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        out.copy_from_slice(self.table.as_slice());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        self.table.as_mut_slice().copy_from_slice(src);
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        out.copy_from_slice(&self.grad);
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dim = self.dim();
+        let seq = input.len();
+        self.cached_ids = input
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                let id = x as usize;
+                assert!(id < self.vocab(), "token id {id} >= vocab {}", self.vocab());
+                id
+            })
+            .collect();
+        let mut out = vec![0.0f32; seq * dim];
+        for (r, &id) in self.cached_ids.iter().enumerate() {
+            out[r * dim..(r + 1) * dim]
+                .copy_from_slice(&self.table.as_slice()[id * dim..(id + 1) * dim]);
+        }
+        Tensor::from_vec(&[seq, dim], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dim = self.dim();
+        self.grad.iter_mut().for_each(|v| *v = 0.0);
+        let g = grad_out.as_slice();
+        for (r, &id) in self.cached_ids.iter().enumerate() {
+            for c in 0..dim {
+                self.grad[id * dim + c] += g[r * dim + c];
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the
+        // input shape so Sequential plumbing stays uniform.
+        Tensor::zeros(&[self.cached_ids.len()])
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Centered finite-difference validation used by every layer's tests.
+    use super::*;
+
+    /// Check dL/dparams and dL/dinput of `layer` at `input` against finite
+    /// differences of the scalar loss `L = Σ out²/2` (so dL/dout = out).
+    pub fn check<L: Layer>(layer: &mut L, input: &Tensor, tol: f32, check_input_grad: bool) {
+        let eps = 1e-3f32;
+
+        // Analytic gradients.
+        let out = layer.forward(input);
+        let gin = layer.backward(&out);
+        let n = layer.param_count();
+        let mut analytic_pg = vec![0.0f32; n];
+        layer.write_grads(&mut analytic_pg);
+
+        // Numeric parameter gradient.
+        let mut params = vec![0.0f32; n];
+        layer.write_params(&mut params);
+        let loss_at = |layer: &mut L, params: &[f32], input: &Tensor| -> f64 {
+            layer.read_params(params);
+            let o = layer.forward(input);
+            o.as_slice().iter().map(|&x| (x as f64) * (x as f64) / 2.0).sum()
+        };
+        // Probe a subset of parameters to keep tests fast on bigger layers.
+        let probes: Vec<usize> = if n <= 64 {
+            (0..n).collect()
+        } else {
+            (0..64).map(|i| i * n / 64).collect()
+        };
+        for &i in &probes {
+            let mut p = params.clone();
+            p[i] += eps;
+            let lp = loss_at(layer, &p, input);
+            p[i] -= 2.0 * eps;
+            let lm = loss_at(layer, &p, input);
+            let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let a = analytic_pg[i];
+            let denom = numeric.abs().max(a.abs()).max(1.0);
+            assert!(
+                (numeric - a).abs() / denom < tol,
+                "param grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+        layer.read_params(&params);
+
+        // Numeric input gradient.
+        if check_input_grad {
+            let m = input.len();
+            let probes: Vec<usize> = if m <= 32 {
+                (0..m).collect()
+            } else {
+                (0..32).map(|i| i * m / 32).collect()
+            };
+            for &i in &probes {
+                let mut xp = input.clone();
+                xp.as_mut_slice()[i] += eps;
+                let o = layer.forward(&xp);
+                let lp: f64 = o.as_slice().iter().map(|&x| (x as f64) * (x as f64) / 2.0).sum();
+                let mut xm = input.clone();
+                xm.as_mut_slice()[i] -= eps;
+                let o = layer.forward(&xm);
+                let lm: f64 = o.as_slice().iter().map(|&x| (x as f64) * (x as f64) / 2.0).sum();
+                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                let a = gin.as_slice()[i];
+                let denom = numeric.abs().max(a.abs()).max(1.0);
+                assert!(
+                    (numeric - a).abs() / denom < tol,
+                    "input grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_known() {
+        let mut rng = DetRng::new(1);
+        let mut l = Linear::new("l", 2, 3, &mut rng);
+        l.read_params(&[
+            1.0, 0.0, // w row 0
+            0.0, 1.0, // w row 1
+            1.0, 1.0, // w row 2
+            0.5, -0.5, 0.0, // bias
+        ]);
+        let x = Tensor::from_vec(&[1, 2], vec![2.0, 3.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.as_slice(), &[2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = DetRng::new(2);
+        let mut l = Linear::new("l", 5, 4, &mut rng);
+        let x = Tensor::from_vec(&[3, 5], (0..15).map(|i| (i as f32 * 0.7).sin()).collect());
+        gradcheck::check(&mut l, &x, 2e-2, true);
+    }
+
+    #[test]
+    fn relu_gradcheck_and_mask() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, -1.0, 0.5, -0.5, 2.0, -2.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.as_slice(), &[1.0, 0.0, 0.5, 0.0, 2.0, 0.0]);
+        let g = r.backward(&Tensor::full(&[2, 3], 1.0));
+        assert_eq!(g.as_slice(), &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn gelu_gradcheck() {
+        let mut g = Gelu::new("g");
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|i| (i as f32 - 3.5) * 0.6).collect());
+        gradcheck::check(&mut g, &x, 2e-2, true);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // gelu(0) = 0; gelu(x) ~ x for large x; gelu(-large) ~ 0.
+        assert!(Gelu::gelu(0.0).abs() < 1e-6);
+        assert!((Gelu::gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(Gelu::gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_output_normalized() {
+        let mut ln = LayerNorm::new("ln", 4);
+        let x = Tensor::from_vec(&[2, 4], vec![1.0, 2.0, 3.0, 4.0, -10.0, 0.0, 10.0, 20.0]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let row = &y.as_slice()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut ln = LayerNorm::new("ln", 6);
+        // Perturb gamma/beta away from identity so the test is non-trivial.
+        let mut p = vec![0.0f32; ln.param_count()];
+        ln.write_params(&mut p);
+        for (i, v) in p.iter_mut().enumerate() {
+            *v += 0.1 * ((i as f32).sin());
+        }
+        ln.read_params(&p);
+        let x = Tensor::from_vec(&[3, 6], (0..18).map(|i| (i as f32 * 1.3).cos() * 2.0).collect());
+        gradcheck::check(&mut ln, &x, 3e-2, true);
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut rng = DetRng::new(3);
+        let mut e = Embedding::new("emb", 10, 4, &mut rng);
+        let ids = Tensor::from_slice(&[2.0, 7.0, 2.0]);
+        let y = e.forward(&ids);
+        assert_eq!(y.shape(), &[3, 4]);
+        // Rows 0 and 2 must be identical (same token).
+        assert_eq!(&y.as_slice()[0..4], &y.as_slice()[8..12]);
+
+        // Backward: token 2 appears twice, so its gradient doubles.
+        let g = Tensor::full(&[3, 4], 1.0);
+        e.backward(&g);
+        let mut grads = vec![0.0f32; e.param_count()];
+        e.write_grads(&mut grads);
+        assert!(grads[2 * 4..3 * 4].iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(grads[7 * 4..8 * 4].iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!(grads[0..4].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= vocab")]
+    fn embedding_rejects_oov() {
+        let mut rng = DetRng::new(4);
+        let mut e = Embedding::new("emb", 4, 2, &mut rng);
+        e.forward(&Tensor::from_slice(&[5.0]));
+    }
+
+    #[test]
+    fn param_roundtrip_all_layers() {
+        let mut rng = DetRng::new(5);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Linear::new("l", 3, 2, &mut rng)),
+            Box::new(LayerNorm::new("ln", 4)),
+            Box::new(Embedding::new("e", 5, 3, &mut rng)),
+        ];
+        for mut l in layers {
+            let n = l.param_count();
+            let mut before = vec![0.0f32; n];
+            l.write_params(&mut before);
+            let patch: Vec<f32> = (0..n).map(|i| i as f32 * 0.01).collect();
+            l.read_params(&patch);
+            let mut after = vec![0.0f32; n];
+            l.write_params(&mut after);
+            assert_eq!(after, patch, "layer {} roundtrip failed", l.name());
+        }
+    }
+}

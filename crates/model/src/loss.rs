@@ -1,0 +1,135 @@
+//! Loss functions: mean-squared error and softmax cross-entropy.
+//!
+//! Each returns `(loss, dL/dlogits)` so the training loop is a plain
+//! `forward → loss → backward` pipeline.
+
+use lowdiff_tensor::{ops, Tensor};
+
+/// Mean-squared error: `L = mean((pred − target)²)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f64;
+    let mut loss = 0.0f64;
+    let grad: Vec<f32> = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += (d as f64) * (d as f64);
+            2.0 * d / n as f32
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(pred.shape(), grad))
+}
+
+/// Softmax cross-entropy over rows of `logits` (n, classes) against integer
+/// `labels`. Returns mean loss and dL/dlogits = (softmax − onehot)/n.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be 2-D");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut probs = logits.clone();
+    ops::softmax_rows(&mut probs);
+    let p = probs.as_mut_slice();
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range for {c} classes");
+        let py = p[r * c + y].max(1e-12);
+        loss -= (py as f64).ln();
+        for j in 0..c {
+            let onehot = if j == y { 1.0 } else { 0.0 };
+            p[r * c + j] = (p[r * c + j] - onehot) * inv_n;
+        }
+    }
+    (loss / n as f64, probs)
+}
+
+/// Classification accuracy of `logits` against `labels`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut correct = 0usize;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[r * c..(r + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        correct += usize::from(pred == y);
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let p = Tensor::from_slice(&[1.0, 3.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 5.0).abs() < 1e-9); // (1 + 9) / 2
+        assert_eq!(g.as_slice(), &[1.0, 3.0]); // 2*d/n
+    }
+
+    #[test]
+    fn xent_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (l, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((l - (4.0f64).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn xent_grad_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (_, g) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| g.at2(r, c)).sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sum {s}");
+        }
+        // Gradient at the true label must be negative (pushes prob up).
+        assert!(g.at2(0, 2) < 0.0);
+        assert!(g.at2(1, 0) < 0.0);
+    }
+
+    #[test]
+    fn xent_finite_difference() {
+        let base = Tensor::from_vec(&[1, 3], vec![0.3, -0.2, 0.8]);
+        let labels = [1usize];
+        let (_, g) = softmax_cross_entropy(&base, &labels);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = base.clone();
+            lp.as_mut_slice()[i] += eps;
+            let (l_plus, _) = softmax_cross_entropy(&lp, &labels);
+            let mut lm = base.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (l_minus, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = ((l_plus - l_minus) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - g.as_slice()[i]).abs() < 1e-3,
+                "logit {i}: numeric {numeric} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(&[3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,301 @@
+//! [`Network`]: a sequential container with flat parameter addressing and
+//! layer-wise backward hooks, plus the [`Residual`] combinator needed for
+//! transformer blocks.
+//!
+//! The two LowDiff-relevant affordances are:
+//!
+//! * **flat addressing** — `params_flat`/`set_params_flat`/`grads_flat`
+//!   concatenate per-layer buffers in layer order, mirroring DeepSpeed's
+//!   flattened parameter groups. All compression and checkpointing operates
+//!   on these flat buffers.
+//! * **layer-wise backward** — [`Network::backward_layerwise`] invokes a
+//!   callback *per layer, in reverse layer order, as each gradient becomes
+//!   available*. That is exactly the execution property (§5, Fig. "Layer-wise
+//!   gradient reuse") LowDiff+ exploits to overlap snapshotting with the
+//!   rest of the backward pass.
+
+use crate::layer::Layer;
+use lowdiff_tensor::Tensor;
+use std::ops::Range;
+
+/// A sequential network of boxed layers.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    /// dL/d(input) of the most recent backward pass (pipeline stages send
+    /// this upstream).
+    last_input_grad: Option<Tensor>,
+}
+
+impl Network {
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self {
+            layers,
+            last_input_grad: None,
+        }
+    }
+
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters (Ψ).
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Per-layer flat ranges: `(layer_name, range_into_flat_buffer)`,
+    /// in layer order. Zero-parameter layers get empty ranges.
+    pub fn layer_ranges(&self) -> Vec<(String, Range<usize>)> {
+        let mut out = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for l in &self.layers {
+            let n = l.param_count();
+            out.push((l.name().to_string(), off..off + n));
+            off += n;
+        }
+        out
+    }
+
+    /// Copy all parameters into one flat vector (layer order).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.num_params()];
+        let mut off = 0;
+        for l in &self.layers {
+            let n = l.param_count();
+            l.write_params(&mut out[off..off + n]);
+            off += n;
+        }
+        out
+    }
+
+    /// Overwrite all parameters from a flat vector.
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "flat parameter length");
+        let mut off = 0;
+        for l in self.layers.iter_mut() {
+            let n = l.param_count();
+            l.read_params(&flat[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in self.layers.iter_mut() {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Backward through all layers; returns the flat gradient (layer order,
+    /// same addressing as `params_flat`).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Vec<f32> {
+        self.backward_layerwise(grad_out, |_, _, _| {})
+    }
+
+    /// Backward with a per-layer hook.
+    ///
+    /// `hook(layer_idx, grad_slice, flat_range)` fires in **reverse layer
+    /// order** the moment that layer's parameter gradient is complete —
+    /// the point where LowDiff+ hands the gradient to its snapshot thread
+    /// pool. Layers without parameters are skipped.
+    pub fn backward_layerwise<F>(&mut self, grad_out: &Tensor, mut hook: F) -> Vec<f32>
+    where
+        F: FnMut(usize, &[f32], Range<usize>),
+    {
+        let ranges = self.layer_ranges();
+        let mut flat = vec![0.0f32; self.num_params()];
+        let mut g = grad_out.clone();
+        for (idx, l) in self.layers.iter_mut().enumerate().rev() {
+            g = l.backward(&g);
+            let r = ranges[idx].1.clone();
+            if !r.is_empty() {
+                l.write_grads(&mut flat[r.clone()]);
+                hook(idx, &flat[r.clone()], r);
+            }
+        }
+        self.last_input_grad = Some(g);
+        flat
+    }
+
+    /// dL/d(input) computed by the most recent `backward`/
+    /// `backward_layerwise` call. Pipeline stages forward this to the
+    /// upstream stage.
+    pub fn last_input_grad(&self) -> Option<Tensor> {
+        self.last_input_grad.clone()
+    }
+}
+
+/// Residual combinator: `y = x + f(x)` where `f` is a sub-network whose
+/// input and output shapes match. Gives `Network` the block structure a
+/// transformer needs without a general graph engine.
+pub struct Residual {
+    name: String,
+    inner: Network,
+}
+
+impl Residual {
+    pub fn new(name: impl Into<String>, inner: Network) -> Self {
+        Self {
+            name: name.into(),
+            inner,
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.num_params()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        out.copy_from_slice(&self.inner.params_flat());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        self.inner.set_params_flat(src);
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        // Gradients were stashed by the last backward().
+        let mut off = 0;
+        for l in &self.inner.layers {
+            let n = l.param_count();
+            l.write_grads(&mut out[off..off + n]);
+            off += n;
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let f = self.inner.forward(input);
+        assert_eq!(f.shape(), input.shape(), "residual branch changed shape");
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(f.as_slice())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // dL/dx = grad_out (skip path) + inner.backward(grad_out).
+        let mut g = grad_out.clone();
+        for l in self.inner.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        let data = g
+            .as_slice()
+            .iter()
+            .zip(grad_out.as_slice())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Linear, Relu};
+    use lowdiff_util::DetRng;
+
+    fn mlp(seed: u64) -> Network {
+        let mut rng = DetRng::new(seed);
+        Network::new(vec![
+            Box::new(Linear::new("fc1", 4, 8, &mut rng)),
+            Box::new(Relu::new("relu1")),
+            Box::new(Linear::new("fc2", 8, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut net = mlp(1);
+        let p = net.params_flat();
+        assert_eq!(p.len(), net.num_params());
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+        let patched: Vec<f32> = p.iter().map(|&x| x + 1.0).collect();
+        net.set_params_flat(&patched);
+        assert_eq!(net.params_flat(), patched);
+    }
+
+    #[test]
+    fn layer_ranges_cover_params() {
+        let net = mlp(2);
+        let ranges = net.layer_ranges();
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0].1, 0..40);
+        assert_eq!(ranges[1].1, 40..40); // ReLU: empty
+        assert_eq!(ranges[2].1, 40..58);
+    }
+
+    #[test]
+    fn backward_layerwise_fires_in_reverse_order() {
+        let mut net = mlp(3);
+        let x = Tensor::from_vec(&[2, 4], vec![0.5; 8]);
+        let y = net.forward(&x);
+        let mut order = Vec::new();
+        let flat = net.backward_layerwise(&y, |idx, grad, range| {
+            order.push(idx);
+            assert_eq!(grad.len(), range.len());
+        });
+        assert_eq!(order, vec![2, 0], "hooks must fire last layer first");
+        assert_eq!(flat.len(), net.num_params());
+    }
+
+    #[test]
+    fn hook_slices_match_full_flat_grad() {
+        let mut net = mlp(4);
+        let x = Tensor::from_vec(&[3, 4], (0..12).map(|i| (i as f32).sin()).collect());
+        let y = net.forward(&x);
+        let mut pieces: Vec<(Range<usize>, Vec<f32>)> = Vec::new();
+        let flat = net.backward_layerwise(&y, |_, g, r| pieces.push((r, g.to_vec())));
+        for (r, g) in pieces {
+            assert_eq!(&flat[r], &g[..]);
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = mlp(9).params_flat();
+        let b = mlp(9).params_flat();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn residual_identity_at_zero_weights() {
+        let mut rng = DetRng::new(5);
+        let inner = Network::new(vec![Box::new(Linear::new("f", 4, 4, &mut rng))]);
+        let mut res = Residual::new("res", inner);
+        let zeros = vec![0.0f32; res.param_count()];
+        res.read_params(&zeros);
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32).collect());
+        let y = res.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice(), "zero branch must be identity");
+    }
+
+    #[test]
+    fn residual_gradcheck() {
+        use crate::layer::gradcheck;
+        let mut rng = DetRng::new(6);
+        let inner = Network::new(vec![
+            Box::new(Linear::new("f1", 4, 4, &mut rng)),
+            Box::new(Relu::new("r")),
+            Box::new(Linear::new("f2", 4, 4, &mut rng)),
+        ]);
+        let mut res = Residual::new("res", inner);
+        let mut x = Tensor::zeros(&[3, 4]);
+        DetRng::new(7).fill_normal_f32(x.as_mut_slice(), 0.7);
+        gradcheck::check(&mut res, &x, 3e-2, true);
+    }
+}

@@ -1,0 +1,284 @@
+//! Adam optimizer (Kingma & Ba, 2014) with bias correction.
+//!
+//! The implementation is deliberately *elementwise and range-addressable*:
+//! [`Adam::step_range`] updates only `params[range]` given `grad[range]`,
+//! which is the primitive behind LowDiff's sharded parallel recovery — each
+//! recovery thread replays the full gradient sequence for its own slice of
+//! the parameter vector and the result is bit-identical to a serial replay.
+
+use std::ops::Range;
+
+/// Adam hyper-parameters (immutable; the mutable part lives in [`AdamState`]).
+///
+/// ```
+/// use lowdiff_optim::{Adam, AdamState};
+///
+/// let adam = Adam::default();
+/// let mut state = AdamState::new(3);
+/// let mut params = vec![0.0f32; 3];
+/// adam.step(&mut state, &mut params, &[1.0, -2.0, 0.5]);
+/// // First-step magnitude is ~lr, direction opposes the gradient.
+/// assert!(params[0] < 0.0 && params[1] > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style); 0 disables.
+    pub weight_decay: f32,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Mutable Adam state: first/second moments plus the step counter.
+///
+/// `m` and `v` are each the size of the parameter vector, which is why a
+/// full checkpoint is `3Ψ` (params + m + v) — Finding 2 in the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    pub m: Vec<f32>,
+    pub v: Vec<f32>,
+    /// Number of `step` calls performed so far (t in the Adam paper).
+    pub t: u64,
+}
+
+impl AdamState {
+    /// Fresh zeroed state for `n` parameters.
+    pub fn new(n: usize) -> Self {
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+}
+
+impl Adam {
+    /// One full optimizer step: `params ← params + Adam(grad)`.
+    pub fn step(&self, state: &mut AdamState, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), state.len(), "state/param length mismatch");
+        assert_eq!(params.len(), grad.len(), "grad/param length mismatch");
+        state.t += 1;
+        let t = state.t;
+        self.apply_range(state, params, grad, 0..params.len(), t, 0);
+    }
+
+    /// Range-restricted step used by sharded recovery.
+    ///
+    /// * `range` — the slice of the parameter vector this call owns;
+    /// * `grad` — gradient values for exactly that range
+    ///   (`grad.len() == range.len()`);
+    /// * `step_t` — the global Adam step number this update corresponds to
+    ///   (bias correction must use the *global* t, not a per-shard counter).
+    ///
+    /// The caller is responsible for bumping `state.t` once per global step;
+    /// this function does not touch it.
+    pub fn step_range(
+        &self,
+        state: &mut AdamState,
+        params: &mut [f32],
+        grad: &[f32],
+        range: Range<usize>,
+        step_t: u64,
+    ) {
+        assert!(range.end <= params.len(), "range out of bounds");
+        assert_eq!(grad.len(), range.len(), "grad length != range length");
+        assert!(step_t >= 1, "Adam step numbers start at 1");
+        let off = range.start;
+        self.apply_range(state, params, grad, range, step_t, off);
+    }
+
+    /// Shared kernel: update `params[range]` from `grad[i - grad_off]`.
+    fn apply_range(
+        &self,
+        state: &mut AdamState,
+        params: &mut [f32],
+        grad: &[f32],
+        range: Range<usize>,
+        step_t: u64,
+        grad_off: usize,
+    ) {
+        // Bias corrections depend only on the global step number.
+        let bc1 = 1.0 - (self.beta1 as f64).powi(step_t as i32);
+        let bc2 = 1.0 - (self.beta2 as f64).powi(step_t as i32);
+        let bc1 = bc1 as f32;
+        let bc2 = bc2 as f32;
+        let (b1, b2) = (self.beta1, self.beta2);
+
+        for i in range {
+            let g = grad[i - grad_off];
+            let m = b1 * state.m[i] + (1.0 - b1) * g;
+            let v = b2 * state.v[i] + (1.0 - b2) * g * g;
+            state.m[i] = m;
+            state.v[i] = v;
+            let m_hat = m / bc1;
+            let v_hat = v / bc2;
+            let mut p = params[i];
+            if self.weight_decay != 0.0 {
+                p -= self.lr * self.weight_decay * p;
+            }
+            params[i] = p - self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// The *delta* this step would apply, without mutating `params`
+    /// (the optimizer state IS advanced). Used to materialize differential
+    /// checkpoints `C^D_t = Adam(G_t) = M_{t+1} − M_t` for the Naïve-DC
+    /// baseline and for delta-merge parallel recovery.
+    pub fn step_delta(&self, state: &mut AdamState, params: &[f32], grad: &[f32]) -> Vec<f32> {
+        let mut shadow = params.to_vec();
+        self.step(state, &mut shadow, grad);
+        shadow
+            .iter()
+            .zip(params)
+            .map(|(&new, &old)| new - old)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_grad(n: usize, t: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 + 1.0) * 0.1 + t as f32 * 0.01) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn zero_grad_still_moves_state() {
+        // With g = 0, m and v decay but (for t=1, m=0) params stay put.
+        let adam = Adam::default();
+        let mut st = AdamState::new(4);
+        let mut p = vec![1.0f32; 4];
+        adam.step(&mut st, &mut p, &[0.0; 4]);
+        assert_eq!(st.t, 1);
+        assert!(p.iter().all(|&x| (x - 1.0).abs() < 1e-7));
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // Classic Adam property: |Δ| ≈ lr on the first step for any g ≠ 0.
+        let adam = Adam { lr: 0.01, ..Adam::default() };
+        let mut st = AdamState::new(3);
+        let mut p = vec![0.0f32; 3];
+        adam.step(&mut st, &mut p, &[5.0, -0.3, 100.0]);
+        for (i, &x) in p.iter().enumerate() {
+            assert!(
+                (x.abs() - 0.01).abs() < 1e-4,
+                "param {i} moved {x}, expected ~lr"
+            );
+        }
+        // Direction opposes gradient sign.
+        assert!(p[0] < 0.0 && p[1] > 0.0 && p[2] < 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let adam = Adam::default();
+        let n = 100;
+        let run = || {
+            let mut st = AdamState::new(n);
+            let mut p = vec![0.5f32; n];
+            for t in 0..20 {
+                adam.step(&mut st, &mut p, &demo_grad(n, t));
+            }
+            (st, p)
+        };
+        let (s1, p1) = run();
+        let (s2, p2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn sharded_range_replay_equals_full() {
+        // The invariant behind sharded parallel recovery.
+        let adam = Adam::default();
+        let n = 257;
+        let steps = 15;
+
+        // Reference: serial full steps.
+        let mut st_ref = AdamState::new(n);
+        let mut p_ref = vec![0.1f32; n];
+        for t in 0..steps {
+            adam.step(&mut st_ref, &mut p_ref, &demo_grad(n, t));
+        }
+
+        // Sharded: three ranges, each replays all steps independently.
+        let mut st = AdamState::new(n);
+        let mut p = vec![0.1f32; n];
+        let grads: Vec<Vec<f32>> = (0..steps).map(|t| demo_grad(n, t)).collect();
+        for r in lowdiff_util::par::chunk_ranges(n, 3) {
+            for (k, g) in grads.iter().enumerate() {
+                adam.step_range(&mut st, &mut p, &g[r.clone()], r.clone(), k as u64 + 1);
+            }
+        }
+        st.t = steps;
+        assert_eq!(p, p_ref, "sharded replay diverged from serial");
+        assert_eq!(st.m, st_ref.m);
+        assert_eq!(st.v, st_ref.v);
+    }
+
+    #[test]
+    fn step_delta_matches_step() {
+        let adam = Adam::default();
+        let n = 32;
+        let g = demo_grad(n, 3);
+
+        let mut st_a = AdamState::new(n);
+        let mut p_a = vec![0.25f32; n];
+        adam.step(&mut st_a, &mut p_a, &g);
+
+        let mut st_b = AdamState::new(n);
+        let p_b = vec![0.25f32; n];
+        let delta = adam.step_delta(&mut st_b, &p_b, &g);
+
+        for i in 0..n {
+            assert!(
+                (p_b[i] + delta[i] - p_a[i]).abs() < 1e-7,
+                "delta mismatch at {i}"
+            );
+        }
+        assert_eq!(st_a, st_b);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let adam = Adam { weight_decay: 0.1, lr: 0.01, ..Adam::default() };
+        let mut st = AdamState::new(1);
+        let mut p = vec![10.0f32];
+        adam.step(&mut st, &mut p, &[0.0]);
+        assert!(p[0] < 10.0, "decay had no effect");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_grad() {
+        let adam = Adam::default();
+        let mut st = AdamState::new(4);
+        let mut p = vec![0.0f32; 4];
+        adam.step(&mut st, &mut p, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Learning-rate schedules and gradient clipping — standard training-loop
+//! utilities the larger workloads (BERT/GPT-2 style) rely on.
+//!
+//! Schedules are pure functions of the step number, so they preserve the
+//! replay-exactness invariant: a recovered run that resumes at step `t`
+//! computes the same learning rate the original run used at `t`.
+
+/// A learning-rate schedule: step number → learning rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant { lr: f32 },
+    /// Linear warmup to `peak` over `warmup` steps, then constant.
+    Warmup { peak: f32, warmup: u64 },
+    /// Linear warmup then cosine decay to `floor` at `total` steps.
+    WarmupCosine {
+        peak: f32,
+        floor: f32,
+        warmup: u64,
+        total: u64,
+    },
+    /// Step decay: multiply by `gamma` every `every` steps.
+    StepDecay { initial: f32, gamma: f32, every: u64 },
+}
+
+impl LrSchedule {
+    /// Learning rate at step `t` (steps count from 1, like Adam's `t`).
+    pub fn at(&self, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { peak, warmup } => {
+                if warmup == 0 || t >= warmup {
+                    peak
+                } else {
+                    peak * (t as f32 / warmup as f32)
+                }
+            }
+            LrSchedule::WarmupCosine {
+                peak,
+                floor,
+                warmup,
+                total,
+            } => {
+                if t < warmup {
+                    return peak * (t as f32 / warmup.max(1) as f32);
+                }
+                if t >= total {
+                    return floor;
+                }
+                let progress = (t - warmup) as f32 / (total - warmup).max(1) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                floor + (peak - floor) * cos
+            }
+            LrSchedule::StepDecay {
+                initial,
+                gamma,
+                every,
+            } => initial * gamma.powi((t / every.max(1)) as i32),
+        }
+    }
+}
+
+/// Clip a gradient to a maximum global L2 norm; returns the pre-clip norm.
+/// No-op (returns the norm) when already within bounds.
+pub fn clip_grad_norm(grad: &mut [f32], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = (grad.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>()).sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(1), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { peak: 1.0, warmup: 10 };
+        assert!((s.at(1) - 0.1).abs() < 1e-6);
+        assert!((s.at(5) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(10), 1.0);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.1,
+            warmup: 10,
+            total: 110,
+        };
+        assert!(s.at(5) < 1.0); // warming up
+        assert!((s.at(10) - 1.0).abs() < 1e-6); // peak
+        let mid = s.at(60);
+        assert!(
+            (mid - 0.55).abs() < 1e-3,
+            "cosine midpoint should be (peak+floor)/2: {mid}"
+        );
+        assert!((s.at(110) - 0.1).abs() < 1e-6); // floor
+        assert_eq!(s.at(10_000), 0.1); // stays at floor
+        // Monotone decreasing after warmup.
+        let mut prev = s.at(10);
+        for t in 11..=110 {
+            let cur = s.at(t);
+            assert!(cur <= prev + 1e-6, "not monotone at {t}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { initial: 0.8, gamma: 0.5, every: 100 };
+        assert_eq!(s.at(1), 0.8);
+        assert_eq!(s.at(99), 0.8);
+        assert!((s.at(100) - 0.4).abs() < 1e-7);
+        assert!((s.at(250) - 0.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn clip_reduces_large_gradients() {
+        let mut g = vec![3.0f32, 4.0]; // norm 5
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients() {
+        let mut g = vec![0.1f32, 0.2];
+        let orig = g.clone();
+        clip_grad_norm(&mut g, 10.0);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn clip_zero_gradient_is_safe() {
+        let mut g = vec![0.0f32; 8];
+        assert_eq!(clip_grad_norm(&mut g, 1.0), 0.0);
+        assert!(g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn schedule_is_replay_deterministic() {
+        // The recovery invariant: the lr at step t depends only on t.
+        let s = LrSchedule::WarmupCosine { peak: 0.3, floor: 0.0, warmup: 5, total: 50 };
+        let first: Vec<f32> = (1..=50).map(|t| s.at(t)).collect();
+        let second: Vec<f32> = (1..=50).map(|t| s.at(t)).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,108 @@
+//! SGD with (optional) momentum — the secondary optimizer.
+//!
+//! Included because several gradient-compression baselines in the literature
+//! (Deep Gradient Compression, Top-K SGD) are defined for momentum SGD; the
+//! reproduction uses it in tests to show LowDiff's replay logic is
+//! optimizer-agnostic (any elementwise pure-function optimizer works).
+
+/// SGD hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Mutable SGD state: the velocity buffer (size Ψ, so a full SGD checkpoint
+/// is 2Ψ rather than Adam's 3Ψ).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgdState {
+    pub velocity: Vec<f32>,
+    pub t: u64,
+}
+
+impl SgdState {
+    pub fn new(n: usize) -> Self {
+        Self {
+            velocity: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.velocity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.velocity.is_empty()
+    }
+}
+
+impl Sgd {
+    /// One step: `v ← μv + g (+ wd·p)`, `p ← p − lr·v`.
+    pub fn step(&self, state: &mut SgdState, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), state.len(), "state/param length mismatch");
+        assert_eq!(params.len(), grad.len(), "grad/param length mismatch");
+        state.t += 1;
+        for i in 0..params.len() {
+            let mut g = grad[i];
+            if self.weight_decay != 0.0 {
+                g += self.weight_decay * params[i];
+            }
+            let v = self.momentum * state.velocity[i] + g;
+            state.velocity[i] = v;
+            params[i] -= self.lr * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let sgd = Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.0 };
+        let mut st = SgdState::new(2);
+        let mut p = vec![1.0f32, 2.0];
+        sgd.step(&mut st, &mut p, &[1.0, -1.0]);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+        assert!((p[1] - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let sgd = Sgd { lr: 0.1, momentum: 0.5, weight_decay: 0.0 };
+        let mut st = SgdState::new(1);
+        let mut p = vec![0.0f32];
+        sgd.step(&mut st, &mut p, &[1.0]); // v=1,   p=-0.1
+        sgd.step(&mut st, &mut p, &[1.0]); // v=1.5, p=-0.25
+        assert!((p[0] + 0.25).abs() < 1e-6, "p={}", p[0]);
+        assert_eq!(st.t, 2);
+    }
+
+    #[test]
+    fn replay_determinism() {
+        let sgd = Sgd::default();
+        let run = || {
+            let mut st = SgdState::new(10);
+            let mut p = vec![0.3f32; 10];
+            for t in 0..50 {
+                let g: Vec<f32> = (0..10).map(|i| ((i + t) as f32).sin()).collect();
+                sgd.step(&mut st, &mut p, &g);
+            }
+            (st, p)
+        };
+        assert_eq!(run(), run());
+    }
+}

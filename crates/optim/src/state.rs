@@ -1,0 +1,127 @@
+//! [`ModelState`]: the unit of checkpointing.
+//!
+//! In the paper's notation `M_t = (x_t, o_t)`: the flat parameter vector
+//! plus the Adam moments and step/iteration counters. Everything the
+//! checkpointing strategies snapshot, diff, persist and recover is a
+//! `ModelState`.
+
+use crate::adam::{Adam, AdamState};
+
+/// Full training state at an iteration boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelState {
+    /// Completed training iterations (0 = fresh).
+    pub iteration: u64,
+    /// Flat model parameters `x_t` (Ψ elements).
+    pub params: Vec<f32>,
+    /// Adam optimizer state `o_t` (2Ψ elements + step counter).
+    pub opt: AdamState,
+}
+
+impl ModelState {
+    /// Fresh state from an initial parameter vector.
+    pub fn new(params: Vec<f32>) -> Self {
+        let n = params.len();
+        Self {
+            iteration: 0,
+            params,
+            opt: AdamState::new(n),
+        }
+    }
+
+    /// Ψ — parameter element count.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Checkpoint payload size in bytes: `3Ψ · 4` (params + m + v),
+    /// the quantity Finding 2 compares against a gradient's `Ψ · 4`.
+    pub fn payload_bytes(&self) -> usize {
+        (self.params.len() + self.opt.m.len() + self.opt.v.len()) * 4
+    }
+
+    /// Advance one iteration: apply the (already decompressed, already
+    /// synchronized) gradient through Adam. This is Equation (1):
+    /// `M_{t+1} = M_t + Adam(G_t)`.
+    pub fn apply_gradient(&mut self, adam: &Adam, grad: &[f32]) {
+        adam.step(&mut self.opt, &mut self.params, grad);
+        self.iteration += 1;
+    }
+
+    /// Apply a precomputed delta `C^D = M_{t+1} − M_t` covering params only
+    /// (Check-N-Run-style differential that does not track optimizer state).
+    /// Used by the Naïve-DC baseline; note the optimizer moments are NOT
+    /// restored by this path — exactly the deficiency Exp. 7 quantifies.
+    pub fn apply_param_delta(&mut self, delta: &[f32]) {
+        assert_eq!(delta.len(), self.params.len(), "delta length mismatch");
+        for (p, &d) in self.params.iter_mut().zip(delta) {
+            *p += d;
+        }
+        self.iteration += 1;
+    }
+
+    /// Maximum absolute difference across params and moments — the metric
+    /// recovery-exactness tests assert to be exactly 0.0.
+    pub fn max_abs_diff(&self, other: &ModelState) -> f32 {
+        assert_eq!(self.num_params(), other.num_params());
+        let mut m = 0.0f32;
+        for (a, b) in [
+            (&self.params, &other.params),
+            (&self.opt.m, &other.opt.m),
+            (&self.opt.v, &other.opt.v),
+        ] {
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                m = m.max((x - y).abs());
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_three_psi() {
+        let st = ModelState::new(vec![0.0; 1000]);
+        assert_eq!(st.payload_bytes(), 3 * 1000 * 4);
+    }
+
+    #[test]
+    fn apply_gradient_advances_iteration() {
+        let adam = Adam::default();
+        let mut st = ModelState::new(vec![0.0; 8]);
+        st.apply_gradient(&adam, &[1.0; 8]);
+        assert_eq!(st.iteration, 1);
+        assert_eq!(st.opt.t, 1);
+        assert!(st.params.iter().all(|&p| p != 0.0));
+    }
+
+    #[test]
+    fn equation_1_identity() {
+        // M_{t+1} = M_t + Adam(G_t): applying the delta from step_delta to a
+        // copy must equal apply_gradient on the original.
+        let adam = Adam::default();
+        let g: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).cos()).collect();
+
+        let mut live = ModelState::new(vec![0.5; 16]);
+        let mut shadow = live.clone();
+
+        let delta = adam.step_delta(&mut shadow.opt, &shadow.params, &g);
+        shadow.apply_param_delta(&delta);
+        live.apply_gradient(&adam, &g);
+
+        assert_eq!(live.params, shadow.params);
+        assert_eq!(live.iteration, shadow.iteration);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_moment_drift() {
+        let a = ModelState::new(vec![0.0; 4]);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.opt.v[2] = 0.125;
+        assert_eq!(a.max_abs_diff(&b), 0.125);
+    }
+}

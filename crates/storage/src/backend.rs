@@ -1,0 +1,284 @@
+//! Storage backends: in-memory, local disk, and bandwidth-throttled.
+//!
+//! The throttled wrapper is how the mechanism-level experiments reproduce
+//! *bandwidth-bound* checkpoint stalls on a machine whose real SSD is
+//! far faster than a saturated training node's: every write advances a
+//! busy-until horizon at the configured bandwidth and reports the simulated
+//! write latency.
+
+use lowdiff_util::units::{Bandwidth, ByteSize, Secs};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A flat key→blob store. Keys are file-name-safe strings.
+pub trait StorageBackend: Send + Sync {
+    /// Durably store `data` under `key` (atomic: readers never observe a
+    /// partial write *unless* the failure injector tears it on purpose).
+    fn put(&self, key: &str, data: &[u8]) -> io::Result<()>;
+    /// Fetch a blob.
+    fn get(&self, key: &str) -> io::Result<Vec<u8>>;
+    /// All keys, sorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Remove a blob (idempotent).
+    fn delete(&self, key: &str) -> io::Result<()>;
+    /// Total bytes written over this backend's lifetime.
+    fn bytes_written(&self) -> u64;
+}
+
+/// In-memory backend for tests and in-memory (Gemini-style) checkpoints.
+#[derive(Default)]
+pub struct MemoryBackend {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+    written: AtomicU64,
+}
+
+impl MemoryBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Corrupt a stored blob by truncating it — the failure injector's
+    /// "torn write" primitive used by recovery tests.
+    pub fn truncate_blob(&self, key: &str, keep: usize) {
+        let mut map = self.map.lock();
+        if let Some(v) = map.get_mut(key) {
+            v.truncate(keep);
+        }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.map.lock().insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> io::Result<Vec<u8>> {
+        self.map
+            .lock()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, key.to_string()))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.map.lock().keys().cloned().collect())
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        self.map.lock().remove(key);
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+/// Local-disk backend; writes go to a temp file then rename (atomic on
+/// POSIX), so a crash mid-write never leaves a half-visible checkpoint.
+pub struct DiskBackend {
+    dir: PathBuf,
+    written: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl DiskBackend {
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            written: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        assert!(
+            !key.contains(['/', '\\', '\0']),
+            "key {key:?} is not file-name safe"
+        );
+        self.dir.join(key)
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, self.path(key))?;
+        self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(key))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if !name.starts_with(".tmp-") {
+                out.push(name);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+/// Bandwidth-throttled wrapper: models a slower device (SSD at ~3 GB/s,
+/// 25 Gbps remote store, …) on top of any inner backend.
+///
+/// Writes are accounted against a busy-until horizon in *nanoseconds of
+/// simulated device time*; [`ThrottledBackend::write_latency`] returns how
+/// long the last write would have taken, and `total_busy` the cumulative
+/// device-busy time. No real sleeping — callers decide whether to advance
+/// a [`lowdiff_util::SimClock`] or to sleep.
+pub struct ThrottledBackend<B> {
+    inner: B,
+    bandwidth: Bandwidth,
+    busy_nanos: AtomicU64,
+}
+
+impl<B: StorageBackend> ThrottledBackend<B> {
+    pub fn new(inner: B, bandwidth: Bandwidth) -> Self {
+        Self {
+            inner,
+            bandwidth,
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Device time to write `n` bytes.
+    pub fn write_latency(&self, n: ByteSize) -> Secs {
+        n / self.bandwidth
+    }
+
+    /// Cumulative device-busy time across all writes.
+    pub fn total_busy(&self) -> Secs {
+        Secs(self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9)
+    }
+
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
+    fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        let dt = self.write_latency(ByteSize::bytes(data.len() as u64));
+        self.busy_nanos
+            .fetch_add((dt.as_f64() * 1e9) as u64, Ordering::Relaxed);
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> io::Result<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn delete(&self, key: &str) -> io::Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(b: &dyn StorageBackend) {
+        b.put("a", b"hello").unwrap();
+        b.put("b", b"world!").unwrap();
+        assert_eq!(b.get("a").unwrap(), b"hello");
+        assert_eq!(b.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        b.put("a", b"overwritten").unwrap();
+        assert_eq!(b.get("a").unwrap(), b"overwritten");
+        b.delete("a").unwrap();
+        assert!(b.get("a").is_err());
+        b.delete("a").unwrap(); // idempotent
+        assert_eq!(b.bytes_written(), 5 + 6 + 11);
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("lowdiff-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&DiskBackend::new(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_backend_hides_temp_files() {
+        let dir = std::env::temp_dir().join(format!("lowdiff-tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = DiskBackend::new(&dir).unwrap();
+        b.put("x", b"1").unwrap();
+        std::fs::write(dir.join(".tmp-999-0"), b"junk").unwrap();
+        assert_eq!(b.list().unwrap(), vec!["x".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn throttled_accounts_latency() {
+        let b = ThrottledBackend::new(MemoryBackend::new(), Bandwidth::gbps_bytes(1.0));
+        let data = vec![0u8; 1_000_000]; // 1 MB at 1 GB/s = 1 ms
+        b.put("blob", &data).unwrap();
+        assert!((b.total_busy().as_f64() - 1e-3).abs() < 1e-6);
+        b.put("blob2", &data).unwrap();
+        assert!((b.total_busy().as_f64() - 2e-3).abs() < 1e-6);
+        // Reads are free.
+        b.get("blob").unwrap();
+        assert!((b.total_busy().as_f64() - 2e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_truncate_blob_for_failure_injection() {
+        let b = MemoryBackend::new();
+        b.put("ckpt", &[1, 2, 3, 4, 5, 6]).unwrap();
+        b.truncate_blob("ckpt", 2);
+        assert_eq!(b.get("ckpt").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not file-name safe")]
+    fn disk_rejects_path_traversal() {
+        let dir = std::env::temp_dir().join(format!("lowdiff-sec-{}", std::process::id()));
+        let b = DiskBackend::new(&dir).unwrap();
+        let _ = b.put("../evil", b"x");
+    }
+}

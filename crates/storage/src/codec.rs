@@ -1,0 +1,359 @@
+//! Versioned binary checkpoint format with CRC32 integrity.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! full checkpoint      diff batch
+//! ┌──────────────┐     ┌──────────────────────┐
+//! │ magic "LDFC" │     │ magic "LDDB"         │
+//! │ version u16  │     │ version u16          │
+//! │ iteration u64│     │ count u32            │
+//! │ psi u64      │     │ count × {            │
+//! │ adam_t u64   │     │   iteration u64      │
+//! │ params  f32×Ψ│     │   CompressedGrad     │
+//! │ adam_m  f32×Ψ│     │ }                    │
+//! │ adam_v  f32×Ψ│     │ crc32 u32            │
+//! │ crc32 u32    │     └──────────────────────┘
+//! └──────────────┘
+//! ```
+//!
+//! The CRC covers every preceding byte; a checkpoint that fails its CRC (a
+//! torn write at failure time) is treated as absent during recovery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lowdiff_compress::{CompressedGrad, QuantGrad, SparseGrad};
+use lowdiff_optim::{AdamState, ModelState};
+use lowdiff_util::crc::crc32;
+
+pub const MAGIC_FULL: &[u8; 4] = b"LDFC";
+pub const MAGIC_DIFF: &[u8; 4] = b"LDDB";
+pub const VERSION: u16 = 1;
+
+/// Decode failure reasons.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic,
+    UnsupportedVersion(u16),
+    Corrupt(&'static str),
+    CrcMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            CodecError::CrcMismatch => write!(f, "crc mismatch (torn or corrupted write)"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_f32s(buf: &mut BytesMut, xs: &[f32]) {
+    buf.reserve(xs.len() * 4);
+    for &x in xs {
+        buf.put_f32_le(x);
+    }
+}
+
+fn take_f32s(buf: &mut Bytes, n: usize) -> Result<Vec<f32>, CodecError> {
+    if buf.remaining() < n * 4 {
+        return Err(CodecError::Corrupt("truncated f32 array"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+fn seal(mut buf: BytesMut) -> Vec<u8> {
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+fn check_crc(data: &[u8]) -> Result<&[u8], CodecError> {
+    if data.len() < 4 {
+        return Err(CodecError::Corrupt("too short for crc"));
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(CodecError::CrcMismatch);
+    }
+    Ok(body)
+}
+
+/// Serialize a full checkpoint.
+pub fn encode_model_state(state: &ModelState) -> Vec<u8> {
+    let psi = state.params.len();
+    let mut buf = BytesMut::with_capacity(32 + psi * 12);
+    buf.put_slice(MAGIC_FULL);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(state.iteration);
+    buf.put_u64_le(psi as u64);
+    buf.put_u64_le(state.opt.t);
+    put_f32s(&mut buf, &state.params);
+    put_f32s(&mut buf, &state.opt.m);
+    put_f32s(&mut buf, &state.opt.v);
+    seal(buf)
+}
+
+/// Deserialize a full checkpoint, validating magic, version and CRC.
+pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
+    let body = check_crc(data)?;
+    let mut buf = Bytes::copy_from_slice(body);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC_FULL {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let iteration = buf.get_u64_le();
+    let psi = buf.get_u64_le() as usize;
+    let adam_t = buf.get_u64_le();
+    let params = take_f32s(&mut buf, psi)?;
+    let m = take_f32s(&mut buf, psi)?;
+    let v = take_f32s(&mut buf, psi)?;
+    if buf.has_remaining() {
+        return Err(CodecError::Corrupt("trailing bytes"));
+    }
+    Ok(ModelState {
+        iteration,
+        params,
+        opt: AdamState { m, v, t: adam_t },
+    })
+}
+
+fn put_compressed(buf: &mut BytesMut, g: &CompressedGrad) {
+    match g {
+        CompressedGrad::Sparse(s) => {
+            buf.put_u8(0);
+            buf.put_u64_le(s.dense_len as u64);
+            buf.put_u32_le(s.nnz() as u32);
+            for &i in &s.indices {
+                buf.put_u32_le(i);
+            }
+            put_f32s(buf, &s.values);
+        }
+        CompressedGrad::Quant(q) => {
+            buf.put_u8(1);
+            buf.put_u64_le(q.dense_len as u64);
+            buf.put_u8(q.bits);
+            buf.put_f32_le(q.scale);
+            buf.put_f32_le(q.zero);
+            buf.put_u32_le(q.codes.len() as u32);
+            buf.put_slice(&q.codes);
+        }
+        CompressedGrad::Dense(d) => {
+            buf.put_u8(2);
+            buf.put_u64_le(d.len() as u64);
+            put_f32s(buf, d);
+        }
+    }
+}
+
+fn take_compressed(buf: &mut Bytes) -> Result<CompressedGrad, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Corrupt("missing grad tag"));
+    }
+    match buf.get_u8() {
+        0 => {
+            let dense_len = buf.get_u64_le() as usize;
+            let nnz = buf.get_u32_le() as usize;
+            if buf.remaining() < nnz * 8 {
+                return Err(CodecError::Corrupt("truncated sparse grad"));
+            }
+            let mut indices = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                indices.push(buf.get_u32_le());
+            }
+            let values = take_f32s(buf, nnz)?;
+            Ok(CompressedGrad::Sparse(SparseGrad::new(
+                dense_len, indices, values,
+            )))
+        }
+        1 => {
+            let dense_len = buf.get_u64_le() as usize;
+            let bits = buf.get_u8();
+            let scale = buf.get_f32_le();
+            let zero = buf.get_f32_le();
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n {
+                return Err(CodecError::Corrupt("truncated quant codes"));
+            }
+            let codes = buf.copy_to_bytes(n).to_vec();
+            Ok(CompressedGrad::Quant(QuantGrad {
+                dense_len,
+                bits,
+                codes,
+                scale,
+                zero,
+            }))
+        }
+        2 => {
+            let n = buf.get_u64_le() as usize;
+            Ok(CompressedGrad::Dense(take_f32s(buf, n)?))
+        }
+        t => {
+            let _ = t;
+            Err(CodecError::Corrupt("unknown grad tag"))
+        }
+    }
+}
+
+/// One differential entry: the iteration it advances *from* (applying it to
+/// `M_t` yields `M_{t+1}`) and the reused compressed gradient.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    pub iteration: u64,
+    pub grad: CompressedGrad,
+}
+
+/// Serialize a batch of differential checkpoints (`C^B` in §4.2: one write
+/// I/O for `BS` reused gradients).
+pub fn encode_diff_batch(entries: &[DiffEntry]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_slice(MAGIC_DIFF);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u64_le(e.iteration);
+        put_compressed(&mut buf, &e.grad);
+    }
+    seal(buf)
+}
+
+/// Deserialize a differential batch.
+pub fn decode_diff_batch(data: &[u8]) -> Result<Vec<DiffEntry>, CodecError> {
+    let body = check_crc(data)?;
+    let mut buf = Bytes::copy_from_slice(body);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC_DIFF {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(CodecError::Corrupt("truncated diff entry"));
+        }
+        let iteration = buf.get_u64_le();
+        let grad = take_compressed(&mut buf)?;
+        out.push(DiffEntry { iteration, grad });
+    }
+    if buf.has_remaining() {
+        return Err(CodecError::Corrupt("trailing bytes"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdiff_util::DetRng;
+
+    fn demo_state(psi: usize, seed: u64) -> ModelState {
+        let mut rng = DetRng::new(seed);
+        let mut st = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
+        st.iteration = 1234;
+        st.opt.t = 1234;
+        rng.fill_normal_f32(&mut st.opt.m, 0.1);
+        rng.fill_normal_f32(&mut st.opt.v, 0.01);
+        st
+    }
+
+    #[test]
+    fn model_state_roundtrip() {
+        let st = demo_state(1000, 1);
+        let bytes = encode_model_state(&st);
+        let back = decode_model_state(&bytes).unwrap();
+        assert_eq!(st, back);
+    }
+
+    #[test]
+    fn crc_detects_flips_anywhere() {
+        let st = demo_state(64, 2);
+        let bytes = encode_model_state(&st);
+        for pos in [0usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            let err = decode_model_state(&bad).unwrap_err();
+            assert!(
+                matches!(err, CodecError::CrcMismatch | CodecError::BadMagic),
+                "flip at {pos} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let st = demo_state(64, 3);
+        let bytes = encode_model_state(&st);
+        // A torn write: only the first half hit the disk.
+        let torn = &bytes[..bytes.len() / 2];
+        assert!(decode_model_state(torn).is_err());
+    }
+
+    #[test]
+    fn diff_batch_roundtrip_all_representations() {
+        let entries = vec![
+            DiffEntry {
+                iteration: 10,
+                grad: CompressedGrad::Sparse(SparseGrad::new(
+                    100,
+                    vec![1, 50, 99],
+                    vec![0.5, -1.0, 2.0],
+                )),
+            },
+            DiffEntry {
+                iteration: 11,
+                grad: CompressedGrad::Dense(vec![1.0, 2.0, 3.0]),
+            },
+            DiffEntry {
+                iteration: 12,
+                grad: CompressedGrad::Quant(QuantGrad {
+                    dense_len: 5,
+                    bits: 8,
+                    codes: vec![0, 64, 128, 192, 255],
+                    scale: 0.01,
+                    zero: -1.0,
+                }),
+            },
+        ];
+        let bytes = encode_diff_batch(&entries);
+        assert_eq!(decode_diff_batch(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_diff_batch() {
+        let bytes = encode_diff_batch(&[]);
+        assert!(decode_diff_batch(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let st = demo_state(8, 4);
+        let full = encode_model_state(&st);
+        assert_eq!(decode_diff_batch(&full).unwrap_err(), CodecError::BadMagic);
+        let diff = encode_diff_batch(&[]);
+        assert_eq!(decode_model_state(&diff).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn encoded_size_matches_payload_accounting() {
+        // Size ≈ header + 3Ψ·4 + crc; the cost model assumes 3Ψ·4 dominates.
+        let st = demo_state(10_000, 5);
+        let bytes = encode_model_state(&st);
+        let payload = st.payload_bytes();
+        assert!(bytes.len() >= payload);
+        assert!(bytes.len() < payload + 64, "header overhead too large");
+    }
+}

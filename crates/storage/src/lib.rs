@@ -1,0 +1,21 @@
+//! # lowdiff-storage
+//!
+//! Checkpoint persistence: binary codec, storage backends, and the
+//! [`CheckpointStore`] that manages full + differential checkpoint files.
+//!
+//! * [`codec`] — a hand-written, versioned, CRC32-stamped binary format for
+//!   [`lowdiff_optim::ModelState`] (full checkpoints) and
+//!   [`lowdiff_compress::CompressedGrad`] batches (differential
+//!   checkpoints). Torn writes are detected at load time.
+//! * [`backend`] — [`StorageBackend`] implementations: in-memory (tests),
+//!   local disk (atomic rename writes), and a bandwidth-throttled wrapper
+//!   that models SSD/remote write speeds against a [`lowdiff_util::Clock`].
+//! * [`store`] — naming, latest-valid discovery, differential chains and
+//!   garbage collection.
+
+pub mod backend;
+pub mod codec;
+pub mod store;
+
+pub use backend::{DiskBackend, MemoryBackend, StorageBackend, ThrottledBackend};
+pub use store::CheckpointStore;

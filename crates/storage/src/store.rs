@@ -1,0 +1,306 @@
+//! [`CheckpointStore`]: naming, discovery and garbage collection of full
+//! and differential checkpoints on any [`StorageBackend`].
+//!
+//! Key scheme (lexicographically ordered == chronologically ordered):
+//!
+//! * `full-0000000042.ckpt`          — full checkpoint of `M_42`
+//! * `diff-0000000042-0000000045.ckpt` — batched differentials advancing
+//!   `M_42 → M_46` (iterations 42..=45, one reused gradient each)
+//!
+//! Recovery = latest *valid* (CRC-checked) full checkpoint + every valid
+//! differential chain after it, in order (Equation 2).
+
+use crate::backend::StorageBackend;
+use crate::codec::{self, DiffEntry};
+use lowdiff_optim::ModelState;
+use std::io;
+use std::sync::Arc;
+
+/// Manages checkpoint blobs on a backend.
+pub struct CheckpointStore {
+    backend: Arc<dyn StorageBackend>,
+}
+
+/// A parsed differential-batch key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffKey {
+    /// First iteration this batch advances from.
+    pub start: u64,
+    /// Last iteration this batch advances from (inclusive).
+    pub end: u64,
+    pub key: String,
+}
+
+impl CheckpointStore {
+    pub fn new(backend: Arc<dyn StorageBackend>) -> Self {
+        Self { backend }
+    }
+
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    fn full_key(iteration: u64) -> String {
+        format!("full-{iteration:010}.ckpt")
+    }
+
+    fn diff_key(start: u64, end: u64) -> String {
+        format!("diff-{start:010}-{end:010}.ckpt")
+    }
+
+    /// Persist a full checkpoint of `state`.
+    pub fn save_full(&self, state: &ModelState) -> io::Result<()> {
+        let bytes = codec::encode_model_state(state);
+        self.backend.put(&Self::full_key(state.iteration), &bytes)
+    }
+
+    /// Persist a batch of differential checkpoints. Entries must be
+    /// consecutive by iteration.
+    pub fn save_diff_batch(&self, entries: &[DiffEntry]) -> io::Result<()> {
+        assert!(!entries.is_empty(), "empty differential batch");
+        for w in entries.windows(2) {
+            assert_eq!(
+                w[1].iteration,
+                w[0].iteration + 1,
+                "differential batch must be consecutive"
+            );
+        }
+        let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
+        let bytes = codec::encode_diff_batch(entries);
+        self.backend.put(&Self::diff_key(start, end), &bytes)
+    }
+
+    /// Iterations of all stored full checkpoints (sorted ascending),
+    /// *without* validating their contents.
+    pub fn full_iterations(&self) -> io::Result<Vec<u64>> {
+        let mut out: Vec<u64> = self
+            .backend
+            .list()?
+            .iter()
+            .filter_map(|k| {
+                k.strip_prefix("full-")?
+                    .strip_suffix(".ckpt")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// All differential-batch keys (sorted by start iteration).
+    pub fn diff_keys(&self) -> io::Result<Vec<DiffKey>> {
+        let mut out: Vec<DiffKey> = self
+            .backend
+            .list()?
+            .iter()
+            .filter_map(|k| {
+                let body = k.strip_prefix("diff-")?.strip_suffix(".ckpt")?;
+                let (s, e) = body.split_once('-')?;
+                Some(DiffKey {
+                    start: s.parse().ok()?,
+                    end: e.parse().ok()?,
+                    key: k.clone(),
+                })
+            })
+            .collect();
+        out.sort_by_key(|d| d.start);
+        Ok(out)
+    }
+
+    /// Load and CRC-validate a specific full checkpoint.
+    pub fn load_full(&self, iteration: u64) -> io::Result<ModelState> {
+        let bytes = self.backend.get(&Self::full_key(iteration))?;
+        codec::decode_model_state(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The newest full checkpoint that passes CRC validation. Corrupt (torn)
+    /// checkpoints are skipped — this is the recovery entry point.
+    pub fn latest_valid_full(&self) -> io::Result<Option<ModelState>> {
+        for iter in self.full_iterations()?.into_iter().rev() {
+            match self.load_full(iter) {
+                Ok(state) => return Ok(Some(state)),
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => continue,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Load every valid differential entry with `iteration >= from`,
+    /// in iteration order, stopping at the first gap (a missing or corrupt
+    /// batch breaks the replay chain — later diffs are unusable).
+    pub fn diff_chain_from(&self, from: u64) -> io::Result<Vec<DiffEntry>> {
+        let mut chain: Vec<DiffEntry> = Vec::new();
+        let mut next = from;
+        for dk in self.diff_keys()? {
+            if dk.end < next {
+                continue; // already covered by the full checkpoint
+            }
+            let Ok(bytes) = self.backend.get(&dk.key) else {
+                break;
+            };
+            let Ok(entries) = codec::decode_diff_batch(&bytes) else {
+                break; // torn batch: chain ends here
+            };
+            for e in entries {
+                if e.iteration < next {
+                    continue;
+                }
+                if e.iteration != next {
+                    return Ok(chain); // gap: stop
+                }
+                chain.push(e);
+                next += 1;
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Delete all checkpoints strictly older than `keep_from` (both full
+    /// checkpoints and differential batches entirely before it). Returns
+    /// the number of blobs removed.
+    pub fn gc_before(&self, keep_from: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for iter in self.full_iterations()? {
+            if iter < keep_from {
+                self.backend.delete(&Self::full_key(iter))?;
+                removed += 1;
+            }
+        }
+        for dk in self.diff_keys()? {
+            if dk.end < keep_from {
+                self.backend.delete(&dk.key)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Total stored bytes across all checkpoint blobs (Exp. 7's metric).
+    pub fn total_stored_bytes(&self) -> io::Result<u64> {
+        let mut total = 0u64;
+        for k in self.backend.list()? {
+            total += self.backend.get(&k)?.len() as u64;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use lowdiff_compress::{CompressedGrad, SparseGrad};
+
+    fn state_at(iter: u64) -> ModelState {
+        let mut st = ModelState::new(vec![iter as f32; 8]);
+        st.iteration = iter;
+        st.opt.t = iter;
+        st
+    }
+
+    fn diff_at(iter: u64) -> DiffEntry {
+        DiffEntry {
+            iteration: iter,
+            grad: CompressedGrad::Sparse(SparseGrad::new(8, vec![0], vec![iter as f32])),
+        }
+    }
+
+    fn mem_store() -> (Arc<MemoryBackend>, CheckpointStore) {
+        let mem = Arc::new(MemoryBackend::new());
+        let store = CheckpointStore::new(mem.clone() as Arc<dyn StorageBackend>);
+        (mem, store)
+    }
+
+    #[test]
+    fn save_and_load_full() {
+        let (_, store) = mem_store();
+        store.save_full(&state_at(5)).unwrap();
+        store.save_full(&state_at(12)).unwrap();
+        assert_eq!(store.full_iterations().unwrap(), vec![5, 12]);
+        let latest = store.latest_valid_full().unwrap().unwrap();
+        assert_eq!(latest.iteration, 12);
+    }
+
+    #[test]
+    fn latest_valid_skips_torn_checkpoint() {
+        let (mem, store) = mem_store();
+        store.save_full(&state_at(5)).unwrap();
+        store.save_full(&state_at(12)).unwrap();
+        mem.truncate_blob("full-0000000012.ckpt", 10); // torn write
+        let latest = store.latest_valid_full().unwrap().unwrap();
+        assert_eq!(latest.iteration, 5, "must fall back past the torn ckpt");
+    }
+
+    #[test]
+    fn empty_store_recovers_to_none() {
+        let (_, store) = mem_store();
+        assert!(store.latest_valid_full().unwrap().is_none());
+    }
+
+    #[test]
+    fn diff_chain_assembles_in_order() {
+        let (_, store) = mem_store();
+        store.save_diff_batch(&[diff_at(10), diff_at(11)]).unwrap();
+        store.save_diff_batch(&[diff_at(12)]).unwrap();
+        store.save_diff_batch(&[diff_at(13), diff_at(14)]).unwrap();
+        let chain = store.diff_chain_from(11).unwrap();
+        let iters: Vec<u64> = chain.iter().map(|e| e.iteration).collect();
+        assert_eq!(iters, vec![11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn diff_chain_stops_at_gap() {
+        let (_, store) = mem_store();
+        store.save_diff_batch(&[diff_at(10)]).unwrap();
+        store.save_diff_batch(&[diff_at(12)]).unwrap(); // 11 missing
+        let chain = store.diff_chain_from(10).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].iteration, 10);
+    }
+
+    #[test]
+    fn diff_chain_stops_at_torn_batch() {
+        let (mem, store) = mem_store();
+        store.save_diff_batch(&[diff_at(10)]).unwrap();
+        store.save_diff_batch(&[diff_at(11)]).unwrap();
+        store.save_diff_batch(&[diff_at(12)]).unwrap();
+        mem.truncate_blob("diff-0000000011-0000000011.ckpt", 4);
+        let chain = store.diff_chain_from(10).unwrap();
+        assert_eq!(chain.len(), 1, "chain must stop at the torn batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn non_consecutive_batch_rejected() {
+        let (_, store) = mem_store();
+        store.save_diff_batch(&[diff_at(10), diff_at(12)]).unwrap();
+    }
+
+    #[test]
+    fn gc_removes_old_blobs() {
+        let (_, store) = mem_store();
+        store.save_full(&state_at(0)).unwrap();
+        store.save_diff_batch(&[diff_at(0), diff_at(1)]).unwrap();
+        store.save_full(&state_at(10)).unwrap();
+        store.save_diff_batch(&[diff_at(10)]).unwrap();
+        let removed = store.gc_before(10).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(store.full_iterations().unwrap(), vec![10]);
+        assert_eq!(store.diff_keys().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn total_stored_bytes_counts_everything() {
+        let (_, store) = mem_store();
+        store.save_full(&state_at(1)).unwrap();
+        store.save_diff_batch(&[diff_at(1)]).unwrap();
+        let total = store.total_stored_bytes().unwrap();
+        assert!(total > 0);
+        let full_len = store.backend().get("full-0000000001.ckpt").unwrap().len();
+        assert!(total as usize > full_len);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the checkpoint codec and store.
+
+use lowdiff_compress::{CompressedGrad, QuantGrad, SparseGrad};
+use lowdiff_optim::{AdamState, ModelState};
+use lowdiff_storage::codec::{self, DiffEntry};
+use lowdiff_storage::{CheckpointStore, MemoryBackend, StorageBackend};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_state() -> impl Strategy<Value = ModelState> {
+    (
+        prop::collection::vec(-1e6f32..1e6, 1..200),
+        0u64..u64::MAX / 2,
+        0u64..u64::MAX / 2,
+    )
+        .prop_map(|(params, iteration, t)| {
+            let m: Vec<f32> = params.iter().map(|x| x * 0.5).collect();
+            let v: Vec<f32> = params.iter().map(|x| x.abs() * 0.1).collect();
+            ModelState {
+                iteration,
+                params,
+                opt: AdamState { m, v, t },
+            }
+        })
+}
+
+fn arb_grad(max_len: usize) -> impl Strategy<Value = CompressedGrad> {
+    prop_oneof![
+        // Sparse with valid sorted unique indices.
+        (1..max_len).prop_flat_map(|n| {
+            prop::collection::btree_set(0..n as u32, 0..n.min(40)).prop_map(move |idx| {
+                let indices: Vec<u32> = idx.into_iter().collect();
+                let values: Vec<f32> = indices.iter().map(|&i| i as f32 * 0.25 - 3.0).collect();
+                CompressedGrad::Sparse(SparseGrad::new(n, indices, values))
+            })
+        }),
+        // Dense.
+        prop::collection::vec(-10.0f32..10.0, 1..60).prop_map(CompressedGrad::Dense),
+        // Quantized.
+        (1usize..60, prop::bool::ANY).prop_map(|(n, wide)| {
+            let bits = if wide { 8 } else { 4 };
+            let codes = if bits == 8 {
+                (0..n).map(|i| (i * 7 % 256) as u8).collect()
+            } else {
+                (0..n.div_ceil(2)).map(|i| (i * 13 % 256) as u8).collect()
+            };
+            CompressedGrad::Quant(QuantGrad {
+                dense_len: n,
+                bits,
+                codes,
+                scale: 0.01,
+                zero: -1.0,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// decode ∘ encode = identity for model states.
+    #[test]
+    fn model_state_roundtrip(st in arb_state()) {
+        let bytes = codec::encode_model_state(&st);
+        let back = codec::decode_model_state(&bytes).unwrap();
+        prop_assert_eq!(st, back);
+    }
+
+    /// decode ∘ encode = identity for differential batches of any mix of
+    /// representations.
+    #[test]
+    fn diff_batch_roundtrip(
+        grads in prop::collection::vec(arb_grad(100), 0..6),
+        start in 0u64..1000,
+    ) {
+        let entries: Vec<DiffEntry> = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, grad)| DiffEntry { iteration: start + i as u64, grad })
+            .collect();
+        let bytes = codec::encode_diff_batch(&entries);
+        prop_assert_eq!(codec::decode_diff_batch(&bytes).unwrap(), entries);
+    }
+
+    /// Any single-byte corruption is detected (CRC or structural error) —
+    /// decode never silently returns wrong data.
+    #[test]
+    fn corruption_never_silent(st in arb_state(), pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let bytes = codec::encode_model_state(&st);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        let mut bad = bytes.clone();
+        bad[pos] ^= flip;
+        match codec::decode_model_state(&bad) {
+            Err(_) => {} // detected: good
+            Ok(decoded) => prop_assert_eq!(decoded, st, "silent corruption!"),
+        }
+    }
+
+    /// Store discovery: the latest valid full checkpoint is always the one
+    /// with the highest iteration among the uncorrupted writes.
+    #[test]
+    fn latest_valid_full_is_max_uncorrupted(
+        iters in prop::collection::btree_set(0u64..500, 1..8),
+        corrupt_mask in prop::collection::vec(prop::bool::ANY, 8),
+    ) {
+        let mem = Arc::new(MemoryBackend::new());
+        let store = CheckpointStore::new(mem.clone() as Arc<dyn StorageBackend>);
+        let iters: Vec<u64> = iters.into_iter().collect();
+        let mut expected: Option<u64> = None;
+        for (i, &iter) in iters.iter().enumerate() {
+            let mut st = ModelState::new(vec![iter as f32; 4]);
+            st.iteration = iter;
+            store.save_full(&st).unwrap();
+            if corrupt_mask[i % corrupt_mask.len()] {
+                mem.truncate_blob(&format!("full-{iter:010}.ckpt"), 3);
+            } else {
+                expected = Some(expected.map_or(iter, |e: u64| e.max(iter)));
+            }
+        }
+        let got = store.latest_valid_full().unwrap().map(|s| s.iteration);
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,214 @@
+//! [`StateDict`]: an ordered, named collection of tensors.
+//!
+//! Ordering is load-bearing. Checkpoint serialization must be byte-stable,
+//! and gradient compression addresses parameters by *flat offset* into the
+//! concatenation of all tensors in insertion order — exactly how DeepSpeed
+//! flattens parameter groups into contiguous buffers.
+
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Ordered name → tensor map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateDict {
+    entries: Vec<(String, Tensor)>,
+    index: HashMap<String, usize>,
+}
+
+impl StateDict {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a tensor; duplicate names are a bug, so they panic.
+    pub fn insert(&mut self, name: impl Into<String>, t: Tensor) {
+        let name = name.into();
+        assert!(
+            !self.index.contains_key(&name),
+            "duplicate state-dict entry {name:?}"
+        );
+        self.index.insert(name.clone(), self.entries.len());
+        self.entries.push((name, t));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.index.get(name).map(|&i| &self.entries[i].1)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        let i = *self.index.get(name)?;
+        Some(&mut self.entries[i].1)
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total element count across all tensors (Ψ in the paper's notation,
+    /// when this dict holds the model parameters).
+    pub fn num_elements(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.len()).sum()
+    }
+
+    /// Total payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.payload_bytes()).sum()
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Iterate mutably in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Tensor)> {
+        self.entries.iter_mut().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Copy all tensors into one flat vector (insertion order).
+    /// This is the "flattened parameter buffer" view.
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_elements());
+        for (_, t) in &self.entries {
+            out.extend_from_slice(t.as_slice());
+        }
+        out
+    }
+
+    /// Overwrite all tensors from a flat buffer laid out as by [`flatten`].
+    pub fn unflatten_from(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.num_elements(),
+            "flat buffer length mismatch"
+        );
+        let mut off = 0;
+        for (_, t) in self.entries.iter_mut() {
+            let n = t.len();
+            t.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Flat-offset table: for each tensor, its starting offset in the
+    /// flattened view. Compressors use this to map global indices back to
+    /// (tensor, local index).
+    pub fn offsets(&self) -> Vec<(String, usize, usize)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        let mut off = 0;
+        for (n, t) in &self.entries {
+            out.push((n.clone(), off, t.len()));
+            off += t.len();
+        }
+        out
+    }
+
+    /// Maximum absolute elementwise difference between two dicts with the
+    /// same schema. Panics on schema mismatch.
+    pub fn max_abs_diff(&self, other: &StateDict) -> f32 {
+        assert_eq!(self.len(), other.len(), "entry count mismatch");
+        let mut m = 0.0f32;
+        for ((na, ta), (nb, tb)) in self.entries.iter().zip(&other.entries) {
+            assert_eq!(na, nb, "name mismatch {na} vs {nb}");
+            m = m.max(ta.max_abs_diff(tb));
+        }
+        m
+    }
+}
+
+impl FromIterator<(String, Tensor)> for StateDict {
+    fn from_iter<I: IntoIterator<Item = (String, Tensor)>>(iter: I) -> Self {
+        let mut d = StateDict::new();
+        for (n, t) in iter {
+            d.insert(n, t);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateDict {
+        let mut d = StateDict::new();
+        d.insert("w1", Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        d.insert("b1", Tensor::from_slice(&[4.0]));
+        d.insert("w2", Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]));
+        d
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let d = sample();
+        let names: Vec<&str> = d.names().collect();
+        assert_eq!(names, vec!["w1", "b1", "w2"]);
+    }
+
+    #[test]
+    fn lookup() {
+        let d = sample();
+        assert_eq!(d.get("b1").unwrap().as_slice(), &[4.0]);
+        assert!(d.get("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        let mut d = sample();
+        d.insert("w1", Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    fn counts() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.num_elements(), 8);
+        assert_eq!(d.payload_bytes(), 32);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let d = sample();
+        let flat = d.flatten();
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut d2 = sample();
+        for (_, t) in d2.iter_mut() {
+            t.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
+        }
+        d2.unflatten_from(&flat);
+        assert_eq!(d2, d);
+    }
+
+    #[test]
+    fn offsets_table() {
+        let d = sample();
+        assert_eq!(
+            d.offsets(),
+            vec![
+                ("w1".to_string(), 0, 3),
+                ("b1".to_string(), 3, 1),
+                ("w2".to_string(), 4, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn max_abs_diff_zero_for_clone() {
+        let d = sample();
+        assert_eq!(d.max_abs_diff(&d.clone()), 0.0);
+        let mut e = d.clone();
+        e.get_mut("w2").unwrap().as_mut_slice()[3] += 0.25;
+        assert!((d.max_abs_diff(&e) - 0.25).abs() < 1e-6);
+    }
+}

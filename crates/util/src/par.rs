@@ -1,0 +1,86 @@
+//! Chunking helpers for data-parallel loops.
+//!
+//! The sharded recovery path in `lowdiff` splits a parameter vector across
+//! threads; these helpers compute balanced, contiguous ranges so every crate
+//! partitions the same way (and tests can assert exact coverage).
+
+use std::ops::Range;
+
+/// Split `len` items into at most `chunks` contiguous ranges whose sizes
+/// differ by at most one. Empty ranges are never produced; if
+/// `chunks > len`, fewer than `chunks` ranges are returned.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    assert!(chunks > 0, "need at least one chunk");
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks; // first `extra` chunks get one more element
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Pick a chunk size that yields roughly `per_thread_multiple` chunks per
+/// available thread — a good default granularity for rayon loops over large
+/// flat tensors.
+pub fn default_chunk_size(len: usize, threads: usize) -> usize {
+    let target_chunks = (threads.max(1)) * 4;
+    (len / target_chunks).max(1024).min(len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_once() {
+        for len in [0usize, 1, 7, 100, 1023] {
+            for chunks in [1usize, 2, 3, 8, 64] {
+                let rs = chunk_ranges(len, chunks);
+                let mut covered = vec![false; len];
+                for r in &rs {
+                    for i in r.clone() {
+                        assert!(!covered[i], "index {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let rs = chunk_ranges(103, 10);
+        let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+        let mn = *sizes.iter().min().unwrap();
+        let mx = *sizes.iter().max().unwrap();
+        assert!(mx - mn <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn no_empty_ranges() {
+        let rs = chunk_ranges(3, 10);
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn chunk_size_sane() {
+        assert!(default_chunk_size(1_000_000, 8) >= 1024);
+        assert!(default_chunk_size(10, 8) >= 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Streaming statistics for experiment harnesses.
+//!
+//! Every experiment binary reports mean / min / max / percentiles of measured
+//! quantities (checkpoint latency, stall time, …). `Summary` accumulates
+//! samples with Welford's online algorithm (numerically stable) and keeps
+//! the raw samples for exact percentiles.
+
+/// Accumulates f64 samples and reports summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        // Welford update.
+        let n = self.samples.len() as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Add many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n − 1 denominator).
+    pub fn variance(&self) -> f64 {
+        match self.samples.len() {
+            0 | 1 => 0.0,
+            n => self.m2 / (n as f64 - 1.0),
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Exact percentile by nearest-rank (p in [0, 100]).
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+/// Relative difference `|a-b| / max(|a|,|b|)`, safe at zero.
+/// Used by experiment harnesses to compare measured vs paper ratios.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = Summary::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic set is 4; sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = Summary::new();
+        s.extend((1..=100).map(|i| i as f64));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.median() - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let mut s = Summary::new();
+        s.extend([3.0, -1.0, 7.5]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.5);
+        assert!((s.sum() - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_offset() {
+        // Classic catastrophic-cancellation check.
+        let mut s = Summary::new();
+        let base = 1e9;
+        for x in [4.0, 7.0, 13.0, 16.0] {
+            s.add(base + x);
+        }
+        assert!((s.variance() - 30.0).abs() < 1e-6, "var {}", s.variance());
+    }
+
+    #[test]
+    fn rel_diff_basics() {
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert!((rel_diff(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!((rel_diff(2.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Capacity planner: use the paper's wasted-time model (Eq. 3–5) and the
+//! cluster simulator to choose a checkpointing configuration for a real
+//! deployment — "I have N GPUs, this model, this MTBF: what FCF and
+//! batching size should LowDiff use, and what does it save me?"
+//!
+//! ```bash
+//! cargo run --release --example capacity_planner -- GPT2-L 32 0.5
+//! # args: <model> <gpus> <mtbf-hours> (all optional)
+//! ```
+
+use lowdiff::config::{ConfigOptimizer, WastedTimeModel};
+use lowdiff_cluster::{hardware, sim, CostModel, SimConfig, StrategyKind};
+use lowdiff_model::zoo::{all_models, by_name};
+use lowdiff_util::units::Secs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_name = args.get(1).map(String::as_str).unwrap_or("GPT2-L");
+    let n_gpus: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let mtbf_h: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+
+    let Some(spec) = by_name(model_name) else {
+        eprintln!("unknown model {model_name}; available:");
+        for m in all_models() {
+            eprintln!("  {} ({} params)", m.name, m.params);
+        }
+        std::process::exit(1);
+    };
+
+    let cm = CostModel::new(hardware::a100(), spec.clone(), n_gpus, 0.01);
+    let job_iters = 500_000u64;
+    let job_time = Secs(job_iters as f64 * cm.iter_time().as_f64());
+
+    println!(
+        "planning for {model_name}: {} params, {n_gpus} GPUs, MTBF {mtbf_h} h, job {:.1} h",
+        spec.params,
+        job_time.as_hours()
+    );
+
+    // 1. Closed-form optimum from Eq. (5).
+    let wt = WastedTimeModel {
+        n_gpus: n_gpus as f64,
+        mtbf: Secs::hours(mtbf_h),
+        write_bw: cm.hw.ssd_write,
+        full_size: cm.full_bytes(),
+        job_time,
+        load_full: cm.raw_load(),
+        merge_diff: cm.merge_one(),
+        iter_time: cm.iter_time(),
+    };
+    let mut opt = ConfigOptimizer::new(wt, 100, 2);
+    let (fcf, bs) = opt.target();
+    println!("\nEq. (5) optimal configuration: full checkpoint every {fcf} iterations, batch size {bs}");
+
+    // The adaptive tuner would converge there from any starting point:
+    for _ in 0..24 {
+        opt.observe(Secs::hours(mtbf_h), cm.hw.ssd_write);
+    }
+    assert_eq!((opt.fcf_iters, opt.batch_size), (fcf, bs));
+
+    // 2. Simulate the job under each strategy.
+    println!("\nsimulated outcomes over the whole job:");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>9}",
+        "strategy", "total", "wasted", "effective", "failures"
+    );
+    for strategy in [
+        StrategyKind::TorchSave,
+        StrategyKind::CheckFreq,
+        StrategyKind::Gemini,
+        StrategyKind::LowDiff,
+        StrategyKind::LowDiffPlus,
+    ] {
+        let mut cfg = SimConfig::defaults(strategy, Secs::hours(mtbf_h), job_iters);
+        if strategy == StrategyKind::LowDiff {
+            cfg.full_interval = fcf;
+            cfg.batch_size = bs;
+        }
+        let out = sim::simulate_job(&cm, &cfg);
+        println!(
+            "{:<12} {:>11.2}h {:>11.2}h {:>9.1}% {:>9}",
+            strategy.name(),
+            out.total_time.as_hours(),
+            out.wasted_time.as_hours(),
+            out.effective_ratio * 100.0,
+            out.failures
+        );
+    }
+
+    // 3. What the configuration choice is worth.
+    let tuned = {
+        let mut cfg = SimConfig::defaults(StrategyKind::LowDiff, Secs::hours(mtbf_h), job_iters);
+        cfg.full_interval = fcf;
+        cfg.batch_size = bs;
+        sim::simulate_job(&cm, &cfg)
+    };
+    let naive_cfg = {
+        let mut cfg = SimConfig::defaults(StrategyKind::LowDiff, Secs::hours(mtbf_h), job_iters);
+        cfg.full_interval = 10_000;
+        cfg.batch_size = 512;
+        sim::simulate_job(&cm, &cfg)
+    };
+    println!(
+        "\ntuning (FCF={fcf}, BS={bs}) vs an untuned (10000, 512) LowDiff config: {:.2} h vs {:.2} h wasted",
+        tuned.wasted_time.as_hours(),
+        naive_cfg.wasted_time.as_hours()
+    );
+}

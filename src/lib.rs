@@ -1,0 +1,18 @@
+//! # lowdiff-repro — workspace facade
+//!
+//! Re-exports every crate of the LowDiff reproduction under one roof so that
+//! examples and cross-crate integration tests have a single dependency.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+
+pub use lowdiff;
+pub use lowdiff_baselines as baselines;
+pub use lowdiff_cluster as cluster;
+pub use lowdiff_comm as comm;
+pub use lowdiff_compress as compress;
+pub use lowdiff_model as model;
+pub use lowdiff_optim as optim;
+pub use lowdiff_storage as storage;
+pub use lowdiff_tensor as tensor;
+pub use lowdiff_util as util;
