@@ -14,7 +14,7 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::CheckpointStore;
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -37,6 +37,14 @@ pub struct CheckFreqStrategy {
 
 impl CheckFreqStrategy {
     pub fn new(store: Arc<CheckpointStore>, every: u64) -> Self {
+        Self::with_retry_policy(store, every, RetryPolicy::default())
+    }
+
+    pub fn with_retry_policy(
+        store: Arc<CheckpointStore>,
+        every: u64,
+        retry: RetryPolicy,
+    ) -> Self {
         assert!(every >= 1);
         // Depth-1 pipeline: one persist may be queued while one runs; a
         // bounded(1) channel gives snapshot-vs-persist overlap of exactly
@@ -52,11 +60,19 @@ impl CheckFreqStrategy {
                     for msg in rx.iter() {
                         match msg {
                             Msg::Persist(state) => {
-                                store.save_full(&state).expect("persist failed");
+                                let r = with_retry(&retry, || store.save_full(&state));
                                 let mut s = shared.lock();
-                                s.full_checkpoints += 1;
-                                s.writes += 1;
-                                s.bytes_written += state.payload_bytes() as u64;
+                                s.io_retries += r.retries as u64;
+                                if r.result.is_ok() {
+                                    s.full_checkpoints += 1;
+                                    s.writes += 1;
+                                    s.bytes_written += state.payload_bytes() as u64;
+                                } else {
+                                    // Skip this checkpoint; recovery falls
+                                    // back to the previous persisted full.
+                                    s.io_errors += 1;
+                                    s.degraded = true;
+                                }
                             }
                             Msg::Flush(ack) => {
                                 let _ = ack.send(());
@@ -94,12 +110,15 @@ impl CheckpointStrategy for CheckFreqStrategy {
         // Snapshot: blocking copy (the GPU→CPU `snapshot()` op).
         let snapshot = Box::new(state.clone());
         // Enqueue for persist; blocks when the pipeline is full — the
-        // CheckFreq stall at high frequency.
-        self.tx
+        // CheckFreq stall at high frequency. A dead persist thread
+        // degrades the run instead of aborting training.
+        let delivered = self
+            .tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Msg::Persist(snapshot))
-            .expect("persist thread died");
+            .is_some_and(|tx| tx.send(Msg::Persist(snapshot)).is_ok());
+        if !delivered {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -108,12 +127,13 @@ impl CheckpointStrategy for CheckFreqStrategy {
     fn flush(&mut self) -> Secs {
         let t0 = Instant::now();
         let (ack_tx, ack_rx) = unbounded();
-        self.tx
+        let delivered = self
+            .tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Msg::Flush(ack_tx))
-            .expect("persist thread died");
-        ack_rx.recv().expect("flush ack lost");
+            .is_some_and(|tx| tx.send(Msg::Flush(ack_tx)).is_ok());
+        if !delivered || ack_rx.recv().is_err() {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -191,6 +211,45 @@ mod tests {
         let rec = st.latest_valid_full().unwrap().unwrap();
         assert_eq!(rec.iteration, 4);
         assert_eq!(rec.params[0], 3.0);
+    }
+
+    #[test]
+    fn storage_outage_skips_checkpoints_without_panic() {
+        use lowdiff_storage::{FaultConfig, FaultyBackend};
+        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let st = Arc::new(CheckpointStore::new(
+            Arc::clone(&faulty) as Arc<dyn StorageBackend>
+        ));
+        let mut s = CheckFreqStrategy::with_retry_policy(
+            Arc::clone(&st),
+            1,
+            lowdiff_storage::RetryPolicy {
+                max_retries: 1,
+                base_delay: std::time::Duration::from_micros(100),
+                max_delay: std::time::Duration::from_micros(500),
+            },
+        );
+        let mut state = ModelState::new(vec![0.0; 16]);
+        state.iteration = 1;
+        s.after_update(&state);
+        s.flush();
+        faulty.fail_all_puts();
+        state.iteration = 2;
+        s.after_update(&state);
+        s.flush();
+        faulty.heal();
+        state.iteration = 3;
+        s.after_update(&state);
+        s.flush();
+        let stats = s.stats();
+        assert!(stats.io_errors >= 1);
+        assert!(stats.degraded);
+        assert_eq!(
+            st.full_iterations().unwrap(),
+            vec![1, 3],
+            "outage checkpoint skipped, later ones land"
+        );
+        assert_eq!(st.latest_valid_full().unwrap().unwrap().iteration, 3);
     }
 
     #[test]

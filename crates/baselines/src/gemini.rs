@@ -15,7 +15,7 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_storage::{with_retry, CheckpointStore, MemoryBackend, RetryPolicy};
 use lowdiff_util::units::Secs;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -56,24 +56,41 @@ impl GeminiStrategy {
             std::thread::Builder::new()
                 .name("gemini-ckpt".into())
                 .spawn(move || {
+                    let retry = RetryPolicy::default();
                     for msg in rx.iter() {
                         match msg {
                             Msg::Ckpt(state) => {
                                 // Memory-tier copy (peer CPU RAM over the
-                                // network in the real system).
-                                mem.save_full(&state).expect("memory ckpt failed");
+                                // network in the real system). A lost peer
+                                // write degrades, never aborts.
+                                let r = with_retry(&retry, || mem.save_full(&state));
+                                {
+                                    let mut s = shared.lock();
+                                    s.io_retries += r.retries as u64;
+                                    if r.result.is_ok() {
+                                        s.diff_checkpoints += 1; // memory-tier ckpts
+                                        s.bytes_written += state.payload_bytes() as u64;
+                                    } else {
+                                        s.io_errors += 1;
+                                        s.degraded = true;
+                                    }
+                                }
                                 // Keep the memory tier small: one live ckpt.
                                 let _ = mem.gc_before(state.iteration);
-                                let mut s = shared.lock();
-                                s.diff_checkpoints += 1; // memory-tier ckpts
-                                s.bytes_written += state.payload_bytes() as u64;
-                                drop(s);
                                 if state.iteration % persist_every == 0 {
-                                    durable.save_full(&state).expect("durable ckpt failed");
+                                    let r = with_retry(&retry, || durable.save_full(&state));
                                     let mut s = shared.lock();
-                                    s.full_checkpoints += 1;
-                                    s.writes += 1;
-                                    s.bytes_written += state.payload_bytes() as u64;
+                                    s.io_retries += r.retries as u64;
+                                    if r.result.is_ok() {
+                                        s.full_checkpoints += 1;
+                                        s.writes += 1;
+                                        s.bytes_written += state.payload_bytes() as u64;
+                                    } else {
+                                        // Durable tier stale until the next
+                                        // persist interval lands.
+                                        s.io_errors += 1;
+                                        s.degraded = true;
+                                    }
                                 }
                             }
                             Msg::Flush(ack) => {
@@ -122,11 +139,13 @@ impl CheckpointStrategy for GeminiStrategy {
         }
         let t0 = Instant::now();
         let snapshot = Box::new(state.clone());
-        self.tx
+        let delivered = self
+            .tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Msg::Ckpt(snapshot))
-            .expect("gemini thread died");
+            .is_some_and(|tx| tx.send(Msg::Ckpt(snapshot)).is_ok());
+        if !delivered {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -135,12 +154,13 @@ impl CheckpointStrategy for GeminiStrategy {
     fn flush(&mut self) -> Secs {
         let t0 = Instant::now();
         let (ack_tx, ack_rx) = unbounded();
-        self.tx
+        let delivered = self
+            .tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Msg::Flush(ack_tx))
-            .expect("gemini thread died");
-        ack_rx.recv().expect("flush ack lost");
+            .is_some_and(|tx| tx.send(Msg::Flush(ack_tx)).is_ok());
+        if !delivered || ack_rx.recv().is_err() {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall

@@ -20,7 +20,7 @@ use lowdiff_compress::sparsify::TopK;
 use lowdiff_compress::Compressor;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::DiffEntry;
-use lowdiff_storage::CheckpointStore;
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,8 +33,12 @@ pub struct NaiveDcStrategy {
     /// Full-checkpoint interval (iterations).
     full_every: u64,
     rho: f64,
+    retry: RetryPolicy,
     prev_params: Option<Vec<f32>>,
     has_base: bool,
+    /// Set when a write failure invalidated the differential chain; the
+    /// next full checkpoint that lands is a forced re-anchor.
+    reanchor_pending: bool,
     stats: StrategyStats,
 }
 
@@ -46,8 +50,10 @@ impl NaiveDcStrategy {
             diff_every,
             full_every,
             rho,
+            retry: RetryPolicy::default(),
             prev_params: None,
             has_base: false,
+            reanchor_pending: false,
             stats: StrategyStats::default(),
         }
     }
@@ -118,13 +124,26 @@ impl CheckpointStrategy for NaiveDcStrategy {
         if !self.has_base || state.iteration.is_multiple_of(self.full_every) {
             // The first checkpoint is always a full base (Equation (2)
             // needs a C^F to anchor the differential chain).
-            self.has_base = true;
             // Synchronous full checkpoint (Check-N-Run persists the base
             // synchronously too).
-            self.store.save_full(state).expect("full write failed");
-            self.stats.full_checkpoints += 1;
-            self.stats.writes += 1;
-            self.stats.bytes_written += state.payload_bytes() as u64;
+            let r = with_retry(&self.retry, || self.store.save_full(state));
+            self.stats.io_retries += r.retries as u64;
+            if r.result.is_ok() {
+                self.has_base = true;
+                if self.reanchor_pending {
+                    self.reanchor_pending = false;
+                    self.stats.forced_fulls += 1;
+                }
+                self.stats.full_checkpoints += 1;
+                self.stats.writes += 1;
+                self.stats.bytes_written += state.payload_bytes() as u64;
+            } else {
+                // No base landed: leave `has_base` unset so the next call
+                // re-attempts the full — the chain must stay anchored.
+                self.has_base = false;
+                self.stats.io_errors += 1;
+                self.stats.degraded = true;
+            }
             self.prev_params = Some(state.params.clone());
             stalled = true;
         } else if state.iteration.is_multiple_of(self.diff_every) {
@@ -146,25 +165,49 @@ impl CheckpointStrategy for NaiveDcStrategy {
                     grad: compressed,
                 };
                 // NB: iteration−1 because the delta advances M_{t-1} → M_t.
-                self.store
-                    .save_diff_batch(std::slice::from_ref(&entry))
-                    .expect("diff write failed");
-                let mut moments = Vec::with_capacity(8 + state.params.len() * 8);
-                moments.extend_from_slice(&state.opt.t.to_le_bytes());
-                for &m in &state.opt.m {
-                    moments.extend_from_slice(&m.to_le_bytes());
+                let r = with_retry(&self.retry, || {
+                    self.store.save_diff_batch(std::slice::from_ref(&entry))
+                });
+                self.stats.io_retries += r.retries as u64;
+                match r.result {
+                    Ok(_) => {
+                        self.stats.diff_checkpoints += 1;
+                        self.stats.writes += 1;
+                        self.stats.bytes_written += entry.grad.payload_bytes() as u64;
+                        let mut moments = Vec::with_capacity(8 + state.params.len() * 8);
+                        moments.extend_from_slice(&state.opt.t.to_le_bytes());
+                        for &m in &state.opt.m {
+                            moments.extend_from_slice(&m.to_le_bytes());
+                        }
+                        for &v in &state.opt.v {
+                            moments.extend_from_slice(&v.to_le_bytes());
+                        }
+                        let rm = with_retry(&self.retry, || {
+                            self.store
+                                .backend()
+                                .put(&Self::moments_key(state.iteration - 1), &moments)
+                        });
+                        self.stats.io_retries += rm.retries as u64;
+                        if rm.result.is_ok() {
+                            self.stats.writes += 1;
+                            self.stats.bytes_written += moments.len() as u64;
+                        } else {
+                            // Recovery tolerates a missing moments blob
+                            // (params still replayable); just record it.
+                            self.stats.io_errors += 1;
+                            self.stats.degraded = true;
+                        }
+                    }
+                    Err(_) => {
+                        // Dropped delta: the chain past the last full is now
+                        // broken, so force a fresh base next interval.
+                        self.stats.io_errors += 1;
+                        self.stats.dropped_diffs += 1;
+                        self.stats.degraded = true;
+                        self.has_base = false;
+                        self.reanchor_pending = true;
+                    }
                 }
-                for &v in &state.opt.v {
-                    moments.extend_from_slice(&v.to_le_bytes());
-                }
-                self.store
-                    .backend()
-                    .put(&Self::moments_key(state.iteration - 1), &moments)
-                    .expect("moments write failed");
-                self.stats.diff_checkpoints += 1;
-                self.stats.writes += 2;
-                self.stats.bytes_written +=
-                    (entry.grad.payload_bytes() + moments.len()) as u64;
                 self.prev_params = Some(state.params.clone());
                 stalled = true;
             } else {
@@ -293,6 +336,46 @@ mod tests {
             moment_bytes > delta_bytes * 5,
             "moments {moment_bytes} should dwarf deltas {delta_bytes}"
         );
+    }
+
+    #[test]
+    fn dropped_diff_forces_reanchor_full() {
+        use lowdiff_storage::{FaultConfig, FaultyBackend, StorageBackend};
+        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let st = Arc::new(CheckpointStore::new(
+            Arc::clone(&faulty) as Arc<dyn StorageBackend>
+        ));
+        let adam = Adam::default();
+        let mut state = ModelState::new(vec![0.5; 64]);
+        let mut s = NaiveDcStrategy::new(Arc::clone(&st), 1, 1000, 0.5);
+        s.retry = lowdiff_storage::RetryPolicy {
+            max_retries: 1,
+            base_delay: std::time::Duration::from_micros(100),
+            max_delay: std::time::Duration::from_micros(500),
+        };
+        s.after_update(&state); // iteration 0: base full
+        let g = vec![0.1; 64];
+        state.apply_gradient(&adam, &g); // iteration 1
+        s.after_update(&state);
+        // Outage drops the iteration-2 diff.
+        faulty.fail_all_puts();
+        state.apply_gradient(&adam, &g); // iteration 2
+        s.after_update(&state);
+        faulty.heal();
+        // Next interval re-anchors with a forced full instead of a diff.
+        state.apply_gradient(&adam, &g); // iteration 3
+        s.after_update(&state);
+        let stats = s.stats();
+        assert!(stats.io_errors >= 1);
+        assert_eq!(stats.dropped_diffs, 1);
+        assert_eq!(stats.forced_fulls, 1);
+        assert!(stats.degraded);
+        assert_eq!(st.full_iterations().unwrap(), vec![0, 3]);
+        // Recovery lands on the re-anchor, not the broken chain.
+        let (rec, replayed) = NaiveDcStrategy::recover(&st).unwrap().unwrap();
+        assert_eq!(replayed, 0);
+        assert_eq!(rec.iteration, 3);
+        assert_eq!(rec.params, state.params);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::CheckpointStore;
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use std::sync::Arc;
 use std::time::Instant;
@@ -12,6 +12,7 @@ use std::time::Instant;
 pub struct TorchSaveStrategy {
     store: Arc<CheckpointStore>,
     every: u64,
+    retry: RetryPolicy,
     stats: StrategyStats,
 }
 
@@ -21,6 +22,7 @@ impl TorchSaveStrategy {
         Self {
             store,
             every,
+            retry: RetryPolicy::default(),
             stats: StrategyStats::default(),
         }
     }
@@ -40,12 +42,19 @@ impl CheckpointStrategy for TorchSaveStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.store.save_full(state).expect("torch.save write failed");
+        let r = with_retry(&self.retry, || self.store.save_full(state));
+        self.stats.io_retries += r.retries as u64;
+        if r.result.is_ok() {
+            self.stats.full_checkpoints += 1;
+            self.stats.writes += 1;
+            self.stats.bytes_written += state.payload_bytes() as u64;
+        } else {
+            // Checkpoint skipped; recovery falls back to the previous full.
+            self.stats.io_errors += 1;
+            self.stats.degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stats.stall += stall;
-        self.stats.full_checkpoints += 1;
-        self.stats.writes += 1;
-        self.stats.bytes_written += state.payload_bytes() as u64;
         stall
     }
 

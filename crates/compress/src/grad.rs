@@ -180,6 +180,15 @@ impl CompressedGrad {
             _ => None,
         }
     }
+
+    /// Borrow the dense payload without materializing a copy — `None` for
+    /// compressed representations, which need [`to_dense`](Self::to_dense).
+    pub fn as_dense(&self) -> Option<&[f32]> {
+        match self {
+            CompressedGrad::Dense(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -94,20 +94,23 @@ impl BatchedWriter {
     }
 
     /// Step ③: write out whatever is buffered (no-op when empty).
+    ///
+    /// On error the batch **stays buffered**: the caller decides whether to
+    /// retry (the checkpointing thread does, with backoff) or give up and
+    /// [`discard_batch`](Self::discard_batch).
     pub fn flush(&mut self, store: &CheckpointStore) -> io::Result<()> {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let entries = std::mem::take(&mut self.buffer);
-        self.cpu_resident_bytes = 0;
-        let to_write: Vec<DiffEntry> = match self.mode {
-            BatchMode::Concat => entries,
+        // Build the write image without consuming the buffer.
+        let merged: Option<Vec<DiffEntry>> = match self.mode {
+            BatchMode::Concat => None,
             BatchMode::Accumulate => {
                 // Merge consecutive sparse differentials into one.
-                let first_iter = entries[0].iteration;
-                let last_iter = entries.last().unwrap().iteration;
+                let first_iter = self.buffer[0].iteration;
+                let last_iter = self.buffer.last().unwrap().iteration;
                 let all_sparse: Option<Vec<&SparseGrad>> =
-                    entries.iter().map(|e| e.grad.as_sparse()).collect();
+                    self.buffer.iter().map(|e| e.grad.as_sparse()).collect();
                 match all_sparse {
                     Some(sparse) => {
                         let dense_len = sparse[0].dense_len;
@@ -135,19 +138,38 @@ impl BatchedWriter {
                                 )),
                             });
                         }
-                        out
+                        Some(out)
                     }
                     // Mixed or non-sparse representations cannot be merged;
                     // fall back to concat.
-                    None => entries,
+                    None => None,
                 }
             }
         };
-        let bytes = lowdiff_storage::codec::encode_diff_batch(&to_write);
-        self.bytes_written += bytes.len() as u64;
+        let to_write: &[DiffEntry] = merged.as_deref().unwrap_or(&self.buffer);
+        let bytes = store.save_diff_batch(to_write)?;
+        self.bytes_written += bytes;
         self.writes += 1;
-        store.save_diff_batch(&to_write)?;
+        self.buffer.clear();
+        self.cpu_resident_bytes = 0;
         Ok(())
+    }
+
+    /// Give up on the buffered batch after storage retries are exhausted:
+    /// discard it and return how many differentials were lost. The dropped
+    /// iterations become a gap in the chain, which recovery already bounds
+    /// (`diff_chain_from` stops at the gap); the caller must schedule an
+    /// early full checkpoint to re-anchor.
+    pub fn discard_batch(&mut self) -> u64 {
+        let n = self.buffer.len() as u64;
+        self.buffer.clear();
+        self.cpu_resident_bytes = 0;
+        n
+    }
+
+    /// Differentials currently buffered (unwritten).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
     }
 
     pub fn batch_size(&self) -> usize {
@@ -326,5 +348,57 @@ mod tests {
         let mut w = BatchedWriter::new(4, BatchMode::Concat);
         w.flush(&st).unwrap();
         assert_eq!(w.writes(), 0);
+    }
+
+    #[test]
+    fn bytes_written_matches_stored_bytes_exactly() {
+        // Regression: flush used to serialize the batch once for byte
+        // accounting and a second time inside save_diff_batch. The counter
+        // must equal what actually landed in storage, byte for byte.
+        let st = store();
+        let mut w = BatchedWriter::new(3, BatchMode::Concat);
+        for t in 0..7u64 {
+            w.push(&st, t, sparse(t, (t % 16) as u32, 0.5)).unwrap();
+        }
+        w.flush(&st).unwrap();
+        let stored: u64 = st
+            .diff_keys()
+            .unwrap()
+            .iter()
+            .map(|k| st.backend().get(&k.key).unwrap().len() as u64)
+            .sum();
+        assert_eq!(w.bytes_written(), stored);
+    }
+
+    #[test]
+    fn failed_flush_keeps_batch_for_retry() {
+        use lowdiff_storage::{FaultConfig, FaultyBackend};
+        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let st = CheckpointStore::new(Arc::clone(&faulty) as Arc<dyn lowdiff_storage::StorageBackend>);
+        let mut w = BatchedWriter::new(8, BatchMode::Concat);
+        w.push(&st, 0, sparse(0, 1, 1.0)).unwrap();
+        w.push(&st, 1, sparse(1, 2, 2.0)).unwrap();
+        faulty.fail_next_puts(1);
+        assert!(w.flush(&st).is_err());
+        assert_eq!(w.buffered(), 2, "batch must survive a failed write");
+        assert!(w.cpu_resident_bytes() > 0);
+        // The retry writes the identical, still-consecutive batch.
+        w.flush(&st).unwrap();
+        assert_eq!(w.buffered(), 0);
+        assert_eq!(st.diff_chain_from(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn discard_batch_counts_and_clears() {
+        let st = store();
+        let mut w = BatchedWriter::new(8, BatchMode::Concat);
+        w.push(&st, 0, sparse(0, 1, 1.0)).unwrap();
+        w.push(&st, 1, sparse(1, 2, 2.0)).unwrap();
+        w.push(&st, 2, sparse(2, 3, 3.0)).unwrap();
+        assert_eq!(w.discard_batch(), 3);
+        assert_eq!(w.buffered(), 0);
+        assert_eq!(w.cpu_resident_bytes(), 0);
+        w.flush(&st).unwrap();
+        assert_eq!(w.writes(), 0, "nothing left to write after discard");
     }
 }

@@ -3,24 +3,51 @@
 //! ```text
 //! lowdiff-ctl list <dir>                 list checkpoints and chains
 //! lowdiff-ctl validate <dir>             CRC-check every blob
+//! lowdiff-ctl health <dir>               chain-integrity report + exit code
 //! lowdiff-ctl recover <dir> [--shards N] [--out FILE]
 //!                                        restore the newest state
 //! lowdiff-ctl gc <dir> --keep-from ITER  delete older checkpoints
 //! ```
+//!
+//! Storage errors never panic: every command degrades to a diagnostic on
+//! stderr and a non-zero exit code.
 
 use lowdiff::recovery::{recover_serial, recover_sharded};
 use lowdiff_optim::Adam;
 use lowdiff_storage::{codec, CheckpointStore, DiskBackend};
+use std::io::Write;
 use std::process::exit;
 use std::sync::Arc;
+
+/// `println!` that survives a closed downstream pipe: `lowdiff-ctl list |
+/// head` must exit cleanly, not panic on EPIPE.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            exit(0);
+        }
+    };
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  lowdiff-ctl list <dir>\n  lowdiff-ctl validate <dir>\n  \
+         lowdiff-ctl health <dir>\n  \
          lowdiff-ctl recover <dir> [--shards N] [--out FILE]\n  \
          lowdiff-ctl gc <dir> --keep-from ITER"
     );
     exit(2);
+}
+
+/// Unwrap a storage result or exit with a diagnostic — never panic.
+fn or_die<T>(what: &str, r: std::io::Result<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{what}: {e}");
+            exit(1);
+        }
+    }
 }
 
 fn open(dir: &str) -> CheckpointStore {
@@ -45,21 +72,21 @@ fn fmt_bytes(n: usize) -> String {
 
 fn cmd_list(dir: &str) {
     let store = open(dir);
-    let fulls = store.full_iterations().expect("list fulls");
-    println!("full checkpoints ({}):", fulls.len());
+    let fulls = or_die("list full checkpoints", store.full_iterations());
+    out!("full checkpoints ({}):", fulls.len());
     for it in &fulls {
         let key = format!("full-{it:010}.ckpt");
         let size = store.backend().get(&key).map(|b| b.len()).unwrap_or(0);
         let valid = store.load_full(*it).is_ok();
-        println!(
+        out!(
             "  iter {:>8}  {:>10}  {}",
             it,
             fmt_bytes(size),
             if valid { "ok" } else { "CORRUPT" }
         );
     }
-    let diffs = store.diff_keys().expect("list diffs");
-    println!("differential batches ({}):", diffs.len());
+    let diffs = or_die("list differential batches", store.diff_keys());
+    out!("differential batches ({}):", diffs.len());
     for dk in &diffs {
         let bytes = store.backend().get(&dk.key).map(|b| b.len()).unwrap_or(0);
         let valid = store
@@ -68,7 +95,7 @@ fn cmd_list(dir: &str) {
             .ok()
             .map(|b| codec::decode_diff_batch(&b).is_ok())
             .unwrap_or(false);
-        println!(
+        out!(
             "  iters {:>8}..={:<8}  {:>10}  {}",
             dk.start,
             dk.end,
@@ -77,15 +104,15 @@ fn cmd_list(dir: &str) {
         );
     }
     if let Some(latest) = fulls.last() {
-        let chain = store.diff_chain_from(*latest).expect("chain");
-        println!(
+        let chain = or_die("walk differential chain", store.diff_chain_from(*latest));
+        out!(
             "recoverable to iteration {} (full@{} + {} differentials)",
             latest + chain.len() as u64,
             latest,
             chain.len()
         );
     } else {
-        println!("no full checkpoint: nothing recoverable");
+        out!("no full checkpoint: nothing recoverable");
     }
 }
 
@@ -93,10 +120,10 @@ fn cmd_validate(dir: &str) {
     let store = open(dir);
     let mut bad = 0usize;
     let mut total = 0usize;
-    for key in store.backend().list().expect("list blobs") {
+    for key in or_die("list blobs", store.backend().list()) {
         total += 1;
         let Ok(bytes) = store.backend().get(&key) else {
-            println!("UNREADABLE  {key}");
+            out!("UNREADABLE  {key}");
             bad += 1;
             continue;
         };
@@ -108,11 +135,11 @@ fn cmd_validate(dir: &str) {
             true // foreign blob: not ours to judge
         };
         if !ok {
-            println!("CORRUPT     {key}");
+            out!("CORRUPT     {key}");
             bad += 1;
         }
     }
-    println!("{} blobs checked, {} corrupt", total, bad);
+    out!("{} blobs checked, {} corrupt", total, bad);
     if bad > 0 {
         exit(1);
     }
@@ -128,15 +155,15 @@ fn cmd_recover(dir: &str, shards: usize, out: Option<&str>) {
     };
     match result {
         Ok(Some((state, report))) => {
-            println!(
+            out!(
                 "recovered to iteration {} (full@{} + {} differentials, {} mode, {:?})",
                 state.iteration, report.full_iteration, report.replayed, report.mode,
                 report.elapsed
             );
             if let Some(path) = out {
                 let bytes = codec::encode_model_state(&state);
-                std::fs::write(path, &bytes).expect("write output");
-                println!("wrote {} to {path}", fmt_bytes(bytes.len()));
+                or_die("write output", std::fs::write(path, &bytes));
+                out!("wrote {} to {path}", fmt_bytes(bytes.len()));
             }
         }
         Ok(None) => {
@@ -152,8 +179,69 @@ fn cmd_recover(dir: &str, shards: usize, out: Option<&str>) {
 
 fn cmd_gc(dir: &str, keep_from: u64) {
     let store = open(dir);
-    let removed = store.gc_before(keep_from).expect("gc");
-    println!("removed {removed} blobs older than iteration {keep_from}");
+    let removed = or_die("garbage-collect", store.gc_before(keep_from));
+    out!("removed {removed} blobs older than iteration {keep_from}");
+}
+
+/// Chain-integrity report: how healthy is this checkpoint directory?
+///
+/// Exit code 0 when a valid full exists and every differential past it
+/// chains contiguously; 1 otherwise. Mirrors the runtime health surfaced
+/// in `StrategyStats` (io_errors / dropped batches show up here as chain
+/// gaps and corrupt blobs).
+fn cmd_health(dir: &str) {
+    let store = open(dir);
+    let fulls = or_die("list full checkpoints", store.full_iterations());
+    let valid_fulls: Vec<u64> = fulls
+        .iter()
+        .copied()
+        .filter(|it| store.load_full(*it).is_ok())
+        .collect();
+    let corrupt_fulls = fulls.len() - valid_fulls.len();
+    let diffs = or_die("list differential batches", store.diff_keys());
+    let corrupt_diffs = diffs
+        .iter()
+        .filter(|dk| {
+            store
+                .backend()
+                .get(&dk.key)
+                .ok()
+                .map(|b| codec::decode_diff_batch(&b).is_err())
+                .unwrap_or(true)
+        })
+        .count();
+    out!(
+        "fulls: {} ({} corrupt)   diff batches: {} ({} corrupt)",
+        fulls.len(),
+        corrupt_fulls,
+        diffs.len(),
+        corrupt_diffs
+    );
+
+    let Some(&anchor) = valid_fulls.last() else {
+        out!("UNHEALTHY: no valid full checkpoint — nothing recoverable");
+        exit(1);
+    };
+    let chain = or_die("walk differential chain", store.diff_chain_from(anchor));
+    let reachable = anchor + chain.len() as u64;
+    // Diffs newer than the reachable frontier are stranded behind a gap
+    // (a dropped batch or torn write broke the chain there).
+    let stranded = diffs.iter().filter(|dk| dk.start > reachable).count();
+    out!(
+        "recoverable to iteration {reachable} (full@{anchor} + {} differentials)",
+        chain.len()
+    );
+    if stranded > 0 {
+        out!(
+            "DEGRADED: {stranded} diff batch(es) stranded past a chain gap \
+             at iteration {reachable} — data after the gap is unreachable \
+             until the next full checkpoint"
+        );
+    }
+    if corrupt_fulls > 0 || corrupt_diffs > 0 || stranded > 0 {
+        exit(1);
+    }
+    out!("healthy");
 }
 
 fn main() {
@@ -163,6 +251,7 @@ fn main() {
         Some("validate") => {
             cmd_validate(args.get(2).map(String::as_str).unwrap_or_else(|| usage()))
         }
+        Some("health") => cmd_health(args.get(2).map(String::as_str).unwrap_or_else(|| usage())),
         Some("recover") => {
             let dir = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
             let mut shards = 1usize;

@@ -18,12 +18,13 @@
 use crate::batched::{BatchMode, BatchedWriter};
 use crate::queue::{Consumer, Producer, ReusingQueue};
 use crate::strategy::{CheckpointStrategy, StrategyStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Select, Sender, TryRecvError};
 use lowdiff_compress::CompressedGrad;
 use lowdiff_optim::ModelState;
-use lowdiff_storage::CheckpointStore;
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +43,10 @@ pub struct LowDiffConfig {
     /// If set, keep only the newest `k` full checkpoints (older fulls and
     /// their differential chains are garbage-collected).
     pub keep_fulls: Option<u64>,
+    /// Retry/backoff applied to every storage write on the checkpointing
+    /// thread. After the policy is exhausted the batch is dropped and an
+    /// early full checkpoint is forced — training is never aborted.
+    pub retry: RetryPolicy,
 }
 
 impl Default for LowDiffConfig {
@@ -52,6 +57,7 @@ impl Default for LowDiffConfig {
             mode: BatchMode::Concat,
             queue_capacity: 64,
             keep_fulls: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -72,6 +78,10 @@ pub struct LowDiffStrategy {
     ctl_tx: Option<Sender<Ctl>>,
     worker: Option<std::thread::JoinHandle<()>>,
     shared: Arc<Mutex<StrategyStats>>,
+    /// Set by the checkpointing thread after it drops a differential batch
+    /// (retries exhausted); the next `after_update` schedules an early full
+    /// checkpoint to re-anchor the chain past the gap.
+    force_full: Arc<AtomicBool>,
     stall: Secs,
     store: Arc<CheckpointStore>,
 }
@@ -83,13 +93,15 @@ impl LowDiffStrategy {
         let (producer, consumer) = queue.split();
         let (ctl_tx, ctl_rx) = unbounded();
         let shared = Arc::new(Mutex::new(StrategyStats::default()));
+        let force_full = Arc::new(AtomicBool::new(false));
         let worker = {
             let store = Arc::clone(&store);
             let shared = Arc::clone(&shared);
+            let force_full = Arc::clone(&force_full);
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("lowdiff-ckpt".into())
-                .spawn(move || checkpoint_loop(store, consumer, ctl_rx, cfg, shared))
+                .spawn(move || checkpoint_loop(store, consumer, ctl_rx, cfg, shared, force_full))
                 .expect("spawn checkpointing thread")
         };
         Self {
@@ -99,6 +111,7 @@ impl LowDiffStrategy {
             ctl_tx: Some(ctl_tx),
             worker: Some(worker),
             shared,
+            force_full,
             stall: Secs::ZERO,
             store,
         }
@@ -135,11 +148,13 @@ impl LowDiffStrategy {
         }
         if bs as usize != self.cfg.batch_size {
             self.cfg.batch_size = bs as usize;
-            self.ctl_tx
+            let sent = self
+                .ctl_tx
                 .as_ref()
-                .expect("strategy already shut down")
-                .send(Ctl::SetBatchSize(bs as usize))
-                .expect("checkpointing thread died");
+                .map(|tx| tx.send(Ctl::SetBatchSize(bs as usize)).is_ok());
+            if sent != Some(true) {
+                self.shared.lock().degraded = true;
+            }
         }
         Some((fcf, bs))
     }
@@ -158,95 +173,178 @@ impl LowDiffStrategy {
     }
 }
 
+/// Worker-local health counters, mirrored into the shared
+/// [`StrategyStats`] on every publish.
+#[derive(Default)]
+struct WorkerHealth {
+    io_errors: u64,
+    io_retries: u64,
+    dropped_diffs: u64,
+    dropped_batches: u64,
+    degraded: bool,
+}
+
+/// Retry the writer's pending batch with backoff; on exhaustion drop it and
+/// request a re-anchoring full checkpoint. `already_failed` counts the
+/// attempt that brought us here as a retry.
+fn heal_or_drop(
+    writer: &mut BatchedWriter,
+    store: &CheckpointStore,
+    policy: &RetryPolicy,
+    health: &mut WorkerHealth,
+    force_full: &AtomicBool,
+    already_failed: bool,
+) {
+    let r = with_retry(policy, || writer.flush(store));
+    health.io_retries += r.retries as u64 + u64::from(already_failed);
+    if r.result.is_err() {
+        // Retries exhausted: give the batch up. The gap this leaves in the
+        // differential chain is exactly what recovery already bounds
+        // (`diff_chain_from` stops at the gap); forcing an early full
+        // checkpoint re-anchors the chain so later diffs become useful
+        // again. Training was never blocked.
+        health.io_errors += 1;
+        health.dropped_diffs += writer.discard_batch();
+        health.dropped_batches += 1;
+        health.degraded = true;
+        force_full.store(true, Ordering::SeqCst);
+    }
+}
+
 /// The checkpointing process (Algorithm 1 lines 10–15).
 ///
-/// The reusing queue and the control channel are polled with short
-/// timeouts (the `Consumer` wraps its channel privately, so a two-way
-/// `select!` is not expressible); diffs are drained eagerly to keep FIFO
-/// latency low.
+/// Blocks on a two-way `Select` over the reusing queue and the control
+/// channel — no polling. Every storage write retries with bounded
+/// exponential backoff; a write that still fails degrades the run (batch
+/// dropped, early full forced) instead of panicking: checkpoint I/O errors
+/// never abort training.
 fn checkpoint_loop(
     store: Arc<CheckpointStore>,
     consumer: Consumer<CompressedGrad>,
     ctl_rx: Receiver<Ctl>,
     cfg: LowDiffConfig,
     shared: Arc<Mutex<StrategyStats>>,
+    force_full: Arc<AtomicBool>,
 ) {
     let mut writer = BatchedWriter::new(cfg.batch_size, cfg.mode);
     let mut full_count = 0u64;
     let mut full_bytes = 0u64;
+    let mut health = WorkerHealth::default();
     let mut diff_open = true;
     let mut ctl_open = true;
+    let retry = cfg.retry;
 
-    let publish = |writer: &BatchedWriter, full_count: u64, full_bytes: u64| {
-        let mut s = shared.lock();
-        s.diff_checkpoints = writer.diffs_in();
-        s.full_checkpoints = full_count;
-        s.writes = writer.writes() + full_count;
-        s.bytes_written = writer.bytes_written() + full_bytes;
+    let publish =
+        |writer: &BatchedWriter, full_count: u64, full_bytes: u64, health: &WorkerHealth| {
+            let mut s = shared.lock();
+            s.diff_checkpoints = writer.diffs_in();
+            s.full_checkpoints = full_count;
+            s.writes = writer.writes() + full_count;
+            s.bytes_written = writer.bytes_written() + full_bytes;
+            s.io_errors = health.io_errors;
+            s.io_retries = health.io_retries;
+            s.dropped_diffs = health.dropped_diffs;
+            s.dropped_batches = health.dropped_batches;
+            s.degraded |= health.degraded;
+        };
+
+    // Push one differential; a failed auto-flush enters the retry path.
+    let push_diff = |writer: &mut BatchedWriter,
+                     health: &mut WorkerHealth,
+                     iteration: u64,
+                     handle: Arc<CompressedGrad>| {
+        if writer.push(&store, iteration, handle).is_err() {
+            heal_or_drop(writer, &store, &retry, health, &force_full, true);
+        }
     };
 
-    loop {
-        // Differential gradients (Q.get, line 11):
-        if diff_open {
-            match consumer.get_timeout(std::time::Duration::from_millis(1)) {
+    while diff_open || ctl_open {
+        // Block until a gradient or a control message is ready (or a side
+        // disconnects). Readiness means try-receive won't block; an empty
+        // grab just re-enters the select.
+        let mut sel = Select::new();
+        let diff_idx = if diff_open {
+            sel.recv(consumer.receiver())
+        } else {
+            usize::MAX
+        };
+        let ctl_idx = if ctl_open { sel.recv(&ctl_rx) } else { usize::MAX };
+        let ready = sel.ready();
+        drop(sel);
+
+        if ready == diff_idx {
+            // Differential gradients (Q.get, line 11):
+            match consumer.get_timeout(std::time::Duration::ZERO) {
                 Ok(Some(tagged)) => {
-                    writer
-                        .push(&store, tagged.iteration, tagged.handle)
-                        .expect("diff write failed");
-                    publish(&writer, full_count, full_bytes);
-                    continue; // drain diffs eagerly
+                    push_diff(&mut writer, &mut health, tagged.iteration, tagged.handle);
+                    publish(&writer, full_count, full_bytes, &health);
                 }
-                Ok(None) => {}
+                Ok(None) => {} // raced with no message; re-select
                 Err(()) => diff_open = false,
             }
+            continue;
         }
-        // Control messages (full checkpoints / flush):
-        match ctl_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+        if ready != ctl_idx {
+            continue;
+        }
+        // Control messages (full checkpoints / retune / flush):
+        match ctl_rx.try_recv() {
             Ok(Ctl::Full(state)) => {
-                store.save_full(&state).expect("full write failed");
-                full_count += 1;
-                full_bytes += state.payload_bytes() as u64;
-                publish(&writer, full_count, full_bytes);
-                if let Some(keep) = cfg.keep_fulls {
-                    let fulls = store.full_iterations().expect("list fulls");
-                    if fulls.len() as u64 > keep {
-                        let cutoff = fulls[fulls.len() - keep as usize];
-                        store.gc_before(cutoff).expect("gc failed");
+                let r = with_retry(&retry, || store.save_full(&state));
+                health.io_retries += r.retries as u64;
+                if r.result.is_ok() {
+                    full_count += 1;
+                    full_bytes += state.payload_bytes() as u64;
+                    if let Some(keep) = cfg.keep_fulls {
+                        // GC failures are not data loss — count and move on.
+                        match store.full_iterations() {
+                            Ok(fulls) if fulls.len() as u64 > keep => {
+                                let cutoff = fulls[fulls.len() - keep as usize];
+                                if store.gc_before(cutoff).is_err() {
+                                    health.io_errors += 1;
+                                }
+                            }
+                            Ok(_) => {}
+                            Err(_) => health.io_errors += 1,
+                        }
                     }
+                } else {
+                    // A full that never lands must be re-attempted soon:
+                    // without it, a previously dropped batch would leave
+                    // the recovery window unbounded.
+                    health.io_errors += 1;
+                    health.degraded = true;
+                    force_full.store(true, Ordering::SeqCst);
                 }
+                publish(&writer, full_count, full_bytes, &health);
             }
             Ok(Ctl::SetBatchSize(bs)) => {
                 // Complete the in-flight batch at the old size, then
                 // switch: differential chains stay consecutive.
-                writer.flush(&store).expect("flush before retune failed");
+                heal_or_drop(&mut writer, &store, &retry, &mut health, &force_full, false);
                 let mode = writer.mode();
                 let done = writer;
                 writer = BatchedWriter::new(bs, mode);
                 writer.inherit_counters(&done);
-                publish(&writer, full_count, full_bytes);
+                publish(&writer, full_count, full_bytes, &health);
             }
             Ok(Ctl::Flush(ack)) => {
                 // Drain any queued diffs, then persist the partial batch.
                 while let Ok(Some(tagged)) =
-                    consumer.get_timeout(std::time::Duration::from_millis(0))
+                    consumer.get_timeout(std::time::Duration::ZERO)
                 {
-                    writer
-                        .push(&store, tagged.iteration, tagged.handle)
-                        .expect("diff write failed");
+                    push_diff(&mut writer, &mut health, tagged.iteration, tagged.handle);
                 }
-                writer.flush(&store).expect("final flush failed");
-                publish(&writer, full_count, full_bytes);
+                heal_or_drop(&mut writer, &store, &retry, &mut health, &force_full, false);
+                publish(&writer, full_count, full_bytes, &health);
                 let _ = ack.send(());
             }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => ctl_open = false,
-        }
-        if !diff_open && !ctl_open {
-            break;
+            Err(TryRecvError::Empty) => {} // raced; re-select
+            Err(TryRecvError::Disconnected) => ctl_open = false,
         }
     }
-    writer.flush(&store).expect("shutdown flush failed");
-    publish(&writer, full_count, full_bytes);
+    heal_or_drop(&mut writer, &store, &retry, &mut health, &force_full, false);
+    publish(&writer, full_count, full_bytes, &health);
 }
 
 impl CheckpointStrategy for LowDiffStrategy {
@@ -256,30 +354,49 @@ impl CheckpointStrategy for LowDiffStrategy {
 
     fn on_synced_gradient(&mut self, iteration: u64, grad: &Arc<CompressedGrad>) -> Secs {
         let t0 = Instant::now();
-        // Zero-copy reuse: clone the handle, not the payload (Q.put).
-        self.producer
+        // Zero-copy reuse: clone the handle, not the payload (Q.put). A
+        // dead checkpointing thread degrades the run; training continues.
+        let delivered = self
+            .producer
             .as_ref()
-            .expect("strategy already shut down")
-            .put(iteration, Arc::clone(grad))
-            .expect("checkpointing thread died");
+            .is_some_and(|p| p.put(iteration, Arc::clone(grad)).is_ok());
+        if !delivered {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
     }
 
     fn after_update(&mut self, state: &ModelState) -> Secs {
-        if !state.iteration.is_multiple_of(self.cfg.full_every) {
+        let scheduled = state.iteration.is_multiple_of(self.cfg.full_every);
+        // A dropped differential batch forces an early full checkpoint:
+        // the full re-anchors the chain past the gap.
+        let forced = self.force_full.swap(false, Ordering::SeqCst);
+        if !scheduled && !forced {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
         // Snapshot: the in-memory copy is the only blocking cost; the
         // write happens on the checkpointing thread.
         let snapshot = Box::new(state.clone());
-        self.ctl_tx
+        let delivered = self
+            .ctl_tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Ctl::Full(snapshot))
-            .expect("checkpointing thread died");
+            .is_some_and(|tx| tx.send(Ctl::Full(snapshot)).is_ok());
+        let mut s = self.shared.lock();
+        if delivered {
+            if forced {
+                s.forced_fulls += 1;
+            }
+        } else {
+            s.degraded = true;
+            if forced {
+                // Nobody will write the re-anchor; keep the request alive.
+                self.force_full.store(true, Ordering::SeqCst);
+            }
+        }
+        drop(s);
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -288,12 +405,13 @@ impl CheckpointStrategy for LowDiffStrategy {
     fn flush(&mut self) -> Secs {
         let t0 = Instant::now();
         let (ack_tx, ack_rx) = unbounded();
-        self.ctl_tx
+        let delivered = self
+            .ctl_tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Ctl::Flush(ack_tx))
-            .expect("checkpointing thread died");
-        ack_rx.recv().expect("flush ack lost");
+            .is_some_and(|tx| tx.send(Ctl::Flush(ack_tx)).is_ok());
+        if !delivered || ack_rx.recv().is_err() {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -538,6 +656,75 @@ mod tests {
         // Chain must still be fully consecutive and replayable.
         let (rec, _) = recover_serial(&st, &adam).unwrap().unwrap();
         assert_eq!(rec.params, state.params);
+    }
+
+    #[test]
+    fn dropped_batch_forces_early_full_and_degrades() {
+        use lowdiff_storage::{FaultConfig, FaultyBackend, MemoryBackend, StorageBackend};
+
+        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let st = Arc::new(CheckpointStore::new(
+            Arc::clone(&faulty) as Arc<dyn StorageBackend>
+        ));
+        let adam = Adam::default();
+        let mut comp = TopK::new(0.2);
+        let mut rng = DetRng::new(7);
+        let psi = 64;
+        let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
+        let mut strat = LowDiffStrategy::new(
+            Arc::clone(&st),
+            LowDiffConfig {
+                full_every: 1000, // no scheduled fulls besides the anchor
+                batch_size: 2,
+                retry: lowdiff_storage::RetryPolicy {
+                    max_retries: 1,
+                    base_delay: std::time::Duration::from_micros(100),
+                    max_delay: std::time::Duration::from_micros(500),
+                },
+                ..LowDiffConfig::default()
+            },
+        );
+        strat.after_update(&state); // anchor full at 0
+        strat.flush();
+        assert_eq!(st.full_iterations().unwrap(), vec![0]);
+
+        // Storage goes down: the next batch exhausts its retries and must
+        // be dropped — never panicking, never blocking training.
+        faulty.fail_all_puts();
+        for _ in 0..2 {
+            let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
+            let cg = Arc::new(comp.compress(&g));
+            strat.on_synced_gradient(state.iteration, &cg);
+            state.apply_gradient(&adam, &cg.to_dense());
+            strat.after_update(&state);
+        }
+        strat.flush(); // syncs with the worker; ack must still arrive
+        let stats = strat.stats();
+        assert!(stats.io_errors >= 1, "exhausted retries must be counted");
+        assert!(stats.io_retries >= 1);
+        assert_eq!(stats.dropped_batches, 1);
+        assert_eq!(stats.dropped_diffs, 2);
+        assert!(stats.degraded, "dropped data must flag degraded mode");
+
+        // Storage heals: the very next update must carry the forced full,
+        // re-anchoring recovery past the gap.
+        faulty.heal();
+        let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
+        let cg = Arc::new(comp.compress(&g));
+        strat.on_synced_gradient(state.iteration, &cg);
+        state.apply_gradient(&adam, &cg.to_dense());
+        strat.after_update(&state); // iteration 3: off-schedule, forced
+        strat.flush();
+        let stats = strat.stats();
+        assert_eq!(stats.forced_fulls, 1, "early full must be scheduled");
+        assert_eq!(
+            st.full_iterations().unwrap(),
+            vec![0, state.iteration],
+            "forced full re-anchors at the current iteration"
+        );
+        let (rec, report) = recover_serial(&st, &Adam::default()).unwrap().unwrap();
+        assert_eq!(report.full_iteration, state.iteration);
+        assert_eq!(rec.params, state.params, "re-anchored recovery is exact");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::strategy::{CheckpointStrategy, StrategyStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lowdiff_comm::SyncPool;
 use lowdiff_optim::{Adam, ModelState};
-use lowdiff_storage::CheckpointStore;
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use parking_lot::Mutex;
 use std::ops::Range;
@@ -41,6 +41,14 @@ pub struct LowDiffPlusConfig {
     pub persist_every: u64,
     /// Snapshot thread-pool size (`P_s`).
     pub snapshot_threads: usize,
+    /// Retry/backoff for persisting the replica. A persist that fails even
+    /// after retries is skipped — the replica itself stays correct and the
+    /// next persist interval re-anchors durable recovery.
+    pub retry: RetryPolicy,
+    /// Optimizer the replica loop applies the reused gradients with. MUST
+    /// match the trainer's Adam hyperparameters or the replica drifts from
+    /// the live model (the update `M^C ← Adam(M^C, g)` replays training).
+    pub adam: Adam,
 }
 
 impl Default for LowDiffPlusConfig {
@@ -48,6 +56,8 @@ impl Default for LowDiffPlusConfig {
         Self {
             persist_every: 10,
             snapshot_threads: 4,
+            retry: RetryPolicy::default(),
+            adam: Adam::default(),
         }
     }
 }
@@ -143,7 +153,7 @@ fn replica_loop(
     cfg: LowDiffPlusConfig,
     shared: Arc<Mutex<StrategyStats>>,
 ) {
-    let adam = Adam::default();
+    let adam = cfg.adam;
     for msg in ctl_rx.iter() {
         match msg {
             Ctl::Grad(iter, grad) => {
@@ -159,11 +169,21 @@ fn replica_loop(
                     s.diff_checkpoints += 1; // one in-memory ckpt per iter
                 }
                 if let Some(state) = snapshot {
-                    store.save_full(&state).expect("persist failed");
+                    let r = with_retry(&cfg.retry, || store.save_full(&state));
                     let mut s = shared.lock();
-                    s.full_checkpoints += 1;
-                    s.writes += 1;
-                    s.bytes_written += state.payload_bytes() as u64;
+                    s.io_retries += r.retries as u64;
+                    if r.result.is_ok() {
+                        s.full_checkpoints += 1;
+                        s.writes += 1;
+                        s.bytes_written += state.payload_bytes() as u64;
+                    } else {
+                        // Skip this persist: the in-memory replica is still
+                        // exact (software recovery unaffected); durable
+                        // recovery falls back to the previous persisted
+                        // full until the next interval lands.
+                        s.io_errors += 1;
+                        s.degraded = true;
+                    }
                 }
             }
             Ctl::Flush(ack) => {
@@ -174,10 +194,10 @@ fn replica_loop(
 }
 
 impl LowDiffPlusStrategy {
-    /// Adam instance the replica loop uses; must match the trainer's. The
-    /// default is hard-wired for now — exposed for documentation purposes.
-    pub fn replica_adam() -> Adam {
-        Adam::default()
+    /// Adam instance the replica loop applies gradients with; configured
+    /// via [`LowDiffPlusConfig::adam`] and must match the trainer's.
+    pub fn replica_adam(&self) -> Adam {
+        self.cfg.adam
     }
 }
 
@@ -222,11 +242,15 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
             let mut buf = self.staging.lock();
             std::mem::replace(&mut *buf, vec![0.0f32; self.psi])
         };
-        self.ctl_tx
+        let delivered = self
+            .ctl_tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Ctl::Grad(iteration, grad))
-            .expect("replica thread died");
+            .is_some_and(|tx| tx.send(Ctl::Grad(iteration, grad)).is_ok());
+        if !delivered {
+            // Replica thread gone: both the in-memory checkpoint and the
+            // persistence tier stop advancing. Training continues.
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -236,12 +260,13 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
         let t0 = Instant::now();
         self.pool.wait();
         let (ack_tx, ack_rx) = unbounded();
-        self.ctl_tx
+        let delivered = self
+            .ctl_tx
             .as_ref()
-            .expect("strategy already shut down")
-            .send(Ctl::Flush(ack_tx))
-            .expect("replica thread died");
-        ack_rx.recv().expect("flush ack lost");
+            .is_some_and(|tx| tx.send(Ctl::Flush(ack_tx)).is_ok());
+        if !delivered || ack_rx.recv().is_err() {
+            self.shared.lock().degraded = true;
+        }
         let stall = Secs(t0.elapsed().as_secs_f64());
         self.stall += stall;
         stall
@@ -300,6 +325,7 @@ mod tests {
             LowDiffPlusConfig {
                 persist_every,
                 snapshot_threads: 3,
+                ..LowDiffPlusConfig::default()
             },
             initial,
         );
@@ -362,6 +388,56 @@ mod tests {
         drop(tr);
         assert!(st.diff_keys().unwrap().is_empty());
         assert_eq!(st.full_iterations().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn failed_persist_is_skipped_replica_stays_exact() {
+        use lowdiff_storage::{FaultConfig, FaultyBackend, StorageBackend};
+
+        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let st = Arc::new(CheckpointStore::new(
+            Arc::clone(&faulty) as Arc<dyn StorageBackend>
+        ));
+        let net = mlp(&[5, 16, 2], 21);
+        let initial = ModelState::new(net.params_flat());
+        let strat = LowDiffPlusStrategy::new(
+            Arc::clone(&st),
+            LowDiffPlusConfig {
+                persist_every: 4,
+                snapshot_threads: 2,
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    base_delay: std::time::Duration::from_micros(100),
+                    max_delay: std::time::Duration::from_micros(500),
+                },
+                ..LowDiffPlusConfig::default()
+            },
+            initial,
+        );
+        let mut tr = Trainer::new(
+            net,
+            Adam::default(),
+            strat,
+            TrainerConfig {
+                compress_ratio: None,
+                error_feedback: false,
+            },
+        );
+        // Outage spans the first persist point (iteration 4): it must be
+        // skipped without panicking, and the replica must stay exact.
+        faulty.fail_all_puts();
+        tr.run(5, step_fn(6));
+        faulty.heal();
+        tr.run(5, step_fn(7)); // persist at replica iteration 8 lands
+        let live = tr.state().clone();
+        let rec = tr.strategy().recover_software();
+        assert_eq!(rec.params, live.params, "replica must survive the outage");
+        let stats = tr.strategy().stats();
+        assert!(stats.io_errors >= 1, "skipped persist must be counted");
+        assert!(stats.degraded);
+        drop(tr);
+        let durable = LowDiffPlusStrategy::recover_hardware(&st).unwrap().unwrap();
+        assert_eq!(durable.iteration, 8, "post-outage persist re-anchors");
     }
 
     #[test]

@@ -168,6 +168,15 @@ impl<T: Send> Consumer<T> {
         self.stats.dequeued.load(Ordering::Relaxed)
     }
 
+    /// The underlying channel receiver, for registering this consumer in a
+    /// `crossbeam::channel::Select` alongside other channels (the
+    /// checkpointing thread blocks on gradient-or-control instead of
+    /// polling). Receive through [`get`](Self::get)/[`get_timeout`] after
+    /// readiness so the dequeue counter stays accurate.
+    pub(crate) fn receiver(&self) -> &Receiver<Tagged<T>> {
+        &self.rx
+    }
+
     /// Items currently in flight.
     pub fn depth(&self) -> usize {
         self.rx.len()

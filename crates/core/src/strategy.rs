@@ -34,6 +34,21 @@ pub struct StrategyStats {
     pub writes: u64,
     /// Bytes handed to storage.
     pub bytes_written: u64,
+    /// Storage operations that failed even after retries were exhausted.
+    pub io_errors: u64,
+    /// Retry attempts spent recovering from transient storage failures.
+    pub io_retries: u64,
+    /// Differential checkpoints lost to storage failures (each widens the
+    /// recovery window until the next full checkpoint re-anchors it).
+    pub dropped_diffs: u64,
+    /// Differential *batches* dropped after retries were exhausted.
+    pub dropped_batches: u64,
+    /// Early full checkpoints scheduled to re-anchor after a dropped batch.
+    pub forced_fulls: u64,
+    /// Checkpointing is running degraded: data was dropped, or the
+    /// checkpointing worker is gone. Training continues; the recovery
+    /// window is wider than configured until a full checkpoint lands.
+    pub degraded: bool,
 }
 
 impl StrategyStats {
@@ -43,6 +58,18 @@ impl StrategyStats {
         self.full_checkpoints += other.full_checkpoints;
         self.writes += other.writes;
         self.bytes_written += other.bytes_written;
+        self.io_errors += other.io_errors;
+        self.io_retries += other.io_retries;
+        self.dropped_diffs += other.dropped_diffs;
+        self.dropped_batches += other.dropped_batches;
+        self.forced_fulls += other.forced_fulls;
+        self.degraded |= other.degraded;
+    }
+
+    /// True when any storage trouble was observed (retried, failed, or
+    /// dropped work) — the one-glance health check.
+    pub fn healthy(&self) -> bool {
+        !self.degraded && self.io_errors == 0 && self.dropped_batches == 0
     }
 }
 
@@ -132,6 +159,12 @@ mod tests {
             full_checkpoints: 1,
             writes: 3,
             bytes_written: 100,
+            io_errors: 1,
+            io_retries: 2,
+            dropped_diffs: 3,
+            dropped_batches: 1,
+            forced_fulls: 1,
+            degraded: false,
         };
         let b = StrategyStats {
             stall: Secs(0.5),
@@ -139,11 +172,33 @@ mod tests {
             full_checkpoints: 0,
             writes: 1,
             bytes_written: 50,
+            io_errors: 2,
+            io_retries: 5,
+            dropped_diffs: 0,
+            dropped_batches: 0,
+            forced_fulls: 0,
+            degraded: true,
         };
         a.merge(&b);
         assert!((a.stall.as_f64() - 1.5).abs() < 1e-12);
         assert_eq!(a.diff_checkpoints, 3);
         assert_eq!(a.writes, 4);
         assert_eq!(a.bytes_written, 150);
+        assert_eq!(a.io_errors, 3);
+        assert_eq!(a.io_retries, 7);
+        assert_eq!(a.dropped_diffs, 3);
+        assert_eq!(a.dropped_batches, 1);
+        assert_eq!(a.forced_fulls, 1);
+        assert!(a.degraded, "degraded is sticky under merge");
+    }
+
+    #[test]
+    fn healthy_reflects_storage_trouble() {
+        let mut s = StrategyStats::default();
+        assert!(s.healthy());
+        s.io_retries = 3; // retried-but-recovered is still healthy
+        assert!(s.healthy());
+        s.io_errors = 1;
+        assert!(!s.healthy());
     }
 }

@@ -148,9 +148,10 @@ impl<S: CheckpointStrategy> Trainer<S> {
                     strategy.on_layer_gradient(t, layer, range, grad);
                 });
 
-            // Compress (or pass through dense).
+            // Compress (or pass through dense — moving the flat gradient
+            // into the handle, not copying it).
             let compressed = match &mut self.comp {
-                Comp::None => CompressedGrad::Dense(flat_grad.clone()),
+                Comp::None => CompressedGrad::Dense(flat_grad),
                 Comp::Plain(c) => c.compress(&flat_grad),
                 Comp::Ef(c) => c.compress(&flat_grad),
             };
@@ -159,9 +160,17 @@ impl<S: CheckpointStrategy> Trainer<S> {
             // Reuse point (Q.put) — zero-copy handle.
             self.strategy.on_synced_gradient(t, &handle);
 
-            // Decompress and update (lines 7–8).
-            let dense = handle.to_dense();
-            self.state.apply_gradient(&self.adam, &dense);
+            // Decompress and update (lines 7–8). Dense handles are applied
+            // by borrow — the Ψ-sized gradient is never re-materialized.
+            let expanded;
+            let dense: &[f32] = match handle.as_dense() {
+                Some(d) => d,
+                None => {
+                    expanded = handle.to_dense();
+                    &expanded
+                }
+            };
+            self.state.apply_gradient(&self.adam, dense);
             self.strategy.after_update(&self.state);
         }
         self.strategy.flush();

@@ -1,0 +1,664 @@
+//! Mpmc channels in the style of `crossbeam::channel`.
+//!
+//! Semantics kept from the real crate (for the subset we use):
+//! - cloneable senders and receivers; a channel disconnects when all
+//!   senders or all receivers are dropped;
+//! - `bounded(cap)` blocks senders at capacity (`bounded(0)` is not
+//!   supported — the workspace never creates rendezvous channels);
+//! - receiving drains remaining messages even after disconnect;
+//! - `Select`/`ready()` blocks until some registered receiver has a
+//!   message or is disconnected.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Errors (shape-compatible with crossbeam's)
+// ---------------------------------------------------------------------------
+
+pub struct SendError<T>(pub T);
+
+impl<T> SendError<T> {
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+        }
+    }
+
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyTimeoutError;
+
+// ---------------------------------------------------------------------------
+// Channel core
+// ---------------------------------------------------------------------------
+
+/// Wake handle shared between a `Select` and the channels it watches.
+/// Any state change that could make a receiver ready bumps the generation.
+struct SelectWaker {
+    state: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl SelectWaker {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(0),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn wake(&self) {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = g.wrapping_add(1);
+        self.cond.notify_all();
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+    /// Select wakers currently parked on this channel.
+    observers: Vec<Arc<SelectWaker>>,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake blocked receivers and any selects parked on this channel.
+    fn notify_readable(&self, inner: &mut Inner<T>) {
+        self.not_empty.notify_all();
+        for obs in &inner.observers {
+            obs.wake();
+        }
+    }
+}
+
+fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    if cap == Some(0) {
+        panic!("shim channel does not support zero-capacity (rendezvous) channels");
+    }
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+            observers: Vec::new(),
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// A channel with capacity `cap` (> 0); senders block when it is full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    new_channel(Some(cap))
+}
+
+/// A channel with unlimited capacity; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(msg);
+                self.shared.notify_readable(&mut inner);
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        self.shared.notify_readable(&mut inner);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Disconnect: wake everyone so blocked receivers/selects observe it.
+            self.shared.notify_readable(&mut inner);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.lock();
+        if let Some(msg) = inner.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = g;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator; ends when the channel is empty and disconnected.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    fn register(&self, waker: &Arc<SelectWaker>) {
+        self.shared.lock().observers.push(Arc::clone(waker));
+    }
+
+    fn deregister(&self, waker: &Arc<SelectWaker>) {
+        self.shared
+            .lock()
+            .observers
+            .retain(|o| !Arc::ptr_eq(o, waker));
+    }
+
+    /// Ready means: a recv would not block (message available or disconnected).
+    fn is_ready(&self) -> bool {
+        let inner = self.shared.lock();
+        !inner.queue.is_empty() || inner.senders == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------------
+
+trait Watched {
+    fn ready(&self) -> bool;
+    fn attach(&self, waker: &Arc<SelectWaker>);
+    fn detach(&self, waker: &Arc<SelectWaker>);
+}
+
+impl<T> Watched for Receiver<T> {
+    fn ready(&self) -> bool {
+        self.is_ready()
+    }
+    fn attach(&self, waker: &Arc<SelectWaker>) {
+        self.register(waker);
+    }
+    fn detach(&self, waker: &Arc<SelectWaker>) {
+        self.deregister(waker);
+    }
+}
+
+/// Blocking readiness selection over a set of receivers.
+///
+/// Usage mirrors crossbeam's manual-select API:
+/// ```
+/// # use crossbeam::channel::{unbounded, Select};
+/// let (tx, rx) = unbounded::<u32>();
+/// tx.send(7).unwrap();
+/// let mut sel = Select::new();
+/// let idx = sel.recv(&rx);
+/// let ready = sel.ready(); // blocks until some handle is ready
+/// assert_eq!(ready, idx);
+/// assert_eq!(rx.try_recv(), Ok(7));
+/// ```
+///
+/// `ready()` returns the index of a handle whose `recv` would not block;
+/// the caller then does a non-blocking `try_recv` on it (a competing
+/// receiver may have stolen the message — retry on `Empty`).
+pub struct Select<'a> {
+    handles: Vec<&'a dyn Watched>,
+    waker: Arc<SelectWaker>,
+    /// Rotates the scan start so one busy channel cannot starve the rest.
+    next_start: usize,
+}
+
+impl<'a> Select<'a> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            handles: Vec::new(),
+            waker: SelectWaker::new(),
+            next_start: 0,
+        }
+    }
+
+    /// Register a receive operation; returns the operation index.
+    pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+        rx.attach(&self.waker);
+        self.handles.push(rx);
+        self.handles.len() - 1
+    }
+
+    fn poll(&mut self) -> Option<usize> {
+        let n = self.handles.len();
+        for off in 0..n {
+            let i = (self.next_start + off) % n;
+            if self.handles[i].ready() {
+                self.next_start = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Block until some registered operation is ready; returns its index.
+    pub fn ready(&mut self) -> usize {
+        assert!(!self.handles.is_empty(), "select with no operations");
+        loop {
+            let gen = *self
+                .waker
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(i) = self.poll() {
+                return i;
+            }
+            // Sleep until the generation moves past the snapshot taken
+            // *before* the poll — a wake between poll and wait is not lost.
+            let mut g = self
+                .waker
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while *g == gen {
+                g = self
+                    .waker
+                    .cond
+                    .wait(g)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Like [`Select::ready`] with a timeout.
+    pub fn ready_timeout(&mut self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+        assert!(!self.handles.is_empty(), "select with no operations");
+        let deadline = Instant::now() + timeout;
+        loop {
+            let gen = *self
+                .waker
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(i) = self.poll() {
+                return Ok(i);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ReadyTimeoutError);
+            }
+            let mut g = self
+                .waker
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while *g == gen {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ReadyTimeoutError);
+                }
+                let (guard, _) = self
+                    .waker
+                    .cond
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                g = guard;
+            }
+        }
+    }
+}
+
+impl Drop for Select<'_> {
+    fn drop(&mut self) {
+        for h in &self.handles {
+            h.detach(&self.waker);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_blocks_then_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        let h = thread::spawn(move || tx.send(2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(5), "drain after disconnect");
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_variants() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_clone_senders_receivers() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+        drop(tx);
+        tx2.send(3).unwrap(); // still connected via tx2
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let v: Vec<i32> = rx.iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_wakes_on_late_send() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (_tx_b, rx_b) = unbounded::<u8>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx_a.send(42).unwrap();
+        });
+        let mut sel = Select::new();
+        let ia = sel.recv(&rx_a);
+        let _ib = sel.recv(&rx_b);
+        let ready = sel.ready();
+        assert_eq!(ready, ia);
+        assert_eq!(rx_a.try_recv(), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_reports_disconnect_as_ready() {
+        let (tx, rx) = unbounded::<u8>();
+        let mut sel = Select::new();
+        let idx = sel.recv(&rx);
+        drop(tx);
+        assert_eq!(sel.ready(), idx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn select_ready_timeout() {
+        let (_tx, rx) = unbounded::<u8>();
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        assert_eq!(
+            sel.ready_timeout(Duration::from_millis(10)),
+            Err(ReadyTimeoutError)
+        );
+    }
+
+    #[test]
+    fn select_deregisters_on_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        {
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            tx.send(1).unwrap();
+            assert_eq!(sel.ready(), 0);
+        }
+        assert_eq!(rx.shared.lock().observers.len(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline shim for `rayon`.
+//!
+//! Maps the parallel-iterator entry points this workspace uses onto plain
+//! sequential `std` iterators: `par_iter`/`par_iter_mut` are slice iterators,
+//! `par_chunks_mut` is `chunks_mut`, `into_par_iter` is `into_iter`, and
+//! `reduce_with` is `Iterator::reduce`. Everything downstream (`zip`,
+//! `enumerate`, `for_each`, `map`, `cloned`, ...) is then just `std`.
+//!
+//! Execution is **sequential** — correct, deterministic, and single-core,
+//! which matches this container. Thread-based data parallelism can return
+//! by swapping the real crate back in at the workspace root.
+
+pub mod prelude {
+    /// Slice read access: `par_iter`, `par_chunks`.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Slice write access: `par_iter_mut`, `par_chunks_mut`.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Owned conversion: `into_par_iter` on anything iterable.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon combinators that have no direct `std::iter` name.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Rayon's unordered fold-into-one; sequentially this is `reduce`.
+        fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+        where
+            F: FnMut(Self::Item, Self::Item) -> Self::Item,
+        {
+            self.reduce(op)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_zip_for_each() {
+        let a = [1.0f32, 2.0, 3.0];
+        let mut b = [10.0f32, 20.0, 30.0];
+        b.par_iter_mut().zip(a.par_iter()).for_each(|(x, y)| *x += y);
+        assert_eq!(b, [11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut v = vec![0usize; 7];
+        v.par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(i, c)| c.iter_mut().for_each(|x| *x = i));
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn reduce_with_merges() {
+        let xs = vec![1u64, 2, 3, 4];
+        let sum = xs.par_iter().cloned().reduce_with(|a, b| a + b);
+        assert_eq!(sum, Some(10));
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.into_par_iter().reduce_with(|a, b| a + b), None);
+    }
+}

@@ -91,11 +91,28 @@ impl DiskBackend {
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // Sweep orphaned temp files from a previous crashed process: they
+        // were never renamed into place, so they are garbage by definition.
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(".tmp-"))
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
         Ok(Self {
             dir,
             written: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         })
+    }
+
+    /// fsync the directory so a completed rename survives power loss.
+    fn sync_dir(&self) -> io::Result<()> {
+        std::fs::File::open(&self.dir)?.sync_all()
     }
 
     fn path(&self, key: &str) -> PathBuf {
@@ -114,8 +131,17 @@ impl StorageBackend for DiskBackend {
             std::process::id(),
             self.seq.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, data)?;
+        // write → fsync(file) → rename → fsync(dir): without the first
+        // sync the rename can hit disk before the data does (the blob
+        // reads back torn after a crash); without the second the rename
+        // itself may be lost.
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, data)?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, self.path(key))?;
+        self.sync_dir()?;
         self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(())
     }
@@ -250,6 +276,25 @@ mod tests {
         b.put("x", b"1").unwrap();
         std::fs::write(dir.join(".tmp-999-0"), b"junk").unwrap();
         assert_eq!(b.list().unwrap(), vec!["x".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_backend_sweeps_orphaned_temp_files_on_open() {
+        let dir = std::env::temp_dir().join(format!("lowdiff-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a crash mid-put of a previous process: orphaned temp
+        // files left behind, plus one real checkpoint blob.
+        std::fs::write(dir.join(".tmp-123-0"), b"half a checkpoint").unwrap();
+        std::fs::write(dir.join(".tmp-123-1"), b"junk").unwrap();
+        std::fs::write(dir.join("full-0000000001.ckpt"), b"real").unwrap();
+        let b = DiskBackend::new(&dir).unwrap();
+        assert_eq!(b.list().unwrap(), vec!["full-0000000001.ckpt".to_string()]);
+        assert!(
+            !dir.join(".tmp-123-0").exists() && !dir.join(".tmp-123-1").exists(),
+            "orphaned temp files must be swept on open"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -10,12 +10,21 @@
 //! * [`backend`] — [`StorageBackend`] implementations: in-memory (tests),
 //!   local disk (atomic rename writes), and a bandwidth-throttled wrapper
 //!   that models SSD/remote write speeds against a [`lowdiff_util::Clock`].
+//! * [`faults`] — [`FaultyBackend`], a seeded, deterministic storage-fault
+//!   injector (transient/persistent errors, torn writes, latency spikes)
+//!   wrapping any backend.
+//! * [`retry`] — bounded-exponential-backoff [`with_retry`] used by every
+//!   checkpointing write path so storage errors never abort training.
 //! * [`store`] — naming, latest-valid discovery, differential chains and
 //!   garbage collection.
 
 pub mod backend;
 pub mod codec;
+pub mod faults;
+pub mod retry;
 pub mod store;
 
 pub use backend::{DiskBackend, MemoryBackend, StorageBackend, ThrottledBackend};
+pub use faults::{FaultConfig, FaultCounters, FaultyBackend};
+pub use retry::{with_retry, Retried, RetryPolicy};
 pub use store::CheckpointStore;

@@ -1,0 +1,150 @@
+//! Bounded-exponential-backoff retry for storage I/O.
+//!
+//! Checkpointing must never abort training: every storage write on the
+//! checkpointing path retries transient failures here, and only after the
+//! policy is exhausted does the caller fall back to degraded handling
+//! (drop the differential batch and force an early full checkpoint).
+
+use std::io;
+use std::time::Duration;
+
+/// How many times to retry a failed storage operation and how long to
+/// back off between attempts. `max_retries = N` means up to `N + 1` total
+/// attempts; the delay before retry `k` is `base_delay * 2^k`, capped at
+/// `max_delay`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    pub max_retries: u32,
+    pub base_delay: Duration,
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        exp.min(self.max_delay)
+    }
+}
+
+/// Result of [`with_retry`]: the final outcome plus how many retries
+/// (attempts beyond the first) were spent getting there.
+pub struct Retried<T> {
+    pub result: io::Result<T>,
+    pub retries: u32,
+}
+
+impl<T> Retried<T> {
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Run `op` until it succeeds or the policy is exhausted, sleeping the
+/// policy's backoff between attempts.
+pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> Retried<T> {
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Ok(v) => {
+                return Retried {
+                    result: Ok(v),
+                    retries,
+                }
+            }
+            Err(e) => {
+                if retries >= policy.max_retries {
+                    return Retried {
+                        result: Err(e),
+                        retries,
+                    };
+                }
+                std::thread::sleep(policy.delay_for(retries));
+                retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{MemoryBackend, StorageBackend};
+    use crate::faults::{FaultConfig, FaultyBackend};
+
+    #[test]
+    fn succeeds_first_try_uses_no_retries() {
+        let r = with_retry(&RetryPolicy::default(), || Ok::<_, io::Error>(42));
+        assert_eq!(r.result.unwrap(), 42);
+        assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn retries_through_forced_fault_window() {
+        let b = FaultyBackend::new(MemoryBackend::new(), FaultConfig::default());
+        b.fail_next_puts(2);
+        let r = with_retry(&RetryPolicy::default(), || b.put("k", b"v"));
+        assert!(r.is_ok());
+        assert_eq!(r.retries, 2);
+        assert_eq!(b.get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn exhausts_on_persistent_outage() {
+        let b = FaultyBackend::new(MemoryBackend::new(), FaultConfig::default());
+        b.fail_all_puts();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(100),
+        };
+        let r = with_retry(&policy, || b.put("k", b"v"));
+        assert!(r.result.is_err());
+        assert_eq!(r.retries, 3, "all retries spent");
+        assert_eq!(b.counters().put_faults, 4, "4 attempts total");
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(2));
+        assert_eq!(p.delay_for(1), Duration::from_millis(4));
+        assert_eq!(p.delay_for(2), Duration::from_millis(8));
+        assert_eq!(p.delay_for(3), Duration::from_millis(10), "capped");
+        assert_eq!(p.delay_for(30), Duration::from_millis(10), "still capped");
+    }
+
+    #[test]
+    fn none_policy_is_single_attempt() {
+        let b = FaultyBackend::new(MemoryBackend::new(), FaultConfig::default());
+        b.fail_next_puts(1);
+        let r = with_retry(&RetryPolicy::none(), || b.put("k", b"v"));
+        assert!(r.result.is_err());
+        assert_eq!(r.retries, 0);
+    }
+}

@@ -55,8 +55,9 @@ impl CheckpointStore {
     }
 
     /// Persist a batch of differential checkpoints. Entries must be
-    /// consecutive by iteration.
-    pub fn save_diff_batch(&self, entries: &[DiffEntry]) -> io::Result<()> {
+    /// consecutive by iteration. Returns the number of bytes written, so
+    /// callers can account I/O without re-encoding the batch.
+    pub fn save_diff_batch(&self, entries: &[DiffEntry]) -> io::Result<u64> {
         assert!(!entries.is_empty(), "empty differential batch");
         for w in entries.windows(2) {
             assert_eq!(
@@ -67,7 +68,8 @@ impl CheckpointStore {
         }
         let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
         let bytes = codec::encode_diff_batch(entries);
-        self.backend.put(&Self::diff_key(start, end), &bytes)
+        self.backend.put(&Self::diff_key(start, end), &bytes)?;
+        Ok(bytes.len() as u64)
     }
 
     /// Iterations of all stored full checkpoints (sorted ascending),
@@ -110,19 +112,36 @@ impl CheckpointStore {
 
     /// Load and CRC-validate a specific full checkpoint.
     pub fn load_full(&self, iteration: u64) -> io::Result<ModelState> {
-        let bytes = self.backend.get(&Self::full_key(iteration))?;
+        let bytes = self.get_retried(&Self::full_key(iteration))?;
         codec::decode_model_state(&bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
+    /// `get` with transient-error retries: a flaky read (`Interrupted`, the
+    /// kind transient storage faults surface as) must not demote recovery
+    /// to an older checkpoint when a re-read would have succeeded.
+    fn get_retried(&self, key: &str) -> io::Result<Vec<u8>> {
+        let mut last = None;
+        for _ in 0..4 {
+            match self.backend.get(key) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.unwrap())
+    }
+
     /// The newest full checkpoint that passes CRC validation. Corrupt (torn)
-    /// checkpoints are skipped — this is the recovery entry point.
+    /// checkpoints are skipped, and so are persistently unreadable ones —
+    /// this is the recovery entry point, and it degrades to an older
+    /// checkpoint rather than erroring out.
     pub fn latest_valid_full(&self) -> io::Result<Option<ModelState>> {
         for iter in self.full_iterations()?.into_iter().rev() {
             match self.load_full(iter) {
                 Ok(state) => return Ok(Some(state)),
                 Err(e) if e.kind() == io::ErrorKind::InvalidData => continue,
                 Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -139,7 +158,7 @@ impl CheckpointStore {
             if dk.end < next {
                 continue; // already covered by the full checkpoint
             }
-            let Ok(bytes) = self.backend.get(&dk.key) else {
+            let Ok(bytes) = self.get_retried(&dk.key) else {
                 break;
             };
             let Ok(entries) = codec::decode_diff_batch(&bytes) else {

@@ -33,17 +33,20 @@ fn main() {
     );
 
     let initial = ModelState::new(net.params_flat());
+    let adam = Adam { lr: 3e-3, ..Adam::default() };
     let strategy = LowDiffPlusStrategy::new(
         Arc::clone(&store),
         LowDiffPlusConfig {
             persist_every: 25, // async persistence cadence
             snapshot_threads: 4,
+            adam, // replica must replay with the trainer's hyperparameters
+            ..LowDiffPlusConfig::default()
         },
         initial,
     );
     let mut tr = Trainer::new(
         net,
-        Adam { lr: 3e-3, ..Adam::default() },
+        adam,
         strategy,
         TrainerConfig {
             compress_ratio: None, // the non-compression scenario

@@ -39,9 +39,10 @@ fn main() {
     // 3. A model and a task: 3-layer MLP on a synthetic regression.
     let net = mlp(&[16, 64, 4], 1);
     let task = Regression::new(16, 4, 7);
+    let adam = Adam { lr: 2e-3, ..Adam::default() };
     let mut tr = Trainer::new(
         net,
-        Adam { lr: 2e-3, ..Adam::default() },
+        adam,
         strategy,
         TrainerConfig {
             compress_ratio: Some(0.05), // Top-K, rho = 5%
@@ -77,7 +78,9 @@ fn main() {
     println!("simulated crash at iteration {}", live.iteration);
 
     // 6. Recover: latest full checkpoint + replay of the reused gradients.
-    let (recovered, rep) = recover_serial(&store, &Adam::default())
+    //    Replay MUST use the same optimizer hyperparameters as training —
+    //    the differentials are gradients, and Adam's lr scales the update.
+    let (recovered, rep) = recover_serial(&store, &adam)
         .expect("storage readable")
         .expect("a checkpoint exists");
     println!(

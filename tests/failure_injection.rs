@@ -127,6 +127,47 @@ fn crash_at_every_iteration_is_recoverable() {
 }
 
 #[test]
+fn transient_storage_faults_plus_torn_blob_still_recover() {
+    // Compound failure: the run trains through a 10 % transient put-fault
+    // rate (retried transparently), and then the newest full checkpoint is
+    // torn as if the machine died mid-write. Recovery must fall back to an
+    // intact full and replay the diff chain from there.
+    use lowdiff_storage::{FaultConfig, FaultyBackend, RetryPolicy};
+    let faulty = Arc::new(FaultyBackend::new(
+        MemoryBackend::new(),
+        FaultConfig {
+            seed: 99,
+            put_transient_rate: 0.1,
+            ..FaultConfig::default()
+        },
+    ));
+    let store = Arc::new(CheckpointStore::new(
+        Arc::clone(&faulty) as Arc<dyn StorageBackend>
+    ));
+    let live = train_lm(
+        Arc::clone(&store),
+        14,
+        LowDiffConfig {
+            full_every: 6,
+            batch_size: 2,
+            retry: RetryPolicy {
+                max_retries: 4,
+                base_delay: std::time::Duration::from_micros(100),
+                max_delay: std::time::Duration::from_micros(800),
+            },
+            ..LowDiffConfig::default()
+        },
+    );
+    assert!(faulty.counters().put_faults > 0, "faults must have fired");
+    // Fulls at 0, 6, 12 — tear the newest one mid-write.
+    faulty.inner().truncate_blob("full-0000000012.ckpt", 40);
+    let (rec, report) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
+    assert_eq!(report.full_iteration, 6, "must fall back to the intact full");
+    assert_eq!(rec.iteration, 14, "diff chain replays the rest");
+    assert_eq!(rec.params, live.params, "compound-failure recovery diverged");
+}
+
+#[test]
 fn sharded_and_serial_agree_after_injected_corruption() {
     let (mem, store) = mem_store();
     train_lm(

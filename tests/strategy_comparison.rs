@@ -124,7 +124,11 @@ fn every_strategy_recovers_to_a_valid_state() {
     let initial = ModelState::new(net.params_flat());
     let strategy = LowDiffPlusStrategy::new(
         Arc::clone(&st),
-        LowDiffPlusConfig { persist_every: 6, snapshot_threads: 2 },
+        LowDiffPlusConfig {
+            persist_every: 6,
+            snapshot_threads: 2,
+            ..LowDiffPlusConfig::default()
+        },
         initial,
     );
     let mut tr = Trainer::new(
