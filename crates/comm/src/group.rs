@@ -3,6 +3,7 @@
 
 use crate::rendezvous::Rendezvous;
 use lowdiff_compress::SparseGrad;
+use lowdiff_util::par::chunk_ranges;
 use std::cell::Cell;
 
 /// Handle for one rank inside a running group.
@@ -29,7 +30,45 @@ impl WorkerCtx {
     /// Dense allreduce with mean semantics (the standard data-parallel
     /// gradient synchronization): every rank ends with the elementwise
     /// average of all contributions.
+    ///
+    /// Implemented as chunked **reduce-scatter + allgather**: rank *r*
+    /// reduces only the *r*-th of `n` fixed contiguous chunks, then the
+    /// reduced chunks are gathered back. Per rank that moves ~3Ψ elements
+    /// (contribute Ψ, reduce Ψ/n over n contributions, copy Ψ back) instead
+    /// of the naive (n+1)Ψ — cloning every peer's full vector — and the
+    /// reduction work is split n ways instead of duplicated n times.
+    ///
+    /// Each element is still accumulated from 0.0 in rank order, so the
+    /// result is bit-identical to [`WorkerCtx::allreduce_mean_naive`].
     pub fn allreduce_mean(&self, buf: &mut [f32]) {
+        let gen = self.gen_dense.get();
+        self.gen_dense.set(gen + 2); // two rounds: reduce-scatter, allgather
+        let all = self.dense.exchange_shared(self.rank, gen, buf.to_vec());
+        let ranges = chunk_ranges(buf.len(), self.n);
+        // Ranks beyond the chunk count (Ψ < n) own an empty chunk.
+        let my = ranges.get(self.rank).cloned().unwrap_or(0..0);
+        let inv = 1.0 / self.n as f32;
+        let mut mine = vec![0.0f32; my.len()];
+        for contrib in all.iter() {
+            for (o, &c) in mine.iter_mut().zip(&contrib[my.clone()]) {
+                *o += c;
+            }
+        }
+        for o in mine.iter_mut() {
+            *o *= inv;
+        }
+        drop(all);
+        let chunks = self.dense.exchange_shared(self.rank, gen + 1, mine);
+        for (range, chunk) in ranges.iter().zip(chunks.iter()) {
+            buf[range.clone()].copy_from_slice(chunk);
+        }
+    }
+
+    /// The pre-reduce-scatter implementation: every rank clones every
+    /// peer's full vector and reduces all Ψ elements itself. Kept for the
+    /// equivalence property test and as the `bench_hotpath` baseline.
+    #[doc(hidden)]
+    pub fn allreduce_mean_naive(&self, buf: &mut [f32]) {
         let gen = self.gen_dense.get();
         self.gen_dense.set(gen + 1);
         let all = self.dense.exchange(self.rank, gen, buf.to_vec());
@@ -49,7 +88,7 @@ impl WorkerCtx {
     pub fn allgather_sparse(&self, local: &SparseGrad) -> SparseGrad {
         let gen = self.gen_sparse.get();
         self.gen_sparse.set(gen + 1);
-        let all = self.sparse.exchange(self.rank, gen, local.clone());
+        let all = self.sparse.exchange_shared(self.rank, gen, local.clone());
         let mut merged = SparseGrad::merge_all(local.dense_len, all.iter());
         let inv = 1.0 / self.n as f32;
         for v in merged.values.iter_mut() {
@@ -77,7 +116,7 @@ impl WorkerCtx {
         // tag 0 used by `allgather_sparse`.
         let all = self
             .sparse
-            .exchange_tagged(layer + 1, self.rank, step, local.clone());
+            .exchange_tagged_shared(layer + 1, self.rank, step, local.clone());
         let mut merged = SparseGrad::merge_all(local.dense_len, all.iter());
         let inv = 1.0 / self.n as f32;
         for v in merged.values.iter_mut() {
@@ -247,6 +286,39 @@ mod tests {
             let (layer, merged) = h.join().unwrap();
             assert_eq!(merged.indices, vec![layer as u32], "tags crossed");
             assert_eq!(merged.values, vec![2.0 * (layer + 1) as f32]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_bit_identical_to_naive() {
+        // The chunked reduce-scatter must agree with the clone-everything
+        // reference to the last bit, including awkward lengths (Ψ not
+        // divisible by n, Ψ < n) and values that expose accumulation-order
+        // differences.
+        use lowdiff_util::DetRng;
+        for n in [2usize, 3, 5] {
+            for len in [0usize, 1, 3, 7, 1000, 1003] {
+                let grads: Vec<Vec<f32>> = (0..n)
+                    .map(|r| {
+                        let mut rng = DetRng::new(100 + r as u64);
+                        (0..len).map(|_| (rng.normal() * 1e3) as f32).collect()
+                    })
+                    .collect();
+                let group = WorkerGroup::new(n);
+                let results = group.run(|ctx| {
+                    let mut fast = grads[ctx.rank()].clone();
+                    let mut slow = grads[ctx.rank()].clone();
+                    ctx.allreduce_mean(&mut fast);
+                    ctx.barrier();
+                    ctx.allreduce_mean_naive(&mut slow);
+                    (fast, slow)
+                });
+                for (rank, (fast, slow)) in results.iter().enumerate() {
+                    let fast_bits: Vec<u32> = fast.iter().map(|x| x.to_bits()).collect();
+                    let slow_bits: Vec<u32> = slow.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(fast_bits, slow_bits, "n={n} len={len} rank={rank}");
+                }
+            }
         }
     }
 

@@ -79,10 +79,28 @@ impl<T: Clone + Send> Rendezvous<T> {
         self.exchange_tagged(0, rank, gen, value)
     }
 
+    /// Like [`Rendezvous::exchange`], but hands back a shared snapshot
+    /// instead of cloning the contributions out for every rank. This is the
+    /// zero-copy primitive the chunked collectives build on: `n` ranks
+    /// reading `n` contributions through one `Arc` costs no per-rank copy.
+    pub fn exchange_shared(&self, rank: usize, gen: u64, value: T) -> Arc<Vec<T>> {
+        self.exchange_tagged_shared(0, rank, gen, value)
+    }
+
     /// Exchange within an independent `tag` stream — used for concurrent
     /// per-layer collectives, where layer *l*'s gradients from all ranks
     /// must meet each other and nothing else.
     pub fn exchange_tagged(&self, tag: u64, rank: usize, gen: u64, value: T) -> Vec<T> {
+        let result = self.exchange_tagged_shared(tag, rank, gen, value);
+        // Unwrap the Arc if we're the last holder, else clone out.
+        match Arc::try_unwrap(result) {
+            Ok(v) => v,
+            Err(arc) => (*arc).clone(),
+        }
+    }
+
+    /// Shared-snapshot variant of [`Rendezvous::exchange_tagged`].
+    pub fn exchange_tagged_shared(&self, tag: u64, rank: usize, gen: u64, value: T) -> Arc<Vec<T>> {
         let inner = &*self.inner;
         assert!(rank < inner.n, "rank {rank} out of range");
         let key = (tag, gen);
@@ -110,11 +128,7 @@ impl<T: Clone + Send> Rendezvous<T> {
             rounds.remove(&key);
         }
         drop(rounds);
-        // Unwrap the Arc if we're the last holder, else clone out.
-        match Arc::try_unwrap(result) {
-            Ok(v) => v,
-            Err(arc) => (*arc).clone(),
-        }
+        result
     }
 }
 

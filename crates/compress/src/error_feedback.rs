@@ -14,11 +14,15 @@
 
 use crate::grad::CompressedGrad;
 use crate::Compressor;
+use lowdiff_tensor::ops;
 
 /// Wraps a compressor with a residual buffer.
 pub struct ErrorFeedback<C: Compressor> {
     inner: C,
     residual: Vec<f32>,
+    /// Scratch for `acc = grad + residual`, reused across iterations so the
+    /// steady-state hot loop performs no Ψ-sized allocations.
+    acc: Vec<f32>,
 }
 
 impl<C: Compressor> ErrorFeedback<C> {
@@ -27,23 +31,33 @@ impl<C: Compressor> ErrorFeedback<C> {
         Self {
             inner,
             residual: vec![0.0; n],
+            acc: vec![0.0; n],
         }
     }
 
     /// Compensate, compress, and update the residual.
     pub fn compress(&mut self, grad: &[f32]) -> CompressedGrad {
         assert_eq!(grad.len(), self.residual.len(), "gradient length changed");
-        // acc = grad + residual
-        let acc: Vec<f32> = grad
-            .iter()
-            .zip(&self.residual)
-            .map(|(&g, &r)| g + r)
-            .collect();
-        let sent = self.inner.compress(&acc);
-        // residual = acc - decompress(sent)
-        let sent_dense = sent.to_dense();
-        for ((r, &a), &s) in self.residual.iter_mut().zip(&acc).zip(&sent_dense) {
-            *r = a - s;
+        // acc = grad + residual, into the reused scratch.
+        self.acc.copy_from_slice(grad);
+        ops::add_assign(&mut self.acc, &self.residual);
+        let sent = self.inner.compress(&self.acc);
+        // residual = acc − decompress(sent). A sparse handle decompresses to
+        // acc's own values at the sent coordinates and 0.0 elsewhere, and
+        // `x − 0.0 == x` exactly for every f32 (including −0.0) — so start
+        // from acc and subtract only at the sent indices instead of
+        // materializing a Ψ-sized dense copy.
+        std::mem::swap(&mut self.residual, &mut self.acc);
+        match &sent {
+            CompressedGrad::Sparse(s) => {
+                for (&i, &v) in s.indices.iter().zip(&s.values) {
+                    self.residual[i as usize] -= v;
+                }
+            }
+            other => {
+                let sent_dense = other.to_dense();
+                ops::sub_assign(&mut self.residual, &sent_dense);
+            }
         }
         sent
     }

@@ -6,7 +6,9 @@
 
 use crate::grad::{CompressedGrad, SparseGrad};
 use crate::Compressor;
+use lowdiff_util::par::chunk_ranges;
 use lowdiff_util::DetRng;
+use rayon::prelude::*;
 
 /// Number of elements kept for a ratio over a dense length:
 /// `max(1, round(ρ·n))` (never zero, or training would stall).
@@ -42,6 +44,15 @@ impl TopK {
 
     /// Core selection, exposed for tests: returns sorted indices of the k
     /// largest-|v| entries, ties broken toward lower index.
+    ///
+    /// Large inputs are selected in parallel over fixed shards: each shard
+    /// keeps its local top-`min(k, shard_len)` candidates, and the exact
+    /// top-k is selected from the candidate pool. Because the comparison is
+    /// a strict total order — bigger |v| first, then smaller index — every
+    /// global top-k element is necessarily in its shard's local top-k, so
+    /// the sharded result **equals** the serial one for any shard layout;
+    /// shard boundaries are fixed by the input length alone, never by the
+    /// thread count.
     pub fn select(grad: &[f32], k: usize) -> Vec<u32> {
         let n = grad.len();
         let k = k.min(n);
@@ -53,6 +64,59 @@ impl TopK {
         }
         // Partial selection on (|v|, index) pairs; order: bigger |v| first,
         // then smaller index first (deterministic).
+        let cmp = |&a: &u32, &b: &u32| {
+            let (va, vb) = (grad[a as usize].abs(), grad[b as usize].abs());
+            vb.partial_cmp(&va)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        };
+
+        /// Below this length the per-shard pass isn't worth the fan-out.
+        const PAR_MIN: usize = 1 << 16;
+        // The shard pass does extra candidate work to buy parallelism; on a
+        // single-thread pool it's pure overhead. Either path returns the
+        // SAME indices (see above), so gating on the pool width cannot
+        // affect results — only speed.
+        let par = n >= PAR_MIN && rayon::pool::current_num_threads() > 1;
+        let mut idx: Vec<u32> = if par {
+            let shards = chunk_ranges(n, rayon::MAX_CHUNKS);
+            shards
+                .par_iter()
+                .with_min_len(1)
+                .map(|r| {
+                    let mut local: Vec<u32> = (r.start as u32..r.end as u32).collect();
+                    let kk = k.min(local.len());
+                    if kk < local.len() {
+                        local.select_nth_unstable_by(kk - 1, cmp);
+                        local.truncate(kk);
+                    }
+                    local
+                })
+                .collect::<Vec<Vec<u32>>>()
+                .concat()
+        } else {
+            (0..n as u32).collect()
+        };
+        if k < idx.len() {
+            idx.select_nth_unstable_by(k - 1, cmp);
+            idx.truncate(k);
+        }
+        idx.sort_unstable();
+        idx
+    }
+
+    /// Single-pass serial selection — the pre-sharding implementation, kept
+    /// as the equivalence oracle for tests and the `bench_hotpath` baseline.
+    #[doc(hidden)]
+    pub fn select_serial(grad: &[f32], k: usize) -> Vec<u32> {
+        let n = grad.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == n {
+            return (0..n as u32).collect();
+        }
         let mut idx: Vec<u32> = (0..n as u32).collect();
         let cmp = |&a: &u32, &b: &u32| {
             let (va, vb) = (grad[a as usize].abs(), grad[b as usize].abs());
@@ -118,17 +182,24 @@ impl Compressor for RandomK {
     }
 }
 
-/// Keep every element with `|v| ≥ threshold`. Size is data-dependent; the
-/// nominal `ratio()` reports 1.0 because no fixed k is guaranteed.
+/// Keep every element with `|v| ≥ threshold`. Output size is data-dependent:
+/// no fixed k is guaranteed up front, so `ratio()` reports the *observed*
+/// density (nnz / Ψ) of the most recent `compress` call — 1.0 (the
+/// conservative worst case) before anything has been compressed.
 #[derive(Clone, Debug)]
 pub struct ThresholdK {
     pub threshold: f32,
+    /// Observed nnz/Ψ of the latest `compress` call.
+    last_ratio: f64,
 }
 
 impl ThresholdK {
     pub fn new(threshold: f32) -> Self {
         assert!(threshold >= 0.0, "negative threshold");
-        Self { threshold }
+        Self {
+            threshold,
+            last_ratio: 1.0,
+        }
     }
 }
 
@@ -142,11 +213,14 @@ impl Compressor for ThresholdK {
                 values.push(v);
             }
         }
+        if !grad.is_empty() {
+            self.last_ratio = indices.len() as f64 / grad.len() as f64;
+        }
         CompressedGrad::Sparse(SparseGrad::new(grad.len(), indices, values))
     }
 
     fn ratio(&self) -> f64 {
-        1.0
+        self.last_ratio
     }
 
     fn name(&self) -> &'static str {
@@ -232,6 +306,36 @@ mod tests {
             "successive calls should sample fresh coordinates"
         );
         assert_eq!(a1.as_sparse().unwrap().nnz(), 50);
+    }
+
+    #[test]
+    fn sharded_select_equals_serial_on_large_input() {
+        // Force the parallel path (n ≥ PAR_MIN) under a multi-thread pool
+        // and compare against the single-pass serial oracle.
+        let mut rng = DetRng::new(31);
+        let n = 1 << 17;
+        let mut g: Vec<f32> = (0..n).map(|_| rng.normal() as f32).collect();
+        // Inject ties so the index tie-break is exercised across shards.
+        for i in (0..n).step_by(97) {
+            g[i] = 0.5;
+        }
+        for k in [1usize, 100, n / 100, n / 2, n - 1] {
+            let par = rayon::pool::with_num_threads(4, || TopK::select(&g, k));
+            let ser = TopK::select_serial(&g, k);
+            assert_eq!(par, ser, "k={k}");
+        }
+    }
+
+    #[test]
+    fn threshold_ratio_reports_observed_density() {
+        let mut c = ThresholdK::new(0.5);
+        assert_eq!(c.ratio(), 1.0, "worst case before any compress");
+        c.compress(&[0.1, -0.5, 0.9, -0.05]); // keeps 2 of 4
+        assert_eq!(c.ratio(), 0.5);
+        c.compress(&[1.0, 2.0, 3.0, 4.0]); // keeps all
+        assert_eq!(c.ratio(), 1.0);
+        c.compress(&[]); // empty input leaves the last observation in place
+        assert_eq!(c.ratio(), 1.0);
     }
 
     #[test]

@@ -109,6 +109,36 @@ proptest! {
         }
     }
 
+    /// The sharded parallel Top-K selection returns exactly the serial
+    /// single-pass result — for any values (including ties) and any k —
+    /// under a forced multi-thread pool.
+    #[test]
+    fn sharded_select_equals_serial(
+        seed in 0u64..1000,
+        dup_every in 2usize..50,
+        k_frac in 0.0f64..1.0,
+    ) {
+        // Large enough to cross the parallel threshold (1<<16).
+        let n = (1 << 16) + 123;
+        let mut rng = lowdiff_util::DetRng::new(seed);
+        let mut g: Vec<f32> = (0..n).map(|_| rng.normal() as f32).collect();
+        for i in (0..n).step_by(dup_every) {
+            g[i] = 1.25; // ties spanning shard boundaries
+        }
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n);
+        let par = rayon::pool::with_num_threads(4, || TopK::select(&g, k));
+        prop_assert_eq!(par, TopK::select_serial(&g, k));
+    }
+
+    /// ThresholdK::ratio reports the observed density of the latest call.
+    #[test]
+    fn threshold_ratio_is_observed_density(g in small_grad(), thr in 0.0f32..120.0) {
+        let mut c = lowdiff_compress::ThresholdK::new(thr);
+        let s = c.compress(&g);
+        let nnz = s.as_sparse().unwrap().nnz();
+        prop_assert_eq!(c.ratio(), nnz as f64 / g.len() as f64);
+    }
+
     /// SparseGrad payload accounting is exact.
     #[test]
     fn payload_bytes_exact(n in 1usize..500, k_frac in 0.0f64..1.0) {

@@ -101,7 +101,9 @@ pub fn recover_sharded(
             .map(|(((r, p), m), v)| (r.clone(), p, m, v))
             .collect();
 
-        jobs.into_par_iter().for_each(|(range, params, m, v)| {
+        // Few, coarse items: force chunked execution (one shard per item)
+        // past the element-count heuristic.
+        jobs.into_par_iter().with_min_len(1).for_each(|(range, params, m, v)| {
             // Per-shard scratch gradient buffer, reused across the chain.
             let mut grad = vec![0.0f32; range.len()];
             // A shard-local Adam state view over this range.
@@ -196,6 +198,7 @@ pub fn merge_deltas_parallel(deltas: &[SparseGrad]) -> Option<SparseGrad> {
     Some(
         deltas
             .par_iter()
+            .with_min_len(1)
             .cloned()
             .reduce_with(|a, b| a.merge(&b))
             .unwrap_or_else(|| SparseGrad::new(dense_len, Vec::new(), Vec::new())),

@@ -6,6 +6,7 @@
 //! recovery thread replays the full gradient sequence for its own slice of
 //! the parameter vector and the result is bit-identical to a serial replay.
 
+use rayon::prelude::*;
 use std::ops::Range;
 
 /// Adam hyper-parameters (immutable; the mutable part lives in [`AdamState`]).
@@ -109,6 +110,10 @@ impl Adam {
     }
 
     /// Shared kernel: update `params[range]` from `grad[i - grad_off]`.
+    ///
+    /// The update is purely elementwise, so it runs in parallel over fixed
+    /// chunks of the range — no cross-element data flow means any chunking
+    /// is bit-identical to the serial loop.
     fn apply_range(
         &self,
         state: &mut AdamState,
@@ -125,20 +130,32 @@ impl Adam {
         let bc2 = bc2 as f32;
         let (b1, b2) = (self.beta1, self.beta2);
 
-        for i in range {
-            let g = grad[i - grad_off];
-            let m = b1 * state.m[i] + (1.0 - b1) * g;
-            let v = b2 * state.v[i] + (1.0 - b2) * g * g;
-            state.m[i] = m;
-            state.v[i] = v;
-            let m_hat = m / bc1;
-            let v_hat = v / bc2;
-            let mut p = params[i];
-            if self.weight_decay != 0.0 {
-                p -= self.lr * self.weight_decay * p;
-            }
-            params[i] = p - self.lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        let pr = &mut params[range.clone()];
+        let mr = &mut state.m[range.clone()];
+        let vr = &mut state.v[range.clone()];
+        let gr = &grad[range.start - grad_off..range.end - grad_off];
+
+        const CHUNK: usize = 1 << 15;
+        pr.par_chunks_mut(CHUNK)
+            .zip(mr.par_chunks_mut(CHUNK))
+            .zip(vr.par_chunks_mut(CHUNK))
+            .zip(gr.par_chunks(CHUNK))
+            .for_each(|(((pc, mc), vc), gc)| {
+                for j in 0..pc.len() {
+                    let g = gc[j];
+                    let m = b1 * mc[j] + (1.0 - b1) * g;
+                    let v = b2 * vc[j] + (1.0 - b2) * g * g;
+                    mc[j] = m;
+                    vc[j] = v;
+                    let m_hat = m / bc1;
+                    let v_hat = v / bc2;
+                    let mut p = pc[j];
+                    if self.weight_decay != 0.0 {
+                        p -= self.lr * self.weight_decay * p;
+                    }
+                    pc[j] = p - self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+            });
     }
 
     /// The *delta* this step would apply, without mutating `params`
@@ -146,13 +163,12 @@ impl Adam {
     /// checkpoints `C^D_t = Adam(G_t) = M_{t+1} − M_t` for the Naïve-DC
     /// baseline and for delta-merge parallel recovery.
     pub fn step_delta(&self, state: &mut AdamState, params: &[f32], grad: &[f32]) -> Vec<f32> {
-        let mut shadow = params.to_vec();
-        self.step(state, &mut shadow, grad);
-        shadow
-            .iter()
-            .zip(params)
-            .map(|(&new, &old)| new - old)
-            .collect()
+        // One allocation: step a shadow copy, then turn it into the delta
+        // in place (new − old).
+        let mut delta = params.to_vec();
+        self.step(state, &mut delta, grad);
+        lowdiff_tensor::ops::sub_assign(&mut delta, params);
+        delta
     }
 }
 
@@ -262,6 +278,48 @@ mod tests {
             );
         }
         assert_eq!(st_a, st_b);
+    }
+
+    #[test]
+    fn parallel_step_bit_identical_to_serial_loop() {
+        // The chunked kernel must match a plain serial loop exactly, and be
+        // invariant to the pool's thread count (big enough to cross the
+        // auto-parallel threshold and the chunk size).
+        let adam = Adam { weight_decay: 0.01, ..Adam::default() };
+        let n = (1 << 15) + 7;
+        let g = demo_grad(n, 5);
+
+        // Serial oracle: the original loop body.
+        let mut st_ref = AdamState::new(n);
+        let mut p_ref = vec![0.5f32; n];
+        {
+            let t = 1;
+            let bc1 = (1.0 - (adam.beta1 as f64).powi(t)) as f32;
+            let bc2 = (1.0 - (adam.beta2 as f64).powi(t)) as f32;
+            for i in 0..n {
+                let gi = g[i];
+                let m = adam.beta1 * st_ref.m[i] + (1.0 - adam.beta1) * gi;
+                let v = adam.beta2 * st_ref.v[i] + (1.0 - adam.beta2) * gi * gi;
+                st_ref.m[i] = m;
+                st_ref.v[i] = v;
+                let mut p = p_ref[i];
+                p -= adam.lr * adam.weight_decay * p;
+                p_ref[i] = p - adam.lr * (m / bc1) / ((v / bc2).sqrt() + adam.eps);
+            }
+            st_ref.t = 1;
+        }
+
+        for threads in [1usize, 3, 8] {
+            let mut st = AdamState::new(n);
+            let mut p = vec![0.5f32; n];
+            rayon::pool::with_num_threads(threads, || {
+                adam.step(&mut st, &mut p, &g);
+            });
+            let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&p), bits(&p_ref), "params diverged at {threads} threads");
+            assert_eq!(bits(&st.m), bits(&st_ref.m), "m diverged at {threads} threads");
+            assert_eq!(bits(&st.v), bits(&st_ref.v), "v diverged at {threads} threads");
+        }
     }
 
     #[test]

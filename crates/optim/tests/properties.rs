@@ -71,6 +71,34 @@ proptest! {
         }
     }
 
+    /// The chunked-parallel Adam kernel is bit-identical across pool
+    /// widths: 1 thread and many threads must agree exactly (elementwise
+    /// update ⇒ chunking cannot change any arithmetic).
+    #[test]
+    fn adam_parallel_thread_count_invariant(grads in arb_grads(37, 6), threads in 2usize..9) {
+        let n = 1usize << 15; // cross the auto-parallel threshold
+        let adam = Adam::default();
+        let run = |t: usize| {
+            rayon::pool::with_num_threads(t, || {
+                let mut st = AdamState::new(n);
+                let mut p = vec![0.5f32; n];
+                for g in &grads {
+                    let big: Vec<f32> = g.iter().cycle().take(n).copied().collect();
+                    adam.step(&mut st, &mut p, &big);
+                }
+                (st, p)
+            })
+        };
+        let (st1, p1) = run(1);
+        let (st2, p2) = run(threads);
+        prop_assert_eq!(
+            p1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            p2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(st1.m, st2.m);
+        prop_assert_eq!(st1.v, st2.v);
+    }
+
     /// Adam never produces NaN/Inf from finite inputs.
     #[test]
     fn adam_stays_finite(grads in arb_grads(8, 20)) {

@@ -1,78 +1,606 @@
-//! Offline shim for `rayon`.
+//! Offline shim for `rayon`: a real chunked thread-pool executor.
 //!
-//! Maps the parallel-iterator entry points this workspace uses onto plain
-//! sequential `std` iterators: `par_iter`/`par_iter_mut` are slice iterators,
-//! `par_chunks_mut` is `chunks_mut`, `into_par_iter` is `into_iter`, and
-//! `reduce_with` is `Iterator::reduce`. Everything downstream (`zip`,
-//! `enumerate`, `for_each`, `map`, `cloned`, ...) is then just `std`.
+//! Earlier revisions of this shim mapped the parallel-iterator entry points
+//! onto plain sequential `std` iterators. This version executes them on OS
+//! threads (`std::thread::scope`), so `par_iter` / `par_chunks_mut` call
+//! sites in the tensor kernels, Adam, Top-K and recovery become genuinely
+//! parallel on multicore hosts — while staying **deterministic**:
 //!
-//! Execution is **sequential** — correct, deterministic, and single-core,
-//! which matches this container. Thread-based data parallelism can return
-//! by swapping the real crate back in at the workspace root.
+//! * **Fixed chunk boundaries.** Work is split into at most [`MAX_CHUNKS`]
+//!   contiguous chunks whose boundaries depend only on the item count (and an
+//!   explicit `with_min_len`), never on the thread count or scheduling.
+//! * **Ordered reduction.** `sum` / `reduce_with` reduce each chunk
+//!   sequentially and then fold the per-chunk partials in chunk order on the
+//!   calling thread. The result is bit-identical across runs and across any
+//!   number of worker threads (1, 2, 64, ...), which is what the repo's
+//!   bit-exact recovery guarantee needs.
+//! * **No nested parallelism.** Code running inside a pool worker executes
+//!   nested parallel iterators sequentially (with the same chunking), so
+//!   shard-parallel recovery calling parallel Adam kernels cannot explode
+//!   the thread count — and stays deterministic.
+//!
+//! Thread count: `LOWDIFF_NUM_THREADS` or `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`. Tests (and benchmarks) can force a
+//! count for a scoped region with [`pool::with_num_threads`].
+//!
+//! Supported surface (what this workspace uses): `par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, `into_par_iter` (on `Vec`), and the
+//! combinators `zip`, `enumerate`, `map`, `cloned`, `with_min_len`, with the
+//! consumers `for_each`, `sum`, `reduce_with`, `collect`.
 
-pub mod prelude {
-    /// Slice read access: `par_iter`, `par_chunks`.
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+/// Upper bound on the number of chunks a parallel operation is split into.
+/// A fixed constant (not derived from the machine) so that floating-point
+/// reduction grouping is identical everywhere.
+pub const MAX_CHUNKS: usize = 64;
+
+/// Below this much scalar work a call runs sequentially (single chunk)
+/// unless `with_min_len` forces splitting. Depends only on input size, so
+/// the sequential/chunked decision is deterministic too.
+const AUTO_SEQ_WORK: usize = 1 << 12;
+
+pub mod pool {
+    //! Thread-count configuration for the executor.
+
+    use std::cell::Cell;
+    use std::sync::OnceLock;
+
+    thread_local! {
+        static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+        static IN_WORKER: Cell<bool> = const { Cell::new(false) };
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    fn configured_threads() -> usize {
+        static N: OnceLock<usize> = OnceLock::new();
+        *N.get_or_init(|| {
+            for var in ["LOWDIFF_NUM_THREADS", "RAYON_NUM_THREADS"] {
+                if let Ok(v) = std::env::var(var) {
+                    if let Ok(n) = v.trim().parse::<usize>() {
+                        if n >= 1 {
+                            return n;
+                        }
+                    }
+                }
+            }
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// Worker threads the next parallel call may use. 1 inside a pool worker
+    /// (nested parallelism runs sequentially, with identical chunking).
+    pub fn current_num_threads() -> usize {
+        if IN_WORKER.with(|f| f.get()) {
+            return 1;
         }
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_threads)
+    }
+
+    /// Run `f` with the thread count forced to `n` on this thread. Used by
+    /// tests and benchmarks to exercise multithreaded execution regardless
+    /// of the host's core count.
+    pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        assert!(n >= 1, "need at least one thread");
+        let prev = OVERRIDE.with(|o| o.replace(Some(n)));
+        let out = f();
+        OVERRIDE.with(|o| o.set(prev));
+        out
+    }
+
+    pub(crate) fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
+        // Worker threads are freshly spawned per scope; no need to restore.
+        IN_WORKER.with(|w| w.set(true));
+        f()
+    }
+}
+
+/// A splittable source of items: the plumbing behind every parallel
+/// iterator. `split_at` must be cheap and must partition the items exactly
+/// at the given index so chunk boundaries are reproducible.
+pub trait Producer: Sized + Send {
+    type Item: Send;
+    type IntoSeq: Iterator<Item = Self::Item>;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Scalar-work proxy for the auto sequential/parallel decision: the
+    /// underlying element count for chunked producers, item count otherwise.
+    fn work(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into items `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequential iterator over all items.
+    fn into_seq(self) -> Self::IntoSeq;
+}
+
+/// Sizes of `chunks` balanced contiguous chunks over `len` items
+/// (first `len % chunks` chunks get one extra item).
+fn chunk_sizes(len: usize, chunks: usize) -> Vec<usize> {
+    let base = len / chunks;
+    let extra = len % chunks;
+    (0..chunks).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Consume `p` chunk by chunk with `f`, returning per-chunk results in
+/// chunk order. Chunks are distributed contiguously over up to
+/// `pool::current_num_threads()` scoped threads.
+fn drive<P, R, F>(p: P, nchunks: usize, f: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::IntoSeq) -> R + Sync,
+{
+    let len = p.len();
+    let nchunks = nchunks.clamp(1, len.max(1));
+    if nchunks == 1 {
+        return vec![f(p.into_seq())];
+    }
+    let sizes = chunk_sizes(len, nchunks);
+    let threads = pool::current_num_threads().min(nchunks);
+
+    // Sequential execution with the SAME chunk boundaries: reductions group
+    // identically whether or not worker threads are available.
+    if threads == 1 {
+        let mut out = Vec::with_capacity(nchunks);
+        let mut rest = p;
+        for &sz in &sizes[..nchunks - 1] {
+            let (head, tail) = rest.split_at(sz);
+            out.push(f(head.into_seq()));
+            rest = tail;
+        }
+        out.push(f(rest.into_seq()));
+        return out;
+    }
+
+    // Assign whole chunks to threads contiguously.
+    let per_thread = chunk_sizes(nchunks, threads);
+    let mut groups: Vec<(P, Vec<usize>)> = Vec::with_capacity(threads);
+    let mut rest = Some(p);
+    let mut chunk_idx = 0usize;
+    for &nc in &per_thread {
+        let group_sizes: Vec<usize> = sizes[chunk_idx..chunk_idx + nc].to_vec();
+        chunk_idx += nc;
+        let items: usize = group_sizes.iter().sum();
+        let cur = rest.take().expect("producer exhausted");
+        if chunk_idx == nchunks {
+            groups.push((cur, group_sizes));
+        } else {
+            let (head, tail) = cur.split_at(items);
+            groups.push((head, group_sizes));
+            rest = Some(tail);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|(gp, gsizes)| {
+                scope.spawn(move || {
+                    pool::enter_worker(|| {
+                        let n = gsizes.len();
+                        let mut local = Vec::with_capacity(n);
+                        let mut rest = gp;
+                        for &sz in &gsizes[..n - 1] {
+                            let (head, tail) = rest.split_at(sz);
+                            local.push(f(head.into_seq()));
+                            rest = tail;
+                        }
+                        local.push(f(rest.into_seq()));
+                        local
+                    })
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(nchunks);
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.extend(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------------------
+
+/// `par_iter` over a slice.
+pub struct SliceP<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceP<'a, T> {
+    type Item = &'a T;
+    type IntoSeq = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(i);
+        (SliceP(a), SliceP(b))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.iter()
+    }
+}
+
+/// `par_iter_mut` over a slice.
+pub struct SliceMutP<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutP<'a, T> {
+    type Item = &'a mut T;
+    type IntoSeq = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(i);
+        (SliceMutP(a), SliceMutP(b))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.iter_mut()
+    }
+}
+
+/// `par_chunks` over a slice: items are `&[T]` of length `size` (last may
+/// be shorter).
+pub struct ChunksP<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksP<'a, T> {
+    type Item = &'a [T];
+    type IntoSeq = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn work(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let at = (i * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(at);
+        (
+            ChunksP { slice: a, size: self.size },
+            ChunksP { slice: b, size: self.size },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// `par_chunks_mut` over a slice.
+pub struct ChunksMutP<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutP<'a, T> {
+    type Item = &'a mut [T];
+    type IntoSeq = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn work(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let at = (i * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ChunksMutP { slice: a, size: self.size },
+            ChunksMutP { slice: b, size: self.size },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// `into_par_iter` over an owned `Vec`.
+pub struct VecP<T>(Vec<T>);
+
+impl<T: Send> Producer for VecP<T> {
+    type Item = T;
+    type IntoSeq = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, i: usize) -> (Self, Self) {
+        let tail = self.0.split_off(i);
+        (self, VecP(tail))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.into_iter()
+    }
+}
+
+/// Lock-step pairing of two producers (lengths truncate to the shorter).
+pub struct ZipP<A, B>(A, B);
+
+impl<A: Producer, B: Producer> Producer for ZipP<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoSeq = std::iter::Zip<A::IntoSeq, B::IntoSeq>;
+    fn len(&self) -> usize {
+        self.0.len().min(self.1.len())
+    }
+    fn work(&self) -> usize {
+        self.0.work().max(self.1.work())
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a1, a2) = self.0.split_at(i);
+        let (b1, b2) = self.1.split_at(i);
+        (ZipP(a1, b1), ZipP(a2, b2))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.into_seq().zip(self.1.into_seq())
+    }
+}
+
+/// Index-tagged items; indices are global (split keeps the base offset).
+pub struct EnumerateP<A> {
+    inner: A,
+    base: usize,
+}
+
+impl<A: Producer> Producer for EnumerateP<A> {
+    type Item = (usize, A::Item);
+    type IntoSeq = std::iter::Zip<std::ops::Range<usize>, A::IntoSeq>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn work(&self) -> usize {
+        self.inner.work()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(i);
+        (
+            EnumerateP { inner: a, base: self.base },
+            EnumerateP { inner: b, base: self.base + i },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        let n = self.inner.len();
+        (self.base..self.base + n).zip(self.inner.into_seq())
+    }
+}
+
+/// Mapped items; the closure is cloned into each worker.
+pub struct MapP<A, F> {
+    inner: A,
+    f: F,
+}
+
+impl<A, F, R> Producer for MapP<A, F>
+where
+    A: Producer,
+    F: Fn(A::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type IntoSeq = std::iter::Map<A::IntoSeq, F>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn work(&self) -> usize {
+        self.inner.work()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(i);
+        let f = self.f;
+        (MapP { inner: a, f: f.clone() }, MapP { inner: b, f })
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.inner.into_seq().map(self.f)
+    }
+}
+
+/// Clones out of `&T` items.
+pub struct ClonedP<A>(A);
+
+impl<'a, T, A> Producer for ClonedP<A>
+where
+    T: Clone + Send + Sync + 'a,
+    A: Producer<Item = &'a T>,
+{
+    type Item = T;
+    type IntoSeq = std::iter::Cloned<A::IntoSeq>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn work(&self) -> usize {
+        self.0.work()
+    }
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(i);
+        (ClonedP(a), ClonedP(b))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.into_seq().cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public parallel-iterator wrapper
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: a [`Producer`] plus the split policy.
+pub struct Par<P> {
+    p: P,
+    min_len: Option<usize>,
+}
+
+impl<P: Producer> Par<P> {
+    fn new(p: P) -> Self {
+        Self { p, min_len: None }
+    }
+
+    /// Number of chunks this iterator will execute as. Depends only on the
+    /// item count, the work hint, and `min_len` — never on the machine.
+    fn nchunks(&self) -> usize {
+        let len = self.p.len();
+        match self.min_len {
+            Some(m) => len.div_ceil(m.max(1)).min(MAX_CHUNKS),
+            None => {
+                if self.p.work() < AUTO_SEQ_WORK {
+                    1
+                } else {
+                    MAX_CHUNKS.min(len)
+                }
+            }
+        }
+    }
+
+    /// Lower bound on items per chunk. `with_min_len(1)` forces chunked
+    /// (parallel-eligible) execution even for few, coarse items — use it
+    /// when each item is itself a large piece of work (e.g. recovery
+    /// shards), which the element-count heuristic cannot see.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = Some(min);
+        self
+    }
+
+    pub fn zip<Q: Producer>(self, other: Par<Q>) -> Par<ZipP<P, Q>> {
+        Par {
+            p: ZipP(self.p, other.p),
+            min_len: self.min_len.or(other.min_len),
+        }
+    }
+
+    pub fn enumerate(self) -> Par<EnumerateP<P>> {
+        Par {
+            p: EnumerateP { inner: self.p, base: 0 },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn map<R, F>(self, f: F) -> Par<MapP<P, F>>
+    where
+        F: Fn(P::Item) -> R + Clone + Send + Sync,
+        R: Send,
+    {
+        Par {
+            p: MapP { inner: self.p, f },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        let n = self.nchunks();
+        drive(self.p, n, |it| it.for_each(&f));
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let n = self.nchunks();
+        drive(self.p, n, |it| it.sum::<S>()).into_iter().sum()
+    }
+
+    /// Chunk-ordered reduction: associative `op`s give the same result for
+    /// any thread count (and, for exact ops, the same as serial).
+    pub fn reduce_with<F>(self, op: F) -> Option<P::Item>
+    where
+        F: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let n = self.nchunks();
+        drive(self.p, n, |it| it.reduce(&op))
+            .into_iter()
+            .flatten()
+            .reduce(op)
+    }
+
+    /// Ordered collect: chunk results are concatenated in chunk order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let n = self.nchunks();
+        drive(self.p, n, |it| it.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+impl<'a, T, P> Par<P>
+where
+    T: Clone + Send + Sync + 'a,
+    P: Producer<Item = &'a T>,
+{
+    pub fn cloned(self) -> Par<ClonedP<P>> {
+        Par {
+            p: ClonedP(self.p),
+            min_len: self.min_len,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{Par, Producer};
+
+    /// Slice read access: `par_iter`, `par_chunks`.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_iter(&self) -> super::Par<super::SliceP<'_, T>>;
+        fn par_chunks(&self, chunk_size: usize) -> super::Par<super::ChunksP<'_, T>>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> super::Par<super::SliceP<'_, T>> {
+            super::Par::new(super::SliceP(self))
+        }
+        fn par_chunks(&self, chunk_size: usize) -> super::Par<super::ChunksP<'_, T>> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            super::Par::new(super::ChunksP { slice: self, size: chunk_size })
         }
     }
 
     /// Slice write access: `par_iter_mut`, `par_chunks_mut`.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_iter_mut(&mut self) -> super::Par<super::SliceMutP<'_, T>>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> super::Par<super::ChunksMutP<'_, T>>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> super::Par<super::SliceMutP<'_, T>> {
+            super::Par::new(super::SliceMutP(self))
         }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> super::Par<super::ChunksMutP<'_, T>> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            super::Par::new(super::ChunksMutP { slice: self, size: chunk_size })
         }
     }
 
-    /// Owned conversion: `into_par_iter` on anything iterable.
+    /// Owned conversion: `into_par_iter` on `Vec`.
     pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
+        type P: super::Producer;
+        fn into_par_iter(self) -> super::Par<Self::P>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type P = super::VecP<T>;
+        fn into_par_iter(self) -> super::Par<super::VecP<T>> {
+            super::Par::new(super::VecP(self))
         }
     }
-
-    /// Rayon combinators that have no direct `std::iter` name.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// Rayon's unordered fold-into-one; sequentially this is `reduce`.
-        fn reduce_with<F>(self, op: F) -> Option<Self::Item>
-        where
-            F: FnMut(Self::Item, Self::Item) -> Self::Item,
-        {
-            self.reduce(op)
-        }
-    }
-
-    impl<I: Iterator> ParallelIterator for I {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{chunk_sizes, pool, MAX_CHUNKS};
 
     #[test]
     fn par_iter_zip_for_each() {
@@ -98,5 +626,119 @@ mod tests {
         assert_eq!(sum, Some(10));
         let empty: Vec<u64> = vec![];
         assert_eq!(empty.into_par_iter().reduce_with(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn large_for_each_runs_on_many_threads() {
+        // 1M elements, forced 4 threads: every element must be visited
+        // exactly once, and at least two distinct threads must participate.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let n = 1 << 20;
+        let mut v = vec![0u8; n];
+        let tids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool::with_num_threads(4, || {
+            v.par_iter_mut().for_each(|x| {
+                *x += 1;
+                tids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(v.iter().all(|&x| x == 1), "some element missed or doubled");
+        assert!(
+            tids.lock().unwrap().len() >= 2,
+            "expected multithreaded execution"
+        );
+    }
+
+    #[test]
+    fn sum_is_thread_count_invariant() {
+        // Fixed chunk boundaries: the f64 sum must be bit-identical for any
+        // thread count, including sequential fallback.
+        let xs: Vec<f32> = (0..1_000_000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let run = |t: usize| {
+            pool::with_num_threads(t, || {
+                xs.par_iter().map(|&x| x as f64).sum::<f64>()
+            })
+        };
+        let s1 = run(1);
+        for t in [2, 3, 8, 61] {
+            assert_eq!(s1.to_bits(), run(t).to_bits(), "threads={t} diverged");
+        }
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u32> = pool::with_num_threads(4, || {
+            xs.par_iter().with_min_len(1).map(|&x| x * 2).collect()
+        });
+        assert_eq!(doubled.len(), xs.len());
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
+    }
+
+    #[test]
+    fn with_min_len_forces_chunking_for_coarse_items() {
+        // 8 coarse items would stay sequential under the auto heuristic;
+        // with_min_len(1) must split them across threads.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let jobs: Vec<usize> = (0..8).collect();
+        let tids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool::with_num_threads(4, || {
+            jobs.into_par_iter().with_min_len(1).for_each(|_j| {
+                tids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        assert!(tids.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential() {
+        // A parallel loop inside a pool worker must not spawn further
+        // threads (and must still produce correct results).
+        let outer: Vec<usize> = (0..4).collect();
+        let results: Vec<f64> = pool::with_num_threads(2, || {
+            outer
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| {
+                    let xs: Vec<f32> = (0..100_000).map(|j| ((i * j) as f32).cos()).collect();
+                    xs.par_iter().map(|&x| x as f64).sum::<f64>()
+                })
+                .collect()
+        });
+        assert_eq!(results.len(), 4);
+        // And the nested sums must match the same computation done flat.
+        for (i, r) in results.iter().enumerate() {
+            let xs: Vec<f32> = (0..100_000).map(|j| ((i * j) as f32).cos()).collect();
+            let flat = xs.par_iter().map(|&x| x as f64).sum::<f64>();
+            assert_eq!(r.to_bits(), flat.to_bits(), "nested sum {i} diverged");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_cover_and_balance() {
+        for len in [1usize, 7, 64, 1000, 12345] {
+            for chunks in [1usize, 2, 5, MAX_CHUNKS] {
+                let c = chunks.min(len);
+                let sizes = chunk_sizes(len, c);
+                assert_eq!(sizes.iter().sum::<usize>(), len);
+                let mn = *sizes.iter().min().unwrap();
+                let mx = *sizes.iter().max().unwrap();
+                assert!(mx - mn <= 1, "len={len} chunks={c}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            pool::with_num_threads(2, || {
+                let xs = vec![0u32; 100_000];
+                xs.par_iter().for_each(|_| panic!("boom"));
+            });
+        });
+        assert!(caught.is_err());
     }
 }

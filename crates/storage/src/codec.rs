@@ -10,17 +10,29 @@
 //! │ iteration u64│     │ count u32            │
 //! │ psi u64      │     │ count × {            │
 //! │ adam_t u64   │     │   iteration u64      │
-//! │ params  f32×Ψ│     │   CompressedGrad     │
-//! │ adam_m  f32×Ψ│     │ }                    │
-//! │ adam_v  f32×Ψ│     │ crc32 u32            │
-//! │ crc32 u32    │     └──────────────────────┘
+//! │ adam_t u64   │     │   CompressedGrad     │
+//! │ params  f32×Ψ│     │ }                    │
+//! │ adam_m  f32×Ψ│     │ crc32 u32            │
+//! │ adam_v  f32×Ψ│     └──────────────────────┘
+//! │ crc32 u32    │
 //! └──────────────┘
 //! ```
 //!
 //! The CRC covers every preceding byte; a checkpoint that fails its CRC (a
 //! torn write at failure time) is treated as absent during recovery.
+//!
+//! ## Hot-path encoding
+//!
+//! `f32`/`u32` arrays dominate the payload (3Ψ floats for a full
+//! checkpoint). They are moved as **single bulk byte copies** on
+//! little-endian targets — the in-memory representation already *is* the
+//! wire format — instead of one `to_le_bytes` round per element; big-endian
+//! targets fall back to the per-element loop. Sealing appends the CRC in
+//! place (no copy of the payload), and decoding parses borrowed slices (no
+//! upfront copy of the input). The pre-bulk per-element implementation is
+//! retained in [`reference`] so property tests can assert byte-identical
+//! output and `bench_hotpath` can measure the gap.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lowdiff_compress::{CompressedGrad, QuantGrad, SparseGrad};
 use lowdiff_optim::{AdamState, ModelState};
 use lowdiff_util::crc::crc32;
@@ -51,28 +63,174 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_f32s(buf: &mut BytesMut, xs: &[f32]) {
-    buf.reserve(xs.len() * 4);
-    for &x in xs {
-        buf.put_f32_le(x);
+// --- write helpers (append to a plain Vec<u8>) -----------------------------
+
+#[inline]
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+#[inline]
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append `xs` in little-endian order: one memcpy on LE targets.
+fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // Safety: f32 has no padding bytes and u8 has alignment 1, so
+        // viewing an initialized f32 slice as bytes is always valid; on a
+        // little-endian target the in-memory byte order is the wire order.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(target_endian = "big")]
+    {
+        buf.reserve(xs.len() * 4);
+        for &x in xs {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
     }
 }
 
-fn take_f32s(buf: &mut Bytes, n: usize) -> Result<Vec<f32>, CodecError> {
-    if buf.remaining() < n * 4 {
-        return Err(CodecError::Corrupt("truncated f32 array"));
+/// Append `xs` in little-endian order: one memcpy on LE targets.
+fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // Safety: same argument as `put_f32s`.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) };
+        buf.extend_from_slice(bytes);
     }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(buf.get_f32_le());
+    #[cfg(target_endian = "big")]
+    {
+        buf.reserve(xs.len() * 4);
+        for &x in xs {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
     }
-    Ok(out)
 }
 
-fn seal(mut buf: BytesMut) -> Vec<u8> {
+// --- read helpers (borrowed cursor, no input copy) -------------------------
+
+/// Borrowing read cursor. Getters return `Err(Corrupt)` on underflow so a
+/// record that passes its CRC but is structurally malformed fails decoding
+/// instead of panicking.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn has_remaining(&self) -> bool {
+        !self.data.is_empty()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.data.len() < n {
+            return Err(CodecError::Corrupt(what));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn get_u16(&mut self, what: &'static str) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn get_u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn get_u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn get_f32(&mut self, what: &'static str) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+}
+
+/// Bulk-decode `n` little-endian f32s: one memcpy on LE targets.
+fn take_f32s(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<f32>, CodecError> {
+    let bytes = cur.take(n * 4, "truncated f32 array")?;
+    #[cfg(target_endian = "little")]
+    {
+        let mut out: Vec<f32> = Vec::with_capacity(n);
+        // Safety: `bytes` holds exactly n*4 initialized bytes; copying them
+        // into the f32 buffer is a valid bit-reinterpretation on LE, and
+        // `set_len` only exposes the freshly written prefix.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * 4);
+            out.set_len(n);
+        }
+        Ok(out)
+    }
+    #[cfg(target_endian = "big")]
+    {
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Bulk-decode `n` little-endian u32s: one memcpy on LE targets.
+fn take_u32s(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u32>, CodecError> {
+    let bytes = cur.take(n * 4, "truncated u32 array")?;
+    #[cfg(target_endian = "little")]
+    {
+        let mut out: Vec<u32> = Vec::with_capacity(n);
+        // Safety: same argument as `take_f32s`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * 4);
+            out.set_len(n);
+        }
+        Ok(out)
+    }
+    #[cfg(target_endian = "big")]
+    {
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Append the CRC of everything written so far — in place, no payload copy.
+fn seal(mut buf: Vec<u8>) -> Vec<u8> {
     let crc = crc32(&buf);
-    buf.put_u32_le(crc);
-    buf.to_vec()
+    put_u32(&mut buf, crc);
+    buf
 }
 
 fn check_crc(data: &[u8]) -> Result<&[u8], CodecError> {
@@ -87,15 +245,22 @@ fn check_crc(data: &[u8]) -> Result<&[u8], CodecError> {
     Ok(body)
 }
 
+fn check_magic(cur: &mut Cursor<'_>, magic: &[u8; 4]) -> Result<(), CodecError> {
+    match cur.take(4, "missing magic") {
+        Ok(m) if m == magic => Ok(()),
+        _ => Err(CodecError::BadMagic),
+    }
+}
+
 /// Serialize a full checkpoint.
 pub fn encode_model_state(state: &ModelState) -> Vec<u8> {
     let psi = state.params.len();
-    let mut buf = BytesMut::with_capacity(32 + psi * 12);
-    buf.put_slice(MAGIC_FULL);
-    buf.put_u16_le(VERSION);
-    buf.put_u64_le(state.iteration);
-    buf.put_u64_le(psi as u64);
-    buf.put_u64_le(state.opt.t);
+    let mut buf = Vec::with_capacity(34 + psi * 12);
+    buf.extend_from_slice(MAGIC_FULL);
+    put_u16(&mut buf, VERSION);
+    put_u64(&mut buf, state.iteration);
+    put_u64(&mut buf, psi as u64);
+    put_u64(&mut buf, state.opt.t);
     put_f32s(&mut buf, &state.params);
     put_f32s(&mut buf, &state.opt.m);
     put_f32s(&mut buf, &state.opt.v);
@@ -105,21 +270,19 @@ pub fn encode_model_state(state: &ModelState) -> Vec<u8> {
 /// Deserialize a full checkpoint, validating magic, version and CRC.
 pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
     let body = check_crc(data)?;
-    let mut buf = Bytes::copy_from_slice(body);
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC_FULL {
-        return Err(CodecError::BadMagic);
-    }
-    let version = buf.get_u16_le();
+    let mut cur = Cursor::new(body);
+    check_magic(&mut cur, MAGIC_FULL)?;
+    let version = cur.get_u16("truncated header")?;
     if version != VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
-    let iteration = buf.get_u64_le();
-    let psi = buf.get_u64_le() as usize;
-    let adam_t = buf.get_u64_le();
-    let params = take_f32s(&mut buf, psi)?;
-    let m = take_f32s(&mut buf, psi)?;
-    let v = take_f32s(&mut buf, psi)?;
-    if buf.has_remaining() {
+    let iteration = cur.get_u64("truncated header")?;
+    let psi = cur.get_u64("truncated header")? as usize;
+    let adam_t = cur.get_u64("truncated header")?;
+    let params = take_f32s(&mut cur, psi)?;
+    let m = take_f32s(&mut cur, psi)?;
+    let v = take_f32s(&mut cur, psi)?;
+    if cur.has_remaining() {
         return Err(CodecError::Corrupt("trailing bytes"));
     }
     Ok(ModelState {
@@ -129,64 +292,53 @@ pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
     })
 }
 
-fn put_compressed(buf: &mut BytesMut, g: &CompressedGrad) {
+fn put_compressed(buf: &mut Vec<u8>, g: &CompressedGrad) {
     match g {
         CompressedGrad::Sparse(s) => {
-            buf.put_u8(0);
-            buf.put_u64_le(s.dense_len as u64);
-            buf.put_u32_le(s.nnz() as u32);
-            for &i in &s.indices {
-                buf.put_u32_le(i);
-            }
+            put_u8(buf, 0);
+            put_u64(buf, s.dense_len as u64);
+            put_u32(buf, s.nnz() as u32);
+            put_u32s(buf, &s.indices);
             put_f32s(buf, &s.values);
         }
         CompressedGrad::Quant(q) => {
-            buf.put_u8(1);
-            buf.put_u64_le(q.dense_len as u64);
-            buf.put_u8(q.bits);
-            buf.put_f32_le(q.scale);
-            buf.put_f32_le(q.zero);
-            buf.put_u32_le(q.codes.len() as u32);
-            buf.put_slice(&q.codes);
+            put_u8(buf, 1);
+            put_u64(buf, q.dense_len as u64);
+            put_u8(buf, q.bits);
+            put_f32(buf, q.scale);
+            put_f32(buf, q.zero);
+            put_u32(buf, q.codes.len() as u32);
+            buf.extend_from_slice(&q.codes);
         }
         CompressedGrad::Dense(d) => {
-            buf.put_u8(2);
-            buf.put_u64_le(d.len() as u64);
+            put_u8(buf, 2);
+            put_u64(buf, d.len() as u64);
             put_f32s(buf, d);
         }
     }
 }
 
-fn take_compressed(buf: &mut Bytes) -> Result<CompressedGrad, CodecError> {
-    if !buf.has_remaining() {
-        return Err(CodecError::Corrupt("missing grad tag"));
-    }
-    match buf.get_u8() {
+fn take_compressed(cur: &mut Cursor<'_>) -> Result<CompressedGrad, CodecError> {
+    match cur.get_u8("missing grad tag")? {
         0 => {
-            let dense_len = buf.get_u64_le() as usize;
-            let nnz = buf.get_u32_le() as usize;
-            if buf.remaining() < nnz * 8 {
+            let dense_len = cur.get_u64("truncated sparse grad")? as usize;
+            let nnz = cur.get_u32("truncated sparse grad")? as usize;
+            if cur.remaining() < nnz * 8 {
                 return Err(CodecError::Corrupt("truncated sparse grad"));
             }
-            let mut indices = Vec::with_capacity(nnz);
-            for _ in 0..nnz {
-                indices.push(buf.get_u32_le());
-            }
-            let values = take_f32s(buf, nnz)?;
+            let indices = take_u32s(cur, nnz)?;
+            let values = take_f32s(cur, nnz)?;
             Ok(CompressedGrad::Sparse(SparseGrad::new(
                 dense_len, indices, values,
             )))
         }
         1 => {
-            let dense_len = buf.get_u64_le() as usize;
-            let bits = buf.get_u8();
-            let scale = buf.get_f32_le();
-            let zero = buf.get_f32_le();
-            let n = buf.get_u32_le() as usize;
-            if buf.remaining() < n {
-                return Err(CodecError::Corrupt("truncated quant codes"));
-            }
-            let codes = buf.copy_to_bytes(n).to_vec();
+            let dense_len = cur.get_u64("truncated quant grad")? as usize;
+            let bits = cur.get_u8("truncated quant grad")?;
+            let scale = cur.get_f32("truncated quant grad")?;
+            let zero = cur.get_f32("truncated quant grad")?;
+            let n = cur.get_u32("truncated quant grad")? as usize;
+            let codes = cur.take(n, "truncated quant codes")?.to_vec();
             Ok(CompressedGrad::Quant(QuantGrad {
                 dense_len,
                 bits,
@@ -196,13 +348,10 @@ fn take_compressed(buf: &mut Bytes) -> Result<CompressedGrad, CodecError> {
             }))
         }
         2 => {
-            let n = buf.get_u64_le() as usize;
-            Ok(CompressedGrad::Dense(take_f32s(buf, n)?))
+            let n = cur.get_u64("truncated dense grad")? as usize;
+            Ok(CompressedGrad::Dense(take_f32s(cur, n)?))
         }
-        t => {
-            let _ = t;
-            Err(CodecError::Corrupt("unknown grad tag"))
-        }
+        _ => Err(CodecError::Corrupt("unknown grad tag")),
     }
 }
 
@@ -217,12 +366,12 @@ pub struct DiffEntry {
 /// Serialize a batch of differential checkpoints (`C^B` in §4.2: one write
 /// I/O for `BS` reused gradients).
 pub fn encode_diff_batch(entries: &[DiffEntry]) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(64);
-    buf.put_slice(MAGIC_DIFF);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(entries.len() as u32);
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(MAGIC_DIFF);
+    put_u16(&mut buf, VERSION);
+    put_u32(&mut buf, entries.len() as u32);
     for e in entries {
-        buf.put_u64_le(e.iteration);
+        put_u64(&mut buf, e.iteration);
         put_compressed(&mut buf, &e.grad);
     }
     seal(buf)
@@ -231,28 +380,147 @@ pub fn encode_diff_batch(entries: &[DiffEntry]) -> Vec<u8> {
 /// Deserialize a differential batch.
 pub fn decode_diff_batch(data: &[u8]) -> Result<Vec<DiffEntry>, CodecError> {
     let body = check_crc(data)?;
-    let mut buf = Bytes::copy_from_slice(body);
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC_DIFF {
-        return Err(CodecError::BadMagic);
-    }
-    let version = buf.get_u16_le();
+    let mut cur = Cursor::new(body);
+    check_magic(&mut cur, MAGIC_DIFF)?;
+    let version = cur.get_u16("truncated header")?;
     if version != VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
-    let count = buf.get_u32_le() as usize;
+    let count = cur.get_u32("truncated header")? as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        if buf.remaining() < 8 {
-            return Err(CodecError::Corrupt("truncated diff entry"));
-        }
-        let iteration = buf.get_u64_le();
-        let grad = take_compressed(&mut buf)?;
+        let iteration = cur.get_u64("truncated diff entry")?;
+        let grad = take_compressed(&mut cur)?;
         out.push(DiffEntry { iteration, grad });
     }
-    if buf.has_remaining() {
+    if cur.has_remaining() {
         return Err(CodecError::Corrupt("trailing bytes"));
     }
     Ok(out)
+}
+
+pub mod reference {
+    //! The pre-bulk, per-element codec, retained verbatim in behavior:
+    //! element-at-a-time `to_le_bytes` loops, a full payload copy at seal
+    //! time, and a full input copy before decoding — exactly the costs the
+    //! bulk codec removed. Property tests assert `encode*` here is
+    //! byte-identical to the bulk encoder; `bench_hotpath` times the gap.
+
+    use super::{CodecError, DiffEntry, MAGIC_DIFF, MAGIC_FULL, VERSION};
+    use lowdiff_compress::CompressedGrad;
+    use lowdiff_optim::ModelState;
+    use lowdiff_util::crc::crc32;
+
+    fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
+        buf.reserve(xs.len() * 4);
+        for &x in xs {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
+        buf.reserve(xs.len() * 4);
+        for &x in xs {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Seal with the old copy semantics (`BytesMut::to_vec`).
+    fn seal_copy(buf: &mut Vec<u8>) -> Vec<u8> {
+        let crc = crc32(buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.clone()
+    }
+
+    /// Per-element serialization of a full checkpoint.
+    pub fn encode_model_state(state: &ModelState) -> Vec<u8> {
+        let psi = state.params.len();
+        let mut buf = Vec::with_capacity(34 + psi * 12);
+        buf.extend_from_slice(MAGIC_FULL);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&state.iteration.to_le_bytes());
+        buf.extend_from_slice(&(psi as u64).to_le_bytes());
+        buf.extend_from_slice(&state.opt.t.to_le_bytes());
+        put_f32s(&mut buf, &state.params);
+        put_f32s(&mut buf, &state.opt.m);
+        put_f32s(&mut buf, &state.opt.v);
+        seal_copy(&mut buf)
+    }
+
+    /// Per-element deserialization of a full checkpoint, with the old
+    /// upfront input copy.
+    pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
+        // The pre-bulk decoder copied the body into an owned buffer first.
+        let owned = data.to_vec();
+        let mut cur = super::Cursor::new(&owned);
+        let body_len = owned.len().checked_sub(4).ok_or(CodecError::Corrupt("too short for crc"))?;
+        let stored = u32::from_le_bytes(owned[body_len..].try_into().unwrap());
+        if crc32(&owned[..body_len]) != stored {
+            return Err(CodecError::CrcMismatch);
+        }
+        cur.data = &owned[..body_len];
+        super::check_magic(&mut cur, MAGIC_FULL)?;
+        let version = cur.get_u16("truncated header")?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let iteration = cur.get_u64("truncated header")?;
+        let psi = cur.get_u64("truncated header")? as usize;
+        let adam_t = cur.get_u64("truncated header")?;
+        let read_f32s = |cur: &mut super::Cursor<'_>, n: usize| -> Result<Vec<f32>, CodecError> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(cur.get_f32("truncated f32 array")?);
+            }
+            Ok(out)
+        };
+        let params = read_f32s(&mut cur, psi)?;
+        let m = read_f32s(&mut cur, psi)?;
+        let v = read_f32s(&mut cur, psi)?;
+        if cur.has_remaining() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        Ok(ModelState {
+            iteration,
+            params,
+            opt: lowdiff_optim::AdamState { m, v, t: adam_t },
+        })
+    }
+
+    /// Per-element serialization of a differential batch.
+    pub fn encode_diff_batch(entries: &[DiffEntry]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC_DIFF);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for e in entries {
+            buf.extend_from_slice(&e.iteration.to_le_bytes());
+            match &e.grad {
+                CompressedGrad::Sparse(s) => {
+                    buf.push(0);
+                    buf.extend_from_slice(&(s.dense_len as u64).to_le_bytes());
+                    buf.extend_from_slice(&(s.nnz() as u32).to_le_bytes());
+                    put_u32s(&mut buf, &s.indices);
+                    put_f32s(&mut buf, &s.values);
+                }
+                CompressedGrad::Quant(q) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&(q.dense_len as u64).to_le_bytes());
+                    buf.push(q.bits);
+                    buf.extend_from_slice(&q.scale.to_le_bytes());
+                    buf.extend_from_slice(&q.zero.to_le_bytes());
+                    buf.extend_from_slice(&(q.codes.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&q.codes);
+                }
+                CompressedGrad::Dense(d) => {
+                    buf.push(2);
+                    buf.extend_from_slice(&(d.len() as u64).to_le_bytes());
+                    put_f32s(&mut buf, d);
+                }
+            }
+        }
+        seal_copy(&mut buf)
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +544,16 @@ mod tests {
         let bytes = encode_model_state(&st);
         let back = decode_model_state(&bytes).unwrap();
         assert_eq!(st, back);
+    }
+
+    #[test]
+    fn bulk_encode_byte_identical_to_reference() {
+        let st = demo_state(777, 9);
+        assert_eq!(
+            encode_model_state(&st),
+            reference::encode_model_state(&st),
+            "bulk and per-element encoders must agree byte for byte"
+        );
     }
 
     #[test]
@@ -330,6 +608,11 @@ mod tests {
         ];
         let bytes = encode_diff_batch(&entries);
         assert_eq!(decode_diff_batch(&bytes).unwrap(), entries);
+        assert_eq!(
+            bytes,
+            reference::encode_diff_batch(&entries),
+            "bulk and per-element diff encoders must agree byte for byte"
+        );
     }
 
     #[test]
@@ -345,6 +628,21 @@ mod tests {
         assert_eq!(decode_diff_batch(&full).unwrap_err(), CodecError::BadMagic);
         let diff = encode_diff_batch(&[]);
         assert_eq!(decode_model_state(&diff).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn malformed_but_crc_valid_record_errors_cleanly() {
+        // Body claims Ψ larger than the payload actually carries; the CRC
+        // is valid (we seal after corrupting the length), so decoding must
+        // fail structurally, not panic.
+        let st = demo_state(16, 6);
+        let mut bytes = encode_model_state(&st);
+        bytes.truncate(bytes.len() - 4); // strip crc
+        bytes[14] = 0xFF; // blow up the psi field (offset 4+2+8 = 14)
+        let crc = lowdiff_util::crc::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let err = decode_model_state(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "got {err:?}");
     }
 
     #[test]

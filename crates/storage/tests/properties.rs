@@ -96,6 +96,30 @@ proptest! {
         }
     }
 
+    /// The bulk (memcpy) encoder must be byte-identical to the retained
+    /// per-element reference encoder — for full checkpoints and for diff
+    /// batches of every representation mix. This is what lets the bulk
+    /// rewrite ship without a format version bump.
+    #[test]
+    fn bulk_encoding_byte_identical_to_reference(
+        st in arb_state(),
+        grads in prop::collection::vec(arb_grad(80), 0..5),
+    ) {
+        prop_assert_eq!(
+            codec::encode_model_state(&st),
+            codec::reference::encode_model_state(&st)
+        );
+        let entries: Vec<DiffEntry> = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, grad)| DiffEntry { iteration: i as u64, grad })
+            .collect();
+        prop_assert_eq!(
+            codec::encode_diff_batch(&entries),
+            codec::reference::encode_diff_batch(&entries)
+        );
+    }
+
     /// Store discovery: the latest valid full checkpoint is always the one
     /// with the highest iteration among the uncorrupted writes.
     #[test]

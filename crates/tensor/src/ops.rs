@@ -38,21 +38,46 @@ pub fn scale(x: &mut [f32], a: f32) {
     }
 }
 
-/// Elementwise `out = a + b`.
+/// Elementwise `out = a + b`. Allocates; steady-state loops should prefer
+/// [`add_assign`] into a reused buffer.
 pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "add length mismatch");
     a.iter().zip(b).map(|(&x, &y)| x + y).collect()
 }
 
-/// Elementwise `a += b`.
+/// Elementwise `a += b`, in place.
 pub fn add_assign(a: &mut [f32], b: &[f32]) {
-    axpy(1.0, b, a);
+    assert_eq!(a.len(), b.len(), "add_assign length mismatch");
+    if a.len() >= PAR_MIN {
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(ai, &bi)| *ai += bi);
+    } else {
+        for (ai, &bi) in a.iter_mut().zip(b) {
+            *ai += bi;
+        }
+    }
 }
 
-/// Elementwise `out = a - b`.
+/// Elementwise `out = a - b`. Allocates; steady-state loops should prefer
+/// [`sub_assign`] into a reused buffer.
 pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
     a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Elementwise `a -= b`, in place.
+pub fn sub_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "sub_assign length mismatch");
+    if a.len() >= PAR_MIN {
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(ai, &bi)| *ai -= bi);
+    } else {
+        for (ai, &bi) in a.iter_mut().zip(b) {
+            *ai -= bi;
+        }
+    }
 }
 
 /// Dot product in f64 accumulation (stability for long vectors).
@@ -178,6 +203,21 @@ mod tests {
         assert_eq!(x, vec![-2.0, 4.0, -6.0]);
         assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
         assert_eq!(sub(&[1.0, 2.0], &[3.0, 1.0]), vec![-2.0, 1.0]);
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        // Small (serial) and large (parallel) paths, both ops.
+        for n in [10usize, PAR_MIN + 3] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 1.3).cos()).collect();
+            let mut a2 = a.clone();
+            add_assign(&mut a2, &b);
+            assert_eq!(a2, add(&a, &b), "add_assign diverged at n={n}");
+            let mut a3 = a.clone();
+            sub_assign(&mut a3, &b);
+            assert_eq!(a3, sub(&a, &b), "sub_assign diverged at n={n}");
+        }
     }
 
     #[test]

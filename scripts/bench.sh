@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Rebuild release and refresh the hot-path benchmark report at the repo root.
+#
+# Usage: scripts/bench.sh [bench_hotpath flags...]
+#   e.g. scripts/bench.sh --elems 33554432 --ranks 8
+#
+# Writes BENCH_hotpath.json (see DESIGN.md "Performance" for what each row
+# measures). LOWDIFF_NUM_THREADS caps the thread pool if set.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p lowdiff-bench --bin bench_hotpath
+exec target/release/bench_hotpath --out BENCH_hotpath.json "$@"
