@@ -10,29 +10,43 @@
 //! The pipeline has depth 1: if the previous persist has not finished when
 //! the next snapshot is due, the training thread stalls — exactly how
 //! CheckFreq degrades at high checkpoint frequency (Exp. 1/4).
+//!
+//! Implemented as a [`CheckpointEngine`] with `queue_capacity = 1`: the
+//! bounded job queue *is* the depth-1 pipeline (one persist running, one
+//! snapshot queued; the next submit blocks).
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
-enum Msg {
-    Persist(Box<ModelState>),
-    Flush(Sender<()>),
+/// The persist side of CheckFreq: write each snapshot as a durable full; a
+/// failed write is skipped (recovery falls back to the previous full).
+struct CheckFreqPolicy {
+    store: Arc<CheckpointStore>,
+}
+
+impl CheckpointPolicy for CheckFreqPolicy {
+    fn name(&self) -> &'static str {
+        "checkfreq"
+    }
+
+    fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
+        if let Job::Full(state) = job {
+            cx.persist_full(&self.store, &state, &FullOpts::durable());
+        } else {
+            debug_assert!(false, "checkfreq submits full snapshots");
+        }
+    }
 }
 
 /// CheckFreq checkpointing strategy.
 pub struct CheckFreqStrategy {
     every: u64,
-    tx: Option<Sender<Msg>>,
-    worker: Option<std::thread::JoinHandle<()>>,
-    shared: Arc<Mutex<StrategyStats>>,
-    stall: Secs,
-    store: Arc<CheckpointStore>,
+    engine: CheckpointEngine,
 }
 
 impl CheckFreqStrategy {
@@ -40,60 +54,28 @@ impl CheckFreqStrategy {
         Self::with_retry_policy(store, every, RetryPolicy::default())
     }
 
-    pub fn with_retry_policy(
-        store: Arc<CheckpointStore>,
-        every: u64,
-        retry: RetryPolicy,
-    ) -> Self {
+    pub fn with_retry_policy(store: Arc<CheckpointStore>, every: u64, retry: RetryPolicy) -> Self {
         assert!(every >= 1);
-        // Depth-1 pipeline: one persist may be queued while one runs; a
-        // bounded(1) channel gives snapshot-vs-persist overlap of exactly
-        // one checkpoint, as in the paper's design.
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(1);
-        let shared = Arc::new(Mutex::new(StrategyStats::default()));
-        let worker = {
-            let store = Arc::clone(&store);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("checkfreq-persist".into())
-                .spawn(move || {
-                    for msg in rx.iter() {
-                        match msg {
-                            Msg::Persist(state) => {
-                                let r = with_retry(&retry, || store.save_full(&state));
-                                let mut s = shared.lock();
-                                s.io_retries += r.retries as u64;
-                                if r.result.is_ok() {
-                                    s.full_checkpoints += 1;
-                                    s.writes += 1;
-                                    s.bytes_written += state.payload_bytes() as u64;
-                                } else {
-                                    // Skip this checkpoint; recovery falls
-                                    // back to the previous persisted full.
-                                    s.io_errors += 1;
-                                    s.degraded = true;
-                                }
-                            }
-                            Msg::Flush(ack) => {
-                                let _ = ack.send(());
-                            }
-                        }
-                    }
-                })
-                .expect("spawn persist thread")
+        let policy = CheckFreqPolicy {
+            store: Arc::clone(&store),
         };
-        Self {
-            every,
-            tx: Some(tx),
-            worker: Some(worker),
-            shared,
-            stall: Secs::ZERO,
+        // Depth-1 pipeline: one persist may be queued while one runs; a
+        // capacity-1 job queue gives snapshot-vs-persist overlap of exactly
+        // one checkpoint, as in the paper's design.
+        let engine = CheckpointEngine::spawn(
             store,
-        }
+            policy,
+            EngineConfig {
+                queue_capacity: 1,
+                retry,
+                ..EngineConfig::default()
+            },
+        );
+        Self { every, engine }
     }
 
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.engine.store()
     }
 }
 
@@ -107,51 +89,21 @@ impl CheckpointStrategy for CheckFreqStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        // Snapshot: blocking copy (the GPU→CPU `snapshot()` op).
-        let snapshot = Box::new(state.clone());
-        // Enqueue for persist; blocks when the pipeline is full — the
+        // Snapshot: blocking copy (the GPU→CPU `snapshot()` op), then
+        // enqueue for persist; blocks when the pipeline is full — the
         // CheckFreq stall at high frequency. A dead persist thread
         // degrades the run instead of aborting training.
-        let delivered = self
-            .tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Msg::Persist(snapshot)).is_ok());
-        if !delivered {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine
+            .submit(t0, Job::Full(Box::new(state.clone())))
+            .stall
     }
 
     fn flush(&mut self) -> Secs {
-        let t0 = Instant::now();
-        let (ack_tx, ack_rx) = unbounded();
-        let delivered = self
-            .tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Msg::Flush(ack_tx)).is_ok());
-        if !delivered || ack_rx.recv().is_err() {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine.flush()
     }
 
     fn stats(&self) -> StrategyStats {
-        let mut s = self.shared.lock().clone();
-        s.stall = self.stall;
-        s
-    }
-}
-
-impl Drop for CheckFreqStrategy {
-    fn drop(&mut self) {
-        self.tx.take();
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        self.engine.stats()
     }
 }
 
@@ -216,7 +168,10 @@ mod tests {
     #[test]
     fn storage_outage_skips_checkpoints_without_panic() {
         use lowdiff_storage::{FaultConfig, FaultyBackend};
-        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let faulty = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig::default(),
+        ));
         let st = Arc::new(CheckpointStore::new(
             Arc::clone(&faulty) as Arc<dyn StorageBackend>
         ));

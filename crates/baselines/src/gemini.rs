@@ -3,27 +3,61 @@
 //!
 //! Gemini writes checkpoints to the CPU memory of peer machines (fast
 //! tier) and only periodically to durable storage. We model the peer
-//! memory tier as an in-memory [`CheckpointStore`]; a background thread
-//! performs the memory-tier copy (with traffic interleaved off the
-//! training path, per Gemini's scheduling algorithm) and the periodic
-//! durable write.
+//! memory tier as an in-memory [`CheckpointStore`]; the engine's
+//! checkpointing thread performs the memory-tier copy (with traffic
+//! interleaved off the training path, per Gemini's scheduling algorithm)
+//! and the periodic durable write.
 //!
 //! Recovery prefers the memory tier ([`GeminiStrategy::recover_memory`])
 //! and falls back to durable storage when the machine holding the replica
 //! is lost ([`GeminiStrategy::recover_durable`]).
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use lowdiff::engine::{
+    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, Tier,
+};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{with_retry, CheckpointStore, MemoryBackend, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, MemoryBackend};
 use lowdiff_util::units::Secs;
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
-enum Msg {
-    Ckpt(Box<ModelState>),
-    Flush(Sender<()>),
+/// Two-tier persistence: every snapshot to peer memory (accounted as a
+/// memory-tier checkpoint), every `persist_every`-th also to durable
+/// storage. A lost write on either tier degrades, never aborts.
+struct GeminiPolicy {
+    mem: Arc<CheckpointStore>,
+    durable: Arc<CheckpointStore>,
+    persist_every: u64,
+}
+
+impl CheckpointPolicy for GeminiPolicy {
+    fn name(&self) -> &'static str {
+        "gemini"
+    }
+
+    fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
+        let Job::Full(state) = job else {
+            debug_assert!(false, "gemini submits full snapshots");
+            return;
+        };
+        // Memory-tier copy (peer CPU RAM over the network in the real
+        // system).
+        let mem_opts = FullOpts {
+            tier: Tier::Memory,
+            reanchor_on_failure: false,
+            keep_fulls: None,
+        };
+        cx.persist_full(&self.mem, &state, &mem_opts);
+        // Keep the memory tier small: one live ckpt. (Best-effort; a GC
+        // failure in the fast tier is not data loss.)
+        let _ = self.mem.gc_before(state.iteration);
+        if state.iteration % self.persist_every == 0 {
+            // Durable tier stale until the next persist interval lands if
+            // this write fails.
+            cx.persist_full(&self.durable, &state, &FullOpts::durable());
+        }
+    }
 }
 
 /// Gemini checkpointing strategy.
@@ -31,85 +65,35 @@ pub struct GeminiStrategy {
     /// Memory-tier interval (iterations); Gemini targets 1 where bandwidth
     /// allows.
     mem_every: u64,
-    /// Durable-tier interval (iterations).
     persist_every: u64,
-    tx: Option<Sender<Msg>>,
-    worker: Option<std::thread::JoinHandle<()>>,
-    shared: Arc<Mutex<StrategyStats>>,
-    stall: Secs,
     mem_store: Arc<CheckpointStore>,
-    durable_store: Arc<CheckpointStore>,
+    engine: CheckpointEngine,
 }
 
 impl GeminiStrategy {
     pub fn new(durable_store: Arc<CheckpointStore>, mem_every: u64, persist_every: u64) -> Self {
         assert!(mem_every >= 1 && persist_every >= mem_every);
         let mem_store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let policy = GeminiPolicy {
+            mem: Arc::clone(&mem_store),
+            durable: Arc::clone(&durable_store),
+            persist_every,
+        };
         // Depth-2 queue: Gemini's traffic scheduler lets a couple of
         // checkpoints be in flight to the memory tier.
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(2);
-        let shared = Arc::new(Mutex::new(StrategyStats::default()));
-        let worker = {
-            let mem = Arc::clone(&mem_store);
-            let durable = Arc::clone(&durable_store);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("gemini-ckpt".into())
-                .spawn(move || {
-                    let retry = RetryPolicy::default();
-                    for msg in rx.iter() {
-                        match msg {
-                            Msg::Ckpt(state) => {
-                                // Memory-tier copy (peer CPU RAM over the
-                                // network in the real system). A lost peer
-                                // write degrades, never aborts.
-                                let r = with_retry(&retry, || mem.save_full(&state));
-                                {
-                                    let mut s = shared.lock();
-                                    s.io_retries += r.retries as u64;
-                                    if r.result.is_ok() {
-                                        s.diff_checkpoints += 1; // memory-tier ckpts
-                                        s.bytes_written += state.payload_bytes() as u64;
-                                    } else {
-                                        s.io_errors += 1;
-                                        s.degraded = true;
-                                    }
-                                }
-                                // Keep the memory tier small: one live ckpt.
-                                let _ = mem.gc_before(state.iteration);
-                                if state.iteration % persist_every == 0 {
-                                    let r = with_retry(&retry, || durable.save_full(&state));
-                                    let mut s = shared.lock();
-                                    s.io_retries += r.retries as u64;
-                                    if r.result.is_ok() {
-                                        s.full_checkpoints += 1;
-                                        s.writes += 1;
-                                        s.bytes_written += state.payload_bytes() as u64;
-                                    } else {
-                                        // Durable tier stale until the next
-                                        // persist interval lands.
-                                        s.io_errors += 1;
-                                        s.degraded = true;
-                                    }
-                                }
-                            }
-                            Msg::Flush(ack) => {
-                                let _ = ack.send(());
-                            }
-                        }
-                    }
-                })
-                .expect("spawn gemini thread")
-        };
+        let engine = CheckpointEngine::spawn(
+            durable_store,
+            policy,
+            EngineConfig {
+                queue_capacity: 2,
+                ..EngineConfig::default()
+            },
+        );
         Self {
             mem_every,
             persist_every,
-            tx: Some(tx),
-            worker: Some(worker),
-            shared,
-            stall: Secs::ZERO,
             mem_store,
-            durable_store,
+            engine,
         }
     }
 
@@ -124,7 +108,7 @@ impl GeminiStrategy {
 
     /// Fallback recovery from durable storage (replica host lost).
     pub fn recover_durable(&self) -> std::io::Result<Option<ModelState>> {
-        self.durable_store.latest_valid_full()
+        self.engine.store().latest_valid_full()
     }
 }
 
@@ -138,47 +122,17 @@ impl CheckpointStrategy for GeminiStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        let snapshot = Box::new(state.clone());
-        let delivered = self
-            .tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Msg::Ckpt(snapshot)).is_ok());
-        if !delivered {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine
+            .submit(t0, Job::Full(Box::new(state.clone())))
+            .stall
     }
 
     fn flush(&mut self) -> Secs {
-        let t0 = Instant::now();
-        let (ack_tx, ack_rx) = unbounded();
-        let delivered = self
-            .tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Msg::Flush(ack_tx)).is_ok());
-        if !delivered || ack_rx.recv().is_err() {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine.flush()
     }
 
     fn stats(&self) -> StrategyStats {
-        let mut s = self.shared.lock().clone();
-        s.stall = self.stall;
-        s
-    }
-}
-
-impl Drop for GeminiStrategy {
-    fn drop(&mut self) {
-        self.tx.take();
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        self.engine.stats()
     }
 }
 

@@ -10,70 +10,178 @@
 //!    optimizer moments (Check-N-Run does not sparsify optimizer state —
 //!    Challenge 2's transmission stall and Exp. 7's storage pathology).
 //!
+//! The synchronous-on-the-training-thread shape maps to an *inline*
+//! [`CheckpointEngine`]: [`NaiveDcPolicy::wants_capture`] is the schedule,
+//! and every persist stalls the submit call by construction.
+//!
 //! Blob layout (custom key space `ndc-…` on the shared backend):
 //! param delta as a sparse record, then the full `m`/`v` vectors. Recovery
 //! applies param deltas in order (approximate — Top-K drops mass) and
 //! restores the moments from the newest blob (exact).
 
+use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::sparsify::TopK;
 use lowdiff_compress::Compressor;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::DiffEntry;
-use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Naïve DC baseline strategy.
-pub struct NaiveDcStrategy {
+/// The whole Check-N-Run-style scheme: full base checkpoints, Top-K'd
+/// parameter deltas, dense moments blobs — all persisted inline.
+struct NaiveDcPolicy {
     store: Arc<CheckpointStore>,
     /// Differential interval (iterations).
     diff_every: u64,
     /// Full-checkpoint interval (iterations).
     full_every: u64,
     rho: f64,
-    retry: RetryPolicy,
     prev_params: Option<Vec<f32>>,
     has_base: bool,
     /// Set when a write failure invalidated the differential chain; the
     /// next full checkpoint that lands is a forced re-anchor.
     reanchor_pending: bool,
-    stats: StrategyStats,
+}
+
+impl CheckpointPolicy for NaiveDcPolicy {
+    fn name(&self) -> &'static str {
+        "naive-dc"
+    }
+
+    fn wants_capture(&self, iteration: u64) -> bool {
+        !self.has_base
+            || iteration.is_multiple_of(self.full_every)
+            || iteration.is_multiple_of(self.diff_every)
+    }
+
+    fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
+        let Job::Full(state) = job else {
+            debug_assert!(false, "naive-dc submits full snapshots");
+            return;
+        };
+        if !self.has_base || state.iteration.is_multiple_of(self.full_every) {
+            // The first checkpoint is always a full base (Equation (2)
+            // needs a C^F to anchor the differential chain).
+            // Synchronous full checkpoint (Check-N-Run persists the base
+            // synchronously too).
+            if cx.persist_full(&self.store, &state, &FullOpts::durable()) {
+                self.has_base = true;
+                if self.reanchor_pending {
+                    self.reanchor_pending = false;
+                    cx.with_stats(|s| s.forced_fulls += 1);
+                }
+            } else {
+                // No base landed: leave `has_base` unset so the next call
+                // re-attempts the full — the chain must stay anchored.
+                self.has_base = false;
+            }
+            self.prev_params = Some(state.params.clone());
+        } else if state.iteration.is_multiple_of(self.diff_every) {
+            if let Some(prev) = &self.prev_params {
+                // 1. delta computation (training thread).
+                let delta: Vec<f32> = state
+                    .params
+                    .iter()
+                    .zip(prev)
+                    .map(|(&new, &old)| new - old)
+                    .collect();
+                // 2. compression stall (Challenge 1).
+                let mut topk = TopK::new(self.rho);
+                let compressed = topk.compress(&delta);
+                // 3. synchronous write of delta + dense moments
+                //    (Challenge 2 + Exp. 7).
+                let entry = DiffEntry {
+                    iteration: state.iteration - 1,
+                    grad: compressed,
+                };
+                // NB: iteration−1 because the delta advances M_{t-1} → M_t.
+                if cx.persist_diff_entries(&self.store, std::slice::from_ref(&entry)) {
+                    let mut moments = Vec::with_capacity(8 + state.params.len() * 8);
+                    moments.extend_from_slice(&state.opt.t.to_le_bytes());
+                    for &m in &state.opt.m {
+                        moments.extend_from_slice(&m.to_le_bytes());
+                    }
+                    for &v in &state.opt.v {
+                        moments.extend_from_slice(&v.to_le_bytes());
+                    }
+                    // Recovery tolerates a missing moments blob (params
+                    // still replayable); a failed put only degrades.
+                    cx.persist_blob(
+                        &self.store,
+                        &NaiveDcStrategy::moments_key(state.iteration - 1),
+                        &moments,
+                    );
+                } else {
+                    // Dropped delta: the chain past the last full is now
+                    // broken, so force a fresh base next interval.
+                    self.has_base = false;
+                    self.reanchor_pending = true;
+                }
+                self.prev_params = Some(state.params.clone());
+            } else {
+                // No base yet: retain state so the first diff has a parent.
+                self.prev_params = Some(state.params.clone());
+            }
+        }
+    }
+}
+
+/// Naïve DC baseline strategy.
+pub struct NaiveDcStrategy {
+    engine: CheckpointEngine,
 }
 
 impl NaiveDcStrategy {
     pub fn new(store: Arc<CheckpointStore>, diff_every: u64, full_every: u64, rho: f64) -> Self {
+        Self::with_retry_policy(store, diff_every, full_every, rho, RetryPolicy::default())
+    }
+
+    pub fn with_retry_policy(
+        store: Arc<CheckpointStore>,
+        diff_every: u64,
+        full_every: u64,
+        rho: f64,
+        retry: RetryPolicy,
+    ) -> Self {
         assert!(diff_every >= 1 && full_every >= diff_every);
-        Self {
-            store,
+        let policy = NaiveDcPolicy {
+            store: Arc::clone(&store),
             diff_every,
             full_every,
             rho,
-            retry: RetryPolicy::default(),
             prev_params: None,
             has_base: false,
             reanchor_pending: false,
-            stats: StrategyStats::default(),
-        }
+        };
+        let engine = CheckpointEngine::inline(
+            store,
+            policy,
+            EngineConfig {
+                retry,
+                ..EngineConfig::default()
+            },
+        );
+        Self { engine }
     }
 
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.engine.store()
     }
 
-    /// Storage key for a Naïve-DC differential (kept in the `diff-` space
-    /// so [`CheckpointStore::diff_chain_from`] discovers it, but the grad
-    /// is a *delta*, and the moments ride along as dense payloads).
+    /// Storage key for a Naïve-DC moments blob (the differential itself is
+    /// kept in the `diff-` space so [`CheckpointStore::diff_chain_from`]
+    /// discovers it, but the grad is a *delta*, and the moments ride along
+    /// as dense payloads).
     fn moments_key(iteration: u64) -> String {
         format!("ndcmoments-{iteration:010}")
     }
 
     /// Recover: latest full checkpoint + parameter deltas (merged with the
     /// paper's parallel tree merge) + moments from the newest blob.
-    pub fn recover(
-        store: &CheckpointStore,
-    ) -> std::io::Result<Option<(ModelState, usize)>> {
+    pub fn recover(store: &CheckpointStore) -> std::io::Result<Option<(ModelState, usize)>> {
         let Some(mut state) = store.latest_valid_full()? else {
             return Ok(None);
         };
@@ -118,115 +226,21 @@ impl CheckpointStrategy for NaiveDcStrategy {
     }
 
     fn after_update(&mut self, state: &ModelState) -> Secs {
-        let t0 = Instant::now();
-        let mut stalled = false;
-
-        if !self.has_base || state.iteration.is_multiple_of(self.full_every) {
-            // The first checkpoint is always a full base (Equation (2)
-            // needs a C^F to anchor the differential chain).
-            // Synchronous full checkpoint (Check-N-Run persists the base
-            // synchronously too).
-            let r = with_retry(&self.retry, || self.store.save_full(state));
-            self.stats.io_retries += r.retries as u64;
-            if r.result.is_ok() {
-                self.has_base = true;
-                if self.reanchor_pending {
-                    self.reanchor_pending = false;
-                    self.stats.forced_fulls += 1;
-                }
-                self.stats.full_checkpoints += 1;
-                self.stats.writes += 1;
-                self.stats.bytes_written += state.payload_bytes() as u64;
-            } else {
-                // No base landed: leave `has_base` unset so the next call
-                // re-attempts the full — the chain must stay anchored.
-                self.has_base = false;
-                self.stats.io_errors += 1;
-                self.stats.degraded = true;
-            }
-            self.prev_params = Some(state.params.clone());
-            stalled = true;
-        } else if state.iteration.is_multiple_of(self.diff_every) {
-            if let Some(prev) = &self.prev_params {
-                // 1. delta computation (training thread).
-                let delta: Vec<f32> = state
-                    .params
-                    .iter()
-                    .zip(prev)
-                    .map(|(&new, &old)| new - old)
-                    .collect();
-                // 2. compression stall (Challenge 1).
-                let mut topk = TopK::new(self.rho);
-                let compressed = topk.compress(&delta);
-                // 3. synchronous write of delta + dense moments
-                //    (Challenge 2 + Exp. 7).
-                let entry = DiffEntry {
-                    iteration: state.iteration - 1,
-                    grad: compressed,
-                };
-                // NB: iteration−1 because the delta advances M_{t-1} → M_t.
-                let r = with_retry(&self.retry, || {
-                    self.store.save_diff_batch(std::slice::from_ref(&entry))
-                });
-                self.stats.io_retries += r.retries as u64;
-                match r.result {
-                    Ok(_) => {
-                        self.stats.diff_checkpoints += 1;
-                        self.stats.writes += 1;
-                        self.stats.bytes_written += entry.grad.payload_bytes() as u64;
-                        let mut moments = Vec::with_capacity(8 + state.params.len() * 8);
-                        moments.extend_from_slice(&state.opt.t.to_le_bytes());
-                        for &m in &state.opt.m {
-                            moments.extend_from_slice(&m.to_le_bytes());
-                        }
-                        for &v in &state.opt.v {
-                            moments.extend_from_slice(&v.to_le_bytes());
-                        }
-                        let rm = with_retry(&self.retry, || {
-                            self.store
-                                .backend()
-                                .put(&Self::moments_key(state.iteration - 1), &moments)
-                        });
-                        self.stats.io_retries += rm.retries as u64;
-                        if rm.result.is_ok() {
-                            self.stats.writes += 1;
-                            self.stats.bytes_written += moments.len() as u64;
-                        } else {
-                            // Recovery tolerates a missing moments blob
-                            // (params still replayable); just record it.
-                            self.stats.io_errors += 1;
-                            self.stats.degraded = true;
-                        }
-                    }
-                    Err(_) => {
-                        // Dropped delta: the chain past the last full is now
-                        // broken, so force a fresh base next interval.
-                        self.stats.io_errors += 1;
-                        self.stats.dropped_diffs += 1;
-                        self.stats.degraded = true;
-                        self.has_base = false;
-                        self.reanchor_pending = true;
-                    }
-                }
-                self.prev_params = Some(state.params.clone());
-                stalled = true;
-            } else {
-                // No base yet: retain state so the first diff has a parent.
-                self.prev_params = Some(state.params.clone());
-            }
+        if !self.engine.wants_capture(state.iteration) {
+            return Secs::ZERO;
         }
+        let t0 = Instant::now();
+        self.engine
+            .submit(t0, Job::Full(Box::new(state.clone())))
+            .stall
+    }
 
-        let stall = if stalled {
-            Secs(t0.elapsed().as_secs_f64())
-        } else {
-            Secs::ZERO
-        };
-        self.stats.stall += stall;
-        stall
+    fn flush(&mut self) -> Secs {
+        self.engine.flush()
     }
 
     fn stats(&self) -> StrategyStats {
-        self.stats.clone()
+        self.engine.stats()
     }
 }
 
@@ -341,18 +355,26 @@ mod tests {
     #[test]
     fn dropped_diff_forces_reanchor_full() {
         use lowdiff_storage::{FaultConfig, FaultyBackend, StorageBackend};
-        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let faulty = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig::default(),
+        ));
         let st = Arc::new(CheckpointStore::new(
             Arc::clone(&faulty) as Arc<dyn StorageBackend>
         ));
         let adam = Adam::default();
         let mut state = ModelState::new(vec![0.5; 64]);
-        let mut s = NaiveDcStrategy::new(Arc::clone(&st), 1, 1000, 0.5);
-        s.retry = lowdiff_storage::RetryPolicy {
-            max_retries: 1,
-            base_delay: std::time::Duration::from_micros(100),
-            max_delay: std::time::Duration::from_micros(500),
-        };
+        let mut s = NaiveDcStrategy::with_retry_policy(
+            Arc::clone(&st),
+            1,
+            1000,
+            0.5,
+            lowdiff_storage::RetryPolicy {
+                max_retries: 1,
+                base_delay: std::time::Duration::from_micros(100),
+                max_delay: std::time::Duration::from_micros(500),
+            },
+        );
         s.after_update(&state); // iteration 0: base full
         let g = vec![0.1; 64];
         state.apply_gradient(&adam, &g); // iteration 1
@@ -368,6 +390,10 @@ mod tests {
         let stats = s.stats();
         assert!(stats.io_errors >= 1);
         assert_eq!(stats.dropped_diffs, 1);
+        assert_eq!(
+            stats.dropped_batches, 1,
+            "a dropped single-diff write is one dropped batch, counted once"
+        );
         assert_eq!(stats.forced_fulls, 1);
         assert!(stats.degraded);
         assert_eq!(st.full_iterations().unwrap(), vec![0, 3]);

@@ -1,34 +1,66 @@
 //! `torch.save` baseline: blocking full checkpoints.
 
+use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Synchronous full checkpointing every `every` iterations — the whole
-/// serialize+write sits on the training thread's critical path.
-pub struct TorchSaveStrategy {
+/// The whole scheme: a durable full every `every` iterations, written
+/// inline. A failed write is skipped (recovery falls back).
+struct TorchSavePolicy {
     store: Arc<CheckpointStore>,
     every: u64,
-    retry: RetryPolicy,
-    stats: StrategyStats,
+}
+
+impl CheckpointPolicy for TorchSavePolicy {
+    fn name(&self) -> &'static str {
+        "torch-save"
+    }
+
+    fn wants_capture(&self, iteration: u64) -> bool {
+        iteration.is_multiple_of(self.every)
+    }
+
+    fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
+        if let Job::Full(state) = job {
+            cx.persist_full(&self.store, &state, &FullOpts::durable());
+        } else {
+            debug_assert!(false, "torch-save submits full snapshots");
+        }
+    }
+}
+
+/// Synchronous full checkpointing every `every` iterations — the whole
+/// serialize+write sits on the training thread's critical path, so the
+/// strategy runs on an *inline* (thread-less) [`CheckpointEngine`]: the
+/// submit stall is the persist cost, by design.
+pub struct TorchSaveStrategy {
+    engine: CheckpointEngine,
 }
 
 impl TorchSaveStrategy {
     pub fn new(store: Arc<CheckpointStore>, every: u64) -> Self {
         assert!(every >= 1);
-        Self {
-            store,
+        let policy = TorchSavePolicy {
+            store: Arc::clone(&store),
             every,
-            retry: RetryPolicy::default(),
-            stats: StrategyStats::default(),
-        }
+        };
+        let engine = CheckpointEngine::inline(
+            store,
+            policy,
+            EngineConfig {
+                retry: RetryPolicy::default(),
+                ..EngineConfig::default()
+            },
+        );
+        Self { engine }
     }
 
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.engine.store()
     }
 }
 
@@ -38,28 +70,21 @@ impl CheckpointStrategy for TorchSaveStrategy {
     }
 
     fn after_update(&mut self, state: &ModelState) -> Secs {
-        if !state.iteration.is_multiple_of(self.every) {
+        if !self.engine.wants_capture(state.iteration) {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        let r = with_retry(&self.retry, || self.store.save_full(state));
-        self.stats.io_retries += r.retries as u64;
-        if r.result.is_ok() {
-            self.stats.full_checkpoints += 1;
-            self.stats.writes += 1;
-            self.stats.bytes_written += state.payload_bytes() as u64;
-        } else {
-            // Checkpoint skipped; recovery falls back to the previous full.
-            self.stats.io_errors += 1;
-            self.stats.degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stats.stall += stall;
-        stall
+        self.engine
+            .submit(t0, Job::Full(Box::new(state.clone())))
+            .stall
+    }
+
+    fn flush(&mut self) -> Secs {
+        self.engine.flush()
     }
 
     fn stats(&self) -> StrategyStats {
-        self.stats.clone()
+        self.engine.stats()
     }
 }
 

@@ -27,21 +27,17 @@ fn bench_batched_writer(c: &mut Criterion) {
     let gs = grads(40, 500_000);
     for &bs in &[1usize, 2, 5, 20] {
         for mode in [BatchMode::Concat, BatchMode::Accumulate] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{mode:?}"), bs),
-                &bs,
-                |b, &bs| {
-                    b.iter(|| {
-                        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
-                        let mut w = BatchedWriter::new(bs, mode);
-                        for (t, g) in gs.iter().enumerate() {
-                            w.push(&store, t as u64, Arc::clone(g)).unwrap();
-                        }
-                        w.flush(&store).unwrap();
-                        black_box(w.writes())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), bs), &bs, |b, &bs| {
+                b.iter(|| {
+                    let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+                    let mut w = BatchedWriter::new(bs, mode);
+                    for (t, g) in gs.iter().enumerate() {
+                        w.push(&store, t as u64, Arc::clone(g)).unwrap();
+                    }
+                    w.flush(&store).unwrap();
+                    black_box(w.writes())
+                });
+            });
         }
     }
     group.finish();

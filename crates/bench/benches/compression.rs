@@ -50,9 +50,7 @@ fn bench_decompress_and_merge(c: &mut Criterion) {
     group.bench_function("decompress_1m_rho0.01", |b| {
         b.iter(|| black_box(a.to_dense()))
     });
-    group.bench_function("merge_two_rho0.01", |b| {
-        b.iter(|| black_box(sa.merge(&sb)))
-    });
+    group.bench_function("merge_two_rho0.01", |b| b.iter(|| black_box(sa.merge(&sb))));
     group.bench_function("merge_batch_of_20", |b| {
         let grads: Vec<SparseGrad> = (0..20).map(|_| sa.clone()).collect();
         b.iter(|| black_box(SparseGrad::merge_all(n, grads.iter())));

@@ -1,0 +1,282 @@
+//! End-to-end checkpoint-pipeline benchmark: per-strategy **training-thread
+//! stall** per iteration, measured over the unified `CheckpointEngine` on a
+//! bandwidth-throttled backend.
+//!
+//! This is the paper's core claim in one number (Exp. 1 / §4.2): at high
+//! checkpoint frequency, LowDiff's batched differential writes stall the
+//! training thread far less than full-snapshot schemes — CheckFreq blocks
+//! on its depth-1 pipeline, torch.save blocks for the whole write, and
+//! Naive DC pays compression on the critical path. The stall reported here
+//! is exactly what each strategy returns from its training-side hooks
+//! (`on_synced_gradient` + `after_update`); the end-of-run queue drain is
+//! reported separately and does not count against per-iteration stall.
+//!
+//! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--out PATH]`
+//! (defaults: 262144 params, 40 iterations, 300 MB/s, BENCH_ckpt_e2e.json).
+//! `scripts/bench.sh` builds release and refreshes the JSON at the repo root.
+
+use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
+use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
+use lowdiff::strategy::CheckpointStrategy;
+use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
+use lowdiff_bench::print_table;
+use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
+use lowdiff_optim::ModelState;
+use lowdiff_storage::{CheckpointStore, MemoryBackend, StorageBackend, ThrottledBackend};
+use lowdiff_util::units::Bandwidth;
+use lowdiff_util::DetRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct E2eResult {
+    name: &'static str,
+    stall_per_iter_ms: f64,
+    total_stall_secs: f64,
+    drain_secs: f64,
+    wall_secs: f64,
+    bytes_written: u64,
+    writes: u64,
+}
+
+fn throttled_store(mbps: f64) -> Arc<CheckpointStore> {
+    let backend = ThrottledBackend::new(MemoryBackend::new(), Bandwidth::mbps_bytes(mbps));
+    Arc::new(CheckpointStore::new(
+        Arc::new(backend) as Arc<dyn StorageBackend>
+    ))
+}
+
+/// Drive one strategy over the shared trace; returns its stall profile.
+/// `per_iter` runs the strategy's training-side hooks for one iteration and
+/// returns the stall they charged to the training thread.
+fn run_strategy<S: CheckpointStrategy>(
+    name: &'static str,
+    iters: u64,
+    mut strat: S,
+    mut per_iter: impl FnMut(&mut S, &mut ModelState) -> f64,
+    state: &ModelState,
+) -> E2eResult {
+    let mut state = state.clone();
+    let wall = Instant::now();
+    let mut total_stall = 0.0f64;
+    for _ in 0..iters {
+        total_stall += per_iter(&mut strat, &mut state);
+    }
+    let drain = strat.flush().as_f64();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let stats = strat.stats();
+    E2eResult {
+        name,
+        stall_per_iter_ms: total_stall / iters as f64 * 1e3,
+        total_stall_secs: total_stall,
+        drain_secs: drain,
+        wall_secs,
+        bytes_written: stats.bytes_written,
+        writes: stats.writes,
+    }
+}
+
+fn main() {
+    let mut psi: usize = 1 << 18;
+    let mut iters: u64 = 40;
+    let mut mbps: f64 = 300.0;
+    let mut out_path = String::from("BENCH_ckpt_e2e.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--psi" => psi = val("--psi").parse().expect("bad --psi"),
+            "--iters" => iters = val("--iters").parse().expect("bad --iters"),
+            "--mbps" => mbps = val("--mbps").parse().expect("bad --mbps"),
+            "--out" => out_path = val("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    eprintln!("bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage");
+
+    // One recorded gradient, reused every iteration: the stall numbers are
+    // about write scheduling, not gradient content.
+    let mut rng = DetRng::new(42);
+    let grad: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
+    let cg = Arc::new(TopK::new(0.01).compress(&grad));
+    let empty = Arc::new(CompressedGrad::Sparse(SparseGrad::new(
+        psi,
+        Vec::new(),
+        Vec::new(),
+    )));
+    let initial = {
+        let mut s = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
+        s.iteration = 0;
+        s
+    };
+
+    let mut results: Vec<E2eResult> = Vec::new();
+
+    // LowDiff (Algorithm 1): per-iteration compressed differentials,
+    // batched writes, full every 10.
+    {
+        let strat = LowDiffStrategy::new(
+            throttled_store(mbps),
+            LowDiffConfig {
+                full_every: 10,
+                batch_size: 4,
+                ..LowDiffConfig::default()
+            },
+        );
+        let cg = Arc::clone(&cg);
+        results.push(run_strategy(
+            "lowdiff",
+            iters,
+            strat,
+            move |s, st| {
+                let a = s.on_synced_gradient(st.iteration, &cg).as_f64();
+                st.iteration += 1;
+                a + s.after_update(st).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // LowDiff+ (Algorithm 2): dense gradient reuse into the CPU replica,
+    // persisted every 10.
+    {
+        let strat = LowDiffPlusStrategy::new(
+            throttled_store(mbps),
+            LowDiffPlusConfig {
+                persist_every: 10,
+                snapshot_threads: 2,
+                ..LowDiffPlusConfig::default()
+            },
+            initial.clone(),
+        );
+        let grad = grad.clone();
+        let empty = Arc::clone(&empty);
+        results.push(run_strategy(
+            "lowdiff+",
+            iters,
+            strat,
+            move |s, st| {
+                let a = s.on_layer_gradient(st.iteration, 0, 0..psi, &grad).as_f64();
+                let b = s.on_synced_gradient(st.iteration, &empty).as_f64();
+                st.iteration += 1;
+                a + b
+            },
+            &initial,
+        ));
+    }
+
+    // CheckFreq: full snapshot every iteration through the depth-1
+    // pipeline — the high-frequency configuration the paper stresses.
+    {
+        let strat = CheckFreqStrategy::new(throttled_store(mbps), 1);
+        results.push(run_strategy(
+            "checkfreq",
+            iters,
+            strat,
+            |s, st| {
+                st.iteration += 1;
+                s.after_update(st).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // torch.save: synchronous full every iteration.
+    {
+        let strat = TorchSaveStrategy::new(throttled_store(mbps), 1);
+        results.push(run_strategy(
+            "torch-save",
+            iters,
+            strat,
+            |s, st| {
+                st.iteration += 1;
+                s.after_update(st).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // Gemini: memory-tier full every iteration, durable every 10.
+    {
+        let strat = GeminiStrategy::new(throttled_store(mbps), 1, 10);
+        results.push(run_strategy(
+            "gemini",
+            iters,
+            strat,
+            |s, st| {
+                st.iteration += 1;
+                s.after_update(st).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // Naive DC: per-iteration top-k delta computed on the training thread.
+    {
+        let strat = NaiveDcStrategy::new(throttled_store(mbps), 1, 10, 0.01);
+        results.push(run_strategy(
+            "naive-dc",
+            iters,
+            strat,
+            |s, st| {
+                let idx = st.iteration as usize % st.params.len();
+                st.params[idx] += 1e-3;
+                st.iteration += 1;
+                s.after_update(st).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // --- report ------------------------------------------------------------
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.3}ms", r.stall_per_iter_ms),
+                format!("{:.3}s", r.total_stall_secs),
+                format!("{:.3}s", r.drain_secs),
+                format!("{:.1}MB", r.bytes_written as f64 / 1e6),
+                r.writes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("end-to-end checkpoint stall, {psi} params x {iters} iters"),
+        &[
+            "strategy",
+            "stall/iter",
+            "stall total",
+            "drain",
+            "written",
+            "writes",
+        ],
+        &rows,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"psi\": {psi},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"storage_mbps\": {mbps},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"stall_per_iter_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"writes\": {}}}{}\n",
+            r.name,
+            r.stall_per_iter_ms,
+            r.total_stall_secs,
+            r.drain_secs,
+            r.wall_secs,
+            r.bytes_written,
+            r.writes,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

@@ -56,7 +56,14 @@ fn main() {
 
     print_table(
         "Exp. 1 — training time, 1000 iterations, per-iteration checkpointing (rho=0.01)",
-        &["model", "W/O CKPT", "Naive DC", "CheckFreq", "Gemini", "LowDiff"],
+        &[
+            "model",
+            "W/O CKPT",
+            "Naive DC",
+            "CheckFreq",
+            "Gemini",
+            "LowDiff",
+        ],
         &rows,
     );
 

@@ -39,7 +39,9 @@ fn main() {
 
     println!();
     let cm = CostModel::new(hw, by_name("GPT2-L").unwrap(), 8, 1.0);
-    let plus = cm.training_time(StrategyKind::LowDiffPlus, 1, ITERS).as_f64();
+    let plus = cm
+        .training_time(StrategyKind::LowDiffPlus, 1, ITERS)
+        .as_f64();
     let gem = cm.training_time(StrategyKind::Gemini, 1, ITERS).as_f64();
     let cf = cm.training_time(StrategyKind::CheckFreq, 1, ITERS).as_f64();
     compare(

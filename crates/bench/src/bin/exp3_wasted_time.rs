@@ -48,8 +48,16 @@ fn main() {
         ("CheckFreq", StrategyKind::CheckFreq, FailureKind::Software),
         ("Gemini", StrategyKind::Gemini, FailureKind::Software),
         ("LowDiff", StrategyKind::LowDiff, FailureKind::Software),
-        ("LowDiff+(S)", StrategyKind::LowDiffPlus, FailureKind::Software),
-        ("LowDiff+(H)", StrategyKind::LowDiffPlus, FailureKind::Hardware),
+        (
+            "LowDiff+(S)",
+            StrategyKind::LowDiffPlus,
+            FailureKind::Software,
+        ),
+        (
+            "LowDiff+(H)",
+            StrategyKind::LowDiffPlus,
+            FailureKind::Hardware,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -71,8 +79,16 @@ fn main() {
         run(&cm, StrategyKind::Gemini, m, FailureKind::Software)
             - run(&cm, StrategyKind::LowDiff, m, FailureKind::Software)
     };
-    compare("Gemini − LowDiff gap at MTBF 2h", "0.061h", &format!("{:.3}h", gap(2.0)));
-    compare("Gemini − LowDiff gap at MTBF 0.5h", "0.145h", &format!("{:.3}h", gap(0.5)));
+    compare(
+        "Gemini − LowDiff gap at MTBF 2h",
+        "0.061h",
+        &format!("{:.3}h", gap(2.0)),
+    );
+    compare(
+        "Gemini − LowDiff gap at MTBF 0.5h",
+        "0.145h",
+        &format!("{:.3}h", gap(0.5)),
+    );
     let s = run(&cm, StrategyKind::LowDiffPlus, 1.0, FailureKind::Software);
     let l = run(&cm, StrategyKind::LowDiff, 1.0, FailureKind::Software);
     compare(

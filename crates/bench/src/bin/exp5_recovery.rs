@@ -33,7 +33,13 @@ fn main() {
     }
     print_table(
         "Exp. 5 — recovery time vs full-checkpoint frequency (GPT2-S, modeled)",
-        &["", "Baseline", "Naive DC", "LowDiff (parallel)", "LowDiff+(S)"],
+        &[
+            "",
+            "Baseline",
+            "Naive DC",
+            "LowDiff (parallel)",
+            "LowDiff+(S)",
+        ],
         &rows,
     );
 

@@ -16,7 +16,14 @@ use std::sync::Arc;
 const RHO: f64 = 0.01;
 
 fn main() {
-    let models = ["ResNet-101", "VGG-19", "BERT-B", "BERT-L", "GPT2-S", "GPT2-L"];
+    let models = [
+        "ResNet-101",
+        "VGG-19",
+        "BERT-B",
+        "BERT-L",
+        "GPT2-S",
+        "GPT2-L",
+    ];
     let mut rows = Vec::new();
     for name in models {
         let spec = by_name(name).unwrap();

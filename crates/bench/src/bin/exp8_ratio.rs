@@ -23,7 +23,9 @@ fn main() {
     }
     print_table(
         "Exp. 8 — LowDiff checkpoint interval (iterations) vs compression ratio rho",
-        &["model", "0.001", "0.005", "0.01", "0.025", "0.05", "0.075", "0.1"],
+        &[
+            "model", "0.001", "0.005", "0.01", "0.025", "0.05", "0.075", "0.1",
+        ],
         &rows,
     );
     println!(

@@ -24,7 +24,11 @@ fn main() {
         .collect();
     print_table(
         "Fig. 1 — DC computation & transmission frequency vs training slowdown (GPT2-L, rho=0.01)",
-        &["DC frequency", "compression slowdown (a)", "transmission slowdown (b)"],
+        &[
+            "DC frequency",
+            "compression slowdown (a)",
+            "transmission slowdown (b)",
+        ],
         &rows,
     );
 

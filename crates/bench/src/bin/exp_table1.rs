@@ -4,8 +4,8 @@
 //! Paper: minimum at (FCF = 20, BS = 2); each row has an interior BS
 //! optimum (BS = 2 for FCF 10/20, BS = 3 for FCF 50/100).
 
-use lowdiff_bench::print_table;
 use lowdiff::config::WastedTimeModel;
+use lowdiff_bench::print_table;
 use lowdiff_util::units::{Bandwidth, ByteSize, Secs};
 
 fn main() {

@@ -21,7 +21,11 @@ fn main() {
     )));
     let strategy = LowDiffStrategy::new(
         Arc::clone(&store),
-        LowDiffConfig { full_every: 10, batch_size: 3, ..LowDiffConfig::default() },
+        LowDiffConfig {
+            full_every: 10,
+            batch_size: 3,
+            ..LowDiffConfig::default()
+        },
     );
     let task = Regression::new(8, 2, 3);
     let mut rng = DetRng::new(1);
@@ -29,7 +33,10 @@ fn main() {
         mlp(&[8, 32, 2], 2),
         Adam::default(),
         strategy,
-        TrainerConfig { compress_ratio: Some(0.05), error_feedback: true },
+        TrainerConfig {
+            compress_ratio: Some(0.05),
+            error_feedback: true,
+        },
     );
     tr.run(27, |net, _| {
         let (x, y) = task.batch(&mut rng, 8);

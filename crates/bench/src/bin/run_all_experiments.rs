@@ -37,7 +37,15 @@ fn main() {
         } else {
             // Fall back to cargo when binaries aren't co-located.
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "lowdiff-bench", "--bin", exp])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "lowdiff-bench",
+                    "--bin",
+                    exp,
+                ])
                 .status()
         };
         match status {

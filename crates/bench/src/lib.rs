@@ -36,7 +36,10 @@ pub fn print_table<S: Display>(title: &str, headers: &[&str], rows: &[Vec<S>]) {
         "{}",
         line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for r in rendered {
         println!("{}", line(&r));
     }

@@ -83,7 +83,12 @@ pub struct CostModel {
 impl CostModel {
     pub fn new(hw: HardwareProfile, spec: ModelSpec, n_gpus: usize, rho: f64) -> Self {
         assert!(n_gpus >= 1 && rho > 0.0 && rho <= 1.0);
-        Self { hw, spec, n_gpus, rho }
+        Self {
+            hw,
+            spec,
+            n_gpus,
+            rho,
+        }
     }
 
     /// Server count (each node holds `gpus_per_node` GPUs).
@@ -131,10 +136,8 @@ impl CostModel {
             StrategyKind::CheckFreq => {
                 let snapshot = full / self.hw.hbm; // blocking GPU-side copy
                 let persist = full / self.hw.pcie + full / self.hw.ssd_write;
-                let window = Secs(
-                    (t_it * kf).as_f64() * calib::PIPELINE_OVERLAP_WINDOW
-                        - snapshot.as_f64(),
-                );
+                let window =
+                    Secs((t_it * kf).as_f64() * calib::PIPELINE_OVERLAP_WINDOW - snapshot.as_f64());
                 let exposed = persist.saturating_sub(window.max(Secs::ZERO));
                 Secs((snapshot + exposed).as_f64() / kf)
             }
@@ -170,8 +173,7 @@ impl CostModel {
                 // exposed slice of the 2ρΨ D2H offload, every iteration.
                 let software = Secs(t_it.as_f64() * calib::LOWDIFF_SOFTWARE_OVERHEAD);
                 let offload = Secs(
-                    (self.cgrad_bytes() / self.hw.pcie).as_f64()
-                        * calib::LOWDIFF_OFFLOAD_EXPOSED,
+                    (self.cgrad_bytes() / self.hw.pcie).as_f64() * calib::LOWDIFF_OFFLOAD_EXPOSED,
                 );
                 // Batched asynchronous writes stall only beyond SSD rate.
                 let write_rate_needed = self.cgrad_bytes().as_f64() / t_it.as_f64();
@@ -290,16 +292,12 @@ impl CostModel {
             }
             StrategyKind::LowDiff => {
                 let merges = Secs(lost * self.merge_one().as_f64() / recovery_shards as f64);
-                let diffs_load = ByteSize::bytes(
-                    (self.cgrad_bytes().as_f64() * lost) as u64,
-                ) / self.hw.ssd_read;
+                let diffs_load =
+                    ByteSize::bytes((self.cgrad_bytes().as_f64() * lost) as u64) / self.hw.ssd_read;
                 self.raw_load() + diffs_load + merges
             }
             StrategyKind::LowDiffPlus => {
-                Secs(
-                    (self.full_bytes() / self.hw.pcie).as_f64()
-                        + calib::REPLICA_REINIT_SECS,
-                )
+                Secs((self.full_bytes() / self.hw.pcie).as_f64() + calib::REPLICA_REINIT_SECS)
             }
         }
     }
@@ -407,7 +405,9 @@ mod tests {
         let lowdiff = m.max_frequency(StrategyKind::LowDiff, 0.035, 1000).unwrap();
         let gemini = m.max_frequency(StrategyKind::Gemini, 0.035, 1000).unwrap();
         let naive = m.max_frequency(StrategyKind::NaiveDc, 0.035, 1000).unwrap();
-        let checkfreq = m.max_frequency(StrategyKind::CheckFreq, 0.035, 1000).unwrap();
+        let checkfreq = m
+            .max_frequency(StrategyKind::CheckFreq, 0.035, 1000)
+            .unwrap();
         assert!(lowdiff <= gemini, "LowDiff {lowdiff} vs Gemini {gemini}");
         assert!(gemini <= naive, "Gemini {gemini} vs NaiveDC {naive}");
         assert!(gemini <= checkfreq);

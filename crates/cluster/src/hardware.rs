@@ -32,11 +32,11 @@ pub fn a100() -> HardwareProfile {
     HardwareProfile {
         name: "A100",
         gpus_per_node: 4,
-        pcie: Bandwidth::gbps_bytes(24.0),  // Gen4 x16 effective
-        net: Bandwidth::gbits(25.0),        // 3.125 GB/s
+        pcie: Bandwidth::gbps_bytes(24.0), // Gen4 x16 effective
+        net: Bandwidth::gbits(25.0),       // 3.125 GB/s
         ssd_write: Bandwidth::gbps_bytes(2.7),
         ssd_read: Bandwidth::gbps_bytes(3.5),
-        hbm: Bandwidth::gbps_bytes(390.0),  // effective elementwise stream
+        hbm: Bandwidth::gbps_bytes(390.0), // effective elementwise stream
         host_mem: Bandwidth::gbps_bytes(20.0),
         compress: Bandwidth::gbps_bytes(52.0),
     }
@@ -47,7 +47,7 @@ pub fn v100() -> HardwareProfile {
     HardwareProfile {
         name: "V100S",
         gpus_per_node: 4,
-        pcie: Bandwidth::gbps_bytes(12.0),  // Gen3 x16 effective
+        pcie: Bandwidth::gbps_bytes(12.0), // Gen3 x16 effective
         net: Bandwidth::gbits(25.0),
         ssd_write: Bandwidth::gbps_bytes(2.0),
         ssd_read: Bandwidth::gbps_bytes(2.8),
@@ -65,7 +65,10 @@ mod tests {
     fn profiles_are_ordered_sensibly() {
         let a = a100();
         let v = v100();
-        assert!(a.pcie.bytes_per_sec() > v.pcie.bytes_per_sec(), "Gen4 > Gen3");
+        assert!(
+            a.pcie.bytes_per_sec() > v.pcie.bytes_per_sec(),
+            "Gen4 > Gen3"
+        );
         assert!(a.hbm.bytes_per_sec() > v.hbm.bytes_per_sec());
         assert_eq!(a.gpus_per_node, 4);
         // 25 Gbps shared by both testbeds.

@@ -12,8 +12,8 @@
 //! (restore + re-execution) **plus** the steady-state checkpointing
 //! overhead accumulated while training.
 
-use crate::cost::{CostModel, StrategyKind};
 use crate::calib;
+use crate::cost::{CostModel, StrategyKind};
 use lowdiff_util::units::Secs;
 use lowdiff_util::DetRng;
 
@@ -113,16 +113,15 @@ fn recoverable_point(cfg: &SimConfig, progress: u64) -> u64 {
         }
         StrategyKind::LowDiffPlus => match cfg.failure_kind {
             FailureKind::Software => progress, // CPU replica is current
-            FailureKind::Hardware => {
-                (progress / cfg.ckpt_interval) * cfg.ckpt_interval
-            }
+            FailureKind::Hardware => (progress / cfg.ckpt_interval) * cfg.ckpt_interval,
         },
     }
 }
 
 /// State-restore time (no re-execution — that is charged separately).
 fn restore_time(cost: &CostModel, cfg: &SimConfig, restore_to: u64) -> Secs {
-    let diffs_replayed = restore_to.saturating_sub((restore_to / cfg.full_interval) * cfg.full_interval);
+    let diffs_replayed =
+        restore_to.saturating_sub((restore_to / cfg.full_interval) * cfg.full_interval);
     match cfg.strategy {
         StrategyKind::WoCkpt => Secs::ZERO,
         StrategyKind::TorchSave | StrategyKind::CheckFreq => cost.torch_load(),
@@ -139,14 +138,15 @@ fn restore_time(cost: &CostModel, cfg: &SimConfig, restore_to: u64) -> Secs {
                 + Secs(diffs_replayed as f64 * cost.merge_one().as_f64())
         }
         StrategyKind::LowDiff => {
-            let merges =
-                Secs(diffs_replayed as f64 * cost.merge_one().as_f64() / cfg.recovery_shards as f64);
+            let merges = Secs(
+                diffs_replayed as f64 * cost.merge_one().as_f64() / cfg.recovery_shards as f64,
+            );
             cost.raw_load() + merges
         }
         StrategyKind::LowDiffPlus => match cfg.failure_kind {
-            FailureKind::Software => Secs(
-                (cost.full_bytes() / cost.hw.pcie).as_f64() + calib::REPLICA_REINIT_SECS,
-            ),
+            FailureKind::Software => {
+                Secs((cost.full_bytes() / cost.hw.pcie).as_f64() + calib::REPLICA_REINIT_SECS)
+            }
             FailureKind::Hardware => cost.raw_load(),
         },
     }
@@ -200,7 +200,8 @@ pub fn simulate_job(cost: &CostModel, cfg: &SimConfig) -> SimOutcome {
         let lost = at - back_to;
         // Restart cost grows with cluster size (process respawn + NCCL
         // re-initialization across nodes).
-        let restart = calib::RESTART_FIXED_SECS + calib::RESTART_PER_NODE_SECS * cost.nodes() as f64;
+        let restart =
+            calib::RESTART_FIXED_SECS + calib::RESTART_PER_NODE_SECS * cost.nodes() as f64;
         let restore = restore_time(cost, cfg, back_to).as_f64() + restart;
 
         // Recovery: restore, then the lost iterations are re-executed as

@@ -56,8 +56,14 @@ mod tests {
 
     #[test]
     fn single_rank_is_free() {
-        assert_eq!(ring_allreduce(ByteSize::gib(1), 1, GB, DEFAULT_ALPHA).as_f64(), 0.0);
-        assert_eq!(allgather(ByteSize::gib(1), 1, GB, DEFAULT_ALPHA).as_f64(), 0.0);
+        assert_eq!(
+            ring_allreduce(ByteSize::gib(1), 1, GB, DEFAULT_ALPHA).as_f64(),
+            0.0
+        );
+        assert_eq!(
+            allgather(ByteSize::gib(1), 1, GB, DEFAULT_ALPHA).as_f64(),
+            0.0
+        );
     }
 
     #[test]

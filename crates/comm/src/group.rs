@@ -106,12 +106,7 @@ impl WorkerCtx {
     /// ranks must use the same layer order; issuing layers from concurrent
     /// threads (the Algorithm-2 thread pool `P_g`) lifts that restriction,
     /// which is how LowDiff+ uses it.
-    pub fn allgather_sparse_layer(
-        &self,
-        layer: u64,
-        step: u64,
-        local: &SparseGrad,
-    ) -> SparseGrad {
+    pub fn allgather_sparse_layer(&self, layer: u64, step: u64, local: &SparseGrad) -> SparseGrad {
         // Tag streams are (layer+1) so they never collide with the default
         // tag 0 used by `allgather_sparse`.
         let all = self
@@ -275,8 +270,7 @@ mod tests {
                 handles.push(std::thread::spawn(move || {
                     // Stagger ranks in opposite orders to maximize overlap.
                     let layer = if rank == 0 { layer } else { 3 - layer };
-                    let local =
-                        SparseGrad::new(8, vec![layer as u32], vec![(layer + 1) as f32]);
+                    let local = SparseGrad::new(8, vec![layer as u32], vec![(layer + 1) as f32]);
                     let all = r.exchange_tagged(layer + 1, rank, 0, local);
                     (layer, SparseGrad::merge_all(8, all.iter()))
                 }));

@@ -117,9 +117,9 @@ impl<T: Clone + Send> Rendezvous<T> {
             round.result = Some(Arc::new(vals));
             inner.cond.notify_all();
         } else {
-            inner
-                .cond
-                .wait_while(&mut rounds, |r| r.get(&key).is_none_or(|r| r.result.is_none()));
+            inner.cond.wait_while(&mut rounds, |r| {
+                r.get(&key).is_none_or(|r| r.result.is_none())
+            });
         }
         let round = rounds.get_mut(&key).expect("round vanished");
         let result = Arc::clone(round.result.as_ref().expect("result missing"));

@@ -100,11 +100,7 @@ mod tests {
             let sent = ef.compress(&g).to_dense();
             for i in 0..n {
                 let acc = g[i] + prev_residual[i];
-                assert_eq!(
-                    sent[i] + ef.residual()[i],
-                    acc,
-                    "mass not conserved at {i}"
-                );
+                assert_eq!(sent[i] + ef.residual()[i], acc, "mass not conserved at {i}");
             }
             prev_residual = ef.residual().to_vec();
         }
@@ -136,6 +132,9 @@ mod tests {
                 break;
             }
         }
-        assert!(sent_small, "persistent small gradient was never transmitted");
+        assert!(
+            sent_small,
+            "persistent small gradient was never transmitted"
+        );
     }
 }

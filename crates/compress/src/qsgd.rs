@@ -47,8 +47,8 @@ impl Compressor for Qsgd {
                     let floor = ratio.floor();
                     let frac = ratio - floor;
                     // Stochastic rounding: up with probability frac.
-                    let level =
-                        (floor as u32 + u32::from((self.rng.uniform() as f32) < frac)).min(self.levels as u32) as u8;
+                    let level = (floor as u32 + u32::from((self.rng.uniform() as f32) < frac))
+                        .min(self.levels as u32) as u8;
                     let sign_bit = if x < 0.0 { 0x80 } else { 0x00 };
                     sign_bit | level
                 })

@@ -15,7 +15,10 @@ pub struct UniformQuant {
 
 impl UniformQuant {
     pub fn new(bits: u8) -> Self {
-        assert!(bits == 8 || bits == 4, "supported widths: 8, 4 (got {bits})");
+        assert!(
+            bits == 8 || bits == 4,
+            "supported widths: 8, 4 (got {bits})"
+        );
         Self { bits }
     }
 

@@ -20,10 +20,21 @@
 //!   for Adam replay (see DESIGN.md).
 
 use lowdiff_compress::{CompressedGrad, SparseGrad};
-use lowdiff_storage::codec::DiffEntry;
+use lowdiff_storage::codec::{self, DiffEntry};
 use lowdiff_storage::CheckpointStore;
 use std::io;
 use std::sync::Arc;
+
+/// A batch reduced to its storage bytes, ready for the persist stage.
+/// Retried puts reuse the same bytes — encode happens once per batch.
+pub struct EncodedBatch {
+    /// First iteration the batch advances from.
+    pub start: u64,
+    /// Last iteration the batch advances from (inclusive).
+    pub end: u64,
+    /// The `codec::encode_diff_batch` image.
+    pub bytes: Vec<u8>,
+}
 
 /// How a batch is reduced to bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -74,6 +85,19 @@ impl BatchedWriter {
         iteration: u64,
         grad: Arc<CompressedGrad>,
     ) -> io::Result<bool> {
+        self.offload(iteration, grad);
+        if self.batch_ready() {
+            self.flush(store)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Step ①+②: offload a gradient handle to the CPU buffer *without*
+    /// writing — the buffer-only half of [`push`](Self::push), used by the
+    /// engine pipeline (which owns the write decision and retry path).
+    pub fn offload(&mut self, iteration: u64, grad: Arc<CompressedGrad>) {
         // Copy out of the shared handle into CPU-owned memory, then drop
         // the handle (≙ cudaIpcCloseMemHandle + free).
         let owned: CompressedGrad = (*grad).clone();
@@ -85,22 +109,22 @@ impl BatchedWriter {
             iteration,
             grad: owned,
         });
-        if self.buffer.len() >= self.batch_size {
-            self.flush(store)?;
-            Ok(true)
-        } else {
-            Ok(false)
-        }
     }
 
-    /// Step ③: write out whatever is buffered (no-op when empty).
-    ///
-    /// On error the batch **stays buffered**: the caller decides whether to
-    /// retry (the checkpointing thread does, with backoff) or give up and
-    /// [`discard_batch`](Self::discard_batch).
-    pub fn flush(&mut self, store: &CheckpointStore) -> io::Result<()> {
+    /// A full batch is buffered and due for a write.
+    pub fn batch_ready(&self) -> bool {
+        self.buffer.len() >= self.batch_size
+    }
+
+    /// ENCODE half of step ③: reduce the buffered batch to its storage
+    /// bytes (merging first in [`BatchMode::Accumulate`]) without touching
+    /// the buffer — retries re-put the identical bytes instead of
+    /// re-encoding. `None` when nothing is buffered. The caller completes
+    /// the cycle with [`complete_write`](Self::complete_write) once the
+    /// bytes are durable.
+    pub fn encode_batch(&self) -> Option<EncodedBatch> {
         if self.buffer.is_empty() {
-            return Ok(());
+            return None;
         }
         // Build the write image without consuming the buffer.
         let merged: Option<Vec<DiffEntry>> = match self.mode {
@@ -147,11 +171,43 @@ impl BatchedWriter {
             }
         };
         let to_write: &[DiffEntry] = merged.as_deref().unwrap_or(&self.buffer);
-        let bytes = store.save_diff_batch(to_write)?;
+        // The store's consecutive-iteration invariant, enforced before
+        // encoding (pre-encoded bytes bypass `save_diff_batch`).
+        for w in to_write.windows(2) {
+            assert_eq!(
+                w[1].iteration,
+                w[0].iteration + 1,
+                "differential batch must be consecutive"
+            );
+        }
+        let (start, end) = (to_write[0].iteration, to_write.last().unwrap().iteration);
+        Some(EncodedBatch {
+            start,
+            end,
+            bytes: codec::encode_diff_batch(to_write),
+        })
+    }
+
+    /// The batch whose [`encode_batch`](Self::encode_batch) bytes became
+    /// durable: account the write and clear the buffer.
+    pub fn complete_write(&mut self, bytes: u64) {
         self.bytes_written += bytes;
         self.writes += 1;
         self.buffer.clear();
         self.cpu_resident_bytes = 0;
+    }
+
+    /// Step ③: write out whatever is buffered (no-op when empty).
+    ///
+    /// On error the batch **stays buffered**: the caller decides whether to
+    /// retry (the engine's persist stage does, with backoff) or give up and
+    /// [`discard_batch`](Self::discard_batch).
+    pub fn flush(&mut self, store: &CheckpointStore) -> io::Result<()> {
+        let Some(enc) = self.encode_batch() else {
+            return Ok(());
+        };
+        store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)?;
+        self.complete_write(enc.bytes.len() as u64);
         Ok(())
     }
 
@@ -373,8 +429,12 @@ mod tests {
     #[test]
     fn failed_flush_keeps_batch_for_retry() {
         use lowdiff_storage::{FaultConfig, FaultyBackend};
-        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
-        let st = CheckpointStore::new(Arc::clone(&faulty) as Arc<dyn lowdiff_storage::StorageBackend>);
+        let faulty = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig::default(),
+        ));
+        let st =
+            CheckpointStore::new(Arc::clone(&faulty) as Arc<dyn lowdiff_storage::StorageBackend>);
         let mut w = BatchedWriter::new(8, BatchMode::Concat);
         w.push(&st, 0, sparse(0, 1, 1.0)).unwrap();
         w.push(&st, 1, sparse(1, 2, 2.0)).unwrap();

@@ -60,6 +60,18 @@ fn open(dir: &str) -> CheckpointStore {
     }
 }
 
+/// Pull one value out of the engine's flat health JSON. The blob is
+/// written by `CheckpointEngine::export_health` — a single-level object
+/// with no string escapes — so a scan for `"key":` up to the next
+/// delimiter is exact; no JSON library needed.
+fn json_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
 fn fmt_bytes(n: usize) -> String {
     if n >= 1_000_000_000 {
         format!("{:.2} GB", n as f64 / 1e9)
@@ -157,7 +169,10 @@ fn cmd_recover(dir: &str, shards: usize, out: Option<&str>) {
         Ok(Some((state, report))) => {
             out!(
                 "recovered to iteration {} (full@{} + {} differentials, {} mode, {:?})",
-                state.iteration, report.full_iteration, report.replayed, report.mode,
+                state.iteration,
+                report.full_iteration,
+                report.replayed,
+                report.mode,
                 report.elapsed
             );
             if let Some(path) = out {
@@ -238,7 +253,47 @@ fn cmd_health(dir: &str) {
              until the next full checkpoint"
         );
     }
-    if corrupt_fulls > 0 || corrupt_diffs > 0 || stranded > 0 {
+    // Engine telemetry, when the run exported its health blob.
+    let mut saturated = false;
+    if let Ok(blob) = store.backend().get(lowdiff::engine::HEALTH_KEY) {
+        let json = String::from_utf8_lossy(&blob);
+        let f = |k: &str| json_field(&json, k).unwrap_or("?").to_string();
+        let num = |k: &str| json_field(&json, k).and_then(|v| v.parse::<u64>().ok());
+        out!(
+            "engine: strategy={} stall={}s queue {}/{} (peak {})",
+            f("strategy"),
+            f("stall_seconds"),
+            f("queue_depth"),
+            f("queue_capacity"),
+            f("queue_peak"),
+        );
+        for stage in ["snapshot", "encode", "persist"] {
+            out!(
+                "  {:<8} count={:<8} p50={}us p99={}us",
+                stage,
+                f(&format!("{stage}_count")),
+                f(&format!("{stage}_p50_us")),
+                f(&format!("{stage}_p99_us")),
+            );
+        }
+        out!(
+            "  io_errors={} io_retries={} dropped_batches={} degraded={}",
+            f("io_errors"),
+            f("io_retries"),
+            f("dropped_batches"),
+            f("degraded"),
+        );
+        if let (Some(depth), Some(cap)) = (num("queue_depth"), num("queue_capacity")) {
+            if cap > 0 && depth >= cap {
+                saturated = true;
+                out!(
+                    "SATURATED: persist queue full ({depth}/{cap}) — \
+                     training was stalling on checkpoint backpressure"
+                );
+            }
+        }
+    }
+    if corrupt_fulls > 0 || corrupt_diffs > 0 || stranded > 0 || saturated {
         exit(1);
     }
     out!("healthy");
@@ -267,7 +322,11 @@ fn main() {
                         i += 2;
                     }
                     "--out" => {
-                        out = Some(args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage()));
+                        out = Some(
+                            args.get(i + 1)
+                                .map(String::as_str)
+                                .unwrap_or_else(|| usage()),
+                        );
                         i += 2;
                     }
                     _ => usage(),

@@ -64,7 +64,10 @@ impl WastedTimeModel {
     /// second) and batching size `b` (differentials per write).
     /// Equation (3), consistent units.
     pub fn wasted_time(&self, f: f64, b: f64) -> Secs {
-        assert!(f > 0.0 && b > 0.0, "frequency and batch size must be positive");
+        assert!(
+            f > 0.0 && b > 0.0,
+            "frequency and batch size must be positive"
+        );
         let n = self.n_gpus;
         let t = self.job_time.as_f64();
         let m = self.mtbf.as_f64();
@@ -125,11 +128,7 @@ impl WastedTimeModel {
                     .collect()
             })
             .collect();
-        let min = grid
-            .iter()
-            .flatten()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min = grid.iter().flatten().copied().fold(f64::INFINITY, f64::min);
         for row in grid.iter_mut() {
             for v in row.iter_mut() {
                 *v /= min;
@@ -224,8 +223,14 @@ mod tests {
         let (fa, ba) = m.optimal_closed_form();
         let (fn_, bn) = m.optimal_numeric(81);
         // Grid resolution is ~6% per step in log space.
-        assert!((fa / fn_ - 1.0).abs() < 0.1, "f: analytic {fa} vs numeric {fn_}");
-        assert!((ba / bn - 1.0).abs() < 0.1, "b: analytic {ba} vs numeric {bn}");
+        assert!(
+            (fa / fn_ - 1.0).abs() < 0.1,
+            "f: analytic {fa} vs numeric {fn_}"
+        );
+        assert!(
+            (ba / bn - 1.0).abs() < 0.1,
+            "b: analytic {ba} vs numeric {bn}"
+        );
     }
 
     #[test]

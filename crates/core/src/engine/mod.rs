@@ -1,0 +1,463 @@
+//! [`CheckpointEngine`] — the staged snapshot → encode → persist pipeline
+//! shared by every checkpointing strategy.
+//!
+//! ```text
+//! training thread                 │ checkpointing thread (async engines)
+//! ───────────────                 │ ────────────────────
+//! SNAPSHOT: capture state /       │
+//!   clone the gradient handle     │
+//!   → submit(Job) ──bounded queue──▶ policy.process(job, ctx)
+//!                                 │   ├─ ENCODE: codec + CRC
+//!                                 │   └─ PERSIST: store writes behind the
+//!                                 │      one shared RetryPolicy; dropped
+//!                                 │      batches and forced re-anchors
+//!                                 │      handled here, once, for everyone
+//! ```
+//!
+//! Strategies are split in two:
+//!
+//! * a **policy** ([`CheckpointPolicy`]) holding the scheme's decisions —
+//!   what to capture, full vs diff, batch boundaries;
+//! * a thin **adapter** implementing [`crate::strategy::CheckpointStrategy`]
+//!   that captures state on the training thread and submits jobs.
+//!
+//! Two modes:
+//!
+//! * [`CheckpointEngine::spawn`] — a dedicated worker thread behind a
+//!   bounded job queue (LowDiff, LowDiff+, CheckFreq, Gemini). The queue
+//!   capacity *is* the pipeline depth: CheckFreq's depth-1 snapshot/persist
+//!   overlap is `queue_capacity = 1`.
+//! * [`CheckpointEngine::inline`] — no thread; jobs are processed on the
+//!   training thread (TorchSave, Naïve DC — schemes whose point is that
+//!   the write sits on the critical path).
+//!
+//! The engine produces [`crate::strategy::StrategyStats`] centrally
+//! (policies account through [`EngineCtx`]) and exports a small health
+//! blob ([`HEALTH_KEY`]) that `lowdiff-ctl health` surfaces.
+
+pub mod metrics;
+pub mod persist;
+pub mod policy;
+
+pub use metrics::{EngineCounters, EngineMetrics, LatencyHist, StageLatency};
+pub use persist::{EngineCtx, FullOpts, Tier};
+pub use policy::{CheckpointPolicy, Job, PolicyCtl};
+
+use crate::strategy::StrategyStats;
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, Select, Sender, TryRecvError, TrySendError,
+};
+use lowdiff_storage::{CheckpointStore, RetryPolicy};
+use lowdiff_util::units::Secs;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Storage key of the engine's exported health blob (deliberately outside
+/// the `full-`/`diff-` key spaces so checkpoint discovery ignores it).
+pub const HEALTH_KEY: &str = "meta-engine-health.json";
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Bounded job-queue capacity (the pipeline depth before the training
+    /// thread blocks on submit). Ignored by [`CheckpointEngine::inline`].
+    pub queue_capacity: usize,
+    /// The one retry/backoff policy every persist goes through.
+    pub retry: RetryPolicy,
+    /// Export the health blob under [`HEALTH_KEY`] on flush/shutdown.
+    pub export_health: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            export_health: true,
+        }
+    }
+}
+
+/// Result of submitting a job on the training thread.
+pub struct Submitted {
+    /// How long the training thread was blocked (capture + enqueue, or
+    /// the whole inline persist for synchronous engines).
+    pub stall: Secs,
+    /// False when the worker is gone (the run is already degraded).
+    pub delivered: bool,
+}
+
+enum WorkerMsg {
+    Flush(Sender<()>),
+    Ctl(PolicyCtl),
+}
+
+/// The staged checkpoint pipeline. One per strategy instance.
+pub struct CheckpointEngine {
+    name: &'static str,
+    store: Arc<CheckpointStore>,
+    retry: RetryPolicy,
+    shared: Arc<Mutex<StrategyStats>>,
+    metrics: Arc<EngineMetrics>,
+    force_full: Arc<AtomicBool>,
+    stall: Secs,
+    backpressure: u64,
+    export_health: bool,
+    // Async mode:
+    job_tx: Option<Sender<Job>>,
+    ctl_tx: Option<Sender<WorkerMsg>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    // Sync mode:
+    policy: Option<Box<dyn CheckpointPolicy>>,
+}
+
+impl CheckpointEngine {
+    /// Asynchronous engine: spawn a dedicated checkpointing thread behind
+    /// a bounded job queue of `cfg.queue_capacity`.
+    pub fn spawn(
+        store: Arc<CheckpointStore>,
+        policy: impl CheckpointPolicy,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
+        let name = policy.name();
+        let shared = Arc::new(Mutex::new(StrategyStats::default()));
+        let metrics = Arc::new(EngineMetrics::default());
+        metrics.set_capacity(cfg.queue_capacity as u64);
+        let force_full = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = bounded(cfg.queue_capacity);
+        let (ctl_tx, ctl_rx) = unbounded();
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let metrics = Arc::clone(&metrics);
+            let force_full = Arc::clone(&force_full);
+            let retry = cfg.retry;
+            std::thread::Builder::new()
+                .name(format!("ckpt-engine-{name}"))
+                .spawn(move || {
+                    worker_loop(
+                        Box::new(policy),
+                        job_rx,
+                        ctl_rx,
+                        retry,
+                        shared,
+                        force_full,
+                        metrics,
+                    )
+                })
+                .expect("spawn checkpointing thread")
+        };
+        Self {
+            name,
+            store,
+            retry: cfg.retry,
+            shared,
+            metrics,
+            force_full,
+            stall: Secs::ZERO,
+            backpressure: 0,
+            export_health: cfg.export_health,
+            job_tx: Some(job_tx),
+            ctl_tx: Some(ctl_tx),
+            worker: Some(worker),
+            policy: None,
+        }
+    }
+
+    /// Synchronous engine: no thread, no queue — jobs run inline on the
+    /// training thread (the strategy's stall *is* the persist cost).
+    pub fn inline(
+        store: Arc<CheckpointStore>,
+        policy: impl CheckpointPolicy,
+        cfg: EngineConfig,
+    ) -> Self {
+        Self {
+            name: policy.name(),
+            store,
+            retry: cfg.retry,
+            shared: Arc::new(Mutex::new(StrategyStats::default())),
+            metrics: Arc::new(EngineMetrics::default()),
+            force_full: Arc::new(AtomicBool::new(false)),
+            stall: Secs::ZERO,
+            backpressure: 0,
+            export_health: cfg.export_health,
+            job_tx: None,
+            ctl_tx: None,
+            worker: None,
+            policy: Some(Box::new(policy)),
+        }
+    }
+
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// Ask the policy's training-side gate (synchronous engines).
+    pub fn wants_capture(&self, iteration: u64) -> bool {
+        self.policy
+            .as_ref()
+            .is_none_or(|p| p.wants_capture(iteration))
+    }
+
+    /// Submit a job captured since `since` (the adapter's hook entry). The
+    /// elapsed time — capture + enqueue, or the whole inline persist — is
+    /// the snapshot-stage latency and the training-thread stall.
+    pub fn submit(&mut self, since: Instant, job: Job) -> Submitted {
+        let delivered = if let Some(tx) = &self.job_tx {
+            match tx.try_send(job) {
+                Ok(()) => true,
+                Err(TrySendError::Full(job)) => {
+                    // The pipeline is full: the training thread blocks
+                    // until the worker drains a slot (CheckFreq's stall
+                    // mechanism; LowDiff's backpressure, counted).
+                    self.backpressure += 1;
+                    tx.send(job).is_ok()
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        } else if let Some(policy) = &mut self.policy {
+            self.metrics.snapshot.record(since.elapsed());
+            let mut cx = EngineCtx {
+                retry: &self.retry,
+                shared: &self.shared,
+                force_full: &self.force_full,
+                metrics: &self.metrics,
+            };
+            policy.process(job, &mut cx);
+            let stall = Secs(since.elapsed().as_secs_f64());
+            self.stall += stall;
+            return Submitted {
+                stall,
+                delivered: true,
+            };
+        } else {
+            false
+        };
+        if let Some(tx) = &self.job_tx {
+            self.metrics.note_depth(tx.len() as u64);
+            self.metrics.snapshot.record(since.elapsed());
+        }
+        if !delivered {
+            // Worker gone: checkpointing stops advancing; training
+            // continues.
+            self.shared.lock().degraded = true;
+        }
+        let stall = Secs(since.elapsed().as_secs_f64());
+        self.stall += stall;
+        Submitted { stall, delivered }
+    }
+
+    /// Account training-thread time spent capturing state outside
+    /// `submit` (LowDiff+'s layer-wise staging).
+    pub fn note_stall(&mut self, since: Instant) -> Secs {
+        let d = since.elapsed();
+        self.metrics.snapshot.record(d);
+        let stall = Secs(d.as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    /// Block until all submitted work is durable (drains the queue, then
+    /// flushes the policy's partial batches).
+    pub fn flush(&mut self) -> Secs {
+        let t0 = Instant::now();
+        if let Some(tx) = &self.ctl_tx {
+            let (ack_tx, ack_rx) = unbounded();
+            let delivered = tx.send(WorkerMsg::Flush(ack_tx)).is_ok();
+            if !delivered || ack_rx.recv().is_err() {
+                self.shared.lock().degraded = true;
+            }
+        } else if let Some(policy) = &mut self.policy {
+            let mut cx = EngineCtx {
+                retry: &self.retry,
+                shared: &self.shared,
+                force_full: &self.force_full,
+                metrics: &self.metrics,
+            };
+            policy.flush(&mut cx);
+        }
+        self.export_health();
+        let stall = Secs(t0.elapsed().as_secs_f64());
+        self.stall += stall;
+        stall
+    }
+
+    /// Deliver a runtime reconfiguration to the policy.
+    pub fn control(&mut self, ctl: PolicyCtl) {
+        if let Some(tx) = &self.ctl_tx {
+            if tx.send(WorkerMsg::Ctl(ctl)).is_err() {
+                self.shared.lock().degraded = true;
+            }
+        } else if let Some(policy) = &mut self.policy {
+            let mut cx = EngineCtx {
+                retry: &self.retry,
+                shared: &self.shared,
+                force_full: &self.force_full,
+                metrics: &self.metrics,
+            };
+            policy.control(ctl, &mut cx);
+        }
+    }
+
+    /// Consume a pending forced-full request (set by the persist stage
+    /// after it dropped a batch).
+    pub fn take_reanchor(&self) -> bool {
+        self.force_full.swap(false, Ordering::SeqCst)
+    }
+
+    /// Re-arm the forced-full request (the adapter failed to act on it).
+    pub fn request_reanchor(&self) {
+        self.force_full.store(true, Ordering::SeqCst)
+    }
+
+    /// Mutate the shared stats from the adapter (e.g. `forced_fulls`).
+    pub fn with_stats<R>(&self, f: impl FnOnce(&mut StrategyStats) -> R) -> R {
+        f(&mut self.shared.lock())
+    }
+
+    /// Times the training thread hit a full pipeline on submit.
+    pub fn backpressure_events(&self) -> u64 {
+        self.backpressure
+    }
+
+    /// Current stats snapshot, engine counters included.
+    pub fn stats(&self) -> StrategyStats {
+        let mut s = self.shared.lock().clone();
+        s.stall = self.stall;
+        let mut eng = self.metrics.counters();
+        if let Some(tx) = &self.job_tx {
+            eng.queue_depth = tx.len() as u64;
+        }
+        s.engine = eng;
+        s
+    }
+
+    /// Best-effort export of the health blob ([`HEALTH_KEY`]) for
+    /// `lowdiff-ctl health`. Never counted in stats; failures ignored
+    /// (health reporting must not create health problems).
+    fn export_health(&self) {
+        if !self.export_health {
+            return;
+        }
+        let s = self.stats();
+        let e = &s.engine;
+        let us = |sec: Secs| sec.as_f64() * 1e6;
+        let json = format!(
+            concat!(
+                "{{\"strategy\":\"{}\",\"stall_seconds\":{:.9},",
+                "\"queue_depth\":{},\"queue_peak\":{},\"queue_capacity\":{},",
+                "\"snapshot_count\":{},\"snapshot_p50_us\":{:.3},\"snapshot_p99_us\":{:.3},",
+                "\"encode_count\":{},\"encode_p50_us\":{:.3},\"encode_p99_us\":{:.3},",
+                "\"persist_count\":{},\"persist_p50_us\":{:.3},\"persist_p99_us\":{:.3},",
+                "\"io_errors\":{},\"io_retries\":{},\"dropped_batches\":{},\"degraded\":{}}}"
+            ),
+            self.name,
+            s.stall.as_f64(),
+            e.queue_depth,
+            e.queue_peak,
+            e.queue_capacity,
+            e.snapshot.count,
+            us(e.snapshot.p50),
+            us(e.snapshot.p99),
+            e.encode.count,
+            us(e.encode.p50),
+            us(e.encode.p99),
+            e.persist.count,
+            us(e.persist.p50),
+            us(e.persist.p99),
+            s.io_errors,
+            s.io_retries,
+            s.dropped_batches,
+            s.degraded,
+        );
+        let _ = self.store.backend().put(HEALTH_KEY, json.as_bytes());
+    }
+}
+
+impl Drop for CheckpointEngine {
+    fn drop(&mut self) {
+        // Close both channels so the worker drains its queues and exits
+        // (its shutdown path flushes the policy), then join it.
+        self.job_tx.take();
+        self.ctl_tx.take();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        self.export_health();
+    }
+}
+
+/// The checkpointing thread: a blocking two-way `Select` over the job
+/// queue and the control channel — no polling. Jobs flow strictly FIFO, so
+/// a full submitted before a diff is persisted before it.
+fn worker_loop(
+    mut policy: Box<dyn CheckpointPolicy>,
+    job_rx: Receiver<Job>,
+    ctl_rx: Receiver<WorkerMsg>,
+    retry: RetryPolicy,
+    shared: Arc<Mutex<StrategyStats>>,
+    force_full: Arc<AtomicBool>,
+    metrics: Arc<EngineMetrics>,
+) {
+    let mut cx = EngineCtx {
+        retry: &retry,
+        shared: &shared,
+        force_full: &force_full,
+        metrics: &metrics,
+    };
+    let mut job_open = true;
+    let mut ctl_open = true;
+    while job_open || ctl_open {
+        metrics.note_depth(job_rx.len() as u64);
+        // Block until a job or a control message is ready (or a side
+        // disconnects). Readiness means try-receive won't block; an empty
+        // grab just re-enters the select.
+        let mut sel = Select::new();
+        let job_idx = if job_open {
+            sel.recv(&job_rx)
+        } else {
+            usize::MAX
+        };
+        let ctl_idx = if ctl_open {
+            sel.recv(&ctl_rx)
+        } else {
+            usize::MAX
+        };
+        let ready = sel.ready();
+        drop(sel);
+
+        if ready == job_idx {
+            match job_rx.try_recv() {
+                Ok(job) => policy.process(job, &mut cx),
+                Err(TryRecvError::Empty) => {} // raced; re-select
+                Err(TryRecvError::Disconnected) => job_open = false,
+            }
+            continue;
+        }
+        if ready != ctl_idx {
+            continue;
+        }
+        match ctl_rx.try_recv() {
+            Ok(WorkerMsg::Flush(ack)) => {
+                // Drain queued jobs first so the flush covers everything
+                // submitted before it, then flush the policy's buffers.
+                while let Ok(job) = job_rx.try_recv() {
+                    policy.process(job, &mut cx);
+                }
+                policy.flush(&mut cx);
+                let _ = ack.send(());
+            }
+            Ok(WorkerMsg::Ctl(c)) => policy.control(c, &mut cx),
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => ctl_open = false,
+        }
+    }
+    // Shutdown: both channels closed. Drain what's left, then flush.
+    while let Ok(job) = job_rx.try_recv() {
+        policy.process(job, &mut cx);
+    }
+    policy.flush(&mut cx);
+    metrics.note_depth(0);
+}

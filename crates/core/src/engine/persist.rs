@@ -1,0 +1,231 @@
+//! The persist stage: **the** retry/backoff, degraded-mode and forced
+//! re-anchor implementation for every checkpoint write in the system.
+//!
+//! Before the engine existed each strategy hand-rolled this wiring (PR 1
+//! patched retry logic into six files); now policies receive an
+//! [`EngineCtx`] and call one of the `persist_*` helpers, which own:
+//!
+//! * bounded exponential backoff via [`lowdiff_storage::with_retry`],
+//! * health accounting into the shared [`StrategyStats`]
+//!   (`io_retries`/`io_errors`/`dropped_*`/`degraded`),
+//! * the exactly-once `dropped_batches` increment when retries exhaust,
+//! * the forced-full re-anchor request after dropped differential data,
+//! * encode/persist stage latency recording.
+
+use super::metrics::EngineMetrics;
+use crate::batched::BatchedWriter;
+use crate::strategy::StrategyStats;
+use lowdiff_optim::ModelState;
+use lowdiff_storage::codec::{self, DiffEntry};
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Which storage tier a full checkpoint lands in — decides how the write
+/// is accounted (Gemini's memory-tier fulls count as `diff_checkpoints`,
+/// matching the paper's "in-memory checkpoint" framing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Durable storage: counts as `full_checkpoints` + `writes`.
+    Durable,
+    /// A fast in-memory tier: counts as `diff_checkpoints`, no `writes`.
+    Memory,
+}
+
+/// Per-write options for [`EngineCtx::persist_full`].
+#[derive(Clone, Copy, Debug)]
+pub struct FullOpts {
+    pub tier: Tier,
+    /// On failure, request an early full so the chain gets re-anchored
+    /// (LowDiff semantics). Strategies whose recovery simply falls back to
+    /// the previous full (CheckFreq, TorchSave, …) leave this off.
+    pub reanchor_on_failure: bool,
+    /// Keep only the newest `k` fulls after a successful write (older
+    /// fulls and their differential chains are garbage-collected).
+    pub keep_fulls: Option<u64>,
+}
+
+impl FullOpts {
+    /// Durable write, skip-on-failure, no GC — the common baseline case.
+    pub fn durable() -> Self {
+        Self {
+            tier: Tier::Durable,
+            reanchor_on_failure: false,
+            keep_fulls: None,
+        }
+    }
+}
+
+/// The engine-owned context a [`super::CheckpointPolicy`] runs against.
+pub struct EngineCtx<'a> {
+    pub(super) retry: &'a RetryPolicy,
+    pub(super) shared: &'a Mutex<StrategyStats>,
+    pub(super) force_full: &'a AtomicBool,
+    pub(super) metrics: &'a EngineMetrics,
+}
+
+impl EngineCtx<'_> {
+    /// Mutate the shared stats under the lock.
+    pub fn with_stats<R>(&self, f: impl FnOnce(&mut StrategyStats) -> R) -> R {
+        f(&mut self.shared.lock())
+    }
+
+    /// Ask the training side to schedule an early full checkpoint.
+    pub fn request_reanchor(&self) {
+        self.force_full.store(true, Ordering::SeqCst);
+    }
+
+    /// Encode and persist a full checkpoint of `state` to `store`.
+    /// Returns whether the write landed.
+    pub fn persist_full(
+        &mut self,
+        store: &CheckpointStore,
+        state: &ModelState,
+        opts: &FullOpts,
+    ) -> bool {
+        let t0 = Instant::now();
+        let bytes = codec::encode_model_state(state);
+        self.metrics.encode.record(t0.elapsed());
+        let t1 = Instant::now();
+        let r = with_retry(self.retry, || store.put_full(state.iteration, &bytes));
+        self.metrics.persist.record(t1.elapsed());
+        let ok = r.result.is_ok();
+        {
+            let mut s = self.shared.lock();
+            s.io_retries += r.retries as u64;
+            if ok {
+                match opts.tier {
+                    Tier::Durable => {
+                        s.full_checkpoints += 1;
+                        s.writes += 1;
+                    }
+                    Tier::Memory => s.diff_checkpoints += 1,
+                }
+                s.bytes_written += state.payload_bytes() as u64;
+            } else {
+                // The checkpoint is skipped, never retried in place:
+                // recovery falls back to the previous full (and, when
+                // `reanchor_on_failure` is set, an early full is forced so
+                // the recovery window stays bounded).
+                s.io_errors += 1;
+                s.degraded = true;
+            }
+        }
+        if ok {
+            if let Some(keep) = opts.keep_fulls {
+                self.gc_keep(store, keep);
+            }
+        } else if opts.reanchor_on_failure {
+            self.request_reanchor();
+        }
+        ok
+    }
+
+    /// Encode and persist the writer's buffered differential batch. On
+    /// retry exhaustion the batch is dropped — `dropped_batches` counts
+    /// exactly once per discarded batch — the run degrades, and a
+    /// re-anchoring full checkpoint is requested. Returns whether the
+    /// batch landed (an empty buffer trivially "lands").
+    pub fn persist_batch(&mut self, store: &CheckpointStore, writer: &mut BatchedWriter) -> bool {
+        let t0 = Instant::now();
+        let Some(enc) = writer.encode_batch() else {
+            return true;
+        };
+        self.metrics.encode.record(t0.elapsed());
+        let t1 = Instant::now();
+        let r = with_retry(self.retry, || {
+            store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)
+        });
+        self.metrics.persist.record(t1.elapsed());
+        let mut s = self.shared.lock();
+        s.io_retries += r.retries as u64;
+        if r.result.is_ok() {
+            writer.complete_write(enc.bytes.len() as u64);
+            s.writes += 1;
+            s.bytes_written += enc.bytes.len() as u64;
+            true
+        } else {
+            // Retries exhausted: give the batch up. The gap this leaves in
+            // the differential chain is exactly what recovery already
+            // bounds (`diff_chain_from` stops at the gap); the forced full
+            // re-anchors the chain so later diffs become useful again.
+            // Training was never blocked.
+            s.io_errors += 1;
+            s.dropped_diffs += writer.discard_batch();
+            s.dropped_batches += 1;
+            s.degraded = true;
+            drop(s);
+            self.request_reanchor();
+            false
+        }
+    }
+
+    /// Encode and persist standalone differential entries (no writer
+    /// buffering — the Naïve-DC synchronous path). Accounting matches the
+    /// batch path: a failed write drops the entries and counts one
+    /// `dropped_batches`; the *caller* decides how to re-anchor (Naïve DC
+    /// tracks its base validity itself).
+    pub fn persist_diff_entries(&mut self, store: &CheckpointStore, entries: &[DiffEntry]) -> bool {
+        let t0 = Instant::now();
+        let bytes = codec::encode_diff_batch(entries);
+        self.metrics.encode.record(t0.elapsed());
+        let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
+        let t1 = Instant::now();
+        let r = with_retry(self.retry, || {
+            store.put_diff_batch_bytes(start, end, &bytes)
+        });
+        self.metrics.persist.record(t1.elapsed());
+        let mut s = self.shared.lock();
+        s.io_retries += r.retries as u64;
+        if r.result.is_ok() {
+            s.diff_checkpoints += entries.len() as u64;
+            s.writes += 1;
+            s.bytes_written += entries
+                .iter()
+                .map(|e| e.grad.payload_bytes() as u64)
+                .sum::<u64>();
+            true
+        } else {
+            s.io_errors += 1;
+            s.dropped_diffs += entries.len() as u64;
+            s.dropped_batches += 1;
+            s.degraded = true;
+            false
+        }
+    }
+
+    /// Persist an opaque blob under `key` (Naïve DC's dense moments).
+    /// Failure degrades but drops nothing from the differential chain.
+    pub fn persist_blob(&mut self, store: &CheckpointStore, key: &str, bytes: &[u8]) -> bool {
+        let t1 = Instant::now();
+        let r = with_retry(self.retry, || store.backend().put(key, bytes));
+        self.metrics.persist.record(t1.elapsed());
+        let mut s = self.shared.lock();
+        s.io_retries += r.retries as u64;
+        if r.result.is_ok() {
+            s.writes += 1;
+            s.bytes_written += bytes.len() as u64;
+            true
+        } else {
+            s.io_errors += 1;
+            s.degraded = true;
+            false
+        }
+    }
+
+    /// Keep only the newest `keep` full checkpoints. GC failures are not
+    /// data loss — count and move on.
+    fn gc_keep(&self, store: &CheckpointStore, keep: u64) {
+        match store.full_iterations() {
+            Ok(fulls) if fulls.len() as u64 > keep => {
+                let cutoff = fulls[fulls.len() - keep as usize];
+                if store.gc_before(cutoff).is_err() {
+                    self.shared.lock().io_errors += 1;
+                }
+            }
+            Ok(_) => {}
+            Err(_) => self.shared.lock().io_errors += 1,
+        }
+    }
+}

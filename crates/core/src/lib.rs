@@ -20,6 +20,7 @@
 
 pub mod batched;
 pub mod config;
+pub mod engine;
 pub mod lowdiff;
 pub mod lowdiff_plus;
 pub mod pipeline;
@@ -30,6 +31,10 @@ pub mod trainer;
 
 pub use batched::{BatchMode, BatchedWriter};
 pub use config::{ConfigOptimizer, WastedTimeModel};
+pub use engine::{
+    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCounters, EngineCtx, FullOpts, Job,
+    PolicyCtl, StageLatency, Tier,
+};
 pub use lowdiff::{LowDiffConfig, LowDiffStrategy};
 pub use lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 pub use queue::ReusingQueue;

@@ -4,27 +4,31 @@
 //! Wiring (one instance per worker; mirrors the architecture figure):
 //!
 //! ```text
-//! training thread                      checkpointing thread
-//! ───────────────                      ────────────────────
-//! sync'd Ĝ_t ──ReusingQueue(zero-copy)──▶ offload → BatchedWriter → C^B → store
-//! M_t (every FCF iters) ──snapshot chan──▶ save_full → C^F → store (+ GC)
+//! training thread                      checkpointing thread (CheckpointEngine)
+//! ───────────────                      ───────────────────────────────────────
+//! sync'd Ĝ_t ──Job::Diff(zero-copy)──▶ offload → BatchedWriter → C^B → store
+//! M_t (every FCF iters) ──Job::Full──▶ persist_full → C^F → store (+ GC)
 //! ```
 //!
+//! The strategy is a thin adapter over [`crate::engine::CheckpointEngine`]:
+//! all scheme decisions (batch boundaries, full-checkpoint cadence, GC
+//! depth) live in [`LowDiffPolicy`]; all mechanism (bounded queue, worker
+//! thread, retry/backoff, degraded mode, stats) lives in the engine.
+//!
 //! The training thread never waits for storage: its only costs are the
-//! `Arc` clone into the queue (pointer-sized; backpressure only if the
+//! `Arc` clone into the job queue (pointer-sized; backpressure only if the
 //! checkpointer lags by more than the queue capacity) and, every FCF
 //! iterations, one in-memory snapshot of the model state.
 
 use crate::batched::{BatchMode, BatchedWriter};
-use crate::queue::{Consumer, Producer, ReusingQueue};
+use crate::engine::{
+    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, PolicyCtl, Tier,
+};
 use crate::strategy::{CheckpointStrategy, StrategyStats};
-use crossbeam::channel::{unbounded, Receiver, Select, Sender, TryRecvError};
 use lowdiff_compress::CompressedGrad;
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,7 +42,7 @@ pub struct LowDiffConfig {
     pub batch_size: usize,
     /// Concat (exact) vs Accumulate (merged) batching.
     pub mode: BatchMode,
-    /// Reusing-queue capacity before backpressure.
+    /// Job-queue capacity before backpressure.
     pub queue_capacity: usize,
     /// If set, keep only the newest `k` full checkpoints (older fulls and
     /// their differential chains are garbage-collected).
@@ -62,58 +66,88 @@ impl Default for LowDiffConfig {
     }
 }
 
-enum Ctl {
-    Full(Box<ModelState>),
-    Flush(Sender<()>),
-    /// Runtime retuning from the ConfigOptimizer: flush the current batch
-    /// and continue with a new batching size.
-    SetBatchSize(usize),
+/// The scheme half of LowDiff: batches differentials, persists fulls with
+/// re-anchor-on-failure semantics, garbage-collects old fulls. Runs on the
+/// engine's checkpointing thread; every write goes through [`EngineCtx`].
+struct LowDiffPolicy {
+    store: Arc<CheckpointStore>,
+    writer: BatchedWriter,
+    keep_fulls: Option<u64>,
+}
+
+impl CheckpointPolicy for LowDiffPolicy {
+    fn name(&self) -> &'static str {
+        "lowdiff"
+    }
+
+    fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
+        match job {
+            // Differential gradients (Q.get, Algorithm 1 line 11):
+            Job::Diff { iteration, grad } => {
+                self.writer.offload(iteration, grad);
+                cx.with_stats(|s| s.diff_checkpoints += 1);
+                if self.writer.batch_ready() {
+                    cx.persist_batch(&self.store, &mut self.writer);
+                }
+            }
+            Job::Full(state) => {
+                let opts = FullOpts {
+                    tier: Tier::Durable,
+                    // A full that never lands must be re-attempted soon:
+                    // without it, a previously dropped batch would leave
+                    // the recovery window unbounded.
+                    reanchor_on_failure: true,
+                    keep_fulls: self.keep_fulls,
+                };
+                cx.persist_full(&self.store, &state, &opts);
+            }
+            Job::Dense { .. } => debug_assert!(false, "lowdiff submits compressed gradients"),
+        }
+    }
+
+    fn flush(&mut self, cx: &mut EngineCtx<'_>) {
+        cx.persist_batch(&self.store, &mut self.writer);
+    }
+
+    fn control(&mut self, ctl: PolicyCtl, cx: &mut EngineCtx<'_>) {
+        let PolicyCtl::SetBatchSize(bs) = ctl;
+        // Complete the in-flight batch at the old size, then switch:
+        // differential chains stay consecutive.
+        cx.persist_batch(&self.store, &mut self.writer);
+        let mode = self.writer.mode();
+        let done = std::mem::replace(&mut self.writer, BatchedWriter::new(bs, mode));
+        self.writer.inherit_counters(&done);
+    }
 }
 
 /// The LowDiff checkpointing strategy (paper's core contribution).
 pub struct LowDiffStrategy {
     cfg: LowDiffConfig,
     optimizer: Option<crate::config::ConfigOptimizer>,
-    producer: Option<Producer<CompressedGrad>>,
-    ctl_tx: Option<Sender<Ctl>>,
-    worker: Option<std::thread::JoinHandle<()>>,
-    shared: Arc<Mutex<StrategyStats>>,
-    /// Set by the checkpointing thread after it drops a differential batch
-    /// (retries exhausted); the next `after_update` schedules an early full
-    /// checkpoint to re-anchor the chain past the gap.
-    force_full: Arc<AtomicBool>,
-    stall: Secs,
-    store: Arc<CheckpointStore>,
+    engine: CheckpointEngine,
 }
 
 impl LowDiffStrategy {
     pub fn new(store: Arc<CheckpointStore>, cfg: LowDiffConfig) -> Self {
         assert!(cfg.full_every >= 1 && cfg.batch_size >= 1);
-        let queue = ReusingQueue::new(cfg.queue_capacity);
-        let (producer, consumer) = queue.split();
-        let (ctl_tx, ctl_rx) = unbounded();
-        let shared = Arc::new(Mutex::new(StrategyStats::default()));
-        let force_full = Arc::new(AtomicBool::new(false));
-        let worker = {
-            let store = Arc::clone(&store);
-            let shared = Arc::clone(&shared);
-            let force_full = Arc::clone(&force_full);
-            let cfg = cfg.clone();
-            std::thread::Builder::new()
-                .name("lowdiff-ckpt".into())
-                .spawn(move || checkpoint_loop(store, consumer, ctl_rx, cfg, shared, force_full))
-                .expect("spawn checkpointing thread")
+        let policy = LowDiffPolicy {
+            store: Arc::clone(&store),
+            writer: BatchedWriter::new(cfg.batch_size, cfg.mode),
+            keep_fulls: cfg.keep_fulls,
         };
+        let engine = CheckpointEngine::spawn(
+            store,
+            policy,
+            EngineConfig {
+                queue_capacity: cfg.queue_capacity,
+                retry: cfg.retry,
+                ..EngineConfig::default()
+            },
+        );
         Self {
             cfg,
             optimizer: None,
-            producer: Some(producer),
-            ctl_tx: Some(ctl_tx),
-            worker: Some(worker),
-            shared,
-            force_full,
-            stall: Secs::ZERO,
-            store,
+            engine,
         }
     }
 
@@ -123,14 +157,18 @@ impl LowDiffStrategy {
     /// using stepwise adjustments").
     pub fn with_optimizer(mut self, optimizer: crate::config::ConfigOptimizer) -> Self {
         self.cfg.full_every = optimizer.fcf_iters;
-        self.cfg.batch_size = optimizer.batch_size as usize;
-        let _ = self
-            .ctl_tx
-            .as_ref()
-            .expect("just constructed")
-            .send(Ctl::SetBatchSize(self.cfg.batch_size));
+        self.set_batch_size(optimizer.batch_size as usize);
         self.optimizer = Some(optimizer);
         self
+    }
+
+    /// Retune the batching size at runtime: the policy completes its
+    /// in-flight batch at the old size, then switches (differential chains
+    /// stay consecutive).
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        assert!(batch_size >= 1);
+        self.cfg.batch_size = batch_size;
+        self.engine.control(PolicyCtl::SetBatchSize(batch_size));
     }
 
     /// Feed fresh runtime estimates to the attached optimizer; applies the
@@ -147,14 +185,7 @@ impl LowDiffStrategy {
             self.cfg.full_every = fcf;
         }
         if bs as usize != self.cfg.batch_size {
-            self.cfg.batch_size = bs as usize;
-            let sent = self
-                .ctl_tx
-                .as_ref()
-                .map(|tx| tx.send(Ctl::SetBatchSize(bs as usize)).is_ok());
-            if sent != Some(true) {
-                self.shared.lock().degraded = true;
-            }
+            self.set_batch_size(bs as usize);
         }
         Some((fcf, bs))
     }
@@ -164,187 +195,13 @@ impl LowDiffStrategy {
     }
 
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.engine.store()
     }
 
     /// Times the training thread hit queue backpressure.
     pub fn backpressure_events(&self) -> u64 {
-        self.producer.as_ref().map_or(0, |p| p.backpressure_events())
+        self.engine.backpressure_events()
     }
-}
-
-/// Worker-local health counters, mirrored into the shared
-/// [`StrategyStats`] on every publish.
-#[derive(Default)]
-struct WorkerHealth {
-    io_errors: u64,
-    io_retries: u64,
-    dropped_diffs: u64,
-    dropped_batches: u64,
-    degraded: bool,
-}
-
-/// Retry the writer's pending batch with backoff; on exhaustion drop it and
-/// request a re-anchoring full checkpoint. `already_failed` counts the
-/// attempt that brought us here as a retry.
-fn heal_or_drop(
-    writer: &mut BatchedWriter,
-    store: &CheckpointStore,
-    policy: &RetryPolicy,
-    health: &mut WorkerHealth,
-    force_full: &AtomicBool,
-    already_failed: bool,
-) {
-    let r = with_retry(policy, || writer.flush(store));
-    health.io_retries += r.retries as u64 + u64::from(already_failed);
-    if r.result.is_err() {
-        // Retries exhausted: give the batch up. The gap this leaves in the
-        // differential chain is exactly what recovery already bounds
-        // (`diff_chain_from` stops at the gap); forcing an early full
-        // checkpoint re-anchors the chain so later diffs become useful
-        // again. Training was never blocked.
-        health.io_errors += 1;
-        health.dropped_diffs += writer.discard_batch();
-        health.dropped_batches += 1;
-        health.degraded = true;
-        force_full.store(true, Ordering::SeqCst);
-    }
-}
-
-/// The checkpointing process (Algorithm 1 lines 10–15).
-///
-/// Blocks on a two-way `Select` over the reusing queue and the control
-/// channel — no polling. Every storage write retries with bounded
-/// exponential backoff; a write that still fails degrades the run (batch
-/// dropped, early full forced) instead of panicking: checkpoint I/O errors
-/// never abort training.
-fn checkpoint_loop(
-    store: Arc<CheckpointStore>,
-    consumer: Consumer<CompressedGrad>,
-    ctl_rx: Receiver<Ctl>,
-    cfg: LowDiffConfig,
-    shared: Arc<Mutex<StrategyStats>>,
-    force_full: Arc<AtomicBool>,
-) {
-    let mut writer = BatchedWriter::new(cfg.batch_size, cfg.mode);
-    let mut full_count = 0u64;
-    let mut full_bytes = 0u64;
-    let mut health = WorkerHealth::default();
-    let mut diff_open = true;
-    let mut ctl_open = true;
-    let retry = cfg.retry;
-
-    let publish =
-        |writer: &BatchedWriter, full_count: u64, full_bytes: u64, health: &WorkerHealth| {
-            let mut s = shared.lock();
-            s.diff_checkpoints = writer.diffs_in();
-            s.full_checkpoints = full_count;
-            s.writes = writer.writes() + full_count;
-            s.bytes_written = writer.bytes_written() + full_bytes;
-            s.io_errors = health.io_errors;
-            s.io_retries = health.io_retries;
-            s.dropped_diffs = health.dropped_diffs;
-            s.dropped_batches = health.dropped_batches;
-            s.degraded |= health.degraded;
-        };
-
-    // Push one differential; a failed auto-flush enters the retry path.
-    let push_diff = |writer: &mut BatchedWriter,
-                     health: &mut WorkerHealth,
-                     iteration: u64,
-                     handle: Arc<CompressedGrad>| {
-        if writer.push(&store, iteration, handle).is_err() {
-            heal_or_drop(writer, &store, &retry, health, &force_full, true);
-        }
-    };
-
-    while diff_open || ctl_open {
-        // Block until a gradient or a control message is ready (or a side
-        // disconnects). Readiness means try-receive won't block; an empty
-        // grab just re-enters the select.
-        let mut sel = Select::new();
-        let diff_idx = if diff_open {
-            sel.recv(consumer.receiver())
-        } else {
-            usize::MAX
-        };
-        let ctl_idx = if ctl_open { sel.recv(&ctl_rx) } else { usize::MAX };
-        let ready = sel.ready();
-        drop(sel);
-
-        if ready == diff_idx {
-            // Differential gradients (Q.get, line 11):
-            match consumer.get_timeout(std::time::Duration::ZERO) {
-                Ok(Some(tagged)) => {
-                    push_diff(&mut writer, &mut health, tagged.iteration, tagged.handle);
-                    publish(&writer, full_count, full_bytes, &health);
-                }
-                Ok(None) => {} // raced with no message; re-select
-                Err(()) => diff_open = false,
-            }
-            continue;
-        }
-        if ready != ctl_idx {
-            continue;
-        }
-        // Control messages (full checkpoints / retune / flush):
-        match ctl_rx.try_recv() {
-            Ok(Ctl::Full(state)) => {
-                let r = with_retry(&retry, || store.save_full(&state));
-                health.io_retries += r.retries as u64;
-                if r.result.is_ok() {
-                    full_count += 1;
-                    full_bytes += state.payload_bytes() as u64;
-                    if let Some(keep) = cfg.keep_fulls {
-                        // GC failures are not data loss — count and move on.
-                        match store.full_iterations() {
-                            Ok(fulls) if fulls.len() as u64 > keep => {
-                                let cutoff = fulls[fulls.len() - keep as usize];
-                                if store.gc_before(cutoff).is_err() {
-                                    health.io_errors += 1;
-                                }
-                            }
-                            Ok(_) => {}
-                            Err(_) => health.io_errors += 1,
-                        }
-                    }
-                } else {
-                    // A full that never lands must be re-attempted soon:
-                    // without it, a previously dropped batch would leave
-                    // the recovery window unbounded.
-                    health.io_errors += 1;
-                    health.degraded = true;
-                    force_full.store(true, Ordering::SeqCst);
-                }
-                publish(&writer, full_count, full_bytes, &health);
-            }
-            Ok(Ctl::SetBatchSize(bs)) => {
-                // Complete the in-flight batch at the old size, then
-                // switch: differential chains stay consecutive.
-                heal_or_drop(&mut writer, &store, &retry, &mut health, &force_full, false);
-                let mode = writer.mode();
-                let done = writer;
-                writer = BatchedWriter::new(bs, mode);
-                writer.inherit_counters(&done);
-                publish(&writer, full_count, full_bytes, &health);
-            }
-            Ok(Ctl::Flush(ack)) => {
-                // Drain any queued diffs, then persist the partial batch.
-                while let Ok(Some(tagged)) =
-                    consumer.get_timeout(std::time::Duration::ZERO)
-                {
-                    push_diff(&mut writer, &mut health, tagged.iteration, tagged.handle);
-                }
-                heal_or_drop(&mut writer, &store, &retry, &mut health, &force_full, false);
-                publish(&writer, full_count, full_bytes, &health);
-                let _ = ack.send(());
-            }
-            Err(TryRecvError::Empty) => {} // raced; re-select
-            Err(TryRecvError::Disconnected) => ctl_open = false,
-        }
-    }
-    heal_or_drop(&mut writer, &store, &retry, &mut health, &force_full, false);
-    publish(&writer, full_count, full_bytes, &health);
 }
 
 impl CheckpointStrategy for LowDiffStrategy {
@@ -356,83 +213,46 @@ impl CheckpointStrategy for LowDiffStrategy {
         let t0 = Instant::now();
         // Zero-copy reuse: clone the handle, not the payload (Q.put). A
         // dead checkpointing thread degrades the run; training continues.
-        let delivered = self
-            .producer
-            .as_ref()
-            .is_some_and(|p| p.put(iteration, Arc::clone(grad)).is_ok());
-        if !delivered {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine
+            .submit(
+                t0,
+                Job::Diff {
+                    iteration,
+                    grad: Arc::clone(grad),
+                },
+            )
+            .stall
     }
 
     fn after_update(&mut self, state: &ModelState) -> Secs {
         let scheduled = state.iteration.is_multiple_of(self.cfg.full_every);
         // A dropped differential batch forces an early full checkpoint:
         // the full re-anchors the chain past the gap.
-        let forced = self.force_full.swap(false, Ordering::SeqCst);
+        let forced = self.engine.take_reanchor();
         if !scheduled && !forced {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
         // Snapshot: the in-memory copy is the only blocking cost; the
         // write happens on the checkpointing thread.
-        let snapshot = Box::new(state.clone());
-        let delivered = self
-            .ctl_tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Ctl::Full(snapshot)).is_ok());
-        let mut s = self.shared.lock();
-        if delivered {
+        let sub = self.engine.submit(t0, Job::Full(Box::new(state.clone())));
+        if sub.delivered {
             if forced {
-                s.forced_fulls += 1;
+                self.engine.with_stats(|s| s.forced_fulls += 1);
             }
-        } else {
-            s.degraded = true;
-            if forced {
-                // Nobody will write the re-anchor; keep the request alive.
-                self.force_full.store(true, Ordering::SeqCst);
-            }
+        } else if forced {
+            // Nobody will write the re-anchor; keep the request alive.
+            self.engine.request_reanchor();
         }
-        drop(s);
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        sub.stall
     }
 
     fn flush(&mut self) -> Secs {
-        let t0 = Instant::now();
-        let (ack_tx, ack_rx) = unbounded();
-        let delivered = self
-            .ctl_tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Ctl::Flush(ack_tx)).is_ok());
-        if !delivered || ack_rx.recv().is_err() {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine.flush()
     }
 
     fn stats(&self) -> StrategyStats {
-        let mut s = self.shared.lock().clone();
-        s.stall = self.stall;
-        s
-    }
-}
-
-impl Drop for LowDiffStrategy {
-    fn drop(&mut self) {
-        // Close both channels so the worker drains its queues and exits,
-        // then join it (the worker's shutdown path flushes the writer).
-        self.producer.take();
-        self.ctl_tx.take();
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+        self.engine.stats()
     }
 }
 
@@ -594,8 +414,7 @@ mod tests {
             iter_time: Secs(0.12),
         };
         let opt = ConfigOptimizer::new(model, 4, 1);
-        let mut strat = LowDiffStrategy::new(st, LowDiffConfig::default())
-            .with_optimizer(opt);
+        let mut strat = LowDiffStrategy::new(st, LowDiffConfig::default()).with_optimizer(opt);
         // Feed the same estimates repeatedly; the config must converge to
         // the Eq.-(5) target (20, 2) through damped steps.
         let mut last = (0, 0);
@@ -620,10 +439,14 @@ mod tests {
         let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
         let mut strat = LowDiffStrategy::new(
             Arc::clone(&st),
-            LowDiffConfig { full_every: 1000, batch_size: 2, ..LowDiffConfig::default() },
+            LowDiffConfig {
+                full_every: 1000,
+                batch_size: 2,
+                ..LowDiffConfig::default()
+            },
         );
         strat.after_update(&state); // base full at 0
-        // 6 diffs at BS=2 -> 3 writes.
+                                    // 6 diffs at BS=2 -> 3 writes.
         for _ in 0..6 {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
             let cg = Arc::new(comp.compress(&g));
@@ -633,16 +456,10 @@ mod tests {
         strat.flush();
         let before = st.diff_keys().unwrap().len();
         assert_eq!(before, 3);
-        // Manually retune to BS=3 via the control path; the follow-up
-        // flush (FIFO on the control channel) guarantees the new size is
-        // in effect before more diffs arrive.
-        strat.cfg.batch_size = 3;
-        strat
-            .ctl_tx
-            .as_ref()
-            .unwrap()
-            .send(Ctl::SetBatchSize(3))
-            .unwrap();
+        // Retune to BS=3 via the public control path; the follow-up flush
+        // (FIFO on the control channel) guarantees the new size is in
+        // effect before more diffs arrive.
+        strat.set_batch_size(3);
         strat.flush();
         for _ in 0..6 {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
@@ -662,7 +479,10 @@ mod tests {
     fn dropped_batch_forces_early_full_and_degrades() {
         use lowdiff_storage::{FaultConfig, FaultyBackend, MemoryBackend, StorageBackend};
 
-        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let faulty = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig::default(),
+        ));
         let st = Arc::new(CheckpointStore::new(
             Arc::clone(&faulty) as Arc<dyn StorageBackend>
         ));
@@ -730,12 +550,7 @@ mod tests {
     #[test]
     fn zero_copy_reuse_counted() {
         let st = store();
-        let (_, strat) = run_training(
-            Arc::clone(&st),
-            LowDiffConfig::default(),
-            50,
-            10,
-        );
+        let (_, strat) = run_training(Arc::clone(&st), LowDiffConfig::default(), 50, 10);
         // Stall must be microseconds-scale per iteration (pointer moves),
         // not storage-scale. Allow a generous bound for CI noise.
         let stats = strat.stats();
@@ -745,5 +560,25 @@ mod tests {
             stats.stall
         );
         assert_eq!(strat.backpressure_events(), 0);
+    }
+
+    #[test]
+    fn engine_counters_populated() {
+        let st = store();
+        let cfg = LowDiffConfig {
+            full_every: 10,
+            batch_size: 3,
+            ..LowDiffConfig::default()
+        };
+        let (_, strat) = run_training(Arc::clone(&st), cfg, 100, 25);
+        let e = strat.stats().engine;
+        assert_eq!(e.queue_capacity, 64);
+        assert_eq!(e.snapshot.count, 28, "25 diffs + 3 fulls submitted");
+        assert!(e.persist.count >= 12, "9 diff writes + 3 fulls persisted");
+        assert!(e.encode.total.as_f64() >= 0.0);
+        assert!(!e.queue_saturated(), "flushed engine must drain its queue");
+        // The engine exports its health blob on flush.
+        let blob = st.backend().get(crate::engine::HEALTH_KEY).unwrap();
+        assert!(!blob.is_empty(), "health blob exported on flush");
     }
 }

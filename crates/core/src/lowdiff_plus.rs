@@ -17,17 +17,22 @@
 //!   are ever written: gradients are *fused* into the replica instead
 //!   (the §5.2 write-volume argument).
 //!
+//! The strategy is an adapter over [`crate::engine::CheckpointEngine`]:
+//! the staging pool stays on the training side (it *is* the snapshot
+//! stage), while the replica update + persistence run as
+//! [`LowDiffPlusPolicy`] on the engine's checkpointing thread.
+//!
 //! Failure model (§5.3): a **software** failure leaves the checkpointing
 //! thread's memory intact → recover instantly from the replica
 //! ([`LowDiffPlusStrategy::recover_software`]); a **hardware** failure
 //! loses host memory → recover from the last persisted full checkpoint
 //! ([`LowDiffPlusStrategy::recover_hardware`]).
 
+use crate::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use crate::strategy::{CheckpointStrategy, StrategyStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use lowdiff_comm::SyncPool;
 use lowdiff_optim::{Adam, ModelState};
-use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
 use parking_lot::Mutex;
 use std::ops::Range;
@@ -62,10 +67,45 @@ impl Default for LowDiffPlusConfig {
     }
 }
 
-enum Ctl {
-    /// A complete staged gradient for one iteration.
-    Grad(u64, Vec<f32>),
-    Flush(Sender<()>),
+/// The scheme half of Algorithm 2 (lines 8–13): apply reused gradients to
+/// the CPU replica, persist it periodically. Runs on the engine's
+/// checkpointing thread.
+struct LowDiffPlusPolicy {
+    store: Arc<CheckpointStore>,
+    /// The CPU-resident replica `M^C` (shared with the adapter for
+    /// software-failure recovery).
+    replica: Arc<Mutex<ModelState>>,
+    persist_every: u64,
+    adam: Adam,
+}
+
+impl CheckpointPolicy for LowDiffPlusPolicy {
+    fn name(&self) -> &'static str {
+        "lowdiff+"
+    }
+
+    fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
+        let Job::Dense { iteration, grad } = job else {
+            debug_assert!(false, "lowdiff+ submits dense gradients");
+            return;
+        };
+        let mut m_c = self.replica.lock();
+        debug_assert_eq!(m_c.iteration, iteration, "replica fell out of step");
+        m_c.apply_gradient(&self.adam, &grad); // update in CPU (line 12)
+        let reached = m_c.iteration;
+        let snapshot = reached
+            .is_multiple_of(self.persist_every)
+            .then(|| m_c.clone());
+        drop(m_c); // never hold the replica lock across storage I/O
+        cx.with_stats(|s| s.diff_checkpoints += 1); // one in-memory ckpt per iter
+        if let Some(state) = snapshot {
+            // A persist that fails is skipped: the in-memory replica is
+            // still exact (software recovery unaffected); durable recovery
+            // falls back to the previous persisted full until the next
+            // interval lands. Hence no re-anchor request.
+            cx.persist_full(&self.store, &state, &FullOpts::durable());
+        }
+    }
 }
 
 /// LowDiff+ checkpointing strategy.
@@ -75,13 +115,9 @@ pub struct LowDiffPlusStrategy {
     /// Host-memory staging buffer the snapshot pool writes into.
     staging: Arc<Mutex<Vec<f32>>>,
     pool: SyncPool,
-    ctl_tx: Option<Sender<Ctl>>,
-    worker: Option<std::thread::JoinHandle<()>>,
-    /// The CPU-resident replica `M^C` (shared with the worker).
+    /// The CPU-resident replica `M^C` (shared with the policy).
     replica: Arc<Mutex<ModelState>>,
-    shared: Arc<Mutex<StrategyStats>>,
-    stall: Secs,
-    store: Arc<CheckpointStore>,
+    engine: CheckpointEngine,
 }
 
 impl LowDiffPlusStrategy {
@@ -92,29 +128,27 @@ impl LowDiffPlusStrategy {
         let psi = initial.num_params();
         let staging = Arc::new(Mutex::new(vec![0.0f32; psi]));
         let replica = Arc::new(Mutex::new(initial));
-        let shared = Arc::new(Mutex::new(StrategyStats::default()));
-        let (ctl_tx, ctl_rx) = unbounded();
-        let worker = {
-            let store = Arc::clone(&store);
-            let replica = Arc::clone(&replica);
-            let shared = Arc::clone(&shared);
-            let cfg = cfg.clone();
-            std::thread::Builder::new()
-                .name("lowdiff-plus-ckpt".into())
-                .spawn(move || replica_loop(store, replica, ctl_rx, cfg, shared))
-                .expect("spawn replica thread")
+        let policy = LowDiffPlusPolicy {
+            store: Arc::clone(&store),
+            replica: Arc::clone(&replica),
+            persist_every: cfg.persist_every,
+            adam: cfg.adam,
         };
+        let engine = CheckpointEngine::spawn(
+            store,
+            policy,
+            EngineConfig {
+                retry: cfg.retry,
+                ..EngineConfig::default()
+            },
+        );
         Self {
             pool: SyncPool::new(cfg.snapshot_threads),
             cfg,
             psi,
             staging,
-            ctl_tx: Some(ctl_tx),
-            worker: Some(worker),
             replica,
-            shared,
-            stall: Secs::ZERO,
-            store,
+            engine,
         }
     }
 
@@ -123,7 +157,7 @@ impl LowDiffPlusStrategy {
     }
 
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.engine.store()
     }
 
     /// Software-failure recovery: the checkpointing side survived, so the
@@ -142,58 +176,7 @@ impl LowDiffPlusStrategy {
     pub fn replica_iteration(&self) -> u64 {
         self.replica.lock().iteration
     }
-}
 
-/// The checkpointing process of Algorithm 2 (lines 8–13): apply reused
-/// gradients to the CPU replica, persist it periodically.
-fn replica_loop(
-    store: Arc<CheckpointStore>,
-    replica: Arc<Mutex<ModelState>>,
-    ctl_rx: Receiver<Ctl>,
-    cfg: LowDiffPlusConfig,
-    shared: Arc<Mutex<StrategyStats>>,
-) {
-    let adam = cfg.adam;
-    for msg in ctl_rx.iter() {
-        match msg {
-            Ctl::Grad(iter, grad) => {
-                let mut m_c = replica.lock();
-                debug_assert_eq!(m_c.iteration, iter, "replica fell out of step");
-                m_c.apply_gradient(&adam, &grad); // update in CPU (line 12)
-                let reached = m_c.iteration;
-                let persist = reached.is_multiple_of(cfg.persist_every);
-                let snapshot = persist.then(|| m_c.clone());
-                drop(m_c); // never hold the replica lock across storage I/O
-                {
-                    let mut s = shared.lock();
-                    s.diff_checkpoints += 1; // one in-memory ckpt per iter
-                }
-                if let Some(state) = snapshot {
-                    let r = with_retry(&cfg.retry, || store.save_full(&state));
-                    let mut s = shared.lock();
-                    s.io_retries += r.retries as u64;
-                    if r.result.is_ok() {
-                        s.full_checkpoints += 1;
-                        s.writes += 1;
-                        s.bytes_written += state.payload_bytes() as u64;
-                    } else {
-                        // Skip this persist: the in-memory replica is still
-                        // exact (software recovery unaffected); durable
-                        // recovery falls back to the previous persisted
-                        // full until the next interval lands.
-                        s.io_errors += 1;
-                        s.degraded = true;
-                    }
-                }
-            }
-            Ctl::Flush(ack) => {
-                let _ = ack.send(());
-            }
-        }
-    }
-}
-
-impl LowDiffPlusStrategy {
     /// Adam instance the replica loop applies gradients with; configured
     /// via [`LowDiffPlusConfig::adam`] and must match the trainer's.
     pub fn replica_adam(&self) -> Adam {
@@ -223,9 +206,7 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
             let mut buf = staging.lock();
             buf[range].copy_from_slice(&owned);
         });
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine.note_stall(t0)
     }
 
     fn on_synced_gradient(
@@ -242,50 +223,27 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
             let mut buf = self.staging.lock();
             std::mem::replace(&mut *buf, vec![0.0f32; self.psi])
         };
-        let delivered = self
-            .ctl_tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Ctl::Grad(iteration, grad)).is_ok());
-        if !delivered {
-            // Replica thread gone: both the in-memory checkpoint and the
-            // persistence tier stop advancing. Training continues.
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        self.engine.submit(t0, Job::Dense { iteration, grad }).stall
     }
 
     fn flush(&mut self) -> Secs {
         let t0 = Instant::now();
         self.pool.wait();
-        let (ack_tx, ack_rx) = unbounded();
-        let delivered = self
-            .ctl_tx
-            .as_ref()
-            .is_some_and(|tx| tx.send(Ctl::Flush(ack_tx)).is_ok());
-        if !delivered || ack_rx.recv().is_err() {
-            self.shared.lock().degraded = true;
-        }
-        let stall = Secs(t0.elapsed().as_secs_f64());
-        self.stall += stall;
-        stall
+        let staged = self.engine.note_stall(t0);
+        staged + self.engine.flush()
     }
 
     fn stats(&self) -> StrategyStats {
-        let mut s = self.shared.lock().clone();
-        s.stall = self.stall;
-        s
+        self.engine.stats()
     }
 }
 
 impl Drop for LowDiffPlusStrategy {
     fn drop(&mut self) {
+        // Settle the snapshot pool before the engine (dropped after this
+        // body) closes its queue, drains outstanding gradients into the
+        // replica, and joins the worker.
         self.pool.wait();
-        self.ctl_tx.take(); // closes the channel; worker drains and exits
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
     }
 }
 
@@ -314,10 +272,7 @@ mod tests {
         }
     }
 
-    fn make_trainer(
-        st: Arc<CheckpointStore>,
-        persist_every: u64,
-    ) -> Trainer<LowDiffPlusStrategy> {
+    fn make_trainer(st: Arc<CheckpointStore>, persist_every: u64) -> Trainer<LowDiffPlusStrategy> {
         let net = mlp(&[5, 16, 2], 21);
         let initial = ModelState::new(net.params_flat());
         let strat = LowDiffPlusStrategy::new(
@@ -350,7 +305,10 @@ mod tests {
         // In-memory checkpoint == live state (software-failure recovery).
         let replica = tr.strategy().recover_software();
         assert_eq!(replica.iteration, live.iteration);
-        assert_eq!(replica.params, live.params, "replica drifted from GPU state");
+        assert_eq!(
+            replica.params, live.params,
+            "replica drifted from GPU state"
+        );
         assert_eq!(replica.opt.m, live.opt.m);
         assert_eq!(replica.opt.v, live.opt.v);
     }
@@ -394,7 +352,10 @@ mod tests {
     fn failed_persist_is_skipped_replica_stays_exact() {
         use lowdiff_storage::{FaultConfig, FaultyBackend, StorageBackend};
 
-        let faulty = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultConfig::default()));
+        let faulty = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig::default(),
+        ));
         let st = Arc::new(CheckpointStore::new(
             Arc::clone(&faulty) as Arc<dyn StorageBackend>
         ));

@@ -174,7 +174,10 @@ impl Pipeline {
                     (grad_acc, loss_acc)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("stage panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stage panicked"))
+                .collect()
         });
 
         let mut flat = Vec::with_capacity(self.num_params());
@@ -233,18 +236,10 @@ mod tests {
         // Pipeline: 4 microbatches; per-microbatch MSE grads average to
         // the full-batch gradient (equal sizes).
         let micro: Vec<Tensor> = (0..4)
-            .map(|i| {
-                Tensor::from_vec(
-                    &[2, 4],
-                    full.as_slice()[i * 8..(i + 1) * 8].to_vec(),
-                )
-            })
+            .map(|i| Tensor::from_vec(&[2, 4], full.as_slice()[i * 8..(i + 1) * 8].to_vec()))
             .collect();
         let (_, pipe_grad) = pipe.step(&micro, |out, mb| {
-            let t = Tensor::from_vec(
-                &[2, 2],
-                target.as_slice()[mb * 4..(mb + 1) * 4].to_vec(),
-            );
+            let t = Tensor::from_vec(&[2, 2], target.as_slice()[mb * 4..(mb + 1) * 4].to_vec());
             mse(out, &t)
         });
 

@@ -109,7 +109,9 @@ impl<T: Send> Producer<T> {
                 Ok(())
             }
             Err(TrySendError::Full(item)) => {
-                self.stats.backpressure_events.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .backpressure_events
+                    .fetch_add(1, Ordering::Relaxed);
                 match self.tx.send(item) {
                     Ok(()) => {
                         self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
@@ -166,15 +168,6 @@ impl<T: Send> Consumer<T> {
 
     pub fn dequeued(&self) -> u64 {
         self.stats.dequeued.load(Ordering::Relaxed)
-    }
-
-    /// The underlying channel receiver, for registering this consumer in a
-    /// `crossbeam::channel::Select` alongside other channels (the
-    /// checkpointing thread blocks on gradient-or-control instead of
-    /// polling). Receive through [`get`](Self::get)/[`get_timeout`] after
-    /// readiness so the dequeue counter stays accurate.
-    pub(crate) fn receiver(&self) -> &Receiver<Tagged<T>> {
-        &self.rx
     }
 
     /// Items currently in flight.

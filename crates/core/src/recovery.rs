@@ -103,29 +103,31 @@ pub fn recover_sharded(
 
         // Few, coarse items: force chunked execution (one shard per item)
         // past the element-count heuristic.
-        jobs.into_par_iter().with_min_len(1).for_each(|(range, params, m, v)| {
-            // Per-shard scratch gradient buffer, reused across the chain.
-            let mut grad = vec![0.0f32; range.len()];
-            // A shard-local Adam state view over this range.
-            let mut local = lowdiff_optim::AdamState {
-                m: std::mem::take(m),
-                v: std::mem::take(v),
-                t: 0, // unused by step_range; bias correction uses step_t
-            };
-            for (k, entry) in chain.iter().enumerate() {
-                grad.iter_mut().for_each(|g| *g = 0.0);
-                fill_range_dense(&entry.grad, &range, &mut grad);
-                adam.step_range(
-                    &mut local,
-                    params,
-                    &grad,
-                    0..range.len(),
-                    base_t + k as u64 + 1,
-                );
-            }
-            *m = std::mem::take(&mut local.m);
-            *v = std::mem::take(&mut local.v);
-        });
+        jobs.into_par_iter()
+            .with_min_len(1)
+            .for_each(|(range, params, m, v)| {
+                // Per-shard scratch gradient buffer, reused across the chain.
+                let mut grad = vec![0.0f32; range.len()];
+                // A shard-local Adam state view over this range.
+                let mut local = lowdiff_optim::AdamState {
+                    m: std::mem::take(m),
+                    v: std::mem::take(v),
+                    t: 0, // unused by step_range; bias correction uses step_t
+                };
+                for (k, entry) in chain.iter().enumerate() {
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    fill_range_dense(&entry.grad, &range, &mut grad);
+                    adam.step_range(
+                        &mut local,
+                        params,
+                        &grad,
+                        0..range.len(),
+                        base_t + k as u64 + 1,
+                    );
+                }
+                *m = std::mem::take(&mut local.m);
+                *v = std::mem::take(&mut local.v);
+            });
 
         // Reassemble.
         join_from_ranges(&mut state.params, param_parts, &ranges);
@@ -151,11 +153,7 @@ fn split_into_ranges(buf: &mut [f32], ranges: &[std::ops::Range<usize>]) -> Vec<
     ranges.iter().map(|r| buf[r.clone()].to_vec()).collect()
 }
 
-fn join_from_ranges(
-    buf: &mut [f32],
-    parts: Vec<Vec<f32>>,
-    ranges: &[std::ops::Range<usize>],
-) {
+fn join_from_ranges(buf: &mut [f32], parts: Vec<Vec<f32>>, ranges: &[std::ops::Range<usize>]) {
     for (r, p) in ranges.iter().zip(parts) {
         buf[r.clone()].copy_from_slice(&p);
     }

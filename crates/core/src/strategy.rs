@@ -15,6 +15,7 @@
 //! trainer accumulates into [`StrategyStats`] — the quantity every
 //! training-time experiment measures.
 
+use crate::engine::EngineCounters;
 use lowdiff_compress::CompressedGrad;
 use lowdiff_optim::ModelState;
 use lowdiff_util::units::Secs;
@@ -49,6 +50,10 @@ pub struct StrategyStats {
     /// checkpointing worker is gone. Training continues; the recovery
     /// window is wider than configured until a full checkpoint lands.
     pub degraded: bool,
+    /// Pipeline counters from the [`crate::engine::CheckpointEngine`]
+    /// (queue depths, per-stage latency). Default for strategies that
+    /// don't run through an engine.
+    pub engine: EngineCounters,
 }
 
 impl StrategyStats {
@@ -64,6 +69,7 @@ impl StrategyStats {
         self.dropped_batches += other.dropped_batches;
         self.forced_fulls += other.forced_fulls;
         self.degraded |= other.degraded;
+        self.engine.merge(&other.engine);
     }
 
     /// True when any storage trouble was observed (retried, failed, or
@@ -165,6 +171,7 @@ mod tests {
             dropped_batches: 1,
             forced_fulls: 1,
             degraded: false,
+            engine: EngineCounters::default(),
         };
         let b = StrategyStats {
             stall: Secs(0.5),
@@ -178,6 +185,7 @@ mod tests {
             dropped_batches: 0,
             forced_fulls: 0,
             degraded: true,
+            engine: EngineCounters::default(),
         };
         a.merge(&b);
         assert!((a.stall.as_f64() - 1.5).abs() < 1e-12);

@@ -213,9 +213,15 @@ mod tests {
         let net = mlp(&[6, 24, 2], 1);
         let mut tr = Trainer::new(
             net,
-            Adam { lr: 3e-3, ..Adam::default() },
+            Adam {
+                lr: 3e-3,
+                ..Adam::default()
+            },
             NoCheckpoint::new(),
-            TrainerConfig { compress_ratio: Some(0.3), error_feedback: true },
+            TrainerConfig {
+                compress_ratio: Some(0.3),
+                error_feedback: true,
+            },
         );
         let report = tr.run(120, regression_step(Regression::new(6, 2, 2), 3));
         assert_eq!(report.iterations, 120);
@@ -231,13 +237,20 @@ mod tests {
         let net = mlp(&[5, 16, 2], 4);
         let strat = LowDiffStrategy::new(
             Arc::clone(&store),
-            LowDiffConfig { full_every: 10, batch_size: 3, ..LowDiffConfig::default() },
+            LowDiffConfig {
+                full_every: 10,
+                batch_size: 3,
+                ..LowDiffConfig::default()
+            },
         );
         let mut tr = Trainer::new(
             net,
             Adam::default(),
             strat,
-            TrainerConfig { compress_ratio: Some(0.1), error_feedback: true },
+            TrainerConfig {
+                compress_ratio: Some(0.1),
+                error_feedback: true,
+            },
         );
         let report = tr.run(27, regression_step(Regression::new(5, 2, 5), 6));
         assert_eq!(report.stats.diff_checkpoints, 27);
@@ -273,7 +286,10 @@ mod tests {
             mlp(&[4, 12, 2], 8),
             Adam::default(),
             NoCheckpoint::new(),
-            TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+            TrainerConfig {
+                compress_ratio: Some(0.2),
+                error_feedback: false,
+            },
         );
         tr.run(30, mk_step(11));
         let straight = tr.state().clone();
@@ -282,13 +298,20 @@ mod tests {
         let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
         let strat = LowDiffStrategy::new(
             Arc::clone(&store),
-            LowDiffConfig { full_every: 5, batch_size: 2, ..LowDiffConfig::default() },
+            LowDiffConfig {
+                full_every: 5,
+                batch_size: 2,
+                ..LowDiffConfig::default()
+            },
         );
         let mut tr1 = Trainer::new(
             mlp(&[4, 12, 2], 8),
             Adam::default(),
             strat,
-            TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+            TrainerConfig {
+                compress_ratio: Some(0.2),
+                error_feedback: false,
+            },
         );
         tr1.run(15, mk_step(11));
         drop(tr1); // crash at iteration 15
@@ -299,7 +322,10 @@ mod tests {
             mlp(&[4, 12, 2], 8),
             Adam::default(),
             NoCheckpoint::new(),
-            TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+            TrainerConfig {
+                compress_ratio: Some(0.2),
+                error_feedback: false,
+            },
             rec,
         );
         tr2.run(15, mk_step(11));
@@ -334,8 +360,14 @@ mod tests {
         let mut tr = Trainer::new(
             mlp(&[3, 8, 1], 9),
             Adam::default(),
-            Probe { dense_seen: 0, stats: StrategyStats::default() },
-            TrainerConfig { compress_ratio: None, error_feedback: false },
+            Probe {
+                dense_seen: 0,
+                stats: StrategyStats::default(),
+            },
+            TrainerConfig {
+                compress_ratio: None,
+                error_feedback: false,
+            },
         );
         tr.run(5, regression_step(Regression::new(3, 1, 10), 12));
         assert_eq!(tr.strategy().dense_seen, 5);
@@ -368,7 +400,10 @@ mod tests {
         let mut tr = Trainer::new(
             mlp(&[3, 8, 1], 13), // fc0, relu, fc1 → 2 parameterized layers
             Adam::default(),
-            Probe { layer_events: vec![], stats: StrategyStats::default() },
+            Probe {
+                layer_events: vec![],
+                stats: StrategyStats::default(),
+            },
             TrainerConfig::default(),
         );
         tr.run(3, regression_step(Regression::new(3, 1, 14), 15));

@@ -2,8 +2,8 @@
 
 use crate::attn::CausalSelfAttention;
 use crate::conv::{Conv2d, Flatten, MaxPool2};
-use crate::mha::MultiHeadAttention;
 use crate::layer::{Embedding, Gelu, LayerNorm, Linear, Relu};
+use crate::mha::MultiHeadAttention;
 use crate::net::{Network, Residual};
 use lowdiff_util::DetRng;
 
@@ -30,7 +30,10 @@ pub fn mlp(dims: &[usize], seed: u64) -> Network {
 /// Small CNN for `c_in`×`h`×`w` images (h, w divisible by 4):
 /// two conv+pool stages and a linear classifier. The ResNet/VGG stand-in.
 pub fn tiny_cnn(c_in: usize, h: usize, w: usize, classes: usize, seed: u64) -> Network {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "h, w must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "h, w must be divisible by 4"
+    );
     let mut rng = DetRng::new(seed);
     let (c1, c2) = (8usize, 16usize);
     let flat = c2 * (h / 4) * (w / 4);
@@ -57,9 +60,16 @@ pub fn tiny_gpt(vocab: usize, d: usize, n_blocks: usize, seed: u64) -> Network {
         // Attention sub-block: LN → attention, wrapped in a residual.
         let attn_branch = Network::new(vec![
             Box::new(LayerNorm::new(format!("blk{b}.ln1"), d)),
-            Box::new(CausalSelfAttention::new(format!("blk{b}.attn"), d, &mut rng)),
+            Box::new(CausalSelfAttention::new(
+                format!("blk{b}.attn"),
+                d,
+                &mut rng,
+            )),
         ]);
-        layers.push(Box::new(Residual::new(format!("blk{b}.res_attn"), attn_branch)));
+        layers.push(Box::new(Residual::new(
+            format!("blk{b}.res_attn"),
+            attn_branch,
+        )));
         // MLP sub-block: LN → Linear(4d) → GELU → Linear(d), residual.
         let mlp_branch = Network::new(vec![
             Box::new(LayerNorm::new(format!("blk{b}.ln2"), d)),
@@ -67,7 +77,10 @@ pub fn tiny_gpt(vocab: usize, d: usize, n_blocks: usize, seed: u64) -> Network {
             Box::new(Gelu::new(format!("blk{b}.gelu"))),
             Box::new(Linear::new(format!("blk{b}.fc2"), 4 * d, d, &mut rng)),
         ]);
-        layers.push(Box::new(Residual::new(format!("blk{b}.res_mlp"), mlp_branch)));
+        layers.push(Box::new(Residual::new(
+            format!("blk{b}.res_mlp"),
+            mlp_branch,
+        )));
     }
     layers.push(Box::new(LayerNorm::new("ln_f", d)));
     layers.push(Box::new(Linear::new("lm_head", d, vocab, &mut rng)));
@@ -76,29 +89,34 @@ pub fn tiny_gpt(vocab: usize, d: usize, n_blocks: usize, seed: u64) -> Network {
 
 /// Tiny GPT with *multi-head* attention (`heads` per block) — the closer-
 /// to-GPT-2 variant of [`tiny_gpt`].
-pub fn tiny_gpt_mha(
-    vocab: usize,
-    d: usize,
-    heads: usize,
-    n_blocks: usize,
-    seed: u64,
-) -> Network {
+pub fn tiny_gpt_mha(vocab: usize, d: usize, heads: usize, n_blocks: usize, seed: u64) -> Network {
     let mut rng = DetRng::new(seed);
     let mut layers: Vec<Box<dyn crate::Layer>> = Vec::new();
     layers.push(Box::new(Embedding::new("tok_emb", vocab, d, &mut rng)));
     for b in 0..n_blocks {
         let attn_branch = Network::new(vec![
             Box::new(LayerNorm::new(format!("blk{b}.ln1"), d)),
-            Box::new(MultiHeadAttention::new(format!("blk{b}.mha"), d, heads, &mut rng)),
+            Box::new(MultiHeadAttention::new(
+                format!("blk{b}.mha"),
+                d,
+                heads,
+                &mut rng,
+            )),
         ]);
-        layers.push(Box::new(Residual::new(format!("blk{b}.res_attn"), attn_branch)));
+        layers.push(Box::new(Residual::new(
+            format!("blk{b}.res_attn"),
+            attn_branch,
+        )));
         let mlp_branch = Network::new(vec![
             Box::new(LayerNorm::new(format!("blk{b}.ln2"), d)),
             Box::new(Linear::new(format!("blk{b}.fc1"), d, 4 * d, &mut rng)),
             Box::new(Gelu::new(format!("blk{b}.gelu"))),
             Box::new(Linear::new(format!("blk{b}.fc2"), 4 * d, d, &mut rng)),
         ]);
-        layers.push(Box::new(Residual::new(format!("blk{b}.res_mlp"), mlp_branch)));
+        layers.push(Box::new(Residual::new(
+            format!("blk{b}.res_mlp"),
+            mlp_branch,
+        )));
     }
     layers.push(Box::new(LayerNorm::new("ln_f", d)));
     layers.push(Box::new(Linear::new("lm_head", d, vocab, &mut rng)));
@@ -125,7 +143,10 @@ mod tests {
     fn mlp_trains_on_regression() {
         let mut net = mlp(&[8, 32, 3], 2);
         let task = Regression::new(8, 3, 3);
-        let adam = Adam { lr: 3e-3, ..Adam::default() };
+        let adam = Adam {
+            lr: 3e-3,
+            ..Adam::default()
+        };
         let mut st = AdamState::new(net.num_params());
         let mut params = net.params_flat();
         let mut rng = DetRng::new(4);
@@ -154,7 +175,10 @@ mod tests {
         let (c, h, w, classes) = (1usize, 8usize, 8usize, 3usize);
         let mut net = tiny_cnn(c, h, w, classes, 5);
         let blobs = Blobs::new(c * h * w, classes, 6);
-        let adam = Adam { lr: 2e-3, ..Adam::default() };
+        let adam = Adam {
+            lr: 2e-3,
+            ..Adam::default()
+        };
         let mut st = AdamState::new(net.num_params());
         let mut params = net.params_flat();
         let mut rng = DetRng::new(7);
@@ -183,7 +207,10 @@ mod tests {
         let vocab = 12;
         let mut net = tiny_gpt(vocab, 16, 2, 8);
         let text = MarkovText::new(vocab, 9);
-        let adam = Adam { lr: 3e-3, ..Adam::default() };
+        let adam = Adam {
+            lr: 3e-3,
+            ..Adam::default()
+        };
         let mut st = AdamState::new(net.num_params());
         let mut params = net.params_flat();
         let mut rng = DetRng::new(10);
@@ -214,7 +241,10 @@ mod tests {
         let vocab = 12;
         let mut net = tiny_gpt_mha(vocab, 16, 4, 2, 18);
         let text = MarkovText::new(vocab, 9);
-        let adam = Adam { lr: 3e-3, ..Adam::default() };
+        let adam = Adam {
+            lr: 3e-3,
+            ..Adam::default()
+        };
         let mut st = AdamState::new(net.num_params());
         let mut params = net.params_flat();
         let mut rng = DetRng::new(19);

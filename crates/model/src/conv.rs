@@ -17,8 +17,8 @@ pub struct Conv2d {
     pub c_out: usize,
     pub k: usize,
     pub pad: usize,
-    w: Vec<f32>,      // (c_out, c_in, k, k)
-    b: Vec<f32>,      // (c_out)
+    w: Vec<f32>, // (c_out, c_in, k, k)
+    b: Vec<f32>, // (c_out)
     grad_w: Vec<f32>,
     grad_b: Vec<f32>,
     cached_input: Option<Tensor>,
@@ -132,7 +132,9 @@ impl Layer for Conv2d {
             .cached_input
             .take()
             .expect("backward before forward on Conv2d");
-        let [batch, c_in, h, w] = input.shape() else { unreachable!() };
+        let [batch, c_in, h, w] = input.shape() else {
+            unreachable!()
+        };
         let (batch, c_in, h, w) = (*batch, *c_in, *h, *w);
         let (oh, ow) = self.out_hw(h, w);
         let x = input.as_slice();
@@ -167,8 +169,7 @@ impl Layer for Conv2d {
                                     let wi = self.widx(co, ci, ki, kj);
                                     let xv = x[xi(b, ci, ii - self.pad, jj - self.pad)];
                                     self.grad_w[wi] += go * xv;
-                                    gin[xi(b, ci, ii - self.pad, jj - self.pad)] +=
-                                        go * self.w[wi];
+                                    gin[xi(b, ci, ii - self.pad, jj - self.pad)] += go * self.w[wi];
                                 }
                             }
                         }
@@ -339,10 +340,7 @@ mod tests {
     #[test]
     fn maxpool_forward_backward() {
         let mut mp = MaxPool2::new("mp");
-        let x = Tensor::from_vec(
-            &[1, 1, 2, 4],
-            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0],
-        );
+        let x = Tensor::from_vec(&[1, 1, 2, 4], vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, -1.0, 6.0]);
         let y = mp.forward(&x);
         assert_eq!(y.shape(), &[1, 1, 1, 2]);
         assert_eq!(y.as_slice(), &[4.0, 6.0]);

@@ -213,7 +213,11 @@ mod tests {
             let mut best = (f32::INFINITY, 0usize);
             for c in 0..3 {
                 let center = &blobs.centers[c * 32..(c + 1) * 32];
-                let d: f32 = row.iter().zip(center).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                let d: f32 = row
+                    .iter()
+                    .zip(center)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
                 if d < best.0 {
                     best = (d, c);
                 }

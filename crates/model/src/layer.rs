@@ -37,10 +37,10 @@ pub trait Layer: Send {
 /// Fully connected layer: `y = x · Wᵀ + b`, weights stored (out, in).
 pub struct Linear {
     name: String,
-    pub w: Tensor,      // (out, in)
-    pub b: Vec<f32>,    // (out)
-    grad_w: Vec<f32>,   // flat (out*in)
-    grad_b: Vec<f32>,   // (out)
+    pub w: Tensor,    // (out, in)
+    pub b: Vec<f32>,  // (out)
+    grad_w: Vec<f32>, // flat (out*in)
+    grad_b: Vec<f32>, // (out)
     cached_input: Option<Tensor>,
 }
 
@@ -475,7 +475,10 @@ pub(crate) mod gradcheck {
         let loss_at = |layer: &mut L, params: &[f32], input: &Tensor| -> f64 {
             layer.read_params(params);
             let o = layer.forward(input);
-            o.as_slice().iter().map(|&x| (x as f64) * (x as f64) / 2.0).sum()
+            o.as_slice()
+                .iter()
+                .map(|&x| (x as f64) * (x as f64) / 2.0)
+                .sum()
         };
         // Probe a subset of parameters to keep tests fast on bigger layers.
         let probes: Vec<usize> = if n <= 64 {
@@ -511,11 +514,19 @@ pub(crate) mod gradcheck {
                 let mut xp = input.clone();
                 xp.as_mut_slice()[i] += eps;
                 let o = layer.forward(&xp);
-                let lp: f64 = o.as_slice().iter().map(|&x| (x as f64) * (x as f64) / 2.0).sum();
+                let lp: f64 = o
+                    .as_slice()
+                    .iter()
+                    .map(|&x| (x as f64) * (x as f64) / 2.0)
+                    .sum();
                 let mut xm = input.clone();
                 xm.as_mut_slice()[i] -= eps;
                 let o = layer.forward(&xm);
-                let lm: f64 = o.as_slice().iter().map(|&x| (x as f64) * (x as f64) / 2.0).sum();
+                let lm: f64 = o
+                    .as_slice()
+                    .iter()
+                    .map(|&x| (x as f64) * (x as f64) / 2.0)
+                    .sum();
                 let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
                 let a = gin.as_slice()[i];
                 let denom = numeric.abs().max(a.abs()).max(1.0);
@@ -604,7 +615,10 @@ mod tests {
             *v += 0.1 * ((i as f32).sin());
         }
         ln.read_params(&p);
-        let x = Tensor::from_vec(&[3, 6], (0..18).map(|i| (i as f32 * 1.3).cos() * 2.0).collect());
+        let x = Tensor::from_vec(
+            &[3, 6],
+            (0..18).map(|i| (i as f32 * 1.3).cos() * 2.0).collect(),
+        );
         gradcheck::check(&mut ln, &x, 3e-2, true);
     }
 

@@ -38,7 +38,10 @@ struct Cache {
 
 impl MultiHeadAttention {
     pub fn new(name: impl Into<String>, d: usize, heads: usize, rng: &mut DetRng) -> Self {
-        assert!(heads >= 1 && d.is_multiple_of(heads), "d={d} not divisible by heads={heads}");
+        assert!(
+            heads >= 1 && d.is_multiple_of(heads),
+            "d={d} not divisible by heads={heads}"
+        );
         let mk = |rng: &mut DetRng| {
             let scale = (1.0 / d as f32).sqrt();
             let mut w = vec![0.0f32; d * d];
@@ -71,8 +74,7 @@ impl MultiHeadAttention {
         let mut out = vec![0.0f32; seq * dh];
         let src = t.as_slice();
         for r in 0..seq {
-            out[r * dh..(r + 1) * dh]
-                .copy_from_slice(&src[r * d + h * dh..r * d + (h + 1) * dh]);
+            out[r * dh..(r + 1) * dh].copy_from_slice(&src[r * d + h * dh..r * d + (h + 1) * dh]);
         }
         Tensor::from_vec(&[seq, dh], out)
     }
@@ -84,8 +86,7 @@ impl MultiHeadAttention {
         let s = src.as_slice();
         let out = dst.as_mut_slice();
         for r in 0..seq {
-            out[r * d + h * dh..r * d + (h + 1) * dh]
-                .copy_from_slice(&s[r * dh..(r + 1) * dh]);
+            out[r * d + h * dh..r * d + (h + 1) * dh].copy_from_slice(&s[r * dh..(r + 1) * dh]);
         }
     }
 }
@@ -168,8 +169,14 @@ impl Layer for MultiHeadAttention {
 
     #[allow(clippy::needless_range_loop)]
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let Cache { x, q, k, v, attn, y } =
-            self.cache.take().expect("backward before forward on MHA");
+        let Cache {
+            x,
+            q,
+            k,
+            v,
+            attn,
+            y,
+        } = self.cache.take().expect("backward before forward on MHA");
         let seq = x.shape()[0];
         let dh = self.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();

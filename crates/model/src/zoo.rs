@@ -95,7 +95,13 @@ fn layer_distribution(family: Family, total: u64) -> Vec<u64> {
         Family::Vgg => {
             // 13-16 convs + 3 giant FC layers (FCs dominate: VGG's shape).
             let mut v = Vec::new();
-            for (n, ch) in [(2u32, 64.0f64), (2, 128.0), (3, 256.0), (3, 512.0), (3, 512.0)] {
+            for (n, ch) in [
+                (2u32, 64.0f64),
+                (2, 128.0),
+                (3, 256.0),
+                (3, 512.0),
+                (3, 512.0),
+            ] {
                 for _ in 0..n {
                     v.push(9.0 * ch * ch);
                 }
@@ -139,18 +145,17 @@ fn layer_distribution(family: Family, total: u64) -> Vec<u64> {
 
 /// All eight evaluation models from Table "Models and datasets".
 pub fn all_models() -> Vec<ModelSpec> {
-    let mk = |name: &'static str,
-              family: Family,
-              dataset: &'static str,
-              params: u64,
-              iter_ms: f64| ModelSpec {
-        name,
-        family,
-        dataset,
-        params,
-        layers: layer_distribution(family, params),
-        iter_time: Secs::ms(iter_ms),
-    };
+    let mk =
+        |name: &'static str, family: Family, dataset: &'static str, params: u64, iter_ms: f64| {
+            ModelSpec {
+                name,
+                family,
+                dataset,
+                params,
+                layers: layer_distribution(family, params),
+                iter_time: Secs::ms(iter_ms),
+            }
+        };
     vec![
         mk("ResNet-50", Family::ResNet, "Cifar-100", 25_600_000, 45.0),
         mk("ResNet-101", Family::ResNet, "ImageNet", 44_500_000, 120.0),
@@ -186,15 +191,27 @@ mod tests {
     fn layers_sum_exactly_to_total() {
         for m in all_models() {
             let sum: u64 = m.layers.iter().sum();
-            assert_eq!(sum, m.params, "{}: layer sum {sum} != Ψ {}", m.name, m.params);
-            assert!(m.layers.iter().all(|&l| l > 0), "{} has empty layer", m.name);
+            assert_eq!(
+                sum, m.params,
+                "{}: layer sum {sum} != Ψ {}",
+                m.name, m.params
+            );
+            assert!(
+                m.layers.iter().all(|&l| l > 0),
+                "{} has empty layer",
+                m.name
+            );
         }
     }
 
     #[test]
     fn layer_counts_are_architecture_shaped() {
         let r50 = by_name("ResNet-50").unwrap();
-        assert!(r50.num_layers() > 50, "ResNet-50 has {} layers", r50.num_layers());
+        assert!(
+            r50.num_layers() > 50,
+            "ResNet-50 has {} layers",
+            r50.num_layers()
+        );
         let bert_l = by_name("BERT-L").unwrap();
         // 24 blocks × 2 + embedding + norm = 50.
         assert_eq!(bert_l.num_layers(), 50);

@@ -178,7 +178,9 @@ mod tests {
 
     fn demo_grad(n: usize, t: u64) -> Vec<f32> {
         (0..n)
-            .map(|i| ((i as f32 + 1.0) * 0.1 + t as f32 * 0.01) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .map(|i| {
+                ((i as f32 + 1.0) * 0.1 + t as f32 * 0.01) * if i % 2 == 0 { 1.0 } else { -1.0 }
+            })
             .collect()
     }
 
@@ -196,7 +198,10 @@ mod tests {
     #[test]
     fn first_step_size_is_lr() {
         // Classic Adam property: |Δ| ≈ lr on the first step for any g ≠ 0.
-        let adam = Adam { lr: 0.01, ..Adam::default() };
+        let adam = Adam {
+            lr: 0.01,
+            ..Adam::default()
+        };
         let mut st = AdamState::new(3);
         let mut p = vec![0.0f32; 3];
         adam.step(&mut st, &mut p, &[5.0, -0.3, 100.0]);
@@ -285,7 +290,10 @@ mod tests {
         // The chunked kernel must match a plain serial loop exactly, and be
         // invariant to the pool's thread count (big enough to cross the
         // auto-parallel threshold and the chunk size).
-        let adam = Adam { weight_decay: 0.01, ..Adam::default() };
+        let adam = Adam {
+            weight_decay: 0.01,
+            ..Adam::default()
+        };
         let n = (1 << 15) + 7;
         let g = demo_grad(n, 5);
 
@@ -316,15 +324,31 @@ mod tests {
                 adam.step(&mut st, &mut p, &g);
             });
             let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-            assert_eq!(bits(&p), bits(&p_ref), "params diverged at {threads} threads");
-            assert_eq!(bits(&st.m), bits(&st_ref.m), "m diverged at {threads} threads");
-            assert_eq!(bits(&st.v), bits(&st_ref.v), "v diverged at {threads} threads");
+            assert_eq!(
+                bits(&p),
+                bits(&p_ref),
+                "params diverged at {threads} threads"
+            );
+            assert_eq!(
+                bits(&st.m),
+                bits(&st_ref.m),
+                "m diverged at {threads} threads"
+            );
+            assert_eq!(
+                bits(&st.v),
+                bits(&st_ref.v),
+                "v diverged at {threads} threads"
+            );
         }
     }
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let adam = Adam { weight_decay: 0.1, lr: 0.01, ..Adam::default() };
+        let adam = Adam {
+            weight_decay: 0.1,
+            lr: 0.01,
+            ..Adam::default()
+        };
         let mut st = AdamState::new(1);
         let mut p = vec![10.0f32];
         adam.step(&mut st, &mut p, &[0.0]);

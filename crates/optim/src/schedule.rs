@@ -20,7 +20,11 @@ pub enum LrSchedule {
         total: u64,
     },
     /// Step decay: multiply by `gamma` every `every` steps.
-    StepDecay { initial: f32, gamma: f32, every: u64 },
+    StepDecay {
+        initial: f32,
+        gamma: f32,
+        every: u64,
+    },
 }
 
 impl LrSchedule {
@@ -87,7 +91,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let s = LrSchedule::Warmup { peak: 1.0, warmup: 10 };
+        let s = LrSchedule::Warmup {
+            peak: 1.0,
+            warmup: 10,
+        };
         assert!((s.at(1) - 0.1).abs() < 1e-6);
         assert!((s.at(5) - 0.5).abs() < 1e-6);
         assert_eq!(s.at(10), 1.0);
@@ -111,7 +118,7 @@ mod tests {
         );
         assert!((s.at(110) - 0.1).abs() < 1e-6); // floor
         assert_eq!(s.at(10_000), 0.1); // stays at floor
-        // Monotone decreasing after warmup.
+                                       // Monotone decreasing after warmup.
         let mut prev = s.at(10);
         for t in 11..=110 {
             let cur = s.at(t);
@@ -122,7 +129,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { initial: 0.8, gamma: 0.5, every: 100 };
+        let s = LrSchedule::StepDecay {
+            initial: 0.8,
+            gamma: 0.5,
+            every: 100,
+        };
         assert_eq!(s.at(1), 0.8);
         assert_eq!(s.at(99), 0.8);
         assert!((s.at(100) - 0.4).abs() < 1e-7);
@@ -158,7 +169,12 @@ mod tests {
     #[test]
     fn schedule_is_replay_deterministic() {
         // The recovery invariant: the lr at step t depends only on t.
-        let s = LrSchedule::WarmupCosine { peak: 0.3, floor: 0.0, warmup: 5, total: 50 };
+        let s = LrSchedule::WarmupCosine {
+            peak: 0.3,
+            floor: 0.0,
+            warmup: 5,
+            total: 50,
+        };
         let first: Vec<f32> = (1..=50).map(|t| s.at(t)).collect();
         let second: Vec<f32> = (1..=50).map(|t| s.at(t)).collect();
         assert_eq!(first, second);

@@ -72,7 +72,11 @@ mod tests {
 
     #[test]
     fn plain_sgd_step() {
-        let sgd = Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.0 };
+        let sgd = Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        };
         let mut st = SgdState::new(2);
         let mut p = vec![1.0f32, 2.0];
         sgd.step(&mut st, &mut p, &[1.0, -1.0]);
@@ -82,7 +86,11 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let sgd = Sgd { lr: 0.1, momentum: 0.5, weight_decay: 0.0 };
+        let sgd = Sgd {
+            lr: 0.1,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        };
         let mut st = SgdState::new(1);
         let mut p = vec![0.0f32];
         sgd.step(&mut st, &mut p, &[1.0]); // v=1,   p=-0.1

@@ -198,12 +198,12 @@ pub mod strategy {
         };
     }
 
-    tuple_strategy!(A/0);
-    tuple_strategy!(A/0, B/1);
-    tuple_strategy!(A/0, B/1, C/2);
-    tuple_strategy!(A/0, B/1, C/2, D/3);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-    tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 }
 
 pub use strategy::Strategy;
@@ -528,7 +528,9 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{any, prop, Arbitrary};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[cfg(test)]

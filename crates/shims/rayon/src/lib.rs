@@ -73,7 +73,9 @@ pub mod pool {
         if IN_WORKER.with(|f| f.get()) {
             return 1;
         }
-        OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_threads)
+        OVERRIDE
+            .with(|o| o.get())
+            .unwrap_or_else(configured_threads)
     }
 
     /// Run `f` with the thread count forced to `n` on this thread. Used by
@@ -271,8 +273,14 @@ impl<'a, T: Sync> Producer for ChunksP<'a, T> {
         let at = (i * self.size).min(self.slice.len());
         let (a, b) = self.slice.split_at(at);
         (
-            ChunksP { slice: a, size: self.size },
-            ChunksP { slice: b, size: self.size },
+            ChunksP {
+                slice: a,
+                size: self.size,
+            },
+            ChunksP {
+                slice: b,
+                size: self.size,
+            },
         )
     }
     fn into_seq(self) -> Self::IntoSeq {
@@ -299,8 +307,14 @@ impl<'a, T: Send> Producer for ChunksMutP<'a, T> {
         let at = (i * self.size).min(self.slice.len());
         let (a, b) = self.slice.split_at_mut(at);
         (
-            ChunksMutP { slice: a, size: self.size },
-            ChunksMutP { slice: b, size: self.size },
+            ChunksMutP {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMutP {
+                slice: b,
+                size: self.size,
+            },
         )
     }
     fn into_seq(self) -> Self::IntoSeq {
@@ -366,8 +380,14 @@ impl<A: Producer> Producer for EnumerateP<A> {
     fn split_at(self, i: usize) -> (Self, Self) {
         let (a, b) = self.inner.split_at(i);
         (
-            EnumerateP { inner: a, base: self.base },
-            EnumerateP { inner: b, base: self.base + i },
+            EnumerateP {
+                inner: a,
+                base: self.base,
+            },
+            EnumerateP {
+                inner: b,
+                base: self.base + i,
+            },
         )
     }
     fn into_seq(self) -> Self::IntoSeq {
@@ -399,7 +419,13 @@ where
     fn split_at(self, i: usize) -> (Self, Self) {
         let (a, b) = self.inner.split_at(i);
         let f = self.f;
-        (MapP { inner: a, f: f.clone() }, MapP { inner: b, f })
+        (
+            MapP {
+                inner: a,
+                f: f.clone(),
+            },
+            MapP { inner: b, f },
+        )
     }
     fn into_seq(self) -> Self::IntoSeq {
         self.inner.into_seq().map(self.f)
@@ -480,7 +506,10 @@ impl<P: Producer> Par<P> {
 
     pub fn enumerate(self) -> Par<EnumerateP<P>> {
         Par {
-            p: EnumerateP { inner: self.p, base: 0 },
+            p: EnumerateP {
+                inner: self.p,
+                base: 0,
+            },
             min_len: self.min_len,
         }
     }
@@ -563,7 +592,10 @@ pub mod prelude {
         }
         fn par_chunks(&self, chunk_size: usize) -> super::Par<super::ChunksP<'_, T>> {
             assert!(chunk_size > 0, "chunk size must be non-zero");
-            super::Par::new(super::ChunksP { slice: self, size: chunk_size })
+            super::Par::new(super::ChunksP {
+                slice: self,
+                size: chunk_size,
+            })
         }
     }
 
@@ -579,7 +611,10 @@ pub mod prelude {
         }
         fn par_chunks_mut(&mut self, chunk_size: usize) -> super::Par<super::ChunksMutP<'_, T>> {
             assert!(chunk_size > 0, "chunk size must be non-zero");
-            super::Par::new(super::ChunksMutP { slice: self, size: chunk_size })
+            super::Par::new(super::ChunksMutP {
+                slice: self,
+                size: chunk_size,
+            })
         }
     }
 
@@ -606,7 +641,9 @@ mod tests {
     fn par_iter_zip_for_each() {
         let a = [1.0f32, 2.0, 3.0];
         let mut b = [10.0f32, 20.0, 30.0];
-        b.par_iter_mut().zip(a.par_iter()).for_each(|(x, y)| *x += y);
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(x, y)| *x += y);
         assert_eq!(b, [11.0, 22.0, 33.0]);
     }
 
@@ -655,11 +692,8 @@ mod tests {
         // Fixed chunk boundaries: the f64 sum must be bit-identical for any
         // thread count, including sequential fallback.
         let xs: Vec<f32> = (0..1_000_000).map(|i| (i as f32 * 0.37).sin()).collect();
-        let run = |t: usize| {
-            pool::with_num_threads(t, || {
-                xs.par_iter().map(|&x| x as f64).sum::<f64>()
-            })
-        };
+        let run =
+            |t: usize| pool::with_num_threads(t, || xs.par_iter().map(|&x| x as f64).sum::<f64>());
         let s1 = run(1);
         for t in [2, 3, 8, 61] {
             assert_eq!(s1.to_bits(), run(t).to_bits(), "threads={t} diverged");

@@ -97,8 +97,7 @@ fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
         // Safety: f32 has no padding bytes and u8 has alignment 1, so
         // viewing an initialized f32 slice as bytes is always valid; on a
         // little-endian target the in-memory byte order is the wire order.
-        let bytes =
-            unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) };
+        let bytes = unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) };
         buf.extend_from_slice(bytes);
     }
     #[cfg(target_endian = "big")]
@@ -115,8 +114,7 @@ fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
     #[cfg(target_endian = "little")]
     {
         // Safety: same argument as `put_f32s`.
-        let bytes =
-            unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) };
+        let bytes = unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 4) };
         buf.extend_from_slice(bytes);
     }
     #[cfg(target_endian = "big")]
@@ -453,7 +451,10 @@ pub mod reference {
         // The pre-bulk decoder copied the body into an owned buffer first.
         let owned = data.to_vec();
         let mut cur = super::Cursor::new(&owned);
-        let body_len = owned.len().checked_sub(4).ok_or(CodecError::Corrupt("too short for crc"))?;
+        let body_len = owned
+            .len()
+            .checked_sub(4)
+            .ok_or(CodecError::Corrupt("too short for crc"))?;
         let stored = u32::from_le_bytes(owned[body_len..].try_into().unwrap());
         if crc32(&owned[..body_len]) != stored {
             return Err(CodecError::CrcMismatch);

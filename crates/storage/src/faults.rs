@@ -89,7 +89,7 @@ impl<B: StorageBackend> FaultyBackend<B> {
         Self {
             inner,
             cfg,
-            rng: Mutex::new(DetRng::new(cfg.seed ^ 0xFA171_7B4C)),
+            rng: Mutex::new(DetRng::new(cfg.seed ^ 0x000F_A171_7B4C)),
             forced_put_failures: AtomicU64::new(0),
             persistent_outage: AtomicBool::new(false),
             put_faults: AtomicU64::new(0),

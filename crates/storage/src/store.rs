@@ -48,10 +48,17 @@ impl CheckpointStore {
         format!("diff-{start:010}-{end:010}.ckpt")
     }
 
-    /// Persist a full checkpoint of `state`.
+    /// Persist a full checkpoint of `state` (encode + put in one call).
     pub fn save_full(&self, state: &ModelState) -> io::Result<()> {
         let bytes = codec::encode_model_state(state);
-        self.backend.put(&Self::full_key(state.iteration), &bytes)
+        self.put_full(state.iteration, &bytes)
+    }
+
+    /// Store pre-encoded full-checkpoint bytes under the canonical key.
+    /// Lets a pipelined writer time (and retry) the put separately from
+    /// the encode without re-encoding per attempt.
+    pub fn put_full(&self, iteration: u64, bytes: &[u8]) -> io::Result<()> {
+        self.backend.put(&Self::full_key(iteration), bytes)
     }
 
     /// Persist a batch of differential checkpoints. Entries must be
@@ -68,8 +75,16 @@ impl CheckpointStore {
         }
         let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
         let bytes = codec::encode_diff_batch(entries);
-        self.backend.put(&Self::diff_key(start, end), &bytes)?;
+        self.put_diff_batch_bytes(start, end, &bytes)?;
         Ok(bytes.len() as u64)
+    }
+
+    /// Store a pre-encoded differential batch covering `start..=end` under
+    /// the canonical key. The caller vouches that `bytes` came from
+    /// [`codec::encode_diff_batch`] over consecutive entries spanning
+    /// exactly that range.
+    pub fn put_diff_batch_bytes(&self, start: u64, end: u64, bytes: &[u8]) -> io::Result<()> {
+        self.backend.put(&Self::diff_key(start, end), bytes)
     }
 
     /// Iterations of all stored full checkpoints (sorted ascending),
@@ -79,12 +94,7 @@ impl CheckpointStore {
             .backend
             .list()?
             .iter()
-            .filter_map(|k| {
-                k.strip_prefix("full-")?
-                    .strip_suffix(".ckpt")?
-                    .parse()
-                    .ok()
-            })
+            .filter_map(|k| k.strip_prefix("full-")?.strip_suffix(".ckpt")?.parse().ok())
             .collect();
         out.sort_unstable();
         Ok(out)

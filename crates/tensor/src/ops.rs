@@ -256,7 +256,9 @@ mod tests {
         let bt = t2(
             3,
             4,
-            &[1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0, 3.0, 6.0, 9.0, 12.0],
+            &[
+                1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0, 3.0, 6.0, 9.0, 12.0,
+            ],
         );
         assert_eq!(matmul_nt(&a, &b).as_slice(), matmul(&a, &bt).as_slice());
     }

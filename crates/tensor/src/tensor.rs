@@ -94,7 +94,13 @@ impl Tensor {
     /// Reinterpret with a new shape of identical element count.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }

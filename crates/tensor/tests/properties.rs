@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 fn arb_matrix(max: usize) -> impl Strategy<Value = Tensor> {
     (1..max, 1..max).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |v| Tensor::from_vec(&[r, c], v))
+        prop::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| Tensor::from_vec(&[r, c], v))
     })
 }
 

@@ -21,7 +21,9 @@ pub struct SystemClock {
 
 impl SystemClock {
     pub fn new() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 }
 
@@ -47,7 +49,9 @@ pub struct SimClock {
 
 impl SimClock {
     pub fn new() -> Self {
-        Self { nanos: AtomicU64::new(0) }
+        Self {
+            nanos: AtomicU64::new(0),
+        }
     }
 
     /// Move time forward by `dt` (must be non-negative).
@@ -61,7 +65,10 @@ impl SimClock {
     pub fn advance_to(&self, t: Secs) {
         let target = (t.as_f64() * 1e9).round() as u64;
         let prev = self.nanos.load(Ordering::Relaxed);
-        assert!(target >= prev, "advance_to into the past: {target} < {prev}");
+        assert!(
+            target >= prev,
+            "advance_to into the past: {target} < {prev}"
+        );
         self.nanos.store(target, Ordering::Relaxed);
     }
 }

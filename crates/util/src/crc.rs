@@ -18,12 +18,16 @@ fn tables() -> &'static [[u32; 256]; 8] {
     static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
     TABLES.get_or_init(|| {
         let mut t = [[0u32; 256]; 8];
-        for i in 0..256usize {
+        for (i, entry) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
-            t[0][i] = c;
+            *entry = c;
         }
         for k in 1..8 {
             for i in 0..256usize {
@@ -111,7 +115,10 @@ mod tests {
         // Standard test vectors for CRC-32/IEEE.
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -128,7 +135,9 @@ mod tests {
     fn sliced_matches_bytewise_all_alignments() {
         // Slicing-by-8 must agree with the byte-at-a-time reference for
         // every length mod 8 and every starting offset.
-        let data: Vec<u8> = (0..4096u32).map(|x| (x.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .map(|x| (x.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         for start in 0..8 {
             for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000, 4000] {
                 let slice = &data[start..(start + len).min(data.len())];

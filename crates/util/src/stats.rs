@@ -64,7 +64,10 @@ impl Summary {
     }
 
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     pub fn sum(&self) -> f64 {

@@ -50,7 +50,9 @@ fn main() {
     };
     let mut opt = ConfigOptimizer::new(wt, 100, 2);
     let (fcf, bs) = opt.target();
-    println!("\nEq. (5) optimal configuration: full checkpoint every {fcf} iterations, batch size {bs}");
+    println!(
+        "\nEq. (5) optimal configuration: full checkpoint every {fcf} iterations, batch size {bs}"
+    );
 
     // The adaptive tuner would converge there from any starting point:
     for _ in 0..24 {

@@ -9,16 +9,14 @@
 //! ```
 
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
-use lowdiff::strategy::CheckpointStrategy;
 use lowdiff::recovery::recover_serial;
+use lowdiff::strategy::CheckpointStrategy;
 use lowdiff::trainer::{Trainer, TrainerConfig};
 use lowdiff_model::builders::mlp;
 use lowdiff_model::data::Regression;
 use lowdiff_model::loss::mse;
 use lowdiff_optim::Adam;
-use lowdiff_storage::{
-    CheckpointStore, DiskBackend, FaultConfig, FaultyBackend, StorageBackend,
-};
+use lowdiff_storage::{CheckpointStore, DiskBackend, FaultConfig, FaultyBackend, StorageBackend};
 use lowdiff_util::DetRng;
 use std::sync::Arc;
 

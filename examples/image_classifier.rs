@@ -48,7 +48,10 @@ fn step() -> impl FnMut(&mut Network, u64) -> (f64, Tensor) {
 fn train<S: CheckpointStrategy>(strategy: S) -> (f64, StrategyStats, u64) {
     let mut tr = Trainer::new(
         tiny_cnn(C, H, W, CLASSES, 3),
-        Adam { lr: 2e-3, ..Adam::default() },
+        Adam {
+            lr: 2e-3,
+            ..Adam::default()
+        },
         strategy,
         TrainerConfig {
             compress_ratio: Some(0.05),

@@ -33,7 +33,10 @@ fn main() {
     );
 
     let initial = ModelState::new(net.params_flat());
-    let adam = Adam { lr: 3e-3, ..Adam::default() };
+    let adam = Adam {
+        lr: 3e-3,
+        ..Adam::default()
+    };
     let strategy = LowDiffPlusStrategy::new(
         Arc::clone(&store),
         LowDiffPlusConfig {

@@ -47,13 +47,20 @@ fn main() {
         pipe.stage_ranges()
     );
 
-    let adam = Adam { lr: 2e-3, ..Adam::default() };
+    let adam = Adam {
+        lr: 2e-3,
+        ..Adam::default()
+    };
     let task = Regression::new(12, 3, 6);
     let mut state = ModelState::new(pipe.params_flat());
     let mut ef = ErrorFeedback::new(TopK::new(0.1), state.num_params());
     let mut strat = LowDiffStrategy::new(
         Arc::clone(&store),
-        LowDiffConfig { full_every: 25, batch_size: 5, ..LowDiffConfig::default() },
+        LowDiffConfig {
+            full_every: 25,
+            batch_size: 5,
+            ..LowDiffConfig::default()
+        },
     );
     strat.after_update(&state);
 
@@ -85,7 +92,9 @@ fn main() {
     let stats = strat.stats();
     println!(
         "checkpoints: {} differentials in {} writes + {} fulls",
-        stats.diff_checkpoints, stats.writes - stats.full_checkpoints, stats.full_checkpoints
+        stats.diff_checkpoints,
+        stats.writes - stats.full_checkpoints,
+        stats.full_checkpoints
     );
 
     // Crash and recover — the differential chain from the pipeline's

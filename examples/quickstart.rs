@@ -39,7 +39,10 @@ fn main() {
     // 3. A model and a task: 3-layer MLP on a synthetic regression.
     let net = mlp(&[16, 64, 4], 1);
     let task = Regression::new(16, 4, 7);
-    let adam = Adam { lr: 2e-3, ..Adam::default() };
+    let adam = Adam {
+        lr: 2e-3,
+        ..Adam::default()
+    };
     let mut tr = Trainer::new(
         net,
         adam,
@@ -85,7 +88,10 @@ fn main() {
         .expect("a checkpoint exists");
     println!(
         "recovered from full@{} + {} differentials -> iteration {} in {:?}",
-        rep.full_iteration, rep.replayed, recovered.restored_iteration_display(), rep.elapsed
+        rep.full_iteration,
+        rep.replayed,
+        recovered.restored_iteration_display(),
+        rep.elapsed
     );
 
     // 7. The recovered state is IDENTICAL to the live state at the crash.

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Rebuild release and refresh the hot-path benchmark report at the repo root.
+# Rebuild release and refresh the benchmark reports at the repo root.
 #
 # Usage: scripts/bench.sh [bench_hotpath flags...]
 #   e.g. scripts/bench.sh --elems 33554432 --ranks 8
 #
-# Writes BENCH_hotpath.json (see DESIGN.md "Performance" for what each row
-# measures). LOWDIFF_NUM_THREADS caps the thread pool if set.
+# Writes:
+#   BENCH_hotpath.json   — kernel micro-benchmarks (flags above apply here;
+#                          see DESIGN.md "Performance" for each row)
+#   BENCH_ckpt_e2e.json  — per-strategy training-thread stall through the
+#                          CheckpointEngine (see DESIGN.md "The checkpoint
+#                          engine"); run bench_ckpt_e2e directly to vary
+#                          its --psi/--iters/--mbps
+#
+# LOWDIFF_NUM_THREADS caps the thread pool if set.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p lowdiff-bench --bin bench_hotpath
-exec target/release/bench_hotpath --out BENCH_hotpath.json "$@"
+cargo build --release -p lowdiff-bench --bin bench_hotpath --bin bench_ckpt_e2e
+target/release/bench_hotpath --out BENCH_hotpath.json "$@"
+target/release/bench_ckpt_e2e --out BENCH_ckpt_e2e.json

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally and in any runner:
+#
+#   scripts/ci.sh
+#
+# 1. cargo fmt --check     — formatting is canonical, no diffs tolerated
+# 2. cargo clippy          — every lint is an error across the workspace,
+#                            all targets (libs, bins, tests, benches)
+# 3. cargo test -q         — the full workspace test suite
+#
+# Fails fast: the first failing step fails the gate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -1,0 +1,405 @@
+//! Engine-refactor equivalence: every strategy, now an adapter over
+//! [`lowdiff::engine::CheckpointEngine`], must produce **byte-identical**
+//! checkpoint files and identical recovery to the pre-refactor write path
+//! on the same recorded gradient trace.
+//!
+//! The reference side uses the storage primitives the strategies called
+//! directly before the refactor — `CheckpointStore::save_full`,
+//! `BatchedWriter::push`/`flush`, `backend().put` — driven by the same
+//! schedule arithmetic. The engine side runs the real strategies. Blob
+//! maps are compared key-by-key (the engine's `meta-` health blob is the
+//! one deliberate addition and is excluded).
+
+use lowdiff::batched::{BatchMode, BatchedWriter};
+use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
+use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
+use lowdiff::recovery::recover_serial;
+use lowdiff::strategy::CheckpointStrategy;
+use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
+use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
+use lowdiff_optim::{Adam, ModelState};
+use lowdiff_storage::codec::DiffEntry;
+use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_util::DetRng;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn mem_store() -> Arc<CheckpointStore> {
+    Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())))
+}
+
+/// A recorded trace: deterministic initial params + dense gradients.
+fn trace(seed: u64, psi: usize, iters: u64) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let mut rng = DetRng::new(seed);
+    let init: Vec<f32> = (0..psi).map(|_| rng.normal() as f32).collect();
+    let grads: Vec<Vec<f32>> = (0..iters)
+        .map(|_| (0..psi).map(|_| rng.normal() as f32 * 0.1).collect())
+        .collect();
+    (init, grads)
+}
+
+/// Every blob in the store except the engine's `meta-` telemetry space.
+fn blob_map(store: &CheckpointStore) -> BTreeMap<String, Vec<u8>> {
+    store
+        .backend()
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|k| !k.starts_with("meta-"))
+        .map(|k| {
+            let bytes = store.backend().get(&k).unwrap();
+            (k, bytes)
+        })
+        .collect()
+}
+
+fn assert_stores_identical(engine: &CheckpointStore, reference: &CheckpointStore, what: &str) {
+    let (e, r) = (blob_map(engine), blob_map(reference));
+    let ek: Vec<&String> = e.keys().collect();
+    let rk: Vec<&String> = r.keys().collect();
+    assert_eq!(ek, rk, "{what}: blob key sets differ");
+    for (key, eb) in &e {
+        assert_eq!(Some(eb), r.get(key), "{what}: bytes differ for blob {key}");
+    }
+}
+
+/// Recovery over the engine-written store must land on the live state.
+fn assert_recovers_to(store: &CheckpointStore, live: &ModelState, what: &str) {
+    let (rec, _) = recover_serial(store, &Adam::default())
+        .unwrap()
+        .unwrap_or_else(|| panic!("{what}: nothing recoverable"));
+    assert_eq!(rec.iteration, live.iteration, "{what}: recovery iteration");
+    assert_eq!(rec.params, live.params, "{what}: recovery params");
+}
+
+// ---------------------------------------------------------------- lowdiff
+
+fn check_lowdiff(seed: u64, psi: usize, iters: u64, full_every: u64, batch_size: usize) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+
+    // Engine path: the real strategy.
+    let store_a = mem_store();
+    let mut state = ModelState::new(init.clone());
+    let mut strat = LowDiffStrategy::new(
+        Arc::clone(&store_a),
+        LowDiffConfig {
+            full_every,
+            batch_size,
+            ..LowDiffConfig::default()
+        },
+    );
+    let mut comp = TopK::new(0.25);
+    strat.after_update(&state); // anchor full at 0
+    for g in &grads {
+        let cg = Arc::new(comp.compress(g));
+        strat.on_synced_gradient(state.iteration, &cg);
+        state.apply_gradient(&adam, &cg.to_dense());
+        strat.after_update(&state);
+    }
+    strat.flush();
+    drop(strat);
+
+    // Reference path: save_full + BatchedWriter, the pre-refactor calls.
+    let store_b = mem_store();
+    let mut ref_state = ModelState::new(init);
+    let mut comp = TopK::new(0.25);
+    let mut w = BatchedWriter::new(batch_size, BatchMode::Concat);
+    store_b.save_full(&ref_state).unwrap();
+    for g in &grads {
+        let cg = Arc::new(comp.compress(g));
+        w.push(&store_b, ref_state.iteration, Arc::clone(&cg))
+            .unwrap();
+        ref_state.apply_gradient(&adam, &cg.to_dense());
+        if ref_state.iteration.is_multiple_of(full_every) {
+            store_b.save_full(&ref_state).unwrap();
+        }
+    }
+    w.flush(&store_b).unwrap();
+
+    assert_eq!(state.params, ref_state.params, "trace replay diverged");
+    assert_stores_identical(&store_a, &store_b, "lowdiff");
+    assert_recovers_to(&store_a, &state, "lowdiff");
+}
+
+// --------------------------------------------------------------- lowdiff+
+
+fn check_lowdiff_plus(seed: u64, psi: usize, iters: u64, persist_every: u64) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+
+    let store_a = mem_store();
+    let mut state = ModelState::new(init.clone());
+    let mut strat = LowDiffPlusStrategy::new(
+        Arc::clone(&store_a),
+        LowDiffPlusConfig {
+            persist_every,
+            snapshot_threads: 2,
+            ..LowDiffPlusConfig::default()
+        },
+        state.clone(),
+    );
+    // The synced-gradient hook reads the staging buffer, not its argument.
+    let dummy = Arc::new(CompressedGrad::Sparse(SparseGrad::new(
+        psi,
+        Vec::new(),
+        Vec::new(),
+    )));
+    for g in &grads {
+        strat.on_layer_gradient(state.iteration, 0, 0..psi, g);
+        strat.on_synced_gradient(state.iteration, &dummy);
+        state.apply_gradient(&adam, g);
+    }
+    strat.flush();
+    let replica = strat.recover_software();
+    drop(strat);
+    assert_eq!(replica.params, state.params, "replica drifted on the trace");
+
+    // Reference: the CPU replica replay, persisted as plain fulls.
+    let store_b = mem_store();
+    let mut ref_state = ModelState::new(init);
+    for g in &grads {
+        ref_state.apply_gradient(&adam, g);
+        if ref_state.iteration.is_multiple_of(persist_every) {
+            store_b.save_full(&ref_state).unwrap();
+        }
+    }
+
+    assert_stores_identical(&store_a, &store_b, "lowdiff+");
+    if store_a.full_iterations().unwrap().is_empty() {
+        return; // run shorter than the first persist interval
+    }
+    let rec = store_a.latest_valid_full().unwrap().unwrap();
+    let last = (iters / persist_every) * persist_every;
+    assert_eq!(rec.iteration, last, "lowdiff+: newest persisted full");
+}
+
+// ------------------------------------------------- checkfreq / torch.save
+
+fn check_full_snapshot_baselines(seed: u64, psi: usize, iters: u64, every: u64) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+
+    let store_cf = mem_store();
+    let store_ts = mem_store();
+    let mut cf = CheckFreqStrategy::new(Arc::clone(&store_cf), every);
+    let mut ts = TorchSaveStrategy::new(Arc::clone(&store_ts), every);
+    let mut state = ModelState::new(init.clone());
+    for g in &grads {
+        state.apply_gradient(&adam, g);
+        cf.after_update(&state);
+        ts.after_update(&state);
+    }
+    cf.flush();
+    ts.flush();
+    drop(cf);
+    drop(ts);
+
+    // Reference: a durable full at every `every`-th iteration.
+    let store_b = mem_store();
+    let mut ref_state = ModelState::new(init);
+    for g in &grads {
+        ref_state.apply_gradient(&adam, g);
+        if ref_state.iteration.is_multiple_of(every) {
+            store_b.save_full(&ref_state).unwrap();
+        }
+    }
+
+    assert_stores_identical(&store_cf, &store_b, "checkfreq");
+    assert_stores_identical(&store_ts, &store_b, "torch-save");
+    if !store_b.full_iterations().unwrap().is_empty() {
+        let rec = store_cf.latest_valid_full().unwrap().unwrap();
+        assert_eq!(rec.iteration, (iters / every) * every);
+    }
+}
+
+// ----------------------------------------------------------------- gemini
+
+fn check_gemini(seed: u64, psi: usize, iters: u64, mem_every: u64, persist_every: u64) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+
+    let store_a = mem_store();
+    let mut strat = GeminiStrategy::new(Arc::clone(&store_a), mem_every, persist_every);
+    let mut state = ModelState::new(init.clone());
+    let mut last_mem: Option<(u64, Vec<f32>)> = None;
+    for g in &grads {
+        state.apply_gradient(&adam, g);
+        if state.iteration.is_multiple_of(mem_every) {
+            last_mem = Some((state.iteration, state.params.clone()));
+        }
+        strat.after_update(&state);
+    }
+    strat.flush();
+    let mem_rec = strat.recover_memory().unwrap();
+    drop(strat);
+
+    // Reference: durable full when both tiers' schedules line up (the
+    // policy only sees snapshots the memory-tier gate lets through).
+    let store_b = mem_store();
+    let mut ref_state = ModelState::new(init);
+    for g in &grads {
+        ref_state.apply_gradient(&adam, g);
+        let i = ref_state.iteration;
+        if i.is_multiple_of(mem_every) && i.is_multiple_of(persist_every) {
+            store_b.save_full(&ref_state).unwrap();
+        }
+    }
+
+    assert_stores_identical(&store_a, &store_b, "gemini durable tier");
+    // Memory tier: GC'd to exactly the newest memory checkpoint.
+    match last_mem {
+        Some((it, params)) => {
+            let rec = mem_rec.expect("gemini: memory tier must hold the newest ckpt");
+            assert_eq!(rec.iteration, it, "gemini memory tier iteration");
+            assert_eq!(rec.params, params, "gemini memory tier params");
+        }
+        None => assert!(mem_rec.is_none()),
+    }
+}
+
+// --------------------------------------------------------------- naive DC
+
+fn check_naive_dc(seed: u64, psi: usize, iters: u64, diff_every: u64, full_every: u64, rho: f64) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+
+    let store_a = mem_store();
+    let mut strat = NaiveDcStrategy::new(Arc::clone(&store_a), diff_every, full_every, rho);
+    let mut state = ModelState::new(init.clone());
+    for g in &grads {
+        state.apply_gradient(&adam, g);
+        strat.after_update(&state);
+    }
+    strat.flush();
+    drop(strat);
+
+    // Reference: base-full / top-k-delta / moments-blob schedule, written
+    // through the raw store calls.
+    let store_b = mem_store();
+    let mut ref_state = ModelState::new(init);
+    let mut prev: Option<Vec<f32>> = None;
+    let mut has_base = false;
+    for g in &grads {
+        ref_state.apply_gradient(&adam, g);
+        let i = ref_state.iteration;
+        if !has_base || i.is_multiple_of(full_every) {
+            store_b.save_full(&ref_state).unwrap();
+            has_base = true;
+            prev = Some(ref_state.params.clone());
+        } else if i.is_multiple_of(diff_every) {
+            let prev_params = prev.as_ref().unwrap();
+            let delta: Vec<f32> = ref_state
+                .params
+                .iter()
+                .zip(prev_params)
+                .map(|(&new, &old)| new - old)
+                .collect();
+            let mut topk = TopK::new(rho);
+            let entry = DiffEntry {
+                iteration: i - 1,
+                grad: topk.compress(&delta),
+            };
+            store_b
+                .save_diff_batch(std::slice::from_ref(&entry))
+                .unwrap();
+            let mut moments = Vec::with_capacity(8 + ref_state.params.len() * 8);
+            moments.extend_from_slice(&ref_state.opt.t.to_le_bytes());
+            for &m in &ref_state.opt.m {
+                moments.extend_from_slice(&m.to_le_bytes());
+            }
+            for &v in &ref_state.opt.v {
+                moments.extend_from_slice(&v.to_le_bytes());
+            }
+            store_b
+                .backend()
+                .put(&format!("ndcmoments-{:010}", i - 1), &moments)
+                .unwrap();
+            prev = Some(ref_state.params.clone());
+        }
+    }
+
+    assert_stores_identical(&store_a, &store_b, "naive-dc");
+    let (rec, _) = NaiveDcStrategy::recover(&store_a).unwrap().unwrap();
+    let (rec_b, _) = NaiveDcStrategy::recover(&store_b).unwrap().unwrap();
+    assert_eq!(
+        rec.iteration, rec_b.iteration,
+        "naive-dc recovery iteration"
+    );
+    assert_eq!(rec.params, rec_b.params, "naive-dc recovery params");
+}
+
+// ------------------------------------------------------------------ tests
+
+#[test]
+fn all_strategies_match_reference_on_default_trace() {
+    check_lowdiff(11, 32, 25, 5, 2);
+    check_lowdiff_plus(12, 32, 25, 4);
+    check_full_snapshot_baselines(13, 32, 25, 3);
+    check_gemini(14, 32, 25, 2, 4);
+    check_naive_dc(15, 32, 25, 2, 8, 0.3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 over the engine: byte-identical blobs for any schedule.
+    #[test]
+    fn lowdiff_engine_is_byte_identical(
+        seed in 0u64..1000,
+        psi in 8usize..48,
+        iters in 4u64..28,
+        full_every in 2u64..9,
+        batch_size in 1usize..5,
+    ) {
+        check_lowdiff(seed, psi, iters, full_every, batch_size);
+    }
+
+    /// Algorithm 2 over the engine: replica fusion + periodic fulls.
+    #[test]
+    fn lowdiff_plus_engine_is_byte_identical(
+        seed in 0u64..1000,
+        psi in 8usize..48,
+        iters in 4u64..24,
+        persist_every in 1u64..7,
+    ) {
+        check_lowdiff_plus(seed, psi, iters, persist_every);
+    }
+
+    /// Full-snapshot baselines over the engine (spawned and inline).
+    #[test]
+    fn full_snapshot_baselines_are_byte_identical(
+        seed in 0u64..1000,
+        psi in 8usize..40,
+        iters in 3u64..20,
+        every in 1u64..6,
+    ) {
+        check_full_snapshot_baselines(seed, psi, iters, every);
+    }
+
+    /// Two-tier Gemini over the engine.
+    #[test]
+    fn gemini_engine_is_byte_identical(
+        seed in 0u64..1000,
+        psi in 8usize..40,
+        iters in 3u64..20,
+        mem_every in 1u64..4,
+        persist_mult in 1u64..5,
+    ) {
+        check_gemini(seed, psi, iters, mem_every, mem_every * persist_mult);
+    }
+
+    /// Naive-DC over the inline engine: fulls, deltas and moments blobs.
+    #[test]
+    fn naive_dc_engine_is_byte_identical(
+        seed in 0u64..1000,
+        psi in 8usize..40,
+        iters in 3u64..20,
+        diff_every in 1u64..4,
+        full_mult in 1u64..6,
+        rho in 0.1f64..0.6,
+    ) {
+        check_naive_dc(seed, psi, iters, diff_every, diff_every * full_mult, rho);
+    }
+}

@@ -29,21 +29,26 @@ fn lm_step() -> impl FnMut(&mut Network, u64) -> (f64, Tensor) {
 
 fn mem_store() -> (Arc<MemoryBackend>, Arc<CheckpointStore>) {
     let mem = Arc::new(MemoryBackend::new());
-    let store = Arc::new(CheckpointStore::new(
-        mem.clone() as Arc<dyn StorageBackend>
-    ));
+    let store = Arc::new(CheckpointStore::new(mem.clone() as Arc<dyn StorageBackend>));
     (mem, store)
 }
 
 /// Train a tiny transformer LM with LowDiff attached.
-fn train_lm(store: Arc<CheckpointStore>, iters: u64, cfg: LowDiffConfig) -> lowdiff_optim::ModelState {
+fn train_lm(
+    store: Arc<CheckpointStore>,
+    iters: u64,
+    cfg: LowDiffConfig,
+) -> lowdiff_optim::ModelState {
     let net = tiny_gpt(VOCAB, 8, 1, 2);
     let strat = LowDiffStrategy::new(store, cfg);
     let mut tr = Trainer::new(
         net,
         Adam::default(),
         strat,
-        TrainerConfig { compress_ratio: Some(0.2), error_feedback: false },
+        TrainerConfig {
+            compress_ratio: Some(0.2),
+            error_feedback: false,
+        },
     );
     // Anchor a full checkpoint at iteration 0 so any crash is recoverable.
     let initial = tr.state().clone();
@@ -58,7 +63,11 @@ fn transformer_crash_recovery_is_bit_exact() {
     let live = train_lm(
         Arc::clone(&store),
         17,
-        LowDiffConfig { full_every: 6, batch_size: 2, ..LowDiffConfig::default() },
+        LowDiffConfig {
+            full_every: 6,
+            batch_size: 2,
+            ..LowDiffConfig::default()
+        },
     );
     let (rec, report) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
     assert_eq!(report.full_iteration, 12);
@@ -73,12 +82,19 @@ fn torn_full_checkpoint_falls_back_to_previous() {
     train_lm(
         Arc::clone(&store),
         14,
-        LowDiffConfig { full_every: 6, batch_size: 2, ..LowDiffConfig::default() },
+        LowDiffConfig {
+            full_every: 6,
+            batch_size: 2,
+            ..LowDiffConfig::default()
+        },
     );
     // Fulls at 0, 6, 12. Tear the newest mid-write.
     mem.truncate_blob("full-0000000012.ckpt", 40);
     let (rec, report) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
-    assert_eq!(report.full_iteration, 6, "must fall back to the intact full");
+    assert_eq!(
+        report.full_iteration, 6,
+        "must fall back to the intact full"
+    );
     // Diffs from 6 onward replay the rest.
     assert_eq!(rec.iteration, 14);
 }
@@ -89,7 +105,11 @@ fn torn_diff_batch_bounds_the_loss_window() {
     let live = train_lm(
         Arc::clone(&store),
         14,
-        LowDiffConfig { full_every: 100, batch_size: 2, ..LowDiffConfig::default() },
+        LowDiffConfig {
+            full_every: 100,
+            batch_size: 2,
+            ..LowDiffConfig::default()
+        },
     );
     // Tear one diff batch in the middle of the chain.
     let keys = store.diff_keys().unwrap();
@@ -113,7 +133,11 @@ fn crash_at_every_iteration_is_recoverable() {
         let live = train_lm(
             Arc::clone(&store),
             crash_at,
-            LowDiffConfig { full_every: 4, batch_size: 3, ..LowDiffConfig::default() },
+            LowDiffConfig {
+                full_every: 4,
+                batch_size: 3,
+                ..LowDiffConfig::default()
+            },
         );
         let (rec, _) = recover_serial(&store, &Adam::default())
             .unwrap()
@@ -162,9 +186,15 @@ fn transient_storage_faults_plus_torn_blob_still_recover() {
     // Fulls at 0, 6, 12 — tear the newest one mid-write.
     faulty.inner().truncate_blob("full-0000000012.ckpt", 40);
     let (rec, report) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
-    assert_eq!(report.full_iteration, 6, "must fall back to the intact full");
+    assert_eq!(
+        report.full_iteration, 6,
+        "must fall back to the intact full"
+    );
     assert_eq!(rec.iteration, 14, "diff chain replays the rest");
-    assert_eq!(rec.params, live.params, "compound-failure recovery diverged");
+    assert_eq!(
+        rec.params, live.params,
+        "compound-failure recovery diverged"
+    );
 }
 
 #[test]
@@ -173,11 +203,17 @@ fn sharded_and_serial_agree_after_injected_corruption() {
     train_lm(
         Arc::clone(&store),
         13,
-        LowDiffConfig { full_every: 5, batch_size: 2, ..LowDiffConfig::default() },
+        LowDiffConfig {
+            full_every: 5,
+            batch_size: 2,
+            ..LowDiffConfig::default()
+        },
     );
     mem.truncate_blob("full-0000000010.ckpt", 8);
     let (a, _) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
-    let (b, _) = recover_sharded(&store, &Adam::default(), 3).unwrap().unwrap();
+    let (b, _) = recover_sharded(&store, &Adam::default(), 3)
+        .unwrap()
+        .unwrap();
     assert_eq!(a.iteration, b.iteration);
     assert_eq!(a.params, b.params);
     assert_eq!(a.opt.m, b.opt.m);

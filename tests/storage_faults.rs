@@ -265,3 +265,79 @@ fn transient_read_faults_leave_recovery_usable() {
     assert!(rec.iteration >= store.full_iterations().unwrap()[0]);
 }
 
+#[test]
+fn retry_exhaustion_counts_one_dropped_batch_exactly_once() {
+    // Satellite of the engine refactor: the persist stage owns retry
+    // exhaustion, and a single lost batch must increment `dropped_batches`
+    // exactly once — not once per retry attempt, and not again when a
+    // later (empty) flush or the forced re-anchor runs.
+    use lowdiff_compress::{Compressor, TopK};
+
+    let (faulty, store) = faulty_store(FaultConfig::default());
+    let adam = Adam::default();
+    let mut comp = TopK::new(0.2);
+    let mut rng = DetRng::new(41);
+    let psi = 64;
+    let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
+    let mut strat = LowDiffStrategy::new(
+        Arc::clone(&store),
+        LowDiffConfig {
+            full_every: 1000, // no scheduled fulls besides the anchor
+            batch_size: 2,
+            retry: RetryPolicy {
+                max_retries: 1,
+                base_delay: Duration::from_micros(100),
+                max_delay: Duration::from_micros(500),
+            },
+            ..LowDiffConfig::default()
+        },
+    );
+    strat.after_update(&state); // anchor full at 0
+    strat.flush();
+    assert_eq!(store.full_iterations().unwrap(), vec![0]);
+
+    // Exactly one full batch is submitted during a total outage.
+    faulty.fail_all_puts();
+    for _ in 0..2 {
+        let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
+        let cg = Arc::new(comp.compress(&g));
+        strat.on_synced_gradient(state.iteration, &cg);
+        state.apply_gradient(&adam, &cg.to_dense());
+        strat.after_update(&state);
+    }
+    strat.flush();
+    strat.flush(); // empty-buffer flush must not re-count the drop
+    let stats = strat.stats();
+    assert!(stats.io_retries >= 1, "the retry loop ran before dropping");
+    assert_eq!(
+        stats.dropped_batches, 1,
+        "one lost batch == one drop, counted once: {stats:?}"
+    );
+    assert_eq!(stats.dropped_diffs, 2, "both buffered diffs discarded");
+    assert!(stats.degraded);
+
+    // Healed tail: the forced full re-anchors, and neither it nor the
+    // healthy diffs that follow may move the drop counters.
+    faulty.heal();
+    for _ in 0..2 {
+        let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
+        let cg = Arc::new(comp.compress(&g));
+        strat.on_synced_gradient(state.iteration, &cg);
+        state.apply_gradient(&adam, &cg.to_dense());
+        strat.after_update(&state);
+    }
+    strat.flush();
+    let stats = strat.stats();
+    assert_eq!(stats.dropped_batches, 1, "drop counter must not move");
+    assert_eq!(stats.dropped_diffs, 2);
+    assert!(stats.forced_fulls >= 1, "drop must force an early full");
+    assert!(
+        stats.engine.persist.count >= 1,
+        "engine persist stage must have recorded the writes"
+    );
+    let (rec, _) = recover_serial(&store, &Adam::default())
+        .unwrap()
+        .expect("re-anchored chain must recover");
+    assert_eq!(rec.iteration, state.iteration);
+    assert_eq!(rec.params, state.params, "recovery lands on the live state");
+}

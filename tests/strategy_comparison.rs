@@ -103,7 +103,10 @@ fn every_strategy_recovers_to_a_valid_state() {
 
     // Naive DC — params approximate, moments exact.
     let st = store();
-    let (live, _) = run(NaiveDcStrategy::new(Arc::clone(&st), 1, 100, 0.3), Some(0.1));
+    let (live, _) = run(
+        NaiveDcStrategy::new(Arc::clone(&st), 1, 100, 0.3),
+        Some(0.1),
+    );
     let (rec, _) = NaiveDcStrategy::recover(&st).unwrap().unwrap();
     assert_eq!(rec.iteration, live.iteration);
     assert_eq!(rec.opt.m, live.opt.m);
@@ -111,7 +114,13 @@ fn every_strategy_recovers_to_a_valid_state() {
     // LowDiff — bit exact.
     let st = store();
     let (live, _) = run(
-        LowDiffStrategy::new(Arc::clone(&st), LowDiffConfig { full_every: 7, ..LowDiffConfig::default() }),
+        LowDiffStrategy::new(
+            Arc::clone(&st),
+            LowDiffConfig {
+                full_every: 7,
+                ..LowDiffConfig::default()
+            },
+        ),
         Some(0.1),
     );
     let (rec, _) = recover_serial(&st, &Adam::default()).unwrap().unwrap();
@@ -135,14 +144,20 @@ fn every_strategy_recovers_to_a_valid_state() {
         net,
         Adam::default(),
         strategy,
-        TrainerConfig { compress_ratio: None, error_feedback: false },
+        TrainerConfig {
+            compress_ratio: None,
+            error_feedback: false,
+        },
     );
     tr.run(ITERS, step_fn());
     let live = tr.state().clone();
     let rec = tr.strategy().recover_software();
     assert_eq!(rec.params, live.params);
     assert_eq!(
-        LowDiffPlusStrategy::recover_hardware(&st).unwrap().unwrap().iteration,
+        LowDiffPlusStrategy::recover_hardware(&st)
+            .unwrap()
+            .unwrap()
+            .iteration,
         24
     );
 }
@@ -158,14 +173,21 @@ fn storage_footprint_ordering_matches_exp7() {
     let full_bytes = st_full.backend().bytes_written();
 
     let st_naive = store();
-    run(NaiveDcStrategy::new(Arc::clone(&st_naive), 1, 100, rho), Some(rho));
+    run(
+        NaiveDcStrategy::new(Arc::clone(&st_naive), 1, 100, rho),
+        Some(rho),
+    );
     let naive_bytes = st_naive.backend().bytes_written();
 
     let st_low = store();
     run(
         LowDiffStrategy::new(
             Arc::clone(&st_low),
-            LowDiffConfig { full_every: 100, batch_size: 4, ..LowDiffConfig::default() },
+            LowDiffConfig {
+                full_every: 100,
+                batch_size: 4,
+                ..LowDiffConfig::default()
+            },
         ),
         Some(rho),
     );
