@@ -37,6 +37,7 @@ impl CheckpointPolicy for CheckFreqPolicy {
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
         if let Job::Full(state) = job {
             cx.persist_full(&self.store, &state, &FullOpts::durable());
+            cx.recycle_state(state);
         } else {
             debug_assert!(false, "checkfreq submits full snapshots");
         }
@@ -89,13 +90,11 @@ impl CheckpointStrategy for CheckFreqStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        // Snapshot: blocking copy (the GPU→CPU `snapshot()` op), then
-        // enqueue for persist; blocks when the pipeline is full — the
-        // CheckFreq stall at high frequency. A dead persist thread
-        // degrades the run instead of aborting training.
-        self.engine
-            .submit(t0, Job::Full(Box::new(state.clone())))
-            .stall
+        // Snapshot: blocking copy (the GPU→CPU `snapshot()` op) into a
+        // recycled engine slot, then enqueue for persist; blocks when the
+        // pipeline is full — the CheckFreq stall at high frequency. A dead
+        // persist thread degrades the run instead of aborting training.
+        self.engine.submit_full(t0, state).stall
     }
 
     fn flush(&mut self) -> Secs {

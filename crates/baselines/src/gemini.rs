@@ -57,6 +57,7 @@ impl CheckpointPolicy for GeminiPolicy {
             // this write fails.
             cx.persist_full(&self.durable, &state, &FullOpts::durable());
         }
+        cx.recycle_state(state);
     }
 }
 
@@ -122,9 +123,7 @@ impl CheckpointStrategy for GeminiStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.engine
-            .submit(t0, Job::Full(Box::new(state.clone())))
-            .stall
+        self.engine.submit_full(t0, state).stall
     }
 
     fn flush(&mut self) -> Secs {

@@ -78,7 +78,7 @@ impl CheckpointPolicy for NaiveDcPolicy {
                 // re-attempts the full — the chain must stay anchored.
                 self.has_base = false;
             }
-            self.prev_params = Some(state.params.clone());
+            self.retain_params(&state);
         } else if state.iteration.is_multiple_of(self.diff_every) {
             if let Some(prev) = &self.prev_params {
                 // 1. delta computation (training thread).
@@ -120,11 +120,24 @@ impl CheckpointPolicy for NaiveDcPolicy {
                     self.has_base = false;
                     self.reanchor_pending = true;
                 }
-                self.prev_params = Some(state.params.clone());
+                self.retain_params(&state);
             } else {
                 // No base yet: retain state so the first diff has a parent.
-                self.prev_params = Some(state.params.clone());
+                self.retain_params(&state);
             }
+        }
+        cx.recycle_state(state);
+    }
+}
+
+impl NaiveDcPolicy {
+    /// Retain the parameters as the next delta's parent, reusing the
+    /// previous retained allocation (`clone_from` truncates + extends in
+    /// place) instead of allocating a fresh Ψ-sized vector per interval.
+    fn retain_params(&mut self, state: &ModelState) {
+        match &mut self.prev_params {
+            Some(prev) => prev.clone_from(&state.params),
+            None => self.prev_params = Some(state.params.clone()),
         }
     }
 }
@@ -230,9 +243,7 @@ impl CheckpointStrategy for NaiveDcStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.engine
-            .submit(t0, Job::Full(Box::new(state.clone())))
-            .stall
+        self.engine.submit_full(t0, state).stall
     }
 
     fn flush(&mut self) -> Secs {

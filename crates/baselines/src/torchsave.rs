@@ -27,6 +27,7 @@ impl CheckpointPolicy for TorchSavePolicy {
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
         if let Job::Full(state) = job {
             cx.persist_full(&self.store, &state, &FullOpts::durable());
+            cx.recycle_state(state);
         } else {
             debug_assert!(false, "torch-save submits full snapshots");
         }
@@ -74,9 +75,7 @@ impl CheckpointStrategy for TorchSaveStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.engine
-            .submit(t0, Job::Full(Box::new(state.clone())))
-            .stall
+        self.engine.submit_full(t0, state).stall
     }
 
     fn flush(&mut self) -> Secs {

@@ -1,0 +1,100 @@
+//! Counting global allocator for allocation-profiling benchmark runs.
+//!
+//! Compiled only with the `count-allocs` feature; a benchmark binary
+//! installs it with
+//!
+//! ```ignore
+//! #[cfg(feature = "count-allocs")]
+//! #[global_allocator]
+//! static ALLOC: lowdiff_bench::alloc::CountingAlloc = lowdiff_bench::alloc::CountingAlloc;
+//! ```
+//!
+//! Counting is two relaxed atomic adds per allocation on top of the system
+//! allocator — cheap enough to leave on for a whole benchmark run, but not
+//! free, which is why it stays behind a feature flag instead of shipping in
+//! the default build.
+//!
+//! Besides the total, allocations at or above a configurable size threshold
+//! are counted separately: setting the threshold to `4Ψ` bytes makes
+//! "full-state-sized heap allocations in steady state" directly observable
+//! (the zero-copy pipeline's acceptance criterion — pooled snapshot and
+//! encode buffers mean the count must stop growing once pools are warm).
+//!
+//! Counting covers only threads opted in via [`track_current_thread`]. A
+//! benchmark marks its training thread and nothing else, so the counters
+//! isolate the *snapshot stage* — the engine's worker thread (encode +
+//! persist, including the simulated backend's blob copy) and the snapshot
+//! pool stay invisible, exactly as their cost is invisible to training.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Forwards to [`System`], counting every allocation on tracked threads.
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LARGE_THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+thread_local! {
+    static TRACKED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn note(size: usize) {
+    // try_with: the allocator runs during thread teardown too, when the
+    // thread-local may already be gone — those allocations go uncounted.
+    let tracked = TRACKED.try_with(Cell::get).unwrap_or(false);
+    if !tracked {
+        return;
+    }
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    if size >= LARGE_THRESHOLD.load(Ordering::Relaxed) {
+        LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growing realloc acquires fresh memory; shrinking reuses.
+        if new_size > layout.size() {
+            note(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocations of at least this many bytes also count as "large". Applies
+/// from the next allocation on; pass `usize::MAX` to disable.
+pub fn set_large_threshold(bytes: usize) {
+    LARGE_THRESHOLD.store(bytes, Ordering::Relaxed);
+}
+
+/// Count allocations made by the calling thread from now on. Benchmarks
+/// call this once on the training thread.
+pub fn track_current_thread() {
+    TRACKED.with(|t| t.set(true));
+}
+
+/// Snapshot of the process-wide counters since program start:
+/// `(total_allocations, large_allocations)`.
+pub fn counts() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        LARGE_ALLOCS.load(Ordering::Relaxed),
+    )
+}

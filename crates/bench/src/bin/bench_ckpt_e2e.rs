@@ -11,9 +11,17 @@
 //! (`on_synced_gradient` + `after_update`); the end-of-run queue drain is
 //! reported separately and does not count against per-iteration stall.
 //!
-//! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--out PATH]`
-//! (defaults: 262144 params, 40 iterations, 300 MB/s, BENCH_ckpt_e2e.json).
+//! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--out PATH]
+//! [--smoke]` (defaults: 262144 params, 40 iterations, 300 MB/s,
+//! BENCH_ckpt_e2e.json). `--smoke` runs a tiny configuration for CI sanity
+//! and skips the JSON unless `--out` is given explicitly.
 //! `scripts/bench.sh` builds release and refreshes the JSON at the repo root.
+//!
+//! Built with `--features count-allocs`, a counting global allocator also
+//! reports per-strategy steady-state allocation counts (total, and
+//! "large" = at least `4Ψ` bytes, i.e. full-state-sized): after a warmup
+//! prefix the pooled snapshot/encode buffers must make large allocations
+//! stop — the zero-copy data path's acceptance criterion.
 
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
@@ -28,6 +36,22 @@ use lowdiff_util::DetRng;
 use std::sync::Arc;
 use std::time::Instant;
 
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: lowdiff_bench::alloc::CountingAlloc = lowdiff_bench::alloc::CountingAlloc;
+
+/// `(total, large)` allocation counts so far; zeros without the feature.
+fn alloc_counts() -> (u64, u64) {
+    #[cfg(feature = "count-allocs")]
+    {
+        lowdiff_bench::alloc::counts()
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        (0, 0)
+    }
+}
+
 struct E2eResult {
     name: &'static str,
     stall_per_iter_ms: f64,
@@ -35,7 +59,16 @@ struct E2eResult {
     drain_secs: f64,
     wall_secs: f64,
     bytes_written: u64,
+    /// Differential-stream share of `bytes_written` — the bytes the
+    /// varint-delta v2 diff format shrinks (fulls are the remainder).
+    diff_bytes_written: u64,
     writes: u64,
+    /// Largest single snapshot-stage sample (capture + enqueue).
+    snapshot_peak_ms: f64,
+    /// Allocations during the post-warmup iterations (count-allocs builds).
+    steady_allocs: u64,
+    /// ... of at least `4Ψ` bytes — full-state-sized.
+    steady_large_allocs: u64,
 }
 
 fn throttled_store(mbps: f64) -> Arc<CheckpointStore> {
@@ -56,11 +89,19 @@ fn run_strategy<S: CheckpointStrategy>(
     state: &ModelState,
 ) -> E2eResult {
     let mut state = state.clone();
+    // Allocation accounting ignores a warmup prefix: pools fill during the
+    // first few checkpoints, steady state is what the tentpole claims.
+    let warmup = (iters / 4).clamp(1, 10).min(iters.saturating_sub(1));
     let wall = Instant::now();
     let mut total_stall = 0.0f64;
-    for _ in 0..iters {
+    let mut at_warm = alloc_counts();
+    for i in 0..iters {
+        if i == warmup {
+            at_warm = alloc_counts();
+        }
         total_stall += per_iter(&mut strat, &mut state);
     }
+    let at_end = alloc_counts();
     let drain = strat.flush().as_f64();
     let wall_secs = wall.elapsed().as_secs_f64();
     let stats = strat.stats();
@@ -71,7 +112,11 @@ fn run_strategy<S: CheckpointStrategy>(
         drain_secs: drain,
         wall_secs,
         bytes_written: stats.bytes_written,
+        diff_bytes_written: stats.diff_bytes_written,
         writes: stats.writes,
+        snapshot_peak_ms: stats.engine.snapshot.max.as_f64() * 1e3,
+        steady_allocs: at_end.0 - at_warm.0,
+        steady_large_allocs: at_end.1 - at_warm.1,
     }
 }
 
@@ -80,6 +125,8 @@ fn main() {
     let mut iters: u64 = 40;
     let mut mbps: f64 = 300.0;
     let mut out_path = String::from("BENCH_ckpt_e2e.json");
+    let mut out_explicit = false;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -90,9 +137,26 @@ fn main() {
             "--psi" => psi = val("--psi").parse().expect("bad --psi"),
             "--iters" => iters = val("--iters").parse().expect("bad --iters"),
             "--mbps" => mbps = val("--mbps").parse().expect("bad --mbps"),
-            "--out" => out_path = val("--out"),
+            "--out" => {
+                out_path = val("--out");
+                out_explicit = true;
+            }
+            "--smoke" => smoke = true,
             other => panic!("unknown flag {other}"),
         }
+    }
+    if smoke {
+        // CI sanity: exercise every strategy end-to-end in well under a
+        // second without touching the recorded JSON.
+        psi = 1 << 12;
+        iters = 8;
+    }
+    #[cfg(feature = "count-allocs")]
+    {
+        lowdiff_bench::alloc::set_large_threshold(psi * 4);
+        // Only this (the training) thread is counted: the numbers isolate
+        // the snapshot stage from worker-side encode/persist allocations.
+        lowdiff_bench::alloc::track_current_thread();
     }
     eprintln!("bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage");
 
@@ -231,6 +295,7 @@ fn main() {
     }
 
     // --- report ------------------------------------------------------------
+    let counting = cfg!(feature = "count-allocs");
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -240,7 +305,14 @@ fn main() {
                 format!("{:.3}s", r.total_stall_secs),
                 format!("{:.3}s", r.drain_secs),
                 format!("{:.1}MB", r.bytes_written as f64 / 1e6),
+                format!("{:.2}MB", r.diff_bytes_written as f64 / 1e6),
                 r.writes.to_string(),
+                format!("{:.3}ms", r.snapshot_peak_ms),
+                if counting {
+                    format!("{}/{}", r.steady_large_allocs, r.steady_allocs)
+                } else {
+                    "-".to_string()
+                },
             ]
         })
         .collect();
@@ -252,27 +324,39 @@ fn main() {
             "stall total",
             "drain",
             "written",
+            "diff bytes",
             "writes",
+            "snap peak",
+            "big/all allocs",
         ],
         &rows,
     );
 
+    if smoke && !out_explicit {
+        eprintln!("smoke mode: skipping json");
+        return;
+    }
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"psi\": {psi},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"storage_mbps\": {mbps},\n"));
+    json.push_str(&format!("  \"alloc_counting\": {counting},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"stall_per_iter_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"writes\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"stall_per_iter_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"diff_bytes_written\": {}, \"writes\": {}, \"snapshot_peak_ms\": {:.6}, \"steady_allocs\": {}, \"steady_large_allocs\": {}}}{}\n",
             r.name,
             r.stall_per_iter_ms,
             r.total_stall_secs,
             r.drain_secs,
             r.wall_secs,
             r.bytes_written,
+            r.diff_bytes_written,
             r.writes,
+            r.snapshot_peak_ms,
+            r.steady_allocs,
+            r.steady_large_allocs,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -8,8 +8,10 @@
 //! not depend on core count, though the parallel kernels additionally scale
 //! with threads where cores exist.
 //!
-//! Usage: `bench_hotpath [--elems N] [--ranks R] [--reps K] [--out PATH]`
-//! (defaults: 16 Mi elements, 4 ranks, 3 reps, BENCH_hotpath.json).
+//! Usage: `bench_hotpath [--elems N] [--ranks R] [--reps K] [--out PATH]
+//! [--smoke]` (defaults: 16 Mi elements, 4 ranks, 3 reps,
+//! BENCH_hotpath.json). `--smoke` runs a tiny single-rep configuration for
+//! CI sanity and skips the JSON unless `--out` is given explicitly.
 //! `scripts/bench.sh` builds release and refreshes the JSON at the repo root.
 
 use lowdiff_bench::print_table;
@@ -51,6 +53,8 @@ fn main() {
     let mut ranks: usize = 4;
     let mut reps: usize = 3;
     let mut out_path = String::from("BENCH_hotpath.json");
+    let mut out_explicit = false;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -61,9 +65,20 @@ fn main() {
             "--elems" => elems = val("--elems").parse().expect("bad --elems"),
             "--ranks" => ranks = val("--ranks").parse().expect("bad --ranks"),
             "--reps" => reps = val("--reps").parse().expect("bad --reps"),
-            "--out" => out_path = val("--out"),
+            "--out" => {
+                out_path = val("--out");
+                out_explicit = true;
+            }
+            "--smoke" => smoke = true,
             other => panic!("unknown flag {other}"),
         }
+    }
+    if smoke {
+        // CI sanity: every kernel pair runs once on a tiny buffer; the
+        // timings are meaningless, only "it completes" matters.
+        elems = 1 << 13;
+        ranks = 2;
+        reps = 1;
     }
     let threads = rayon::pool::current_num_threads();
     eprintln!(
@@ -210,6 +225,10 @@ fn main() {
         &rows,
     );
 
+    if smoke && !out_explicit {
+        eprintln!("smoke mode: skipping json");
+        return;
+    }
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"elems\": {elems},\n"));

@@ -8,6 +8,9 @@
 //! harness prints the same kind of table the paper does, alongside the
 //! paper's expected value where one is quoted.
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc;
+
 use std::fmt::Display;
 
 /// Print a titled ASCII table: `rows` are already-formatted cells.

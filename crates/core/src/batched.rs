@@ -3,12 +3,17 @@
 //! The three steps of the paper's Figure "Batched gradient write":
 //!
 //! * **① Offload to CPU memory** — `push` takes ownership of the gradient
-//!   handle; dropping the `Arc` after copy-out is the analog of closing the
-//!   CUDA IPC handle and freeing GPU memory. The writer tracks both
-//!   "GPU-resident" (handles still alive) and "CPU-resident" (buffered)
-//!   bytes so Exp. 6(b)'s memory accounting is measurable.
+//!   handle and keeps the `Arc` itself in the buffer: offload is a
+//!   refcount bump, never a payload copy. The handle (≙ the CUDA IPC
+//!   handle) is released when the batch completes or is discarded, which
+//!   is when the "GPU memory" frees. The writer tracks the buffered
+//!   ("CPU-resident") bytes so Exp. 6(b)'s memory accounting is
+//!   measurable.
 //! * **② Batch in buffer** — entries accumulate until `batch_size`.
-//! * **③ Single write** — the batch is flushed as one storage I/O.
+//! * **③ Single write** — the batch is flushed as one storage I/O,
+//!   serialized straight from the shared handles
+//!   (`codec::encode_diff_batch_refs_into`): the payload is only ever
+//!   materialized as wire bytes, never as an intermediate owned clone.
 //!
 //! Two batching modes:
 //! * [`BatchMode::Concat`] (default) — entries are stored individually
@@ -46,11 +51,18 @@ pub enum BatchMode {
     Accumulate,
 }
 
+/// A buffered differential: the iteration it advances from plus the shared
+/// gradient handle, held until the batch is encoded or discarded.
+struct BufferedDiff {
+    iteration: u64,
+    grad: Arc<CompressedGrad>,
+}
+
 /// CPU-side buffer that batches differential checkpoints into single writes.
 pub struct BatchedWriter {
     batch_size: usize,
     mode: BatchMode,
-    buffer: Vec<DiffEntry>,
+    buffer: Vec<BufferedDiff>,
     /// Bytes of gradients buffered in CPU memory (step-① accounting).
     cpu_resident_bytes: usize,
     /// Peak CPU buffer size observed.
@@ -97,18 +109,17 @@ impl BatchedWriter {
     /// Step ①+②: offload a gradient handle to the CPU buffer *without*
     /// writing — the buffer-only half of [`push`](Self::push), used by the
     /// engine pipeline (which owns the write decision and retry path).
+    ///
+    /// Zero-copy: the `Arc` handle itself is buffered (a refcount bump),
+    /// so the payload is never cloned on the per-iteration path. The
+    /// handle — and with it the "GPU memory" — is released when the batch
+    /// is written ([`complete_write`](Self::complete_write)) or given up
+    /// ([`discard_batch`](Self::discard_batch)).
     pub fn offload(&mut self, iteration: u64, grad: Arc<CompressedGrad>) {
-        // Copy out of the shared handle into CPU-owned memory, then drop
-        // the handle (≙ cudaIpcCloseMemHandle + free).
-        let owned: CompressedGrad = (*grad).clone();
-        drop(grad);
-        self.cpu_resident_bytes += owned.payload_bytes();
+        self.cpu_resident_bytes += grad.payload_bytes();
         self.peak_cpu_bytes = self.peak_cpu_bytes.max(self.cpu_resident_bytes);
         self.diffs_in += 1;
-        self.buffer.push(DiffEntry {
-            iteration,
-            grad: owned,
-        });
+        self.buffer.push(BufferedDiff { iteration, grad });
     }
 
     /// A full batch is buffered and due for a write.
@@ -123,6 +134,15 @@ impl BatchedWriter {
     /// the cycle with [`complete_write`](Self::complete_write) once the
     /// bytes are durable.
     pub fn encode_batch(&self) -> Option<EncodedBatch> {
+        self.encode_batch_with(Vec::new())
+    }
+
+    /// [`encode_batch`](Self::encode_batch) into a caller-supplied (pooled)
+    /// byte buffer, reusing its allocation for the write image. In
+    /// [`BatchMode::Concat`] the gradients are serialized straight from
+    /// the buffered `Arc` handles — no owned intermediate entries exist.
+    /// Returns `None` (and drops the buffer) when nothing is buffered.
+    pub fn encode_batch_with(&self, mut bytes: Vec<u8>) -> Option<EncodedBatch> {
         if self.buffer.is_empty() {
             return None;
         }
@@ -170,22 +190,36 @@ impl BatchedWriter {
                 }
             }
         };
-        let to_write: &[DiffEntry] = merged.as_deref().unwrap_or(&self.buffer);
         // The store's consecutive-iteration invariant, enforced before
         // encoding (pre-encoded bytes bypass `save_diff_batch`).
-        for w in to_write.windows(2) {
-            assert_eq!(
-                w[1].iteration,
-                w[0].iteration + 1,
-                "differential batch must be consecutive"
-            );
-        }
-        let (start, end) = (to_write[0].iteration, to_write.last().unwrap().iteration);
-        Some(EncodedBatch {
-            start,
-            end,
-            bytes: codec::encode_diff_batch(to_write),
-        })
+        let check_consecutive = |iters: &mut dyn Iterator<Item = u64>| {
+            let mut prev: Option<u64> = None;
+            for it in iters {
+                if let Some(p) = prev {
+                    assert_eq!(it, p + 1, "differential batch must be consecutive");
+                }
+                prev = Some(it);
+            }
+        };
+        let (start, end) = match &merged {
+            Some(entries) => {
+                check_consecutive(&mut entries.iter().map(|e| e.iteration));
+                codec::encode_diff_batch_into(entries, &mut bytes);
+                (entries[0].iteration, entries.last().unwrap().iteration)
+            }
+            None => {
+                check_consecutive(&mut self.buffer.iter().map(|e| e.iteration));
+                codec::encode_diff_batch_refs_into(
+                    self.buffer.iter().map(|e| (e.iteration, &*e.grad)),
+                    &mut bytes,
+                );
+                (
+                    self.buffer[0].iteration,
+                    self.buffer.last().unwrap().iteration,
+                )
+            }
+        };
+        Some(EncodedBatch { start, end, bytes })
     }
 
     /// The batch whose [`encode_batch`](Self::encode_batch) bytes became
@@ -387,15 +421,54 @@ mod tests {
     }
 
     #[test]
-    fn handle_dropped_after_offload() {
-        // The Arc must not outlive push(): refcount returns to 1 for the
-        // caller's remaining clone — the "GPU memory freed" invariant.
+    fn handle_held_until_batch_completes() {
+        // Offload is zero-copy: the writer buffers the Arc handle itself
+        // (refcount 2 with the caller's observer) and releases it when the
+        // batch is written — the "GPU memory freed" point moved from
+        // offload time to batch-completion time.
         let st = store();
         let mut w = BatchedWriter::new(8, BatchMode::Concat);
         let g = sparse(0, 1, 1.0);
         let observer = Arc::clone(&g);
         w.push(&st, 0, g).unwrap();
-        assert_eq!(Arc::strong_count(&observer), 1, "writer kept the handle");
+        assert_eq!(
+            Arc::strong_count(&observer),
+            2,
+            "writer must hold the handle, not a payload clone"
+        );
+        w.flush(&st).unwrap();
+        assert_eq!(
+            Arc::strong_count(&observer),
+            1,
+            "flush must release the handle"
+        );
+    }
+
+    #[test]
+    fn handle_released_on_discard() {
+        let st = store();
+        let mut w = BatchedWriter::new(8, BatchMode::Concat);
+        let g = sparse(0, 1, 1.0);
+        let observer = Arc::clone(&g);
+        w.push(&st, 0, g).unwrap();
+        assert_eq!(w.discard_batch(), 1);
+        assert_eq!(Arc::strong_count(&observer), 1, "discard must release");
+    }
+
+    #[test]
+    fn encode_batch_with_reuses_pooled_buffer() {
+        let st = store();
+        let mut w = BatchedWriter::new(8, BatchMode::Concat);
+        w.push(&st, 0, sparse(0, 1, 1.0)).unwrap();
+        w.push(&st, 1, sparse(1, 2, 2.0)).unwrap();
+        let fresh = w.encode_batch().unwrap();
+        let mut dirty = Vec::with_capacity(4096);
+        dirty.extend_from_slice(&[0xAB; 1000]);
+        let ptr = dirty.as_ptr();
+        let pooled = w.encode_batch_with(dirty).unwrap();
+        assert_eq!(pooled.bytes, fresh.bytes, "stale bytes leaked");
+        assert_eq!(pooled.bytes.as_ptr(), ptr, "allocation was not reused");
+        assert_eq!((pooled.start, pooled.end), (0, 1));
     }
 
     #[test]

@@ -20,6 +20,7 @@ const BUCKETS: usize = 64;
 pub struct LatencyHist {
     counts: [AtomicU64; BUCKETS],
     total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
 }
 
 impl Default for LatencyHist {
@@ -27,6 +28,7 @@ impl Default for LatencyHist {
         Self {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -38,6 +40,7 @@ impl LatencyHist {
         let bucket = (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1);
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> StageLatency {
@@ -53,6 +56,7 @@ impl LatencyHist {
             total,
             p50: Secs(quantile_nanos(&counts, count, 0.50) as f64 * 1e-9),
             p99: Secs(quantile_nanos(&counts, count, 0.99) as f64 * 1e-9),
+            max: Secs(self.max_nanos.load(Ordering::Relaxed) as f64 * 1e-9),
         }
     }
 }
@@ -84,6 +88,8 @@ pub struct StageLatency {
     pub p50: Secs,
     /// 99th-percentile sample (log2-bucket upper bound).
     pub p99: Secs,
+    /// Largest single sample (exact, not bucketed).
+    pub max: Secs,
 }
 
 impl StageLatency {
@@ -95,6 +101,9 @@ impl StageLatency {
         }
         if other.p99 > self.p99 {
             self.p99 = other.p99;
+        }
+        if other.max > self.max {
+            self.max = other.max;
         }
     }
 }
@@ -189,6 +198,11 @@ mod tests {
         // p50 within 2x of 10us (bucket upper bound), p99 catches the spikes.
         assert!(s.p50.as_f64() <= 20e-6, "p50 {} too coarse", s.p50);
         assert!(s.p99.as_f64() >= 50e-3, "p99 {} missed the spikes", s.p99);
+        assert!(
+            (s.max.as_f64() - 50e-3).abs() < 1e-6,
+            "max {} is exact",
+            s.max
+        );
         assert!((s.total.as_f64() - (90.0 * 10e-6 + 10.0 * 50e-3)).abs() < 1e-6);
     }
 

@@ -47,12 +47,76 @@ use crate::strategy::StrategyStats;
 use crossbeam::channel::{
     bounded, unbounded, Receiver, Select, Sender, TryRecvError, TrySendError,
 };
+use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
+use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Recycled snapshot slots: the engine's answer to
+/// `Job::Full(Box::new(state.clone()))`. [`CheckpointEngine::submit_full`]
+/// pops a slot and `copy_from`s the live state into its existing
+/// allocation; the policy returns the box via [`EngineCtx::recycle_state`]
+/// once the bytes are durable.
+///
+/// The pool is sized to the pipeline depth (up to [`Self::MAX_DEPTH`]):
+/// one slot on the worker, up to `queue_capacity` queued, one being
+/// refilled by the trainer. On the *first* anchor the whole pool is primed
+/// with slots pre-sized to the model, so the trainer never allocates a
+/// full-state buffer again even while earlier fulls are still in flight —
+/// recycling only has to keep up on average, not per-anchor. Pipelines
+/// deeper than the pool fall back to allocating (and the excess is dropped
+/// on recycle).
+pub(crate) struct SnapshotSlots {
+    // Slots stay boxed: `Job::Full` carries `Box<ModelState>`, so pooling
+    // the box keeps get/put free of a 3Ψ move in and out of the Vec.
+    #[allow(clippy::vec_box)]
+    slots: Mutex<Vec<Box<ModelState>>>,
+    depth: usize,
+    primed: AtomicBool,
+}
+
+impl SnapshotSlots {
+    /// Upper bound on pooled slots: each is a full model state, so the
+    /// pool must stay shallow even behind a deep job queue.
+    const MAX_DEPTH: usize = 4;
+
+    fn new(pipeline_depth: usize) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            depth: pipeline_depth.clamp(1, Self::MAX_DEPTH),
+            primed: AtomicBool::new(false),
+        }
+    }
+
+    /// Pop a slot, priming the pool with `depth` pre-sized slots first if
+    /// this is the first anchor (the one-time cost lands in warmup, not
+    /// steady state).
+    fn get_primed(&self, like: &ModelState) -> Box<ModelState> {
+        if !self.primed.swap(true, Ordering::Relaxed) {
+            let mut slots = self.slots.lock();
+            while slots.len() < self.depth {
+                let mut s = Box::new(ModelState::new(Vec::new()));
+                s.copy_from(like);
+                slots.push(s);
+            }
+        }
+        self.slots
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Box::new(ModelState::new(Vec::new())))
+    }
+
+    pub(crate) fn put(&self, state: Box<ModelState>) {
+        let mut slots = self.slots.lock();
+        if slots.len() < self.depth {
+            slots.push(state);
+        }
+    }
+}
 
 /// Storage key of the engine's exported health blob (deliberately outside
 /// the `full-`/`diff-` key spaces so checkpoint discovery ignores it).
@@ -102,6 +166,8 @@ pub struct CheckpointEngine {
     shared: Arc<Mutex<StrategyStats>>,
     metrics: Arc<EngineMetrics>,
     force_full: Arc<AtomicBool>,
+    buffers: Arc<BufferPool<u8>>,
+    snaps: Arc<SnapshotSlots>,
     stall: Secs,
     backpressure: u64,
     export_health: bool,
@@ -127,12 +193,17 @@ impl CheckpointEngine {
         let metrics = Arc::new(EngineMetrics::default());
         metrics.set_capacity(cfg.queue_capacity as u64);
         let force_full = Arc::new(AtomicBool::new(false));
+        let buffers = Arc::new(BufferPool::default());
+        // Worker slot + queued slots + the one the trainer is refilling.
+        let snaps = Arc::new(SnapshotSlots::new(cfg.queue_capacity + 2));
         let (job_tx, job_rx) = bounded(cfg.queue_capacity);
         let (ctl_tx, ctl_rx) = unbounded();
         let worker = {
             let shared = Arc::clone(&shared);
             let metrics = Arc::clone(&metrics);
             let force_full = Arc::clone(&force_full);
+            let buffers = Arc::clone(&buffers);
+            let snaps = Arc::clone(&snaps);
             let retry = cfg.retry;
             std::thread::Builder::new()
                 .name(format!("ckpt-engine-{name}"))
@@ -145,6 +216,8 @@ impl CheckpointEngine {
                         shared,
                         force_full,
                         metrics,
+                        buffers,
+                        snaps,
                     )
                 })
                 .expect("spawn checkpointing thread")
@@ -156,6 +229,8 @@ impl CheckpointEngine {
             shared,
             metrics,
             force_full,
+            buffers,
+            snaps,
             stall: Secs::ZERO,
             backpressure: 0,
             export_health: cfg.export_health,
@@ -180,6 +255,10 @@ impl CheckpointEngine {
             shared: Arc::new(Mutex::new(StrategyStats::default())),
             metrics: Arc::new(EngineMetrics::default()),
             force_full: Arc::new(AtomicBool::new(false)),
+            buffers: Arc::new(BufferPool::default()),
+            // Inline engines recycle the slot before submit returns: a
+            // single slot double-buffers against nothing and suffices.
+            snaps: Arc::new(SnapshotSlots::new(1)),
             stall: Secs::ZERO,
             backpressure: 0,
             export_health: cfg.export_health,
@@ -199,6 +278,18 @@ impl CheckpointEngine {
         self.policy
             .as_ref()
             .is_none_or(|p| p.wants_capture(iteration))
+    }
+
+    /// Submit a full snapshot of `state` without cloning it: the state is
+    /// copied into a recycled, pre-sized snapshot slot (pure
+    /// `copy_from_slice` traffic in steady state — zero heap allocation
+    /// once the pool is primed on the first anchor), which the policy
+    /// returns to the engine after persisting via
+    /// [`EngineCtx::recycle_state`].
+    pub fn submit_full(&mut self, since: Instant, state: &ModelState) -> Submitted {
+        let mut slot = self.snaps.get_primed(state);
+        slot.copy_from(state);
+        self.submit(since, Job::Full(slot))
     }
 
     /// Submit a job captured since `since` (the adapter's hook entry). The
@@ -224,6 +315,8 @@ impl CheckpointEngine {
                 shared: &self.shared,
                 force_full: &self.force_full,
                 metrics: &self.metrics,
+                buffers: &self.buffers,
+                snaps: &self.snaps,
             };
             policy.process(job, &mut cx);
             let stall = Secs(since.elapsed().as_secs_f64());
@@ -275,6 +368,8 @@ impl CheckpointEngine {
                 shared: &self.shared,
                 force_full: &self.force_full,
                 metrics: &self.metrics,
+                buffers: &self.buffers,
+                snaps: &self.snaps,
             };
             policy.flush(&mut cx);
         }
@@ -296,6 +391,8 @@ impl CheckpointEngine {
                 shared: &self.shared,
                 force_full: &self.force_full,
                 metrics: &self.metrics,
+                buffers: &self.buffers,
+                snaps: &self.snaps,
             };
             policy.control(ctl, &mut cx);
         }
@@ -392,6 +489,7 @@ impl Drop for CheckpointEngine {
 /// The checkpointing thread: a blocking two-way `Select` over the job
 /// queue and the control channel — no polling. Jobs flow strictly FIFO, so
 /// a full submitted before a diff is persisted before it.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     mut policy: Box<dyn CheckpointPolicy>,
     job_rx: Receiver<Job>,
@@ -400,12 +498,16 @@ fn worker_loop(
     shared: Arc<Mutex<StrategyStats>>,
     force_full: Arc<AtomicBool>,
     metrics: Arc<EngineMetrics>,
+    buffers: Arc<BufferPool<u8>>,
+    snaps: Arc<SnapshotSlots>,
 ) {
     let mut cx = EngineCtx {
         retry: &retry,
         shared: &shared,
         force_full: &force_full,
         metrics: &metrics,
+        buffers: &buffers,
+        snaps: &snaps,
     };
     let mut job_open = true;
     let mut ctl_open = true;

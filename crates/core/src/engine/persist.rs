@@ -13,11 +13,13 @@
 //! * encode/persist stage latency recording.
 
 use super::metrics::EngineMetrics;
+use super::SnapshotSlots;
 use crate::batched::BatchedWriter;
 use crate::strategy::StrategyStats;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::{self, DiffEntry};
 use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -63,6 +65,8 @@ pub struct EngineCtx<'a> {
     pub(super) shared: &'a Mutex<StrategyStats>,
     pub(super) force_full: &'a AtomicBool,
     pub(super) metrics: &'a EngineMetrics,
+    pub(super) buffers: &'a BufferPool<u8>,
+    pub(super) snaps: &'a SnapshotSlots,
 }
 
 impl EngineCtx<'_> {
@@ -76,6 +80,14 @@ impl EngineCtx<'_> {
         self.force_full.store(true, Ordering::SeqCst);
     }
 
+    /// Return a processed snapshot slot to the engine's recycle pool so
+    /// the next [`super::CheckpointEngine::submit_full`] reuses its
+    /// allocation instead of cloning. Policies call this once they no
+    /// longer need the state of a [`super::Job::Full`].
+    pub fn recycle_state(&self, state: Box<ModelState>) {
+        self.snaps.put(state);
+    }
+
     /// Encode and persist a full checkpoint of `state` to `store`.
     /// Returns whether the write landed.
     pub fn persist_full(
@@ -85,10 +97,12 @@ impl EngineCtx<'_> {
         opts: &FullOpts,
     ) -> bool {
         let t0 = Instant::now();
-        let bytes = codec::encode_model_state(state);
+        let mut bytes = self.buffers.get();
+        codec::encode_model_state_into(state, &mut bytes);
         self.metrics.encode.record(t0.elapsed());
         let t1 = Instant::now();
         let r = with_retry(self.retry, || store.put_full(state.iteration, &bytes));
+        self.buffers.put(bytes);
         self.metrics.persist.record(t1.elapsed());
         let ok = r.result.is_ok();
         {
@@ -129,7 +143,7 @@ impl EngineCtx<'_> {
     /// batch landed (an empty buffer trivially "lands").
     pub fn persist_batch(&mut self, store: &CheckpointStore, writer: &mut BatchedWriter) -> bool {
         let t0 = Instant::now();
-        let Some(enc) = writer.encode_batch() else {
+        let Some(enc) = writer.encode_batch_with(self.buffers.get()) else {
             return true;
         };
         self.metrics.encode.record(t0.elapsed());
@@ -138,12 +152,15 @@ impl EngineCtx<'_> {
             store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)
         });
         self.metrics.persist.record(t1.elapsed());
+        let written = enc.bytes.len() as u64;
+        self.buffers.put(enc.bytes);
         let mut s = self.shared.lock();
         s.io_retries += r.retries as u64;
         if r.result.is_ok() {
-            writer.complete_write(enc.bytes.len() as u64);
+            writer.complete_write(written);
             s.writes += 1;
-            s.bytes_written += enc.bytes.len() as u64;
+            s.bytes_written += written;
+            s.diff_bytes_written += written;
             true
         } else {
             // Retries exhausted: give the batch up. The gap this leaves in
@@ -168,7 +185,8 @@ impl EngineCtx<'_> {
     /// tracks its base validity itself).
     pub fn persist_diff_entries(&mut self, store: &CheckpointStore, entries: &[DiffEntry]) -> bool {
         let t0 = Instant::now();
-        let bytes = codec::encode_diff_batch(entries);
+        let mut bytes = self.buffers.get();
+        codec::encode_diff_batch_into(entries, &mut bytes);
         self.metrics.encode.record(t0.elapsed());
         let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
         let t1 = Instant::now();
@@ -176,15 +194,18 @@ impl EngineCtx<'_> {
             store.put_diff_batch_bytes(start, end, &bytes)
         });
         self.metrics.persist.record(t1.elapsed());
+        self.buffers.put(bytes);
         let mut s = self.shared.lock();
         s.io_retries += r.retries as u64;
         if r.result.is_ok() {
             s.diff_checkpoints += entries.len() as u64;
             s.writes += 1;
-            s.bytes_written += entries
+            let payload = entries
                 .iter()
                 .map(|e| e.grad.payload_bytes() as u64)
                 .sum::<u64>();
+            s.bytes_written += payload;
+            s.diff_bytes_written += payload;
             true
         } else {
             s.io_errors += 1;

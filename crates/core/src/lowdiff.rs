@@ -100,6 +100,7 @@ impl CheckpointPolicy for LowDiffPolicy {
                     keep_fulls: self.keep_fulls,
                 };
                 cx.persist_full(&self.store, &state, &opts);
+                cx.recycle_state(state);
             }
             Job::Dense { .. } => debug_assert!(false, "lowdiff submits compressed gradients"),
         }
@@ -233,9 +234,10 @@ impl CheckpointStrategy for LowDiffStrategy {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        // Snapshot: the in-memory copy is the only blocking cost; the
-        // write happens on the checkpointing thread.
-        let sub = self.engine.submit(t0, Job::Full(Box::new(state.clone())));
+        // Snapshot: an in-memory copy into a recycled, pre-sized engine
+        // slot is the only blocking cost (no allocation in steady state);
+        // the write happens on the checkpointing thread.
+        let sub = self.engine.submit_full(t0, state);
         if sub.delivered {
             if forced {
                 self.engine.with_stats(|s| s.forced_fulls += 1);

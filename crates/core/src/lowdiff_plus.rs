@@ -34,6 +34,7 @@ use lowdiff_comm::SyncPool;
 use lowdiff_optim::{Adam, ModelState};
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
+use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
 use std::ops::Range;
 use std::sync::Arc;
@@ -46,6 +47,12 @@ pub struct LowDiffPlusConfig {
     pub persist_every: u64,
     /// Snapshot thread-pool size (`P_s`).
     pub snapshot_threads: usize,
+    /// Dense staging buffers preallocated at attach time. Each in-flight
+    /// iteration (queued behind a slow persist) holds one Ψ-sized buffer,
+    /// so this is the pipeline depth the strategy can absorb without
+    /// allocating on the training thread; deeper bursts fall back to
+    /// allocation. Memory cost: `staging_depth × 4Ψ` bytes.
+    pub staging_depth: usize,
     /// Retry/backoff for persisting the replica. A persist that fails even
     /// after retries is skipped — the replica itself stays correct and the
     /// next persist interval re-anchors durable recovery.
@@ -61,6 +68,7 @@ impl Default for LowDiffPlusConfig {
         Self {
             persist_every: 10,
             snapshot_threads: 4,
+            staging_depth: 24,
             retry: RetryPolicy::default(),
             adam: Adam::default(),
         }
@@ -77,6 +85,12 @@ struct LowDiffPlusPolicy {
     replica: Arc<Mutex<ModelState>>,
     persist_every: u64,
     adam: Adam,
+    /// Reusable persist-time snapshot of the replica: `copy_from` into
+    /// this pre-sized slot replaces a fresh `clone()` every interval.
+    snap: ModelState,
+    /// Returns consumed staged gradients to the adapter's staging pool so
+    /// the per-iteration dense buffer is recycled, not reallocated.
+    staging_pool: Arc<BufferPool<f32>>,
 }
 
 impl CheckpointPolicy for LowDiffPlusPolicy {
@@ -92,18 +106,19 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
         let mut m_c = self.replica.lock();
         debug_assert_eq!(m_c.iteration, iteration, "replica fell out of step");
         m_c.apply_gradient(&self.adam, &grad); // update in CPU (line 12)
-        let reached = m_c.iteration;
-        let snapshot = reached
-            .is_multiple_of(self.persist_every)
-            .then(|| m_c.clone());
+        let persist = m_c.iteration.is_multiple_of(self.persist_every);
+        if persist {
+            self.snap.copy_from(&m_c);
+        }
         drop(m_c); // never hold the replica lock across storage I/O
+        self.staging_pool.put(grad); // recycle the staged dense buffer
         cx.with_stats(|s| s.diff_checkpoints += 1); // one in-memory ckpt per iter
-        if let Some(state) = snapshot {
+        if persist {
             // A persist that fails is skipped: the in-memory replica is
             // still exact (software recovery unaffected); durable recovery
             // falls back to the previous persisted full until the next
             // interval lands. Hence no re-anchor request.
-            cx.persist_full(&self.store, &state, &FullOpts::durable());
+            cx.persist_full(&self.store, &self.snap, &FullOpts::durable());
         }
     }
 }
@@ -114,6 +129,12 @@ pub struct LowDiffPlusStrategy {
     psi: usize,
     /// Host-memory staging buffer the snapshot pool writes into.
     staging: Arc<Mutex<Vec<f32>>>,
+    /// Recycles staged dense buffers: the policy returns each consumed
+    /// `Job::Dense` gradient here, `on_synced_gradient` reuses it as the
+    /// next staging buffer (double-buffered — no steady-state allocation).
+    staging_pool: Arc<BufferPool<f32>>,
+    /// Recycles the per-layer D2H copies made in `on_layer_gradient`.
+    layer_pool: Arc<BufferPool<f32>>,
     pool: SyncPool,
     /// The CPU-resident replica `M^C` (shared with the policy).
     replica: Arc<Mutex<ModelState>>,
@@ -127,12 +148,22 @@ impl LowDiffPlusStrategy {
         assert!(cfg.persist_every >= 1);
         let psi = initial.num_params();
         let staging = Arc::new(Mutex::new(vec![0.0f32; psi]));
+        // The staging ring: preallocate the whole pipeline depth so a
+        // burst of iterations queued behind a slow persist recycles these
+        // instead of allocating per iteration on the training thread.
+        let staging_pool = Arc::new(BufferPool::new(cfg.staging_depth.max(2)));
+        for _ in 0..cfg.staging_depth {
+            staging_pool.put(Vec::with_capacity(psi));
+        }
+        let layer_pool = Arc::new(BufferPool::new(2 * cfg.snapshot_threads.max(1)));
         let replica = Arc::new(Mutex::new(initial));
         let policy = LowDiffPlusPolicy {
             store: Arc::clone(&store),
             replica: Arc::clone(&replica),
             persist_every: cfg.persist_every,
             adam: cfg.adam,
+            snap: ModelState::new(Vec::new()),
+            staging_pool: Arc::clone(&staging_pool),
         };
         let engine = CheckpointEngine::spawn(
             store,
@@ -147,6 +178,8 @@ impl LowDiffPlusStrategy {
             cfg,
             psi,
             staging,
+            staging_pool,
+            layer_pool,
             replica,
             engine,
         }
@@ -197,14 +230,19 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
         grad: &[f32],
     ) -> Secs {
         let t0 = Instant::now();
-        // Own the layer gradient (the D2H copy), then let the snapshot
-        // pool place it into the staging buffer concurrently with the
-        // rest of backpropagation.
-        let owned = grad.to_vec();
+        // Own the layer gradient (the D2H copy, into a pooled buffer),
+        // then let the snapshot pool place it into the staging buffer
+        // concurrently with the rest of backpropagation.
+        let mut owned = self.layer_pool.get();
+        owned.extend_from_slice(grad);
         let staging = Arc::clone(&self.staging);
+        let layer_pool = Arc::clone(&self.layer_pool);
         self.pool.execute(move || {
-            let mut buf = staging.lock();
-            buf[range].copy_from_slice(&owned);
+            {
+                let mut buf = staging.lock();
+                buf[range].copy_from_slice(&owned);
+            }
+            layer_pool.put(owned);
         });
         self.engine.note_stall(t0)
     }
@@ -218,10 +256,14 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
         // H_s.wait(): all layer snapshots of this iteration must be staged.
         self.pool.wait();
         // Hand the complete gradient to the replica thread and reset the
-        // staging buffer for the next iteration.
+        // staging buffer for the next iteration. The replacement comes
+        // from the staging pool (fed by the policy once it has fused the
+        // previous gradient), so steady state swaps between two buffers.
+        let mut fresh = self.staging_pool.get(); // cleared: resize zero-fills
+        fresh.resize(self.psi, 0.0);
         let grad = {
             let mut buf = self.staging.lock();
-            std::mem::replace(&mut *buf, vec![0.0f32; self.psi])
+            std::mem::replace(&mut *buf, fresh)
         };
         self.engine.submit(t0, Job::Dense { iteration, grad }).stall
     }

@@ -35,6 +35,10 @@ pub struct StrategyStats {
     pub writes: u64,
     /// Bytes handed to storage.
     pub bytes_written: u64,
+    /// The differential-stream share of `bytes_written` (encoded diff
+    /// batches; full checkpoints and dense blobs are the remainder). This
+    /// is the stream the varint-delta v2 format shrinks.
+    pub diff_bytes_written: u64,
     /// Storage operations that failed even after retries were exhausted.
     pub io_errors: u64,
     /// Retry attempts spent recovering from transient storage failures.
@@ -63,6 +67,7 @@ impl StrategyStats {
         self.full_checkpoints += other.full_checkpoints;
         self.writes += other.writes;
         self.bytes_written += other.bytes_written;
+        self.diff_bytes_written += other.diff_bytes_written;
         self.io_errors += other.io_errors;
         self.io_retries += other.io_retries;
         self.dropped_diffs += other.dropped_diffs;
@@ -165,6 +170,7 @@ mod tests {
             full_checkpoints: 1,
             writes: 3,
             bytes_written: 100,
+            diff_bytes_written: 40,
             io_errors: 1,
             io_retries: 2,
             dropped_diffs: 3,
@@ -179,6 +185,7 @@ mod tests {
             full_checkpoints: 0,
             writes: 1,
             bytes_written: 50,
+            diff_bytes_written: 20,
             io_errors: 2,
             io_retries: 5,
             dropped_diffs: 0,
@@ -192,6 +199,7 @@ mod tests {
         assert_eq!(a.diff_checkpoints, 3);
         assert_eq!(a.writes, 4);
         assert_eq!(a.bytes_written, 150);
+        assert_eq!(a.diff_bytes_written, 60);
         assert_eq!(a.io_errors, 3);
         assert_eq!(a.io_retries, 7);
         assert_eq!(a.dropped_diffs, 3);

@@ -135,27 +135,39 @@ impl Adam {
         let vr = &mut state.v[range.clone()];
         let gr = &grad[range.start - grad_off..range.end - grad_off];
 
+        // The update is elementwise, so any chunking is bit-identical to
+        // the serial loop — including no chunking at all.
+        let kernel = |pc: &mut [f32], mc: &mut [f32], vc: &mut [f32], gc: &[f32]| {
+            for j in 0..pc.len() {
+                let g = gc[j];
+                let m = b1 * mc[j] + (1.0 - b1) * g;
+                let v = b2 * vc[j] + (1.0 - b2) * g * g;
+                mc[j] = m;
+                vc[j] = v;
+                let m_hat = m / bc1;
+                let v_hat = v / bc2;
+                let mut p = pc[j];
+                if self.weight_decay != 0.0 {
+                    p -= self.lr * self.weight_decay * p;
+                }
+                pc[j] = p - self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        };
+
+        // Serial fast path: on a single-thread pool the chunk fan-out is
+        // pure dispatch overhead, so run the kernel once over the whole
+        // range instead.
+        if rayon::pool::current_num_threads() == 1 {
+            kernel(pr, mr, vr, gr);
+            return;
+        }
+
         const CHUNK: usize = 1 << 15;
         pr.par_chunks_mut(CHUNK)
             .zip(mr.par_chunks_mut(CHUNK))
             .zip(vr.par_chunks_mut(CHUNK))
             .zip(gr.par_chunks(CHUNK))
-            .for_each(|(((pc, mc), vc), gc)| {
-                for j in 0..pc.len() {
-                    let g = gc[j];
-                    let m = b1 * mc[j] + (1.0 - b1) * g;
-                    let v = b2 * vc[j] + (1.0 - b2) * g * g;
-                    mc[j] = m;
-                    vc[j] = v;
-                    let m_hat = m / bc1;
-                    let v_hat = v / bc2;
-                    let mut p = pc[j];
-                    if self.weight_decay != 0.0 {
-                        p -= self.lr * self.weight_decay * p;
-                    }
-                    pc[j] = p - self.lr * m_hat / (v_hat.sqrt() + self.eps);
-                }
-            });
+            .for_each(|(((pc, mc), vc), gc)| kernel(pc, mc, vc, gc));
     }
 
     /// The *delta* this step would apply, without mutating `params`

@@ -34,6 +34,18 @@ impl ModelState {
         self.params.len()
     }
 
+    /// Overwrite `self` with `src`, reusing `self`'s existing allocations:
+    /// the snapshot-stage alternative to `clone()`. After the first call a
+    /// recycled state is already sized to Ψ, so steady-state snapshots are
+    /// pure `copy_from_slice` traffic with zero heap allocation.
+    pub fn copy_from(&mut self, src: &ModelState) {
+        self.iteration = src.iteration;
+        self.opt.t = src.opt.t;
+        copy_resized(&mut self.params, &src.params);
+        copy_resized(&mut self.opt.m, &src.opt.m);
+        copy_resized(&mut self.opt.v, &src.opt.v);
+    }
+
     /// Checkpoint payload size in bytes: `3Ψ · 4` (params + m + v),
     /// the quantity Finding 2 compares against a gradient's `Ψ · 4`.
     pub fn payload_bytes(&self) -> usize {
@@ -78,6 +90,17 @@ impl ModelState {
     }
 }
 
+/// `dst ← src`, growing/shrinking `dst` only when Ψ changed. The copy runs
+/// in cache-sized chunks so the destination lines being written stay
+/// resident while the loop advances.
+fn copy_resized(dst: &mut Vec<f32>, src: &[f32]) {
+    const CHUNK: usize = 1 << 16;
+    dst.resize(src.len(), 0.0);
+    for (d, s) in dst.chunks_mut(CHUNK).zip(src.chunks(CHUNK)) {
+        d.copy_from_slice(s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +137,24 @@ mod tests {
 
         assert_eq!(live.params, shadow.params);
         assert_eq!(live.iteration, shadow.iteration);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation_and_matches_clone() {
+        let adam = Adam::default();
+        let mut src = ModelState::new((0..5000).map(|i| i as f32 * 0.01).collect());
+        src.apply_gradient(&adam, &vec![0.5; 5000]);
+
+        let mut dst = ModelState::new(vec![0.0; 5000]);
+        let ptr = dst.params.as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src, "copy_from must equal a clone");
+        assert_eq!(dst.params.as_ptr(), ptr, "allocation must be reused");
+
+        // Ψ change: grows correctly, still equal.
+        let small = ModelState::new(vec![1.0; 3]);
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
     }
 
     #[test]

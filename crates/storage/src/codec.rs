@@ -3,10 +3,10 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! full checkpoint      diff batch
+//! full checkpoint      diff batch (v1 and v2)
 //! ┌──────────────┐     ┌──────────────────────┐
 //! │ magic "LDFC" │     │ magic "LDDB"         │
-//! │ version u16  │     │ version u16          │
+//! │ version u16  │     │ version u16 (1 or 2) │
 //! │ iteration u64│     │ count u32            │
 //! │ psi u64      │     │ count × {            │
 //! │ adam_t u64   │     │   iteration u64      │
@@ -17,6 +17,15 @@
 //! │ crc32 u32    │
 //! └──────────────┘
 //! ```
+//!
+//! Diff batches are **written as v2** and decoded as either version. The two
+//! versions differ only in the sparse-gradient payload: v1 stores `nnz` raw
+//! little-endian `u32` indices; v2 exploits that Top-K indices are sorted
+//! strictly increasing and stores them as LEB128 varint **deltas**
+//! (`idx[0], idx[1]-idx[0], …`). At ~1% density the average gap is ~100, so
+//! almost every delta fits one byte instead of four — roughly 2–3× fewer
+//! bytes per diff batch. Values stay bulk-LE `f32` in both versions, and
+//! the `Quant`/`Dense` representations are byte-identical across versions.
 //!
 //! The CRC covers every preceding byte; a checkpoint that fails its CRC (a
 //! torn write at failure time) is treated as absent during recovery.
@@ -40,6 +49,8 @@ use lowdiff_util::crc::crc32;
 pub const MAGIC_FULL: &[u8; 4] = b"LDFC";
 pub const MAGIC_DIFF: &[u8; 4] = b"LDDB";
 pub const VERSION: u16 = 1;
+/// Current diff-batch write format: varint-delta sparse indices.
+pub const DIFF_VERSION_V2: u16 = 2;
 
 /// Decode failure reasons.
 #[derive(Debug, PartialEq, Eq)]
@@ -126,6 +137,21 @@ fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
     }
 }
 
+/// Append `v` as an LEB128 varint (7 payload bits per byte, high bit =
+/// continuation). A `u64` takes at most 10 bytes; small values take one.
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
 // --- read helpers (borrowed cursor, no input copy) -------------------------
 
 /// Borrowing read cursor. Getters return `Err(Corrupt)` on underflow so a
@@ -176,6 +202,21 @@ impl<'a> Cursor<'a> {
     fn get_f32(&mut self, what: &'static str) -> Result<f32, CodecError> {
         Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
+
+    /// Decode an LEB128 varint. Rejects encodings longer than 10 bytes (the
+    /// `u64` maximum) so corrupt-but-CRC-valid data errors instead of
+    /// reading unbounded continuation bytes.
+    fn get_varint(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.get_u8(what)?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Corrupt("varint overflow"))
+    }
 }
 
 /// Bulk-decode `n` little-endian f32s: one memcpy on LE targets.
@@ -225,10 +266,9 @@ fn take_u32s(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u32>, CodecError> {
 }
 
 /// Append the CRC of everything written so far — in place, no payload copy.
-fn seal(mut buf: Vec<u8>) -> Vec<u8> {
-    let crc = crc32(&buf);
-    put_u32(&mut buf, crc);
-    buf
+fn seal_into(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    put_u32(buf, crc);
 }
 
 fn check_crc(data: &[u8]) -> Result<&[u8], CodecError> {
@@ -250,19 +290,29 @@ fn check_magic(cur: &mut Cursor<'_>, magic: &[u8; 4]) -> Result<(), CodecError> 
     }
 }
 
-/// Serialize a full checkpoint.
+/// Serialize a full checkpoint into a fresh buffer.
 pub fn encode_model_state(state: &ModelState) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(34 + state.params.len() * 12);
+    encode_model_state_into(state, &mut buf);
+    buf
+}
+
+/// Serialize a full checkpoint into `buf`, reusing its allocation. The
+/// buffer is cleared first, so a pooled buffer from a previous (possibly
+/// longer) encode never leaks stale bytes into this one.
+pub fn encode_model_state_into(state: &ModelState, buf: &mut Vec<u8>) {
+    buf.clear();
     let psi = state.params.len();
-    let mut buf = Vec::with_capacity(34 + psi * 12);
+    buf.reserve(34 + psi * 12);
     buf.extend_from_slice(MAGIC_FULL);
-    put_u16(&mut buf, VERSION);
-    put_u64(&mut buf, state.iteration);
-    put_u64(&mut buf, psi as u64);
-    put_u64(&mut buf, state.opt.t);
-    put_f32s(&mut buf, &state.params);
-    put_f32s(&mut buf, &state.opt.m);
-    put_f32s(&mut buf, &state.opt.v);
-    seal(buf)
+    put_u16(buf, VERSION);
+    put_u64(buf, state.iteration);
+    put_u64(buf, psi as u64);
+    put_u64(buf, state.opt.t);
+    put_f32s(buf, &state.params);
+    put_f32s(buf, &state.opt.m);
+    put_f32s(buf, &state.opt.v);
+    seal_into(buf);
 }
 
 /// Deserialize a full checkpoint, validating magic, version and CRC.
@@ -290,15 +340,10 @@ pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
     })
 }
 
-fn put_compressed(buf: &mut Vec<u8>, g: &CompressedGrad) {
+/// Shared `Quant`/`Dense` encoding (byte-identical in v1 and v2).
+fn put_compressed_common(buf: &mut Vec<u8>, g: &CompressedGrad) {
     match g {
-        CompressedGrad::Sparse(s) => {
-            put_u8(buf, 0);
-            put_u64(buf, s.dense_len as u64);
-            put_u32(buf, s.nnz() as u32);
-            put_u32s(buf, &s.indices);
-            put_f32s(buf, &s.values);
-        }
+        CompressedGrad::Sparse(_) => unreachable!("sparse handled per-version"),
         CompressedGrad::Quant(q) => {
             put_u8(buf, 1);
             put_u64(buf, q.dense_len as u64);
@@ -316,15 +361,76 @@ fn put_compressed(buf: &mut Vec<u8>, g: &CompressedGrad) {
     }
 }
 
-fn take_compressed(cur: &mut Cursor<'_>) -> Result<CompressedGrad, CodecError> {
+/// v1 gradient encoding: raw little-endian `u32` sparse indices.
+fn put_compressed_v1(buf: &mut Vec<u8>, g: &CompressedGrad) {
+    match g {
+        CompressedGrad::Sparse(s) => {
+            put_u8(buf, 0);
+            put_u64(buf, s.dense_len as u64);
+            put_u32(buf, s.nnz() as u32);
+            put_u32s(buf, &s.indices);
+            put_f32s(buf, &s.values);
+        }
+        other => put_compressed_common(buf, other),
+    }
+}
+
+/// v2 gradient encoding: sparse indices as varint deltas. Relies on the
+/// `SparseGrad` invariant that indices are strictly increasing (Top-K
+/// sorts before constructing), so every delta after the first is ≥ 1.
+fn put_compressed_v2(buf: &mut Vec<u8>, g: &CompressedGrad) {
+    match g {
+        CompressedGrad::Sparse(s) => {
+            debug_assert!(
+                s.indices.windows(2).all(|w| w[0] < w[1]),
+                "v2 delta encoding requires strictly increasing indices"
+            );
+            put_u8(buf, 0);
+            put_u64(buf, s.dense_len as u64);
+            put_u32(buf, s.nnz() as u32);
+            let mut prev = 0u32;
+            for (i, &idx) in s.indices.iter().enumerate() {
+                let delta = if i == 0 { idx } else { idx - prev };
+                put_varint(buf, u64::from(delta));
+                prev = idx;
+            }
+            put_f32s(buf, &s.values);
+        }
+        other => put_compressed_common(buf, other),
+    }
+}
+
+fn take_compressed(cur: &mut Cursor<'_>, version: u16) -> Result<CompressedGrad, CodecError> {
     match cur.get_u8("missing grad tag")? {
         0 => {
             let dense_len = cur.get_u64("truncated sparse grad")? as usize;
             let nnz = cur.get_u32("truncated sparse grad")? as usize;
-            if cur.remaining() < nnz * 8 {
+            let indices = if version >= DIFF_VERSION_V2 {
+                let mut indices = Vec::with_capacity(nnz);
+                let mut acc: u64 = 0;
+                for i in 0..nnz {
+                    let delta = cur.get_varint("truncated sparse index delta")?;
+                    if i > 0 && delta == 0 {
+                        return Err(CodecError::Corrupt("non-increasing sparse index"));
+                    }
+                    acc = acc
+                        .checked_add(delta)
+                        .ok_or(CodecError::Corrupt("sparse index overflow"))?;
+                    if acc >= dense_len as u64 || acc > u64::from(u32::MAX) {
+                        return Err(CodecError::Corrupt("sparse index out of range"));
+                    }
+                    indices.push(acc as u32);
+                }
+                indices
+            } else {
+                if cur.remaining() < nnz * 4 {
+                    return Err(CodecError::Corrupt("truncated sparse grad"));
+                }
+                take_u32s(cur, nnz)?
+            };
+            if cur.remaining() < nnz * 4 {
                 return Err(CodecError::Corrupt("truncated sparse grad"));
             }
-            let indices = take_u32s(cur, nnz)?;
             let values = take_f32s(cur, nnz)?;
             Ok(CompressedGrad::Sparse(SparseGrad::new(
                 dense_len, indices, values,
@@ -362,33 +468,77 @@ pub struct DiffEntry {
 }
 
 /// Serialize a batch of differential checkpoints (`C^B` in §4.2: one write
-/// I/O for `BS` reused gradients).
+/// I/O for `BS` reused gradients) in the current (v2, varint-delta) format.
 pub fn encode_diff_batch(entries: &[DiffEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    encode_diff_batch_into(entries, &mut buf);
+    buf
+}
+
+/// Serialize a diff batch (v2) into `buf`, reusing its allocation. The
+/// buffer is cleared first — stale bytes from a previous longer encode
+/// never survive.
+pub fn encode_diff_batch_into(entries: &[DiffEntry], buf: &mut Vec<u8>) {
+    encode_diff_entries_into(entries.iter().map(|e| (e.iteration, &e.grad)), buf);
+}
+
+/// Serialize a diff batch (v2) from *borrowed* gradients — the zero-copy
+/// path for buffers that hold `Arc<CompressedGrad>` handles (the batched
+/// writer): the payload is serialized straight from the shared handle,
+/// never cloned into an owned entry first. Byte-identical to
+/// [`encode_diff_batch_into`] over equivalent entries.
+pub fn encode_diff_batch_refs_into<'a, I>(entries: I, buf: &mut Vec<u8>)
+where
+    I: ExactSizeIterator<Item = (u64, &'a CompressedGrad)>,
+{
+    encode_diff_entries_into(entries, buf);
+}
+
+fn encode_diff_entries_into<'a, I>(entries: I, buf: &mut Vec<u8>)
+where
+    I: ExactSizeIterator<Item = (u64, &'a CompressedGrad)>,
+{
+    buf.clear();
+    buf.extend_from_slice(MAGIC_DIFF);
+    put_u16(buf, DIFF_VERSION_V2);
+    put_u32(buf, entries.len() as u32);
+    for (iteration, grad) in entries {
+        put_u64(buf, iteration);
+        put_compressed_v2(buf, grad);
+    }
+    seal_into(buf);
+}
+
+/// Serialize a diff batch in the legacy v1 layout (raw `u32` indices).
+/// Nothing writes v1 anymore; this exists so backward-compatibility tests
+/// can fabricate old blobs and prove [`decode_diff_batch`] still reads them.
+pub fn encode_diff_batch_v1(entries: &[DiffEntry]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     buf.extend_from_slice(MAGIC_DIFF);
     put_u16(&mut buf, VERSION);
     put_u32(&mut buf, entries.len() as u32);
     for e in entries {
         put_u64(&mut buf, e.iteration);
-        put_compressed(&mut buf, &e.grad);
+        put_compressed_v1(&mut buf, &e.grad);
     }
-    seal(buf)
+    seal_into(&mut buf);
+    buf
 }
 
-/// Deserialize a differential batch.
+/// Deserialize a differential batch, accepting both v1 and v2 layouts.
 pub fn decode_diff_batch(data: &[u8]) -> Result<Vec<DiffEntry>, CodecError> {
     let body = check_crc(data)?;
     let mut cur = Cursor::new(body);
     check_magic(&mut cur, MAGIC_DIFF)?;
     let version = cur.get_u16("truncated header")?;
-    if version != VERSION {
+    if version != VERSION && version != DIFF_VERSION_V2 {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let count = cur.get_u32("truncated header")? as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let iteration = cur.get_u64("truncated diff entry")?;
-        let grad = take_compressed(&mut cur)?;
+        let grad = take_compressed(&mut cur, version)?;
         out.push(DiffEntry { iteration, grad });
     }
     if cur.has_remaining() {
@@ -402,7 +552,9 @@ pub mod reference {
     //! element-at-a-time `to_le_bytes` loops, a full payload copy at seal
     //! time, and a full input copy before decoding — exactly the costs the
     //! bulk codec removed. Property tests assert `encode*` here is
-    //! byte-identical to the bulk encoder; `bench_hotpath` times the gap.
+    //! byte-identical to the bulk encoder (the diff encoder against the
+    //! retained [`super::encode_diff_batch_v1`], since this module predates
+    //! the varint-delta v2 layout); `bench_hotpath` times the gap.
 
     use super::{CodecError, DiffEntry, MAGIC_DIFF, MAGIC_FULL, VERSION};
     use lowdiff_compress::CompressedGrad;
@@ -609,11 +761,94 @@ mod tests {
         ];
         let bytes = encode_diff_batch(&entries);
         assert_eq!(decode_diff_batch(&bytes).unwrap(), entries);
+        let v1 = encode_diff_batch_v1(&entries);
         assert_eq!(
-            bytes,
-            reference::encode_diff_batch(&entries),
-            "bulk and per-element diff encoders must agree byte for byte"
+            decode_diff_batch(&v1).unwrap(),
+            entries,
+            "legacy v1 blobs must keep decoding"
         );
+        assert_eq!(
+            v1,
+            reference::encode_diff_batch(&entries),
+            "bulk v1 and per-element diff encoders must agree byte for byte"
+        );
+    }
+
+    #[test]
+    fn v2_sparse_smaller_than_v1() {
+        // 1% density over 100k elements: gaps ≈ 100 fit one varint byte.
+        let mut rng = DetRng::new(77);
+        let n = 100_000usize;
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        // Deterministic subsample of ~1%.
+        indices.retain(|&i| {
+            let _ = i;
+            rng.next_u64().is_multiple_of(100)
+        });
+        let values: Vec<f32> = indices.iter().map(|&i| i as f32 * 0.5).collect();
+        let entries = vec![DiffEntry {
+            iteration: 42,
+            grad: CompressedGrad::Sparse(SparseGrad::new(n, indices, values)),
+        }];
+        let v2 = encode_diff_batch(&entries);
+        let v1 = encode_diff_batch_v1(&entries);
+        assert_eq!(decode_diff_batch(&v2).unwrap(), entries);
+        assert!(
+            (v2.len() as f64) < 0.7 * v1.len() as f64,
+            "v2 ({}) should be well under v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn encode_into_reuses_allocation_without_stale_bytes() {
+        // Encode a long batch into a buffer, then a strictly shorter one
+        // into the same buffer: the result must be byte-identical to a
+        // fresh encode (no stale suffix), reusing the same allocation.
+        let long = vec![DiffEntry {
+            iteration: 1,
+            grad: CompressedGrad::Dense(vec![1.0; 4096]),
+        }];
+        let short = vec![DiffEntry {
+            iteration: 2,
+            grad: CompressedGrad::Sparse(SparseGrad::new(64, vec![3, 9], vec![0.5, -0.5])),
+        }];
+        let mut buf = Vec::new();
+        encode_diff_batch_into(&long, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_diff_batch_into(&short, &mut buf);
+        assert_eq!(buf, encode_diff_batch(&short), "stale bytes leaked");
+        assert_eq!(buf.capacity(), cap, "allocation was not reused");
+        assert_eq!(buf.as_ptr(), ptr, "allocation was not reused");
+
+        let st = demo_state(512, 11);
+        let mut fb = Vec::new();
+        encode_model_state_into(&st, &mut fb);
+        assert_eq!(fb, encode_model_state(&st));
+        let small = demo_state(8, 12);
+        encode_model_state_into(&small, &mut fb);
+        assert_eq!(fb, encode_model_state(&small), "stale bytes leaked");
+    }
+
+    #[test]
+    fn v2_varint_rejects_corrupt_deltas() {
+        // A zero delta after the first index means non-increasing indices;
+        // decode must fail cleanly rather than panic in SparseGrad::new.
+        let entries = vec![DiffEntry {
+            iteration: 7,
+            grad: CompressedGrad::Sparse(SparseGrad::new(10, vec![1, 2], vec![1.0, 2.0])),
+        }];
+        let mut bytes = encode_diff_batch(&entries);
+        bytes.truncate(bytes.len() - 4); // strip crc
+                                         // Layout: magic(4) version(2) count(4) iter(8) tag(1) dense_len(8)
+                                         // nnz(4) → first delta byte at offset 31, second at 32.
+        bytes[32] = 0; // delta 1 → 0
+        let crc = lowdiff_util::crc::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let err = decode_diff_batch(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "got {err:?}");
     }
 
     #[test]

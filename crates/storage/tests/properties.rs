@@ -67,7 +67,7 @@ proptest! {
     }
 
     /// decode ∘ encode = identity for differential batches of any mix of
-    /// representations.
+    /// representations — in the current v2 (varint-delta) layout.
     #[test]
     fn diff_batch_roundtrip(
         grads in prop::collection::vec(arb_grad(100), 0..6),
@@ -80,6 +80,48 @@ proptest! {
             .collect();
         let bytes = codec::encode_diff_batch(&entries);
         prop_assert_eq!(codec::decode_diff_batch(&bytes).unwrap(), entries);
+    }
+
+    /// Backward compatibility: blobs written in the legacy v1 layout decode
+    /// to exactly the same entries as their v2 counterparts.
+    #[test]
+    fn v1_diff_blobs_still_decode(
+        grads in prop::collection::vec(arb_grad(100), 0..6),
+        start in 0u64..1000,
+    ) {
+        let entries: Vec<DiffEntry> = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, grad)| DiffEntry { iteration: start + i as u64, grad })
+            .collect();
+        let v1 = codec::encode_diff_batch_v1(&entries);
+        prop_assert_eq!(codec::decode_diff_batch(&v1).unwrap(), entries.clone());
+        let v2 = codec::encode_diff_batch(&entries);
+        prop_assert_eq!(
+            codec::decode_diff_batch(&v1).unwrap(),
+            codec::decode_diff_batch(&v2).unwrap()
+        );
+    }
+
+    /// `encode_*_into` with a dirty reused buffer is byte-identical to a
+    /// fresh encode: a longer previous encode never leaks a stale suffix.
+    #[test]
+    fn encode_into_never_leaks_stale_bytes(
+        st in arb_state(),
+        grads in prop::collection::vec(arb_grad(80), 0..5),
+        junk in prop::collection::vec(0u8..=255, 0..4096),
+    ) {
+        let entries: Vec<DiffEntry> = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, grad)| DiffEntry { iteration: i as u64, grad })
+            .collect();
+        let mut buf = junk.clone();
+        codec::encode_diff_batch_into(&entries, &mut buf);
+        prop_assert_eq!(&buf, &codec::encode_diff_batch(&entries));
+        let mut buf = junk;
+        codec::encode_model_state_into(&st, &mut buf);
+        prop_assert_eq!(&buf, &codec::encode_model_state(&st));
     }
 
     /// Any single-byte corruption is detected (CRC or structural error) —
@@ -97,9 +139,10 @@ proptest! {
     }
 
     /// The bulk (memcpy) encoder must be byte-identical to the retained
-    /// per-element reference encoder — for full checkpoints and for diff
-    /// batches of every representation mix. This is what lets the bulk
-    /// rewrite ship without a format version bump.
+    /// per-element reference encoder — for full checkpoints and for v1 diff
+    /// batches of every representation mix (the reference module predates
+    /// the v2 layout). This is what let the bulk rewrite ship without a
+    /// format version bump.
     #[test]
     fn bulk_encoding_byte_identical_to_reference(
         st in arb_state(),
@@ -115,7 +158,7 @@ proptest! {
             .map(|(i, grad)| DiffEntry { iteration: i as u64, grad })
             .collect();
         prop_assert_eq!(
-            codec::encode_diff_batch(&entries),
+            codec::encode_diff_batch_v1(&entries),
             codec::reference::encode_diff_batch(&entries)
         );
     }

@@ -11,12 +11,14 @@
 pub mod clock;
 pub mod crc;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod units;
 
 pub use clock::{Clock, SimClock, SystemClock};
 pub use crc::crc32;
+pub use pool::BufferPool;
 pub use rng::DetRng;
 pub use stats::Summary;
 pub use units::{Bandwidth, ByteSize, Secs};

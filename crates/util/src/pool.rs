@@ -1,0 +1,122 @@
+//! [`BufferPool`] — reusable `Vec` allocations for steady-state-allocation-
+//! free pipelines.
+//!
+//! The checkpoint data path moves large flat buffers (encode images,
+//! staged dense gradients) between the training thread and the
+//! checkpointing thread every iteration. Allocating them fresh each time
+//! puts the allocator on the hot path; the pool instead recycles a small
+//! number of slots: `get` pops a cleared buffer that keeps its previous
+//! capacity, `put` returns it. Once every stage has touched its peak size,
+//! the pipeline stops allocating entirely.
+//!
+//! Buffers come back **cleared but with capacity intact** — `get` never
+//! hands out stale contents, so a shorter encode after a longer one cannot
+//! leak the old suffix (callers still `clear()` defensively where the
+//! format requires it).
+
+use std::sync::Mutex;
+
+/// A thread-safe pool of reusable `Vec<T>` buffers.
+///
+/// Holds at most `max_retained` empty buffers; returning more simply drops
+/// the excess (bounding idle memory). `get` on an empty pool allocates a
+/// fresh `Vec::new()` — the pool is an optimization, never a limit.
+pub struct BufferPool<T = u8> {
+    slots: Mutex<Vec<Vec<T>>>,
+    max_retained: usize,
+}
+
+impl<T> BufferPool<T> {
+    /// A pool retaining up to `max_retained` idle buffers.
+    pub fn new(max_retained: usize) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            max_retained,
+        }
+    }
+
+    /// Pop a cleared buffer (capacity preserved from its previous life),
+    /// or a fresh empty one when the pool is dry.
+    pub fn get(&self) -> Vec<T> {
+        self.slots.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool. Contents are cleared here so a pooled
+    /// buffer can never carry bytes between users; capacity is kept.
+    pub fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        let mut slots = self.slots.lock().unwrap();
+        if slots.len() < self.max_retained {
+            slots.push(buf);
+        }
+    }
+
+    /// Idle buffers currently held.
+    pub fn retained(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+}
+
+impl<T> Default for BufferPool<T> {
+    /// Double-buffered: one slot in flight, one being refilled.
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_reuses_allocation() {
+        let pool: BufferPool<u8> = BufferPool::new(2);
+        let mut b = pool.get();
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = b.capacity();
+        let ptr = b.as_ptr();
+        pool.put(b);
+        let b2 = pool.get();
+        assert!(b2.is_empty(), "pooled buffer must come back cleared");
+        assert_eq!(b2.capacity(), cap);
+        assert_eq!(b2.as_ptr(), ptr, "same allocation must be recycled");
+    }
+
+    #[test]
+    fn empty_pool_allocates_fresh() {
+        let pool: BufferPool<f32> = BufferPool::new(1);
+        assert_eq!(pool.retained(), 0);
+        let b = pool.get();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool: BufferPool<u8> = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(64));
+        }
+        assert_eq!(pool.retained(), 2, "excess returns must be dropped");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::<u8>::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let mut b = p.get();
+                    b.push(7);
+                    p.put(b);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.retained() <= 4);
+    }
+}

@@ -17,6 +17,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p lowdiff-bench --bin bench_hotpath --bin bench_ckpt_e2e
+# Pin glibc's malloc thresholds: the simulated storage backend retains
+# multi-MB blobs, and with the default dynamic mmap threshold every blob
+# is a fresh mmap whose pages fault in cold — on lazily-backed VMs that
+# costs tens of microseconds *per page* and swamps the numbers being
+# measured. A high threshold keeps blob memory on the recycled heap.
+export MALLOC_MMAP_THRESHOLD_=134217728
+export MALLOC_TRIM_THRESHOLD_=134217728
+
+# count-allocs installs the counting global allocator so the e2e JSON
+# records per-strategy steady-state allocation counts (the zero-copy data
+# path's acceptance metric); its cost is two relaxed atomics per alloc.
+cargo build --release -p lowdiff-bench --features count-allocs \
+  --bin bench_hotpath --bin bench_ckpt_e2e
 target/release/bench_hotpath --out BENCH_hotpath.json "$@"
 target/release/bench_ckpt_e2e --out BENCH_ckpt_e2e.json

@@ -7,6 +7,8 @@
 # 2. cargo clippy          — every lint is an error across the workspace,
 #                            all targets (libs, bins, tests, benches)
 # 3. cargo test -q         — the full workspace test suite
+# 4. bench --smoke         — both benchmark binaries complete on a tiny
+#                            configuration (no JSON written)
 #
 # Fails fast: the first failing step fails the gate.
 
@@ -21,5 +23,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== test =="
 cargo test -q --workspace
+
+echo "== bench smoke =="
+cargo build --release -q -p lowdiff-bench --features count-allocs \
+  --bin bench_hotpath --bin bench_ckpt_e2e
+# Same malloc pinning as scripts/bench.sh (see the comment there).
+MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
+  target/release/bench_hotpath --smoke
+MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
+  target/release/bench_ckpt_e2e --smoke
 
 echo "CI gate passed."

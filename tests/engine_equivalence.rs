@@ -18,7 +18,7 @@ use lowdiff::strategy::CheckpointStrategy;
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_optim::{Adam, ModelState};
-use lowdiff_storage::codec::DiffEntry;
+use lowdiff_storage::codec::{self, DiffEntry};
 use lowdiff_storage::{CheckpointStore, MemoryBackend};
 use lowdiff_util::DetRng;
 use proptest::prelude::*;
@@ -330,6 +330,50 @@ fn check_naive_dc(seed: u64, psi: usize, iters: u64, diff_every: u64, full_every
     assert_eq!(rec.params, rec_b.params, "naive-dc recovery params");
 }
 
+// ------------------------------------------------- mixed v1/v2 diff chains
+
+/// Recovery over a differential chain whose batches mix the legacy raw-index
+/// v1 format and the varint-delta v2 format must land bit-identically on the
+/// state the dense replay produces: the per-blob version byte is a decode
+/// detail, invisible to Algorithm 1.
+fn check_mixed_version_chain(seed: u64, psi: usize, iters: u64, batch: usize) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+    let store = mem_store();
+
+    let mut state = ModelState::new(init);
+    store.save_full(&state).unwrap();
+    let mut comp = TopK::new(0.25);
+    let mut entries = Vec::new();
+    for g in &grads {
+        let cg = comp.compress(g);
+        entries.push(DiffEntry {
+            iteration: state.iteration,
+            grad: cg.clone(),
+        });
+        // The dense path: what an uninterrupted run would hold.
+        state.apply_gradient(&adam, &cg.to_dense());
+    }
+    for (k, chunk) in entries.chunks(batch.max(1)).enumerate() {
+        if k % 2 == 0 {
+            // Legacy writer: raw little-endian u32 index lists (v1).
+            let bytes = codec::encode_diff_batch_v1(chunk);
+            store
+                .put_diff_batch_bytes(chunk[0].iteration, chunk.last().unwrap().iteration, &bytes)
+                .unwrap();
+        } else {
+            // Current writer: varint-delta v2.
+            store.save_diff_batch(chunk).unwrap();
+        }
+    }
+
+    let (rec, _) = recover_serial(&store, &adam).unwrap().unwrap();
+    assert_eq!(rec.iteration, state.iteration, "mixed chain: iteration");
+    assert_eq!(rec.params, state.params, "mixed chain: params diverged");
+    assert_eq!(rec.opt.m, state.opt.m, "mixed chain: adam m diverged");
+    assert_eq!(rec.opt.v, state.opt.v, "mixed chain: adam v diverged");
+}
+
 // ------------------------------------------------------------------ tests
 
 #[test]
@@ -339,6 +383,21 @@ fn all_strategies_match_reference_on_default_trace() {
     check_full_snapshot_baselines(13, 32, 25, 3);
     check_gemini(14, 32, 25, 2, 4);
     check_naive_dc(15, 32, 25, 2, 8, 0.3);
+}
+
+#[test]
+fn mixed_version_chain_matches_dense_replay() {
+    check_mixed_version_chain(21, 48, 23, 3);
+}
+
+/// Pooled encode buffers recycle across 12Ψ-byte full encodes and far
+/// smaller diff batches — including a shorter 3-entry tail batch (27 % 4)
+/// — through the same [`lowdiff_util::BufferPool`]. Byte-identity against
+/// the fresh-buffer reference proves a reused buffer never leaks stale
+/// bytes into a shorter encode.
+#[test]
+fn pooled_buffer_reuse_with_shrinking_encodes_is_clean() {
+    check_lowdiff(22, 64, 27, 6, 4);
 }
 
 proptest! {
@@ -401,5 +460,17 @@ proptest! {
         rho in 0.1f64..0.6,
     ) {
         check_naive_dc(seed, psi, iters, diff_every, diff_every * full_mult, rho);
+    }
+
+    /// Chains mixing v1 and v2 diff blobs recover exactly (satellite: the
+    /// upgrade story — old blobs and new blobs interleave in one store).
+    #[test]
+    fn mixed_version_chains_recover_exactly(
+        seed in 0u64..1000,
+        psi in 8usize..48,
+        iters in 2u64..24,
+        batch in 1usize..5,
+    ) {
+        check_mixed_version_chain(seed, psi, iters, batch);
     }
 }
