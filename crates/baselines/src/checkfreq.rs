@@ -17,6 +17,7 @@
 
 use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
+use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
@@ -35,9 +36,9 @@ impl CheckpointPolicy for CheckFreqPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        if let Job::Full(state) = job {
-            cx.persist_full(&self.store, &state, &FullOpts::durable());
-            cx.recycle_state(state);
+        if let Job::Full(snap) = job {
+            cx.persist_full(&self.store, &snap.state, &snap.aux(), &FullOpts::durable());
+            cx.recycle_state(snap);
         } else {
             debug_assert!(false, "checkfreq submits full snapshots");
         }
@@ -56,6 +57,20 @@ impl CheckFreqStrategy {
     }
 
     pub fn with_retry_policy(store: Arc<CheckpointStore>, every: u64, retry: RetryPolicy) -> Self {
+        Self::with_engine_config(
+            store,
+            every,
+            EngineConfig {
+                retry,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Full-control constructor (crash injection, health export, …). The
+    /// depth-1 pipeline is part of the scheme, so `queue_capacity` is
+    /// always pinned to 1 regardless of `cfg`.
+    pub fn with_engine_config(store: Arc<CheckpointStore>, every: u64, cfg: EngineConfig) -> Self {
         assert!(every >= 1);
         let policy = CheckFreqPolicy {
             store: Arc::clone(&store),
@@ -68,8 +83,7 @@ impl CheckFreqStrategy {
             policy,
             EngineConfig {
                 queue_capacity: 1,
-                retry,
-                ..EngineConfig::default()
+                ..cfg
             },
         );
         Self { every, engine }
@@ -85,7 +99,7 @@ impl CheckpointStrategy for CheckFreqStrategy {
         "checkfreq"
     }
 
-    fn after_update(&mut self, state: &ModelState) -> Secs {
+    fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !state.iteration.is_multiple_of(self.every) {
             return Secs::ZERO;
         }
@@ -94,7 +108,7 @@ impl CheckpointStrategy for CheckFreqStrategy {
         // recycled engine slot, then enqueue for persist; blocks when the
         // pipeline is full — the CheckFreq stall at high frequency. A dead
         // persist thread degrades the run instead of aborting training.
-        self.engine.submit_full(t0, state).stall
+        self.engine.submit_full(t0, state, aux).stall
     }
 
     fn flush(&mut self) -> Secs {
@@ -123,7 +137,7 @@ mod tests {
         let mut state = ModelState::new(vec![0.0; 64]);
         for _ in 0..9 {
             state.iteration += 1;
-            s.after_update(&state);
+            s.after_update(&state, &AuxView::NONE);
         }
         s.flush();
         assert_eq!(st.full_iterations().unwrap(), vec![3, 6, 9]);
@@ -141,7 +155,7 @@ mod tests {
         let mut s = CheckFreqStrategy::new(Arc::clone(&st), 1);
         let mut state = ModelState::new(vec![0.0; 50_000]);
         state.iteration = 1;
-        let stall = s.after_update(&state);
+        let stall = s.after_update(&state, &AuxView::NONE);
         // Snapshot = clone + enqueue only; generous CI bound.
         assert!(stall.as_f64() < 0.2, "snapshot blocked on persist: {stall}");
         s.flush();
@@ -156,7 +170,7 @@ mod tests {
         for i in 0..5 {
             state.iteration += 1;
             state.params[0] = i as f32;
-            s.after_update(&state);
+            s.after_update(&state, &AuxView::NONE);
         }
         s.flush();
         let rec = st.latest_valid_full().unwrap().unwrap();
@@ -185,15 +199,15 @@ mod tests {
         );
         let mut state = ModelState::new(vec![0.0; 16]);
         state.iteration = 1;
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         s.flush();
         faulty.fail_all_puts();
         state.iteration = 2;
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         s.flush();
         faulty.heal();
         state.iteration = 3;
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         s.flush();
         let stats = s.stats();
         assert!(stats.io_errors >= 1);
@@ -212,7 +226,7 @@ mod tests {
         let mut s = CheckFreqStrategy::new(st, 1);
         let mut state = ModelState::new(vec![0.0; 8]);
         state.iteration = 1;
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         drop(s); // must not hang
     }
 }

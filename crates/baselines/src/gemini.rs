@@ -16,6 +16,7 @@ use lowdiff::engine::{
     CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, Tier,
 };
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
+use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, MemoryBackend};
 use lowdiff_util::units::Secs;
@@ -37,7 +38,7 @@ impl CheckpointPolicy for GeminiPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        let Job::Full(state) = job else {
+        let Job::Full(snap) = job else {
             debug_assert!(false, "gemini submits full snapshots");
             return;
         };
@@ -48,16 +49,21 @@ impl CheckpointPolicy for GeminiPolicy {
             reanchor_on_failure: false,
             keep_fulls: None,
         };
-        cx.persist_full(&self.mem, &state, &mem_opts);
+        cx.persist_full(&self.mem, &snap.state, &snap.aux(), &mem_opts);
         // Keep the memory tier small: one live ckpt. (Best-effort; a GC
         // failure in the fast tier is not data loss.)
-        let _ = self.mem.gc_before(state.iteration);
-        if state.iteration % self.persist_every == 0 {
+        let _ = self.mem.gc_before(snap.state.iteration);
+        if snap.state.iteration % self.persist_every == 0 {
             // Durable tier stale until the next persist interval lands if
             // this write fails.
-            cx.persist_full(&self.durable, &state, &FullOpts::durable());
+            cx.persist_full(
+                &self.durable,
+                &snap.state,
+                &snap.aux(),
+                &FullOpts::durable(),
+            );
         }
-        cx.recycle_state(state);
+        cx.recycle_state(snap);
     }
 }
 
@@ -73,6 +79,23 @@ pub struct GeminiStrategy {
 
 impl GeminiStrategy {
     pub fn new(durable_store: Arc<CheckpointStore>, mem_every: u64, persist_every: u64) -> Self {
+        Self::with_engine_config(
+            durable_store,
+            mem_every,
+            persist_every,
+            EngineConfig::default(),
+        )
+    }
+
+    /// Full-control constructor (crash injection, retry tuning, …). The
+    /// depth-2 queue is part of the scheme, so `queue_capacity` is always
+    /// pinned to 2 regardless of `cfg`.
+    pub fn with_engine_config(
+        durable_store: Arc<CheckpointStore>,
+        mem_every: u64,
+        persist_every: u64,
+        cfg: EngineConfig,
+    ) -> Self {
         assert!(mem_every >= 1 && persist_every >= mem_every);
         let mem_store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
         let policy = GeminiPolicy {
@@ -87,7 +110,7 @@ impl GeminiStrategy {
             policy,
             EngineConfig {
                 queue_capacity: 2,
-                ..EngineConfig::default()
+                ..cfg
             },
         );
         Self {
@@ -118,12 +141,12 @@ impl CheckpointStrategy for GeminiStrategy {
         "gemini"
     }
 
-    fn after_update(&mut self, state: &ModelState) -> Secs {
+    fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !state.iteration.is_multiple_of(self.mem_every) {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.engine.submit_full(t0, state).stall
+        self.engine.submit_full(t0, state, aux).stall
     }
 
     fn flush(&mut self) -> Secs {
@@ -149,7 +172,7 @@ mod tests {
         for i in 0..iters {
             state.iteration += 1;
             state.params[0] = i as f32;
-            s.after_update(&state);
+            s.after_update(&state, &AuxView::NONE);
         }
         s.flush();
         state

@@ -22,7 +22,7 @@
 use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::sparsify::TopK;
-use lowdiff_compress::Compressor;
+use lowdiff_compress::{AuxView, Compressor};
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::DiffEntry;
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
@@ -58,16 +58,17 @@ impl CheckpointPolicy for NaiveDcPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        let Job::Full(state) = job else {
+        let Job::Full(snap) = job else {
             debug_assert!(false, "naive-dc submits full snapshots");
             return;
         };
+        let state = &snap.state;
         if !self.has_base || state.iteration.is_multiple_of(self.full_every) {
             // The first checkpoint is always a full base (Equation (2)
             // needs a C^F to anchor the differential chain).
             // Synchronous full checkpoint (Check-N-Run persists the base
             // synchronously too).
-            if cx.persist_full(&self.store, &state, &FullOpts::durable()) {
+            if cx.persist_full(&self.store, state, &snap.aux(), &FullOpts::durable()) {
                 self.has_base = true;
                 if self.reanchor_pending {
                     self.reanchor_pending = false;
@@ -78,7 +79,7 @@ impl CheckpointPolicy for NaiveDcPolicy {
                 // re-attempts the full — the chain must stay anchored.
                 self.has_base = false;
             }
-            self.retain_params(&state);
+            self.retain_params(state);
         } else if state.iteration.is_multiple_of(self.diff_every) {
             if let Some(prev) = &self.prev_params {
                 // 1. delta computation (training thread).
@@ -120,13 +121,13 @@ impl CheckpointPolicy for NaiveDcPolicy {
                     self.has_base = false;
                     self.reanchor_pending = true;
                 }
-                self.retain_params(&state);
+                self.retain_params(state);
             } else {
                 // No base yet: retain state so the first diff has a parent.
-                self.retain_params(&state);
+                self.retain_params(state);
             }
         }
-        cx.recycle_state(state);
+        cx.recycle_state(snap);
     }
 }
 
@@ -159,6 +160,27 @@ impl NaiveDcStrategy {
         rho: f64,
         retry: RetryPolicy,
     ) -> Self {
+        Self::with_engine_config(
+            store,
+            diff_every,
+            full_every,
+            rho,
+            EngineConfig {
+                retry,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Full-control constructor (crash injection, retry tuning, …). The
+    /// engine stays inline — synchronous persist *is* the scheme.
+    pub fn with_engine_config(
+        store: Arc<CheckpointStore>,
+        diff_every: u64,
+        full_every: u64,
+        rho: f64,
+        cfg: EngineConfig,
+    ) -> Self {
         assert!(diff_every >= 1 && full_every >= diff_every);
         let policy = NaiveDcPolicy {
             store: Arc::clone(&store),
@@ -169,14 +191,7 @@ impl NaiveDcStrategy {
             has_base: false,
             reanchor_pending: false,
         };
-        let engine = CheckpointEngine::inline(
-            store,
-            policy,
-            EngineConfig {
-                retry,
-                ..EngineConfig::default()
-            },
-        );
+        let engine = CheckpointEngine::inline(store, policy, cfg);
         Self { engine }
     }
 
@@ -238,12 +253,12 @@ impl CheckpointStrategy for NaiveDcStrategy {
         "naive-dc"
     }
 
-    fn after_update(&mut self, state: &ModelState) -> Secs {
+    fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !self.engine.wants_capture(state.iteration) {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.engine.submit_full(t0, state).stall
+        self.engine.submit_full(t0, state, aux).stall
     }
 
     fn flush(&mut self) -> Secs {
@@ -276,11 +291,11 @@ mod tests {
         let mut rng = DetRng::new(3);
         let mut state = ModelState::new(vec![0.5; 200]);
         let mut s = NaiveDcStrategy::new(st, 1, full_every, rho);
-        s.after_update(&state); // iteration 0: base full checkpoint
+        s.after_update(&state, &AuxView::NONE); // iteration 0: base full checkpoint
         for _ in 0..iters {
             let g: Vec<f32> = (0..200).map(|_| rng.normal() as f32 * 0.1).collect();
             state.apply_gradient(&adam, &g);
-            s.after_update(&state);
+            s.after_update(&state, &AuxView::NONE);
         }
         state
     }
@@ -386,18 +401,18 @@ mod tests {
                 max_delay: std::time::Duration::from_micros(500),
             },
         );
-        s.after_update(&state); // iteration 0: base full
+        s.after_update(&state, &AuxView::NONE); // iteration 0: base full
         let g = vec![0.1; 64];
         state.apply_gradient(&adam, &g); // iteration 1
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         // Outage drops the iteration-2 diff.
         faulty.fail_all_puts();
         state.apply_gradient(&adam, &g); // iteration 2
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         faulty.heal();
         // Next interval re-anchors with a forced full instead of a diff.
         state.apply_gradient(&adam, &g); // iteration 3
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         let stats = s.stats();
         assert!(stats.io_errors >= 1);
         assert_eq!(stats.dropped_diffs, 1);
@@ -421,9 +436,9 @@ mod tests {
         let adam = Adam::default();
         let mut state = ModelState::new(vec![0.0; 50_000]);
         let mut s = NaiveDcStrategy::new(st, 1, 1000, 0.01);
-        s.after_update(&state);
+        s.after_update(&state, &AuxView::NONE);
         state.apply_gradient(&adam, &vec![0.1; 50_000]);
-        let stall = s.after_update(&state);
+        let stall = s.after_update(&state, &AuxView::NONE);
         assert!(stall.as_f64() > 0.0, "sync diff write must stall");
     }
 }

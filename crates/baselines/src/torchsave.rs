@@ -2,6 +2,7 @@
 
 use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
+use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
@@ -25,9 +26,9 @@ impl CheckpointPolicy for TorchSavePolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        if let Job::Full(state) = job {
-            cx.persist_full(&self.store, &state, &FullOpts::durable());
-            cx.recycle_state(state);
+        if let Job::Full(snap) = job {
+            cx.persist_full(&self.store, &snap.state, &snap.aux(), &FullOpts::durable());
+            cx.recycle_state(snap);
         } else {
             debug_assert!(false, "torch-save submits full snapshots");
         }
@@ -44,19 +45,25 @@ pub struct TorchSaveStrategy {
 
 impl TorchSaveStrategy {
     pub fn new(store: Arc<CheckpointStore>, every: u64) -> Self {
+        Self::with_engine_config(
+            store,
+            every,
+            EngineConfig {
+                retry: RetryPolicy::default(),
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Full-control constructor (crash injection, retry tuning, …). The
+    /// engine stays inline — synchronous persist *is* the scheme.
+    pub fn with_engine_config(store: Arc<CheckpointStore>, every: u64, cfg: EngineConfig) -> Self {
         assert!(every >= 1);
         let policy = TorchSavePolicy {
             store: Arc::clone(&store),
             every,
         };
-        let engine = CheckpointEngine::inline(
-            store,
-            policy,
-            EngineConfig {
-                retry: RetryPolicy::default(),
-                ..EngineConfig::default()
-            },
-        );
+        let engine = CheckpointEngine::inline(store, policy, cfg);
         Self { engine }
     }
 
@@ -70,12 +77,12 @@ impl CheckpointStrategy for TorchSaveStrategy {
         "torch-save"
     }
 
-    fn after_update(&mut self, state: &ModelState) -> Secs {
+    fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !self.engine.wants_capture(state.iteration) {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
-        self.engine.submit_full(t0, state).stall
+        self.engine.submit_full(t0, state, aux).stall
     }
 
     fn flush(&mut self) -> Secs {
@@ -108,7 +115,7 @@ mod tests {
         let mut state = ModelState::new(vec![0.0; 32]);
         for _ in 0..12 {
             advance(&mut state);
-            s.after_update(&state);
+            s.after_update(&state, &AuxView::NONE);
         }
         assert_eq!(st.full_iterations().unwrap(), vec![5, 10]);
         assert_eq!(s.stats().full_checkpoints, 2);
@@ -121,7 +128,7 @@ mod tests {
         let mut s = TorchSaveStrategy::new(st, 1);
         let mut state = ModelState::new(vec![0.0; 100_000]);
         advance(&mut state);
-        let stall = s.after_update(&state);
+        let stall = s.after_update(&state, &AuxView::NONE);
         assert!(stall.as_f64() > 0.0, "synchronous write must stall");
     }
 
@@ -133,7 +140,7 @@ mod tests {
         for _ in 0..4 {
             advance(&mut state);
             state.params[0] += 1.0;
-            s.after_update(&state);
+            s.after_update(&state, &AuxView::NONE);
         }
         let rec = st.latest_valid_full().unwrap().unwrap();
         assert_eq!(rec.iteration, 4);

@@ -28,7 +28,7 @@ use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::strategy::CheckpointStrategy;
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_bench::print_table;
-use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
+use lowdiff_compress::{AuxView, CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, MemoryBackend, StorageBackend, ThrottledBackend};
 use lowdiff_util::units::Bandwidth;
@@ -195,9 +195,11 @@ fn main() {
             iters,
             strat,
             move |s, st| {
-                let a = s.on_synced_gradient(st.iteration, &cg).as_f64();
+                let a = s
+                    .on_synced_gradient(st.iteration, &cg, &AuxView::NONE)
+                    .as_f64();
                 st.iteration += 1;
-                a + s.after_update(st).as_f64()
+                a + s.after_update(st, &AuxView::NONE).as_f64()
             },
             &initial,
         ));
@@ -223,7 +225,9 @@ fn main() {
             strat,
             move |s, st| {
                 let a = s.on_layer_gradient(st.iteration, 0, 0..psi, &grad).as_f64();
-                let b = s.on_synced_gradient(st.iteration, &empty).as_f64();
+                let b = s
+                    .on_synced_gradient(st.iteration, &empty, &AuxView::NONE)
+                    .as_f64();
                 st.iteration += 1;
                 a + b
             },
@@ -241,7 +245,7 @@ fn main() {
             strat,
             |s, st| {
                 st.iteration += 1;
-                s.after_update(st).as_f64()
+                s.after_update(st, &AuxView::NONE).as_f64()
             },
             &initial,
         ));
@@ -256,7 +260,7 @@ fn main() {
             strat,
             |s, st| {
                 st.iteration += 1;
-                s.after_update(st).as_f64()
+                s.after_update(st, &AuxView::NONE).as_f64()
             },
             &initial,
         ));
@@ -271,7 +275,7 @@ fn main() {
             strat,
             |s, st| {
                 st.iteration += 1;
-                s.after_update(st).as_f64()
+                s.after_update(st, &AuxView::NONE).as_f64()
             },
             &initial,
         ));
@@ -288,7 +292,7 @@ fn main() {
                 let idx = st.iteration as usize % st.params.len();
                 st.params[idx] += 1e-3;
                 st.iteration += 1;
-                s.after_update(st).as_f64()
+                s.after_update(st, &AuxView::NONE).as_f64()
             },
             &initial,
         ));

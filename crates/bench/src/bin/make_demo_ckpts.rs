@@ -36,6 +36,7 @@ fn main() {
         TrainerConfig {
             compress_ratio: Some(0.05),
             error_feedback: true,
+            ..TrainerConfig::default()
         },
     );
     tr.run(27, |net, _| {

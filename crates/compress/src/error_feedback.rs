@@ -62,9 +62,21 @@ impl<C: Compressor> ErrorFeedback<C> {
         sent
     }
 
-    /// Current residual (for tests / diagnostics).
+    /// Current residual (for tests / diagnostics / checkpoint capture).
     pub fn residual(&self) -> &[f32] {
         &self.residual
+    }
+
+    /// Restore the residual from a checkpoint — the exact-resume path.
+    /// Without this, a restarted run re-starts error feedback from zero and
+    /// silently diverges from the uninterrupted run.
+    pub fn set_residual(&mut self, residual: &[f32]) {
+        assert_eq!(
+            residual.len(),
+            self.residual.len(),
+            "residual length mismatch"
+        );
+        self.residual.copy_from_slice(residual);
     }
 
     /// L2 norm of the residual — a convergence health metric.

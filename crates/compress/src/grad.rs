@@ -18,11 +18,18 @@ pub struct SparseGrad {
 
 impl SparseGrad {
     /// Build, validating the invariants (sorted, unique, in range).
+    ///
+    /// Strictly-increasing is a *hard* assert, not a debug one: a duplicate
+    /// index makes the sparse `add_into` path accumulate (`+=`) where the
+    /// dense path would overwrite, so sharded and serial recovery could
+    /// silently disagree. Rejecting at construction makes that state
+    /// unrepresentable; decoders must pre-validate untrusted input and
+    /// report `Corrupt` instead of reaching this assert.
     pub fn new(dense_len: usize, indices: Vec<u32>, values: Vec<f32>) -> Self {
         assert_eq!(indices.len(), values.len(), "index/value length mismatch");
-        debug_assert!(
+        assert!(
             indices.windows(2).all(|w| w[0] < w[1]),
-            "indices must be strictly increasing"
+            "indices must be strictly increasing (sorted, unique)"
         );
         if let Some(&last) = indices.last() {
             assert!((last as usize) < dense_len, "index {last} out of range");

@@ -18,12 +18,14 @@
 //! Size accounting (`payload_bytes`) is exact — the storage experiments
 //! (Exp. 7) and the transmission cost model read these numbers.
 
+pub mod aux;
 pub mod error_feedback;
 pub mod grad;
 pub mod qsgd;
 pub mod quant;
 pub mod sparsify;
 
+pub use aux::{AuxState, AuxView, CompressorCfg, CompressorKind};
 pub use error_feedback::ErrorFeedback;
 pub use grad::{CompressedGrad, QuantGrad, SparseGrad};
 pub use qsgd::Qsgd;

@@ -105,10 +105,67 @@ pub fn dequantize(q: &QuantGrad) -> Vec<f32> {
     out
 }
 
+/// Decode only `range` of the dense gradient into `out`
+/// (`out.len() == range.len()`). Every encoding is element-addressable —
+/// uniform 8-bit and QSGD are one byte per element, uniform 4-bit is one
+/// nibble (low nibble first) — so sharded recovery can decode its own
+/// window in O(range) instead of expanding the full Ψ-sized vector.
+pub fn dequantize_range(q: &QuantGrad, range: std::ops::Range<usize>, out: &mut [f32]) {
+    assert!(range.end <= q.dense_len, "range beyond dense_len");
+    assert_eq!(out.len(), range.len(), "output buffer length mismatch");
+    if q.zero == f32::MAX {
+        // QSGD plane: sign in the MSB, level in the low 7 bits.
+        assert_eq!(q.bits, 8, "QSGD uses the 8-bit plane");
+        for (o, &c) in out.iter_mut().zip(&q.codes[range]) {
+            let level = (c & 0x7F) as f32;
+            let sign = if c & 0x80 != 0 { -1.0 } else { 1.0 };
+            *o = sign * q.scale * level;
+        }
+        return;
+    }
+    match q.bits {
+        8 => {
+            for (o, &c) in out.iter_mut().zip(&q.codes[range]) {
+                *o = q.zero + c as f32 * q.scale;
+            }
+        }
+        4 => {
+            for (o, i) in out.iter_mut().zip(range) {
+                let byte = q.codes[i / 2];
+                let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                *o = q.zero + code as f32 * q.scale;
+            }
+        }
+        b => panic!("unsupported bit width {b}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lowdiff_util::DetRng;
+
+    #[test]
+    fn dequantize_range_matches_full_decode() {
+        let mut rng = DetRng::new(9);
+        let g: Vec<f32> = (0..257).map(|_| rng.normal() as f32).collect();
+        for c in [
+            UniformQuant::new(8).compress(&g),
+            UniformQuant::new(4).compress(&g),
+            crate::Qsgd::new(64, 3).compress(&g),
+        ] {
+            let q = match &c {
+                CompressedGrad::Quant(q) => q,
+                _ => unreachable!(),
+            };
+            let full = dequantize(q);
+            for range in [0..257usize, 0..1, 13..14, 13..100, 100..257, 255..257] {
+                let mut out = vec![0.0f32; range.len()];
+                dequantize_range(q, range.clone(), &mut out);
+                assert_eq!(out, full[range.clone()], "range {range:?}");
+            }
+        }
+    }
 
     #[test]
     fn roundtrip_error_bounded_8bit() {

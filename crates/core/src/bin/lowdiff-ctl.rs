@@ -4,6 +4,7 @@
 //! lowdiff-ctl list <dir>                 list checkpoints and chains
 //! lowdiff-ctl validate <dir>             CRC-check every blob
 //! lowdiff-ctl health <dir>               chain-integrity report + exit code
+//! lowdiff-ctl resume-info <dir>          what a Trainer::resume would restore
 //! lowdiff-ctl recover <dir> [--shards N] [--out FILE]
 //!                                        restore the newest state
 //! lowdiff-ctl gc <dir> --keep-from ITER  delete older checkpoints
@@ -32,7 +33,7 @@ macro_rules! out {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  lowdiff-ctl list <dir>\n  lowdiff-ctl validate <dir>\n  \
-         lowdiff-ctl health <dir>\n  \
+         lowdiff-ctl health <dir>\n  lowdiff-ctl resume-info <dir>\n  \
          lowdiff-ctl recover <dir> [--shards N] [--out FILE]\n  \
          lowdiff-ctl gc <dir> --keep-from ITER"
     );
@@ -299,6 +300,63 @@ fn cmd_health(dir: &str) {
     out!("healthy");
 }
 
+/// What `Trainer::resume` would restore from this directory: checkpoint
+/// format version, which auxiliary sections (EF residual, compressor
+/// identity, data-RNG cursor) the anchor full carries, and how far the
+/// differential chain can fast-forward. Exit code 1 when the only resume
+/// possible is lossy (a v1 or aux-less blob).
+fn cmd_resume_info(dir: &str) {
+    let store = open(dir);
+    let fc = match or_die(
+        "read latest full checkpoint",
+        store.latest_valid_full_checkpoint(),
+    ) {
+        Some(fc) => fc,
+        None => {
+            eprintln!("no valid full checkpoint in {dir}: resume would cold-start");
+            exit(1);
+        }
+    };
+    let anchor = fc.state.iteration;
+    out!(
+        "anchor: full@{anchor} (format v{}, {} params)",
+        fc.version,
+        fc.state.num_params()
+    );
+    let opt = |present: bool| if present { "present" } else { "absent" };
+    out!(
+        "aux: residual={} compressor={} rng-cursor={}",
+        opt(fc.aux.residual.is_some()),
+        match fc.aux.compressor {
+            Some(c) => format!("{c:?}"),
+            None => "absent".into(),
+        },
+        opt(fc.aux.rng.is_some()),
+    );
+    let chain = or_die("walk differential chain", store.diff_chain_from(anchor));
+    if fc.aux.residual.is_some() {
+        out!(
+            "error-feedback run: resume anchors at full@{anchor} \
+             ({} differential(s) past it are superseded by the residual)",
+            chain.len()
+        );
+    } else {
+        out!(
+            "fast-forward: {} differential(s) replayable to iteration {}",
+            chain.len(),
+            anchor + chain.len() as u64
+        );
+    }
+    if fc.lossy {
+        out!(
+            "LOSSY: blob carries no auxiliary state — an error-feedback \
+             run resumed from it may silently diverge"
+        );
+        exit(1);
+    }
+    out!("resume is bit-exact for the recorded configuration");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -307,6 +365,9 @@ fn main() {
             cmd_validate(args.get(2).map(String::as_str).unwrap_or_else(|| usage()))
         }
         Some("health") => cmd_health(args.get(2).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("resume-info") => {
+            cmd_resume_info(args.get(2).map(String::as_str).unwrap_or_else(|| usage()))
+        }
         Some("recover") => {
             let dir = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
             let mut shards = 1usize;

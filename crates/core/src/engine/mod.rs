@@ -35,18 +35,21 @@
 //! (policies account through [`EngineCtx`]) and exports a small health
 //! blob ([`HEALTH_KEY`]) that `lowdiff-ctl health` surfaces.
 
+pub mod crash;
 pub mod metrics;
 pub mod persist;
 pub mod policy;
 
+pub use crash::{CrashInjector, CrashPoint, ALL_CRASH_POINTS};
 pub use metrics::{EngineCounters, EngineMetrics, LatencyHist, StageLatency};
 pub use persist::{EngineCtx, FullOpts, Tier};
-pub use policy::{CheckpointPolicy, Job, PolicyCtl};
+pub use policy::{CheckpointPolicy, FullSnapshot, Job, PolicyCtl};
 
 use crate::strategy::StrategyStats;
 use crossbeam::channel::{
     bounded, unbounded, Receiver, Select, Sender, TryRecvError, TrySendError,
 };
+use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
@@ -58,23 +61,25 @@ use std::time::Instant;
 
 /// Recycled snapshot slots: the engine's answer to
 /// `Job::Full(Box::new(state.clone()))`. [`CheckpointEngine::submit_full`]
-/// pops a slot and `copy_from`s the live state into its existing
-/// allocation; the policy returns the box via [`EngineCtx::recycle_state`]
-/// once the bytes are durable.
+/// pops a slot and `copy_from`s the live state — and the error-feedback
+/// residual, when present — into its existing allocations; the policy
+/// returns the box via [`EngineCtx::recycle_state`] once the bytes are
+/// durable.
 ///
 /// The pool is sized to the pipeline depth (up to [`Self::MAX_DEPTH`]):
 /// one slot on the worker, up to `queue_capacity` queued, one being
 /// refilled by the trainer. On the *first* anchor the whole pool is primed
-/// with slots pre-sized to the model, so the trainer never allocates a
-/// full-state buffer again even while earlier fulls are still in flight —
-/// recycling only has to keep up on average, not per-anchor. Pipelines
-/// deeper than the pool fall back to allocating (and the excess is dropped
-/// on recycle).
+/// with slots pre-sized to the model (residual buffer included), so the
+/// trainer never allocates a full-state buffer again even while earlier
+/// fulls are still in flight — recycling only has to keep up on average,
+/// not per-anchor. Pipelines deeper than the pool fall back to allocating
+/// (and the excess is dropped on recycle).
 pub(crate) struct SnapshotSlots {
-    // Slots stay boxed: `Job::Full` carries `Box<ModelState>`, so pooling
-    // the box keeps get/put free of a 3Ψ move in and out of the Vec.
+    // Slots stay boxed: `Job::Full` carries `Box<FullSnapshot>`, so
+    // pooling the box keeps get/put free of a >3Ψ move in and out of the
+    // Vec.
     #[allow(clippy::vec_box)]
-    slots: Mutex<Vec<Box<ModelState>>>,
+    slots: Mutex<Vec<Box<FullSnapshot>>>,
     depth: usize,
     primed: AtomicBool,
 }
@@ -94,26 +99,29 @@ impl SnapshotSlots {
 
     /// Pop a slot, priming the pool with `depth` pre-sized slots first if
     /// this is the first anchor (the one-time cost lands in warmup, not
-    /// steady state).
-    fn get_primed(&self, like: &ModelState) -> Box<ModelState> {
+    /// steady state). The residual buffer is pre-sized from the first
+    /// anchor's aux view, so error-feedback runs stay allocation-free too.
+    fn get_primed(&self, like: &ModelState, aux: &AuxView<'_>) -> Box<FullSnapshot> {
         if !self.primed.swap(true, Ordering::Relaxed) {
+            let res_len = aux.residual.map_or(0, <[f32]>::len);
             let mut slots = self.slots.lock();
             while slots.len() < self.depth {
-                let mut s = Box::new(ModelState::new(Vec::new()));
-                s.copy_from(like);
+                let mut s = Box::new(FullSnapshot::empty());
+                s.state.copy_from(like);
+                s.residual = vec![0.0; res_len];
                 slots.push(s);
             }
         }
         self.slots
             .lock()
             .pop()
-            .unwrap_or_else(|| Box::new(ModelState::new(Vec::new())))
+            .unwrap_or_else(|| Box::new(FullSnapshot::empty()))
     }
 
-    pub(crate) fn put(&self, state: Box<ModelState>) {
+    pub(crate) fn put(&self, snap: Box<FullSnapshot>) {
         let mut slots = self.slots.lock();
         if slots.len() < self.depth {
-            slots.push(state);
+            slots.push(snap);
         }
     }
 }
@@ -132,6 +140,9 @@ pub struct EngineConfig {
     pub retry: RetryPolicy,
     /// Export the health blob under [`HEALTH_KEY`] on flush/shutdown.
     pub export_health: bool,
+    /// Deterministic crash-point injection (torture tests). `None` in
+    /// production: every check is a no-op.
+    pub crash: Option<Arc<CrashInjector>>,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +151,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             export_health: true,
+            crash: None,
         }
     }
 }
@@ -168,6 +180,7 @@ pub struct CheckpointEngine {
     force_full: Arc<AtomicBool>,
     buffers: Arc<BufferPool<u8>>,
     snaps: Arc<SnapshotSlots>,
+    crash: Option<Arc<CrashInjector>>,
     stall: Secs,
     backpressure: u64,
     export_health: bool,
@@ -204,6 +217,7 @@ impl CheckpointEngine {
             let force_full = Arc::clone(&force_full);
             let buffers = Arc::clone(&buffers);
             let snaps = Arc::clone(&snaps);
+            let crash = cfg.crash.clone();
             let retry = cfg.retry;
             std::thread::Builder::new()
                 .name(format!("ckpt-engine-{name}"))
@@ -218,6 +232,7 @@ impl CheckpointEngine {
                         metrics,
                         buffers,
                         snaps,
+                        crash,
                     )
                 })
                 .expect("spawn checkpointing thread")
@@ -231,6 +246,7 @@ impl CheckpointEngine {
             force_full,
             buffers,
             snaps,
+            crash: cfg.crash,
             stall: Secs::ZERO,
             backpressure: 0,
             export_health: cfg.export_health,
@@ -259,6 +275,7 @@ impl CheckpointEngine {
             // Inline engines recycle the slot before submit returns: a
             // single slot double-buffers against nothing and suffices.
             snaps: Arc::new(SnapshotSlots::new(1)),
+            crash: cfg.crash,
             stall: Secs::ZERO,
             backpressure: 0,
             export_health: cfg.export_health,
@@ -280,15 +297,33 @@ impl CheckpointEngine {
             .is_none_or(|p| p.wants_capture(iteration))
     }
 
-    /// Submit a full snapshot of `state` without cloning it: the state is
-    /// copied into a recycled, pre-sized snapshot slot (pure
+    /// Has an armed crash injector fired? A crashed engine is a dead
+    /// process: every subsequent operation is a no-op.
+    fn crash_dead(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.crashed())
+    }
+
+    /// Submit a full snapshot of `state` + auxiliary training state (EF
+    /// residual, compressor identity, data-RNG cursor) without cloning:
+    /// everything is copied into a recycled, pre-sized snapshot slot (pure
     /// `copy_from_slice` traffic in steady state — zero heap allocation
     /// once the pool is primed on the first anchor), which the policy
     /// returns to the engine after persisting via
     /// [`EngineCtx::recycle_state`].
-    pub fn submit_full(&mut self, since: Instant, state: &ModelState) -> Submitted {
-        let mut slot = self.snaps.get_primed(state);
-        slot.copy_from(state);
+    pub fn submit_full(
+        &mut self,
+        since: Instant,
+        state: &ModelState,
+        aux: &AuxView<'_>,
+    ) -> Submitted {
+        if self.crash_dead() {
+            return Submitted {
+                stall: Secs(since.elapsed().as_secs_f64()),
+                delivered: false,
+            };
+        }
+        let mut slot = self.snaps.get_primed(state, aux);
+        slot.capture(state, aux);
         self.submit(since, Job::Full(slot))
     }
 
@@ -296,6 +331,16 @@ impl CheckpointEngine {
     /// elapsed time — capture + enqueue, or the whole inline persist — is
     /// the snapshot-stage latency and the training-thread stall.
     pub fn submit(&mut self, since: Instant, job: Job) -> Submitted {
+        if let Some(c) = &self.crash {
+            // A PreSnapshot crash kills the training process before the
+            // job enters the pipeline; once crashed, nothing else lands.
+            if c.crashed() || c.hit(CrashPoint::PreSnapshot) {
+                return Submitted {
+                    stall: Secs(since.elapsed().as_secs_f64()),
+                    delivered: false,
+                };
+            }
+        }
         let delivered = if let Some(tx) = &self.job_tx {
             match tx.try_send(job) {
                 Ok(()) => true,
@@ -317,6 +362,7 @@ impl CheckpointEngine {
                 metrics: &self.metrics,
                 buffers: &self.buffers,
                 snaps: &self.snaps,
+                crash: self.crash.as_deref(),
             };
             policy.process(job, &mut cx);
             let stall = Secs(since.elapsed().as_secs_f64());
@@ -353,8 +399,12 @@ impl CheckpointEngine {
     }
 
     /// Block until all submitted work is durable (drains the queue, then
-    /// flushes the policy's partial batches).
+    /// flushes the policy's partial batches). A crashed engine does not
+    /// flush: the dead process's buffered work is lost by definition.
     pub fn flush(&mut self) -> Secs {
+        if self.crash_dead() {
+            return Secs::ZERO;
+        }
         let t0 = Instant::now();
         if let Some(tx) = &self.ctl_tx {
             let (ack_tx, ack_rx) = unbounded();
@@ -370,6 +420,7 @@ impl CheckpointEngine {
                 metrics: &self.metrics,
                 buffers: &self.buffers,
                 snaps: &self.snaps,
+                crash: self.crash.as_deref(),
             };
             policy.flush(&mut cx);
         }
@@ -393,6 +444,7 @@ impl CheckpointEngine {
                 metrics: &self.metrics,
                 buffers: &self.buffers,
                 snaps: &self.snaps,
+                crash: self.crash.as_deref(),
             };
             policy.control(ctl, &mut cx);
         }
@@ -435,7 +487,9 @@ impl CheckpointEngine {
     /// `lowdiff-ctl health`. Never counted in stats; failures ignored
     /// (health reporting must not create health problems).
     fn export_health(&self) {
-        if !self.export_health {
+        // A dead process exports nothing — the health blob would be a
+        // post-crash write the torture harness must never observe.
+        if !self.export_health || self.crash_dead() {
             return;
         }
         let s = self.stats();
@@ -500,6 +554,7 @@ fn worker_loop(
     metrics: Arc<EngineMetrics>,
     buffers: Arc<BufferPool<u8>>,
     snaps: Arc<SnapshotSlots>,
+    crash: Option<Arc<CrashInjector>>,
 ) {
     let mut cx = EngineCtx {
         retry: &retry,
@@ -508,6 +563,7 @@ fn worker_loop(
         metrics: &metrics,
         buffers: &buffers,
         snaps: &snaps,
+        crash: crash.as_deref(),
     };
     let mut job_open = true;
     let mut ctl_open = true;

@@ -12,10 +12,13 @@
 //! * the forced-full re-anchor request after dropped differential data,
 //! * encode/persist stage latency recording.
 
+use super::crash::{CrashInjector, CrashPoint};
 use super::metrics::EngineMetrics;
+use super::policy::FullSnapshot;
 use super::SnapshotSlots;
 use crate::batched::BatchedWriter;
 use crate::strategy::StrategyStats;
+use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::{self, DiffEntry};
 use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
@@ -67,12 +70,23 @@ pub struct EngineCtx<'a> {
     pub(super) metrics: &'a EngineMetrics,
     pub(super) buffers: &'a BufferPool<u8>,
     pub(super) snaps: &'a SnapshotSlots,
+    pub(super) crash: Option<&'a CrashInjector>,
 }
 
 impl EngineCtx<'_> {
     /// Mutate the shared stats under the lock.
     pub fn with_stats<R>(&self, f: impl FnOnce(&mut StrategyStats) -> R) -> R {
         f(&mut self.shared.lock())
+    }
+
+    /// The simulated process is dead: every persist becomes a no-op.
+    fn crash_dead(&self) -> bool {
+        self.crash.is_some_and(|c| c.crashed())
+    }
+
+    /// Check-and-fire the armed crash point, if any.
+    fn crash_hit(&self, point: CrashPoint) -> bool {
+        self.crash.is_some_and(|c| c.hit(point))
     }
 
     /// Ask the training side to schedule an early full checkpoint.
@@ -82,29 +96,50 @@ impl EngineCtx<'_> {
 
     /// Return a processed snapshot slot to the engine's recycle pool so
     /// the next [`super::CheckpointEngine::submit_full`] reuses its
-    /// allocation instead of cloning. Policies call this once they no
+    /// allocations instead of cloning. Policies call this once they no
     /// longer need the state of a [`super::Job::Full`].
-    pub fn recycle_state(&self, state: Box<ModelState>) {
-        self.snaps.put(state);
+    pub fn recycle_state(&self, snap: Box<FullSnapshot>) {
+        self.snaps.put(snap);
     }
 
-    /// Encode and persist a full checkpoint of `state` to `store`.
+    /// Encode and persist a full checkpoint of `state` + `aux` to `store`
+    /// (v2 format: model state plus EF residual / compressor / RNG cursor).
     /// Returns whether the write landed.
     pub fn persist_full(
         &mut self,
         store: &CheckpointStore,
         state: &ModelState,
+        aux: &AuxView<'_>,
         opts: &FullOpts,
     ) -> bool {
+        if self.crash_dead() {
+            return false;
+        }
         let t0 = Instant::now();
         let mut bytes = self.buffers.get();
-        codec::encode_model_state_into(state, &mut bytes);
+        codec::encode_full_checkpoint_into(state, aux, &mut bytes);
         self.metrics.encode.record(t0.elapsed());
+        if self.crash_hit(CrashPoint::PostEncode) {
+            self.buffers.put(bytes);
+            return false;
+        }
+        if self.crash_hit(CrashPoint::MidPersist) {
+            // Power cut mid-write: a torn prefix lands directly (no retry —
+            // the process is gone). The codec CRC rejects it at load time.
+            let _ = store.put_full(state.iteration, &bytes[..bytes.len() / 2]);
+            self.buffers.put(bytes);
+            return false;
+        }
         let t1 = Instant::now();
         let r = with_retry(self.retry, || store.put_full(state.iteration, &bytes));
         self.buffers.put(bytes);
         self.metrics.persist.record(t1.elapsed());
         let ok = r.result.is_ok();
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            // The blob is durable, but the process dies before
+            // acknowledging it: no accounting, no GC, no re-anchor.
+            return false;
+        }
         {
             let mut s = self.shared.lock();
             s.io_retries += r.retries as u64;
@@ -142,11 +177,24 @@ impl EngineCtx<'_> {
     /// re-anchoring full checkpoint is requested. Returns whether the
     /// batch landed (an empty buffer trivially "lands").
     pub fn persist_batch(&mut self, store: &CheckpointStore, writer: &mut BatchedWriter) -> bool {
+        if self.crash_dead() {
+            return false;
+        }
         let t0 = Instant::now();
         let Some(enc) = writer.encode_batch_with(self.buffers.get()) else {
             return true;
         };
         self.metrics.encode.record(t0.elapsed());
+        if self.crash_hit(CrashPoint::PostEncode) {
+            self.buffers.put(enc.bytes);
+            return false;
+        }
+        if self.crash_hit(CrashPoint::MidPersist) {
+            let cut = enc.bytes.len() / 2;
+            let _ = store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes[..cut]);
+            self.buffers.put(enc.bytes);
+            return false;
+        }
         let t1 = Instant::now();
         let r = with_retry(self.retry, || {
             store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)
@@ -154,6 +202,12 @@ impl EngineCtx<'_> {
         self.metrics.persist.record(t1.elapsed());
         let written = enc.bytes.len() as u64;
         self.buffers.put(enc.bytes);
+        if r.result.is_ok() && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            // Durable but unacknowledged: the batch stays buffered (no
+            // `complete_write`), which on resume shows up as an overlapping
+            // diff key — harmless, the chain walker skips past it.
+            return false;
+        }
         let mut s = self.shared.lock();
         s.io_retries += r.retries as u64;
         if r.result.is_ok() {
@@ -184,17 +238,33 @@ impl EngineCtx<'_> {
     /// `dropped_batches`; the *caller* decides how to re-anchor (Naïve DC
     /// tracks its base validity itself).
     pub fn persist_diff_entries(&mut self, store: &CheckpointStore, entries: &[DiffEntry]) -> bool {
+        if self.crash_dead() {
+            return false;
+        }
         let t0 = Instant::now();
         let mut bytes = self.buffers.get();
         codec::encode_diff_batch_into(entries, &mut bytes);
         self.metrics.encode.record(t0.elapsed());
         let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
+        if self.crash_hit(CrashPoint::PostEncode) {
+            self.buffers.put(bytes);
+            return false;
+        }
+        if self.crash_hit(CrashPoint::MidPersist) {
+            let cut = bytes.len() / 2;
+            let _ = store.put_diff_batch_bytes(start, end, &bytes[..cut]);
+            self.buffers.put(bytes);
+            return false;
+        }
         let t1 = Instant::now();
         let r = with_retry(self.retry, || {
             store.put_diff_batch_bytes(start, end, &bytes)
         });
         self.metrics.persist.record(t1.elapsed());
         self.buffers.put(bytes);
+        if r.result.is_ok() && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            return false;
+        }
         let mut s = self.shared.lock();
         s.io_retries += r.retries as u64;
         if r.result.is_ok() {
@@ -219,9 +289,19 @@ impl EngineCtx<'_> {
     /// Persist an opaque blob under `key` (Naïve DC's dense moments).
     /// Failure degrades but drops nothing from the differential chain.
     pub fn persist_blob(&mut self, store: &CheckpointStore, key: &str, bytes: &[u8]) -> bool {
+        if self.crash_dead() {
+            return false;
+        }
+        if self.crash_hit(CrashPoint::MidPersist) {
+            let _ = store.backend().put(key, &bytes[..bytes.len() / 2]);
+            return false;
+        }
         let t1 = Instant::now();
         let r = with_retry(self.retry, || store.backend().put(key, bytes));
         self.metrics.persist.record(t1.elapsed());
+        if r.result.is_ok() && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            return false;
+        }
         let mut s = self.shared.lock();
         s.io_retries += r.retries as u64;
         if r.result.is_ok() {

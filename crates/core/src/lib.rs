@@ -32,12 +32,13 @@ pub mod trainer;
 pub use batched::{BatchMode, BatchedWriter};
 pub use config::{ConfigOptimizer, WastedTimeModel};
 pub use engine::{
-    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCounters, EngineCtx, FullOpts, Job,
-    PolicyCtl, StageLatency, Tier,
+    CheckpointEngine, CheckpointPolicy, CrashInjector, CrashPoint, EngineConfig, EngineCounters,
+    EngineCtx, FullOpts, FullSnapshot, Job, PolicyCtl, StageLatency, Tier, ALL_CRASH_POINTS,
 };
 pub use lowdiff::{LowDiffConfig, LowDiffStrategy};
+pub use lowdiff_compress::{AuxState, AuxView, CompressorCfg, CompressorKind};
 pub use lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 pub use queue::ReusingQueue;
 pub use recovery::{recover_serial, recover_sharded, RecoveryReport};
 pub use strategy::{CheckpointStrategy, NoCheckpoint, StrategyStats};
-pub use trainer::{Trainer, TrainerConfig, TrainerReport};
+pub use trainer::{ResumeOpts, ResumeReport, Trainer, TrainerConfig, TrainerReport};

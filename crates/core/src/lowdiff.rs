@@ -22,10 +22,11 @@
 
 use crate::batched::{BatchMode, BatchedWriter};
 use crate::engine::{
-    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, PolicyCtl, Tier,
+    CheckpointEngine, CheckpointPolicy, CrashInjector, EngineConfig, EngineCtx, FullOpts, Job,
+    PolicyCtl, Tier,
 };
 use crate::strategy::{CheckpointStrategy, StrategyStats};
-use lowdiff_compress::CompressedGrad;
+use lowdiff_compress::{AuxView, CompressedGrad};
 use lowdiff_optim::ModelState;
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
@@ -51,6 +52,8 @@ pub struct LowDiffConfig {
     /// thread. After the policy is exhausted the batch is dropped and an
     /// early full checkpoint is forced — training is never aborted.
     pub retry: RetryPolicy,
+    /// Deterministic crash-point injection (torture tests only).
+    pub crash: Option<Arc<CrashInjector>>,
 }
 
 impl Default for LowDiffConfig {
@@ -62,6 +65,7 @@ impl Default for LowDiffConfig {
             queue_capacity: 64,
             keep_fulls: None,
             retry: RetryPolicy::default(),
+            crash: None,
         }
     }
 }
@@ -90,7 +94,7 @@ impl CheckpointPolicy for LowDiffPolicy {
                     cx.persist_batch(&self.store, &mut self.writer);
                 }
             }
-            Job::Full(state) => {
+            Job::Full(snap) => {
                 let opts = FullOpts {
                     tier: Tier::Durable,
                     // A full that never lands must be re-attempted soon:
@@ -99,8 +103,8 @@ impl CheckpointPolicy for LowDiffPolicy {
                     reanchor_on_failure: true,
                     keep_fulls: self.keep_fulls,
                 };
-                cx.persist_full(&self.store, &state, &opts);
-                cx.recycle_state(state);
+                cx.persist_full(&self.store, &snap.state, &snap.aux(), &opts);
+                cx.recycle_state(snap);
             }
             Job::Dense { .. } => debug_assert!(false, "lowdiff submits compressed gradients"),
         }
@@ -142,6 +146,7 @@ impl LowDiffStrategy {
             EngineConfig {
                 queue_capacity: cfg.queue_capacity,
                 retry: cfg.retry,
+                crash: cfg.crash.clone(),
                 ..EngineConfig::default()
             },
         );
@@ -210,7 +215,12 @@ impl CheckpointStrategy for LowDiffStrategy {
         "lowdiff"
     }
 
-    fn on_synced_gradient(&mut self, iteration: u64, grad: &Arc<CompressedGrad>) -> Secs {
+    fn on_synced_gradient(
+        &mut self,
+        iteration: u64,
+        grad: &Arc<CompressedGrad>,
+        _aux: &AuxView<'_>,
+    ) -> Secs {
         let t0 = Instant::now();
         // Zero-copy reuse: clone the handle, not the payload (Q.put). A
         // dead checkpointing thread degrades the run; training continues.
@@ -225,7 +235,7 @@ impl CheckpointStrategy for LowDiffStrategy {
             .stall
     }
 
-    fn after_update(&mut self, state: &ModelState) -> Secs {
+    fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         let scheduled = state.iteration.is_multiple_of(self.cfg.full_every);
         // A dropped differential batch forces an early full checkpoint:
         // the full re-anchors the chain past the gap.
@@ -236,8 +246,10 @@ impl CheckpointStrategy for LowDiffStrategy {
         let t0 = Instant::now();
         // Snapshot: an in-memory copy into a recycled, pre-sized engine
         // slot is the only blocking cost (no allocation in steady state);
-        // the write happens on the checkpointing thread.
-        let sub = self.engine.submit_full(t0, state);
+        // the write happens on the checkpointing thread. The aux state
+        // (EF residual, compressor, RNG cursor) rides along so the full
+        // is resume-exact, not just parameter-exact.
+        let sub = self.engine.submit_full(t0, state, aux);
         if sub.delivered {
             if forced {
                 self.engine.with_stats(|s| s.forced_fulls += 1);
@@ -285,14 +297,14 @@ mod tests {
         let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
         let mut strat = LowDiffStrategy::new(store, cfg);
         // Initial full checkpoint so recovery has an anchor at iter 0.
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
         for _ in 0..iters {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
             let cg = Arc::new(comp.compress(&g));
-            strat.on_synced_gradient(state.iteration, &cg);
+            strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
             let dense = cg.to_dense();
             state.apply_gradient(&adam, &dense);
-            strat.after_update(&state);
+            strat.after_update(&state, &AuxView::NONE);
         }
         strat.flush();
         (state, strat)
@@ -359,12 +371,12 @@ mod tests {
                 ..LowDiffConfig::default()
             },
         );
-        strat.after_update(&state); // full at 0 — wait, iteration 0 % n == 0
+        strat.after_update(&state, &AuxView::NONE); // full at 0 — wait, iteration 0 % n == 0
         let iters = 10u64;
         for _ in 0..iters {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
             let cg = Arc::new(comp.compress(&g));
-            strat.on_synced_gradient(state.iteration, &cg);
+            strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
             state.apply_gradient(&adam, &cg.to_dense());
         }
         // Give the async checkpointer a moment, then crash WITHOUT flush.
@@ -447,12 +459,12 @@ mod tests {
                 ..LowDiffConfig::default()
             },
         );
-        strat.after_update(&state); // base full at 0
-                                    // 6 diffs at BS=2 -> 3 writes.
+        strat.after_update(&state, &AuxView::NONE); // base full at 0
+                                                    // 6 diffs at BS=2 -> 3 writes.
         for _ in 0..6 {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
             let cg = Arc::new(comp.compress(&g));
-            strat.on_synced_gradient(state.iteration, &cg);
+            strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
             state.apply_gradient(&adam, &cg.to_dense());
         }
         strat.flush();
@@ -466,7 +478,7 @@ mod tests {
         for _ in 0..6 {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
             let cg = Arc::new(comp.compress(&g));
-            strat.on_synced_gradient(state.iteration, &cg);
+            strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
             state.apply_gradient(&adam, &cg.to_dense());
         }
         strat.flush();
@@ -506,7 +518,7 @@ mod tests {
                 ..LowDiffConfig::default()
             },
         );
-        strat.after_update(&state); // anchor full at 0
+        strat.after_update(&state, &AuxView::NONE); // anchor full at 0
         strat.flush();
         assert_eq!(st.full_iterations().unwrap(), vec![0]);
 
@@ -516,9 +528,9 @@ mod tests {
         for _ in 0..2 {
             let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
             let cg = Arc::new(comp.compress(&g));
-            strat.on_synced_gradient(state.iteration, &cg);
+            strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
             state.apply_gradient(&adam, &cg.to_dense());
-            strat.after_update(&state);
+            strat.after_update(&state, &AuxView::NONE);
         }
         strat.flush(); // syncs with the worker; ack must still arrive
         let stats = strat.stats();
@@ -533,9 +545,9 @@ mod tests {
         faulty.heal();
         let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
         let cg = Arc::new(comp.compress(&g));
-        strat.on_synced_gradient(state.iteration, &cg);
+        strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
         state.apply_gradient(&adam, &cg.to_dense());
-        strat.after_update(&state); // iteration 3: off-schedule, forced
+        strat.after_update(&state, &AuxView::NONE); // iteration 3: off-schedule, forced
         strat.flush();
         let stats = strat.stats();
         assert_eq!(stats.forced_fulls, 1, "early full must be scheduled");

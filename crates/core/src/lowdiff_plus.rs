@@ -28,9 +28,12 @@
 //! loses host memory → recover from the last persisted full checkpoint
 //! ([`LowDiffPlusStrategy::recover_hardware`]).
 
-use crate::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
+use crate::engine::{
+    CheckpointEngine, CheckpointPolicy, CrashInjector, EngineConfig, EngineCtx, FullOpts, Job,
+};
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_comm::SyncPool;
+use lowdiff_compress::{AuxView, CompressorCfg};
 use lowdiff_optim::{Adam, ModelState};
 use lowdiff_storage::{CheckpointStore, RetryPolicy};
 use lowdiff_util::units::Secs;
@@ -61,6 +64,8 @@ pub struct LowDiffPlusConfig {
     /// match the trainer's Adam hyperparameters or the replica drifts from
     /// the live model (the update `M^C ← Adam(M^C, g)` replays training).
     pub adam: Adam,
+    /// Deterministic crash-point injection (torture tests only).
+    pub crash: Option<Arc<CrashInjector>>,
 }
 
 impl Default for LowDiffPlusConfig {
@@ -71,6 +76,7 @@ impl Default for LowDiffPlusConfig {
             staging_depth: 24,
             retry: RetryPolicy::default(),
             adam: Adam::default(),
+            crash: None,
         }
     }
 }
@@ -88,6 +94,11 @@ struct LowDiffPlusPolicy {
     /// Reusable persist-time snapshot of the replica: `copy_from` into
     /// this pre-sized slot replaces a fresh `clone()` every interval.
     snap: ModelState,
+    /// Aux state belonging to `snap` (from the `Job::Dense` whose fusion
+    /// produced it) — persisted alongside so replica fulls are
+    /// resume-exact, not just parameter-exact.
+    snap_rng: Option<[u64; 4]>,
+    snap_compressor: Option<CompressorCfg>,
     /// Returns consumed staged gradients to the adapter's staging pool so
     /// the per-iteration dense buffer is recycled, not reallocated.
     staging_pool: Arc<BufferPool<f32>>,
@@ -99,7 +110,13 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        let Job::Dense { iteration, grad } = job else {
+        let Job::Dense {
+            iteration,
+            grad,
+            compressor,
+            rng,
+        } = job
+        else {
             debug_assert!(false, "lowdiff+ submits dense gradients");
             return;
         };
@@ -109,6 +126,8 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
         let persist = m_c.iteration.is_multiple_of(self.persist_every);
         if persist {
             self.snap.copy_from(&m_c);
+            self.snap_rng = rng;
+            self.snap_compressor = compressor;
         }
         drop(m_c); // never hold the replica lock across storage I/O
         self.staging_pool.put(grad); // recycle the staged dense buffer
@@ -118,7 +137,12 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
             // still exact (software recovery unaffected); durable recovery
             // falls back to the previous persisted full until the next
             // interval lands. Hence no re-anchor request.
-            cx.persist_full(&self.store, &self.snap, &FullOpts::durable());
+            let aux = AuxView {
+                residual: None, // the non-compression scenario has no EF
+                compressor: self.snap_compressor,
+                rng: self.snap_rng,
+            };
+            cx.persist_full(&self.store, &self.snap, &aux, &FullOpts::durable());
         }
     }
 }
@@ -163,6 +187,8 @@ impl LowDiffPlusStrategy {
             persist_every: cfg.persist_every,
             adam: cfg.adam,
             snap: ModelState::new(Vec::new()),
+            snap_rng: None,
+            snap_compressor: None,
             staging_pool: Arc::clone(&staging_pool),
         };
         let engine = CheckpointEngine::spawn(
@@ -170,6 +196,7 @@ impl LowDiffPlusStrategy {
             policy,
             EngineConfig {
                 retry: cfg.retry,
+                crash: cfg.crash.clone(),
                 ..EngineConfig::default()
             },
         );
@@ -251,6 +278,7 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
         &mut self,
         iteration: u64,
         _grad: &Arc<lowdiff_compress::CompressedGrad>,
+        aux: &AuxView<'_>,
     ) -> Secs {
         let t0 = Instant::now();
         // H_s.wait(): all layer snapshots of this iteration must be staged.
@@ -265,7 +293,17 @@ impl CheckpointStrategy for LowDiffPlusStrategy {
             let mut buf = self.staging.lock();
             std::mem::replace(&mut *buf, fresh)
         };
-        self.engine.submit(t0, Job::Dense { iteration, grad }).stall
+        self.engine
+            .submit(
+                t0,
+                Job::Dense {
+                    iteration,
+                    grad,
+                    compressor: aux.compressor,
+                    rng: aux.rng,
+                },
+            )
+            .stall
     }
 
     fn flush(&mut self) -> Secs {
@@ -334,6 +372,7 @@ mod tests {
             TrainerConfig {
                 compress_ratio: None,
                 error_feedback: false,
+                ..TrainerConfig::default()
             },
         )
     }
@@ -424,6 +463,7 @@ mod tests {
             TrainerConfig {
                 compress_ratio: None,
                 error_feedback: false,
+                ..TrainerConfig::default()
             },
         );
         // Outage spans the first persist point (iteration 4): it must be

@@ -177,10 +177,10 @@ fn fill_range_dense(
             }
         }
         G::Dense(d) => out.copy_from_slice(&d[range.clone()]),
-        G::Quant(_) => {
-            // Quantized gradients don't support windowed decode; expand.
-            let dense = grad.to_dense();
-            out.copy_from_slice(&dense[range.clone()]);
+        G::Quant(q) => {
+            // Windowed dequantize: each shard decodes only its own slice
+            // instead of expanding the full Ψ-sized gradient per entry.
+            lowdiff_compress::quant::dequantize_range(q, range.clone(), out);
         }
     }
 }
@@ -290,6 +290,42 @@ mod tests {
             assert_eq!(rec.iteration, live.iteration);
             assert_eq!(report.mode, "sharded");
         }
+    }
+
+    #[test]
+    fn sharded_recovery_equals_serial_on_quantized_chain() {
+        // The Quant arm of `fill_range_dense` windows into the quantized
+        // payload; a chain of quantized differentials must shard exactly.
+        let adam = Adam::default();
+        let mut rng = DetRng::new(77);
+        let psi = 601;
+        let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
+        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+        store.save_full(&state).unwrap();
+        for bits in [8u8, 4] {
+            let mut q = lowdiff_compress::quant::UniformQuant::new(bits);
+            let mut entries = Vec::new();
+            for _ in 0..5 {
+                let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
+                let cg = q.compress(&g);
+                let dense = cg.to_dense();
+                entries.push(DE {
+                    iteration: state.iteration,
+                    grad: cg,
+                });
+                state.apply_gradient(&adam, &dense);
+            }
+            store.save_diff_batch(&entries).unwrap();
+        }
+        let (serial, _) = recover_serial(&store, &adam).unwrap().unwrap();
+        for shards in [2usize, 3, 5] {
+            let (sharded, _) = recover_sharded(&store, &adam, shards).unwrap().unwrap();
+            assert_eq!(sharded.params, serial.params, "{shards} shards: params");
+            assert_eq!(sharded.opt.m, serial.opt.m, "{shards} shards: m");
+            assert_eq!(sharded.opt.v, serial.opt.v, "{shards} shards: v");
+            assert_eq!(sharded.iteration, serial.iteration);
+        }
+        assert_eq!(serial.params, state.params, "serial replay not bit-exact");
     }
 
     #[test]

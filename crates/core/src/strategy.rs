@@ -16,7 +16,7 @@
 //! training-time experiment measures.
 
 use crate::engine::EngineCounters;
-use lowdiff_compress::CompressedGrad;
+use lowdiff_compress::{AuxView, CompressedGrad};
 use lowdiff_optim::ModelState;
 use lowdiff_util::units::Secs;
 use std::ops::Range;
@@ -104,14 +104,25 @@ pub trait CheckpointStrategy: Send {
 
     /// The synchronized (post-allreduce) compressed gradient of this
     /// iteration — the artifact LowDiff reuses. The `Arc` is the zero-copy
-    /// handle; cloning it must be the only "transmission".
-    fn on_synced_gradient(&mut self, _iteration: u64, _grad: &Arc<CompressedGrad>) -> Secs {
+    /// handle; cloning it must be the only "transmission". `aux` is the
+    /// trainer's auxiliary resume state (EF residual, compressor identity,
+    /// data-RNG cursor) at this instant — strategies that persist from
+    /// this hook carry it into their checkpoints.
+    fn on_synced_gradient(
+        &mut self,
+        _iteration: u64,
+        _grad: &Arc<CompressedGrad>,
+        _aux: &AuxView<'_>,
+    ) -> Secs {
         Secs::ZERO
     }
 
     /// The model update completed; `state` is `M_{t+1}`. Full-checkpoint
-    /// points and state-diff baselines hook here.
-    fn after_update(&mut self, _state: &ModelState) -> Secs {
+    /// points and state-diff baselines hook here. `aux` is the auxiliary
+    /// resume state belonging to `state` — full checkpoints written from
+    /// this hook must persist it (the v2 format carries it) or resume
+    /// silently diverges.
+    fn after_update(&mut self, _state: &ModelState, _aux: &AuxView<'_>) -> Secs {
         Secs::ZERO
     }
 
@@ -123,6 +134,43 @@ pub trait CheckpointStrategy: Send {
 
     /// Counters accumulated so far.
     fn stats(&self) -> StrategyStats;
+}
+
+impl<T: CheckpointStrategy + ?Sized> CheckpointStrategy for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_layer_gradient(
+        &mut self,
+        iteration: u64,
+        layer: usize,
+        range: Range<usize>,
+        grad: &[f32],
+    ) -> Secs {
+        (**self).on_layer_gradient(iteration, layer, range, grad)
+    }
+
+    fn on_synced_gradient(
+        &mut self,
+        iteration: u64,
+        grad: &Arc<CompressedGrad>,
+        aux: &AuxView<'_>,
+    ) -> Secs {
+        (**self).on_synced_gradient(iteration, grad, aux)
+    }
+
+    fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
+        (**self).after_update(state, aux)
+    }
+
+    fn flush(&mut self) -> Secs {
+        (**self).flush()
+    }
+
+    fn stats(&self) -> StrategyStats {
+        (**self).stats()
+    }
 }
 
 /// The W/O-CKPT configuration: no checkpointing at all (the paper's
@@ -157,7 +205,7 @@ mod tests {
         let mut s = NoCheckpoint::new();
         assert_eq!(s.name(), "wo-ckpt");
         let st = ModelState::new(vec![0.0; 4]);
-        assert_eq!(s.after_update(&st).as_f64(), 0.0);
+        assert_eq!(s.after_update(&st, &AuxView::NONE).as_f64(), 0.0);
         assert_eq!(s.flush().as_f64(), 0.0);
         assert_eq!(s.stats().writes, 0);
     }

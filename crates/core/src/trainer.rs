@@ -13,13 +13,34 @@
 //!    note training updates from the *decompressed* gradient, which is what
 //!    makes gradient-replay recovery bit-exact,
 //! 6. `after_update` (full checkpoints, state-diff baselines).
+//!
+//! ## Resume = never crashed
+//!
+//! The model state alone does not determine the rest of the run: the
+//! error-feedback residual, the compressor identity, and the data-RNG
+//! cursor all feed into it. The trainer therefore
+//!
+//! * owns the data RNG ([`TrainerConfig::data_seed`]) and draws exactly
+//!   **one** `u64` per iteration — the iteration's batch seed — so the
+//!   data cursor is a 4-word value that a checkpoint can carry;
+//! * captures residual + compressor + cursor as an [`AuxView`] each
+//!   iteration and hands it to the strategy hooks (the v2 full-checkpoint
+//!   format persists it);
+//! * restores all of it in [`Trainer::resume`], the first-class
+//!   crash-resume entry point. [`Trainer::with_state`] remains as the
+//!   model-state-only constructor; with error feedback on it silently
+//!   zeroes the residual, which is exactly the divergence `resume` fixes.
 
 use crate::strategy::{CheckpointStrategy, StrategyStats};
-use lowdiff_compress::{CompressedGrad, Compressor, ErrorFeedback, TopK};
+use lowdiff_compress::{AuxView, CompressedGrad, Compressor, CompressorCfg, ErrorFeedback, TopK};
 use lowdiff_model::Network;
 use lowdiff_optim::{Adam, ModelState};
+use lowdiff_storage::codec::FullCheckpoint;
+use lowdiff_storage::CheckpointStore;
 use lowdiff_tensor::Tensor;
 use lowdiff_util::units::Secs;
+use lowdiff_util::DetRng;
+use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +52,11 @@ pub struct TrainerConfig {
     pub compress_ratio: Option<f64>,
     /// Error feedback (residual accumulation) for compressed training.
     pub error_feedback: bool,
+    /// Seed of the trainer-owned data RNG. One `u64` is drawn from it per
+    /// iteration (the batch seed handed to the step closure), so its
+    /// cursor *is* the data-pipeline position — checkpointed in the v2
+    /// full format and restored on resume.
+    pub data_seed: u64,
 }
 
 impl Default for TrainerConfig {
@@ -38,6 +64,18 @@ impl Default for TrainerConfig {
         Self {
             compress_ratio: Some(0.01),
             error_feedback: true,
+            data_seed: 0,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// The compressor identity this config trains under (what resume
+    /// checks the checkpoint against).
+    pub fn compressor_cfg(&self) -> CompressorCfg {
+        match self.compress_ratio {
+            None => CompressorCfg::none(),
+            Some(rho) => CompressorCfg::topk(rho),
         }
     }
 }
@@ -61,12 +99,46 @@ pub struct TrainerReport {
     pub iterations: u64,
 }
 
+/// How [`Trainer::resume`] treats the differential chain past the latest
+/// full checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct ResumeOpts {
+    /// Replay the stored differentials through the optimizer to fast-forward
+    /// past the full checkpoint. Requires the diffs to be replayable
+    /// *gradients* (LowDiff's reuse). Schemes whose diffs are parameter
+    /// deltas (Naïve DC) must pass `false` and resume at the full.
+    pub fast_forward: bool,
+}
+
+impl Default for ResumeOpts {
+    fn default() -> Self {
+        Self { fast_forward: true }
+    }
+}
+
+/// What a [`Trainer::resume`] restored.
+#[derive(Clone, Debug)]
+pub struct ResumeReport {
+    /// Iteration training resumes from.
+    pub resumed_iteration: u64,
+    /// Iteration of the full checkpoint resume anchored on.
+    pub full_iteration: u64,
+    /// Differentials replayed on top of the full.
+    pub replayed: usize,
+    /// True when some training state could not be restored bit-exactly
+    /// (v1 blob without aux, or a residual/error-feedback mismatch):
+    /// training continues but may diverge from the uninterrupted run.
+    pub lossy: bool,
+}
+
 /// Training engine binding a model, optimizer, compressor and strategy.
 pub struct Trainer<S: CheckpointStrategy> {
     net: Network,
     state: ModelState,
     adam: Adam,
     comp: Comp,
+    comp_cfg: CompressorCfg,
+    data_rng: DetRng,
     strategy: S,
 }
 
@@ -78,7 +150,13 @@ impl<S: CheckpointStrategy> Trainer<S> {
         Self::with_state(net, adam, strategy, cfg, state)
     }
 
-    /// Resume from a recovered [`ModelState`] (the recovery path).
+    /// Rebuild a trainer around a recovered [`ModelState`] only.
+    ///
+    /// The data cursor is re-derived by advancing a fresh
+    /// `DetRng::new(cfg.data_seed)` by `state.iteration` draws, so the
+    /// data stream continues correctly; but with error feedback on the
+    /// residual starts zeroed — a **lossy** resume. Prefer
+    /// [`Trainer::resume`], which restores the full v2 aux state.
     pub fn with_state(
         net: Network,
         adam: Adam,
@@ -92,18 +170,135 @@ impl<S: CheckpointStrategy> Trainer<S> {
             "state does not fit the network"
         );
         let psi = state.num_params();
+        let comp_cfg = cfg.compressor_cfg();
         let comp = match cfg.compress_ratio {
             None => Comp::None,
             Some(rho) if cfg.error_feedback => Comp::Ef(ErrorFeedback::new(TopK::new(rho), psi)),
             Some(rho) => Comp::Plain(TopK::new(rho)),
         };
+        let mut data_rng = DetRng::new(cfg.data_seed);
+        for _ in 0..state.iteration {
+            data_rng.next_u64();
+        }
         Self {
             net,
             state,
             adam,
             comp,
+            comp_cfg,
+            data_rng,
             strategy,
         }
+    }
+
+    /// Resume from the latest valid full checkpoint in `store`, restoring
+    /// the *whole* training state: model + optimizer, error-feedback
+    /// residual, data-RNG cursor. Returns `Ok(None)` when the store holds
+    /// no full checkpoint (cold start). Fails with
+    /// [`io::ErrorKind::InvalidInput`] when the checkpoint was produced
+    /// under a different compressor than `cfg` configures.
+    pub fn resume(
+        net: Network,
+        adam: Adam,
+        strategy: S,
+        cfg: TrainerConfig,
+        store: &CheckpointStore,
+    ) -> io::Result<Option<(Self, ResumeReport)>> {
+        Self::resume_with_opts(net, adam, strategy, cfg, store, ResumeOpts::default())
+    }
+
+    /// [`Trainer::resume`] with explicit [`ResumeOpts`].
+    pub fn resume_with_opts(
+        net: Network,
+        adam: Adam,
+        strategy: S,
+        cfg: TrainerConfig,
+        store: &CheckpointStore,
+        opts: ResumeOpts,
+    ) -> io::Result<Option<(Self, ResumeReport)>> {
+        let Some(fc) = store.latest_valid_full_checkpoint()? else {
+            return Ok(None);
+        };
+        Self::resume_from(net, adam, strategy, cfg, fc, store, opts).map(Some)
+    }
+
+    /// Resume from an already-decoded [`FullCheckpoint`] (the store is
+    /// still needed for the differential chain).
+    pub fn resume_from(
+        net: Network,
+        adam: Adam,
+        strategy: S,
+        cfg: TrainerConfig,
+        fc: FullCheckpoint,
+        store: &CheckpointStore,
+        opts: ResumeOpts,
+    ) -> io::Result<(Self, ResumeReport)> {
+        let expected = cfg.compressor_cfg();
+        if let Some(stored) = fc.aux.compressor {
+            if stored != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "checkpoint compressor {stored:?} does not match \
+                         configured {expected:?}: the stored residual and \
+                         differential chain would not compose"
+                    ),
+                ));
+            }
+        }
+        let FullCheckpoint {
+            state: mut model,
+            aux,
+            lossy: blob_lossy,
+            ..
+        } = fc;
+        let ef_on = cfg.error_feedback && cfg.compress_ratio.is_some();
+        let has_residual = aux.residual.is_some();
+        let full_iteration = model.iteration;
+
+        // Fast-forward by gradient replay — except under error feedback
+        // with a stored residual: the residual belongs to the full's
+        // iteration boundary, and replaying diffs would advance the
+        // parameters past it. Anchoring at the full is the bit-exact point.
+        let mut replayed = 0usize;
+        if opts.fast_forward && !(ef_on && has_residual) {
+            let chain = store.diff_chain_from(full_iteration)?;
+            replayed = chain.len();
+            for entry in &chain {
+                let dense = entry.grad.to_dense();
+                model.apply_gradient(&adam, &dense);
+            }
+        }
+
+        let lossy = blob_lossy || (ef_on && !has_residual) || (has_residual && !ef_on);
+
+        // Data cursor: the stored state is positioned for the full's next
+        // draw; each replayed diff consumed one more. Without a stored
+        // cursor, re-derive from the seed (`with_state` below does it).
+        let restored_rng = aux.rng.map(|words| {
+            let mut r = DetRng::from_state(words);
+            for _ in 0..replayed {
+                r.next_u64();
+            }
+            r
+        });
+
+        let mut tr = Self::with_state(net, adam, strategy, cfg, model);
+        if let Some(r) = restored_rng {
+            tr.data_rng = r;
+        }
+        if ef_on && has_residual {
+            if let (Comp::Ef(c), Some(res)) = (&mut tr.comp, &aux.residual) {
+                c.set_residual(res);
+            }
+        }
+        let report = ResumeReport {
+            resumed_iteration: tr.state.iteration,
+            full_iteration,
+            replayed,
+            lossy,
+        };
+        Ok((tr, report))
     }
 
     pub fn state(&self) -> &ModelState {
@@ -125,19 +320,38 @@ impl<S: CheckpointStrategy> Trainer<S> {
     }
 
     /// Run `iters` iterations. `step` does forward + loss on the network
-    /// and returns `(loss, dL/d-output)`; the trainer does the rest.
+    /// and returns `(loss, dL/d-output)`; the trainer does the rest. The
+    /// per-iteration data RNG is drawn and discarded — use
+    /// [`Trainer::run_with_data`] for data pipelines that should survive
+    /// resume bit-exactly.
     pub fn run<F>(&mut self, iters: u64, mut step: F) -> TrainerReport
     where
         F: FnMut(&mut Network, u64) -> (f64, Tensor),
+    {
+        self.run_with_data(iters, move |net, t, _rng| step(net, t))
+    }
+
+    /// Run `iters` iterations with the trainer-owned data cursor: `step`
+    /// receives a fresh `DetRng` seeded from this iteration's draw of the
+    /// data RNG. Sampling batches from it makes the data stream a pure
+    /// function of (`data_seed`, iteration) — and therefore resumable.
+    pub fn run_with_data<F>(&mut self, iters: u64, mut step: F) -> TrainerReport
+    where
+        F: FnMut(&mut Network, u64, &mut DetRng) -> (f64, Tensor),
     {
         let t_start = Instant::now();
         let mut losses = Vec::with_capacity(iters as usize);
         for _ in 0..iters {
             let t = self.state.iteration;
+            // Exactly one draw per iteration: the batch seed. The cursor
+            // past this draw is what checkpoints capture — positioned for
+            // iteration t+1, matching the state they snapshot (M_{t+1}).
+            let iter_seed = self.data_rng.next_u64();
+            let mut data = DetRng::new(iter_seed);
             // Model state is the single source of truth; materialize it
             // into the network before the forward pass.
             self.net.set_params_flat(&self.state.params);
-            let (loss, grad_out) = step(&mut self.net, t);
+            let (loss, grad_out) = step(&mut self.net, t, &mut data);
             losses.push(loss);
 
             // Backward with the layer-wise reuse hook.
@@ -157,8 +371,19 @@ impl<S: CheckpointStrategy> Trainer<S> {
             };
             let handle = Arc::new(compressed);
 
+            // The auxiliary resume state belonging to M_{t+1}: residual
+            // after this compress, cursor after this draw.
+            let aux = AuxView {
+                residual: match &self.comp {
+                    Comp::Ef(c) => Some(c.residual()),
+                    _ => None,
+                },
+                compressor: Some(self.comp_cfg),
+                rng: Some(self.data_rng.state()),
+            };
+
             // Reuse point (Q.put) — zero-copy handle.
-            self.strategy.on_synced_gradient(t, &handle);
+            self.strategy.on_synced_gradient(t, &handle, &aux);
 
             // Decompress and update (lines 7–8). Dense handles are applied
             // by borrow — the Ψ-sized gradient is never re-materialized.
@@ -171,7 +396,7 @@ impl<S: CheckpointStrategy> Trainer<S> {
                 }
             };
             self.state.apply_gradient(&self.adam, dense);
-            self.strategy.after_update(&self.state);
+            self.strategy.after_update(&self.state, &aux);
         }
         self.strategy.flush();
         TrainerReport {
@@ -193,7 +418,6 @@ mod tests {
     use lowdiff_model::data::Regression;
     use lowdiff_model::loss::mse;
     use lowdiff_storage::{CheckpointStore, MemoryBackend};
-    use lowdiff_util::DetRng;
 
     fn regression_step(
         task: Regression,
@@ -205,6 +429,16 @@ mod tests {
             let pred = net.forward(&x);
             let (loss, grad) = mse(&pred, &y);
             (loss, grad)
+        }
+    }
+
+    /// A step closure that samples its batch from the trainer-owned data
+    /// cursor — the resumable form.
+    fn data_step(task: Regression) -> impl FnMut(&mut Network, u64, &mut DetRng) -> (f64, Tensor) {
+        move |net: &mut Network, _t: u64, rng: &mut DetRng| {
+            let (x, y) = task.batch(rng, 8);
+            let pred = net.forward(&x);
+            mse(&pred, &y)
         }
     }
 
@@ -221,6 +455,7 @@ mod tests {
             TrainerConfig {
                 compress_ratio: Some(0.3),
                 error_feedback: true,
+                ..TrainerConfig::default()
             },
         );
         let report = tr.run(120, regression_step(Regression::new(6, 2, 2), 3));
@@ -250,6 +485,7 @@ mod tests {
             TrainerConfig {
                 compress_ratio: Some(0.1),
                 error_feedback: true,
+                ..TrainerConfig::default()
             },
         );
         let report = tr.run(27, regression_step(Regression::new(5, 2, 5), 6));
@@ -265,36 +501,39 @@ mod tests {
         assert_eq!(rec.opt.v, live.opt.v);
     }
 
+    /// The tentpole property as a matrix: straight run ≡ crash + resume,
+    /// bit for bit, with error feedback both off (diff-replay fast-forward)
+    /// and on (anchored resume restoring the residual).
     #[test]
     fn resumed_training_continues_identically() {
-        // Train 30 iters straight vs train 15 + recover + train 15:
-        // identical final state (deterministic data keyed by iteration).
-        let mk_step = |seed: u64| {
-            let task = Regression::new(4, 2, 7);
-            move |net: &mut Network, t: u64| {
-                // Key the batch RNG by iteration so both runs see the same
-                // data at the same iteration regardless of restart.
-                let mut rng = DetRng::new(seed ^ t.wrapping_mul(0x9E3779B9));
-                let (x, y) = task.batch(&mut rng, 8);
-                let pred = net.forward(&x);
-                mse(&pred, &y)
-            }
+        for error_feedback in [false, true] {
+            resume_matrix_cell(error_feedback);
+        }
+    }
+
+    fn resume_matrix_cell(error_feedback: bool) {
+        let cfg = TrainerConfig {
+            compress_ratio: Some(0.2),
+            error_feedback,
+            data_seed: 21,
         };
+        let task = || Regression::new(4, 2, 7);
 
         // Straight run.
         let mut tr = Trainer::new(
             mlp(&[4, 12, 2], 8),
             Adam::default(),
             NoCheckpoint::new(),
-            TrainerConfig {
-                compress_ratio: Some(0.2),
-                error_feedback: false,
-            },
+            cfg.clone(),
         );
-        tr.run(30, mk_step(11));
+        tr.run_with_data(30, data_step(task()));
         let straight = tr.state().clone();
 
-        // Checkpointed + restarted run.
+        // Checkpointed + crashed run. With EF the crash lands on a
+        // full-checkpoint boundary (the anchored-resume case loses the
+        // tail otherwise); without EF it crashes mid-chain so resume must
+        // replay differentials and advance the data cursor past them.
+        let crash_at = if error_feedback { 15 } else { 17 };
         let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
         let strat = LowDiffStrategy::new(
             Arc::clone(&store),
@@ -304,35 +543,163 @@ mod tests {
                 ..LowDiffConfig::default()
             },
         );
-        let mut tr1 = Trainer::new(
-            mlp(&[4, 12, 2], 8),
-            Adam::default(),
-            strat,
-            TrainerConfig {
-                compress_ratio: Some(0.2),
-                error_feedback: false,
-            },
-        );
-        tr1.run(15, mk_step(11));
-        drop(tr1); // crash at iteration 15
+        let mut tr1 = Trainer::new(mlp(&[4, 12, 2], 8), Adam::default(), strat, cfg.clone());
+        tr1.run_with_data(crash_at, data_step(task()));
+        drop(tr1); // crash
 
-        let (rec, _) = recover_serial(&store, &Adam::default()).unwrap().unwrap();
-        assert_eq!(rec.iteration, 15);
-        let mut tr2 = Trainer::with_state(
+        let (mut tr2, rep) = Trainer::resume(
             mlp(&[4, 12, 2], 8),
             Adam::default(),
             NoCheckpoint::new(),
-            TrainerConfig {
-                compress_ratio: Some(0.2),
-                error_feedback: false,
-            },
-            rec,
-        );
-        tr2.run(15, mk_step(11));
+            cfg.clone(),
+            &store,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(!rep.lossy, "v2 full with aux resumes exactly");
+        assert_eq!(rep.full_iteration, 15);
+        if error_feedback {
+            assert_eq!(rep.replayed, 0, "EF resume anchors at the full");
+        } else {
+            assert_eq!(rep.replayed, 2, "diffs at 15,16 fast-forward");
+        }
+        assert_eq!(rep.resumed_iteration, if error_feedback { 15 } else { 17 });
 
+        tr2.run_with_data(30 - rep.resumed_iteration, data_step(task()));
         assert_eq!(tr2.state().iteration, 30);
-        assert_eq!(tr2.state().params, straight.params, "resume diverged");
+        assert_eq!(
+            tr2.state().params,
+            straight.params,
+            "resume diverged (error_feedback={error_feedback})"
+        );
         assert_eq!(tr2.state().opt.m, straight.opt.m);
+        assert_eq!(tr2.state().opt.v, straight.opt.v);
+    }
+
+    #[test]
+    fn with_state_zeroes_residual_but_resume_restores_it() {
+        // The historical bug, pinned: with error feedback on, `with_state`
+        // diverges from the straight run while `resume` does not.
+        let cfg = TrainerConfig {
+            compress_ratio: Some(0.2),
+            error_feedback: true,
+            data_seed: 33,
+        };
+        let task = || Regression::new(4, 2, 9);
+        let mut tr = Trainer::new(
+            mlp(&[4, 12, 2], 5),
+            Adam::default(),
+            NoCheckpoint::new(),
+            cfg.clone(),
+        );
+        tr.run_with_data(20, data_step(task()));
+        let straight = tr.state().clone();
+
+        let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let strat = LowDiffStrategy::new(
+            Arc::clone(&store),
+            LowDiffConfig {
+                full_every: 10,
+                batch_size: 2,
+                ..LowDiffConfig::default()
+            },
+        );
+        let mut tr1 = Trainer::new(mlp(&[4, 12, 2], 5), Adam::default(), strat, cfg.clone());
+        tr1.run_with_data(10, data_step(task()));
+        drop(tr1);
+
+        // Lossy path: model state only, residual zeroed.
+        let fc = store.latest_valid_full_checkpoint().unwrap().unwrap();
+        let mut lossy = Trainer::with_state(
+            mlp(&[4, 12, 2], 5),
+            Adam::default(),
+            NoCheckpoint::new(),
+            cfg.clone(),
+            fc.state.clone(),
+        );
+        lossy.run_with_data(10, data_step(task()));
+        assert_ne!(
+            lossy.state().params,
+            straight.params,
+            "zeroed residual must diverge — otherwise the bug this PR fixes \
+             is untestable"
+        );
+
+        // Exact path.
+        let (mut exact, rep) = Trainer::resume(
+            mlp(&[4, 12, 2], 5),
+            Adam::default(),
+            NoCheckpoint::new(),
+            cfg,
+            &store,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(!rep.lossy);
+        exact.run_with_data(10, data_step(task()));
+        assert_eq!(exact.state().params, straight.params, "resume diverged");
+    }
+
+    #[test]
+    fn legacy_v1_full_resumes_lossy() {
+        let net = mlp(&[4, 12, 2], 8);
+        let psi = net.num_params();
+        let mut state = ModelState::new(vec![0.5; psi]);
+        state.iteration = 3;
+        let bytes = lowdiff_storage::codec::encode_model_state_v1(&state);
+        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+        store.put_full(3, &bytes).unwrap();
+
+        let cfg = TrainerConfig {
+            compress_ratio: Some(0.2),
+            error_feedback: true,
+            data_seed: 9,
+        };
+        let (tr, rep) = Trainer::resume(net, Adam::default(), NoCheckpoint::new(), cfg, &store)
+            .unwrap()
+            .unwrap();
+        assert!(rep.lossy, "v1 blob has no aux: EF resume is lossy");
+        assert_eq!(rep.resumed_iteration, 3);
+        assert_eq!(tr.state().params, state.params);
+    }
+
+    #[test]
+    fn resume_rejects_compressor_mismatch() {
+        let net = mlp(&[4, 12, 2], 8);
+        let psi = net.num_params();
+        let mut state = ModelState::new(vec![0.25; psi]);
+        state.iteration = 4;
+        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+        let aux = AuxView {
+            residual: None,
+            compressor: Some(CompressorCfg::topk(0.1)),
+            rng: None,
+        };
+        store.save_full_with_aux(&state, &aux).unwrap();
+
+        let cfg = TrainerConfig {
+            compress_ratio: Some(0.5),
+            error_feedback: false,
+            data_seed: 0,
+        };
+        match Trainer::resume(net, Adam::default(), NoCheckpoint::new(), cfg, &store) {
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("mismatched compressor must not resume"),
+        }
+    }
+
+    #[test]
+    fn resume_from_empty_store_is_none() {
+        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+        let r = Trainer::resume(
+            mlp(&[3, 8, 1], 2),
+            Adam::default(),
+            NoCheckpoint::new(),
+            TrainerConfig::default(),
+            &store,
+        )
+        .unwrap();
+        assert!(r.is_none());
     }
 
     #[test]
@@ -347,7 +714,12 @@ mod tests {
             fn name(&self) -> &'static str {
                 "probe"
             }
-            fn on_synced_gradient(&mut self, _: u64, g: &Arc<CompressedGrad>) -> Secs {
+            fn on_synced_gradient(
+                &mut self,
+                _: u64,
+                g: &Arc<CompressedGrad>,
+                _aux: &AuxView<'_>,
+            ) -> Secs {
                 if matches!(**g, CompressedGrad::Dense(_)) {
                     self.dense_seen += 1;
                 }
@@ -367,6 +739,7 @@ mod tests {
             TrainerConfig {
                 compress_ratio: None,
                 error_feedback: false,
+                ..TrainerConfig::default()
             },
         );
         tr.run(5, regression_step(Regression::new(3, 1, 10), 12));

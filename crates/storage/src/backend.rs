@@ -20,6 +20,12 @@ pub trait StorageBackend: Send + Sync {
     fn put(&self, key: &str, data: &[u8]) -> io::Result<()>;
     /// Fetch a blob.
     fn get(&self, key: &str) -> io::Result<Vec<u8>>;
+    /// Size of a blob in bytes, *without* transferring its contents.
+    /// Backends override with a metadata-only lookup; the default is the
+    /// correct-but-wasteful download-and-measure.
+    fn len(&self, key: &str) -> io::Result<u64> {
+        self.get(key).map(|v| v.len() as u64)
+    }
     /// All keys, sorted.
     fn list(&self) -> io::Result<Vec<String>>;
     /// Remove a blob (idempotent).
@@ -62,6 +68,14 @@ impl StorageBackend for MemoryBackend {
             .lock()
             .get(key)
             .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, key.to_string()))
+    }
+
+    fn len(&self, key: &str) -> io::Result<u64> {
+        self.map
+            .lock()
+            .get(key)
+            .map(|v| v.len() as u64)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, key.to_string()))
     }
 
@@ -150,6 +164,10 @@ impl StorageBackend for DiskBackend {
         std::fs::read(self.path(key))
     }
 
+    fn len(&self, key: &str) -> io::Result<u64> {
+        std::fs::metadata(self.path(key)).map(|m| m.len())
+    }
+
     fn list(&self) -> io::Result<Vec<String>> {
         let mut out = Vec::new();
         for entry in std::fs::read_dir(&self.dir)? {
@@ -225,6 +243,10 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.get(key)
     }
 
+    fn len(&self, key: &str) -> io::Result<u64> {
+        self.inner.len(key)
+    }
+
     fn list(&self) -> io::Result<Vec<String>> {
         self.inner.list()
     }
@@ -246,6 +268,12 @@ mod tests {
         b.put("a", b"hello").unwrap();
         b.put("b", b"world!").unwrap();
         assert_eq!(b.get("a").unwrap(), b"hello");
+        assert_eq!(b.len("a").unwrap(), 5, "metadata size must match blob");
+        assert_eq!(b.len("b").unwrap(), 6);
+        assert_eq!(
+            b.len("missing").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
         assert_eq!(b.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
         b.put("a", b"overwritten").unwrap();
         assert_eq!(b.get("a").unwrap(), b"overwritten");

@@ -3,20 +3,34 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! full checkpoint      diff batch (v1 and v2)
-//! ┌──────────────┐     ┌──────────────────────┐
-//! │ magic "LDFC" │     │ magic "LDDB"         │
-//! │ version u16  │     │ version u16 (1 or 2) │
-//! │ iteration u64│     │ count u32            │
-//! │ psi u64      │     │ count × {            │
-//! │ adam_t u64   │     │   iteration u64      │
-//! │ adam_t u64   │     │   CompressedGrad     │
-//! │ params  f32×Ψ│     │ }                    │
-//! │ adam_m  f32×Ψ│     │ crc32 u32            │
-//! │ adam_v  f32×Ψ│     └──────────────────────┘
-//! │ crc32 u32    │
-//! └──────────────┘
+//! full checkpoint (v1 and v2)   diff batch (v1 and v2)
+//! ┌────────────────────────┐    ┌──────────────────────┐
+//! │ magic "LDFC"           │    │ magic "LDDB"         │
+//! │ version u16 (1 or 2)   │    │ version u16 (1 or 2) │
+//! │ iteration u64          │    │ count u32            │
+//! │ psi u64                │    │ count × {            │
+//! │ adam_t u64             │    │   iteration u64      │
+//! │ params  f32×Ψ          │    │   CompressedGrad     │
+//! │ adam_m  f32×Ψ          │    │ }                    │
+//! │ adam_v  f32×Ψ          │    │ crc32 u32            │
+//! │ — v2 only —            │    └──────────────────────┘
+//! │ aux flags u8           │
+//! │ [compressor cfg]       │
+//! │ [rng cursor 4×u64]     │
+//! │ [residual f32×Ψ]       │
+//! │ crc32 u32              │
+//! └────────────────────────┘
 //! ```
+//!
+//! Full checkpoints are **written as v2** and decoded as either version.
+//! v2 appends the auxiliary training state that makes resume bit-exact
+//! (see `lowdiff_compress::aux`): a flags byte (bit 0 = error-feedback
+//! residual present, bit 1 = compressor config, bit 2 = RNG cursor)
+//! followed by the present sections in flag-bit order — compressor
+//! (kind u8, ratio f64, bits u8), RNG (4 × u64 state words), residual
+//! (Ψ × f32). A v1 blob decodes with no aux and the *lossy* flag set:
+//! resume still works, but an error-feedback run restarts its residual
+//! from zero and may diverge from the uninterrupted run.
 //!
 //! Diff batches are **written as v2** and decoded as either version. The two
 //! versions differ only in the sparse-gradient payload: v1 stores `nnz` raw
@@ -42,7 +56,9 @@
 //! retained in [`reference`] so property tests can assert byte-identical
 //! output and `bench_hotpath` can measure the gap.
 
-use lowdiff_compress::{CompressedGrad, QuantGrad, SparseGrad};
+use lowdiff_compress::{
+    AuxState, AuxView, CompressedGrad, CompressorCfg, CompressorKind, QuantGrad, SparseGrad,
+};
 use lowdiff_optim::{AdamState, ModelState};
 use lowdiff_util::crc::crc32;
 
@@ -51,6 +67,14 @@ pub const MAGIC_DIFF: &[u8; 4] = b"LDDB";
 pub const VERSION: u16 = 1;
 /// Current diff-batch write format: varint-delta sparse indices.
 pub const DIFF_VERSION_V2: u16 = 2;
+/// Current full-checkpoint write format: ModelState + auxiliary state.
+pub const FULL_VERSION_V2: u16 = 2;
+
+/// Aux flag bits in the v2 full-checkpoint trailer.
+const AUX_FLAG_RESIDUAL: u8 = 1 << 0;
+const AUX_FLAG_COMPRESSOR: u8 = 1 << 1;
+const AUX_FLAG_RNG: u8 = 1 << 2;
+const AUX_FLAGS_KNOWN: u8 = AUX_FLAG_RESIDUAL | AUX_FLAG_COMPRESSOR | AUX_FLAG_RNG;
 
 /// Decode failure reasons.
 #[derive(Debug, PartialEq, Eq)]
@@ -98,6 +122,11 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 
 #[inline]
 fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -203,6 +232,10 @@ impl<'a> Cursor<'a> {
         Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
+    fn get_f64(&mut self, what: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
     /// Decode an LEB128 varint. Rejects encodings longer than 10 bytes (the
     /// `u64` maximum) so corrupt-but-CRC-valid data errors instead of
     /// reading unbounded continuation bytes.
@@ -290,38 +323,124 @@ fn check_magic(cur: &mut Cursor<'_>, magic: &[u8; 4]) -> Result<(), CodecError> 
     }
 }
 
-/// Serialize a full checkpoint into a fresh buffer.
+/// A decoded full checkpoint: the model state plus whatever auxiliary
+/// training state the blob carried.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FullCheckpoint {
+    pub state: ModelState,
+    pub aux: AuxState,
+    /// True when the blob carries *no* auxiliary state (a v1 blob, or a v2
+    /// written without aux): resuming an error-feedback run from it loses
+    /// the residual and may diverge from the uninterrupted run. The final
+    /// word on lossiness belongs to the resume path, which knows whether
+    /// error feedback is even enabled.
+    pub lossy: bool,
+    /// Wire version the blob was decoded from (1 or 2).
+    pub version: u16,
+}
+
+/// Serialize a full checkpoint (current v2 format, no auxiliary state)
+/// into a fresh buffer.
 pub fn encode_model_state(state: &ModelState) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(34 + state.params.len() * 12);
-    encode_model_state_into(state, &mut buf);
+    encode_full_checkpoint(state, &AuxView::NONE)
+}
+
+/// Serialize a full checkpoint (v2, no auxiliary state) into `buf`,
+/// reusing its allocation.
+pub fn encode_model_state_into(state: &ModelState, buf: &mut Vec<u8>) {
+    encode_full_checkpoint_into(state, &AuxView::NONE, buf);
+}
+
+/// Serialize a full checkpoint with auxiliary state (v2).
+pub fn encode_full_checkpoint(state: &ModelState, aux: &AuxView<'_>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(39 + state.params.len() * 12);
+    encode_full_checkpoint_into(state, aux, &mut buf);
     buf
 }
 
-/// Serialize a full checkpoint into `buf`, reusing its allocation. The
-/// buffer is cleared first, so a pooled buffer from a previous (possibly
-/// longer) encode never leaks stale bytes into this one.
-pub fn encode_model_state_into(state: &ModelState, buf: &mut Vec<u8>) {
+/// Serialize a full checkpoint with auxiliary state (v2) into `buf`,
+/// reusing its allocation. The buffer is cleared first, so a pooled buffer
+/// from a previous (possibly longer) encode never leaks stale bytes into
+/// this one.
+pub fn encode_full_checkpoint_into(state: &ModelState, aux: &AuxView<'_>, buf: &mut Vec<u8>) {
+    if let Some(r) = aux.residual {
+        assert_eq!(
+            r.len(),
+            state.params.len(),
+            "residual length must equal parameter count"
+        );
+    }
     buf.clear();
     let psi = state.params.len();
-    buf.reserve(34 + psi * 12);
+    buf.reserve(39 + psi * 12 + aux.residual.map_or(0, |r| r.len() * 4));
     buf.extend_from_slice(MAGIC_FULL);
-    put_u16(buf, VERSION);
+    put_u16(buf, FULL_VERSION_V2);
     put_u64(buf, state.iteration);
     put_u64(buf, psi as u64);
     put_u64(buf, state.opt.t);
     put_f32s(buf, &state.params);
     put_f32s(buf, &state.opt.m);
     put_f32s(buf, &state.opt.v);
+    let mut flags = 0u8;
+    if aux.residual.is_some() {
+        flags |= AUX_FLAG_RESIDUAL;
+    }
+    if aux.compressor.is_some() {
+        flags |= AUX_FLAG_COMPRESSOR;
+    }
+    if aux.rng.is_some() {
+        flags |= AUX_FLAG_RNG;
+    }
+    put_u8(buf, flags);
+    if let Some(c) = aux.compressor {
+        put_u8(buf, c.kind as u8);
+        put_f64(buf, c.ratio);
+        put_u8(buf, c.bits);
+    }
+    if let Some(rng) = aux.rng {
+        for w in rng {
+            put_u64(buf, w);
+        }
+    }
+    if let Some(r) = aux.residual {
+        put_f32s(buf, r);
+    }
     seal_into(buf);
 }
 
-/// Deserialize a full checkpoint, validating magic, version and CRC.
+/// Serialize a full checkpoint in the legacy v1 layout (no aux trailer).
+/// Nothing writes v1 anymore; this exists so backward-compatibility tests
+/// can fabricate old blobs and prove [`decode_full_checkpoint`] still
+/// reads them (with the lossy flag set).
+pub fn encode_model_state_v1(state: &ModelState) -> Vec<u8> {
+    let psi = state.params.len();
+    let mut buf = Vec::with_capacity(34 + psi * 12);
+    buf.extend_from_slice(MAGIC_FULL);
+    put_u16(&mut buf, VERSION);
+    put_u64(&mut buf, state.iteration);
+    put_u64(&mut buf, psi as u64);
+    put_u64(&mut buf, state.opt.t);
+    put_f32s(&mut buf, &state.params);
+    put_f32s(&mut buf, &state.opt.m);
+    put_f32s(&mut buf, &state.opt.v);
+    seal_into(&mut buf);
+    buf
+}
+
+/// Deserialize a full checkpoint (model state only), accepting both v1 and
+/// v2 layouts; any v2 auxiliary state is decoded and dropped.
 pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
+    Ok(decode_full_checkpoint(data)?.state)
+}
+
+/// Deserialize a full checkpoint with its auxiliary state, validating
+/// magic, version and CRC. Accepts v1 (no aux, lossy) and v2.
+pub fn decode_full_checkpoint(data: &[u8]) -> Result<FullCheckpoint, CodecError> {
     let body = check_crc(data)?;
     let mut cur = Cursor::new(body);
     check_magic(&mut cur, MAGIC_FULL)?;
     let version = cur.get_u16("truncated header")?;
-    if version != VERSION {
+    if version != VERSION && version != FULL_VERSION_V2 {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let iteration = cur.get_u64("truncated header")?;
@@ -330,13 +449,43 @@ pub fn decode_model_state(data: &[u8]) -> Result<ModelState, CodecError> {
     let params = take_f32s(&mut cur, psi)?;
     let m = take_f32s(&mut cur, psi)?;
     let v = take_f32s(&mut cur, psi)?;
+    let mut aux = AuxState::default();
+    if version >= FULL_VERSION_V2 {
+        let flags = cur.get_u8("missing aux flags")?;
+        if flags & !AUX_FLAGS_KNOWN != 0 {
+            return Err(CodecError::Corrupt("unknown aux flags"));
+        }
+        if flags & AUX_FLAG_COMPRESSOR != 0 {
+            let kind = CompressorKind::from_u8(cur.get_u8("truncated compressor cfg")?)
+                .ok_or(CodecError::Corrupt("unknown compressor kind"))?;
+            let ratio = cur.get_f64("truncated compressor cfg")?;
+            let bits = cur.get_u8("truncated compressor cfg")?;
+            aux.compressor = Some(CompressorCfg { kind, ratio, bits });
+        }
+        if flags & AUX_FLAG_RNG != 0 {
+            let mut rng = [0u64; 4];
+            for w in &mut rng {
+                *w = cur.get_u64("truncated rng cursor")?;
+            }
+            aux.rng = Some(rng);
+        }
+        if flags & AUX_FLAG_RESIDUAL != 0 {
+            aux.residual = Some(take_f32s(&mut cur, psi)?);
+        }
+    }
     if cur.has_remaining() {
         return Err(CodecError::Corrupt("trailing bytes"));
     }
-    Ok(ModelState {
-        iteration,
-        params,
-        opt: AdamState { m, v, t: adam_t },
+    let lossy = aux.is_empty();
+    Ok(FullCheckpoint {
+        state: ModelState {
+            iteration,
+            params,
+            opt: AdamState { m, v, t: adam_t },
+        },
+        aux,
+        lossy,
+        version,
     })
 }
 
@@ -426,7 +575,16 @@ fn take_compressed(cur: &mut Cursor<'_>, version: u16) -> Result<CompressedGrad,
                 if cur.remaining() < nnz * 4 {
                     return Err(CodecError::Corrupt("truncated sparse grad"));
                 }
-                take_u32s(cur, nnz)?
+                let indices = take_u32s(cur, nnz)?;
+                // `SparseGrad::new` hard-asserts sorted-unique-in-range;
+                // untrusted v1 bytes must fail decoding, not panic there.
+                if !indices.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(CodecError::Corrupt("non-increasing sparse index"));
+                }
+                if indices.last().is_some_and(|&l| l as usize >= dense_len) {
+                    return Err(CodecError::Corrupt("sparse index out of range"));
+                }
+                indices
             };
             if cur.remaining() < nnz * 4 {
                 return Err(CodecError::Corrupt("truncated sparse grad"));
@@ -701,12 +859,118 @@ mod tests {
 
     #[test]
     fn bulk_encode_byte_identical_to_reference() {
+        // The reference module predates the v2 aux trailer, so the parity
+        // check runs against the retained legacy v1 encoder.
         let st = demo_state(777, 9);
         assert_eq!(
-            encode_model_state(&st),
+            encode_model_state_v1(&st),
             reference::encode_model_state(&st),
             "bulk and per-element encoders must agree byte for byte"
         );
+    }
+
+    #[test]
+    fn full_v2_roundtrips_aux_state() {
+        let st = demo_state(300, 21);
+        let residual: Vec<f32> = (0..300).map(|i| i as f32 * 0.25 - 10.0).collect();
+        let aux = AuxState {
+            residual: Some(residual),
+            compressor: Some(CompressorCfg::topk(0.01)),
+            rng: Some([7, 8, 9, u64::MAX]),
+        };
+        let bytes = encode_full_checkpoint(&st, &aux.view());
+        let fc = decode_full_checkpoint(&bytes).unwrap();
+        assert_eq!(fc.state, st);
+        assert_eq!(fc.aux, aux);
+        assert!(!fc.lossy);
+        assert_eq!(fc.version, FULL_VERSION_V2);
+        // Model-state-only decode drops the aux without complaint.
+        assert_eq!(decode_model_state(&bytes).unwrap(), st);
+    }
+
+    #[test]
+    fn full_v2_partial_aux_sections() {
+        let st = demo_state(40, 22);
+        for aux in [
+            AuxState {
+                residual: None,
+                compressor: Some(CompressorCfg::quant(8)),
+                rng: None,
+            },
+            AuxState {
+                residual: None,
+                compressor: None,
+                rng: Some([1, 2, 3, 4]),
+            },
+            AuxState {
+                residual: Some(vec![0.5; 40]),
+                compressor: None,
+                rng: None,
+            },
+        ] {
+            let bytes = encode_full_checkpoint(&st, &aux.view());
+            let fc = decode_full_checkpoint(&bytes).unwrap();
+            assert_eq!(fc.aux, aux);
+            assert!(!fc.lossy);
+        }
+        // No aux at all: decodes fine, flagged lossy.
+        let bytes = encode_model_state(&st);
+        let fc = decode_full_checkpoint(&bytes).unwrap();
+        assert!(fc.aux.is_empty());
+        assert!(fc.lossy);
+    }
+
+    #[test]
+    fn legacy_v1_full_decodes_as_lossy() {
+        let st = demo_state(128, 23);
+        let v1 = encode_model_state_v1(&st);
+        let fc = decode_full_checkpoint(&v1).unwrap();
+        assert_eq!(fc.state, st);
+        assert!(fc.aux.is_empty(), "v1 carries no aux");
+        assert!(fc.lossy, "v1 must be flagged lossy");
+        assert_eq!(fc.version, VERSION);
+        assert_eq!(decode_model_state(&v1).unwrap(), st);
+    }
+
+    #[test]
+    fn full_v2_rejects_unknown_aux_flags() {
+        let st = demo_state(8, 24);
+        let mut bytes = encode_model_state(&st);
+        bytes.truncate(bytes.len() - 4); // strip crc
+        let flags_at = bytes.len() - 1; // empty aux → flags is the last body byte
+        bytes[flags_at] = 0x80;
+        let crc = lowdiff_util::crc::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_full_checkpoint(&bytes).unwrap_err(),
+            CodecError::Corrupt("unknown aux flags")
+        ));
+    }
+
+    #[test]
+    fn v1_sparse_rejects_unsorted_or_out_of_range_indices() {
+        // Fabricate v1 blobs with invalid index payloads: decode must
+        // return Corrupt, never reach the SparseGrad::new panic.
+        let good = vec![DiffEntry {
+            iteration: 1,
+            grad: CompressedGrad::Sparse(SparseGrad::new(10, vec![2, 5], vec![1.0, 2.0])),
+        }];
+        let bytes = encode_diff_batch_v1(&good);
+        // Layout: magic(4) version(2) count(4) iter(8) tag(1) dense_len(8)
+        // nnz(4) → first u32 index at offset 31.
+        for bad_indices in [[5u32, 2], [5, 5], [2, 10]] {
+            let mut b = bytes.clone();
+            b.truncate(b.len() - 4);
+            b[31..35].copy_from_slice(&bad_indices[0].to_le_bytes());
+            b[35..39].copy_from_slice(&bad_indices[1].to_le_bytes());
+            let crc = lowdiff_util::crc::crc32(&b);
+            b.extend_from_slice(&crc.to_le_bytes());
+            let err = decode_diff_batch(&b).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Corrupt(_)),
+                "{bad_indices:?} gave {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -188,6 +188,17 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
         self.inner.get(key)
     }
 
+    fn len(&self, key: &str) -> io::Result<u64> {
+        // Metadata reads hit the same path as data reads on a real target
+        // (a HEAD against a flaky object store fails just as readily), so
+        // they share the get-transient roll and counter.
+        if self.roll(self.cfg.get_transient_rate) {
+            self.get_faults.fetch_add(1, Ordering::SeqCst);
+            return Err(Self::transient("len"));
+        }
+        self.inner.len(key)
+    }
+
     fn list(&self) -> io::Result<Vec<String>> {
         self.inner.list()
     }
@@ -280,6 +291,22 @@ mod tests {
         b.put("k", b"v").unwrap();
         assert!(b.get("k").is_err());
         assert!(b.counters().get_faults >= 1);
+    }
+
+    #[test]
+    fn len_shares_the_get_fault_path() {
+        let b = faulty(FaultConfig {
+            get_transient_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        b.put("k", b"value").unwrap();
+        let err = b.len("k").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(b.counters().get_faults >= 1);
+        // With faults off, len passes through to the inner backend.
+        let clean = faulty(FaultConfig::default());
+        clean.put("k", b"value").unwrap();
+        assert_eq!(clean.len("k").unwrap(), 5);
     }
 
     #[test]

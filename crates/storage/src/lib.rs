@@ -25,6 +25,7 @@ pub mod retry;
 pub mod store;
 
 pub use backend::{DiskBackend, MemoryBackend, StorageBackend, ThrottledBackend};
+pub use codec::FullCheckpoint;
 pub use faults::{FaultConfig, FaultCounters, FaultyBackend};
-pub use retry::{with_retry, Retried, RetryPolicy};
+pub use retry::{with_retry, with_retry_if, Retried, RetryPolicy};
 pub use store::CheckpointStore;

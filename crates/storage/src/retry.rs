@@ -63,7 +63,19 @@ impl<T> Retried<T> {
 
 /// Run `op` until it succeeds or the policy is exhausted, sleeping the
 /// policy's backoff between attempts.
-pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>) -> Retried<T> {
+pub fn with_retry<T>(policy: &RetryPolicy, op: impl FnMut() -> io::Result<T>) -> Retried<T> {
+    with_retry_if(policy, op, |_| true)
+}
+
+/// Like [`with_retry`], but only errors accepted by `should_retry` are
+/// retried; anything else returns immediately. This is the read-side shape:
+/// a transient read fault (`Interrupted`) deserves backoff, but `NotFound`
+/// is a definitive answer no amount of retrying will change.
+pub fn with_retry_if<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> io::Result<T>,
+    mut should_retry: impl FnMut(&io::Error) -> bool,
+) -> Retried<T> {
     let mut retries = 0u32;
     loop {
         match op() {
@@ -74,7 +86,7 @@ pub fn with_retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> io::Result<T>
                 }
             }
             Err(e) => {
-                if retries >= policy.max_retries {
+                if retries >= policy.max_retries || !should_retry(&e) {
                     return Retried {
                         result: Err(e),
                         retries,
@@ -137,6 +149,46 @@ mod tests {
         assert_eq!(p.delay_for(2), Duration::from_millis(8));
         assert_eq!(p.delay_for(3), Duration::from_millis(10), "capped");
         assert_eq!(p.delay_for(30), Duration::from_millis(10), "still capped");
+    }
+
+    #[test]
+    fn with_retry_if_skips_non_retryable_errors() {
+        let mut attempts = 0u32;
+        let r = with_retry_if(
+            &RetryPolicy::default(),
+            || -> io::Result<()> {
+                attempts += 1;
+                Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+            },
+            |e| e.kind() == io::ErrorKind::Interrupted,
+        );
+        assert!(r.result.is_err());
+        assert_eq!(r.retries, 0, "non-retryable error must not be retried");
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn with_retry_if_retries_matching_errors() {
+        let mut attempts = 0u32;
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(100),
+        };
+        let r = with_retry_if(
+            &policy,
+            || -> io::Result<u32> {
+                attempts += 1;
+                if attempts < 3 {
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+                } else {
+                    Ok(7)
+                }
+            },
+            |e| e.kind() == io::ErrorKind::Interrupted,
+        );
+        assert_eq!(r.result.unwrap(), 7);
+        assert_eq!(r.retries, 2);
     }
 
     #[test]

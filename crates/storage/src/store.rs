@@ -11,14 +11,21 @@
 //! differential chain after it, in order (Equation 2).
 
 use crate::backend::StorageBackend;
-use crate::codec::{self, DiffEntry};
+use crate::codec::{self, DiffEntry, FullCheckpoint};
+use crate::retry::{with_retry_if, RetryPolicy};
+use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Manages checkpoint blobs on a backend.
 pub struct CheckpointStore {
     backend: Arc<dyn StorageBackend>,
+    /// Backoff policy for transient *read* faults.
+    read_retry: RetryPolicy,
+    /// Total read-side retries spent (attempts beyond the first).
+    read_retries: AtomicU64,
 }
 
 /// A parsed differential-batch key.
@@ -33,7 +40,23 @@ pub struct DiffKey {
 
 impl CheckpointStore {
     pub fn new(backend: Arc<dyn StorageBackend>) -> Self {
-        Self { backend }
+        Self {
+            backend,
+            read_retry: RetryPolicy::default(),
+            read_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the read-side retry policy (backoff for transient `get`
+    /// faults during recovery).
+    pub fn with_read_retry(mut self, policy: RetryPolicy) -> Self {
+        self.read_retry = policy;
+        self
+    }
+
+    /// Total read-side retries spent so far (attempts beyond the first).
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries.load(Ordering::Relaxed)
     }
 
     pub fn backend(&self) -> &Arc<dyn StorageBackend> {
@@ -49,8 +72,19 @@ impl CheckpointStore {
     }
 
     /// Persist a full checkpoint of `state` (encode + put in one call).
+    /// Written without auxiliary state — resume from it is lossy for
+    /// error-feedback runs; prefer [`save_full_with_aux`](Self::save_full_with_aux)
+    /// on the training path.
     pub fn save_full(&self, state: &ModelState) -> io::Result<()> {
         let bytes = codec::encode_model_state(state);
+        self.put_full(state.iteration, &bytes)
+    }
+
+    /// Persist a full checkpoint together with the auxiliary training state
+    /// (error-feedback residual, compressor config, RNG cursor) that makes
+    /// resume bit-exact.
+    pub fn save_full_with_aux(&self, state: &ModelState, aux: &AuxView<'_>) -> io::Result<()> {
+        let bytes = codec::encode_full_checkpoint(state, aux);
         self.put_full(state.iteration, &bytes)
     }
 
@@ -120,25 +154,33 @@ impl CheckpointStore {
         Ok(out)
     }
 
-    /// Load and CRC-validate a specific full checkpoint.
+    /// Load and CRC-validate a specific full checkpoint (model state only).
     pub fn load_full(&self, iteration: u64) -> io::Result<ModelState> {
+        self.load_full_checkpoint(iteration).map(|fc| fc.state)
+    }
+
+    /// Load and CRC-validate a specific full checkpoint, including any
+    /// auxiliary training state the blob carries.
+    pub fn load_full_checkpoint(&self, iteration: u64) -> io::Result<FullCheckpoint> {
         let bytes = self.get_retried(&Self::full_key(iteration))?;
-        codec::decode_model_state(&bytes)
+        codec::decode_full_checkpoint(&bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
-    /// `get` with transient-error retries: a flaky read (`Interrupted`, the
-    /// kind transient storage faults surface as) must not demote recovery
-    /// to an older checkpoint when a re-read would have succeeded.
+    /// `get` with transient-error retries via the shared [`RetryPolicy`]
+    /// machinery: a flaky read (`Interrupted`, the kind transient storage
+    /// faults surface as) must not demote recovery to an older checkpoint
+    /// when a backed-off re-read would have succeeded. Definitive errors
+    /// (`NotFound`, corrupt data surfacing later) are not retried.
     fn get_retried(&self, key: &str) -> io::Result<Vec<u8>> {
-        let mut last = None;
-        for _ in 0..4 {
-            match self.backend.get(key) {
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => last = Some(e),
-                other => return other,
-            }
-        }
-        Err(last.unwrap())
+        let r = with_retry_if(
+            &self.read_retry,
+            || self.backend.get(key),
+            |e| e.kind() == io::ErrorKind::Interrupted,
+        );
+        self.read_retries
+            .fetch_add(u64::from(r.retries), Ordering::Relaxed);
+        r.result
     }
 
     /// The newest full checkpoint that passes CRC validation. Corrupt (torn)
@@ -146,9 +188,15 @@ impl CheckpointStore {
     /// this is the recovery entry point, and it degrades to an older
     /// checkpoint rather than erroring out.
     pub fn latest_valid_full(&self) -> io::Result<Option<ModelState>> {
+        Ok(self.latest_valid_full_checkpoint()?.map(|fc| fc.state))
+    }
+
+    /// Like [`latest_valid_full`](Self::latest_valid_full), but returns the
+    /// full checkpoint including auxiliary state — the resume entry point.
+    pub fn latest_valid_full_checkpoint(&self) -> io::Result<Option<FullCheckpoint>> {
         for iter in self.full_iterations()?.into_iter().rev() {
-            match self.load_full(iter) {
-                Ok(state) => return Ok(Some(state)),
+            match self.load_full_checkpoint(iter) {
+                Ok(fc) => return Ok(Some(fc)),
                 Err(e) if e.kind() == io::ErrorKind::InvalidData => continue,
                 Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -209,10 +257,12 @@ impl CheckpointStore {
     }
 
     /// Total stored bytes across all checkpoint blobs (Exp. 7's metric).
+    /// Metadata-only: sizes come from [`StorageBackend::len`], never from
+    /// downloading blob contents.
     pub fn total_stored_bytes(&self) -> io::Result<u64> {
         let mut total = 0u64;
         for k in self.backend.list()? {
-            total += self.backend.get(&k)?.len() as u64;
+            total += self.backend.len(&k)?;
         }
         Ok(total)
     }
@@ -331,5 +381,62 @@ mod tests {
         assert!(total > 0);
         let full_len = store.backend().get("full-0000000001.ckpt").unwrap().len();
         assert!(total as usize > full_len);
+    }
+
+    #[test]
+    fn full_with_aux_roundtrips_through_store() {
+        use lowdiff_compress::CompressorCfg;
+        let (_, store) = mem_store();
+        let st = state_at(7);
+        let residual = vec![0.25f32; 8];
+        let aux = lowdiff_compress::AuxState {
+            residual: Some(residual),
+            compressor: Some(CompressorCfg::topk(0.01)),
+            rng: Some([11, 22, 33, 44]),
+        };
+        store.save_full_with_aux(&st, &aux.view()).unwrap();
+        let fc = store.latest_valid_full_checkpoint().unwrap().unwrap();
+        assert_eq!(fc.state, st);
+        assert_eq!(fc.aux, aux);
+        assert!(!fc.lossy);
+        // The model-state-only API still works on the same blob.
+        assert_eq!(store.latest_valid_full().unwrap().unwrap(), st);
+    }
+
+    #[test]
+    fn read_retries_are_counted_and_bounded() {
+        use crate::faults::{FaultConfig, FaultyBackend};
+        let faulty = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig::default(),
+        ));
+        let store = CheckpointStore::new(faulty.clone() as Arc<dyn StorageBackend>)
+            .with_read_retry(crate::retry::RetryPolicy {
+                max_retries: 4,
+                base_delay: std::time::Duration::from_micros(10),
+                max_delay: std::time::Duration::from_micros(50),
+            });
+        store.save_full(&state_at(3)).unwrap();
+        // NotFound is definitive: no retries spent.
+        assert!(store.load_full(99).is_err());
+        assert_eq!(store.read_retries(), 0, "NotFound must not be retried");
+        // A transient fault on the first get is retried through.
+        let always = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultConfig {
+                get_transient_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        ));
+        let flaky = CheckpointStore::new(always as Arc<dyn StorageBackend>).with_read_retry(
+            crate::retry::RetryPolicy {
+                max_retries: 2,
+                base_delay: std::time::Duration::from_micros(10),
+                max_delay: std::time::Duration::from_micros(50),
+            },
+        );
+        flaky.save_full(&state_at(1)).unwrap();
+        assert!(flaky.load_full(1).is_err(), "every read faults");
+        assert_eq!(flaky.read_retries(), 2, "all retries spent and counted");
     }
 }

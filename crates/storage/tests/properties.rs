@@ -139,17 +139,17 @@ proptest! {
     }
 
     /// The bulk (memcpy) encoder must be byte-identical to the retained
-    /// per-element reference encoder — for full checkpoints and for v1 diff
-    /// batches of every representation mix (the reference module predates
-    /// the v2 layout). This is what let the bulk rewrite ship without a
-    /// format version bump.
+    /// per-element reference encoder — for v1 full checkpoints and for v1
+    /// diff batches of every representation mix (the reference module
+    /// predates the v2 layouts). This is what let the bulk rewrite ship
+    /// without a format version bump.
     #[test]
     fn bulk_encoding_byte_identical_to_reference(
         st in arb_state(),
         grads in prop::collection::vec(arb_grad(80), 0..5),
     ) {
         prop_assert_eq!(
-            codec::encode_model_state(&st),
+            codec::encode_model_state_v1(&st),
             codec::reference::encode_model_state(&st)
         );
         let entries: Vec<DiffEntry> = grads
@@ -161,6 +161,73 @@ proptest! {
             codec::encode_diff_batch_v1(&entries),
             codec::reference::encode_diff_batch(&entries)
         );
+    }
+
+    /// Legacy v1 full-checkpoint blobs keep decoding, flagged lossy; v2
+    /// blobs with auxiliary state roundtrip it exactly.
+    #[test]
+    fn full_checkpoint_versions_decode(
+        st in arb_state(),
+        rng_seed in 0u64..u64::MAX,
+        ratio in 0.001f64..1.0,
+    ) {
+        let rng_words = [rng_seed, rng_seed ^ 0xABCD, rng_seed.rotate_left(17), !rng_seed];
+        let v1 = codec::encode_model_state_v1(&st);
+        let fc = codec::decode_full_checkpoint(&v1).unwrap();
+        prop_assert_eq!(&fc.state, &st);
+        prop_assert!(fc.lossy, "v1 must be flagged lossy");
+        prop_assert!(fc.aux.is_empty());
+
+        let aux = lowdiff_compress::AuxState {
+            residual: Some(st.params.iter().map(|p| p * 0.5).collect()),
+            compressor: Some(lowdiff_compress::CompressorCfg::topk(ratio)),
+            rng: Some(rng_words),
+        };
+        let v2 = codec::encode_full_checkpoint(&st, &aux.view());
+        let fc2 = codec::decode_full_checkpoint(&v2).unwrap();
+        prop_assert_eq!(fc2.state, st);
+        prop_assert_eq!(fc2.aux, aux);
+        prop_assert!(!fc2.lossy);
+    }
+
+    /// Adversarial v1 sparse payloads (duplicate, unsorted, or out-of-range
+    /// indices) must fail decoding cleanly — never construct a `SparseGrad`
+    /// that would make sharded (`+=`) and dense (overwrite) recovery paths
+    /// disagree, and never panic.
+    #[test]
+    fn v1_sparse_index_payloads_validated(
+        dense_len in 1u64..100,
+        indices in prop::collection::vec(0u32..120, 0..12),
+    ) {
+        // Hand-roll a v1 diff batch with one sparse entry carrying the raw
+        // (possibly invalid) index list.
+        let mut body = Vec::new();
+        body.extend_from_slice(b"LDDB");
+        body.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        body.extend_from_slice(&1u32.to_le_bytes()); // count
+        body.extend_from_slice(&5u64.to_le_bytes()); // iteration
+        body.push(0); // sparse tag
+        body.extend_from_slice(&dense_len.to_le_bytes());
+        body.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+        for &i in &indices {
+            body.extend_from_slice(&i.to_le_bytes());
+        }
+        for &i in &indices {
+            body.extend_from_slice(&(i as f32).to_le_bytes());
+        }
+        let crc = lowdiff_util::crc::crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+
+        let valid = indices.windows(2).all(|w| w[0] < w[1])
+            && indices.last().is_none_or(|&l| u64::from(l) < dense_len);
+        match codec::decode_diff_batch(&body) {
+            Ok(entries) => {
+                prop_assert!(valid, "invalid indices decoded successfully");
+                let s = entries[0].grad.as_sparse().unwrap();
+                prop_assert!(s.indices.windows(2).all(|w| w[0] < w[1]));
+            }
+            Err(_) => prop_assert!(!valid, "valid indices failed to decode"),
+        }
     }
 
     /// Store discovery: the latest valid full checkpoint is always the one

@@ -66,6 +66,28 @@ impl DetRng {
         }
     }
 
+    /// Raw generator state, for checkpointing the RNG cursor. Only valid
+    /// to capture at a point where no Box–Muller spare is cached (i.e.
+    /// after an even number of `normal()` draws, or none) — asserted, so a
+    /// checkpoint can never silently drop half a Gaussian draw.
+    pub fn state(&self) -> [u64; 4] {
+        assert!(
+            self.gauss_spare.is_none(),
+            "cannot checkpoint DetRng mid-Gaussian-pair"
+        );
+        self.s
+    }
+
+    /// Rebuild a generator from a captured [`state`](Self::state). The
+    /// restored generator continues the stream exactly where the captured
+    /// one left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self {
+            s,
+            gauss_spare: None,
+        }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

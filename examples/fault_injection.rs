@@ -51,6 +51,7 @@ fn main() {
         TrainerConfig {
             compress_ratio: Some(0.2),
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
     let task = Regression::new(5, 2, 3);

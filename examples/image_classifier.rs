@@ -56,6 +56,7 @@ fn train<S: CheckpointStrategy>(strategy: S) -> (f64, StrategyStats, u64) {
         TrainerConfig {
             compress_ratio: Some(0.05),
             error_feedback: true,
+            ..TrainerConfig::default()
         },
     );
     let report = tr.run(ITERS, step());

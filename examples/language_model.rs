@@ -54,6 +54,7 @@ fn main() {
         TrainerConfig {
             compress_ratio: None, // the non-compression scenario
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
 

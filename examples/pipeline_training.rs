@@ -14,6 +14,7 @@ use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::pipeline::Pipeline;
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::CheckpointStrategy;
+use lowdiff::AuxView;
 use lowdiff_compress::{ErrorFeedback, TopK};
 use lowdiff_model::data::Regression;
 use lowdiff_model::layer::{Linear, Relu};
@@ -62,7 +63,7 @@ fn main() {
             ..LowDiffConfig::default()
         },
     );
-    strat.after_update(&state);
+    strat.after_update(&state, &AuxView::NONE);
 
     let mut first_loss = None;
     let mut last_loss = 0.0;
@@ -79,9 +80,9 @@ fn main() {
 
         // Compress + reuse: identical to the data-parallel path.
         let handle = Arc::new(ef.compress(&flat));
-        strat.on_synced_gradient(t, &handle);
+        strat.on_synced_gradient(t, &handle, &AuxView::NONE);
         state.apply_gradient(&adam, &handle.to_dense());
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     println!(

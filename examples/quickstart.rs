@@ -50,6 +50,7 @@ fn main() {
         TrainerConfig {
             compress_ratio: Some(0.05), // Top-K, rho = 5%
             error_feedback: true,
+            ..TrainerConfig::default()
         },
     );
 

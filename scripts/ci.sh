@@ -7,7 +7,8 @@
 # 2. cargo clippy          — every lint is an error across the workspace,
 #                            all targets (libs, bins, tests, benches)
 # 3. cargo test -q         — the full workspace test suite
-# 4. bench --smoke         — both benchmark binaries complete on a tiny
+# 4. crash-torture smoke   — the fast subset of the crash/resume matrix
+# 5. bench --smoke         — both benchmark binaries complete on a tiny
 #                            configuration (no JSON written)
 #
 # Fails fast: the first failing step fails the gate.
@@ -23,6 +24,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== test =="
 cargo test -q --workspace
+
+echo "== crash-torture smoke =="
+# Fast subset of the crash-point torture matrix (tests/crash_torture.rs):
+# every strategy through a torn write, LowDiff through every crash point.
+cargo test -q --test crash_torture smoke_
 
 echo "== bench smoke =="
 cargo build --release -q -p lowdiff-bench --features count-allocs \

@@ -1,0 +1,241 @@
+//! Crash-point torture matrix: the tentpole proof that resume is
+//! bit-exact for **every** strategy, at **every** stage of the checkpoint
+//! pipeline a process can die in.
+//!
+//! Each cell of the matrix {strategy} × {crash point} × {error feedback}:
+//!
+//! 1. trains `TOTAL` iterations uninterrupted — the ground truth,
+//! 2. re-trains with a [`CrashInjector`] armed on the nth occurrence of
+//!    one [`CrashPoint`] (n drawn from a per-cell seeded RNG), stopping
+//!    the loop as soon as the "process" dies,
+//! 3. drops the trainer (the crash), calls [`Trainer::resume`] against
+//!    whatever the store durably holds, trains to `TOTAL`,
+//! 4. asserts parameters and both Adam moments are bit-identical to the
+//!    uninterrupted run.
+//!
+//! A crash before the first durable full resumes `None`; the cell then
+//! cold-starts from scratch, which is what a real system does with an
+//! empty store — determinism makes that equal to the straight run too.
+//!
+//! LowDiff+ runs dense-only (its scenario: gradients travel uncompressed),
+//! so its error-feedback arm is skipped. Naïve DC's differentials are
+//! parameter deltas, not replayable gradients, so its cells resume with
+//! `fast_forward: false` and anchor at the full checkpoint.
+
+use lowdiff::{
+    CheckpointStrategy, CrashInjector, CrashPoint, EngineConfig, LowDiffConfig, LowDiffPlusConfig,
+    LowDiffPlusStrategy, LowDiffStrategy, NoCheckpoint, ResumeOpts, Trainer, TrainerConfig,
+    ALL_CRASH_POINTS,
+};
+use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
+use lowdiff_model::builders::mlp;
+use lowdiff_model::data::Regression;
+use lowdiff_model::loss::mse;
+use lowdiff_model::Network;
+use lowdiff_optim::{Adam, ModelState};
+use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_tensor::Tensor;
+use lowdiff_util::DetRng;
+use std::sync::Arc;
+
+/// Iterations per run. Every (strategy, crash-point) schedule below hits
+/// each crash point at least 8 times within this budget, so any armed
+/// `nth ∈ [2, 8]` is guaranteed to fire.
+const TOTAL: u64 = 24;
+
+#[derive(Clone, Copy, Debug)]
+enum Scheme {
+    LowDiff,
+    LowDiffPlus,
+    CheckFreq,
+    TorchSave,
+    Gemini,
+    NaiveDc,
+}
+
+const SCHEMES: [Scheme; 6] = [
+    Scheme::LowDiff,
+    Scheme::LowDiffPlus,
+    Scheme::CheckFreq,
+    Scheme::TorchSave,
+    Scheme::Gemini,
+    Scheme::NaiveDc,
+];
+
+fn net() -> Network {
+    mlp(&[4, 10, 2], 8)
+}
+
+/// Batches sampled from the trainer-owned data cursor — the resumable form.
+fn data_step() -> impl FnMut(&mut Network, u64, &mut DetRng) -> (f64, Tensor) {
+    let task = Regression::new(4, 2, 7);
+    move |net: &mut Network, _t: u64, rng: &mut DetRng| {
+        let (x, y) = task.batch(rng, 8);
+        let pred = net.forward(&x);
+        mse(&pred, &y)
+    }
+}
+
+fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_seed: u64) {
+    let dense_only = matches!(scheme, Scheme::LowDiffPlus);
+    let cfg = TrainerConfig {
+        compress_ratio: if dense_only { None } else { Some(0.25) },
+        error_feedback: error_feedback && !dense_only,
+        data_seed: 0xD1CE ^ cell_seed,
+    };
+
+    // Ground truth: the same run, never crashed.
+    let mut straight = Trainer::new(net(), Adam::default(), NoCheckpoint::new(), cfg.clone());
+    straight.run_with_data(TOTAL, data_step());
+    let want = straight.state().clone();
+
+    let nth = 2 + DetRng::new(0x7081 ^ cell_seed.rotate_left(17)).next_u64() % 7;
+    let injector = CrashInjector::arm(point, nth);
+    let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+    let ecfg = || EngineConfig {
+        crash: Some(Arc::clone(&injector)),
+        ..EngineConfig::default()
+    };
+
+    let network = net();
+    let strat: Box<dyn CheckpointStrategy> = match scheme {
+        Scheme::LowDiff => Box::new(LowDiffStrategy::new(
+            Arc::clone(&store),
+            LowDiffConfig {
+                full_every: 6,
+                batch_size: 2,
+                crash: Some(Arc::clone(&injector)),
+                ..LowDiffConfig::default()
+            },
+        )),
+        Scheme::LowDiffPlus => Box::new(LowDiffPlusStrategy::new(
+            Arc::clone(&store),
+            LowDiffPlusConfig {
+                persist_every: 3,
+                crash: Some(Arc::clone(&injector)),
+                ..LowDiffPlusConfig::default()
+            },
+            ModelState::new(network.params_flat()),
+        )),
+        Scheme::CheckFreq => Box::new(CheckFreqStrategy::with_engine_config(
+            Arc::clone(&store),
+            3,
+            ecfg(),
+        )),
+        Scheme::TorchSave => Box::new(TorchSaveStrategy::with_engine_config(
+            Arc::clone(&store),
+            3,
+            ecfg(),
+        )),
+        Scheme::Gemini => Box::new(GeminiStrategy::with_engine_config(
+            Arc::clone(&store),
+            2,
+            4,
+            ecfg(),
+        )),
+        Scheme::NaiveDc => Box::new(NaiveDcStrategy::with_engine_config(
+            Arc::clone(&store),
+            2,
+            8,
+            0.5,
+            ecfg(),
+        )),
+    };
+
+    // The doomed run: iterate one step at a time (each call flushes, so
+    // worker-side crash points have fired before we look) and stop as
+    // soon as the injected crash kills the checkpointing process.
+    let mut doomed = Trainer::new(network, Adam::default(), strat, cfg.clone());
+    let mut step = data_step();
+    let mut ran = 0;
+    while ran < TOTAL && !injector.crashed() {
+        doomed.run_with_data(1, &mut step);
+        ran += 1;
+    }
+    assert!(
+        injector.crashed(),
+        "{scheme:?}/{point:?} nth={nth}: crash never fired in {TOTAL} iterations"
+    );
+    drop(doomed); // the crash: live model, residual and cursor are gone
+
+    let opts = ResumeOpts {
+        // Naïve DC's diffs are parameter deltas — not replayable gradients.
+        fast_forward: !matches!(scheme, Scheme::NaiveDc),
+    };
+    let mut resumed = match Trainer::resume_with_opts(
+        net(),
+        Adam::default(),
+        NoCheckpoint::new(),
+        cfg.clone(),
+        &store,
+        opts,
+    )
+    .unwrap()
+    {
+        Some((tr, rep)) => {
+            assert!(
+                !rep.lossy,
+                "{scheme:?}/{point:?}: v2 fulls carry the whole training state"
+            );
+            assert!(rep.resumed_iteration <= TOTAL);
+            tr
+        }
+        // Crashed before anything durable landed: cold start.
+        None => Trainer::new(net(), Adam::default(), NoCheckpoint::new(), cfg.clone()),
+    };
+    let remaining = TOTAL - resumed.state().iteration;
+    resumed.run_with_data(remaining, data_step());
+
+    let got = resumed.state();
+    assert_eq!(got.iteration, TOTAL);
+    assert_eq!(
+        got.params, want.params,
+        "{scheme:?}/{point:?} ef={error_feedback} nth={nth}: params diverged after resume"
+    );
+    assert_eq!(
+        got.opt.m, want.opt.m,
+        "{scheme:?}/{point:?} ef={error_feedback} nth={nth}: Adam m diverged after resume"
+    );
+    assert_eq!(
+        got.opt.v, want.opt.v,
+        "{scheme:?}/{point:?} ef={error_feedback} nth={nth}: Adam v diverged after resume"
+    );
+}
+
+/// CI smoke subset: LowDiff (the paper's scheme) through every crash
+/// point with error feedback on — the configuration the original bug
+/// silently diverged in.
+#[test]
+fn smoke_lowdiff_every_crash_point_with_error_feedback() {
+    for (i, point) in ALL_CRASH_POINTS.into_iter().enumerate() {
+        torture_cell(Scheme::LowDiff, point, true, 100 + i as u64);
+    }
+}
+
+/// CI smoke subset: every strategy survives a torn write (the nastiest
+/// point — half a checkpoint is durable) and resumes bit-exactly.
+#[test]
+fn smoke_every_strategy_survives_a_torn_write() {
+    for (i, scheme) in SCHEMES.into_iter().enumerate() {
+        torture_cell(scheme, CrashPoint::MidPersist, i % 2 == 0, 200 + i as u64);
+    }
+}
+
+/// The full matrix: {six strategies} × {four crash points} × {EF on/off}
+/// (LowDiff+ dense-only). 44 cells, each asserting bit-identical final
+/// parameters and Adam moments.
+#[test]
+fn torture_matrix_all_strategies_all_crash_points() {
+    let mut cell = 0u64;
+    for scheme in SCHEMES {
+        for point in ALL_CRASH_POINTS {
+            for ef in [false, true] {
+                if matches!(scheme, Scheme::LowDiffPlus) && ef {
+                    continue;
+                }
+                torture_cell(scheme, point, ef, cell);
+                cell += 1;
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::recovery::{recover_serial, recover_sharded};
 use lowdiff::strategy::CheckpointStrategy;
+use lowdiff::AuxView;
 use lowdiff_comm::WorkerGroup;
 use lowdiff_compress::{ErrorFeedback, TopK};
 use lowdiff_model::builders::mlp;
@@ -46,7 +47,7 @@ fn train_distributed(
             )
         });
         if let Some(s) = strategy.as_mut() {
-            s.after_update(&state); // anchor full checkpoint at start
+            s.after_update(&state, &AuxView::NONE); // anchor full checkpoint at start
         }
 
         for _ in 0..iters {
@@ -63,12 +64,12 @@ fn train_distributed(
             let synced = ctx.allgather_sparse(compressed.as_sparse().unwrap());
             let handle = Arc::new(lowdiff_compress::CompressedGrad::Sparse(synced));
             if let Some(s) = strategy.as_mut() {
-                s.on_synced_gradient(t, &handle);
+                s.on_synced_gradient(t, &handle, &AuxView::NONE);
             }
             let dense = handle.to_dense();
             state.apply_gradient(&adam, &dense);
             if let Some(s) = strategy.as_mut() {
-                s.after_update(&state);
+                s.after_update(&state, &AuxView::NONE);
             }
         }
         if let Some(s) = strategy.as_mut() {

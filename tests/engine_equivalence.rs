@@ -15,6 +15,7 @@ use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::CheckpointStrategy;
+use lowdiff::AuxView;
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_optim::{Adam, ModelState};
@@ -91,12 +92,12 @@ fn check_lowdiff(seed: u64, psi: usize, iters: u64, full_every: u64, batch_size:
         },
     );
     let mut comp = TopK::new(0.25);
-    strat.after_update(&state); // anchor full at 0
+    strat.after_update(&state, &AuxView::NONE); // anchor full at 0
     for g in &grads {
         let cg = Arc::new(comp.compress(g));
-        strat.on_synced_gradient(state.iteration, &cg);
+        strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
         state.apply_gradient(&adam, &cg.to_dense());
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     drop(strat);
@@ -148,7 +149,7 @@ fn check_lowdiff_plus(seed: u64, psi: usize, iters: u64, persist_every: u64) {
     )));
     for g in &grads {
         strat.on_layer_gradient(state.iteration, 0, 0..psi, g);
-        strat.on_synced_gradient(state.iteration, &dummy);
+        strat.on_synced_gradient(state.iteration, &dummy, &AuxView::NONE);
         state.apply_gradient(&adam, g);
     }
     strat.flush();
@@ -188,8 +189,8 @@ fn check_full_snapshot_baselines(seed: u64, psi: usize, iters: u64, every: u64) 
     let mut state = ModelState::new(init.clone());
     for g in &grads {
         state.apply_gradient(&adam, g);
-        cf.after_update(&state);
-        ts.after_update(&state);
+        cf.after_update(&state, &AuxView::NONE);
+        ts.after_update(&state, &AuxView::NONE);
     }
     cf.flush();
     ts.flush();
@@ -229,7 +230,7 @@ fn check_gemini(seed: u64, psi: usize, iters: u64, mem_every: u64, persist_every
         if state.iteration.is_multiple_of(mem_every) {
             last_mem = Some((state.iteration, state.params.clone()));
         }
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     let mem_rec = strat.recover_memory().unwrap();
@@ -270,7 +271,7 @@ fn check_naive_dc(seed: u64, psi: usize, iters: u64, diff_every: u64, full_every
     let mut state = ModelState::new(init.clone());
     for g in &grads {
         state.apply_gradient(&adam, g);
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     drop(strat);

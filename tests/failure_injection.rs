@@ -5,6 +5,7 @@ use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::recovery::{recover_serial, recover_sharded};
 use lowdiff::strategy::CheckpointStrategy;
 use lowdiff::trainer::{Trainer, TrainerConfig};
+use lowdiff::AuxView;
 use lowdiff_model::builders::tiny_gpt;
 use lowdiff_model::data::MarkovText;
 use lowdiff_model::loss::softmax_cross_entropy;
@@ -48,11 +49,12 @@ fn train_lm(
         TrainerConfig {
             compress_ratio: Some(0.2),
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
     // Anchor a full checkpoint at iteration 0 so any crash is recoverable.
     let initial = tr.state().clone();
-    tr.strategy_mut().after_update(&initial);
+    tr.strategy_mut().after_update(&initial, &AuxView::NONE);
     tr.run(iters, lm_step());
     tr.state().clone()
 }

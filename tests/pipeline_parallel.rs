@@ -7,6 +7,7 @@ use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::pipeline::Pipeline;
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::CheckpointStrategy;
+use lowdiff::AuxView;
 use lowdiff_compress::{CompressedGrad, Compressor, TopK};
 use lowdiff_model::data::Regression;
 use lowdiff_model::layer::{Linear, Relu};
@@ -49,7 +50,7 @@ fn train(
             ..LowDiffConfig::default()
         },
     );
-    strat.after_update(&state); // base full checkpoint
+    strat.after_update(&state, &AuxView::NONE); // base full checkpoint
 
     for _ in 0..iters {
         let t = state.iteration;
@@ -61,9 +62,9 @@ fn train(
         let (_, flat_grad) = pipe.step(&inputs, |out, mb| mse(out, &micro[mb].1));
 
         let handle = Arc::new(comp.compress(&flat_grad));
-        strat.on_synced_gradient(t, &handle);
+        strat.on_synced_gradient(t, &handle, &AuxView::NONE);
         state.apply_gradient(&adam, &handle.to_dense());
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     let stats = strat.stats();

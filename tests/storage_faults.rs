@@ -7,6 +7,7 @@ use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff::trainer::{Trainer, TrainerConfig};
+use lowdiff::AuxView;
 use lowdiff_model::builders::mlp;
 use lowdiff_model::data::Regression;
 use lowdiff_model::loss::mse;
@@ -63,11 +64,12 @@ fn train_faulty(
         TrainerConfig {
             compress_ratio: Some(0.2),
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
     // Anchor a full checkpoint at iteration 0.
     let initial = tr.state().clone();
-    tr.strategy_mut().after_update(&initial);
+    tr.strategy_mut().after_update(&initial, &AuxView::NONE);
     tr.run(iters, step_fn());
     let live = tr.state().clone();
     let stats = tr.into_strategy().stats();
@@ -195,10 +197,11 @@ fn persistent_outage_degrades_then_reanchors_after_heal() {
         TrainerConfig {
             compress_ratio: Some(0.2),
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
     let initial = tr.state().clone();
-    tr.strategy_mut().after_update(&initial);
+    tr.strategy_mut().after_update(&initial, &AuxView::NONE);
 
     let mut step = step_fn();
     tr.run(10, &mut step); // healthy prefix (flushes at the end)
@@ -292,7 +295,7 @@ fn retry_exhaustion_counts_one_dropped_batch_exactly_once() {
             ..LowDiffConfig::default()
         },
     );
-    strat.after_update(&state); // anchor full at 0
+    strat.after_update(&state, &AuxView::NONE); // anchor full at 0
     strat.flush();
     assert_eq!(store.full_iterations().unwrap(), vec![0]);
 
@@ -301,9 +304,9 @@ fn retry_exhaustion_counts_one_dropped_batch_exactly_once() {
     for _ in 0..2 {
         let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
         let cg = Arc::new(comp.compress(&g));
-        strat.on_synced_gradient(state.iteration, &cg);
+        strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
         state.apply_gradient(&adam, &cg.to_dense());
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     strat.flush(); // empty-buffer flush must not re-count the drop
@@ -322,9 +325,9 @@ fn retry_exhaustion_counts_one_dropped_batch_exactly_once() {
     for _ in 0..2 {
         let g: Vec<f32> = (0..psi).map(|_| rng.normal() as f32 * 0.1).collect();
         let cg = Arc::new(comp.compress(&g));
-        strat.on_synced_gradient(state.iteration, &cg);
+        strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
         state.apply_gradient(&adam, &cg.to_dense());
-        strat.after_update(&state);
+        strat.after_update(&state, &AuxView::NONE);
     }
     strat.flush();
     let stats = strat.stats();

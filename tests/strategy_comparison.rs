@@ -44,6 +44,7 @@ fn run<S: CheckpointStrategy>(strategy: S, compress: Option<f64>) -> (ModelState
         TrainerConfig {
             compress_ratio: compress,
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
     tr.run(ITERS, step_fn());
@@ -147,6 +148,7 @@ fn every_strategy_recovers_to_a_valid_state() {
         TrainerConfig {
             compress_ratio: None,
             error_feedback: false,
+            ..TrainerConfig::default()
         },
     );
     tr.run(ITERS, step_fn());
