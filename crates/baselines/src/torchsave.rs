@@ -119,7 +119,10 @@ mod tests {
         }
         assert_eq!(st.full_iterations().unwrap(), vec![5, 10]);
         assert_eq!(s.stats().full_checkpoints, 2);
-        assert_eq!(s.stats().bytes_written, 2 * 32 * 12);
+        // Accounting means "bytes that hit storage": the encoded blob
+        // length, which the backend counted independently.
+        assert_eq!(s.stats().bytes_written, st.backend().bytes_written());
+        assert!(s.stats().bytes_written >= 2 * 32 * 12);
     }
 
     #[test]

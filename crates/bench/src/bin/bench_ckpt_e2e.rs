@@ -11,10 +11,15 @@
 //! (`on_synced_gradient` + `after_update`); the end-of-run queue drain is
 //! reported separately and does not count against per-iteration stall.
 //!
-//! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--out PATH]
-//! [--smoke]` (defaults: 262144 params, 40 iterations, 300 MB/s,
-//! BENCH_ckpt_e2e.json). `--smoke` runs a tiny configuration for CI sanity
-//! and skips the JSON unless `--out` is given explicitly.
+//! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--stripes S]
+//! [--out PATH] [--smoke]` (defaults: 262144 params, 40 iterations,
+//! 300 MB/s, 1 stripe, BENCH_ckpt_e2e.json). `--stripes S` fans every
+//! checkpoint blob out into S concurrent ranged writes sealed by a
+//! manifest (the striped persist path); the run also sweeps full-write
+//! throughput over 1/2/4/8 stripes on a 4-channel throttled backend to
+//! show the fan-out scaling near-linearly up to the channel count.
+//! `--smoke` runs a tiny configuration for CI sanity and skips the JSON
+//! unless `--out` is given explicitly.
 //! `scripts/bench.sh` builds release and refreshes the JSON at the repo root.
 //!
 //! Built with `--features count-allocs`, a counting global allocator also
@@ -26,11 +31,14 @@
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::strategy::CheckpointStrategy;
+use lowdiff::EngineConfig;
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_bench::print_table;
 use lowdiff_compress::{AuxView, CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{CheckpointStore, MemoryBackend, StorageBackend, ThrottledBackend};
+use lowdiff_storage::{
+    CheckpointStore, MemoryBackend, StorageBackend, StripeCfg, ThrottledBackend,
+};
 use lowdiff_util::units::Bandwidth;
 use lowdiff_util::DetRng;
 use std::sync::Arc;
@@ -76,6 +84,63 @@ fn throttled_store(mbps: f64) -> Arc<CheckpointStore> {
     Arc::new(CheckpointStore::new(
         Arc::new(backend) as Arc<dyn StorageBackend>
     ))
+}
+
+struct StripeScale {
+    stripes: usize,
+    bytes: u64,
+    /// Simulated wall-clock of the write: the busiest channel's time.
+    critical_secs: f64,
+    write_mbps: f64,
+    speedup: f64,
+}
+
+/// Full-checkpoint write throughput vs stripe count on a `channels`-lane
+/// throttled backend. One durable full per run: the backend charges each
+/// ranged write to its least-busy channel, so the busiest channel's time
+/// is the simulated wall-clock of the fan-out — a broken fan-out (one
+/// blob, one channel) shows up as flat 1x "scaling".
+fn stripe_scaling_sweep(mbps: f64, channels: usize, initial: &ModelState) -> Vec<StripeScale> {
+    let mut out: Vec<StripeScale> = Vec::new();
+    for stripes in [1usize, 2, 4, 8] {
+        let backend = Arc::new(ThrottledBackend::with_channels(
+            MemoryBackend::new(),
+            Bandwidth::mbps_bytes(mbps),
+            channels,
+        ));
+        let store = Arc::new(CheckpointStore::new(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>
+        ));
+        let mut strat = TorchSaveStrategy::with_engine_config(
+            store,
+            1,
+            EngineConfig {
+                stripe: StripeCfg {
+                    stripes,
+                    min_stripe_bytes: 1,
+                },
+                export_health: false,
+                ..EngineConfig::default()
+            },
+        );
+        let mut state = initial.clone();
+        state.iteration = 1;
+        strat.after_update(&state, &AuxView::NONE);
+        strat.flush();
+        let bytes = strat.stats().bytes_written;
+        drop(strat);
+        let critical_secs = backend.critical_busy().as_f64();
+        let write_mbps = bytes as f64 / critical_secs / 1e6;
+        let speedup = out.first().map_or(1.0, |base| write_mbps / base.write_mbps);
+        out.push(StripeScale {
+            stripes,
+            bytes,
+            critical_secs,
+            write_mbps,
+            speedup,
+        });
+    }
+    out
 }
 
 /// Drive one strategy over the shared trace; returns its stall profile.
@@ -124,6 +189,7 @@ fn main() {
     let mut psi: usize = 1 << 18;
     let mut iters: u64 = 40;
     let mut mbps: f64 = 300.0;
+    let mut stripes: usize = 1;
     let mut out_path = String::from("BENCH_ckpt_e2e.json");
     let mut out_explicit = false;
     let mut smoke = false;
@@ -137,6 +203,7 @@ fn main() {
             "--psi" => psi = val("--psi").parse().expect("bad --psi"),
             "--iters" => iters = val("--iters").parse().expect("bad --iters"),
             "--mbps" => mbps = val("--mbps").parse().expect("bad --mbps"),
+            "--stripes" => stripes = val("--stripes").parse().expect("bad --stripes"),
             "--out" => {
                 out_path = val("--out");
                 out_explicit = true;
@@ -158,7 +225,20 @@ fn main() {
         // the snapshot stage from worker-side encode/persist allocations.
         lowdiff_bench::alloc::track_current_thread();
     }
-    eprintln!("bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage");
+    assert!(stripes >= 1, "--stripes must be >= 1");
+    // Blobs in smoke runs are tiny; drop the stripe floor so a requested
+    // stripe count is actually exercised at any psi.
+    let stripe = StripeCfg {
+        stripes,
+        min_stripe_bytes: 1,
+    };
+    let ecfg = move || EngineConfig {
+        stripe,
+        ..EngineConfig::default()
+    };
+    eprintln!(
+        "bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage, {stripes} stripe(s)"
+    );
 
     // One recorded gradient, reused every iteration: the stall numbers are
     // about write scheduling, not gradient content.
@@ -186,6 +266,7 @@ fn main() {
             LowDiffConfig {
                 full_every: 10,
                 batch_size: 4,
+                stripe,
                 ..LowDiffConfig::default()
             },
         );
@@ -213,6 +294,7 @@ fn main() {
             LowDiffPlusConfig {
                 persist_every: 10,
                 snapshot_threads: 2,
+                stripe,
                 ..LowDiffPlusConfig::default()
             },
             initial.clone(),
@@ -238,7 +320,7 @@ fn main() {
     // CheckFreq: full snapshot every iteration through the depth-1
     // pipeline — the high-frequency configuration the paper stresses.
     {
-        let strat = CheckFreqStrategy::new(throttled_store(mbps), 1);
+        let strat = CheckFreqStrategy::with_engine_config(throttled_store(mbps), 1, ecfg());
         results.push(run_strategy(
             "checkfreq",
             iters,
@@ -253,7 +335,7 @@ fn main() {
 
     // torch.save: synchronous full every iteration.
     {
-        let strat = TorchSaveStrategy::new(throttled_store(mbps), 1);
+        let strat = TorchSaveStrategy::with_engine_config(throttled_store(mbps), 1, ecfg());
         results.push(run_strategy(
             "torch-save",
             iters,
@@ -268,7 +350,7 @@ fn main() {
 
     // Gemini: memory-tier full every iteration, durable every 10.
     {
-        let strat = GeminiStrategy::new(throttled_store(mbps), 1, 10);
+        let strat = GeminiStrategy::with_engine_config(throttled_store(mbps), 1, 10, ecfg());
         results.push(run_strategy(
             "gemini",
             iters,
@@ -283,7 +365,7 @@ fn main() {
 
     // Naive DC: per-iteration top-k delta computed on the training thread.
     {
-        let strat = NaiveDcStrategy::new(throttled_store(mbps), 1, 10, 0.01);
+        let strat = NaiveDcStrategy::with_engine_config(throttled_store(mbps), 1, 10, 0.01, ecfg());
         results.push(run_strategy(
             "naive-dc",
             iters,
@@ -297,6 +379,12 @@ fn main() {
             &initial,
         ));
     }
+
+    // Stripe scaling: one full checkpoint fanned out over a 4-channel
+    // throttled backend, stripes 1..8. Near-linear up to the channel count
+    // is the striped persist path's acceptance criterion.
+    const SWEEP_CHANNELS: usize = 4;
+    let scaling = stripe_scaling_sweep(mbps, SWEEP_CHANNELS, &initial);
 
     // --- report ------------------------------------------------------------
     let counting = cfg!(feature = "count-allocs");
@@ -336,6 +424,30 @@ fn main() {
         &rows,
     );
 
+    let scale_rows: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|r| {
+            vec![
+                r.stripes.to_string(),
+                format!("{:.1}MB", r.bytes as f64 / 1e6),
+                format!("{:.4}s", r.critical_secs),
+                format!("{:.0}MB/s", r.write_mbps),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("full-checkpoint write scaling, {SWEEP_CHANNELS}-channel backend @ {mbps} MB/s"),
+        &[
+            "stripes",
+            "written",
+            "critical path",
+            "throughput",
+            "speedup",
+        ],
+        &scale_rows,
+    );
+
     if smoke && !out_explicit {
         eprintln!("smoke mode: skipping json");
         return;
@@ -345,11 +457,12 @@ fn main() {
     json.push_str(&format!("  \"psi\": {psi},\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"storage_mbps\": {mbps},\n"));
+    json.push_str(&format!("  \"persist_stripes\": {stripes},\n"));
     json.push_str(&format!("  \"alloc_counting\": {counting},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"stall_per_iter_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"diff_bytes_written\": {}, \"writes\": {}, \"snapshot_peak_ms\": {:.6}, \"steady_allocs\": {}, \"steady_large_allocs\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"persist_stripes\": {stripes}, \"stall_per_iter_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"diff_bytes_written\": {}, \"writes\": {}, \"snapshot_peak_ms\": {:.6}, \"steady_allocs\": {}, \"steady_large_allocs\": {}}}{}\n",
             r.name,
             r.stall_per_iter_ms,
             r.total_stall_secs,
@@ -364,7 +477,22 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"stripe_scaling\": {{\"channels\": {SWEEP_CHANNELS}, \"rows\": [\n"
+    ));
+    for (i, r) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"stripes\": {}, \"bytes\": {}, \"critical_secs\": {:.6}, \"write_mbps\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.stripes,
+            r.bytes,
+            r.critical_secs,
+            r.write_mbps,
+            r.speedup,
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!("wrote {out_path}");
 }

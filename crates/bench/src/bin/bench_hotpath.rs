@@ -106,7 +106,9 @@ fn main() {
             optimized_secs: opt,
         });
 
-        let bytes = codec::encode_model_state(&st);
+        // The reference decoder predates the v2 full format, so the decode
+        // comparison runs on a v1 blob both decoders accept.
+        let bytes = codec::encode_model_state_v1(&st);
         let base = time_best(reps, || {
             codec::reference::decode_model_state(&bytes).unwrap()
         });

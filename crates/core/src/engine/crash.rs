@@ -23,7 +23,14 @@
 //!   written: the blob never lands.
 //! * [`CrashPoint::MidPersist`] — power cut mid-write: a truncated prefix
 //!   of the blob lands (bypassing retry — the process is gone), and the
-//!   codec's CRC must reject it at load time.
+//!   codec's CRC must reject it at load time. In striped mode this tears
+//!   the fan-out itself: only some stripes land, the last one cut short,
+//!   and neither the ranged staging is finished nor the manifest written.
+//! * [`CrashPoint::MidStripe`] — striped writes only: every data stripe is
+//!   durable and the staging is finished, but the process dies before the
+//!   manifest seals the checkpoint. This is the exact window the
+//!   manifest-seal invariant closes — the complete-looking data object
+//!   must stay invisible to recovery and be swept as garbage.
 //! * [`CrashPoint::PostPersistPreAck`] — death after the write is durable
 //!   but before it is acknowledged (accounting, GC, batch
 //!   `complete_write`): the blob *is* in the store, the pipeline never
@@ -43,15 +50,19 @@ pub enum CrashPoint {
     PostEncode,
     /// Worker thread, mid-write: a torn prefix lands, then death.
     MidPersist,
+    /// Worker thread, striped writes: all data stripes durable and
+    /// finished, death before the manifest seals the checkpoint.
+    MidStripe,
     /// Worker thread, after a durable write, before it is acknowledged.
     PostPersistPreAck,
 }
 
 /// Every crash point, in pipeline order — the torture matrix iterates this.
-pub const ALL_CRASH_POINTS: [CrashPoint; 4] = [
+pub const ALL_CRASH_POINTS: [CrashPoint; 5] = [
     CrashPoint::PreSnapshot,
     CrashPoint::PostEncode,
     CrashPoint::MidPersist,
+    CrashPoint::MidStripe,
     CrashPoint::PostPersistPreAck,
 ];
 

@@ -51,7 +51,7 @@ use crossbeam::channel::{
 };
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy, StripeCfg};
 use lowdiff_util::units::Secs;
 use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
@@ -140,6 +140,11 @@ pub struct EngineConfig {
     pub retry: RetryPolicy,
     /// Export the health blob under [`HEALTH_KEY`] on flush/shutdown.
     pub export_health: bool,
+    /// Striped parallel persist: blobs above the stripe threshold fan out
+    /// into `stripe.stripes` concurrent ranged writes sealed by a
+    /// manifest. The default (1 stripe) keeps the legacy single-blob
+    /// layout byte-for-byte.
+    pub stripe: StripeCfg,
     /// Deterministic crash-point injection (torture tests). `None` in
     /// production: every check is a no-op.
     pub crash: Option<Arc<CrashInjector>>,
@@ -151,6 +156,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             export_health: true,
+            stripe: StripeCfg::default(),
             crash: None,
         }
     }
@@ -175,6 +181,7 @@ pub struct CheckpointEngine {
     name: &'static str,
     store: Arc<CheckpointStore>,
     retry: RetryPolicy,
+    stripe: StripeCfg,
     shared: Arc<Mutex<StrategyStats>>,
     metrics: Arc<EngineMetrics>,
     force_full: Arc<AtomicBool>,
@@ -219,6 +226,7 @@ impl CheckpointEngine {
             let snaps = Arc::clone(&snaps);
             let crash = cfg.crash.clone();
             let retry = cfg.retry;
+            let stripe = cfg.stripe;
             std::thread::Builder::new()
                 .name(format!("ckpt-engine-{name}"))
                 .spawn(move || {
@@ -227,6 +235,7 @@ impl CheckpointEngine {
                         job_rx,
                         ctl_rx,
                         retry,
+                        stripe,
                         shared,
                         force_full,
                         metrics,
@@ -241,6 +250,7 @@ impl CheckpointEngine {
             name,
             store,
             retry: cfg.retry,
+            stripe: cfg.stripe,
             shared,
             metrics,
             force_full,
@@ -268,6 +278,7 @@ impl CheckpointEngine {
             name: policy.name(),
             store,
             retry: cfg.retry,
+            stripe: cfg.stripe,
             shared: Arc::new(Mutex::new(StrategyStats::default())),
             metrics: Arc::new(EngineMetrics::default()),
             force_full: Arc::new(AtomicBool::new(false)),
@@ -357,6 +368,7 @@ impl CheckpointEngine {
             self.metrics.snapshot.record(since.elapsed());
             let mut cx = EngineCtx {
                 retry: &self.retry,
+                stripe: &self.stripe,
                 shared: &self.shared,
                 force_full: &self.force_full,
                 metrics: &self.metrics,
@@ -415,6 +427,7 @@ impl CheckpointEngine {
         } else if let Some(policy) = &mut self.policy {
             let mut cx = EngineCtx {
                 retry: &self.retry,
+                stripe: &self.stripe,
                 shared: &self.shared,
                 force_full: &self.force_full,
                 metrics: &self.metrics,
@@ -439,6 +452,7 @@ impl CheckpointEngine {
         } else if let Some(policy) = &mut self.policy {
             let mut cx = EngineCtx {
                 retry: &self.retry,
+                stripe: &self.stripe,
                 shared: &self.shared,
                 force_full: &self.force_full,
                 metrics: &self.metrics,
@@ -549,6 +563,7 @@ fn worker_loop(
     job_rx: Receiver<Job>,
     ctl_rx: Receiver<WorkerMsg>,
     retry: RetryPolicy,
+    stripe: StripeCfg,
     shared: Arc<Mutex<StrategyStats>>,
     force_full: Arc<AtomicBool>,
     metrics: Arc<EngineMetrics>,
@@ -558,6 +573,7 @@ fn worker_loop(
 ) {
     let mut cx = EngineCtx {
         retry: &retry,
+        stripe: &stripe,
         shared: &shared,
         force_full: &force_full,
         metrics: &metrics,

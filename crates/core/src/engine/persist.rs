@@ -10,7 +10,11 @@
 //!   (`io_retries`/`io_errors`/`dropped_*`/`degraded`),
 //! * the exactly-once `dropped_batches` increment when retries exhaust,
 //! * the forced-full re-anchor request after dropped differential data,
-//! * encode/persist stage latency recording.
+//! * encode/persist stage latency recording,
+//! * the striped parallel persist fork: when [`StripeCfg`] allows more
+//!   than one stripe for a blob, `persist_full`/`persist_batch` fan the
+//!   encoded bytes out as concurrent ranged writes and seal them with a
+//!   CRC-carrying manifest written last ([`lowdiff_storage::stripe`]).
 
 use super::crash::{CrashInjector, CrashPoint};
 use super::metrics::EngineMetrics;
@@ -21,7 +25,8 @@ use crate::strategy::StrategyStats;
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::{self, DiffEntry};
-use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy};
+use lowdiff_storage::stripe::StripedData;
+use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy, StripeCfg, StripeManifest};
 use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,6 +70,7 @@ impl FullOpts {
 /// The engine-owned context a [`super::CheckpointPolicy`] runs against.
 pub struct EngineCtx<'a> {
     pub(super) retry: &'a RetryPolicy,
+    pub(super) stripe: &'a StripeCfg,
     pub(super) shared: &'a Mutex<StrategyStats>,
     pub(super) force_full: &'a AtomicBool,
     pub(super) metrics: &'a EngineMetrics,
@@ -87,6 +93,34 @@ impl EngineCtx<'_> {
     /// Check-and-fire the armed crash point, if any.
     fn crash_hit(&self, point: CrashPoint) -> bool {
         self.crash.is_some_and(|c| c.hit(point))
+    }
+
+    /// The data + seal dance for one striped object. `put_data` fans the
+    /// stripes out over the parallel executor (retrying per stripe);
+    /// `seal` writes the CRC-carrying manifest that makes the checkpoint
+    /// visible to recovery. `None` means the armed
+    /// [`CrashPoint::MidStripe`] fired in the window between the two —
+    /// every stripe durable and finished, manifest never written — and
+    /// the caller must die without accounting.
+    fn striped_write(
+        &self,
+        put_data: impl FnOnce() -> StripedData,
+        seal: impl Fn(&StripeManifest) -> std::io::Result<()>,
+    ) -> Option<(bool, u64)> {
+        let out = put_data();
+        let mut retries = out.retries;
+        let ok = match out.result {
+            Ok(manifest) => {
+                if self.crash_hit(CrashPoint::MidStripe) {
+                    return None;
+                }
+                let r = with_retry(self.retry, || seal(&manifest));
+                retries += r.retries as u64;
+                r.result.is_ok()
+            }
+            Err(_) => false,
+        };
+        Some((ok, retries))
     }
 
     /// Ask the training side to schedule an early full checkpoint.
@@ -123,18 +157,39 @@ impl EngineCtx<'_> {
             self.buffers.put(bytes);
             return false;
         }
+        let stripes = self.stripe.effective_stripes(bytes.len());
         if self.crash_hit(CrashPoint::MidPersist) {
             // Power cut mid-write: a torn prefix lands directly (no retry —
             // the process is gone). The codec CRC rejects it at load time.
-            let _ = store.put_full(state.iteration, &bytes[..bytes.len() / 2]);
+            // In striped mode the fan-out itself tears: only some stripes
+            // land, unfinished and unsealed.
+            if stripes >= 2 {
+                store.put_full_striped_torn(state.iteration, &bytes, stripes);
+            } else {
+                let _ = store.put_full(state.iteration, &bytes[..bytes.len() / 2]);
+            }
             self.buffers.put(bytes);
             return false;
         }
         let t1 = Instant::now();
-        let r = with_retry(self.retry, || store.put_full(state.iteration, &bytes));
+        let (ok, retries) = if stripes >= 2 {
+            match self.striped_write(
+                || store.put_full_striped(state.iteration, &bytes, stripes, self.retry),
+                |m| store.seal_full_striped(state.iteration, m),
+            ) {
+                Some(v) => v,
+                None => {
+                    self.buffers.put(bytes);
+                    return false;
+                }
+            }
+        } else {
+            let r = with_retry(self.retry, || store.put_full(state.iteration, &bytes));
+            (r.result.is_ok(), r.retries as u64)
+        };
+        let written = bytes.len() as u64;
         self.buffers.put(bytes);
         self.metrics.persist.record(t1.elapsed());
-        let ok = r.result.is_ok();
         if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
             // The blob is durable, but the process dies before
             // acknowledging it: no accounting, no GC, no re-anchor.
@@ -142,7 +197,7 @@ impl EngineCtx<'_> {
         }
         {
             let mut s = self.shared.lock();
-            s.io_retries += r.retries as u64;
+            s.io_retries += retries;
             if ok {
                 match opts.tier {
                     Tier::Durable => {
@@ -151,7 +206,7 @@ impl EngineCtx<'_> {
                     }
                     Tier::Memory => s.diff_checkpoints += 1,
                 }
-                s.bytes_written += state.payload_bytes() as u64;
+                s.bytes_written += written;
             } else {
                 // The checkpoint is skipped, never retried in place:
                 // recovery falls back to the previous full (and, when
@@ -189,28 +244,47 @@ impl EngineCtx<'_> {
             self.buffers.put(enc.bytes);
             return false;
         }
+        let stripes = self.stripe.effective_stripes(enc.bytes.len());
         if self.crash_hit(CrashPoint::MidPersist) {
-            let cut = enc.bytes.len() / 2;
-            let _ = store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes[..cut]);
+            if stripes >= 2 {
+                store.put_diff_striped_torn(enc.start, enc.end, &enc.bytes, stripes);
+            } else {
+                let cut = enc.bytes.len() / 2;
+                let _ = store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes[..cut]);
+            }
             self.buffers.put(enc.bytes);
             return false;
         }
         let t1 = Instant::now();
-        let r = with_retry(self.retry, || {
-            store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)
-        });
+        let (ok, retries) = if stripes >= 2 {
+            match self.striped_write(
+                || store.put_diff_striped(enc.start, enc.end, &enc.bytes, stripes, self.retry),
+                |m| store.seal_diff_striped(enc.start, enc.end, m),
+            ) {
+                Some(v) => v,
+                None => {
+                    self.buffers.put(enc.bytes);
+                    return false;
+                }
+            }
+        } else {
+            let r = with_retry(self.retry, || {
+                store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)
+            });
+            (r.result.is_ok(), r.retries as u64)
+        };
         self.metrics.persist.record(t1.elapsed());
         let written = enc.bytes.len() as u64;
         self.buffers.put(enc.bytes);
-        if r.result.is_ok() && self.crash_hit(CrashPoint::PostPersistPreAck) {
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
             // Durable but unacknowledged: the batch stays buffered (no
             // `complete_write`), which on resume shows up as an overlapping
             // diff key — harmless, the chain walker skips past it.
             return false;
         }
         let mut s = self.shared.lock();
-        s.io_retries += r.retries as u64;
-        if r.result.is_ok() {
+        s.io_retries += retries;
+        if ok {
             writer.complete_write(written);
             s.writes += 1;
             s.bytes_written += written;
@@ -241,6 +315,13 @@ impl EngineCtx<'_> {
         if self.crash_dead() {
             return false;
         }
+        if entries.is_empty() {
+            // Nothing to write trivially "lands" — mirroring
+            // `persist_batch` on an empty buffer. Callers flushing
+            // zero-entry tails must not see a phantom failure (or a
+            // panic indexing `entries[0]`).
+            return true;
+        }
         let t0 = Instant::now();
         let mut bytes = self.buffers.get();
         codec::encode_diff_batch_into(entries, &mut bytes);
@@ -250,32 +331,48 @@ impl EngineCtx<'_> {
             self.buffers.put(bytes);
             return false;
         }
+        let stripes = self.stripe.effective_stripes(bytes.len());
         if self.crash_hit(CrashPoint::MidPersist) {
-            let cut = bytes.len() / 2;
-            let _ = store.put_diff_batch_bytes(start, end, &bytes[..cut]);
+            if stripes >= 2 {
+                store.put_diff_striped_torn(start, end, &bytes, stripes);
+            } else {
+                let cut = bytes.len() / 2;
+                let _ = store.put_diff_batch_bytes(start, end, &bytes[..cut]);
+            }
             self.buffers.put(bytes);
             return false;
         }
         let t1 = Instant::now();
-        let r = with_retry(self.retry, || {
-            store.put_diff_batch_bytes(start, end, &bytes)
-        });
+        let (ok, retries) = if stripes >= 2 {
+            match self.striped_write(
+                || store.put_diff_striped(start, end, &bytes, stripes, self.retry),
+                |m| store.seal_diff_striped(start, end, m),
+            ) {
+                Some(v) => v,
+                None => {
+                    self.buffers.put(bytes);
+                    return false;
+                }
+            }
+        } else {
+            let r = with_retry(self.retry, || {
+                store.put_diff_batch_bytes(start, end, &bytes)
+            });
+            (r.result.is_ok(), r.retries as u64)
+        };
         self.metrics.persist.record(t1.elapsed());
+        let written = bytes.len() as u64;
         self.buffers.put(bytes);
-        if r.result.is_ok() && self.crash_hit(CrashPoint::PostPersistPreAck) {
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
             return false;
         }
         let mut s = self.shared.lock();
-        s.io_retries += r.retries as u64;
-        if r.result.is_ok() {
+        s.io_retries += retries;
+        if ok {
             s.diff_checkpoints += entries.len() as u64;
             s.writes += 1;
-            let payload = entries
-                .iter()
-                .map(|e| e.grad.payload_bytes() as u64)
-                .sum::<u64>();
-            s.bytes_written += payload;
-            s.diff_bytes_written += payload;
+            s.bytes_written += written;
+            s.diff_bytes_written += written;
             true
         } else {
             s.io_errors += 1;
@@ -328,5 +425,53 @@ impl EngineCtx<'_> {
             Ok(_) => {}
             Err(_) => self.shared.lock().io_errors += 1,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowdiff_storage::MemoryBackend;
+    use std::sync::Arc;
+
+    /// Run `f` against a fresh EngineCtx over an in-memory store and
+    /// return the stats it accumulated.
+    fn with_ctx(f: impl FnOnce(&mut EngineCtx<'_>, &CheckpointStore)) -> StrategyStats {
+        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+        let retry = RetryPolicy::none();
+        let stripe = StripeCfg::default();
+        let shared = Mutex::new(StrategyStats::default());
+        let force_full = AtomicBool::new(false);
+        let metrics = EngineMetrics::default();
+        let buffers = BufferPool::default();
+        let snaps = SnapshotSlots::new(1);
+        let mut cx = EngineCtx {
+            retry: &retry,
+            stripe: &stripe,
+            shared: &shared,
+            force_full: &force_full,
+            metrics: &metrics,
+            buffers: &buffers,
+            snaps: &snaps,
+            crash: None,
+        };
+        f(&mut cx, &store);
+        shared.into_inner()
+    }
+
+    #[test]
+    fn empty_diff_entry_slice_lands_trivially() {
+        let stats = with_ctx(|cx, store| {
+            assert!(
+                cx.persist_diff_entries(store, &[]),
+                "an empty flush is a success, not a dropped batch"
+            );
+            assert!(store.backend().list().unwrap().is_empty());
+        });
+        assert_eq!(stats.writes, 0);
+        assert_eq!(stats.bytes_written, 0);
+        assert_eq!(stats.io_errors, 0);
+        assert_eq!(stats.dropped_batches, 0);
+        assert!(!stats.degraded);
     }
 }

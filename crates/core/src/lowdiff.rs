@@ -28,7 +28,7 @@ use crate::engine::{
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::{AuxView, CompressedGrad};
 use lowdiff_optim::ModelState;
-use lowdiff_storage::{CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy, StripeCfg};
 use lowdiff_util::units::Secs;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,6 +52,10 @@ pub struct LowDiffConfig {
     /// thread. After the policy is exhausted the batch is dropped and an
     /// early full checkpoint is forced — training is never aborted.
     pub retry: RetryPolicy,
+    /// Striped parallel persist ([`StripeCfg`]): blobs above the stripe
+    /// threshold fan out into concurrent ranged writes sealed by a
+    /// manifest. The default single stripe keeps the legacy blob layout.
+    pub stripe: StripeCfg,
     /// Deterministic crash-point injection (torture tests only).
     pub crash: Option<Arc<CrashInjector>>,
 }
@@ -65,6 +69,7 @@ impl Default for LowDiffConfig {
             queue_capacity: 64,
             keep_fulls: None,
             retry: RetryPolicy::default(),
+            stripe: StripeCfg::default(),
             crash: None,
         }
     }
@@ -146,6 +151,7 @@ impl LowDiffStrategy {
             EngineConfig {
                 queue_capacity: cfg.queue_capacity,
                 retry: cfg.retry,
+                stripe: cfg.stripe,
                 crash: cfg.crash.clone(),
                 ..EngineConfig::default()
             },

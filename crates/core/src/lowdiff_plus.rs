@@ -35,7 +35,7 @@ use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_comm::SyncPool;
 use lowdiff_compress::{AuxView, CompressorCfg};
 use lowdiff_optim::{Adam, ModelState};
-use lowdiff_storage::{CheckpointStore, RetryPolicy};
+use lowdiff_storage::{CheckpointStore, RetryPolicy, StripeCfg};
 use lowdiff_util::units::Secs;
 use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
@@ -64,6 +64,10 @@ pub struct LowDiffPlusConfig {
     /// match the trainer's Adam hyperparameters or the replica drifts from
     /// the live model (the update `M^C ← Adam(M^C, g)` replays training).
     pub adam: Adam,
+    /// Striped parallel persist ([`StripeCfg`]): blobs above the stripe
+    /// threshold fan out into concurrent ranged writes sealed by a
+    /// manifest. The default single stripe keeps the legacy blob layout.
+    pub stripe: StripeCfg,
     /// Deterministic crash-point injection (torture tests only).
     pub crash: Option<Arc<CrashInjector>>,
 }
@@ -76,6 +80,7 @@ impl Default for LowDiffPlusConfig {
             staging_depth: 24,
             retry: RetryPolicy::default(),
             adam: Adam::default(),
+            stripe: StripeCfg::default(),
             crash: None,
         }
     }
@@ -196,6 +201,7 @@ impl LowDiffPlusStrategy {
             policy,
             EngineConfig {
                 retry: cfg.retry,
+                stripe: cfg.stripe,
                 crash: cfg.crash.clone(),
                 ..EngineConfig::default()
             },

@@ -216,6 +216,10 @@ impl<S: CheckpointStrategy> Trainer<S> {
         store: &CheckpointStore,
         opts: ResumeOpts,
     ) -> io::Result<Option<(Self, ResumeReport)>> {
+        // A crash between the striped data fan-out and the manifest seal
+        // leaves an unsealed data object behind: invisible to recovery,
+        // but garbage — sweep it like the backend sweeps `.tmp-` files.
+        store.sweep_unsealed()?;
         let Some(fc) = store.latest_valid_full_checkpoint()? else {
             return Ok(None);
         };

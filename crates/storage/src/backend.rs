@@ -13,10 +13,25 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A flat key→blob store. Keys are file-name-safe strings.
+/// Staging key for one range of an in-flight ranged object (the default
+/// [`StorageBackend::put_ranged`] path). `.tmp-` prefixed so crash sweeps
+/// reclaim orphaned parts the same way they reclaim torn temp files.
+const RANGED_PART_PREFIX: &str = ".tmp-part-";
+
+fn ranged_part_key(key: &str, offset: u64) -> String {
+    format!("{RANGED_PART_PREFIX}{offset:016x}-{key}")
+}
+
+/// A flat key→blob store. Keys are file-name-safe strings. Keys starting
+/// with `.tmp-` are reserved for in-flight staging (ranged-write parts,
+/// atomic-rename temporaries) and may be reclaimed after a crash.
 pub trait StorageBackend: Send + Sync {
     /// Durably store `data` under `key` (atomic: readers never observe a
     /// partial write *unless* the failure injector tears it on purpose).
+    ///
+    /// Concurrency contract: `put`s of *distinct* keys may run from any
+    /// number of threads simultaneously — the striped persist path relies
+    /// on it. Concurrent `put`s of the *same* key are last-writer-wins.
     fn put(&self, key: &str, data: &[u8]) -> io::Result<()>;
     /// Fetch a blob.
     fn get(&self, key: &str) -> io::Result<Vec<u8>>;
@@ -32,12 +47,110 @@ pub trait StorageBackend: Send + Sync {
     fn delete(&self, key: &str) -> io::Result<()>;
     /// Total bytes written over this backend's lifetime.
     fn bytes_written(&self) -> u64;
+
+    /// Write one byte range of the object `key`, which will be
+    /// `total_len` bytes once complete. Ranges of one object may be
+    /// written **concurrently, in any order, from multiple threads**;
+    /// they must not overlap. The object becomes visible to
+    /// `get`/`len`/`list` only after [`finish_ranged`](Self::finish_ranged)
+    /// — until then the bytes live in hidden staging space.
+    ///
+    /// The default implementation stages each range as a `.tmp-part-`
+    /// blob via [`put`](Self::put) — correct on any backend, at the cost
+    /// of one extra copy at finish time. Backends with real ranged I/O
+    /// (positional file writes, multipart uploads) override it.
+    fn put_ranged(&self, key: &str, offset: u64, total_len: u64, data: &[u8]) -> io::Result<()> {
+        let _ = total_len;
+        self.put(&ranged_part_key(key, offset), data)
+    }
+
+    /// Seal a ranged object once every byte of `[0, total_len)` has been
+    /// written by [`put_ranged`](Self::put_ranged) calls: the object
+    /// appears under `key` atomically. Fails with `InvalidData` when the
+    /// staged ranges do not cover exactly `total_len` bytes — a crashed
+    /// writer's partial set can never be sealed into a visible object.
+    /// (Backends whose staging cannot track per-byte coverage, like
+    /// positional file writes, verify total size only; the striped store
+    /// layer's per-stripe CRCs close that gap.)
+    fn finish_ranged(&self, key: &str, total_len: u64) -> io::Result<()> {
+        let suffix = format!("-{key}");
+        let mut parts: Vec<(u64, String)> = Vec::new();
+        for k in self.list()? {
+            let Some(body) = k.strip_prefix(RANGED_PART_PREFIX) else {
+                continue;
+            };
+            let Some(hex) = body.strip_suffix(&suffix) else {
+                continue;
+            };
+            let Ok(offset) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            parts.push((offset, k));
+        }
+        parts.sort_unstable();
+        let mut whole = Vec::with_capacity(total_len as usize);
+        for (offset, part) in &parts {
+            if *offset != whole.len() as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("ranged object {key}: gap or overlap at offset {offset}"),
+                ));
+            }
+            whole.extend_from_slice(&self.get(part)?);
+        }
+        if whole.len() as u64 != total_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "ranged object {key}: staged {} of {total_len} bytes",
+                    whole.len()
+                ),
+            ));
+        }
+        self.put(key, &whole)?;
+        for (_, part) in &parts {
+            self.delete(part)?;
+        }
+        Ok(())
+    }
+}
+
+/// An in-flight ranged object in [`MemoryBackend`] staging space: the
+/// preallocated buffer plus which `(offset, len)` ranges actually landed,
+/// so a sealed object is provably gap-free.
+struct StagedRanged {
+    buf: Vec<u8>,
+    ranges: Vec<(u64, u64)>,
+}
+
+/// Verify that `(offset, len)` ranges tile `[0, total_len)` exactly —
+/// the seal-time coverage check shared by the staging backends.
+fn verify_coverage(key: &str, ranges: &mut [(u64, u64)], total_len: u64) -> io::Result<()> {
+    ranges.sort_unstable();
+    let mut next = 0u64;
+    for &(offset, len) in ranges.iter() {
+        if offset != next {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ranged object {key}: gap or overlap at offset {offset}"),
+            ));
+        }
+        next = offset + len;
+    }
+    if next != total_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("ranged object {key}: staged {next} of {total_len} bytes"),
+        ));
+    }
+    Ok(())
 }
 
 /// In-memory backend for tests and in-memory (Gemini-style) checkpoints.
 #[derive(Default)]
 pub struct MemoryBackend {
     map: Mutex<BTreeMap<String, Vec<u8>>>,
+    staging: Mutex<BTreeMap<String, StagedRanged>>,
     written: AtomicU64,
 }
 
@@ -91,6 +204,59 @@ impl StorageBackend for MemoryBackend {
     fn bytes_written(&self) -> u64 {
         self.written.load(Ordering::Relaxed)
     }
+
+    // Staging lives in a separate map, so in-flight ranged objects are
+    // invisible to get/len/list and each range's bytes are counted exactly
+    // once (the default impl's reassembly copy would double-count).
+    fn put_ranged(&self, key: &str, offset: u64, total_len: u64, data: &[u8]) -> io::Result<()> {
+        let end = offset
+            .checked_add(data.len() as u64)
+            .filter(|&e| e <= total_len)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("range {offset}+{} exceeds total {total_len}", data.len()),
+                )
+            })?;
+        let mut staging = self.staging.lock();
+        let staged = staging
+            .entry(key.to_string())
+            .or_insert_with(|| StagedRanged {
+                buf: vec![0; total_len as usize],
+                ranges: Vec::new(),
+            });
+        if staged.buf.len() as u64 != total_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "ranged object {key}: total_len changed mid-flight ({} vs {total_len})",
+                    staged.buf.len()
+                ),
+            ));
+        }
+        staged.buf[offset as usize..end as usize].copy_from_slice(data);
+        staged.ranges.push((offset, data.len() as u64));
+        self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn finish_ranged(&self, key: &str, total_len: u64) -> io::Result<()> {
+        let Some(mut staged) = self.staging.lock().remove(key) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("ranged object {key}: no staged ranges"),
+            ));
+        };
+        verify_coverage(key, &mut staged.ranges, total_len)?;
+        if staged.buf.len() as u64 != total_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ranged object {key}: total_len changed at seal"),
+            ));
+        }
+        self.map.lock().insert(key.to_string(), staged.buf);
+        Ok(())
+    }
 }
 
 /// Local-disk backend; writes go to a temp file then rename (atomic on
@@ -99,6 +265,11 @@ pub struct DiskBackend {
     dir: PathBuf,
     written: AtomicU64,
     seq: AtomicU64,
+    /// Landed `(offset, len)` ranges per in-flight ranged object. The file
+    /// is preallocated to `total_len` up front, so seal-time coverage
+    /// cannot be read off the file size — it is tracked here. Lost on
+    /// crash, like the `.tmp-ranged-` file itself (both are swept).
+    ranged: Mutex<BTreeMap<String, Vec<(u64, u64)>>>,
 }
 
 impl DiskBackend {
@@ -121,6 +292,7 @@ impl DiskBackend {
             dir,
             written: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            ranged: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -135,6 +307,14 @@ impl DiskBackend {
             "key {key:?} is not file-name safe"
         );
         self.dir.join(key)
+    }
+
+    /// Deterministic staging path for an in-flight ranged object: every
+    /// stripe writer of `key` must land in the same file. `.tmp-` prefixed
+    /// so the crash sweep in [`DiskBackend::new`] reclaims it.
+    fn ranged_tmp_path(&self, key: &str) -> PathBuf {
+        self.path(key); // reuse the file-name-safety assertion
+        self.dir.join(format!(".tmp-ranged-{key}"))
     }
 }
 
@@ -191,52 +371,141 @@ impl StorageBackend for DiskBackend {
     fn bytes_written(&self) -> u64 {
         self.written.load(Ordering::Relaxed)
     }
+
+    // Real ranged I/O: every stripe pwrite(2)s into one preallocated
+    // `.tmp-ranged-` file (each writer opens its own handle; positional
+    // writes need no shared cursor), and finish is the usual
+    // fsync → rename → fsync(dir) dance, so the object appears atomically.
+    #[cfg(unix)]
+    fn put_ranged(&self, key: &str, offset: u64, total_len: u64, data: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        if offset + data.len() as u64 > total_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("range {offset}+{} exceeds total {total_len}", data.len()),
+            ));
+        }
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.ranged_tmp_path(key))?;
+        if f.metadata()?.len() != total_len {
+            f.set_len(total_len)?;
+        }
+        f.write_at(data, offset)?;
+        f.sync_all()?;
+        self.ranged
+            .lock()
+            .entry(key.to_string())
+            .or_default()
+            .push((offset, data.len() as u64));
+        self.written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn finish_ranged(&self, key: &str, total_len: u64) -> io::Result<()> {
+        let Some(mut ranges) = self.ranged.lock().remove(key) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("ranged object {key}: no staged ranges"),
+            ));
+        };
+        verify_coverage(key, &mut ranges, total_len)?;
+        let tmp = self.ranged_tmp_path(key);
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, self.path(key))?;
+        self.sync_dir()
+    }
 }
 
 /// Bandwidth-throttled wrapper: models a slower device (SSD at ~3 GB/s,
 /// 25 Gbps remote store, …) on top of any inner backend.
 ///
-/// Writes are accounted against a busy-until horizon in *nanoseconds of
-/// simulated device time*; [`ThrottledBackend::write_latency`] returns how
-/// long the last write would have taken, and `total_busy` the cumulative
-/// device-busy time. No real sleeping — callers decide whether to advance
-/// a [`lowdiff_util::SimClock`] or to sleep.
+/// The device is modelled as `channels` independent write lanes, each at
+/// `bandwidth` — one lane is a single-stream SSD or NIC flow; several
+/// lanes are the parallel channels a striped persist path can drive (a
+/// multi-queue NVMe namespace, parallel multipart-upload streams). Each
+/// successful write charges the *least-busy* lane — a failed write
+/// consumes no device time, since nothing durable moved. No real sleeping
+/// — callers decide whether to advance a [`lowdiff_util::SimClock`] or to
+/// sleep; [`total_busy`](Self::total_busy) sums device-time across lanes,
+/// [`critical_busy`](Self::critical_busy) is the busiest lane, i.e. the
+/// simulated wall-clock a perfectly-overlapped writer would observe.
 pub struct ThrottledBackend<B> {
     inner: B,
     bandwidth: Bandwidth,
-    busy_nanos: AtomicU64,
+    /// Per-channel cumulative busy nanoseconds.
+    channels: Mutex<Vec<u64>>,
 }
 
 impl<B: StorageBackend> ThrottledBackend<B> {
+    /// Single write channel — the classic one-stream device.
     pub fn new(inner: B, bandwidth: Bandwidth) -> Self {
+        Self::with_channels(inner, bandwidth, 1)
+    }
+
+    /// A device with `channels` parallel write lanes of `bandwidth` each.
+    pub fn with_channels(inner: B, bandwidth: Bandwidth, channels: usize) -> Self {
+        assert!(channels > 0, "need at least one write channel");
         Self {
             inner,
             bandwidth,
-            busy_nanos: AtomicU64::new(0),
+            channels: Mutex::new(vec![0; channels]),
         }
     }
 
-    /// Device time to write `n` bytes.
+    /// Device time to write `n` bytes on one channel.
     pub fn write_latency(&self, n: ByteSize) -> Secs {
         n / self.bandwidth
     }
 
-    /// Cumulative device-busy time across all writes.
+    /// Cumulative device-busy time summed across all channels (total
+    /// device work, regardless of overlap).
     pub fn total_busy(&self) -> Secs {
-        Secs(self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9)
+        Secs(self.channels.lock().iter().sum::<u64>() as f64 / 1e9)
+    }
+
+    /// Busy time of the busiest channel — the critical path. With writes
+    /// spread across N channels this is what a wall clock would show, so
+    /// `bytes / critical_busy` is the effective write throughput.
+    pub fn critical_busy(&self) -> Secs {
+        Secs(*self.channels.lock().iter().max().unwrap() as f64 / 1e9)
+    }
+
+    pub fn num_channels(&self) -> usize {
+        self.channels.lock().len()
     }
 
     pub fn inner(&self) -> &B {
         &self.inner
     }
+
+    /// Charge `n` bytes of write time to the least-busy channel. Called
+    /// only after the inner write succeeded: a failed write moved nothing
+    /// durable, so it must not inflate simulated device-busy time.
+    fn charge(&self, n: usize) {
+        let dt = self.write_latency(ByteSize::bytes(n as u64));
+        let nanos = (dt.as_f64() * 1e9) as u64;
+        let mut lanes = self.channels.lock();
+        let min = lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &busy)| busy)
+            .map(|(i, _)| i)
+            .unwrap();
+        lanes[min] += nanos;
+    }
 }
 
 impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
     fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
-        let dt = self.write_latency(ByteSize::bytes(data.len() as u64));
-        self.busy_nanos
-            .fetch_add((dt.as_f64() * 1e9) as u64, Ordering::Relaxed);
-        self.inner.put(key, data)
+        self.inner.put(key, data)?;
+        self.charge(data.len());
+        Ok(())
     }
 
     fn get(&self, key: &str) -> io::Result<Vec<u8>> {
@@ -257,6 +526,18 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
 
     fn bytes_written(&self) -> u64 {
         self.inner.bytes_written()
+    }
+
+    fn put_ranged(&self, key: &str, offset: u64, total_len: u64, data: &[u8]) -> io::Result<()> {
+        self.inner.put_ranged(key, offset, total_len, data)?;
+        self.charge(data.len());
+        Ok(())
+    }
+
+    // finish_ranged is a metadata operation (rename/seal) — no data moves,
+    // so it passes through unthrottled.
+    fn finish_ranged(&self, key: &str, total_len: u64) -> io::Result<()> {
+        self.inner.finish_ranged(key, total_len)
     }
 }
 
@@ -337,6 +618,175 @@ mod tests {
         // Reads are free.
         b.get("blob").unwrap();
         assert!((b.total_busy().as_f64() - 2e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throttled_channels_overlap_writes() {
+        let b =
+            ThrottledBackend::with_channels(MemoryBackend::new(), Bandwidth::gbps_bytes(1.0), 4);
+        let data = vec![0u8; 1_000_000]; // 1 MB at 1 GB/s = 1 ms per lane
+        for i in 0..4 {
+            b.put(&format!("s{i}"), &data).unwrap();
+        }
+        // Total device work is 4 ms, but spread over 4 lanes the critical
+        // path is 1 ms — the 4x overlap the striped persist path banks on.
+        assert!((b.total_busy().as_f64() - 4e-3).abs() < 1e-6);
+        assert!((b.critical_busy().as_f64() - 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throttled_charges_only_successful_writes() {
+        // Regression: a faulted put used to charge device-busy time before
+        // the inner write ran, inflating the simulated stall for writes
+        // that moved nothing durable.
+        let inner = crate::faults::FaultyBackend::new(
+            MemoryBackend::new(),
+            crate::faults::FaultConfig::default(),
+        );
+        let b = ThrottledBackend::new(inner, Bandwidth::gbps_bytes(1.0));
+        let data = vec![0u8; 1_000_000];
+        b.inner().fail_next_puts(3);
+        for _ in 0..3 {
+            assert!(b.put("blob", &data).is_err());
+        }
+        assert_eq!(
+            b.total_busy().as_f64(),
+            0.0,
+            "failed writes must not consume device time"
+        );
+        b.put("blob", &data).unwrap();
+        assert!((b.total_busy().as_f64() - 1e-3).abs() < 1e-6);
+    }
+
+    /// Ranged-write contract shared by every backend: out-of-order stripes,
+    /// invisibility before seal, coverage check at seal.
+    fn exercise_ranged(b: &dyn StorageBackend) {
+        let blob: Vec<u8> = (0..100u8).collect();
+        b.put_ranged("obj", 60, 100, &blob[60..]).unwrap();
+        b.put_ranged("obj", 0, 100, &blob[..60]).unwrap();
+        assert_eq!(
+            b.get("obj").unwrap_err().kind(),
+            io::ErrorKind::NotFound,
+            "unsealed ranged object must be invisible"
+        );
+        b.finish_ranged("obj", 100).unwrap();
+        assert_eq!(b.get("obj").unwrap(), blob);
+        assert_eq!(b.len("obj").unwrap(), 100);
+
+        // A partial set can never seal.
+        b.put_ranged("partial", 0, 100, &blob[..60]).unwrap();
+        assert!(b.finish_ranged("partial", 100).is_err());
+        assert!(b.get("partial").is_err());
+
+        // A range past the end is rejected outright.
+        assert!(b.put_ranged("oob", 90, 100, &blob[..20]).is_err());
+    }
+
+    #[test]
+    fn memory_backend_ranged_contract() {
+        let b = MemoryBackend::new();
+        exercise_ranged(&b);
+        // Staging must be invisible to list() and bytes counted once per
+        // range: "obj" (100) + "partial" (60) landed as ranges.
+        assert_eq!(b.list().unwrap(), vec!["obj".to_string()]);
+        assert_eq!(b.bytes_written(), 160);
+    }
+
+    #[test]
+    fn disk_backend_ranged_contract() {
+        let dir = std::env::temp_dir().join(format!("lowdiff-ranged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = DiskBackend::new(&dir).unwrap();
+        exercise_ranged(&b);
+        // The partial object's staging file stays `.tmp-`-hidden…
+        assert_eq!(b.list().unwrap(), vec!["obj".to_string()]);
+        // …and a reopened backend sweeps it, like any orphaned temp file.
+        drop(b);
+        let b = DiskBackend::new(&dir).unwrap();
+        assert!(!dir.join(".tmp-ranged-partial").exists());
+        assert_eq!(b.get("obj").unwrap(), (0..100u8).collect::<Vec<u8>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A backend that opts out of the overrides, so the default
+    /// staged-parts implementation of put_ranged/finish_ranged is tested.
+    struct BareBackend(MemoryBackend);
+    impl StorageBackend for BareBackend {
+        fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
+            self.0.put(key, data)
+        }
+        fn get(&self, key: &str) -> io::Result<Vec<u8>> {
+            self.0.get(key)
+        }
+        fn list(&self) -> io::Result<Vec<String>> {
+            self.0.list()
+        }
+        fn delete(&self, key: &str) -> io::Result<()> {
+            self.0.delete(key)
+        }
+        fn bytes_written(&self) -> u64 {
+            self.0.bytes_written()
+        }
+    }
+
+    #[test]
+    fn default_ranged_impl_stages_and_reassembles() {
+        let b = BareBackend(MemoryBackend::new());
+        let blob: Vec<u8> = (0..100u8).collect();
+        b.put_ranged("obj", 60, 100, &blob[60..]).unwrap();
+        b.put_ranged("obj", 0, 100, &blob[..60]).unwrap();
+        assert!(b.get("obj").is_err(), "parts stage under hidden keys");
+        b.finish_ranged("obj", 100).unwrap();
+        assert_eq!(b.get("obj").unwrap(), blob);
+        // Parts are cleaned up after reassembly.
+        assert_eq!(b.list().unwrap(), vec!["obj".to_string()]);
+        // Partial coverage cannot seal.
+        b.put_ranged("partial", 10, 100, &blob[10..60]).unwrap();
+        assert!(b.finish_ranged("partial", 100).is_err());
+    }
+
+    /// The striped persist invariant: concurrent `put`s of distinct keys
+    /// and concurrent `put_ranged`s of one object, from many threads.
+    fn exercise_concurrent(b: &(dyn StorageBackend + Sync)) {
+        const THREADS: usize = 8;
+        const STRIPE: usize = 1000;
+        let blob: Vec<u8> = (0..(THREADS * STRIPE)).map(|i| (i % 251) as u8).collect();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let blob = &blob;
+                s.spawn(move || {
+                    // A whole-object put of a distinct key…
+                    b.put(&format!("whole-{t}"), &[t as u8; 64]).unwrap();
+                    // …and one stripe of the shared ranged object.
+                    let off = t * STRIPE;
+                    b.put_ranged(
+                        "striped",
+                        off as u64,
+                        blob.len() as u64,
+                        &blob[off..off + STRIPE],
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        b.finish_ranged("striped", blob.len() as u64).unwrap();
+        assert_eq!(b.get("striped").unwrap(), blob);
+        for t in 0..THREADS {
+            assert_eq!(b.get(&format!("whole-{t}")).unwrap(), vec![t as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn memory_backend_concurrent_puts() {
+        exercise_concurrent(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_concurrent_puts() {
+        let dir = std::env::temp_dir().join(format!("lowdiff-conc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise_concurrent(&DiskBackend::new(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -141,10 +141,12 @@ impl<B: StorageBackend> FaultyBackend<B> {
             format!("injected transient {op} failure"),
         )
     }
-}
 
-impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
-    fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
+    /// The write-fault ladder shared by `put` and `put_ranged`: outage →
+    /// forced window → torn → transient → latency spike. `Ok(None)` means
+    /// the write may proceed; `Ok(Some(cut))` means land only the first
+    /// `cut` bytes and then report a torn-write error.
+    fn pre_put(&self, data_len: usize) -> io::Result<Option<usize>> {
         if self.persistent_outage.load(Ordering::SeqCst) {
             self.put_faults.fetch_add(1, Ordering::SeqCst);
             return Err(io::Error::other("injected persistent storage outage"));
@@ -158,16 +160,9 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
             return Err(Self::transient("put"));
         }
         if self.roll(self.cfg.put_torn_rate) {
-            // Power-cut model: a prefix of the blob lands, the call fails.
-            // The codec's CRC must reject the partial blob at load time.
-            let cut = data.len() / 2;
-            let _ = self.inner.put(key, &data[..cut]);
             self.torn_writes.fetch_add(1, Ordering::SeqCst);
             self.put_faults.fetch_add(1, Ordering::SeqCst);
-            return Err(io::Error::new(
-                io::ErrorKind::WriteZero,
-                "injected torn write",
-            ));
+            return Ok(Some(data_len / 2));
         }
         if self.roll(self.cfg.put_transient_rate) {
             self.put_faults.fetch_add(1, Ordering::SeqCst);
@@ -177,7 +172,44 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
             self.latency_spikes.fetch_add(1, Ordering::SeqCst);
             std::thread::sleep(self.cfg.latency_spike);
         }
-        self.inner.put(key, data)
+        Ok(None)
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
+    fn put(&self, key: &str, data: &[u8]) -> io::Result<()> {
+        match self.pre_put(data.len())? {
+            // Power-cut model: a prefix of the blob lands, the call fails.
+            // The codec's CRC must reject the partial blob at load time.
+            Some(cut) => {
+                let _ = self.inner.put(key, &data[..cut]);
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected torn write",
+                ))
+            }
+            None => self.inner.put(key, data),
+        }
+    }
+
+    fn put_ranged(&self, key: &str, offset: u64, total_len: u64, data: &[u8]) -> io::Result<()> {
+        // Stripe writes climb the same fault ladder as whole-blob puts; a
+        // torn stripe lands a prefix of its own range, so the manifest's
+        // per-stripe CRC must reject the set at load time.
+        match self.pre_put(data.len())? {
+            Some(cut) => {
+                let _ = self.inner.put_ranged(key, offset, total_len, &data[..cut]);
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected torn write",
+                ))
+            }
+            None => self.inner.put_ranged(key, offset, total_len, data),
+        }
+    }
+
+    fn finish_ranged(&self, key: &str, total_len: u64) -> io::Result<()> {
+        self.inner.finish_ranged(key, total_len)
     }
 
     fn get(&self, key: &str) -> io::Result<Vec<u8>> {

@@ -17,15 +17,20 @@
 //!   checkpointing write path so storage errors never abort training.
 //! * [`store`] — naming, latest-valid discovery, differential chains and
 //!   garbage collection.
+//! * [`stripe`] — striped parallel persist: blobs fanned out into N
+//!   concurrent ranged writes, sealed atomically by a CRC-carrying
+//!   manifest written last.
 
 pub mod backend;
 pub mod codec;
 pub mod faults;
 pub mod retry;
 pub mod store;
+pub mod stripe;
 
 pub use backend::{DiskBackend, MemoryBackend, StorageBackend, ThrottledBackend};
 pub use codec::FullCheckpoint;
 pub use faults::{FaultConfig, FaultCounters, FaultyBackend};
 pub use retry::{with_retry, with_retry_if, Retried, RetryPolicy};
 pub use store::CheckpointStore;
+pub use stripe::{StripeCfg, StripeManifest};

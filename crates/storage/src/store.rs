@@ -7,12 +7,26 @@
 //! * `diff-0000000042-0000000045.ckpt` — batched differentials advancing
 //!   `M_42 → M_46` (iterations 42..=45, one reused gradient each)
 //!
+//! Striped checkpoints (see [`crate::stripe`]) use a two-blob layout per
+//! checkpoint: the data object (`.sd.ckpt`, written as N concurrent
+//! ranged stripes) and the manifest (`.sm.ckpt`, written last — the seal):
+//!
+//! * `full-0000000042.sd.ckpt` / `full-0000000042.sm.ckpt`
+//! * `diff-0000000042-0000000045.sd.ckpt` / `…sm.ckpt`
+//!
+//! Discovery treats a striped checkpoint as present iff its **manifest**
+//! exists; load additionally requires every stripe CRC to verify. A data
+//! object with no manifest is a crashed write — invisible to recovery and
+//! reclaimed by [`CheckpointStore::sweep_unsealed`]. (The legacy parsers
+//! are untouched: `full-…sd.ckpt` fails their `u64` parse naturally.)
+//!
 //! Recovery = latest *valid* (CRC-checked) full checkpoint + every valid
 //! differential chain after it, in order (Equation 2).
 
 use crate::backend::StorageBackend;
 use crate::codec::{self, DiffEntry, FullCheckpoint};
 use crate::retry::{with_retry_if, RetryPolicy};
+use crate::stripe::{self, StripeManifest};
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
 use std::io;
@@ -71,6 +85,22 @@ impl CheckpointStore {
         format!("diff-{start:010}-{end:010}.ckpt")
     }
 
+    fn full_data_key(iteration: u64) -> String {
+        format!("full-{iteration:010}.sd.ckpt")
+    }
+
+    fn full_manifest_key(iteration: u64) -> String {
+        format!("full-{iteration:010}.sm.ckpt")
+    }
+
+    fn diff_data_key(start: u64, end: u64) -> String {
+        format!("diff-{start:010}-{end:010}.sd.ckpt")
+    }
+
+    fn diff_manifest_key(start: u64, end: u64) -> String {
+        format!("diff-{start:010}-{end:010}.sm.ckpt")
+    }
+
     /// Persist a full checkpoint of `state` (encode + put in one call).
     /// Written without auxiliary state — resume from it is lossy for
     /// error-feedback runs; prefer [`save_full_with_aux`](Self::save_full_with_aux)
@@ -121,27 +151,162 @@ impl CheckpointStore {
         self.backend.put(&Self::diff_key(start, end), bytes)
     }
 
+    /// Write a full checkpoint's encoded bytes as `stripes` concurrent
+    /// ranged writes (the `.sd.ckpt` data object). The checkpoint is NOT
+    /// yet visible to recovery — [`seal_full_striped`](Self::seal_full_striped)
+    /// must write the manifest to seal it. Per-stripe retries run under
+    /// `retry` and are summed in the returned outcome.
+    pub fn put_full_striped(
+        &self,
+        iteration: u64,
+        bytes: &[u8],
+        stripes: usize,
+        retry: &RetryPolicy,
+    ) -> stripe::StripedData {
+        stripe::put_striped_data(
+            &*self.backend,
+            &Self::full_data_key(iteration),
+            bytes,
+            stripes,
+            retry,
+        )
+    }
+
+    /// Seal a striped full checkpoint: the manifest put that makes it
+    /// durable. Recovery sees the checkpoint from this moment on.
+    pub fn seal_full_striped(&self, iteration: u64, manifest: &StripeManifest) -> io::Result<()> {
+        self.backend.put(
+            &Self::full_manifest_key(iteration),
+            &stripe::encode_manifest(manifest),
+        )
+    }
+
+    /// Striped analog of [`put_diff_batch_bytes`](Self::put_diff_batch_bytes):
+    /// the data object lands unsealed until
+    /// [`seal_diff_striped`](Self::seal_diff_striped).
+    pub fn put_diff_striped(
+        &self,
+        start: u64,
+        end: u64,
+        bytes: &[u8],
+        stripes: usize,
+        retry: &RetryPolicy,
+    ) -> stripe::StripedData {
+        stripe::put_striped_data(
+            &*self.backend,
+            &Self::diff_data_key(start, end),
+            bytes,
+            stripes,
+            retry,
+        )
+    }
+
+    /// Seal a striped differential batch with its manifest.
+    pub fn seal_diff_striped(
+        &self,
+        start: u64,
+        end: u64,
+        manifest: &StripeManifest,
+    ) -> io::Result<()> {
+        self.backend.put(
+            &Self::diff_manifest_key(start, end),
+            &stripe::encode_manifest(manifest),
+        )
+    }
+
+    /// Crash-injection: a power cut midway through a striped full write —
+    /// some stripes land (one torn), nothing is finished or sealed.
+    pub fn put_full_striped_torn(&self, iteration: u64, bytes: &[u8], stripes: usize) {
+        stripe::put_striped_torn(
+            &*self.backend,
+            &Self::full_data_key(iteration),
+            bytes,
+            stripes,
+        );
+    }
+
+    /// Crash-injection: torn striped differential-batch write.
+    pub fn put_diff_striped_torn(&self, start: u64, end: u64, bytes: &[u8], stripes: usize) {
+        stripe::put_striped_torn(
+            &*self.backend,
+            &Self::diff_data_key(start, end),
+            bytes,
+            stripes,
+        )
+    }
+
+    /// Delete striped data objects whose manifest never landed — the
+    /// remains of writes that crashed between the stripe fan-out and the
+    /// seal. Invisible to recovery by construction; this reclaims their
+    /// space, like the `.tmp-` sweep in `DiskBackend::new`. Returns the
+    /// number of objects removed.
+    pub fn sweep_unsealed(&self) -> io::Result<usize> {
+        let keys = self.backend.list()?;
+        let mut removed = 0;
+        for k in &keys {
+            let Some(base) = k.strip_suffix(".sd.ckpt") else {
+                continue;
+            };
+            if !keys.contains(&format!("{base}.sm.ckpt")) {
+                self.backend.delete(k)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Read and fully validate a striped checkpoint given its manifest
+    /// key: manifest CRC, stripe coverage, and every stripe CRC must pass
+    /// before the reassembled bytes are returned. Public for tooling
+    /// (`lowdiff-ctl validate` audits striped pairs through it).
+    pub fn get_striped_validated(&self, manifest_key: &str) -> io::Result<Vec<u8>> {
+        let inv =
+            |e: crate::codec::CodecError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+        let mbytes = self.get_retried(manifest_key)?;
+        let manifest = stripe::decode_manifest(&mbytes).map_err(inv)?;
+        let data_key = manifest_key
+            .strip_suffix(".sm.ckpt")
+            .map(|base| format!("{base}.sd.ckpt"))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "not a manifest key"))?;
+        let data = self.get_retried(&data_key)?;
+        stripe::validate(&data, &manifest).map_err(inv)?;
+        Ok(data)
+    }
+
     /// Iterations of all stored full checkpoints (sorted ascending),
-    /// *without* validating their contents.
+    /// *without* validating their contents. A striped full counts iff its
+    /// manifest exists (the seal — an unsealed data object is invisible).
     pub fn full_iterations(&self) -> io::Result<Vec<u64>> {
         let mut out: Vec<u64> = self
             .backend
             .list()?
             .iter()
-            .filter_map(|k| k.strip_prefix("full-")?.strip_suffix(".ckpt")?.parse().ok())
+            .filter_map(|k| {
+                let body = k.strip_prefix("full-")?;
+                let iter = body
+                    .strip_suffix(".ckpt")
+                    .and_then(|b| b.strip_suffix(".sm").or(Some(b)))?;
+                iter.parse().ok()
+            })
             .collect();
         out.sort_unstable();
+        out.dedup();
         Ok(out)
     }
 
-    /// All differential-batch keys (sorted by start iteration).
+    /// All differential-batch keys (sorted by start iteration). Striped
+    /// batches are listed by their **manifest** key; legacy single blobs
+    /// by their plain key.
     pub fn diff_keys(&self) -> io::Result<Vec<DiffKey>> {
         let mut out: Vec<DiffKey> = self
             .backend
             .list()?
             .iter()
             .filter_map(|k| {
-                let body = k.strip_prefix("diff-")?.strip_suffix(".ckpt")?;
+                let body = k.strip_prefix("diff-")?;
+                let body = body
+                    .strip_suffix(".ckpt")
+                    .and_then(|b| b.strip_suffix(".sm").or(Some(b)))?;
                 let (s, e) = body.split_once('-')?;
                 Some(DiffKey {
                     start: s.parse().ok()?,
@@ -160,9 +325,17 @@ impl CheckpointStore {
     }
 
     /// Load and CRC-validate a specific full checkpoint, including any
-    /// auxiliary training state the blob carries.
+    /// auxiliary training state the blob carries. Tries the legacy single
+    /// blob first, then the striped layout (manifest + stripe-validated
+    /// data object); either form decodes to the same bytes.
     pub fn load_full_checkpoint(&self, iteration: u64) -> io::Result<FullCheckpoint> {
-        let bytes = self.get_retried(&Self::full_key(iteration))?;
+        let bytes = match self.get_retried(&Self::full_key(iteration)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.get_striped_validated(&Self::full_manifest_key(iteration))?
+            }
+            Err(e) => return Err(e),
+        };
         codec::decode_full_checkpoint(&bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
@@ -216,7 +389,15 @@ impl CheckpointStore {
             if dk.end < next {
                 continue; // already covered by the full checkpoint
             }
-            let Ok(bytes) = self.get_retried(&dk.key) else {
+            // Striped batches (listed by manifest key) get the fully
+            // validated read; any stripe failing its CRC ends the chain
+            // exactly like a torn legacy blob.
+            let read = if dk.key.ends_with(".sm.ckpt") {
+                self.get_striped_validated(&dk.key)
+            } else {
+                self.get_retried(&dk.key)
+            };
+            let Ok(bytes) = read else {
                 break;
             };
             let Ok(entries) = codec::decode_diff_batch(&bytes) else {
@@ -241,16 +422,32 @@ impl CheckpointStore {
     /// the number of blobs removed.
     pub fn gc_before(&self, keep_from: u64) -> io::Result<usize> {
         let mut removed = 0;
+        let keys = self.backend.list()?;
+        let mut drop_key = |key: &str| -> io::Result<()> {
+            if keys.contains(&key.to_string()) {
+                self.backend.delete(key)?;
+                removed += 1;
+            }
+            Ok(())
+        };
         for iter in self.full_iterations()? {
             if iter < keep_from {
-                self.backend.delete(&Self::full_key(iter))?;
-                removed += 1;
+                // A checkpoint may exist in either layout; manifests go
+                // first so a crash mid-GC never leaves a sealed manifest
+                // pointing at deleted data.
+                drop_key(&Self::full_manifest_key(iter))?;
+                drop_key(&Self::full_data_key(iter))?;
+                drop_key(&Self::full_key(iter))?;
             }
         }
         for dk in self.diff_keys()? {
             if dk.end < keep_from {
-                self.backend.delete(&dk.key)?;
-                removed += 1;
+                if dk.key.ends_with(".sm.ckpt") {
+                    drop_key(&dk.key)?;
+                    drop_key(&Self::diff_data_key(dk.start, dk.end))?;
+                } else {
+                    drop_key(&dk.key)?;
+                }
             }
         }
         Ok(removed)
@@ -401,6 +598,104 @@ mod tests {
         assert!(!fc.lossy);
         // The model-state-only API still works on the same blob.
         assert_eq!(store.latest_valid_full().unwrap().unwrap(), st);
+    }
+
+    fn put_full_striped_sealed(store: &CheckpointStore, st: &ModelState, stripes: usize) {
+        let bytes = codec::encode_model_state(st);
+        let out = store.put_full_striped(st.iteration, &bytes, stripes, &RetryPolicy::none());
+        let manifest = out.result.unwrap();
+        store.seal_full_striped(st.iteration, &manifest).unwrap();
+    }
+
+    #[test]
+    fn striped_full_roundtrips_and_is_discovered() {
+        let (_, store) = mem_store();
+        store.save_full(&state_at(3)).unwrap();
+        put_full_striped_sealed(&store, &state_at(9), 4);
+        assert_eq!(store.full_iterations().unwrap(), vec![3, 9]);
+        let latest = store.latest_valid_full().unwrap().unwrap();
+        assert_eq!(latest, state_at(9));
+        // The striped data object holds exactly the legacy encoding.
+        assert_eq!(
+            store.backend().get("full-0000000009.sd.ckpt").unwrap(),
+            codec::encode_model_state(&state_at(9)),
+        );
+    }
+
+    #[test]
+    fn unsealed_striped_full_is_invisible_and_swept() {
+        let (_, store) = mem_store();
+        store.save_full(&state_at(3)).unwrap();
+        let bytes = codec::encode_model_state(&state_at(9));
+        // Stripes land and finish, but the crash comes before the seal.
+        let out = store.put_full_striped(9, &bytes, 4, &RetryPolicy::none());
+        out.result.unwrap();
+        assert_eq!(
+            store.full_iterations().unwrap(),
+            vec![3],
+            "no manifest, no checkpoint"
+        );
+        assert_eq!(store.latest_valid_full().unwrap().unwrap(), state_at(3));
+        assert_eq!(store.sweep_unsealed().unwrap(), 1);
+        assert!(store.backend().get("full-0000000009.sd.ckpt").is_err());
+        // Sealed objects are never swept.
+        put_full_striped_sealed(&store, &state_at(12), 2);
+        assert_eq!(store.sweep_unsealed().unwrap(), 0);
+        assert_eq!(store.full_iterations().unwrap(), vec![3, 12]);
+    }
+
+    #[test]
+    fn corrupt_stripe_invalidates_striped_full() {
+        let (mem, store) = mem_store();
+        store.save_full(&state_at(3)).unwrap();
+        put_full_striped_sealed(&store, &state_at(9), 4);
+        // Tear the data object: the manifest is intact but a stripe CRC
+        // now fails, so recovery must fall back to the older full.
+        mem.truncate_blob("full-0000000009.sd.ckpt", 10);
+        assert_eq!(store.latest_valid_full().unwrap().unwrap(), state_at(3));
+    }
+
+    #[test]
+    fn striped_diff_batches_join_the_chain() {
+        let (_, store) = mem_store();
+        // Legacy batch then a striped batch: one chain.
+        store.save_diff_batch(&[diff_at(10), diff_at(11)]).unwrap();
+        let bytes = codec::encode_diff_batch(&[diff_at(12), diff_at(13)]);
+        let out = store.put_diff_striped(12, 13, &bytes, 2, &RetryPolicy::none());
+        let manifest = out.result.unwrap();
+        store.seal_diff_striped(12, 13, &manifest).unwrap();
+        let chain = store.diff_chain_from(10).unwrap();
+        let iters: Vec<u64> = chain.iter().map(|e| e.iteration).collect();
+        assert_eq!(iters, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn unsealed_striped_diff_is_a_chain_gap() {
+        let (_, store) = mem_store();
+        store.save_diff_batch(&[diff_at(10)]).unwrap();
+        let bytes = codec::encode_diff_batch(&[diff_at(11)]);
+        store
+            .put_diff_striped(11, 11, &bytes, 2, &RetryPolicy::none())
+            .result
+            .unwrap(); // never sealed
+        store.save_diff_batch(&[diff_at(12)]).unwrap();
+        let chain = store.diff_chain_from(10).unwrap();
+        assert_eq!(chain.len(), 1, "unsealed batch breaks the chain at 11");
+    }
+
+    #[test]
+    fn gc_removes_striped_pairs() {
+        let (_, store) = mem_store();
+        put_full_striped_sealed(&store, &state_at(0), 2);
+        let bytes = codec::encode_diff_batch(&[diff_at(0), diff_at(1)]);
+        let out = store.put_diff_striped(0, 1, &bytes, 2, &RetryPolicy::none());
+        store.seal_diff_striped(0, 1, &out.result.unwrap()).unwrap();
+        put_full_striped_sealed(&store, &state_at(10), 2);
+        let removed = store.gc_before(10).unwrap();
+        assert_eq!(removed, 4, "manifest + data for the full and the batch");
+        assert_eq!(store.full_iterations().unwrap(), vec![10]);
+        assert!(store.backend().get("full-0000000000.sd.ckpt").is_err());
+        assert!(store.backend().get("full-0000000000.sm.ckpt").is_err());
     }
 
     #[test]

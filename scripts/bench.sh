@@ -9,8 +9,11 @@
 #                          see DESIGN.md "Performance" for each row)
 #   BENCH_ckpt_e2e.json  — per-strategy training-thread stall through the
 #                          CheckpointEngine (see DESIGN.md "The checkpoint
-#                          engine"); run bench_ckpt_e2e directly to vary
-#                          its --psi/--iters/--mbps
+#                          engine"), each row stamped with its
+#                          persist_stripes, plus the stripe_scaling block
+#                          (full-write throughput at 1/2/4/8 stripes on a
+#                          4-channel backend); run bench_ckpt_e2e directly
+#                          to vary its --psi/--iters/--mbps/--stripes
 #
 # LOWDIFF_NUM_THREADS caps the thread pool if set.
 

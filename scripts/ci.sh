@@ -9,7 +9,10 @@
 # 3. cargo test -q         — the full workspace test suite
 # 4. crash-torture smoke   — the fast subset of the crash/resume matrix
 # 5. bench --smoke         — both benchmark binaries complete on a tiny
-#                            configuration (no JSON written)
+#                            configuration (no JSON written); the e2e
+#                            bench runs twice, at 1 and 4 persist stripes,
+#                            so both the legacy and the striped write
+#                            paths are exercised end-to-end
 #
 # Fails fast: the first failing step fails the gate.
 
@@ -37,6 +40,8 @@ cargo build --release -q -p lowdiff-bench --features count-allocs \
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_hotpath --smoke
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
-  target/release/bench_ckpt_e2e --smoke
+  target/release/bench_ckpt_e2e --smoke --stripes 1
+MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
+  target/release/bench_ckpt_e2e --smoke --stripes 4
 
 echo "CI gate passed."

@@ -33,7 +33,7 @@ use lowdiff_model::data::Regression;
 use lowdiff_model::loss::mse;
 use lowdiff_model::Network;
 use lowdiff_optim::{Adam, ModelState};
-use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_storage::{CheckpointStore, MemoryBackend, StripeCfg};
 use lowdiff_tensor::Tensor;
 use lowdiff_util::DetRng;
 use std::sync::Arc;
@@ -92,7 +92,20 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
     let nth = 2 + DetRng::new(0x7081 ^ cell_seed.rotate_left(17)).next_u64() % 7;
     let injector = CrashInjector::arm(point, nth);
     let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+    // MidStripe only exists on the striped persist path, so those cells
+    // run it (tiny blobs → no minimum stripe size). Every other cell
+    // keeps the default single stripe, leaving the 44 legacy cells'
+    // store layouts bit-identical to before striping existed.
+    let stripe = if point == CrashPoint::MidStripe {
+        StripeCfg {
+            stripes: 2,
+            min_stripe_bytes: 1,
+        }
+    } else {
+        StripeCfg::default()
+    };
     let ecfg = || EngineConfig {
+        stripe,
         crash: Some(Arc::clone(&injector)),
         ..EngineConfig::default()
     };
@@ -104,6 +117,7 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
             LowDiffConfig {
                 full_every: 6,
                 batch_size: 2,
+                stripe,
                 crash: Some(Arc::clone(&injector)),
                 ..LowDiffConfig::default()
             },
@@ -112,6 +126,7 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
             Arc::clone(&store),
             LowDiffPlusConfig {
                 persist_every: 3,
+                stripe,
                 crash: Some(Arc::clone(&injector)),
                 ..LowDiffPlusConfig::default()
             },
@@ -221,9 +236,10 @@ fn smoke_every_strategy_survives_a_torn_write() {
     }
 }
 
-/// The full matrix: {six strategies} × {four crash points} × {EF on/off}
-/// (LowDiff+ dense-only). 44 cells, each asserting bit-identical final
-/// parameters and Adam moments.
+/// The full matrix: {six strategies} × {five crash points} × {EF on/off}
+/// (LowDiff+ dense-only). 55 cells, each asserting bit-identical final
+/// parameters and Adam moments. MidStripe cells run the striped persist
+/// path; all other cells keep the legacy single-blob layout.
 #[test]
 fn torture_matrix_all_strategies_all_crash_points() {
     let mut cell = 0u64;

@@ -15,12 +15,15 @@ use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::CheckpointStrategy;
-use lowdiff::AuxView;
+use lowdiff::{AuxView, EngineConfig, NoCheckpoint, ResumeOpts, Trainer, TrainerConfig};
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
+use lowdiff_model::builders::mlp;
+use lowdiff_model::data::Regression;
+use lowdiff_model::loss::mse;
 use lowdiff_optim::{Adam, ModelState};
 use lowdiff_storage::codec::{self, DiffEntry};
-use lowdiff_storage::{CheckpointStore, MemoryBackend};
+use lowdiff_storage::{stripe, CheckpointStore, MemoryBackend, StripeCfg};
 use lowdiff_util::DetRng;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -375,6 +378,184 @@ fn check_mixed_version_chain(seed: u64, psi: usize, iters: u64, batch: usize) {
     assert_eq!(rec.opt.v, state.opt.v, "mixed chain: adam v diverged");
 }
 
+// ------------------------------------------- striped persist equivalence
+
+/// Drive one strategy through a real [`Trainer`] run at the given stripe
+/// configuration, returning the store it wrote. `scheme` indexes the same
+/// six schemes the torture matrix exercises.
+fn run_scheme_with_stripes(scheme: usize, stripe: StripeCfg, seed: u64) -> Arc<CheckpointStore> {
+    let dense_only = scheme == 1; // lowdiff+ runs dense
+    let cfg = TrainerConfig {
+        compress_ratio: if dense_only { None } else { Some(0.25) },
+        error_feedback: false,
+        data_seed: 0xEC0 ^ seed,
+    };
+    let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+    let network = mlp(&[4, 10, 2], 8);
+    let ecfg = EngineConfig {
+        stripe,
+        ..EngineConfig::default()
+    };
+    let strat: Box<dyn CheckpointStrategy> = match scheme {
+        0 => Box::new(LowDiffStrategy::new(
+            Arc::clone(&store),
+            LowDiffConfig {
+                full_every: 6,
+                batch_size: 2,
+                stripe,
+                ..LowDiffConfig::default()
+            },
+        )),
+        1 => Box::new(LowDiffPlusStrategy::new(
+            Arc::clone(&store),
+            LowDiffPlusConfig {
+                persist_every: 3,
+                stripe,
+                ..LowDiffPlusConfig::default()
+            },
+            ModelState::new(network.params_flat()),
+        )),
+        2 => Box::new(CheckFreqStrategy::with_engine_config(
+            Arc::clone(&store),
+            3,
+            ecfg,
+        )),
+        3 => Box::new(TorchSaveStrategy::with_engine_config(
+            Arc::clone(&store),
+            3,
+            ecfg,
+        )),
+        4 => Box::new(GeminiStrategy::with_engine_config(
+            Arc::clone(&store),
+            2,
+            4,
+            ecfg,
+        )),
+        _ => Box::new(NaiveDcStrategy::with_engine_config(
+            Arc::clone(&store),
+            2,
+            8,
+            0.5,
+            ecfg,
+        )),
+    };
+    let task = Regression::new(4, 2, 7);
+    let mut tr = Trainer::new(network, Adam::default(), strat, cfg);
+    tr.run_with_data(18, move |net, _t, rng| {
+        let (x, y) = task.batch(rng, 8);
+        let pred = net.forward(&x);
+        mse(&pred, &y)
+    });
+    drop(tr); // flush + shutdown
+    store
+}
+
+/// The striped store must hold exactly the legacy store's logical
+/// content: every single-blob checkpoint either appears verbatim (below
+/// the stripe threshold, or a non-checkpoint blob) or as a data object
+/// byte-identical to the legacy blob plus a manifest that validates it.
+fn assert_striped_matches_legacy(striped: &CheckpointStore, legacy: &CheckpointStore, what: &str) {
+    let l = blob_map(legacy);
+    let s = blob_map(striped);
+    for (k, bytes) in &l {
+        if let Some(sb) = s.get(k) {
+            assert_eq!(sb, bytes, "{what}: unstriped blob {k} differs");
+            continue;
+        }
+        let base = k
+            .strip_suffix(".ckpt")
+            .unwrap_or_else(|| panic!("{what}: {k} missing from striped store"));
+        let dk = format!("{base}.sd.ckpt");
+        let mk = format!("{base}.sm.ckpt");
+        let data = s
+            .get(&dk)
+            .unwrap_or_else(|| panic!("{what}: {k} present neither whole nor striped"));
+        assert_eq!(data, bytes, "{what}: striped data for {k} differs");
+        let manifest = stripe::decode_manifest(
+            s.get(&mk)
+                .unwrap_or_else(|| panic!("{what}: {dk} has no manifest {mk}")),
+        )
+        .unwrap_or_else(|e| panic!("{what}: manifest {mk} does not decode: {e}"));
+        stripe::validate(data, &manifest)
+            .unwrap_or_else(|e| panic!("{what}: manifest {mk} rejects its data: {e}"));
+        assert!(
+            manifest.stripes.len() >= 2,
+            "{what}: {dk} was supposed to be striped"
+        );
+    }
+    // And nothing extra: every striped-store key maps back to a legacy blob.
+    for k in s.keys() {
+        let logical = k
+            .strip_suffix(".sd.ckpt")
+            .or_else(|| k.strip_suffix(".sm.ckpt"))
+            .map(|base| format!("{base}.ckpt"))
+            .unwrap_or_else(|| k.clone());
+        assert!(
+            l.contains_key(&logical),
+            "{what}: striped store holds {k} with no legacy counterpart"
+        );
+    }
+}
+
+fn check_striped_equivalence(scheme: usize, stripes: usize, seed: u64) {
+    let names = [
+        "lowdiff",
+        "lowdiff+",
+        "checkfreq",
+        "torch-save",
+        "gemini",
+        "naive-dc",
+    ];
+    let what = names[scheme];
+    let legacy = run_scheme_with_stripes(scheme, StripeCfg::default(), seed);
+    let striped = run_scheme_with_stripes(
+        scheme,
+        StripeCfg {
+            stripes,
+            min_stripe_bytes: 1, // toy model: stripe even tiny blobs
+        },
+        seed,
+    );
+    assert_striped_matches_legacy(&striped, &legacy, what);
+
+    // Recovery through the real resume path lands on the identical state.
+    let dense_only = scheme == 1;
+    let cfg = TrainerConfig {
+        compress_ratio: if dense_only { None } else { Some(0.25) },
+        error_feedback: false,
+        data_seed: 0xEC0 ^ seed,
+    };
+    let opts = ResumeOpts {
+        fast_forward: scheme != 5, // naive-dc deltas are not replayable
+    };
+    let resume = |store: &CheckpointStore| {
+        Trainer::resume_with_opts(
+            mlp(&[4, 10, 2], 8),
+            Adam::default(),
+            NoCheckpoint::new(),
+            cfg.clone(),
+            store,
+            opts,
+        )
+        .unwrap()
+        .map(|(tr, _)| tr.state().clone())
+    };
+    match (resume(&striped), resume(&legacy)) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.iteration, b.iteration, "{what}: resume iteration");
+            assert_eq!(a.params, b.params, "{what}: resume params");
+            assert_eq!(a.opt.m, b.opt.m, "{what}: resume Adam m");
+            assert_eq!(a.opt.v, b.opt.v, "{what}: resume Adam v");
+        }
+        (None, None) => {}
+        (a, b) => panic!(
+            "{what}: resume disagrees about recoverability (striped: {}, legacy: {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
 // ------------------------------------------------------------------ tests
 
 #[test]
@@ -389,6 +570,81 @@ fn all_strategies_match_reference_on_default_trace() {
 #[test]
 fn mixed_version_chain_matches_dense_replay() {
     check_mixed_version_chain(21, 48, 23, 3);
+}
+
+/// Striped persist is a pure layout change: at 4 stripes every strategy
+/// writes data objects byte-identical to its single-blob run, sealed by
+/// validating manifests, and resumes to the identical state.
+#[test]
+fn all_strategies_striped_matches_single_blob() {
+    for scheme in 0..6 {
+        check_striped_equivalence(scheme, 4, 31 + scheme as u64);
+    }
+}
+
+/// Regression (persist accounting): `StrategyStats::bytes_written` must
+/// equal the bytes the backend itself counted — i.e. the encoded blob
+/// length, not the logical payload size `persist_full` used to charge.
+/// Health export is off so the backend counter holds checkpoint bytes
+/// only; schemes chosen to cover `persist_full`, `persist_diff_entries`
+/// and `persist_blob`.
+#[test]
+fn stats_bytes_written_matches_backend_counter() {
+    type Builder = fn(Arc<CheckpointStore>) -> Box<dyn CheckpointStrategy>;
+    let builders: [(&str, Builder); 3] = [
+        ("torch-save", |st| {
+            Box::new(TorchSaveStrategy::with_engine_config(
+                st,
+                3,
+                EngineConfig {
+                    export_health: false,
+                    ..EngineConfig::default()
+                },
+            ))
+        }),
+        ("checkfreq", |st| {
+            Box::new(CheckFreqStrategy::with_engine_config(
+                st,
+                3,
+                EngineConfig {
+                    export_health: false,
+                    ..EngineConfig::default()
+                },
+            ))
+        }),
+        ("naive-dc", |st| {
+            Box::new(NaiveDcStrategy::with_engine_config(
+                st,
+                2,
+                8,
+                0.5,
+                EngineConfig {
+                    export_health: false,
+                    ..EngineConfig::default()
+                },
+            ))
+        }),
+    ];
+    let (init, grads) = trace(41, 32, 20);
+    for (what, build) in builders {
+        let store = mem_store();
+        let mut strat = build(Arc::clone(&store));
+        let adam = Adam::default();
+        let mut state = ModelState::new(init.clone());
+        for g in &grads {
+            state.apply_gradient(&adam, g);
+            strat.after_update(&state, &AuxView::NONE);
+        }
+        strat.flush();
+        let stats = strat.stats();
+        drop(strat);
+        assert!(stats.bytes_written > 0, "{what}: nothing was written");
+        assert_eq!(
+            stats.bytes_written,
+            store.backend().bytes_written(),
+            "{what}: stats diverge from the backend's own byte count"
+        );
+    }
 }
 
 /// Pooled encode buffers recycle across 12Ψ-byte full encodes and far
@@ -461,6 +717,17 @@ proptest! {
         rho in 0.1f64..0.6,
     ) {
         check_naive_dc(seed, psi, iters, diff_every, diff_every * full_mult, rho);
+    }
+
+    /// Striped persist + recovery is byte-identical to single-blob for
+    /// every strategy, at any stripe count.
+    #[test]
+    fn striped_persist_is_byte_identical(
+        scheme in 0usize..6,
+        stripes in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        check_striped_equivalence(scheme, stripes, seed);
     }
 
     /// Chains mixing v1 and v2 diff blobs recover exactly (satellite: the
