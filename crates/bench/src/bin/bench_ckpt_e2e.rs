@@ -12,12 +12,21 @@
 //! reported separately and does not count against per-iteration stall.
 //!
 //! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--stripes S]
-//! [--out PATH] [--smoke]` (defaults: 262144 params, 40 iterations,
-//! 300 MB/s, 1 stripe, BENCH_ckpt_e2e.json). `--stripes S` fans every
+//! [--quant-bits Q] [--adaptive] [--max-quant-err E] [--out PATH] [--smoke]`
+//! (defaults: 262144 params, 40 iterations, 300 MB/s, 1 stripe, 8-bit
+//! quantized row, BENCH_ckpt_e2e.json). `--stripes S` fans every
 //! checkpoint blob out into S concurrent ranged writes sealed by a
 //! manifest (the striped persist path); the run also sweeps full-write
 //! throughput over 1/2/4/8 stripes on a 4-channel throttled backend to
 //! show the fan-out scaling near-linearly up to the channel count.
+//! `--quant-bits Q` adds a `lowdiff-qQ` row persisting differentials
+//! through the v3 quantized codec (0 disables it); `--adaptive` +
+//! `--max-quant-err E` let the per-chunk width chooser move on the
+//! 4/8/16 ladder under a hard per-element error bound. The run also
+//! executes a small *recovery-fidelity probe* — real training persisted
+//! through the quantized codec, recovered, and compared against the live
+//! state — whose max/mean parameter error lands in the JSON next to the
+//! diff-byte reduction.
 //! `--smoke` runs a tiny configuration for CI sanity and skips the JSON
 //! unless `--out` is given explicitly.
 //! `scripts/bench.sh` builds release and refreshes the JSON at the repo root.
@@ -36,6 +45,7 @@ use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, Torc
 use lowdiff_bench::print_table;
 use lowdiff_compress::{AuxView, CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_optim::ModelState;
+use lowdiff_storage::codec::{QuantizedValues, ValueCodec};
 use lowdiff_storage::{
     CheckpointStore, MemoryBackend, StorageBackend, StripeCfg, ThrottledBackend,
 };
@@ -185,11 +195,74 @@ fn run_strategy<S: CheckpointStrategy>(
     }
 }
 
+/// Recovery-fidelity probe: real training (MLP + Top-K) persisted through
+/// the v3 quantized codec on an unthrottled store, crashed mid-chain,
+/// recovered, and compared against the live state. The wall-clock here is
+/// irrelevant — this measures *exactness*, the other axis of the codec.
+struct FidelityProbe {
+    replayed: usize,
+    max_param_err: f32,
+    mean_param_err: f32,
+}
+
+fn fidelity_probe(q: QuantizedValues) -> FidelityProbe {
+    use lowdiff::recovery::recover_serial;
+    use lowdiff::{Trainer, TrainerConfig};
+    use lowdiff_model::builders::mlp;
+    use lowdiff_model::data::Regression;
+    use lowdiff_model::loss::mse;
+    use lowdiff_optim::Adam;
+
+    let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+    let strat = LowDiffStrategy::new(
+        Arc::clone(&store),
+        LowDiffConfig {
+            full_every: 10,
+            batch_size: 2,
+            value_codec: ValueCodec::Quantized(q),
+            ..LowDiffConfig::default()
+        },
+    );
+    let cfg = TrainerConfig {
+        compress_ratio: Some(0.2),
+        error_feedback: false,
+        data_seed: 0xF1DE,
+        ..TrainerConfig::default()
+    };
+    let mut tr = Trainer::new(mlp(&[16, 64, 8], 8), Adam::default(), strat, cfg);
+    let task = Regression::new(16, 8, 7);
+    tr.run_with_data(27, move |net, _t, rng| {
+        let (x, y) = task.batch(rng, 8);
+        let pred = net.forward(&x);
+        mse(&pred, &y)
+    });
+    let live = tr.state().clone();
+    drop(tr); // crash
+    let (rec, rep) = recover_serial(&store, &Adam::default())
+        .expect("fidelity probe recovery failed")
+        .expect("fidelity probe store is empty");
+    let mut max = 0f32;
+    let mut sum = 0f64;
+    for (a, b) in rec.params.iter().zip(&live.params) {
+        let d = (a - b).abs();
+        max = max.max(d);
+        sum += d as f64;
+    }
+    FidelityProbe {
+        replayed: rep.replayed,
+        max_param_err: max,
+        mean_param_err: (sum / rec.params.len() as f64) as f32,
+    }
+}
+
 fn main() {
     let mut psi: usize = 1 << 18;
     let mut iters: u64 = 40;
     let mut mbps: f64 = 300.0;
     let mut stripes: usize = 1;
+    let mut quant_bits: u8 = 8;
+    let mut adaptive = false;
+    let mut max_quant_err: f32 = 0.0;
     let mut out_path = String::from("BENCH_ckpt_e2e.json");
     let mut out_explicit = false;
     let mut smoke = false;
@@ -204,6 +277,11 @@ fn main() {
             "--iters" => iters = val("--iters").parse().expect("bad --iters"),
             "--mbps" => mbps = val("--mbps").parse().expect("bad --mbps"),
             "--stripes" => stripes = val("--stripes").parse().expect("bad --stripes"),
+            "--quant-bits" => quant_bits = val("--quant-bits").parse().expect("bad --quant-bits"),
+            "--adaptive" => adaptive = true,
+            "--max-quant-err" => {
+                max_quant_err = val("--max-quant-err").parse().expect("bad --max-quant-err")
+            }
             "--out" => {
                 out_path = val("--out");
                 out_explicit = true;
@@ -212,6 +290,10 @@ fn main() {
             other => panic!("unknown flag {other}"),
         }
     }
+    assert!(
+        matches!(quant_bits, 0 | 4 | 8 | 16),
+        "--quant-bits must be 0 (off), 4, 8 or 16"
+    );
     if smoke {
         // CI sanity: exercise every strategy end-to-end in well under a
         // second without touching the recorded JSON.
@@ -273,6 +355,46 @@ fn main() {
         let cg = Arc::clone(&cg);
         results.push(run_strategy(
             "lowdiff",
+            iters,
+            strat,
+            move |s, st| {
+                let a = s
+                    .on_synced_gradient(st.iteration, &cg, &AuxView::NONE)
+                    .as_f64();
+                st.iteration += 1;
+                a + s.after_update(st, &AuxView::NONE).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // LowDiff with the v3 quantized diff codec: same write schedule as the
+    // row above, differential value planes packed at `quant_bits` — the
+    // diff-byte delta between the two rows is the codec's saving.
+    let quant_cfg = QuantizedValues {
+        bits: if quant_bits == 0 { 8 } else { quant_bits },
+        max_err: max_quant_err,
+        adaptive,
+        floor_bits: 4,
+    };
+    if quant_bits != 0 {
+        let strat = LowDiffStrategy::new(
+            throttled_store(mbps),
+            LowDiffConfig {
+                full_every: 10,
+                batch_size: 4,
+                stripe,
+                value_codec: ValueCodec::Quantized(quant_cfg),
+                ..LowDiffConfig::default()
+            },
+        );
+        let cg = Arc::clone(&cg);
+        results.push(run_strategy(
+            match quant_bits {
+                4 => "lowdiff-q4",
+                16 => "lowdiff-q16",
+                _ => "lowdiff-q8",
+            },
             iters,
             strat,
             move |s, st| {
@@ -386,6 +508,39 @@ fn main() {
     const SWEEP_CHANNELS: usize = 4;
     let scaling = stripe_scaling_sweep(mbps, SWEEP_CHANNELS, &initial);
 
+    // Recovery fidelity of the quantized codec, and the diff-byte
+    // reduction against the f32 row.
+    let fidelity = (quant_bits != 0).then(|| fidelity_probe(quant_cfg));
+    let diff_reduction = {
+        let diff_of = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.diff_bytes_written)
+        };
+        match (
+            diff_of("lowdiff"),
+            results.get(1).map(|r| r.diff_bytes_written),
+        ) {
+            (Some(raw), Some(packed)) if quant_bits != 0 && raw > 0 => {
+                Some(1.0 - packed as f64 / raw as f64)
+            }
+            _ => None,
+        }
+    };
+    if let (Some(f), Some(red)) = (&fidelity, diff_reduction) {
+        eprintln!(
+            "quantized codec ({} bit{}): diff bytes -{:.1}%, fidelity probe \
+             replayed={} max_param_err={:.3e} mean_param_err={:.3e}",
+            quant_cfg.bits,
+            if adaptive { ", adaptive" } else { "" },
+            red * 100.0,
+            f.replayed,
+            f.max_param_err,
+            f.mean_param_err
+        );
+    }
+
     // --- report ------------------------------------------------------------
     let counting = cfg!(feature = "count-allocs");
     let rows: Vec<Vec<String>> = results
@@ -478,6 +633,16 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    if let Some(f) = &fidelity {
+        json.push_str(&format!(
+            "  \"quant\": {{\"bits\": {}, \"adaptive\": {adaptive}, \"max_quant_err\": {max_quant_err}, \"diff_bytes_reduction\": {}, \"fidelity_replayed\": {}, \"fidelity_max_param_err\": {:.6e}, \"fidelity_mean_param_err\": {:.6e}}},\n",
+            quant_cfg.bits,
+            diff_reduction.map_or("null".to_string(), |r| format!("{r:.4}")),
+            f.replayed,
+            f.max_param_err,
+            f.mean_param_err,
+        ));
+    }
     json.push_str(&format!(
         "  \"stripe_scaling\": {{\"channels\": {SWEEP_CHANNELS}, \"rows\": [\n"
     ));

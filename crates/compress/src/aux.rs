@@ -84,6 +84,9 @@ pub struct AuxView<'a> {
     pub compressor: Option<CompressorCfg>,
     /// Data/iteration RNG cursor (xoshiro256** state words).
     pub rng: Option<[u64; 4]>,
+    /// Adaptive precision-policy state (current width + demote streak), so
+    /// a resumed run re-enters the state machine where the crash left it.
+    pub quant: Option<crate::adaptive::QuantPolicyState>,
 }
 
 impl AuxView<'static> {
@@ -93,12 +96,16 @@ impl AuxView<'static> {
         residual: None,
         compressor: None,
         rng: None,
+        quant: None,
     };
 }
 
 impl<'a> AuxView<'a> {
     pub fn is_empty(&self) -> bool {
-        self.residual.is_none() && self.compressor.is_none() && self.rng.is_none()
+        self.residual.is_none()
+            && self.compressor.is_none()
+            && self.rng.is_none()
+            && self.quant.is_none()
     }
 
     pub fn to_state(&self) -> AuxState {
@@ -106,6 +113,7 @@ impl<'a> AuxView<'a> {
             residual: self.residual.map(|r| r.to_vec()),
             compressor: self.compressor,
             rng: self.rng,
+            quant: self.quant,
         }
     }
 }
@@ -117,11 +125,15 @@ pub struct AuxState {
     pub residual: Option<Vec<f32>>,
     pub compressor: Option<CompressorCfg>,
     pub rng: Option<[u64; 4]>,
+    pub quant: Option<crate::adaptive::QuantPolicyState>,
 }
 
 impl AuxState {
     pub fn is_empty(&self) -> bool {
-        self.residual.is_none() && self.compressor.is_none() && self.rng.is_none()
+        self.residual.is_none()
+            && self.compressor.is_none()
+            && self.rng.is_none()
+            && self.quant.is_none()
     }
 
     pub fn view(&self) -> AuxView<'_> {
@@ -129,6 +141,7 @@ impl AuxState {
             residual: self.residual.as_deref(),
             compressor: self.compressor,
             rng: self.rng,
+            quant: self.quant,
         }
     }
 }
@@ -150,10 +163,33 @@ mod tests {
             residual: Some(vec![1.0, -2.0]),
             compressor: Some(CompressorCfg::topk(0.01)),
             rng: Some([1, 2, 3, 4]),
+            quant: Some(crate::adaptive::QuantPolicyState {
+                bits: 8,
+                streak: 2,
+                adaptive: true,
+                max_err: 0.05,
+                floor_bits: 4,
+            }),
         };
         let back = st.view().to_state();
         assert_eq!(back, st);
         assert!(!st.is_empty());
+    }
+
+    #[test]
+    fn quant_policy_alone_is_not_empty() {
+        let st = AuxState {
+            quant: Some(crate::adaptive::QuantPolicyState {
+                bits: 16,
+                streak: 0,
+                adaptive: false,
+                max_err: 0.0,
+                floor_bits: 4,
+            }),
+            ..AuxState::default()
+        };
+        assert!(!st.is_empty());
+        assert!(!st.view().is_empty());
     }
 
     #[test]

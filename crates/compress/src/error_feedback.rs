@@ -91,6 +91,13 @@ impl<C: Compressor> ErrorFeedback<C> {
     pub fn inner(&self) -> &C {
         &self.inner
     }
+
+    /// Mutable access to the wrapped compressor — resume uses this to
+    /// restore stateful inner compressors (e.g. the adaptive precision
+    /// policy) from checkpoint aux state.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,9 @@
 //! * **Sparsification** — [`TopK`] (used in the paper's evaluation with
 //!   ρ = 0.01), [`RandomK`], and [`ThresholdK`]; all produce a
 //!   [`SparseGrad`] of `(index, value)` pairs.
-//! * **Quantization** — [`UniformQuant`] (8/4-bit linear), producing a
-//!   [`QuantGrad`].
+//! * **Quantization** — [`UniformQuant`] (16/8/4-bit linear), producing a
+//!   [`QuantGrad`]; [`AdaptiveQuant`] retunes the width each interval
+//!   under a hard reconstruction-error bound.
 //!
 //! [`ErrorFeedback`] implements the standard residual-accumulation trick
 //! that keeps Top-K training convergent: whatever the compressor drops this
@@ -18,6 +19,7 @@
 //! Size accounting (`payload_bytes`) is exact — the storage experiments
 //! (Exp. 7) and the transmission cost model read these numbers.
 
+pub mod adaptive;
 pub mod aux;
 pub mod error_feedback;
 pub mod grad;
@@ -25,6 +27,7 @@ pub mod qsgd;
 pub mod quant;
 pub mod sparsify;
 
+pub use adaptive::{AdaptiveQuant, QuantPolicyState};
 pub use aux::{AuxState, AuxView, CompressorCfg, CompressorKind};
 pub use error_feedback::ErrorFeedback;
 pub use grad::{CompressedGrad, QuantGrad, SparseGrad};

@@ -1,8 +1,8 @@
-//! Uniform linear quantization (8- and 4-bit).
+//! Uniform linear quantization (16-, 8- and 4-bit).
 //!
 //! `q = round((v − lo) / scale)`, `v̂ = lo + q · scale`. Simple min/max
 //! range quantizer — enough to exercise the "Quantization" branch of §2.3
-//! and to give the cost model a 4×/8× size point between Top-K and dense.
+//! and to give the cost model 2×/4×/8× size points between Top-K and dense.
 
 use crate::grad::{CompressedGrad, QuantGrad};
 use crate::Compressor;
@@ -16,8 +16,8 @@ pub struct UniformQuant {
 impl UniformQuant {
     pub fn new(bits: u8) -> Self {
         assert!(
-            bits == 8 || bits == 4,
-            "supported widths: 8, 4 (got {bits})"
+            bits == 16 || bits == 8 || bits == 4,
+            "supported widths: 16, 8, 4 (got {bits})"
         );
         Self { bits }
     }
@@ -41,6 +41,13 @@ impl Compressor for UniformQuant {
         };
 
         let codes = match self.bits {
+            16 => {
+                let mut packed = Vec::with_capacity(n * 2);
+                for &v in grad {
+                    packed.extend_from_slice(&(quantize(v) as u16).to_le_bytes());
+                }
+                packed
+            }
             8 => grad.iter().map(|&v| quantize(v) as u8).collect(),
             4 => {
                 let mut packed = Vec::with_capacity(n.div_ceil(2));
@@ -70,6 +77,7 @@ impl Compressor for UniformQuant {
 
     fn name(&self) -> &'static str {
         match self.bits {
+            16 => "quant16",
             8 => "quant8",
             _ => "quant4",
         }
@@ -86,6 +94,12 @@ pub fn dequantize(q: &QuantGrad) -> Vec<f32> {
     }
     let mut out = Vec::with_capacity(q.dense_len);
     match q.bits {
+        16 => {
+            for pair in q.codes.chunks_exact(2) {
+                let c = u16::from_le_bytes([pair[0], pair[1]]);
+                out.push(q.zero + c as f32 * q.scale);
+            }
+        }
         8 => {
             for &c in &q.codes {
                 out.push(q.zero + c as f32 * q.scale);
@@ -124,6 +138,12 @@ pub fn dequantize_range(q: &QuantGrad, range: std::ops::Range<usize>, out: &mut 
         return;
     }
     match q.bits {
+        16 => {
+            for (o, i) in out.iter_mut().zip(range) {
+                let c = u16::from_le_bytes([q.codes[2 * i], q.codes[2 * i + 1]]);
+                *o = q.zero + c as f32 * q.scale;
+            }
+        }
         8 => {
             for (o, &c) in out.iter_mut().zip(&q.codes[range]) {
                 *o = q.zero + c as f32 * q.scale;
@@ -150,6 +170,7 @@ mod tests {
         let mut rng = DetRng::new(9);
         let g: Vec<f32> = (0..257).map(|_| rng.normal() as f32).collect();
         for c in [
+            UniformQuant::new(16).compress(&g),
             UniformQuant::new(8).compress(&g),
             UniformQuant::new(4).compress(&g),
             crate::Qsgd::new(64, 3).compress(&g),
@@ -212,11 +233,30 @@ mod tests {
 
     #[test]
     fn payload_sizes() {
+        // Packed bit-width bytes, never 4 bytes/element: the stats
+        // invariant (`diff_bytes_written == StorageBackend::bytes_written`)
+        // depends on these being the true packed sizes.
         let g = vec![0.0f32; 1000];
+        let c16 = UniformQuant::new(16).compress(&g);
         let c8 = UniformQuant::new(8).compress(&g);
         let c4 = UniformQuant::new(4).compress(&g);
+        assert_eq!(c16.payload_bytes(), 16 + 2000);
         assert_eq!(c8.payload_bytes(), 16 + 1000);
         assert_eq!(c4.payload_bytes(), 16 + 500);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_16bit() {
+        let mut rng = DetRng::new(6);
+        let g: Vec<f32> = (0..500).map(|_| rng.normal() as f32).collect();
+        let mut q = UniformQuant::new(16);
+        let d = q.compress(&g).to_dense();
+        let range = g.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+            - g.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+        let step = range / 65535.0;
+        for (a, b) in g.iter().zip(&d) {
+            assert!((a - b).abs() <= step * 0.5 + 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!   for Adam replay (see DESIGN.md).
 
 use lowdiff_compress::{CompressedGrad, SparseGrad};
-use lowdiff_storage::codec::{self, DiffEntry};
+use lowdiff_storage::codec::{self, DiffEntry, ValueCodec};
 use lowdiff_storage::CheckpointStore;
 use std::io;
 use std::sync::Arc;
@@ -62,6 +62,10 @@ struct BufferedDiff {
 pub struct BatchedWriter {
     batch_size: usize,
     mode: BatchMode,
+    /// Value-plane wire format for encoded batches (v2 f32 or v3
+    /// quantized). Survives runtime batch-size retuning via
+    /// [`with_codec`](Self::with_codec) + [`value_codec`](Self::value_codec).
+    value_codec: ValueCodec,
     buffer: Vec<BufferedDiff>,
     /// Bytes of gradients buffered in CPU memory (step-① accounting).
     cpu_resident_bytes: usize,
@@ -74,10 +78,17 @@ pub struct BatchedWriter {
 
 impl BatchedWriter {
     pub fn new(batch_size: usize, mode: BatchMode) -> Self {
+        Self::with_codec(batch_size, mode, ValueCodec::F32)
+    }
+
+    /// A writer whose batches are encoded with an explicit value codec
+    /// ([`ValueCodec::F32`] is byte-identical to [`new`](Self::new)).
+    pub fn with_codec(batch_size: usize, mode: BatchMode, value_codec: ValueCodec) -> Self {
         assert!(batch_size >= 1, "batch size must be >= 1");
         Self {
             batch_size,
             mode,
+            value_codec,
             buffer: Vec::with_capacity(batch_size),
             cpu_resident_bytes: 0,
             peak_cpu_bytes: 0,
@@ -85,6 +96,11 @@ impl BatchedWriter {
             bytes_written: 0,
             diffs_in: 0,
         }
+    }
+
+    /// The writer's value-plane wire format.
+    pub fn value_codec(&self) -> ValueCodec {
+        self.value_codec
     }
 
     /// Step ①+②: offload a gradient handle to the CPU buffer. Consumes the
@@ -204,13 +220,14 @@ impl BatchedWriter {
         let (start, end) = match &merged {
             Some(entries) => {
                 check_consecutive(&mut entries.iter().map(|e| e.iteration));
-                codec::encode_diff_batch_into(entries, &mut bytes);
+                codec::encode_diff_batch_cfg_into(entries, &self.value_codec, &mut bytes);
                 (entries[0].iteration, entries.last().unwrap().iteration)
             }
             None => {
                 check_consecutive(&mut self.buffer.iter().map(|e| e.iteration));
-                codec::encode_diff_batch_refs_into(
+                codec::encode_diff_batch_refs_cfg_into(
                     self.buffer.iter().map(|e| (e.iteration, &*e.grad)),
+                    &self.value_codec,
                     &mut bytes,
                 );
                 (

@@ -8,6 +8,7 @@
 //! lowdiff-ctl recover <dir> [--shards N] [--out FILE]
 //!                                        restore the newest state
 //! lowdiff-ctl gc <dir> --keep-from ITER  delete older checkpoints
+//! lowdiff-ctl inspect <blob>             wire-format summary of one blob
 //! ```
 //!
 //! Storage errors never panic: every command degrades to a diagnostic on
@@ -35,7 +36,8 @@ fn usage() -> ! {
         "usage:\n  lowdiff-ctl list <dir>\n  lowdiff-ctl validate <dir>\n  \
          lowdiff-ctl health <dir>\n  lowdiff-ctl resume-info <dir>\n  \
          lowdiff-ctl recover <dir> [--shards N] [--out FILE]\n  \
-         lowdiff-ctl gc <dir> --keep-from ITER"
+         lowdiff-ctl gc <dir> --keep-from ITER\n  \
+         lowdiff-ctl inspect <blob>"
     );
     exit(2);
 }
@@ -393,6 +395,111 @@ fn cmd_resume_info(dir: &str) {
     out!("resume is bit-exact for the recorded configuration");
 }
 
+/// Compact run-length display of v3 chunk widths: `8×12 4×3` instead of
+/// fifteen numbers.
+fn fmt_widths(widths: &[u8]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < widths.len() {
+        let w = widths[i];
+        let mut n = 1;
+        while i + n < widths.len() && widths[i + n] == w {
+            n += 1;
+        }
+        parts.push(format!("{w}×{n}"));
+        i += n;
+    }
+    parts.join(" ")
+}
+
+/// Wire-format summary of a single blob file: version, per-entry layout
+/// and (for v3 diff batches) the per-chunk bit widths the precision
+/// policy chose, plus the value-plane compression ratio. Exit code 1 on a
+/// CRC mismatch or any other decode failure — `inspect` doubles as a
+/// point validator for one blob.
+fn cmd_inspect(path: &str) {
+    let data = or_die("read blob", std::fs::read(path));
+    if data.len() < 4 {
+        eprintln!("{path}: too short to carry a magic number");
+        exit(1);
+    }
+    match &data[..4] {
+        m if m == codec::MAGIC_DIFF => {
+            let info = match codec::inspect_diff_batch(&data) {
+                Ok(info) => info,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            };
+            out!(
+                "diff batch (format v{}): {} entries, {}",
+                info.version,
+                info.entries.len(),
+                fmt_bytes(info.encoded_len)
+            );
+            for e in &info.entries {
+                let widths = if e.chunk_widths.is_empty() {
+                    String::new()
+                } else {
+                    format!("  chunk bits: {}", fmt_widths(&e.chunk_widths))
+                };
+                out!(
+                    "  iter {:>8}  {:<6} {:>8}/{} values{}",
+                    e.iteration,
+                    e.repr,
+                    e.stored_values,
+                    e.dense_len,
+                    widths
+                );
+            }
+            // Ratio of the blob against the same blob with a raw-f32 value
+            // plane — what the v3 quantized codec saves end to end.
+            let raw_equiv = info.encoded_len - info.value_bytes + info.raw_value_bytes;
+            out!(
+                "value plane: {} stored, {} as raw f32  (blob is {:.2}x raw)",
+                fmt_bytes(info.value_bytes),
+                fmt_bytes(info.raw_value_bytes),
+                info.encoded_len as f64 / raw_equiv as f64
+            );
+        }
+        m if m == codec::MAGIC_FULL => {
+            let fc = match codec::decode_full_checkpoint(&data) {
+                Ok(fc) => fc,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            };
+            out!(
+                "full checkpoint (format v{}): iter {}, {} params, {}",
+                fc.version,
+                fc.state.iteration,
+                fc.state.num_params(),
+                fmt_bytes(data.len())
+            );
+            let opt = |present: bool| if present { "present" } else { "absent" };
+            out!(
+                "aux: residual={} compressor={} rng-cursor={} quant-policy={}",
+                opt(fc.aux.residual.is_some()),
+                match fc.aux.compressor {
+                    Some(c) => format!("{c:?}"),
+                    None => "absent".into(),
+                },
+                opt(fc.aux.rng.is_some()),
+                match fc.aux.quant {
+                    Some(q) => format!("{}bit (streak {})", q.bits, q.streak),
+                    None => "absent".into(),
+                },
+            );
+        }
+        _ => {
+            eprintln!("{path}: not a LowDiff blob (unknown magic)");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -442,6 +549,7 @@ fn main() {
                 .unwrap_or_else(|| usage());
             cmd_gc(dir, keep);
         }
+        Some("inspect") => cmd_inspect(args.get(2).map(String::as_str).unwrap_or_else(|| usage())),
         _ => usage(),
     }
 }

@@ -51,6 +51,7 @@ use crossbeam::channel::{
 };
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
+use lowdiff_storage::codec::ValueCodec;
 use lowdiff_storage::{CheckpointStore, RetryPolicy, StripeCfg};
 use lowdiff_util::units::Secs;
 use lowdiff_util::BufferPool;
@@ -148,6 +149,11 @@ pub struct EngineConfig {
     /// Deterministic crash-point injection (torture tests). `None` in
     /// production: every check is a no-op.
     pub crash: Option<Arc<CrashInjector>>,
+    /// Value-plane encoding for differential batches written through
+    /// [`EngineCtx::persist_diff_entries`]: raw f32 (v2, bit-exact) or
+    /// per-chunk quantized (v3, bounded-lossy). The default keeps every
+    /// existing path byte-identical.
+    pub value_codec: ValueCodec,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +164,7 @@ impl Default for EngineConfig {
             export_health: true,
             stripe: StripeCfg::default(),
             crash: None,
+            value_codec: ValueCodec::F32,
         }
     }
 }
@@ -188,6 +195,7 @@ pub struct CheckpointEngine {
     buffers: Arc<BufferPool<u8>>,
     snaps: Arc<SnapshotSlots>,
     crash: Option<Arc<CrashInjector>>,
+    value_codec: ValueCodec,
     stall: Secs,
     backpressure: u64,
     export_health: bool,
@@ -227,6 +235,7 @@ impl CheckpointEngine {
             let crash = cfg.crash.clone();
             let retry = cfg.retry;
             let stripe = cfg.stripe;
+            let value_codec = cfg.value_codec;
             std::thread::Builder::new()
                 .name(format!("ckpt-engine-{name}"))
                 .spawn(move || {
@@ -236,6 +245,7 @@ impl CheckpointEngine {
                         ctl_rx,
                         retry,
                         stripe,
+                        value_codec,
                         shared,
                         force_full,
                         metrics,
@@ -257,6 +267,7 @@ impl CheckpointEngine {
             buffers,
             snaps,
             crash: cfg.crash,
+            value_codec: cfg.value_codec,
             stall: Secs::ZERO,
             backpressure: 0,
             export_health: cfg.export_health,
@@ -287,6 +298,7 @@ impl CheckpointEngine {
             // single slot double-buffers against nothing and suffices.
             snaps: Arc::new(SnapshotSlots::new(1)),
             crash: cfg.crash,
+            value_codec: cfg.value_codec,
             stall: Secs::ZERO,
             backpressure: 0,
             export_health: cfg.export_health,
@@ -375,6 +387,7 @@ impl CheckpointEngine {
                 buffers: &self.buffers,
                 snaps: &self.snaps,
                 crash: self.crash.as_deref(),
+                value_codec: &self.value_codec,
             };
             policy.process(job, &mut cx);
             let stall = Secs(since.elapsed().as_secs_f64());
@@ -434,6 +447,7 @@ impl CheckpointEngine {
                 buffers: &self.buffers,
                 snaps: &self.snaps,
                 crash: self.crash.as_deref(),
+                value_codec: &self.value_codec,
             };
             policy.flush(&mut cx);
         }
@@ -459,6 +473,7 @@ impl CheckpointEngine {
                 buffers: &self.buffers,
                 snaps: &self.snaps,
                 crash: self.crash.as_deref(),
+                value_codec: &self.value_codec,
             };
             policy.control(ctl, &mut cx);
         }
@@ -564,6 +579,7 @@ fn worker_loop(
     ctl_rx: Receiver<WorkerMsg>,
     retry: RetryPolicy,
     stripe: StripeCfg,
+    value_codec: ValueCodec,
     shared: Arc<Mutex<StrategyStats>>,
     force_full: Arc<AtomicBool>,
     metrics: Arc<EngineMetrics>,
@@ -580,6 +596,7 @@ fn worker_loop(
         buffers: &buffers,
         snaps: &snaps,
         crash: crash.as_deref(),
+        value_codec: &value_codec,
     };
     let mut job_open = true;
     let mut ctl_open = true;

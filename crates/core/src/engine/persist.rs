@@ -24,7 +24,7 @@ use crate::batched::BatchedWriter;
 use crate::strategy::StrategyStats;
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
-use lowdiff_storage::codec::{self, DiffEntry};
+use lowdiff_storage::codec::{self, DiffEntry, ValueCodec};
 use lowdiff_storage::stripe::StripedData;
 use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy, StripeCfg, StripeManifest};
 use lowdiff_util::BufferPool;
@@ -77,6 +77,7 @@ pub struct EngineCtx<'a> {
     pub(super) buffers: &'a BufferPool<u8>,
     pub(super) snaps: &'a SnapshotSlots,
     pub(super) crash: Option<&'a CrashInjector>,
+    pub(super) value_codec: &'a ValueCodec,
 }
 
 impl EngineCtx<'_> {
@@ -324,7 +325,7 @@ impl EngineCtx<'_> {
         }
         let t0 = Instant::now();
         let mut bytes = self.buffers.get();
-        codec::encode_diff_batch_into(entries, &mut bytes);
+        codec::encode_diff_batch_cfg_into(entries, self.value_codec, &mut bytes);
         self.metrics.encode.record(t0.elapsed());
         let (start, end) = (entries[0].iteration, entries.last().unwrap().iteration);
         if self.crash_hit(CrashPoint::PostEncode) {
@@ -454,6 +455,7 @@ mod tests {
             buffers: &buffers,
             snaps: &snaps,
             crash: None,
+            value_codec: &ValueCodec::F32,
         };
         f(&mut cx, &store);
         shared.into_inner()

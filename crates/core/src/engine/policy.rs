@@ -3,7 +3,7 @@
 //! engine: *what to capture*, *full vs diff*, *batch boundaries*.
 
 use super::persist::EngineCtx;
-use lowdiff_compress::{AuxView, CompressedGrad, CompressorCfg};
+use lowdiff_compress::{AuxView, CompressedGrad, CompressorCfg, QuantPolicyState};
 use lowdiff_optim::ModelState;
 use std::sync::Arc;
 
@@ -24,6 +24,9 @@ pub struct FullSnapshot {
     /// Data-RNG cursor: positioned to draw the seed of the iteration the
     /// snapshot's `state.iteration` will execute next.
     pub rng: Option<[u64; 4]>,
+    /// Adaptive precision-policy state at the snapshot instant, so a
+    /// resumed run re-enters the quantization state machine exactly.
+    pub quant: Option<QuantPolicyState>,
 }
 
 impl FullSnapshot {
@@ -34,6 +37,7 @@ impl FullSnapshot {
             has_residual: false,
             compressor: None,
             rng: None,
+            quant: None,
         }
     }
 
@@ -43,6 +47,7 @@ impl FullSnapshot {
             residual: self.has_residual.then_some(self.residual.as_slice()),
             compressor: self.compressor,
             rng: self.rng,
+            quant: self.quant,
         }
     }
 
@@ -59,6 +64,7 @@ impl FullSnapshot {
         }
         self.compressor = aux.compressor;
         self.rng = aux.rng;
+        self.quant = aux.quant;
     }
 }
 

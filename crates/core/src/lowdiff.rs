@@ -28,6 +28,7 @@ use crate::engine::{
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::{AuxView, CompressedGrad};
 use lowdiff_optim::ModelState;
+use lowdiff_storage::codec::ValueCodec;
 use lowdiff_storage::{CheckpointStore, RetryPolicy, StripeCfg};
 use lowdiff_util::units::Secs;
 use std::sync::Arc;
@@ -58,6 +59,10 @@ pub struct LowDiffConfig {
     pub stripe: StripeCfg,
     /// Deterministic crash-point injection (torture tests only).
     pub crash: Option<Arc<CrashInjector>>,
+    /// Value-plane wire format for differential batches: raw f32 (v2,
+    /// bit-exact recovery) or per-chunk quantized (v3, bounded-lossy,
+    /// ~2–3× smaller diff writes at 8 bits).
+    pub value_codec: ValueCodec,
 }
 
 impl Default for LowDiffConfig {
@@ -71,6 +76,7 @@ impl Default for LowDiffConfig {
             retry: RetryPolicy::default(),
             stripe: StripeCfg::default(),
             crash: None,
+            value_codec: ValueCodec::F32,
         }
     }
 }
@@ -125,7 +131,8 @@ impl CheckpointPolicy for LowDiffPolicy {
         // differential chains stay consecutive.
         cx.persist_batch(&self.store, &mut self.writer);
         let mode = self.writer.mode();
-        let done = std::mem::replace(&mut self.writer, BatchedWriter::new(bs, mode));
+        let codec = self.writer.value_codec();
+        let done = std::mem::replace(&mut self.writer, BatchedWriter::with_codec(bs, mode, codec));
         self.writer.inherit_counters(&done);
     }
 }
@@ -142,7 +149,7 @@ impl LowDiffStrategy {
         assert!(cfg.full_every >= 1 && cfg.batch_size >= 1);
         let policy = LowDiffPolicy {
             store: Arc::clone(&store),
-            writer: BatchedWriter::new(cfg.batch_size, cfg.mode),
+            writer: BatchedWriter::with_codec(cfg.batch_size, cfg.mode, cfg.value_codec),
             keep_fulls: cfg.keep_fulls,
         };
         let engine = CheckpointEngine::spawn(
@@ -153,6 +160,7 @@ impl LowDiffStrategy {
                 retry: cfg.retry,
                 stripe: cfg.stripe,
                 crash: cfg.crash.clone(),
+                value_codec: cfg.value_codec,
                 ..EngineConfig::default()
             },
         );

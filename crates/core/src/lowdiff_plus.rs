@@ -146,6 +146,7 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
                 residual: None, // the non-compression scenario has no EF
                 compressor: self.snap_compressor,
                 rng: self.snap_rng,
+                quant: None, // no compression, so no precision policy
             };
             cx.persist_full(&self.store, &self.snap, &aux, &FullOpts::durable());
         }

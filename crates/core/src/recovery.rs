@@ -302,7 +302,7 @@ mod tests {
         let mut state = ModelState::new((0..psi).map(|_| rng.normal() as f32).collect());
         let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
         store.save_full(&state).unwrap();
-        for bits in [8u8, 4] {
+        for bits in [8u8, 4, 16] {
             let mut q = lowdiff_compress::quant::UniformQuant::new(bits);
             let mut entries = Vec::new();
             for _ in 0..5 {

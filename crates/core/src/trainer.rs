@@ -32,7 +32,9 @@
 //!   zeroes the residual, which is exactly the divergence `resume` fixes.
 
 use crate::strategy::{CheckpointStrategy, StrategyStats};
-use lowdiff_compress::{AuxView, CompressedGrad, Compressor, CompressorCfg, ErrorFeedback, TopK};
+use lowdiff_compress::{
+    AdaptiveQuant, AuxView, CompressedGrad, Compressor, CompressorCfg, ErrorFeedback, TopK,
+};
 use lowdiff_model::Network;
 use lowdiff_optim::{Adam, ModelState};
 use lowdiff_storage::codec::FullCheckpoint;
@@ -48,10 +50,23 @@ use std::time::Instant;
 #[derive(Clone, Debug)]
 pub struct TrainerConfig {
     /// Top-K compression ratio ρ; `None` disables compression (gradients
-    /// are shared dense — the LowDiff+ scenario).
+    /// are shared dense — the LowDiff+ scenario). Mutually exclusive with
+    /// [`quant_bits`](Self::quant_bits).
     pub compress_ratio: Option<f64>,
     /// Error feedback (residual accumulation) for compressed training.
     pub error_feedback: bool,
+    /// Uniform gradient quantization width (4, 8 or 16 bits); `None`
+    /// disables quantization. Mutually exclusive with
+    /// [`compress_ratio`](Self::compress_ratio).
+    pub quant_bits: Option<u8>,
+    /// Let the adaptive precision policy retune the quantization width at
+    /// runtime (promote on bound violation, demote after a calm streak).
+    /// Only meaningful with `quant_bits`.
+    pub adaptive_quant: bool,
+    /// Hard per-element reconstruction bound the adaptive policy enforces;
+    /// `<= 0.0` pins the configured width. Only meaningful with
+    /// `adaptive_quant`.
+    pub max_quant_err: f32,
     /// Seed of the trainer-owned data RNG. One `u64` is drawn from it per
     /// iteration (the batch seed handed to the step closure), so its
     /// cursor *is* the data-pipeline position — checkpointed in the v2
@@ -64,6 +79,9 @@ impl Default for TrainerConfig {
         Self {
             compress_ratio: Some(0.01),
             error_feedback: true,
+            quant_bits: None,
+            adaptive_quant: false,
+            max_quant_err: 0.0,
             data_seed: 0,
         }
     }
@@ -73,10 +91,19 @@ impl TrainerConfig {
     /// The compressor identity this config trains under (what resume
     /// checks the checkpoint against).
     pub fn compressor_cfg(&self) -> CompressorCfg {
-        match self.compress_ratio {
-            None => CompressorCfg::none(),
-            Some(rho) => CompressorCfg::topk(rho),
+        match (self.compress_ratio, self.quant_bits) {
+            (Some(_), Some(_)) => {
+                panic!("compress_ratio and quant_bits are mutually exclusive")
+            }
+            (Some(rho), None) => CompressorCfg::topk(rho),
+            (None, Some(bits)) => CompressorCfg::quant(bits),
+            (None, None) => CompressorCfg::none(),
         }
+    }
+
+    /// True when some gradient compressor is configured (Top-K or quant).
+    fn compresses(&self) -> bool {
+        self.compress_ratio.is_some() || self.quant_bits.is_some()
     }
 }
 
@@ -84,6 +111,8 @@ enum Comp {
     None,
     Plain(TopK),
     Ef(ErrorFeedback<TopK>),
+    Quant(AdaptiveQuant),
+    QuantEf(ErrorFeedback<AdaptiveQuant>),
 }
 
 /// What one training run produced.
@@ -170,11 +199,21 @@ impl<S: CheckpointStrategy> Trainer<S> {
             "state does not fit the network"
         );
         let psi = state.num_params();
-        let comp_cfg = cfg.compressor_cfg();
-        let comp = match cfg.compress_ratio {
-            None => Comp::None,
-            Some(rho) if cfg.error_feedback => Comp::Ef(ErrorFeedback::new(TopK::new(rho), psi)),
-            Some(rho) => Comp::Plain(TopK::new(rho)),
+        let comp_cfg = cfg.compressor_cfg(); // also rejects ratio+quant combos
+        let comp = match (cfg.compress_ratio, cfg.quant_bits) {
+            (None, None) => Comp::None,
+            (Some(rho), _) if cfg.error_feedback => {
+                Comp::Ef(ErrorFeedback::new(TopK::new(rho), psi))
+            }
+            (Some(rho), _) => Comp::Plain(TopK::new(rho)),
+            (None, Some(bits)) => {
+                let q = AdaptiveQuant::new(bits, cfg.adaptive_quant, cfg.max_quant_err, 4);
+                if cfg.error_feedback {
+                    Comp::QuantEf(ErrorFeedback::new(q, psi))
+                } else {
+                    Comp::Quant(q)
+                }
+            }
         };
         let mut data_rng = DetRng::new(cfg.data_seed);
         for _ in 0..state.iteration {
@@ -256,7 +295,7 @@ impl<S: CheckpointStrategy> Trainer<S> {
             lossy: blob_lossy,
             ..
         } = fc;
-        let ef_on = cfg.error_feedback && cfg.compress_ratio.is_some();
+        let ef_on = cfg.error_feedback && cfg.compresses();
         let has_residual = aux.residual.is_some();
         let full_iteration = model.iteration;
 
@@ -264,17 +303,29 @@ impl<S: CheckpointStrategy> Trainer<S> {
         // with a stored residual: the residual belongs to the full's
         // iteration boundary, and replaying diffs would advance the
         // parameters past it. Anchoring at the full is the bit-exact point.
+        // Quantized entries also yield their emitted `(scale, bits)` pairs,
+        // which fast-forward the adaptive precision policy through exactly
+        // the transitions the crashed run took.
         let mut replayed = 0usize;
+        let mut observed: Vec<(f32, u8)> = Vec::new();
         if opts.fast_forward && !(ef_on && has_residual) {
             let chain = store.diff_chain_from(full_iteration)?;
             replayed = chain.len();
             for entry in &chain {
+                if let CompressedGrad::Quant(q) = &entry.grad {
+                    observed.push((q.scale, q.bits));
+                }
                 let dense = entry.grad.to_dense();
                 model.apply_gradient(&adam, &dense);
             }
         }
 
-        let lossy = blob_lossy || (ef_on && !has_residual) || (has_residual && !ef_on);
+        let quant_policy_lossy =
+            cfg.quant_bits.is_some() && cfg.adaptive_quant && aux.quant.is_none();
+        let lossy = blob_lossy
+            || (ef_on && !has_residual)
+            || (has_residual && !ef_on)
+            || quant_policy_lossy;
 
         // Data cursor: the stored state is positioned for the full's next
         // draw; each replayed diff consumed one more. Without a stored
@@ -292,8 +343,27 @@ impl<S: CheckpointStrategy> Trainer<S> {
             tr.data_rng = r;
         }
         if ef_on && has_residual {
-            if let (Comp::Ef(c), Some(res)) = (&mut tr.comp, &aux.residual) {
-                c.set_residual(res);
+            if let Some(res) = &aux.residual {
+                match &mut tr.comp {
+                    Comp::Ef(c) => c.set_residual(res),
+                    Comp::QuantEf(c) => c.set_residual(res),
+                    _ => {}
+                }
+            }
+        }
+        // Re-enter the adaptive precision state machine exactly: restore
+        // the snapshot taken at the full, then replay the transitions the
+        // fast-forwarded chain entries caused.
+        if let Some(policy) = match &mut tr.comp {
+            Comp::Quant(q) => Some(q),
+            Comp::QuantEf(c) => Some(c.inner_mut()),
+            _ => None,
+        } {
+            if let Some(ps) = aux.quant {
+                policy.restore_state(ps);
+            }
+            for &(scale, bits) in &observed {
+                policy.observe(scale, bits);
             }
         }
         let report = ResumeReport {
@@ -372,18 +442,27 @@ impl<S: CheckpointStrategy> Trainer<S> {
                 Comp::None => CompressedGrad::Dense(flat_grad),
                 Comp::Plain(c) => c.compress(&flat_grad),
                 Comp::Ef(c) => c.compress(&flat_grad),
+                Comp::Quant(c) => c.compress(&flat_grad),
+                Comp::QuantEf(c) => c.compress(&flat_grad),
             };
             let handle = Arc::new(compressed);
 
             // The auxiliary resume state belonging to M_{t+1}: residual
-            // after this compress, cursor after this draw.
+            // after this compress, cursor after this draw, precision-policy
+            // state after this interval's observation.
             let aux = AuxView {
                 residual: match &self.comp {
                     Comp::Ef(c) => Some(c.residual()),
+                    Comp::QuantEf(c) => Some(c.residual()),
                     _ => None,
                 },
                 compressor: Some(self.comp_cfg),
                 rng: Some(self.data_rng.state()),
+                quant: match &self.comp {
+                    Comp::Quant(q) => Some(q.policy_state()),
+                    Comp::QuantEf(c) => Some(c.inner().policy_state()),
+                    _ => None,
+                },
             };
 
             // Reuse point (Q.put) — zero-copy handle.
@@ -520,6 +599,7 @@ mod tests {
             compress_ratio: Some(0.2),
             error_feedback,
             data_seed: 21,
+            ..TrainerConfig::default()
         };
         let task = || Regression::new(4, 2, 7);
 
@@ -588,6 +668,7 @@ mod tests {
             compress_ratio: Some(0.2),
             error_feedback: true,
             data_seed: 33,
+            ..TrainerConfig::default()
         };
         let task = || Regression::new(4, 2, 9);
         let mut tr = Trainer::new(
@@ -658,6 +739,7 @@ mod tests {
             compress_ratio: Some(0.2),
             error_feedback: true,
             data_seed: 9,
+            ..TrainerConfig::default()
         };
         let (tr, rep) = Trainer::resume(net, Adam::default(), NoCheckpoint::new(), cfg, &store)
             .unwrap()
@@ -678,6 +760,7 @@ mod tests {
             residual: None,
             compressor: Some(CompressorCfg::topk(0.1)),
             rng: None,
+            quant: None,
         };
         store.save_full_with_aux(&state, &aux).unwrap();
 
@@ -685,6 +768,7 @@ mod tests {
             compress_ratio: Some(0.5),
             error_feedback: false,
             data_seed: 0,
+            ..TrainerConfig::default()
         };
         match Trainer::resume(net, Adam::default(), NoCheckpoint::new(), cfg, &store) {
             Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput),

@@ -32,14 +32,23 @@
 //! resume still works, but an error-feedback run restarts its residual
 //! from zero and may diverge from the uninterrupted run.
 //!
-//! Diff batches are **written as v2** and decoded as either version. The two
-//! versions differ only in the sparse-gradient payload: v1 stores `nnz` raw
-//! little-endian `u32` indices; v2 exploits that Top-K indices are sorted
-//! strictly increasing and stores them as LEB128 varint **deltas**
-//! (`idx[0], idx[1]-idx[0], …`). At ~1% density the average gap is ~100, so
-//! almost every delta fits one byte instead of four — roughly 2–3× fewer
-//! bytes per diff batch. Values stay bulk-LE `f32` in both versions, and
-//! the `Quant`/`Dense` representations are byte-identical across versions.
+//! Diff batches are **written as v2 or v3** (chosen by [`ValueCodec`]) and
+//! decoded as any version; mixed-version chains recover cleanly. v1 stores
+//! `nnz` raw little-endian `u32` sparse indices; v2 exploits that Top-K
+//! indices are sorted strictly increasing and stores them as LEB128 varint
+//! **deltas** (`idx[0], idx[1]-idx[0], …`). At ~1% density the average gap
+//! is ~100, so almost every delta fits one byte instead of four — roughly
+//! 2–3× fewer bytes per diff batch. Values stay bulk-LE `f32` in v1/v2.
+//!
+//! **v3** keeps the v2 index encoding but quantizes the value plane per
+//! [`QUANT_CHUNK`]-element chunk: each chunk opens with a width byte
+//! (4, 8, 16, or 32 = f32 passthrough) and, when quantized, an
+//! `lo f32, scale f32` header followed by codes packed at that width
+//! (4-bit pairs low-nibble-first, 8-bit bytes, 16-bit LE). Width is chosen
+//! statelessly from the chunk's value range against the configured error
+//! bound (see [`QuantizedValues`]), so re-encoding identical values is
+//! deterministic. Already-quantized `Quant` records stay tag-1 and
+//! lossless in every version — gradient-replay determinism depends on it.
 //!
 //! The CRC covers every preceding byte; a checkpoint that fails its CRC (a
 //! torn write at failure time) is treated as absent during recovery.
@@ -57,7 +66,8 @@
 //! output and `bench_hotpath` can measure the gap.
 
 use lowdiff_compress::{
-    AuxState, AuxView, CompressedGrad, CompressorCfg, CompressorKind, QuantGrad, SparseGrad,
+    AuxState, AuxView, CompressedGrad, CompressorCfg, CompressorKind, QuantGrad, QuantPolicyState,
+    SparseGrad,
 };
 use lowdiff_optim::{AdamState, ModelState};
 use lowdiff_util::crc::crc32;
@@ -65,16 +75,58 @@ use lowdiff_util::crc::crc32;
 pub const MAGIC_FULL: &[u8; 4] = b"LDFC";
 pub const MAGIC_DIFF: &[u8; 4] = b"LDDB";
 pub const VERSION: u16 = 1;
-/// Current diff-batch write format: varint-delta sparse indices.
+/// Diff-batch v2 format: varint-delta sparse indices, raw f32 values.
 pub const DIFF_VERSION_V2: u16 = 2;
+/// Diff-batch v3 format: varint-delta indices as in v2, values quantized
+/// per chunk (width ∈ {4, 8, 16} with per-chunk lo/scale headers, or f32
+/// passthrough when the error bound demands it).
+pub const DIFF_VERSION_V3: u16 = 3;
 /// Current full-checkpoint write format: ModelState + auxiliary state.
 pub const FULL_VERSION_V2: u16 = 2;
+
+/// Elements per v3 value-block chunk. Each chunk carries its own width
+/// byte and (when quantized) lo/scale header, so the width adapts to the
+/// local value range at an amortized cost of ≤ 9 bytes per 256 values.
+pub const QUANT_CHUNK: usize = 256;
 
 /// Aux flag bits in the v2 full-checkpoint trailer.
 const AUX_FLAG_RESIDUAL: u8 = 1 << 0;
 const AUX_FLAG_COMPRESSOR: u8 = 1 << 1;
 const AUX_FLAG_RNG: u8 = 1 << 2;
-const AUX_FLAGS_KNOWN: u8 = AUX_FLAG_RESIDUAL | AUX_FLAG_COMPRESSOR | AUX_FLAG_RNG;
+const AUX_FLAG_QUANT_POLICY: u8 = 1 << 3;
+const AUX_FLAGS_KNOWN: u8 =
+    AUX_FLAG_RESIDUAL | AUX_FLAG_COMPRESSOR | AUX_FLAG_RNG | AUX_FLAG_QUANT_POLICY;
+
+/// v3 per-chunk value quantization parameters — the codec half of the
+/// adaptive precision policy. `bits` is the preferred width; when
+/// `max_err > 0` a chunk whose range would violate the bound is promoted
+/// up the 4 → 8 → 16 → f32 ladder until it fits, and (when `adaptive`) a
+/// chunk that fits at a narrower width is demoted down to `floor_bits`.
+/// The chooser is stateless — width is a pure function of the chunk's
+/// value range — so re-encoding after a crash-resume is deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantizedValues {
+    /// Preferred (and, with `max_err <= 0`, fixed) bit width: 4, 8 or 16.
+    pub bits: u8,
+    /// Hard per-element reconstruction bound; `<= 0` pins `bits`.
+    pub max_err: f32,
+    /// Allow demotion below `bits` when a chunk fits the bound anyway.
+    pub adaptive: bool,
+    /// Narrowest width demotion may reach.
+    pub floor_bits: u8,
+}
+
+/// Value-plane encoding for diff batches: raw f32 (the bit-exact v2 wire
+/// format) or per-chunk quantized (v3, lossy but bounded).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum ValueCodec {
+    /// Raw little-endian f32 values — writes `DIFF_VERSION_V2`,
+    /// byte-identical to the pre-v3 encoder.
+    #[default]
+    F32,
+    /// Per-chunk quantized values — writes `DIFF_VERSION_V3`.
+    Quantized(QuantizedValues),
+}
 
 /// Decode failure reasons.
 #[derive(Debug, PartialEq, Eq)]
@@ -391,6 +443,9 @@ pub fn encode_full_checkpoint_into(state: &ModelState, aux: &AuxView<'_>, buf: &
     if aux.rng.is_some() {
         flags |= AUX_FLAG_RNG;
     }
+    if aux.quant.is_some() {
+        flags |= AUX_FLAG_QUANT_POLICY;
+    }
     put_u8(buf, flags);
     if let Some(c) = aux.compressor {
         put_u8(buf, c.kind as u8);
@@ -404,6 +459,15 @@ pub fn encode_full_checkpoint_into(state: &ModelState, aux: &AuxView<'_>, buf: &
     }
     if let Some(r) = aux.residual {
         put_f32s(buf, r);
+    }
+    // Written last so quantization-off checkpoints stay byte-identical to
+    // the pre-policy format.
+    if let Some(q) = aux.quant {
+        put_u8(buf, q.bits);
+        put_u8(buf, q.streak);
+        put_u8(buf, u8::from(q.adaptive));
+        put_u8(buf, q.floor_bits);
+        put_f32(buf, q.max_err);
     }
     seal_into(buf);
 }
@@ -471,6 +535,23 @@ pub fn decode_full_checkpoint(data: &[u8]) -> Result<FullCheckpoint, CodecError>
         }
         if flags & AUX_FLAG_RESIDUAL != 0 {
             aux.residual = Some(take_f32s(&mut cur, psi)?);
+        }
+        if flags & AUX_FLAG_QUANT_POLICY != 0 {
+            let bits = cur.get_u8("truncated quant policy")?;
+            let streak = cur.get_u8("truncated quant policy")?;
+            let adaptive = cur.get_u8("truncated quant policy")? != 0;
+            let floor_bits = cur.get_u8("truncated quant policy")?;
+            let max_err = cur.get_f32("truncated quant policy")?;
+            if !matches!(bits, 4 | 8 | 16) || !matches!(floor_bits, 4 | 8 | 16) {
+                return Err(CodecError::Corrupt("invalid quant policy width"));
+            }
+            aux.quant = Some(QuantPolicyState {
+                bits,
+                streak,
+                adaptive,
+                max_err,
+                floor_bits,
+            });
         }
     }
     if cur.has_remaining() {
@@ -549,6 +630,162 @@ fn put_compressed_v2(buf: &mut Vec<u8>, g: &CompressedGrad) {
     }
 }
 
+/// Number of quantization levels at `width` bits.
+fn chunk_levels(width: u8) -> f32 {
+    ((1u32 << width) - 1) as f32
+}
+
+/// Pick the v3 chunk width for a value range — stateless, so re-encoding
+/// the same values always yields the same bytes. Walks the 4 → 8 → 16
+/// ladder from the narrowest width the config admits and returns the
+/// first one whose worst-case step error meets the bound; 32 means f32
+/// passthrough (exact).
+fn chunk_value_width(lo: f32, hi: f32, q: &QuantizedValues) -> u8 {
+    if q.max_err <= 0.0 {
+        return q.bits;
+    }
+    let narrowest = if q.adaptive {
+        q.floor_bits.min(q.bits)
+    } else {
+        q.bits
+    };
+    for width in [4u8, 8, 16] {
+        if width < narrowest {
+            continue;
+        }
+        if (hi - lo) / (2.0 * chunk_levels(width)) <= q.max_err {
+            return width;
+        }
+    }
+    32
+}
+
+/// Encode `values` as a v3 value block: `QUANT_CHUNK`-sized chunks, each
+/// prefixed by its width byte and (unless f32 passthrough) a lo/scale
+/// header, codes packed at the chunk's width.
+fn put_value_block(buf: &mut Vec<u8>, values: &[f32], q: &QuantizedValues) {
+    for chunk in values.chunks(QUANT_CHUNK) {
+        let lo = chunk.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let width = chunk_value_width(lo, hi, q);
+        put_u8(buf, width);
+        if width == 32 {
+            put_f32s(buf, chunk);
+            continue;
+        }
+        let scale = if hi > lo {
+            (hi - lo) / chunk_levels(width)
+        } else {
+            0.0
+        };
+        put_f32(buf, lo);
+        put_f32(buf, scale);
+        let code = |v: f32| -> u32 {
+            if scale == 0.0 {
+                0
+            } else {
+                (((v - lo) / scale).round() as i64).clamp(0, chunk_levels(width) as i64) as u32
+            }
+        };
+        match width {
+            4 => {
+                let mut it = chunk.iter();
+                while let Some(&a) = it.next() {
+                    let qa = code(a) as u8;
+                    let qb = it.next().map(|&b| code(b) as u8).unwrap_or(0);
+                    put_u8(buf, qa | (qb << 4));
+                }
+            }
+            8 => {
+                for &v in chunk {
+                    put_u8(buf, code(v) as u8);
+                }
+            }
+            16 => {
+                for &v in chunk {
+                    put_u16(buf, code(v) as u16);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Decode a v3 value block of `n` elements, dequantizing each chunk into
+/// plain f32s (`v = lo + code · scale`) so downstream consumers see a
+/// standard sparse/dense gradient.
+fn take_value_block(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<f32>, CodecError> {
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        let len = remaining.min(QUANT_CHUNK);
+        match cur.get_u8("truncated value block")? {
+            32 => out.extend_from_slice(&take_f32s(cur, len)?),
+            width @ (4 | 8 | 16) => {
+                let lo = cur.get_f32("truncated value chunk")?;
+                let scale = cur.get_f32("truncated value chunk")?;
+                match width {
+                    4 => {
+                        let bytes = cur.take(len.div_ceil(2), "truncated value chunk")?;
+                        for i in 0..len {
+                            let byte = bytes[i / 2];
+                            let c = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                            out.push(lo + c as f32 * scale);
+                        }
+                    }
+                    8 => {
+                        let bytes = cur.take(len, "truncated value chunk")?;
+                        for &c in bytes {
+                            out.push(lo + c as f32 * scale);
+                        }
+                    }
+                    16 => {
+                        let bytes = cur.take(len * 2, "truncated value chunk")?;
+                        for pair in bytes.chunks_exact(2) {
+                            let c = u16::from_le_bytes([pair[0], pair[1]]);
+                            out.push(lo + c as f32 * scale);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            _ => return Err(CodecError::Corrupt("unknown value-block width")),
+        }
+        remaining -= len;
+    }
+    Ok(out)
+}
+
+/// v3 gradient encoding: varint-delta sparse indices as in v2, values
+/// quantized per chunk. `Quant` records stay tag-1 (already quantized,
+/// stored losslessly so gradient-replay determinism survives).
+fn put_compressed_v3(buf: &mut Vec<u8>, g: &CompressedGrad, q: &QuantizedValues) {
+    match g {
+        CompressedGrad::Sparse(s) => {
+            debug_assert!(
+                s.indices.windows(2).all(|w| w[0] < w[1]),
+                "v3 delta encoding requires strictly increasing indices"
+            );
+            put_u8(buf, 0);
+            put_u64(buf, s.dense_len as u64);
+            put_u32(buf, s.nnz() as u32);
+            let mut prev = 0u32;
+            for (i, &idx) in s.indices.iter().enumerate() {
+                let delta = if i == 0 { idx } else { idx - prev };
+                put_varint(buf, u64::from(delta));
+                prev = idx;
+            }
+            put_value_block(buf, &s.values, q);
+        }
+        CompressedGrad::Dense(d) => {
+            put_u8(buf, 2);
+            put_u64(buf, d.len() as u64);
+            put_value_block(buf, d, q);
+        }
+        other => put_compressed_common(buf, other),
+    }
+}
+
 fn take_compressed(cur: &mut Cursor<'_>, version: u16) -> Result<CompressedGrad, CodecError> {
     match cur.get_u8("missing grad tag")? {
         0 => {
@@ -586,10 +823,14 @@ fn take_compressed(cur: &mut Cursor<'_>, version: u16) -> Result<CompressedGrad,
                 }
                 indices
             };
-            if cur.remaining() < nnz * 4 {
-                return Err(CodecError::Corrupt("truncated sparse grad"));
-            }
-            let values = take_f32s(cur, nnz)?;
+            let values = if version >= DIFF_VERSION_V3 {
+                take_value_block(cur, nnz)?
+            } else {
+                if cur.remaining() < nnz * 4 {
+                    return Err(CodecError::Corrupt("truncated sparse grad"));
+                }
+                take_f32s(cur, nnz)?
+            };
             Ok(CompressedGrad::Sparse(SparseGrad::new(
                 dense_len, indices, values,
             )))
@@ -611,7 +852,11 @@ fn take_compressed(cur: &mut Cursor<'_>, version: u16) -> Result<CompressedGrad,
         }
         2 => {
             let n = cur.get_u64("truncated dense grad")? as usize;
-            Ok(CompressedGrad::Dense(take_f32s(cur, n)?))
+            if version >= DIFF_VERSION_V3 {
+                Ok(CompressedGrad::Dense(take_value_block(cur, n)?))
+            } else {
+                Ok(CompressedGrad::Dense(take_f32s(cur, n)?))
+            }
         }
         _ => Err(CodecError::Corrupt("unknown grad tag")),
     }
@@ -637,7 +882,18 @@ pub fn encode_diff_batch(entries: &[DiffEntry]) -> Vec<u8> {
 /// buffer is cleared first — stale bytes from a previous longer encode
 /// never survive.
 pub fn encode_diff_batch_into(entries: &[DiffEntry], buf: &mut Vec<u8>) {
-    encode_diff_entries_into(entries.iter().map(|e| (e.iteration, &e.grad)), buf);
+    encode_diff_entries_into(
+        entries.iter().map(|e| (e.iteration, &e.grad)),
+        &ValueCodec::F32,
+        buf,
+    );
+}
+
+/// [`encode_diff_batch_into`] with an explicit value codec:
+/// [`ValueCodec::F32`] writes v2 bytes (identical to the plain entry
+/// point), [`ValueCodec::Quantized`] writes the v3 format.
+pub fn encode_diff_batch_cfg_into(entries: &[DiffEntry], codec: &ValueCodec, buf: &mut Vec<u8>) {
+    encode_diff_entries_into(entries.iter().map(|e| (e.iteration, &e.grad)), codec, buf);
 }
 
 /// Serialize a diff batch (v2) from *borrowed* gradients — the zero-copy
@@ -649,20 +905,35 @@ pub fn encode_diff_batch_refs_into<'a, I>(entries: I, buf: &mut Vec<u8>)
 where
     I: ExactSizeIterator<Item = (u64, &'a CompressedGrad)>,
 {
-    encode_diff_entries_into(entries, buf);
+    encode_diff_entries_into(entries, &ValueCodec::F32, buf);
 }
 
-fn encode_diff_entries_into<'a, I>(entries: I, buf: &mut Vec<u8>)
+/// [`encode_diff_batch_refs_into`] with an explicit value codec.
+pub fn encode_diff_batch_refs_cfg_into<'a, I>(entries: I, codec: &ValueCodec, buf: &mut Vec<u8>)
+where
+    I: ExactSizeIterator<Item = (u64, &'a CompressedGrad)>,
+{
+    encode_diff_entries_into(entries, codec, buf);
+}
+
+fn encode_diff_entries_into<'a, I>(entries: I, codec: &ValueCodec, buf: &mut Vec<u8>)
 where
     I: ExactSizeIterator<Item = (u64, &'a CompressedGrad)>,
 {
     buf.clear();
     buf.extend_from_slice(MAGIC_DIFF);
-    put_u16(buf, DIFF_VERSION_V2);
+    let version = match codec {
+        ValueCodec::F32 => DIFF_VERSION_V2,
+        ValueCodec::Quantized(_) => DIFF_VERSION_V3,
+    };
+    put_u16(buf, version);
     put_u32(buf, entries.len() as u32);
     for (iteration, grad) in entries {
         put_u64(buf, iteration);
-        put_compressed_v2(buf, grad);
+        match codec {
+            ValueCodec::F32 => put_compressed_v2(buf, grad),
+            ValueCodec::Quantized(q) => put_compressed_v3(buf, grad, q),
+        }
     }
     seal_into(buf);
 }
@@ -683,13 +954,15 @@ pub fn encode_diff_batch_v1(entries: &[DiffEntry]) -> Vec<u8> {
     buf
 }
 
-/// Deserialize a differential batch, accepting both v1 and v2 layouts.
+/// Deserialize a differential batch, accepting v1, v2 and v3 layouts
+/// (mixed-version chains decode entry by entry, so recovery can replay a
+/// chain whose blobs span codec upgrades).
 pub fn decode_diff_batch(data: &[u8]) -> Result<Vec<DiffEntry>, CodecError> {
     let body = check_crc(data)?;
     let mut cur = Cursor::new(body);
     check_magic(&mut cur, MAGIC_DIFF)?;
     let version = cur.get_u16("truncated header")?;
-    if version != VERSION && version != DIFF_VERSION_V2 {
+    if version != VERSION && version != DIFF_VERSION_V2 && version != DIFF_VERSION_V3 {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let count = cur.get_u32("truncated header")? as usize;
@@ -703,6 +976,142 @@ pub fn decode_diff_batch(data: &[u8]) -> Result<Vec<DiffEntry>, CodecError> {
         return Err(CodecError::Corrupt("trailing bytes"));
     }
     Ok(out)
+}
+
+/// Per-entry metadata surfaced by [`inspect_diff_batch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntryInspect {
+    pub iteration: u64,
+    /// Gradient representation: "sparse", "quant" or "dense".
+    pub repr: &'static str,
+    /// Dense length Ψ of the gradient this entry reconstructs.
+    pub dense_len: usize,
+    /// Number of values actually stored (nnz for sparse, Ψ otherwise).
+    pub stored_values: usize,
+    /// v3 per-chunk widths in stream order (empty for v1/v2 entries and
+    /// tag-1 quant records, whose width lives in the record itself).
+    pub chunk_widths: Vec<u8>,
+}
+
+/// Structural summary of a diff-batch blob — what `lowdiff-ctl inspect`
+/// prints. Decoding stops at metadata: no gradient is materialized.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffInspect {
+    /// Wire version (1, 2 or 3).
+    pub version: u16,
+    /// Total blob size including header and CRC.
+    pub encoded_len: usize,
+    /// Bytes spent on the value plane as stored (incl. chunk headers).
+    pub value_bytes: usize,
+    /// Bytes the same values would take as raw f32 (4 × stored_values).
+    pub raw_value_bytes: usize,
+    pub entries: Vec<DiffEntryInspect>,
+}
+
+/// Walk a v3 value block recording chunk widths; returns its stored size.
+fn skip_value_block(
+    cur: &mut Cursor<'_>,
+    n: usize,
+    widths: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
+    let mut bytes = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        let len = remaining.min(QUANT_CHUNK);
+        let width = cur.get_u8("truncated value block")?;
+        widths.push(width);
+        bytes += 1;
+        let body = match width {
+            32 => len * 4,
+            4 => 8 + len.div_ceil(2),
+            8 => 8 + len,
+            16 => 8 + len * 2,
+            _ => return Err(CodecError::Corrupt("unknown value-block width")),
+        };
+        cur.take(body, "truncated value chunk")?;
+        bytes += body;
+        remaining -= len;
+    }
+    Ok(bytes)
+}
+
+/// Summarize a diff-batch blob without materializing gradients: wire
+/// version, per-entry representation and (for v3) per-chunk bit widths,
+/// plus stored-vs-raw value-plane byte counts for a compression ratio.
+/// CRC is verified first — a torn blob fails with [`CodecError::CrcMismatch`].
+pub fn inspect_diff_batch(data: &[u8]) -> Result<DiffInspect, CodecError> {
+    let body = check_crc(data)?;
+    let mut cur = Cursor::new(body);
+    check_magic(&mut cur, MAGIC_DIFF)?;
+    let version = cur.get_u16("truncated header")?;
+    if version != VERSION && version != DIFF_VERSION_V2 && version != DIFF_VERSION_V3 {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let count = cur.get_u32("truncated header")? as usize;
+    let mut inspect = DiffInspect {
+        version,
+        encoded_len: data.len(),
+        value_bytes: 0,
+        raw_value_bytes: 0,
+        entries: Vec::with_capacity(count),
+    };
+    for _ in 0..count {
+        let iteration = cur.get_u64("truncated diff entry")?;
+        let mut chunk_widths = Vec::new();
+        let (repr, dense_len, stored_values, value_bytes) = match cur.get_u8("missing grad tag")? {
+            0 => {
+                let dense_len = cur.get_u64("truncated sparse grad")? as usize;
+                let nnz = cur.get_u32("truncated sparse grad")? as usize;
+                if version >= DIFF_VERSION_V2 {
+                    for _ in 0..nnz {
+                        cur.get_varint("truncated sparse index delta")?;
+                    }
+                } else {
+                    cur.take(nnz * 4, "truncated sparse grad")?;
+                }
+                let vb = if version >= DIFF_VERSION_V3 {
+                    skip_value_block(&mut cur, nnz, &mut chunk_widths)?
+                } else {
+                    cur.take(nnz * 4, "truncated sparse grad")?;
+                    nnz * 4
+                };
+                ("sparse", dense_len, nnz, vb)
+            }
+            1 => {
+                let dense_len = cur.get_u64("truncated quant grad")? as usize;
+                cur.get_u8("truncated quant grad")?; // bits
+                cur.get_f32("truncated quant grad")?; // scale
+                cur.get_f32("truncated quant grad")?; // zero
+                let n = cur.get_u32("truncated quant grad")? as usize;
+                cur.take(n, "truncated quant codes")?;
+                ("quant", dense_len, dense_len, n)
+            }
+            2 => {
+                let n = cur.get_u64("truncated dense grad")? as usize;
+                let vb = if version >= DIFF_VERSION_V3 {
+                    skip_value_block(&mut cur, n, &mut chunk_widths)?
+                } else {
+                    cur.take(n * 4, "truncated dense grad")?;
+                    n * 4
+                };
+                ("dense", n, n, vb)
+            }
+            _ => return Err(CodecError::Corrupt("unknown grad tag")),
+        };
+        inspect.value_bytes += value_bytes;
+        inspect.raw_value_bytes += stored_values * 4;
+        inspect.entries.push(DiffEntryInspect {
+            iteration,
+            repr,
+            dense_len,
+            stored_values,
+            chunk_widths,
+        });
+    }
+    if cur.has_remaining() {
+        return Err(CodecError::Corrupt("trailing bytes"));
+    }
+    Ok(inspect)
 }
 
 pub mod reference {
@@ -877,6 +1286,13 @@ mod tests {
             residual: Some(residual),
             compressor: Some(CompressorCfg::topk(0.01)),
             rng: Some([7, 8, 9, u64::MAX]),
+            quant: Some(QuantPolicyState {
+                bits: 8,
+                streak: 2,
+                adaptive: true,
+                max_err: 0.05,
+                floor_bits: 4,
+            }),
         };
         let bytes = encode_full_checkpoint(&st, &aux.view());
         let fc = decode_full_checkpoint(&bytes).unwrap();
@@ -893,19 +1309,26 @@ mod tests {
         let st = demo_state(40, 22);
         for aux in [
             AuxState {
-                residual: None,
                 compressor: Some(CompressorCfg::quant(8)),
-                rng: None,
+                ..AuxState::default()
             },
             AuxState {
-                residual: None,
-                compressor: None,
                 rng: Some([1, 2, 3, 4]),
+                ..AuxState::default()
             },
             AuxState {
                 residual: Some(vec![0.5; 40]),
-                compressor: None,
-                rng: None,
+                ..AuxState::default()
+            },
+            AuxState {
+                quant: Some(QuantPolicyState {
+                    bits: 16,
+                    streak: 0,
+                    adaptive: false,
+                    max_err: 0.0,
+                    floor_bits: 4,
+                }),
+                ..AuxState::default()
             },
         ] {
             let bytes = encode_full_checkpoint(&st, &aux.view());
@@ -1153,5 +1576,295 @@ mod tests {
         let payload = st.payload_bytes();
         assert!(bytes.len() >= payload);
         assert!(bytes.len() < payload + 64, "header overhead too large");
+    }
+
+    // --- v3 value quantization ---------------------------------------------
+
+    fn fixed_q(bits: u8) -> ValueCodec {
+        ValueCodec::Quantized(QuantizedValues {
+            bits,
+            max_err: 0.0,
+            adaptive: false,
+            floor_bits: bits,
+        })
+    }
+
+    fn sparse_entries(n: usize, seed: u64) -> Vec<DiffEntry> {
+        let mut rng = DetRng::new(seed);
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        indices.retain(|_| rng.next_u64().is_multiple_of(100));
+        let values: Vec<f32> = indices.iter().map(|_| rng.normal() as f32).collect();
+        vec![DiffEntry {
+            iteration: 9,
+            grad: CompressedGrad::Sparse(SparseGrad::new(n, indices, values)),
+        }]
+    }
+
+    /// Reference quantize∘dequantize at a fixed width over QUANT_CHUNK
+    /// chunks — the exact transform the v3 round-trip must equal.
+    fn quant_roundtrip_reference(values: &[f32], bits: u8) -> Vec<f32> {
+        let mut out = Vec::with_capacity(values.len());
+        for chunk in values.chunks(QUANT_CHUNK) {
+            let lo = chunk.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let levels = ((1u32 << bits) - 1) as f32;
+            let scale = if hi > lo { (hi - lo) / levels } else { 0.0 };
+            for &v in chunk {
+                let c = if scale == 0.0 {
+                    0
+                } else {
+                    (((v - lo) / scale).round() as i64).clamp(0, levels as i64) as u32
+                };
+                out.push(lo + c as f32 * scale);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn v3_roundtrip_equals_quantize_dequantize_reference() {
+        for bits in [4u8, 8, 16] {
+            let entries = sparse_entries(60_000, u64::from(bits));
+            let mut buf = Vec::new();
+            encode_diff_batch_cfg_into(&entries, &fixed_q(bits), &mut buf);
+            let back = decode_diff_batch(&buf).unwrap();
+            let (orig, got) = match (&entries[0].grad, &back[0].grad) {
+                (CompressedGrad::Sparse(a), CompressedGrad::Sparse(b)) => (a, b),
+                other => panic!("representation changed: {other:?}"),
+            };
+            assert_eq!(got.indices, orig.indices, "indices must survive exactly");
+            assert_eq!(
+                got.values,
+                quant_roundtrip_reference(&orig.values, bits),
+                "{bits}-bit decode must equal the reference transform bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_dense_roundtrip_all_widths() {
+        let mut rng = DetRng::new(31);
+        // Deliberately not a multiple of QUANT_CHUNK: exercises the tail.
+        let dense: Vec<f32> = (0..QUANT_CHUNK * 2 + 37)
+            .map(|_| rng.normal() as f32)
+            .collect();
+        for bits in [4u8, 8, 16] {
+            let entries = vec![DiffEntry {
+                iteration: 3,
+                grad: CompressedGrad::Dense(dense.clone()),
+            }];
+            let mut buf = Vec::new();
+            encode_diff_batch_cfg_into(&entries, &fixed_q(bits), &mut buf);
+            let back = decode_diff_batch(&buf).unwrap();
+            match &back[0].grad {
+                CompressedGrad::Dense(d) => {
+                    assert_eq!(d, &quant_roundtrip_reference(&dense, bits))
+                }
+                other => panic!("representation changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn f32_codec_is_byte_identical_to_plain_v2_encoder() {
+        // The bit-exact acceptance gate: ValueCodec::F32 through the cfg
+        // entry points must reproduce the pre-v3 encoder byte for byte.
+        let entries = sparse_entries(50_000, 5);
+        let plain = encode_diff_batch(&entries);
+        let mut cfg = Vec::new();
+        encode_diff_batch_cfg_into(&entries, &ValueCodec::F32, &mut cfg);
+        assert_eq!(cfg, plain);
+        let mut refs = Vec::new();
+        encode_diff_batch_refs_cfg_into(
+            entries.iter().map(|e| (e.iteration, &e.grad)),
+            &ValueCodec::F32,
+            &mut refs,
+        );
+        assert_eq!(refs, plain);
+    }
+
+    #[test]
+    fn v3_quant_records_stay_lossless() {
+        // Tag-1 (already quantized) records must be stored losslessly in
+        // v3 — replay determinism depends on exact code recovery.
+        let entries = vec![DiffEntry {
+            iteration: 12,
+            grad: CompressedGrad::Quant(QuantGrad {
+                dense_len: 5,
+                bits: 8,
+                codes: vec![0, 64, 128, 192, 255],
+                scale: 0.01,
+                zero: -1.0,
+            }),
+        }];
+        let mut buf = Vec::new();
+        encode_diff_batch_cfg_into(&entries, &fixed_q(4), &mut buf);
+        assert_eq!(decode_diff_batch(&buf).unwrap(), entries);
+    }
+
+    #[test]
+    fn mixed_version_chain_decodes() {
+        // A chain whose blobs span v1, v2 and v3 — exactly what recovery
+        // sees after an in-place codec upgrade mid-run.
+        let e1 = sparse_entries(10_000, 41);
+        let e2 = sparse_entries(10_000, 42);
+        let e3 = sparse_entries(10_000, 43);
+        let b1 = encode_diff_batch_v1(&e1);
+        let b2 = encode_diff_batch(&e2);
+        let mut b3 = Vec::new();
+        encode_diff_batch_cfg_into(&e3, &fixed_q(8), &mut b3);
+        assert_eq!(decode_diff_batch(&b1).unwrap(), e1);
+        assert_eq!(decode_diff_batch(&b2).unwrap(), e2);
+        let d3 = decode_diff_batch(&b3).unwrap();
+        assert_eq!(d3.len(), 1);
+        assert_eq!(
+            d3[0].grad.as_sparse().unwrap().indices,
+            e3[0].grad.as_sparse().unwrap().indices
+        );
+    }
+
+    #[test]
+    fn v3_encode_into_reuses_allocation_without_stale_bytes() {
+        let long = vec![DiffEntry {
+            iteration: 1,
+            grad: CompressedGrad::Dense(vec![1.0; 4096]),
+        }];
+        let short = sparse_entries(2_000, 17);
+        let q = fixed_q(8);
+        let mut buf = Vec::new();
+        encode_diff_batch_cfg_into(&long, &q, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_diff_batch_cfg_into(&short, &q, &mut buf);
+        let mut fresh = Vec::new();
+        encode_diff_batch_cfg_into(&short, &q, &mut fresh);
+        assert_eq!(buf, fresh, "stale bytes leaked");
+        assert_eq!(buf.capacity(), cap, "allocation was not reused");
+        assert_eq!(buf.as_ptr(), ptr, "allocation was not reused");
+    }
+
+    #[test]
+    fn v3_unknown_chunk_width_rejected() {
+        let entries = sparse_entries(3_000, 23);
+        let mut buf = Vec::new();
+        encode_diff_batch_cfg_into(&entries, &fixed_q(8), &mut buf);
+        // First value chunk's width byte sits right after the varint index
+        // plane; find it by inspecting, then corrupt it.
+        let nnz = entries[0].grad.as_sparse().unwrap().nnz();
+        let mut body = buf[..buf.len() - 4].to_vec();
+        // Walk to the width byte: magic(4) ver(2) count(4) iter(8) tag(1)
+        // dense_len(8) nnz(4), then nnz varints (all single-byte gaps here
+        // would be fragile — scan instead).
+        let mut cur = Cursor::new(&body[31..]);
+        for _ in 0..nnz {
+            cur.get_varint("x").unwrap();
+        }
+        let width_at = body.len() - cur.remaining();
+        assert_eq!(body[width_at], 8, "located byte must be the width tag");
+        body[width_at] = 7; // not a legal width
+        let crc = lowdiff_util::crc::crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        let err = decode_diff_batch(&body).unwrap_err();
+        assert_eq!(err, CodecError::Corrupt("unknown value-block width"));
+        assert_eq!(
+            inspect_diff_batch(&body).unwrap_err(),
+            CodecError::Corrupt("unknown value-block width")
+        );
+    }
+
+    #[test]
+    fn v3_8bit_much_smaller_than_v2() {
+        // The headline number: ~5 bytes/stored element in v2 (varint + f32)
+        // vs ~2 in v3@8 (varint + code + amortized chunk headers).
+        let entries = sparse_entries(200_000, 3);
+        let v2 = encode_diff_batch(&entries);
+        let mut v3 = Vec::new();
+        encode_diff_batch_cfg_into(&entries, &fixed_q(8), &mut v3);
+        assert!(
+            (v3.len() as f64) < 0.5 * v2.len() as f64,
+            "v3@8 ({}) should be well under half of v2 ({})",
+            v3.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn v3_adaptive_chunk_promotion_meets_bound() {
+        // One calm chunk and one wild chunk: the calm one narrows, the wild
+        // one is promoted (possibly to f32 passthrough), and every decoded
+        // element honors max_err.
+        let mut values = vec![0.0f32; QUANT_CHUNK * 2];
+        let mut rng = DetRng::new(8);
+        for v in values.iter_mut().take(QUANT_CHUNK) {
+            *v = rng.normal() as f32 * 1e-4; // calm
+        }
+        for v in values.iter_mut().skip(QUANT_CHUNK) {
+            *v = rng.normal() as f32 * 1e4; // wild
+        }
+        let indices: Vec<u32> = (0..values.len() as u32).collect();
+        let entries = vec![DiffEntry {
+            iteration: 0,
+            grad: CompressedGrad::Sparse(SparseGrad::new(values.len(), indices, values.clone())),
+        }];
+        let max_err = 1e-3f32;
+        let codec = ValueCodec::Quantized(QuantizedValues {
+            bits: 8,
+            max_err,
+            adaptive: true,
+            floor_bits: 4,
+        });
+        let mut buf = Vec::new();
+        encode_diff_batch_cfg_into(&entries, &codec, &mut buf);
+        let info = inspect_diff_batch(&buf).unwrap();
+        assert_eq!(info.version, DIFF_VERSION_V3);
+        let widths = &info.entries[0].chunk_widths;
+        assert_eq!(widths.len(), 2);
+        assert!(
+            widths[0] < widths[1],
+            "calm chunk must use a narrower width"
+        );
+        let back = decode_diff_batch(&buf).unwrap();
+        let decoded = &back[0].grad.as_sparse().unwrap().values;
+        for (a, b) in values.iter().zip(decoded) {
+            assert!(
+                (a - b).abs() <= max_err + 1e-6,
+                "bound violated: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn inspect_reports_versions_and_sizes() {
+        let entries = sparse_entries(20_000, 13);
+        let nnz = entries[0].grad.as_sparse().unwrap().nnz();
+        let v2 = encode_diff_batch(&entries);
+        let info = inspect_diff_batch(&v2).unwrap();
+        assert_eq!(info.version, DIFF_VERSION_V2);
+        assert_eq!(info.encoded_len, v2.len());
+        assert_eq!(info.value_bytes, nnz * 4);
+        assert_eq!(info.raw_value_bytes, nnz * 4);
+        assert_eq!(info.entries[0].repr, "sparse");
+        assert_eq!(info.entries[0].stored_values, nnz);
+        assert!(info.entries[0].chunk_widths.is_empty());
+
+        let mut v3 = Vec::new();
+        encode_diff_batch_cfg_into(&entries, &fixed_q(8), &mut v3);
+        let info3 = inspect_diff_batch(&v3).unwrap();
+        assert_eq!(info3.version, DIFF_VERSION_V3);
+        assert_eq!(
+            info3.entries[0].chunk_widths.len(),
+            nnz.div_ceil(QUANT_CHUNK)
+        );
+        assert!(info3.entries[0].chunk_widths.iter().all(|&w| w == 8));
+        assert!(info3.value_bytes < info3.raw_value_bytes / 2);
+
+        // Torn blob: inspect must fail the CRC, not parse garbage.
+        let mut torn = v3.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0xFF;
+        assert_eq!(
+            inspect_diff_batch(&torn).unwrap_err(),
+            CodecError::CrcMismatch
+        );
     }
 }

@@ -590,6 +590,7 @@ mod tests {
             residual: Some(residual),
             compressor: Some(CompressorCfg::topk(0.01)),
             rng: Some([11, 22, 33, 44]),
+            quant: None,
         };
         store.save_full_with_aux(&st, &aux.view()).unwrap();
         let fc = store.latest_valid_full_checkpoint().unwrap().unwrap();

@@ -37,12 +37,12 @@ fn arb_grad(max_len: usize) -> impl Strategy<Value = CompressedGrad> {
         // Dense.
         prop::collection::vec(-10.0f32..10.0, 1..60).prop_map(CompressedGrad::Dense),
         // Quantized.
-        (1usize..60, prop::bool::ANY).prop_map(|(n, wide)| {
-            let bits = if wide { 8 } else { 4 };
-            let codes = if bits == 8 {
-                (0..n).map(|i| (i * 7 % 256) as u8).collect()
-            } else {
-                (0..n.div_ceil(2)).map(|i| (i * 13 % 256) as u8).collect()
+        (1usize..60, 0u8..3).prop_map(|(n, w)| {
+            let bits = [4u8, 8, 16][w as usize];
+            let codes = match bits {
+                16 => (0..n * 2).map(|i| (i * 11 % 256) as u8).collect(),
+                8 => (0..n).map(|i| (i * 7 % 256) as u8).collect(),
+                _ => (0..n.div_ceil(2)).map(|i| (i * 13 % 256) as u8).collect(),
             };
             CompressedGrad::Quant(QuantGrad {
                 dense_len: n,
@@ -182,6 +182,13 @@ proptest! {
             residual: Some(st.params.iter().map(|p| p * 0.5).collect()),
             compressor: Some(lowdiff_compress::CompressorCfg::topk(ratio)),
             rng: Some(rng_words),
+            quant: Some(lowdiff_compress::QuantPolicyState {
+                bits: 8,
+                streak: (rng_seed % 3) as u8,
+                adaptive: rng_seed % 2 == 0,
+                max_err: ratio as f32,
+                floor_bits: 4,
+            }),
         };
         let v2 = codec::encode_full_checkpoint(&st, &aux.view());
         let fc2 = codec::decode_full_checkpoint(&v2).unwrap();
@@ -228,6 +235,114 @@ proptest! {
             }
             Err(_) => prop_assert!(!valid, "valid indices failed to decode"),
         }
+    }
+
+    /// v3 round-trip at every bit width equals the quantize∘dequantize
+    /// reference transform exactly: per QUANT_CHUNK chunk, codes are
+    /// `round((v - lo)/scale)` and decode is `lo + code·scale`.
+    #[test]
+    fn v3_roundtrip_equals_quant_reference(
+        values in prop::collection::vec(-100.0f32..100.0, 1..700),
+        start in 0u64..1000,
+        w in 0u8..3,
+    ) {
+        let bits = [4u8, 8, 16][w as usize];
+        let n = values.len();
+        let indices: Vec<u32> = (0..n as u32).collect();
+        let entries = vec![DiffEntry {
+            iteration: start,
+            grad: CompressedGrad::Sparse(SparseGrad::new(n, indices, values.clone())),
+        }];
+        let q = codec::ValueCodec::Quantized(codec::QuantizedValues {
+            bits,
+            max_err: 0.0,
+            adaptive: false,
+            floor_bits: bits,
+        });
+        let mut buf = Vec::new();
+        codec::encode_diff_batch_cfg_into(&entries, &q, &mut buf);
+        let back = codec::decode_diff_batch(&buf).unwrap();
+        let got = &back[0].grad.as_sparse().unwrap().values;
+
+        let mut expect = Vec::with_capacity(n);
+        for chunk in values.chunks(codec::QUANT_CHUNK) {
+            let lo = chunk.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let levels = ((1u32 << bits) - 1) as f32;
+            let scale = if hi > lo { (hi - lo) / levels } else { 0.0 };
+            for &v in chunk {
+                let c = if scale == 0.0 { 0 } else {
+                    (((v - lo) / scale).round() as i64).clamp(0, levels as i64) as u32
+                };
+                expect.push(lo + c as f32 * scale);
+            }
+        }
+        prop_assert_eq!(got, &expect);
+    }
+
+    /// Mixed-version chains: the same entries encoded as v1, v2 and v3 all
+    /// decode; v1/v2 exactly, v3 with identical structure (indices,
+    /// iteration, representation) and quantized values.
+    #[test]
+    fn mixed_version_chain_recovers(
+        grads in prop::collection::vec(arb_grad(100), 1..5),
+        start in 0u64..1000,
+    ) {
+        let entries: Vec<DiffEntry> = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, grad)| DiffEntry { iteration: start + i as u64, grad })
+            .collect();
+        let v1 = codec::encode_diff_batch_v1(&entries);
+        let v2 = codec::encode_diff_batch(&entries);
+        let q = codec::ValueCodec::Quantized(codec::QuantizedValues {
+            bits: 8, max_err: 0.0, adaptive: false, floor_bits: 8,
+        });
+        let mut v3 = Vec::new();
+        codec::encode_diff_batch_cfg_into(&entries, &q, &mut v3);
+        prop_assert_eq!(codec::decode_diff_batch(&v1).unwrap(), entries.clone());
+        prop_assert_eq!(codec::decode_diff_batch(&v2).unwrap(), entries.clone());
+        let d3 = codec::decode_diff_batch(&v3).unwrap();
+        prop_assert_eq!(d3.len(), entries.len());
+        for (a, b) in d3.iter().zip(&entries) {
+            prop_assert_eq!(a.iteration, b.iteration);
+            prop_assert_eq!(a.grad.dense_len(), b.grad.dense_len());
+            match (&a.grad, &b.grad) {
+                (CompressedGrad::Sparse(x), CompressedGrad::Sparse(y)) => {
+                    prop_assert_eq!(&x.indices, &y.indices);
+                }
+                (CompressedGrad::Quant(x), CompressedGrad::Quant(y)) => {
+                    // Tag-1 records are lossless in every version.
+                    prop_assert_eq!(x, y);
+                }
+                (CompressedGrad::Dense(_), CompressedGrad::Dense(_)) => {}
+                other => prop_assert!(false, "representation changed: {:?}", other),
+            }
+        }
+    }
+
+    /// The v3 cfg encoder with a dirty reused buffer is byte-identical to a
+    /// fresh encode — pooled-buffer reuse never leaks a stale suffix.
+    #[test]
+    fn v3_encode_into_never_leaks_stale_bytes(
+        grads in prop::collection::vec(arb_grad(80), 0..5),
+        junk in prop::collection::vec(0u8..=255, 0..4096),
+        w in 0u8..3,
+    ) {
+        let bits = [4u8, 8, 16][w as usize];
+        let entries: Vec<DiffEntry> = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, grad)| DiffEntry { iteration: i as u64, grad })
+            .collect();
+        let q = codec::ValueCodec::Quantized(codec::QuantizedValues {
+            bits, max_err: 0.0, adaptive: false, floor_bits: bits,
+        });
+        let mut buf = junk;
+        codec::encode_diff_batch_cfg_into(&entries, &q, &mut buf);
+        let mut fresh = Vec::new();
+        codec::encode_diff_batch_cfg_into(&entries, &q, &mut fresh);
+        prop_assert_eq!(buf, fresh);
     }
 
     /// Store discovery: the latest valid full checkpoint is always the one

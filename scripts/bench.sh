@@ -12,8 +12,13 @@
 #                          engine"), each row stamped with its
 #                          persist_stripes, plus the stripe_scaling block
 #                          (full-write throughput at 1/2/4/8 stripes on a
-#                          4-channel backend); run bench_ckpt_e2e directly
-#                          to vary its --psi/--iters/--mbps/--stripes
+#                          4-channel backend) and the quant block
+#                          (lowdiff-q8 row's diff_bytes_written reduction
+#                          against the f32 lowdiff row + the recovery-
+#                          fidelity probe's max/mean parameter error); run
+#                          bench_ckpt_e2e directly to vary its
+#                          --psi/--iters/--mbps/--stripes/--quant-bits/
+#                          --adaptive/--max-quant-err
 #
 # LOWDIFF_NUM_THREADS caps the thread pool if set.
 
@@ -34,4 +39,6 @@ export MALLOC_TRIM_THRESHOLD_=134217728
 cargo build --release -p lowdiff-bench --features count-allocs \
   --bin bench_hotpath --bin bench_ckpt_e2e
 target/release/bench_hotpath --out BENCH_hotpath.json "$@"
-target/release/bench_ckpt_e2e --out BENCH_ckpt_e2e.json
+# 8-bit quantized diff codec row + fidelity probe alongside the f32 rows.
+target/release/bench_ckpt_e2e --out BENCH_ckpt_e2e.json \
+  --quant-bits 8 --adaptive --max-quant-err 2e-3

@@ -8,11 +8,15 @@
 #                            all targets (libs, bins, tests, benches)
 # 3. cargo test -q         — the full workspace test suite
 # 4. crash-torture smoke   — the fast subset of the crash/resume matrix
-# 5. bench --smoke         — both benchmark binaries complete on a tiny
+# 5. fidelity smoke        — the recovery-fidelity harness: quantized v3
+#                            chains recover within the configured error
+#                            bound; the f32 path stays bit-exact
+# 6. bench --smoke         — both benchmark binaries complete on a tiny
 #                            configuration (no JSON written); the e2e
-#                            bench runs twice, at 1 and 4 persist stripes,
-#                            so both the legacy and the striped write
-#                            paths are exercised end-to-end
+#                            bench runs three times — 1 and 4 persist
+#                            stripes, then with adaptive quantization on —
+#                            so the legacy, striped, and quantized write
+#                            paths are all exercised end-to-end
 #
 # Fails fast: the first failing step fails the gate.
 
@@ -33,6 +37,11 @@ echo "== crash-torture smoke =="
 # every strategy through a torn write, LowDiff through every crash point.
 cargo test -q --test crash_torture smoke_
 
+echo "== fidelity smoke =="
+# Recovery-fidelity harness (tests/fidelity.rs): wire-level quantization
+# bound, recovered-parameter error, resumed-loss drift, size accounting.
+cargo test -q --test fidelity
+
 echo "== bench smoke =="
 cargo build --release -q -p lowdiff-bench --features count-allocs \
   --bin bench_hotpath --bin bench_ckpt_e2e
@@ -43,5 +52,7 @@ MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_ckpt_e2e --smoke --stripes 1
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_ckpt_e2e --smoke --stripes 4
+MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
+  target/release/bench_ckpt_e2e --smoke --quant-bits 8 --adaptive --max-quant-err 2e-3
 
 echo "CI gate passed."

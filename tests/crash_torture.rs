@@ -33,6 +33,7 @@ use lowdiff_model::data::Regression;
 use lowdiff_model::loss::mse;
 use lowdiff_model::Network;
 use lowdiff_optim::{Adam, ModelState};
+use lowdiff_storage::codec::{QuantizedValues, ValueCodec};
 use lowdiff_storage::{CheckpointStore, MemoryBackend, StripeCfg};
 use lowdiff_tensor::Tensor;
 use lowdiff_util::DetRng;
@@ -82,6 +83,7 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
         compress_ratio: if dense_only { None } else { Some(0.25) },
         error_feedback: error_feedback && !dense_only,
         data_seed: 0xD1CE ^ cell_seed,
+        ..TrainerConfig::default()
     };
 
     // Ground truth: the same run, never crashed.
@@ -217,6 +219,107 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
     );
 }
 
+/// Quantized-compressor cells: LowDiff with the adaptive precision policy
+/// (gradients quantized at 8 bits, policy free to move on the 4↔8↔16
+/// ladder) persisting through the v3 quantized diff codec. Training
+/// updates from the *dequantized* gradient and `Quant` records are stored
+/// losslessly, so crash + resume must still be bit-identical to the
+/// straight quantized run — including the policy state machine, which the
+/// resume path restores from aux and fast-forwards through the replayed
+/// chain's emitted `(scale, bits)` pairs.
+fn quant_torture_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
+    let cfg = TrainerConfig {
+        compress_ratio: None,
+        error_feedback,
+        quant_bits: Some(8),
+        adaptive_quant: true,
+        max_quant_err: 0.05,
+        data_seed: 0xBEEF ^ cell_seed,
+    };
+
+    let mut straight = Trainer::new(net(), Adam::default(), NoCheckpoint::new(), cfg.clone());
+    straight.run_with_data(TOTAL, data_step());
+    let want = straight.state().clone();
+
+    let nth = 2 + DetRng::new(0x51AB ^ cell_seed.rotate_left(11)).next_u64() % 7;
+    let injector = CrashInjector::arm(point, nth);
+    let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+    let stripe = if point == CrashPoint::MidStripe {
+        StripeCfg {
+            stripes: 2,
+            min_stripe_bytes: 1,
+        }
+    } else {
+        StripeCfg::default()
+    };
+    let strat = LowDiffStrategy::new(
+        Arc::clone(&store),
+        LowDiffConfig {
+            full_every: 6,
+            batch_size: 2,
+            stripe,
+            crash: Some(Arc::clone(&injector)),
+            value_codec: ValueCodec::Quantized(QuantizedValues {
+                bits: 8,
+                max_err: 0.05,
+                adaptive: true,
+                floor_bits: 4,
+            }),
+            ..LowDiffConfig::default()
+        },
+    );
+
+    let mut doomed = Trainer::new(net(), Adam::default(), strat, cfg.clone());
+    let mut step = data_step();
+    let mut ran = 0;
+    while ran < TOTAL && !injector.crashed() {
+        doomed.run_with_data(1, &mut step);
+        ran += 1;
+    }
+    assert!(
+        injector.crashed(),
+        "quant/{point:?} nth={nth}: crash never fired in {TOTAL} iterations"
+    );
+    drop(doomed);
+
+    let mut resumed = match Trainer::resume(
+        net(),
+        Adam::default(),
+        NoCheckpoint::new(),
+        cfg.clone(),
+        &store,
+    )
+    .unwrap()
+    {
+        Some((tr, rep)) => {
+            assert!(
+                !rep.lossy,
+                "quant/{point:?}: v2 fulls carry the whole training state \
+                 including the precision-policy snapshot"
+            );
+            tr
+        }
+        None => Trainer::new(net(), Adam::default(), NoCheckpoint::new(), cfg.clone()),
+    };
+    let remaining = TOTAL - resumed.state().iteration;
+    resumed.run_with_data(remaining, data_step());
+
+    let got = resumed.state();
+    assert_eq!(got.iteration, TOTAL);
+    assert_eq!(
+        got.params, want.params,
+        "quant/{point:?} ef={error_feedback} nth={nth}: params diverged after resume"
+    );
+    assert_eq!(
+        got.opt.m, want.opt.m,
+        "quant/{point:?} ef={error_feedback} nth={nth}: Adam m diverged after resume"
+    );
+    assert_eq!(
+        got.opt.v, want.opt.v,
+        "quant/{point:?} ef={error_feedback} nth={nth}: Adam v diverged after resume"
+    );
+}
+
 /// CI smoke subset: LowDiff (the paper's scheme) through every crash
 /// point with error feedback on — the configuration the original bug
 /// silently diverged in.
@@ -252,6 +355,20 @@ fn torture_matrix_all_strategies_all_crash_points() {
                 torture_cell(scheme, point, ef, cell);
                 cell += 1;
             }
+        }
+    }
+}
+
+/// Quantized extension of the matrix: {adaptive quant compressor + v3 diff
+/// codec} × {five crash points} × {EF on/off}. 10 cells, each asserting
+/// the resumed state is bit-identical to the straight quantized run.
+#[test]
+fn torture_matrix_quantized_compressor_all_crash_points() {
+    let mut cell = 0u64;
+    for point in ALL_CRASH_POINTS {
+        for ef in [false, true] {
+            quant_torture_cell(point, ef, 300 + cell);
+            cell += 1;
         }
     }
 }

@@ -389,6 +389,7 @@ fn run_scheme_with_stripes(scheme: usize, stripe: StripeCfg, seed: u64) -> Arc<C
         compress_ratio: if dense_only { None } else { Some(0.25) },
         error_feedback: false,
         data_seed: 0xEC0 ^ seed,
+        ..TrainerConfig::default()
     };
     let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
     let network = mlp(&[4, 10, 2], 8);
@@ -524,6 +525,7 @@ fn check_striped_equivalence(scheme: usize, stripes: usize, seed: u64) {
         compress_ratio: if dense_only { None } else { Some(0.25) },
         error_feedback: false,
         data_seed: 0xEC0 ^ seed,
+        ..TrainerConfig::default()
     };
     let opts = ResumeOpts {
         fast_forward: scheme != 5, // naive-dc deltas are not replayable
