@@ -15,7 +15,9 @@
 //! bounded job queue *is* the depth-1 pipeline (one persist running, one
 //! snapshot queued; the next submit blocks).
 
-use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
+use lowdiff::engine::{
+    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, TierStack,
+};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
@@ -27,7 +29,7 @@ use std::time::Instant;
 /// The persist side of CheckFreq: write each snapshot as a durable full; a
 /// failed write is skipped (recovery falls back to the previous full).
 struct CheckFreqPolicy {
-    store: Arc<CheckpointStore>,
+    tiers: TierStack,
 }
 
 impl CheckpointPolicy for CheckFreqPolicy {
@@ -37,7 +39,7 @@ impl CheckpointPolicy for CheckFreqPolicy {
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
         if let Job::Full(snap) = job {
-            cx.persist_full(&self.store, &snap.state, &snap.aux(), &FullOpts::durable());
+            cx.persist_full(&self.tiers, &snap.state, &snap.aux(), &FullOpts::durable());
             cx.recycle_state(snap);
         } else {
             debug_assert!(false, "checkfreq submits full snapshots");
@@ -73,7 +75,7 @@ impl CheckFreqStrategy {
     pub fn with_engine_config(store: Arc<CheckpointStore>, every: u64, cfg: EngineConfig) -> Self {
         assert!(every >= 1);
         let policy = CheckFreqPolicy {
-            store: Arc::clone(&store),
+            tiers: TierStack::durable(Arc::clone(&store)),
         };
         // Depth-1 pipeline: one persist may be queued while one runs; a
         // capacity-1 job queue gives snapshot-vs-persist overlap of exactly

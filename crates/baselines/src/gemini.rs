@@ -2,18 +2,22 @@
 //! (Wang et al., SOSP '23).
 //!
 //! Gemini writes checkpoints to the CPU memory of peer machines (fast
-//! tier) and only periodically to durable storage. We model the peer
-//! memory tier as an in-memory [`CheckpointStore`]; the engine's
-//! checkpointing thread performs the memory-tier copy (with traffic
-//! interleaved off the training path, per Gemini's scheduling algorithm)
-//! and the periodic durable write.
+//! tier) and only periodically to durable storage. Since the recovery-tier
+//! refactor the scheme is *pure policy*: every snapshot goes to a
+//! [`MemoryTier`] stack, every `persist_every`-th through a
+//! `[MemoryTier, DurableTier(async)]` stack — the engine encodes once,
+//! fans the same bytes across both tiers, and runs the memory tier's
+//! deterministic retention GC (keep the newest `retention` fulls, evict
+//! oldest-first — replacing the old best-effort single-live-ckpt sweep).
 //!
 //! Recovery prefers the memory tier ([`GeminiStrategy::recover_memory`])
 //! and falls back to durable storage when the machine holding the replica
-//! is lost ([`GeminiStrategy::recover_durable`]).
+//! is lost ([`GeminiStrategy::recover_durable`]) — the tier stack's
+//! recovery-priority order.
 
 use lowdiff::engine::{
-    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, Tier,
+    AckMode, CheckpointEngine, CheckpointPolicy, DurableTier, EngineConfig, EngineCtx, FullOpts,
+    Job, MemoryTier, RecoveryTier, TierStack,
 };
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::AuxView;
@@ -23,12 +27,13 @@ use lowdiff_util::units::Secs;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Two-tier persistence: every snapshot to peer memory (accounted as a
-/// memory-tier checkpoint), every `persist_every`-th also to durable
-/// storage. A lost write on either tier degrades, never aborts.
+/// Two-tier persistence as stack selection: every snapshot through the
+/// memory-only stack, every `persist_every`-th through memory+durable.
+/// The durable tier acks asynchronously — a lost write on either tier
+/// degrades, never aborts, and never fails the memory-tier checkpoint.
 struct GeminiPolicy {
-    mem: Arc<CheckpointStore>,
-    durable: Arc<CheckpointStore>,
+    mem_only: TierStack,
+    both: TierStack,
     persist_every: u64,
 }
 
@@ -43,26 +48,14 @@ impl CheckpointPolicy for GeminiPolicy {
             return;
         };
         // Memory-tier copy (peer CPU RAM over the network in the real
-        // system).
-        let mem_opts = FullOpts {
-            tier: Tier::Memory,
-            reanchor_on_failure: false,
-            keep_fulls: None,
+        // system); aligned iterations also ride the durable tier, written
+        // from the same encode.
+        let tiers = if snap.state.iteration.is_multiple_of(self.persist_every) {
+            &self.both
+        } else {
+            &self.mem_only
         };
-        cx.persist_full(&self.mem, &snap.state, &snap.aux(), &mem_opts);
-        // Keep the memory tier small: one live ckpt. (Best-effort; a GC
-        // failure in the fast tier is not data loss.)
-        let _ = self.mem.gc_before(snap.state.iteration);
-        if snap.state.iteration % self.persist_every == 0 {
-            // Durable tier stale until the next persist interval lands if
-            // this write fails.
-            cx.persist_full(
-                &self.durable,
-                &snap.state,
-                &snap.aux(),
-                &FullOpts::durable(),
-            );
-        }
+        cx.persist_full(tiers, &snap.state, &snap.aux(), &FullOpts::durable());
         cx.recycle_state(snap);
     }
 }
@@ -87,6 +80,23 @@ impl GeminiStrategy {
         )
     }
 
+    /// Like [`GeminiStrategy::new`] but keeping the newest `retention`
+    /// checkpoints in the memory tier instead of the default single one.
+    pub fn with_retention(
+        durable_store: Arc<CheckpointStore>,
+        mem_every: u64,
+        persist_every: u64,
+        retention: u64,
+    ) -> Self {
+        Self::build(
+            durable_store,
+            mem_every,
+            persist_every,
+            retention,
+            EngineConfig::default(),
+        )
+    }
+
     /// Full-control constructor (crash injection, retry tuning, …). The
     /// depth-2 queue is part of the scheme, so `queue_capacity` is always
     /// pinned to 2 regardless of `cfg`.
@@ -96,11 +106,29 @@ impl GeminiStrategy {
         persist_every: u64,
         cfg: EngineConfig,
     ) -> Self {
+        Self::build(durable_store, mem_every, persist_every, 1, cfg)
+    }
+
+    fn build(
+        durable_store: Arc<CheckpointStore>,
+        mem_every: u64,
+        persist_every: u64,
+        retention: u64,
+        cfg: EngineConfig,
+    ) -> Self {
         assert!(mem_every >= 1 && persist_every >= mem_every);
         let mem_store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let mem_tier: Arc<dyn RecoveryTier> =
+            Arc::new(MemoryTier::new(Arc::clone(&mem_store), retention));
         let policy = GeminiPolicy {
-            mem: Arc::clone(&mem_store),
-            durable: Arc::clone(&durable_store),
+            mem_only: TierStack::new(vec![Arc::clone(&mem_tier)]),
+            both: TierStack::new(vec![
+                mem_tier,
+                Arc::new(DurableTier::with_ack(
+                    Arc::clone(&durable_store),
+                    AckMode::Async,
+                )),
+            ]),
             persist_every,
         };
         // Depth-2 queue: Gemini's traffic scheduler lets a couple of
@@ -203,6 +231,18 @@ mod tests {
     }
 
     #[test]
+    fn memory_retention_evicts_oldest_first() {
+        let d = durable();
+        let mut s = GeminiStrategy::with_retention(Arc::clone(&d), 2, 100, 3);
+        run(&mut s, 12); // memory fulls at 2,4,…,12
+        assert_eq!(
+            s.mem_store.full_iterations().unwrap(),
+            vec![8, 10, 12],
+            "retention 3 keeps exactly the newest three, oldest evicted first"
+        );
+    }
+
+    #[test]
     fn stats_distinguish_tiers() {
         let d = durable();
         let mut s = GeminiStrategy::new(Arc::clone(&d), 2, 4);
@@ -210,6 +250,18 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.diff_checkpoints, 4, "memory-tier ckpts at 2,4,6,8");
         assert_eq!(stats.full_checkpoints, 2, "durable at 4,8");
+        // The per-tier ledger mirrors the stack: memory first (primary),
+        // durable second, with every byte accounted.
+        assert_eq!(stats.tiers.len(), 2);
+        assert_eq!(stats.tiers[0].name, "memory");
+        assert_eq!(stats.tiers[0].acks, 4);
+        assert_eq!(stats.tiers[1].name, "durable");
+        assert_eq!(stats.tiers[1].acks, 2);
+        assert_eq!(
+            stats.tiers[1].bytes,
+            stats.bytes_written / 3,
+            "durable landed 2 of the 6 tier writes, all the same encoded size"
+        );
     }
 
     #[test]

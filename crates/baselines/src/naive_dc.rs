@@ -19,7 +19,9 @@
 //! applies param deltas in order (approximate — Top-K drops mass) and
 //! restores the moments from the newest blob (exact).
 
-use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
+use lowdiff::engine::{
+    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, TierStack,
+};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::sparsify::TopK;
 use lowdiff_compress::{AuxView, Compressor};
@@ -33,7 +35,7 @@ use std::time::Instant;
 /// The whole Check-N-Run-style scheme: full base checkpoints, Top-K'd
 /// parameter deltas, dense moments blobs — all persisted inline.
 struct NaiveDcPolicy {
-    store: Arc<CheckpointStore>,
+    tiers: TierStack,
     /// Differential interval (iterations).
     diff_every: u64,
     /// Full-checkpoint interval (iterations).
@@ -68,7 +70,7 @@ impl CheckpointPolicy for NaiveDcPolicy {
             // needs a C^F to anchor the differential chain).
             // Synchronous full checkpoint (Check-N-Run persists the base
             // synchronously too).
-            if cx.persist_full(&self.store, state, &snap.aux(), &FullOpts::durable()) {
+            if cx.persist_full(&self.tiers, state, &snap.aux(), &FullOpts::durable()) {
                 self.has_base = true;
                 if self.reanchor_pending {
                     self.reanchor_pending = false;
@@ -99,7 +101,7 @@ impl CheckpointPolicy for NaiveDcPolicy {
                     grad: compressed,
                 };
                 // NB: iteration−1 because the delta advances M_{t-1} → M_t.
-                if cx.persist_diff_entries(&self.store, std::slice::from_ref(&entry)) {
+                if cx.persist_diff_entries(&self.tiers, std::slice::from_ref(&entry)) {
                     let mut moments = Vec::with_capacity(8 + state.params.len() * 8);
                     moments.extend_from_slice(&state.opt.t.to_le_bytes());
                     for &m in &state.opt.m {
@@ -111,7 +113,7 @@ impl CheckpointPolicy for NaiveDcPolicy {
                     // Recovery tolerates a missing moments blob (params
                     // still replayable); a failed put only degrades.
                     cx.persist_blob(
-                        &self.store,
+                        &self.tiers,
                         &NaiveDcStrategy::moments_key(state.iteration - 1),
                         &moments,
                     );
@@ -183,7 +185,7 @@ impl NaiveDcStrategy {
     ) -> Self {
         assert!(diff_every >= 1 && full_every >= diff_every);
         let policy = NaiveDcPolicy {
-            store: Arc::clone(&store),
+            tiers: TierStack::durable(Arc::clone(&store)),
             diff_every,
             full_every,
             rho,

@@ -1,6 +1,8 @@
 //! `torch.save` baseline: blocking full checkpoints.
 
-use lowdiff::engine::{CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job};
+use lowdiff::engine::{
+    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, TierStack,
+};
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::AuxView;
 use lowdiff_optim::ModelState;
@@ -12,7 +14,7 @@ use std::time::Instant;
 /// The whole scheme: a durable full every `every` iterations, written
 /// inline. A failed write is skipped (recovery falls back).
 struct TorchSavePolicy {
-    store: Arc<CheckpointStore>,
+    tiers: TierStack,
     every: u64,
 }
 
@@ -27,7 +29,7 @@ impl CheckpointPolicy for TorchSavePolicy {
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
         if let Job::Full(snap) = job {
-            cx.persist_full(&self.store, &snap.state, &snap.aux(), &FullOpts::durable());
+            cx.persist_full(&self.tiers, &snap.state, &snap.aux(), &FullOpts::durable());
             cx.recycle_state(snap);
         } else {
             debug_assert!(false, "torch-save submits full snapshots");
@@ -60,7 +62,7 @@ impl TorchSaveStrategy {
     pub fn with_engine_config(store: Arc<CheckpointStore>, every: u64, cfg: EngineConfig) -> Self {
         assert!(every >= 1);
         let policy = TorchSavePolicy {
-            store: Arc::clone(&store),
+            tiers: TierStack::durable(Arc::clone(&store)),
             every,
         };
         let engine = CheckpointEngine::inline(store, policy, cfg);

@@ -12,14 +12,19 @@
 //! reported separately and does not count against per-iteration stall.
 //!
 //! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--stripes S]
-//! [--quant-bits Q] [--adaptive] [--max-quant-err E] [--out PATH] [--smoke]`
-//! (defaults: 262144 params, 40 iterations, 300 MB/s, 1 stripe, 8-bit
-//! quantized row, BENCH_ckpt_e2e.json). `--stripes S` fans every
+//! [--peers P] [--quant-bits Q] [--adaptive] [--max-quant-err E]
+//! [--out PATH] [--smoke]`
+//! (defaults: 262144 params, 40 iterations, 300 MB/s, 1 stripe, 1 peer,
+//! 8-bit quantized row, BENCH_ckpt_e2e.json). `--stripes S` fans every
 //! checkpoint blob out into S concurrent ranged writes sealed by a
 //! manifest (the striped persist path); the run also sweeps full-write
 //! throughput over 1/2/4/8 stripes on a 4-channel throttled backend to
 //! show the fan-out scaling near-linearly up to the channel count.
-//! `--quant-bits Q` adds a `lowdiff-qQ` row persisting differentials
+//! `--peers P` sizes the `lowdiff-peer` row — LowDiff over a
+//! `[PeerTier(P), DurableTier(async)]` recovery stack, every checkpoint
+//! object streamed to P ring peers with the durable write trailing
+//! asynchronously (0 drops the row). `--quant-bits Q` adds a
+//! `lowdiff-qQ` row persisting differentials
 //! through the v3 quantized codec (0 disables it); `--adaptive` +
 //! `--max-quant-err E` let the per-chunk width chooser move on the
 //! 4/8/16 ladder under a hard per-element error bound. The run also
@@ -40,9 +45,10 @@
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::strategy::CheckpointStrategy;
-use lowdiff::EngineConfig;
+use lowdiff::{EngineConfig, PeerReplicateStrategy};
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_bench::print_table;
+use lowdiff_comm::ReplicaNet;
 use lowdiff_compress::{AuxView, CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_optim::ModelState;
 use lowdiff_storage::codec::{QuantizedValues, ValueCodec};
@@ -260,6 +266,7 @@ fn main() {
     let mut iters: u64 = 40;
     let mut mbps: f64 = 300.0;
     let mut stripes: usize = 1;
+    let mut peers: usize = 1;
     let mut quant_bits: u8 = 8;
     let mut adaptive = false;
     let mut max_quant_err: f32 = 0.0;
@@ -277,6 +284,7 @@ fn main() {
             "--iters" => iters = val("--iters").parse().expect("bad --iters"),
             "--mbps" => mbps = val("--mbps").parse().expect("bad --mbps"),
             "--stripes" => stripes = val("--stripes").parse().expect("bad --stripes"),
+            "--peers" => peers = val("--peers").parse().expect("bad --peers"),
             "--quant-bits" => quant_bits = val("--quant-bits").parse().expect("bad --quant-bits"),
             "--adaptive" => adaptive = true,
             "--max-quant-err" => {
@@ -319,7 +327,8 @@ fn main() {
         ..EngineConfig::default()
     };
     eprintln!(
-        "bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage, {stripes} stripe(s)"
+        "bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage, \
+         {stripes} stripe(s), {peers} replica peer(s)"
     );
 
     // One recorded gradient, reused every iteration: the stall numbers are
@@ -355,6 +364,41 @@ fn main() {
         let cg = Arc::clone(&cg);
         results.push(run_strategy(
             "lowdiff",
+            iters,
+            strat,
+            move |s, st| {
+                let a = s
+                    .on_synced_gradient(st.iteration, &cg, &AuxView::NONE)
+                    .as_f64();
+                st.iteration += 1;
+                a + s.after_update(st, &AuxView::NONE).as_f64()
+            },
+            &initial,
+        ));
+    }
+
+    // LowDiff over the peer-replication stack (Checkmate-style): same
+    // write schedule as the row above, but every checkpoint object is
+    // streamed synchronously to `peers` ring peers while the throttled
+    // durable write trails asynchronously — the stall delta against the
+    // `lowdiff` row is what peer acks buy when storage is the bottleneck.
+    if peers > 0 {
+        let net = ReplicaNet::new(peers + 1);
+        let strat = PeerReplicateStrategy::new(
+            throttled_store(mbps),
+            LowDiffConfig {
+                full_every: 10,
+                batch_size: 4,
+                stripe,
+                ..LowDiffConfig::default()
+            },
+            net,
+            0,
+            peers,
+        );
+        let cg = Arc::clone(&cg);
+        results.push(run_strategy(
+            "lowdiff-peer",
             iters,
             strat,
             move |s, st| {
@@ -520,7 +564,10 @@ fn main() {
         };
         match (
             diff_of("lowdiff"),
-            results.get(1).map(|r| r.diff_bytes_written),
+            results
+                .iter()
+                .find(|r| r.name.starts_with("lowdiff-q"))
+                .map(|r| r.diff_bytes_written),
         ) {
             (Some(raw), Some(packed)) if quant_bits != 0 && raw > 0 => {
                 Some(1.0 - packed as f64 / raw as f64)
@@ -613,6 +660,7 @@ fn main() {
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"storage_mbps\": {mbps},\n"));
     json.push_str(&format!("  \"persist_stripes\": {stripes},\n"));
+    json.push_str(&format!("  \"replica_peers\": {peers},\n"));
     json.push_str(&format!("  \"alloc_counting\": {counting},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {

@@ -16,11 +16,17 @@
 //! * [`cost`] — the ring-allreduce timing model used by the cluster
 //!   simulator (we run threads for *correctness*, the cost model for
 //!   *paper-scale timing*).
+//! * [`replicate`] — the Checkmate-style peer-replication fabric: each
+//!   rank streams checkpoint blobs into k peers' memory ([`ReplicaNet`]),
+//!   so a lost rank is rebuilt from a surviving peer with no storage
+//!   round-trip (the engine's `PeerTier` rides on it).
 
 pub mod cost;
 pub mod group;
 pub mod pool;
 pub mod rendezvous;
+pub mod replicate;
 
 pub use group::{WorkerCtx, WorkerGroup};
 pub use pool::SyncPool;
+pub use replicate::{PeerUnreachable, ReplicaNet};

@@ -322,6 +322,28 @@ fn cmd_health(dir: &str) {
             f("dropped_batches"),
             f("degraded"),
         );
+        // Per-tier write ledger: "name b=<bytes> a=<acks> e=<errors>"
+        // entries joined with '|' (the blob stays comma-free so the flat
+        // scanner above keeps working).
+        if let Some(tiers) = json_field(&json, "tiers").filter(|t| !t.is_empty()) {
+            out!("  recovery tiers:");
+            for tier in tiers.split('|') {
+                let name = tier.split(' ').next().unwrap_or("?");
+                let field = |tag: &str| {
+                    tier.split(' ')
+                        .find_map(|p| p.strip_prefix(tag))
+                        .unwrap_or("?")
+                        .to_string()
+                };
+                out!(
+                    "    {:<8} bytes={:<12} acks={:<8} errors={}",
+                    name,
+                    field("b="),
+                    field("a="),
+                    field("e="),
+                );
+            }
+        }
         if let (Some(depth), Some(cap)) = (num("queue_depth"), num("queue_capacity")) {
             if cap > 0 && depth >= cap {
                 saturated = true;

@@ -39,11 +39,16 @@ pub mod crash;
 pub mod metrics;
 pub mod persist;
 pub mod policy;
+pub mod tier;
 
 pub use crash::{CrashInjector, CrashPoint, ALL_CRASH_POINTS};
 pub use metrics::{EngineCounters, EngineMetrics, LatencyHist, StageLatency};
 pub use persist::{EngineCtx, FullOpts, Tier};
 pub use policy::{CheckpointPolicy, FullSnapshot, Job, PolicyCtl};
+pub use tier::{
+    peer_recovery_stores, AckMode, DurabilityClass, DurableTier, MemoryTier, ObjectSink,
+    PeerReplicaBackend, PeerTier, RecoveryTier, SinkReport, TierBacking, TierStack,
+};
 
 use crate::strategy::StrategyStats;
 use crossbeam::channel::{
@@ -531,7 +536,8 @@ impl CheckpointEngine {
                 "\"snapshot_count\":{},\"snapshot_p50_us\":{:.3},\"snapshot_p99_us\":{:.3},",
                 "\"encode_count\":{},\"encode_p50_us\":{:.3},\"encode_p99_us\":{:.3},",
                 "\"persist_count\":{},\"persist_p50_us\":{:.3},\"persist_p99_us\":{:.3},",
-                "\"io_errors\":{},\"io_retries\":{},\"dropped_batches\":{},\"degraded\":{}}}"
+                "\"io_errors\":{},\"io_retries\":{},\"dropped_batches\":{},\"degraded\":{},",
+                "\"tiers\":\"{}\"}}"
             ),
             self.name,
             s.stall.as_f64(),
@@ -551,6 +557,13 @@ impl CheckpointEngine {
             s.io_retries,
             s.dropped_batches,
             s.degraded,
+            // Per-tier ledger as a flat comma-free string so the ctl's
+            // naive json_field scanner stays valid: "durable b=.. a=.. e=..|peer ..".
+            s.tiers
+                .iter()
+                .map(|t| format!("{} b={} a={} e={}", t.name, t.bytes, t.acks, t.errors))
+                .collect::<Vec<_>>()
+                .join("|"),
         );
         let _ = self.store.backend().put(HEALTH_KEY, json.as_bytes());
     }

@@ -5,20 +5,31 @@
 //! patched retry logic into six files); now policies receive an
 //! [`EngineCtx`] and call one of the `persist_*` helpers, which own:
 //!
+//! * fan-out across an ordered [`TierStack`] of recovery tiers (encode
+//!   once, write every tier, account per tier) — see [`super::tier`],
 //! * bounded exponential backoff via [`lowdiff_storage::with_retry`],
 //! * health accounting into the shared [`StrategyStats`]
-//!   (`io_retries`/`io_errors`/`dropped_*`/`degraded`),
-//! * the exactly-once `dropped_batches` increment when retries exhaust,
+//!   (`io_retries`/`io_errors`/`dropped_*`/`degraded`, plus the per-tier
+//!   bytes/acks/errors ledger),
+//! * the exactly-once `dropped_batches` increment when the synchronous
+//!   tiers exhaust,
 //! * the forced-full re-anchor request after dropped differential data,
 //! * encode/persist stage latency recording,
 //! * the striped parallel persist fork: when [`StripeCfg`] allows more
-//!   than one stripe for a blob, `persist_full`/`persist_batch` fan the
-//!   encoded bytes out as concurrent ranged writes and seal them with a
+//!   than one stripe for a blob, store-backed tiers fan the encoded
+//!   bytes out as concurrent ranged writes and seal them with a
 //!   CRC-carrying manifest written last ([`lowdiff_storage::stripe`]).
+//!
+//! A persist call succeeds iff every [`AckMode::Sync`] tier landed;
+//! [`AckMode::Async`] tiers are best-effort (failures are accounted but
+//! never fail the call). With a single [`super::tier::DurableTier`] stack
+//! the write sequence below is byte-identical to the pre-tier engine —
+//! the `engine_equivalence` proptests pin that.
 
 use super::crash::{CrashInjector, CrashPoint};
 use super::metrics::EngineMetrics;
 use super::policy::FullSnapshot;
+use super::tier::{AckMode, ObjectSink, TierBacking, TierStack};
 use super::SnapshotSlots;
 use crate::batched::BatchedWriter;
 use crate::strategy::StrategyStats;
@@ -32,9 +43,10 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-/// Which storage tier a full checkpoint lands in — decides how the write
-/// is accounted (Gemini's memory-tier fulls count as `diff_checkpoints`,
-/// matching the paper's "in-memory checkpoint" framing).
+/// How a landed full checkpoint is accounted (Gemini's memory-tier fulls
+/// count as `diff_checkpoints`, matching the paper's "in-memory
+/// checkpoint" framing). Tiers report theirs via
+/// [`super::tier::RecoveryTier::counts_as`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Tier {
     /// Durable storage: counts as `full_checkpoints` + `writes`.
@@ -46,25 +58,45 @@ pub enum Tier {
 /// Per-write options for [`EngineCtx::persist_full`].
 #[derive(Clone, Copy, Debug)]
 pub struct FullOpts {
-    pub tier: Tier,
     /// On failure, request an early full so the chain gets re-anchored
     /// (LowDiff semantics). Strategies whose recovery simply falls back to
     /// the previous full (CheckFreq, TorchSave, …) leave this off.
     pub reanchor_on_failure: bool,
     /// Keep only the newest `k` fulls after a successful write (older
-    /// fulls and their differential chains are garbage-collected).
+    /// fulls and their differential chains are garbage-collected). Applies
+    /// to store-backed tiers without their own retention
+    /// ([`super::tier::RecoveryTier::retain_fulls`] wins when set).
     pub keep_fulls: Option<u64>,
 }
 
 impl FullOpts {
-    /// Durable write, skip-on-failure, no GC — the common baseline case.
+    /// Skip-on-failure, no GC — the common baseline case.
     pub fn durable() -> Self {
         Self {
-            tier: Tier::Durable,
             reanchor_on_failure: false,
             keep_fulls: None,
         }
     }
+}
+
+/// Outcome of one tier's write inside a persist fan-out.
+enum TierWrite {
+    /// An armed crash point fired during this tier's write: the simulated
+    /// process is gone. Nothing is accounted (there is nobody left to
+    /// account it) and the remaining tiers never see the blob.
+    Died,
+    Done {
+        /// The write landed on this tier (≥ 1 replica for object tiers).
+        ok: bool,
+        /// Storage retries burned by this tier.
+        retries: u64,
+        /// Replica/storage acknowledgements (per-tier ledger).
+        acks: u64,
+        /// Dropped replicas / failed writes (per-tier ledger).
+        errors: u64,
+        /// Bytes acknowledged on this tier (per-tier ledger).
+        landed: u64,
+    },
 }
 
 /// The engine-owned context a [`super::CheckpointPolicy`] runs against.
@@ -137,12 +169,126 @@ impl EngineCtx<'_> {
         self.snaps.put(snap);
     }
 
-    /// Encode and persist a full checkpoint of `state` + `aux` to `store`
-    /// (v2 format: model state plus EF residual / compressor / RNG cursor).
-    /// Returns whether the write landed.
+    /// One store-backed tier's full-checkpoint write: the legacy
+    /// store + stripe path, torn-write and seal-window crash points
+    /// included.
+    fn store_write_full(&self, store: &CheckpointStore, iteration: u64, bytes: &[u8]) -> TierWrite {
+        let stripes = self.stripe.effective_stripes(bytes.len());
+        if self.crash_hit(CrashPoint::MidPersist) {
+            // Power cut mid-write: a torn prefix lands directly (no retry —
+            // the process is gone). The codec CRC rejects it at load time.
+            // In striped mode the fan-out itself tears: only some stripes
+            // land, unfinished and unsealed.
+            if stripes >= 2 {
+                store.put_full_striped_torn(iteration, bytes, stripes);
+            } else {
+                let _ = store.put_full(iteration, &bytes[..bytes.len() / 2]);
+            }
+            return TierWrite::Died;
+        }
+        let t1 = Instant::now();
+        let (ok, retries) = if stripes >= 2 {
+            match self.striped_write(
+                || store.put_full_striped(iteration, bytes, stripes, self.retry),
+                |m| store.seal_full_striped(iteration, m),
+            ) {
+                Some(v) => v,
+                None => return TierWrite::Died,
+            }
+        } else {
+            let r = with_retry(self.retry, || store.put_full(iteration, bytes));
+            (r.result.is_ok(), r.retries as u64)
+        };
+        self.metrics.persist.record(t1.elapsed());
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            // The blob is durable, but the process dies before
+            // acknowledging it: no accounting, no GC, no re-anchor.
+            return TierWrite::Died;
+        }
+        TierWrite::Done {
+            ok,
+            retries,
+            acks: ok as u64,
+            errors: !ok as u64,
+            landed: if ok { bytes.len() as u64 } else { 0 },
+        }
+    }
+
+    /// One store-backed tier's diff-batch write (same crash/stripe dance
+    /// as fulls, diff key space).
+    fn store_write_diff(
+        &self,
+        store: &CheckpointStore,
+        start: u64,
+        end: u64,
+        bytes: &[u8],
+    ) -> TierWrite {
+        let stripes = self.stripe.effective_stripes(bytes.len());
+        if self.crash_hit(CrashPoint::MidPersist) {
+            if stripes >= 2 {
+                store.put_diff_striped_torn(start, end, bytes, stripes);
+            } else {
+                let _ = store.put_diff_batch_bytes(start, end, &bytes[..bytes.len() / 2]);
+            }
+            return TierWrite::Died;
+        }
+        let t1 = Instant::now();
+        let (ok, retries) = if stripes >= 2 {
+            match self.striped_write(
+                || store.put_diff_striped(start, end, bytes, stripes, self.retry),
+                |m| store.seal_diff_striped(start, end, m),
+            ) {
+                Some(v) => v,
+                None => return TierWrite::Died,
+            }
+        } else {
+            let r = with_retry(self.retry, || store.put_diff_batch_bytes(start, end, bytes));
+            (r.result.is_ok(), r.retries as u64)
+        };
+        self.metrics.persist.record(t1.elapsed());
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            return TierWrite::Died;
+        }
+        TierWrite::Done {
+            ok,
+            retries,
+            acks: ok as u64,
+            errors: !ok as u64,
+            landed: if ok { bytes.len() as u64 } else { 0 },
+        }
+    }
+
+    /// One object-backed tier's write (peer streams). No striping — the
+    /// network frame is the unit — so [`CrashPoint::MidStripe`] never
+    /// fires here; a mid-persist crash sends a torn half-frame whose CRC
+    /// recovery rejects, exactly like a torn store blob.
+    fn object_write(&self, sink: &dyn ObjectSink, key: &str, bytes: &[u8]) -> TierWrite {
+        if self.crash_hit(CrashPoint::MidPersist) {
+            let _ = sink.put_object(key, &bytes[..bytes.len() / 2]);
+            return TierWrite::Died;
+        }
+        let t1 = Instant::now();
+        let rep = sink.put_object(key, bytes);
+        self.metrics.persist.record(t1.elapsed());
+        let ok = rep.acks > 0;
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            return TierWrite::Died;
+        }
+        TierWrite::Done {
+            ok,
+            retries: 0,
+            acks: rep.acks,
+            errors: rep.errors,
+            landed: rep.bytes,
+        }
+    }
+
+    /// Encode a full checkpoint of `state` + `aux` once (v2 format: model
+    /// state plus EF residual / compressor / RNG cursor) and fan it across
+    /// the tier stack. Returns whether every synchronous tier landed it.
     pub fn persist_full(
         &mut self,
-        store: &CheckpointStore,
+        tiers: &TierStack,
         state: &ModelState,
         aux: &AuxView<'_>,
         opts: &FullOpts,
@@ -158,81 +304,82 @@ impl EngineCtx<'_> {
             self.buffers.put(bytes);
             return false;
         }
-        let stripes = self.stripe.effective_stripes(bytes.len());
-        if self.crash_hit(CrashPoint::MidPersist) {
-            // Power cut mid-write: a torn prefix lands directly (no retry —
-            // the process is gone). The codec CRC rejects it at load time.
-            // In striped mode the fan-out itself tears: only some stripes
-            // land, unfinished and unsealed.
-            if stripes >= 2 {
-                store.put_full_striped_torn(state.iteration, &bytes, stripes);
-            } else {
-                let _ = store.put_full(state.iteration, &bytes[..bytes.len() / 2]);
-            }
-            self.buffers.put(bytes);
-            return false;
-        }
-        let t1 = Instant::now();
-        let (ok, retries) = if stripes >= 2 {
-            match self.striped_write(
-                || store.put_full_striped(state.iteration, &bytes, stripes, self.retry),
-                |m| store.seal_full_striped(state.iteration, m),
-            ) {
-                Some(v) => v,
-                None => {
-                    self.buffers.put(bytes);
-                    return false;
-                }
-            }
-        } else {
-            let r = with_retry(self.retry, || store.put_full(state.iteration, &bytes));
-            (r.result.is_ok(), r.retries as u64)
-        };
         let written = bytes.len() as u64;
-        self.buffers.put(bytes);
-        self.metrics.persist.record(t1.elapsed());
-        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
-            // The blob is durable, but the process dies before
-            // acknowledging it: no accounting, no GC, no re-anchor.
-            return false;
-        }
-        {
-            let mut s = self.shared.lock();
-            s.io_retries += retries;
-            if ok {
-                match opts.tier {
-                    Tier::Durable => {
-                        s.full_checkpoints += 1;
-                        s.writes += 1;
-                    }
-                    Tier::Memory => s.diff_checkpoints += 1,
+        let mut ok_overall = true;
+        for tier in tiers.iter() {
+            let outcome = match tier.backing() {
+                TierBacking::Store(store) => self.store_write_full(store, state.iteration, &bytes),
+                TierBacking::Object(sink) => {
+                    self.object_write(sink, &CheckpointStore::full_key(state.iteration), &bytes)
                 }
-                s.bytes_written += written;
-            } else {
-                // The checkpoint is skipped, never retried in place:
-                // recovery falls back to the previous full (and, when
-                // `reanchor_on_failure` is set, an early full is forced so
-                // the recovery window stays bounded).
-                s.io_errors += 1;
-                s.degraded = true;
+            };
+            let TierWrite::Done {
+                ok,
+                retries,
+                acks,
+                errors,
+                landed,
+            } = outcome
+            else {
+                self.buffers.put(bytes);
+                return false;
+            };
+            {
+                let mut s = self.shared.lock();
+                s.io_retries += retries;
+                let ts = s.tier_mut(tier.name());
+                ts.acks += acks;
+                ts.errors += errors;
+                ts.bytes += landed;
+                if ok {
+                    // Only store-backed tiers feed the global write
+                    // ledger — `bytes_written` stays "bytes handed to
+                    // storage backends" (the torch-save pinned invariant);
+                    // replica traffic is visible in the per-tier ledger.
+                    if matches!(tier.backing(), TierBacking::Store(_)) {
+                        match tier.counts_as() {
+                            Tier::Durable => {
+                                s.full_checkpoints += 1;
+                                s.writes += 1;
+                            }
+                            Tier::Memory => s.diff_checkpoints += 1,
+                        }
+                        s.bytes_written += written;
+                    }
+                } else {
+                    // The checkpoint is skipped on this tier, never
+                    // retried in place: recovery falls back down the
+                    // stack (and, when `reanchor_on_failure` is set, an
+                    // early full is forced so the window stays bounded).
+                    s.io_errors += 1;
+                    s.degraded = true;
+                    if tier.ack() == AckMode::Sync {
+                        ok_overall = false;
+                    }
+                }
+            }
+            if ok {
+                if let TierBacking::Store(store) = tier.backing() {
+                    if let Some(keep) = tier.retain_fulls().or(opts.keep_fulls) {
+                        self.gc_keep(store, keep);
+                    }
+                }
             }
         }
-        if ok {
-            if let Some(keep) = opts.keep_fulls {
-                self.gc_keep(store, keep);
-            }
-        } else if opts.reanchor_on_failure {
+        self.buffers.put(bytes);
+        if !ok_overall && opts.reanchor_on_failure {
             self.request_reanchor();
         }
-        ok
+        ok_overall
     }
 
-    /// Encode and persist the writer's buffered differential batch. On
-    /// retry exhaustion the batch is dropped — `dropped_batches` counts
-    /// exactly once per discarded batch — the run degrades, and a
-    /// re-anchoring full checkpoint is requested. Returns whether the
-    /// batch landed (an empty buffer trivially "lands").
-    pub fn persist_batch(&mut self, store: &CheckpointStore, writer: &mut BatchedWriter) -> bool {
+    /// Encode the writer's buffered differential batch once and fan it
+    /// across the tier stack. When any synchronous tier exhausts, the
+    /// batch is dropped — `dropped_batches` counts exactly once per
+    /// discarded batch — the run degrades, and a re-anchoring full
+    /// checkpoint is requested. Returns whether the batch landed on every
+    /// synchronous tier (an empty buffer trivially "lands").
+    pub fn persist_batch(&mut self, tiers: &TierStack, writer: &mut BatchedWriter) -> bool {
         if self.crash_dead() {
             return false;
         }
@@ -245,74 +392,80 @@ impl EngineCtx<'_> {
             self.buffers.put(enc.bytes);
             return false;
         }
-        let stripes = self.stripe.effective_stripes(enc.bytes.len());
-        if self.crash_hit(CrashPoint::MidPersist) {
-            if stripes >= 2 {
-                store.put_diff_striped_torn(enc.start, enc.end, &enc.bytes, stripes);
+        let written = enc.bytes.len() as u64;
+        let mut ok_overall = true;
+        for tier in tiers.iter() {
+            let outcome = match tier.backing() {
+                TierBacking::Store(store) => {
+                    self.store_write_diff(store, enc.start, enc.end, &enc.bytes)
+                }
+                TierBacking::Object(sink) => self.object_write(
+                    sink,
+                    &CheckpointStore::diff_key(enc.start, enc.end),
+                    &enc.bytes,
+                ),
+            };
+            let TierWrite::Done {
+                ok,
+                retries,
+                acks,
+                errors,
+                landed,
+            } = outcome
+            else {
+                // Durable-but-unacknowledged (or torn) writes leave the
+                // batch buffered (no `complete_write`), which on resume
+                // shows up as an overlapping diff key — harmless, the
+                // chain walker skips past it.
+                self.buffers.put(enc.bytes);
+                return false;
+            };
+            let mut s = self.shared.lock();
+            s.io_retries += retries;
+            let ts = s.tier_mut(tier.name());
+            ts.acks += acks;
+            ts.errors += errors;
+            ts.bytes += landed;
+            if ok {
+                if matches!(tier.backing(), TierBacking::Store(_)) {
+                    s.writes += 1;
+                    s.bytes_written += written;
+                    s.diff_bytes_written += written;
+                }
             } else {
-                let cut = enc.bytes.len() / 2;
-                let _ = store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes[..cut]);
-            }
-            self.buffers.put(enc.bytes);
-            return false;
-        }
-        let t1 = Instant::now();
-        let (ok, retries) = if stripes >= 2 {
-            match self.striped_write(
-                || store.put_diff_striped(enc.start, enc.end, &enc.bytes, stripes, self.retry),
-                |m| store.seal_diff_striped(enc.start, enc.end, m),
-            ) {
-                Some(v) => v,
-                None => {
-                    self.buffers.put(enc.bytes);
-                    return false;
+                s.io_errors += 1;
+                s.degraded = true;
+                if tier.ack() == AckMode::Sync {
+                    ok_overall = false;
                 }
             }
-        } else {
-            let r = with_retry(self.retry, || {
-                store.put_diff_batch_bytes(enc.start, enc.end, &enc.bytes)
-            });
-            (r.result.is_ok(), r.retries as u64)
-        };
-        self.metrics.persist.record(t1.elapsed());
-        let written = enc.bytes.len() as u64;
-        self.buffers.put(enc.bytes);
-        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
-            // Durable but unacknowledged: the batch stays buffered (no
-            // `complete_write`), which on resume shows up as an overlapping
-            // diff key — harmless, the chain walker skips past it.
-            return false;
         }
-        let mut s = self.shared.lock();
-        s.io_retries += retries;
-        if ok {
+        self.buffers.put(enc.bytes);
+        if ok_overall {
             writer.complete_write(written);
-            s.writes += 1;
-            s.bytes_written += written;
-            s.diff_bytes_written += written;
             true
         } else {
-            // Retries exhausted: give the batch up. The gap this leaves in
-            // the differential chain is exactly what recovery already
-            // bounds (`diff_chain_from` stops at the gap); the forced full
-            // re-anchors the chain so later diffs become useful again.
-            // Training was never blocked.
-            s.io_errors += 1;
-            s.dropped_diffs += writer.discard_batch();
-            s.dropped_batches += 1;
-            s.degraded = true;
-            drop(s);
+            // Retries exhausted on a synchronous tier: give the batch up.
+            // The gap this leaves in the differential chain is exactly
+            // what recovery already bounds (`diff_chain_from` stops at the
+            // gap); the forced full re-anchors the chain so later diffs
+            // become useful again. Training was never blocked.
+            {
+                let mut s = self.shared.lock();
+                s.dropped_diffs += writer.discard_batch();
+                s.dropped_batches += 1;
+            }
             self.request_reanchor();
             false
         }
     }
 
-    /// Encode and persist standalone differential entries (no writer
-    /// buffering — the Naïve-DC synchronous path). Accounting matches the
-    /// batch path: a failed write drops the entries and counts one
-    /// `dropped_batches`; the *caller* decides how to re-anchor (Naïve DC
-    /// tracks its base validity itself).
-    pub fn persist_diff_entries(&mut self, store: &CheckpointStore, entries: &[DiffEntry]) -> bool {
+    /// Encode standalone differential entries once (no writer buffering —
+    /// the Naïve-DC synchronous path) and fan across the stack. Accounting
+    /// matches the batch path: a synchronous-tier failure drops the
+    /// entries and counts one `dropped_batches`; the *caller* decides how
+    /// to re-anchor (Naïve DC tracks its base validity itself).
+    pub fn persist_diff_entries(&mut self, tiers: &TierStack, entries: &[DiffEntry]) -> bool {
         if self.crash_dead() {
             return false;
         }
@@ -332,84 +485,123 @@ impl EngineCtx<'_> {
             self.buffers.put(bytes);
             return false;
         }
-        let stripes = self.stripe.effective_stripes(bytes.len());
-        if self.crash_hit(CrashPoint::MidPersist) {
-            if stripes >= 2 {
-                store.put_diff_striped_torn(start, end, &bytes, stripes);
+        let written = bytes.len() as u64;
+        let mut ok_overall = true;
+        for tier in tiers.iter() {
+            let outcome = match tier.backing() {
+                TierBacking::Store(store) => self.store_write_diff(store, start, end, &bytes),
+                TierBacking::Object(sink) => {
+                    self.object_write(sink, &CheckpointStore::diff_key(start, end), &bytes)
+                }
+            };
+            let TierWrite::Done {
+                ok,
+                retries,
+                acks,
+                errors,
+                landed,
+            } = outcome
+            else {
+                self.buffers.put(bytes);
+                return false;
+            };
+            let mut s = self.shared.lock();
+            s.io_retries += retries;
+            let ts = s.tier_mut(tier.name());
+            ts.acks += acks;
+            ts.errors += errors;
+            ts.bytes += landed;
+            if ok {
+                if matches!(tier.backing(), TierBacking::Store(_)) {
+                    s.writes += 1;
+                    s.bytes_written += written;
+                    s.diff_bytes_written += written;
+                }
             } else {
-                let cut = bytes.len() / 2;
-                let _ = store.put_diff_batch_bytes(start, end, &bytes[..cut]);
-            }
-            self.buffers.put(bytes);
-            return false;
-        }
-        let t1 = Instant::now();
-        let (ok, retries) = if stripes >= 2 {
-            match self.striped_write(
-                || store.put_diff_striped(start, end, &bytes, stripes, self.retry),
-                |m| store.seal_diff_striped(start, end, m),
-            ) {
-                Some(v) => v,
-                None => {
-                    self.buffers.put(bytes);
-                    return false;
+                s.io_errors += 1;
+                s.degraded = true;
+                if tier.ack() == AckMode::Sync {
+                    ok_overall = false;
                 }
             }
-        } else {
-            let r = with_retry(self.retry, || {
-                store.put_diff_batch_bytes(start, end, &bytes)
-            });
-            (r.result.is_ok(), r.retries as u64)
-        };
-        self.metrics.persist.record(t1.elapsed());
-        let written = bytes.len() as u64;
-        self.buffers.put(bytes);
-        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
-            return false;
         }
+        self.buffers.put(bytes);
         let mut s = self.shared.lock();
-        s.io_retries += retries;
-        if ok {
+        if ok_overall {
             s.diff_checkpoints += entries.len() as u64;
-            s.writes += 1;
-            s.bytes_written += written;
-            s.diff_bytes_written += written;
             true
         } else {
-            s.io_errors += 1;
             s.dropped_diffs += entries.len() as u64;
             s.dropped_batches += 1;
-            s.degraded = true;
             false
         }
     }
 
-    /// Persist an opaque blob under `key` (Naïve DC's dense moments).
-    /// Failure degrades but drops nothing from the differential chain.
-    pub fn persist_blob(&mut self, store: &CheckpointStore, key: &str, bytes: &[u8]) -> bool {
+    /// Persist an opaque blob under `key` (Naïve DC's dense moments) to
+    /// every tier. Failure degrades but drops nothing from the
+    /// differential chain.
+    pub fn persist_blob(&mut self, tiers: &TierStack, key: &str, bytes: &[u8]) -> bool {
         if self.crash_dead() {
             return false;
         }
+        let mut ok_overall = true;
+        for tier in tiers.iter() {
+            let outcome = match tier.backing() {
+                TierBacking::Store(store) => self.store_write_blob(store, key, bytes),
+                TierBacking::Object(sink) => self.object_write(sink, key, bytes),
+            };
+            let TierWrite::Done {
+                ok,
+                retries,
+                acks,
+                errors,
+                landed,
+            } = outcome
+            else {
+                return false;
+            };
+            let mut s = self.shared.lock();
+            s.io_retries += retries;
+            let ts = s.tier_mut(tier.name());
+            ts.acks += acks;
+            ts.errors += errors;
+            ts.bytes += landed;
+            if ok {
+                if matches!(tier.backing(), TierBacking::Store(_)) {
+                    s.writes += 1;
+                    s.bytes_written += bytes.len() as u64;
+                }
+            } else {
+                s.io_errors += 1;
+                s.degraded = true;
+                if tier.ack() == AckMode::Sync {
+                    ok_overall = false;
+                }
+            }
+        }
+        ok_overall
+    }
+
+    /// One store-backed tier's opaque-blob write (never striped — these
+    /// are small dense side blobs, not checkpoint objects).
+    fn store_write_blob(&self, store: &CheckpointStore, key: &str, bytes: &[u8]) -> TierWrite {
         if self.crash_hit(CrashPoint::MidPersist) {
             let _ = store.backend().put(key, &bytes[..bytes.len() / 2]);
-            return false;
+            return TierWrite::Died;
         }
         let t1 = Instant::now();
         let r = with_retry(self.retry, || store.backend().put(key, bytes));
         self.metrics.persist.record(t1.elapsed());
-        if r.result.is_ok() && self.crash_hit(CrashPoint::PostPersistPreAck) {
-            return false;
+        let ok = r.result.is_ok();
+        if ok && self.crash_hit(CrashPoint::PostPersistPreAck) {
+            return TierWrite::Died;
         }
-        let mut s = self.shared.lock();
-        s.io_retries += r.retries as u64;
-        if r.result.is_ok() {
-            s.writes += 1;
-            s.bytes_written += bytes.len() as u64;
-            true
-        } else {
-            s.io_errors += 1;
-            s.degraded = true;
-            false
+        TierWrite::Done {
+            ok,
+            retries: r.retries as u64,
+            acks: ok as u64,
+            errors: !ok as u64,
+            landed: if ok { bytes.len() as u64 } else { 0 },
         }
     }
 
@@ -432,13 +624,19 @@ impl EngineCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lowdiff_storage::MemoryBackend;
+    use crate::engine::tier::{DurableTier, MemoryTier};
+    use lowdiff_storage::{MemoryBackend, StorageBackend};
     use std::sync::Arc;
 
-    /// Run `f` against a fresh EngineCtx over an in-memory store and
-    /// return the stats it accumulated.
-    fn with_ctx(f: impl FnOnce(&mut EngineCtx<'_>, &CheckpointStore)) -> StrategyStats {
-        let store = CheckpointStore::new(Arc::new(MemoryBackend::new()));
+    /// Run `f` against a fresh EngineCtx and return the stats it
+    /// accumulated. The stack defaults to a single durable tier over an
+    /// in-memory store (the pre-refactor shape); `f` also receives that
+    /// store for assertions.
+    fn with_stack(
+        tiers: TierStack,
+        store: Arc<CheckpointStore>,
+        f: impl FnOnce(&mut EngineCtx<'_>, &TierStack, &CheckpointStore),
+    ) -> StrategyStats {
         let retry = RetryPolicy::none();
         let stripe = StripeCfg::default();
         let shared = Mutex::new(StrategyStats::default());
@@ -457,15 +655,26 @@ mod tests {
             crash: None,
             value_codec: &ValueCodec::F32,
         };
-        f(&mut cx, &store);
+        f(&mut cx, &tiers, &store);
         shared.into_inner()
+    }
+
+    fn with_ctx(f: impl FnOnce(&mut EngineCtx<'_>, &TierStack, &CheckpointStore)) -> StrategyStats {
+        let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        with_stack(TierStack::durable(Arc::clone(&store)), store, f)
+    }
+
+    fn state_at(iteration: u64) -> ModelState {
+        let mut st = ModelState::new(vec![1.0, 2.0, 3.0, 4.0]);
+        st.iteration = iteration;
+        st
     }
 
     #[test]
     fn empty_diff_entry_slice_lands_trivially() {
-        let stats = with_ctx(|cx, store| {
+        let stats = with_ctx(|cx, tiers, store| {
             assert!(
-                cx.persist_diff_entries(store, &[]),
+                cx.persist_diff_entries(tiers, &[]),
                 "an empty flush is a success, not a dropped batch"
             );
             assert!(store.backend().list().unwrap().is_empty());
@@ -475,5 +684,107 @@ mod tests {
         assert_eq!(stats.io_errors, 0);
         assert_eq!(stats.dropped_batches, 0);
         assert!(!stats.degraded);
+    }
+
+    #[test]
+    fn memory_tier_evicts_oldest_fulls_deterministically() {
+        let mem = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let stack = TierStack::new(vec![Arc::new(MemoryTier::new(Arc::clone(&mem), 2))]);
+        let stats = with_stack(stack, Arc::clone(&mem), |cx, tiers, store| {
+            for it in [3u64, 6, 9, 12] {
+                assert!(cx.persist_full(
+                    tiers,
+                    &state_at(it),
+                    &AuxView::NONE,
+                    &FullOpts::durable()
+                ));
+            }
+            // Retention 2: always the newest two, oldest evicted first.
+            assert_eq!(store.full_iterations().unwrap(), vec![9, 12]);
+        });
+        // Memory-class fulls are accounted as in-memory checkpoints.
+        assert_eq!(stats.diff_checkpoints, 4);
+        assert_eq!(stats.full_checkpoints, 0);
+        assert_eq!(stats.io_errors, 0);
+    }
+
+    #[test]
+    fn two_tier_stack_writes_byte_identical_blobs() {
+        let mem = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let dur = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let stack = TierStack::new(vec![
+            Arc::new(MemoryTier::new(Arc::clone(&mem), 1)),
+            Arc::new(DurableTier::new(Arc::clone(&dur))),
+        ]);
+        let stats = with_stack(stack, Arc::clone(&dur), |cx, tiers, _| {
+            assert!(cx.persist_full(tiers, &state_at(7), &AuxView::NONE, &FullOpts::durable()));
+        });
+        let key = CheckpointStore::full_key(7);
+        assert_eq!(
+            mem.backend().get(&key).unwrap(),
+            dur.backend().get(&key).unwrap(),
+            "encode-once fan-out must land the same bytes on every tier"
+        );
+        assert_eq!(stats.full_checkpoints, 1, "durable tier full");
+        assert_eq!(stats.diff_checkpoints, 1, "memory tier full");
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.tiers.len(), 2);
+        assert_eq!(stats.tiers[0].name, "memory");
+        assert_eq!(stats.tiers[1].name, "durable");
+    }
+
+    /// A backend whose writes always fail (peer-loss / outage stand-in).
+    struct BlackholeBackend;
+    impl StorageBackend for BlackholeBackend {
+        fn put(&self, _key: &str, _data: &[u8]) -> std::io::Result<()> {
+            Err(std::io::Error::other("blackhole"))
+        }
+        fn get(&self, key: &str) -> std::io::Result<Vec<u8>> {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, key))
+        }
+        fn list(&self) -> std::io::Result<Vec<String>> {
+            Ok(Vec::new())
+        }
+        fn delete(&self, _key: &str) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn bytes_written(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn async_tier_failure_degrades_but_does_not_fail_the_persist() {
+        let good = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+        let bad = Arc::new(CheckpointStore::new(Arc::new(BlackholeBackend)));
+        let stack = TierStack::new(vec![
+            Arc::new(DurableTier::new(Arc::clone(&good))),
+            Arc::new(DurableTier::with_ack(Arc::clone(&bad), AckMode::Async)),
+        ]);
+        let stats = with_stack(stack, Arc::clone(&good), |cx, tiers, _| {
+            assert!(
+                cx.persist_full(tiers, &state_at(1), &AuxView::NONE, &FullOpts::durable()),
+                "an async tier's failure must not fail the persist"
+            );
+        });
+        assert_eq!(stats.full_checkpoints, 1);
+        assert_eq!(stats.io_errors, 1, "…but it is accounted");
+        assert!(stats.degraded);
+        // Both tiers share the name "durable", so the ledger merges them:
+        // one ack (the good store) and one error (the blackhole).
+        assert_eq!(stats.tiers.len(), 1);
+        assert_eq!(stats.tiers[0].acks, 1);
+        assert_eq!(stats.tiers[0].errors, 1);
+    }
+
+    #[test]
+    fn sync_tier_failure_fails_the_persist() {
+        let bad = Arc::new(CheckpointStore::new(Arc::new(BlackholeBackend)));
+        let stats = with_stack(TierStack::durable(Arc::clone(&bad)), bad, |cx, tiers, _| {
+            assert!(!cx.persist_full(tiers, &state_at(1), &AuxView::NONE, &FullOpts::durable()));
+        });
+        assert_eq!(stats.io_errors, 1);
+        assert!(stats.degraded);
+        assert_eq!(stats.full_checkpoints, 0);
     }
 }

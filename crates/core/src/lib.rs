@@ -23,6 +23,7 @@ pub mod config;
 pub mod engine;
 pub mod lowdiff;
 pub mod lowdiff_plus;
+pub mod peer;
 pub mod pipeline;
 pub mod queue;
 pub mod recovery;
@@ -32,13 +33,17 @@ pub mod trainer;
 pub use batched::{BatchMode, BatchedWriter};
 pub use config::{ConfigOptimizer, WastedTimeModel};
 pub use engine::{
-    CheckpointEngine, CheckpointPolicy, CrashInjector, CrashPoint, EngineConfig, EngineCounters,
-    EngineCtx, FullOpts, FullSnapshot, Job, PolicyCtl, StageLatency, Tier, ALL_CRASH_POINTS,
+    CheckpointEngine, CheckpointPolicy, CrashInjector, CrashPoint, DurableTier, EngineConfig,
+    EngineCounters, EngineCtx, FullOpts, FullSnapshot, Job, MemoryTier, PeerTier, PolicyCtl,
+    RecoveryTier, StageLatency, Tier, TierStack, ALL_CRASH_POINTS,
 };
 pub use lowdiff::{LowDiffConfig, LowDiffStrategy};
 pub use lowdiff_compress::{AuxState, AuxView, CompressorCfg, CompressorKind};
 pub use lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
+pub use peer::PeerReplicateStrategy;
 pub use queue::ReusingQueue;
 pub use recovery::{recover_serial, recover_sharded, RecoveryReport};
-pub use strategy::{CheckpointStrategy, NoCheckpoint, StrategyStats};
-pub use trainer::{ResumeOpts, ResumeReport, Trainer, TrainerConfig, TrainerReport};
+pub use strategy::{CheckpointStrategy, NoCheckpoint, StrategyStats, TierStats};
+pub use trainer::{
+    RecoverySource, ResumeOpts, ResumeReport, Trainer, TrainerConfig, TrainerReport,
+};

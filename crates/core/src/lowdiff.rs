@@ -23,7 +23,7 @@
 use crate::batched::{BatchMode, BatchedWriter};
 use crate::engine::{
     CheckpointEngine, CheckpointPolicy, CrashInjector, EngineConfig, EngineCtx, FullOpts, Job,
-    PolicyCtl, Tier,
+    PolicyCtl, TierStack,
 };
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::{AuxView, CompressedGrad};
@@ -83,16 +83,20 @@ impl Default for LowDiffConfig {
 
 /// The scheme half of LowDiff: batches differentials, persists fulls with
 /// re-anchor-on-failure semantics, garbage-collects old fulls. Runs on the
-/// engine's checkpointing thread; every write goes through [`EngineCtx`].
+/// engine's checkpointing thread; every write fans across the recovery
+/// tier stack through [`EngineCtx`] (plain LowDiff runs a single durable
+/// tier; [`crate::peer::PeerReplicateStrategy`] swaps in a peer-first
+/// stack without touching this logic).
 struct LowDiffPolicy {
-    store: Arc<CheckpointStore>,
+    tiers: TierStack,
     writer: BatchedWriter,
     keep_fulls: Option<u64>,
+    label: &'static str,
 }
 
 impl CheckpointPolicy for LowDiffPolicy {
     fn name(&self) -> &'static str {
-        "lowdiff"
+        self.label
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
@@ -102,19 +106,18 @@ impl CheckpointPolicy for LowDiffPolicy {
                 self.writer.offload(iteration, grad);
                 cx.with_stats(|s| s.diff_checkpoints += 1);
                 if self.writer.batch_ready() {
-                    cx.persist_batch(&self.store, &mut self.writer);
+                    cx.persist_batch(&self.tiers, &mut self.writer);
                 }
             }
             Job::Full(snap) => {
                 let opts = FullOpts {
-                    tier: Tier::Durable,
                     // A full that never lands must be re-attempted soon:
                     // without it, a previously dropped batch would leave
                     // the recovery window unbounded.
                     reanchor_on_failure: true,
                     keep_fulls: self.keep_fulls,
                 };
-                cx.persist_full(&self.store, &snap.state, &snap.aux(), &opts);
+                cx.persist_full(&self.tiers, &snap.state, &snap.aux(), &opts);
                 cx.recycle_state(snap);
             }
             Job::Dense { .. } => debug_assert!(false, "lowdiff submits compressed gradients"),
@@ -122,14 +125,14 @@ impl CheckpointPolicy for LowDiffPolicy {
     }
 
     fn flush(&mut self, cx: &mut EngineCtx<'_>) {
-        cx.persist_batch(&self.store, &mut self.writer);
+        cx.persist_batch(&self.tiers, &mut self.writer);
     }
 
     fn control(&mut self, ctl: PolicyCtl, cx: &mut EngineCtx<'_>) {
         let PolicyCtl::SetBatchSize(bs) = ctl;
         // Complete the in-flight batch at the old size, then switch:
         // differential chains stay consecutive.
-        cx.persist_batch(&self.store, &mut self.writer);
+        cx.persist_batch(&self.tiers, &mut self.writer);
         let mode = self.writer.mode();
         let codec = self.writer.value_codec();
         let done = std::mem::replace(&mut self.writer, BatchedWriter::with_codec(bs, mode, codec));
@@ -142,15 +145,31 @@ pub struct LowDiffStrategy {
     cfg: LowDiffConfig,
     optimizer: Option<crate::config::ConfigOptimizer>,
     engine: CheckpointEngine,
+    label: &'static str,
 }
 
 impl LowDiffStrategy {
     pub fn new(store: Arc<CheckpointStore>, cfg: LowDiffConfig) -> Self {
+        let tiers = TierStack::durable(Arc::clone(&store));
+        Self::with_tier_stack(store, cfg, tiers, "lowdiff")
+    }
+
+    /// Run the unchanged LowDiff scheme over an arbitrary recovery-tier
+    /// stack — the composition point for peer-first variants
+    /// ([`crate::peer::PeerReplicateStrategy`]). `store` stays the durable
+    /// store recovery and the health blob talk to.
+    pub fn with_tier_stack(
+        store: Arc<CheckpointStore>,
+        cfg: LowDiffConfig,
+        tiers: TierStack,
+        label: &'static str,
+    ) -> Self {
         assert!(cfg.full_every >= 1 && cfg.batch_size >= 1);
         let policy = LowDiffPolicy {
-            store: Arc::clone(&store),
+            tiers,
             writer: BatchedWriter::with_codec(cfg.batch_size, cfg.mode, cfg.value_codec),
             keep_fulls: cfg.keep_fulls,
+            label,
         };
         let engine = CheckpointEngine::spawn(
             store,
@@ -168,6 +187,7 @@ impl LowDiffStrategy {
             cfg,
             optimizer: None,
             engine,
+            label,
         }
     }
 
@@ -226,7 +246,7 @@ impl LowDiffStrategy {
 
 impl CheckpointStrategy for LowDiffStrategy {
     fn name(&self) -> &'static str {
-        "lowdiff"
+        self.label
     }
 
     fn on_synced_gradient(

@@ -30,6 +30,7 @@
 
 use crate::engine::{
     CheckpointEngine, CheckpointPolicy, CrashInjector, EngineConfig, EngineCtx, FullOpts, Job,
+    TierStack,
 };
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_comm::SyncPool;
@@ -90,7 +91,7 @@ impl Default for LowDiffPlusConfig {
 /// the CPU replica, persist it periodically. Runs on the engine's
 /// checkpointing thread.
 struct LowDiffPlusPolicy {
-    store: Arc<CheckpointStore>,
+    tiers: TierStack,
     /// The CPU-resident replica `M^C` (shared with the adapter for
     /// software-failure recovery).
     replica: Arc<Mutex<ModelState>>,
@@ -148,7 +149,7 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
                 rng: self.snap_rng,
                 quant: None, // no compression, so no precision policy
             };
-            cx.persist_full(&self.store, &self.snap, &aux, &FullOpts::durable());
+            cx.persist_full(&self.tiers, &self.snap, &aux, &FullOpts::durable());
         }
     }
 }
@@ -188,7 +189,7 @@ impl LowDiffPlusStrategy {
         let layer_pool = Arc::new(BufferPool::new(2 * cfg.snapshot_threads.max(1)));
         let replica = Arc::new(Mutex::new(initial));
         let policy = LowDiffPlusPolicy {
-            store: Arc::clone(&store),
+            tiers: TierStack::durable(Arc::clone(&store)),
             replica: Arc::clone(&replica),
             persist_every: cfg.persist_every,
             adam: cfg.adam,

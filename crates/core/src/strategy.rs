@@ -22,6 +22,21 @@ use lowdiff_util::units::Secs;
 use std::ops::Range;
 use std::sync::Arc;
 
+/// Per-recovery-tier write ledger: how many bytes/acks/errors each tier
+/// of the engine's [`crate::engine::TierStack`] saw. Keyed by the tier's
+/// stable name ("durable", "memory", "peer"); insertion order is stack
+/// order, so index 0 is the primary (highest-recovery-priority) tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    pub name: &'static str,
+    /// Bytes acknowledged on this tier (replica bytes for peer tiers).
+    pub bytes: u64,
+    /// Write/replica acknowledgements.
+    pub acks: u64,
+    /// Failed writes / dropped replicas on this tier.
+    pub errors: u64,
+}
+
 /// Accumulated accounting for one training run.
 #[derive(Clone, Debug, Default)]
 pub struct StrategyStats {
@@ -58,9 +73,25 @@ pub struct StrategyStats {
     /// (queue depths, per-stage latency). Default for strategies that
     /// don't run through an engine.
     pub engine: EngineCounters,
+    /// Per-tier write ledger, stack order (empty for strategies that
+    /// never persisted through a tier stack).
+    pub tiers: Vec<TierStats>,
 }
 
 impl StrategyStats {
+    /// The ledger entry for tier `name`, created on first touch so the
+    /// vector's order mirrors the write fan-out order.
+    pub fn tier_mut(&mut self, name: &'static str) -> &mut TierStats {
+        if let Some(i) = self.tiers.iter().position(|t| t.name == name) {
+            return &mut self.tiers[i];
+        }
+        self.tiers.push(TierStats {
+            name,
+            ..TierStats::default()
+        });
+        self.tiers.last_mut().unwrap()
+    }
+
     pub fn merge(&mut self, other: &StrategyStats) {
         self.stall += other.stall;
         self.diff_checkpoints += other.diff_checkpoints;
@@ -75,6 +106,12 @@ impl StrategyStats {
         self.forced_fulls += other.forced_fulls;
         self.degraded |= other.degraded;
         self.engine.merge(&other.engine);
+        for t in &other.tiers {
+            let mine = self.tier_mut(t.name);
+            mine.bytes += t.bytes;
+            mine.acks += t.acks;
+            mine.errors += t.errors;
+        }
     }
 
     /// True when any storage trouble was observed (retried, failed, or
@@ -226,6 +263,12 @@ mod tests {
             forced_fulls: 1,
             degraded: false,
             engine: EngineCounters::default(),
+            tiers: vec![TierStats {
+                name: "durable",
+                bytes: 100,
+                acks: 2,
+                errors: 0,
+            }],
         };
         let b = StrategyStats {
             stall: Secs(0.5),
@@ -241,6 +284,20 @@ mod tests {
             forced_fulls: 0,
             degraded: true,
             engine: EngineCounters::default(),
+            tiers: vec![
+                TierStats {
+                    name: "durable",
+                    bytes: 50,
+                    acks: 1,
+                    errors: 1,
+                },
+                TierStats {
+                    name: "peer",
+                    bytes: 10,
+                    acks: 3,
+                    errors: 2,
+                },
+            ],
         };
         a.merge(&b);
         assert!((a.stall.as_f64() - 1.5).abs() < 1e-12);
@@ -254,6 +311,24 @@ mod tests {
         assert_eq!(a.dropped_batches, 1);
         assert_eq!(a.forced_fulls, 1);
         assert!(a.degraded, "degraded is sticky under merge");
+        assert_eq!(
+            a.tiers,
+            vec![
+                TierStats {
+                    name: "durable",
+                    bytes: 150,
+                    acks: 3,
+                    errors: 1,
+                },
+                TierStats {
+                    name: "peer",
+                    bytes: 10,
+                    acks: 3,
+                    errors: 2,
+                },
+            ],
+            "tier ledgers merge by name, unseen tiers append in order"
+        );
     }
 
     #[test]

@@ -158,6 +158,20 @@ pub struct ResumeReport {
     /// (v1 blob without aux, or a residual/error-feedback mismatch):
     /// training continues but may diverge from the uninterrupted run.
     pub lossy: bool,
+    /// Which recovery source anchored the resume (`"peer:2"`,
+    /// `"durable"`, …). `None` for the single-store entry points.
+    pub source: Option<String>,
+}
+
+/// One level of a tier-priority recovery walk: a label for reporting and
+/// a store view of that tier's checkpoints (a peer's replica mailbox via
+/// [`crate::engine::PeerReplicaBackend`], Gemini's memory store, or plain
+/// durable storage).
+#[derive(Clone)]
+pub struct RecoverySource {
+    /// Tier label surfaced in [`ResumeReport::source`].
+    pub tier: String,
+    pub store: Arc<CheckpointStore>,
 }
 
 /// Training engine binding a model, optimizer, compressor and strategy.
@@ -371,8 +385,65 @@ impl<S: CheckpointStrategy> Trainer<S> {
             full_iteration,
             replayed,
             lossy,
+            source: None,
         };
         Ok((tr, report))
+    }
+
+    /// Tier-priority resume: walk `sources` front-to-back and anchor on
+    /// the **first** tier holding a valid full checkpoint — peers' replica
+    /// stores before durable storage rebuild a lost rank with no storage
+    /// round-trip (Checkmate), Gemini's memory store before durable skips
+    /// the slow tier when the machine survived. The differential chain is
+    /// replayed from the same source that held the full, so a resume never
+    /// mixes tiers.
+    ///
+    /// A source that errors (dead peer mid-walk, unreadable backend) is
+    /// skipped — recovery keeps falling down the stack. Only when *no*
+    /// source yields a checkpoint is the first error returned; all-empty
+    /// sources are a cold start (`Ok(None)`).
+    pub fn resume_tiered(
+        net: Network,
+        adam: Adam,
+        strategy: S,
+        cfg: TrainerConfig,
+        sources: &[RecoverySource],
+        opts: ResumeOpts,
+    ) -> io::Result<Option<(Self, ResumeReport)>> {
+        let mut net = Some(net);
+        let mut strategy = Some(strategy);
+        let mut first_err: Option<io::Error> = None;
+        for src in sources {
+            let fc = src
+                .store
+                .sweep_unsealed()
+                .and_then(|_| src.store.latest_valid_full_checkpoint());
+            match fc {
+                Ok(Some(fc)) => {
+                    let (tr, mut report) = Self::resume_from(
+                        net.take().expect("sources walked once"),
+                        adam,
+                        strategy.take().expect("sources walked once"),
+                        cfg.clone(),
+                        fc,
+                        &src.store,
+                        opts,
+                    )?;
+                    report.source = Some(src.tier.clone());
+                    return Ok(Some((tr, report)));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
     }
 
     pub fn state(&self) -> &ModelState {

@@ -77,11 +77,16 @@ impl CheckpointStore {
         &self.backend
     }
 
-    fn full_key(iteration: u64) -> String {
+    /// Canonical blob key of an unstriped full checkpoint. Public so
+    /// non-store transports (peer replication) lay replicas out in the
+    /// exact key space the recovery walkers expect.
+    pub fn full_key(iteration: u64) -> String {
         format!("full-{iteration:010}.ckpt")
     }
 
-    fn diff_key(start: u64, end: u64) -> String {
+    /// Canonical blob key of an unstriped differential batch (see
+    /// [`CheckpointStore::full_key`] for why it is public).
+    pub fn diff_key(start: u64, end: u64) -> String {
         format!("diff-{start:010}-{end:010}.ckpt")
     }
 

@@ -7,16 +7,21 @@
 # 2. cargo clippy          — every lint is an error across the workspace,
 #                            all targets (libs, bins, tests, benches)
 # 3. cargo test -q         — the full workspace test suite
-# 4. crash-torture smoke   — the fast subset of the crash/resume matrix
-# 5. fidelity smoke        — the recovery-fidelity harness: quantized v3
+# 4. crash-torture smoke   — the fast subset of the crash/resume matrix,
+#                            including whole-rank-loss cells recovered
+#                            from peer replicas alone
+# 5. peer-replication smoke — multi-rank e2e over the peer tier (2+ ranks,
+#                            k=1 ring replica) plus the peer-loss contract
+# 6. fidelity smoke        — the recovery-fidelity harness: quantized v3
 #                            chains recover within the configured error
 #                            bound; the f32 path stays bit-exact
-# 6. bench --smoke         — both benchmark binaries complete on a tiny
+# 7. bench --smoke         — both benchmark binaries complete on a tiny
 #                            configuration (no JSON written); the e2e
 #                            bench runs three times — 1 and 4 persist
 #                            stripes, then with adaptive quantization on —
-#                            so the legacy, striped, and quantized write
-#                            paths are all exercised end-to-end
+#                            so the legacy, striped, quantized, and
+#                            peer-replicated write paths are all
+#                            exercised end-to-end
 #
 # Fails fast: the first failing step fails the gate.
 
@@ -34,8 +39,16 @@ cargo test -q --workspace
 
 echo "== crash-torture smoke =="
 # Fast subset of the crash-point torture matrix (tests/crash_torture.rs):
-# every strategy through a torn write, LowDiff through every crash point.
+# every strategy through a torn write, LowDiff through every crash point,
+# and whole-rank loss (live state + durable store destroyed together)
+# recovered bit-exactly from peer replicas alone.
 cargo test -q --test crash_torture smoke_
+
+echo "== peer-replication smoke =="
+# Peer-tier e2e (tests/peer_replication.rs): multi-rank WorkerGroup run
+# with k=1 ring replication, whole-rank loss resumed from the surviving
+# peer, and the drop/account/re-replicate contract under peer loss.
+cargo test -q --test peer_replication
 
 echo "== fidelity smoke =="
 # Recovery-fidelity harness (tests/fidelity.rs): wire-level quantization
@@ -53,6 +66,6 @@ MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_ckpt_e2e --smoke --stripes 4
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
-  target/release/bench_ckpt_e2e --smoke --quant-bits 8 --adaptive --max-quant-err 2e-3
+  target/release/bench_ckpt_e2e --smoke --quant-bits 8 --adaptive --max-quant-err 2e-3 --peers 2
 
 echo "CI gate passed."

@@ -22,12 +22,14 @@
 //! parameter deltas, not replayable gradients, so its cells resume with
 //! `fast_forward: false` and anchor at the full checkpoint.
 
+use lowdiff::engine::peer_recovery_stores;
 use lowdiff::{
     CheckpointStrategy, CrashInjector, CrashPoint, EngineConfig, LowDiffConfig, LowDiffPlusConfig,
-    LowDiffPlusStrategy, LowDiffStrategy, NoCheckpoint, ResumeOpts, Trainer, TrainerConfig,
-    ALL_CRASH_POINTS,
+    LowDiffPlusStrategy, LowDiffStrategy, NoCheckpoint, PeerReplicateStrategy, RecoverySource,
+    ResumeOpts, Trainer, TrainerConfig, ALL_CRASH_POINTS,
 };
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
+use lowdiff_comm::ReplicaNet;
 use lowdiff_model::builders::mlp;
 use lowdiff_model::data::Regression;
 use lowdiff_model::loss::mse;
@@ -320,6 +322,118 @@ fn quant_torture_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
     );
 }
 
+/// Whole-rank-loss cell: the crash takes the *entire rank* with it —
+/// live model, optimizer, AND the rank's durable checkpoint directory.
+/// The only surviving copies are the replicas [`PeerReplicateStrategy`]
+/// streamed to its ring peers, so recovery runs [`Trainer::resume_tiered`]
+/// over the peers' replica stores with **no durable source at all**. The
+/// resumed run must still land bit-identical to the straight run.
+fn rank_loss_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
+    const RANKS: usize = 3;
+    const REPLICAS: usize = 2;
+    let cfg = TrainerConfig {
+        compress_ratio: Some(0.25),
+        error_feedback,
+        data_seed: 0xFEED ^ cell_seed,
+        ..TrainerConfig::default()
+    };
+
+    let mut straight = Trainer::new(net(), Adam::default(), NoCheckpoint::new(), cfg.clone());
+    straight.run_with_data(TOTAL, data_step());
+    let want = straight.state().clone();
+
+    let nth = 2 + DetRng::new(0xC4A5 ^ cell_seed.rotate_left(23)).next_u64() % 7;
+    let injector = CrashInjector::arm(point, nth);
+    let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
+    let stripe = if point == CrashPoint::MidStripe {
+        StripeCfg {
+            stripes: 2,
+            min_stripe_bytes: 1,
+        }
+    } else {
+        StripeCfg::default()
+    };
+    let replica_net = ReplicaNet::new(RANKS);
+    let strat = PeerReplicateStrategy::new(
+        Arc::clone(&store),
+        LowDiffConfig {
+            full_every: 6,
+            batch_size: 2,
+            stripe,
+            crash: Some(Arc::clone(&injector)),
+            ..LowDiffConfig::default()
+        },
+        Arc::clone(&replica_net),
+        0,
+        REPLICAS,
+    );
+
+    let mut doomed = Trainer::new(net(), Adam::default(), Box::new(strat), cfg.clone());
+    let mut step = data_step();
+    let mut ran = 0;
+    while ran < TOTAL && !injector.crashed() {
+        doomed.run_with_data(1, &mut step);
+        ran += 1;
+    }
+    assert!(
+        injector.crashed(),
+        "rank-loss/{point:?} nth={nth}: crash never fired in {TOTAL} iterations"
+    );
+    drop(doomed);
+    drop(store); // the whole rank is gone — its durable directory with it
+
+    // Recovery sources: surviving peers' replica stores ONLY. A durable
+    // source would mask the thing under test (peer-only recovery).
+    let sources: Vec<RecoverySource> = peer_recovery_stores(&replica_net, 0)
+        .into_iter()
+        .map(|(tier, store)| RecoverySource { tier, store })
+        .collect();
+    let opts = ResumeOpts { fast_forward: true };
+    let mut resumed = match Trainer::resume_tiered(
+        net(),
+        Adam::default(),
+        NoCheckpoint::new(),
+        cfg.clone(),
+        &sources,
+        opts,
+    )
+    .unwrap()
+    {
+        Some((tr, rep)) => {
+            assert!(
+                !rep.lossy,
+                "rank-loss/{point:?}: replicated v2 fulls carry the whole state"
+            );
+            assert!(rep.resumed_iteration <= TOTAL);
+            let src = rep.source.as_deref().unwrap_or("");
+            assert!(
+                src.starts_with("peer:"),
+                "rank-loss/{point:?}: resumed from {src:?}, not a peer replica"
+            );
+            tr
+        }
+        // Crashed before anything replicated: cold start.
+        None => Trainer::new(net(), Adam::default(), NoCheckpoint::new(), cfg.clone()),
+    };
+    let remaining = TOTAL - resumed.state().iteration;
+    resumed.run_with_data(remaining, data_step());
+
+    let got = resumed.state();
+    assert_eq!(got.iteration, TOTAL);
+    assert_eq!(
+        got.params, want.params,
+        "rank-loss/{point:?} ef={error_feedback} nth={nth}: params diverged after peer recovery"
+    );
+    assert_eq!(
+        got.opt.m, want.opt.m,
+        "rank-loss/{point:?} ef={error_feedback} nth={nth}: Adam m diverged after peer recovery"
+    );
+    assert_eq!(
+        got.opt.v, want.opt.v,
+        "rank-loss/{point:?} ef={error_feedback} nth={nth}: Adam v diverged after peer recovery"
+    );
+}
+
 /// CI smoke subset: LowDiff (the paper's scheme) through every crash
 /// point with error feedback on — the configuration the original bug
 /// silently diverged in.
@@ -368,6 +482,30 @@ fn torture_matrix_quantized_compressor_all_crash_points() {
     for point in ALL_CRASH_POINTS {
         for ef in [false, true] {
             quant_torture_cell(point, ef, 300 + cell);
+            cell += 1;
+        }
+    }
+}
+
+/// CI smoke subset: whole-rank loss at the two points that leave the
+/// replica set in its nastiest shapes — a torn half-frame on every peer
+/// (MidPersist) and a crash between persist and ack (PostPersistPreAck).
+#[test]
+fn smoke_whole_rank_loss_recovers_from_peers() {
+    rank_loss_cell(CrashPoint::MidPersist, true, 400);
+    rank_loss_cell(CrashPoint::PostPersistPreAck, false, 401);
+}
+
+/// Whole-rank-loss extension of the matrix: {peer-replicated LowDiff} ×
+/// {five crash points} × {EF on/off}. 10 cells; the lost rank's durable
+/// store is destroyed with it, recovery runs over peer replicas alone,
+/// and the resumed state must still be bit-identical to the straight run.
+#[test]
+fn torture_matrix_whole_rank_loss_all_crash_points() {
+    let mut cell = 0u64;
+    for point in ALL_CRASH_POINTS {
+        for ef in [false, true] {
+            rank_loss_cell(point, ef, 500 + cell);
             cell += 1;
         }
     }

@@ -11,12 +11,16 @@
 //! one deliberate addition and is excluded).
 
 use lowdiff::batched::{BatchMode, BatchedWriter};
+use lowdiff::engine::peer_recovery_stores;
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::CheckpointStrategy;
-use lowdiff::{AuxView, EngineConfig, NoCheckpoint, ResumeOpts, Trainer, TrainerConfig};
+use lowdiff::{
+    AuxView, EngineConfig, NoCheckpoint, PeerReplicateStrategy, ResumeOpts, Trainer, TrainerConfig,
+};
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
+use lowdiff_comm::ReplicaNet;
 use lowdiff_compress::{CompressedGrad, Compressor, SparseGrad, TopK};
 use lowdiff_model::builders::mlp;
 use lowdiff_model::data::Regression;
@@ -334,6 +338,76 @@ fn check_naive_dc(seed: u64, psi: usize, iters: u64, diff_every: u64, full_every
     assert_eq!(rec.params, rec_b.params, "naive-dc recovery params");
 }
 
+// ----------------------------------------------------------- lowdiff-peer
+
+/// PeerReplicate is LowDiff with a `[PeerTier(k), DurableTier]` stack:
+/// the durable store must stay byte-identical to plain LowDiff's, and
+/// every ring peer must hold a byte-identical mirror of it that recovers
+/// to the live state with no storage round-trip.
+fn check_peer_mirror(
+    seed: u64,
+    psi: usize,
+    iters: u64,
+    full_every: u64,
+    batch_size: usize,
+    ranks: usize,
+    k: usize,
+) {
+    let (init, grads) = trace(seed, psi, iters);
+    let adam = Adam::default();
+    let cfg = LowDiffConfig {
+        full_every,
+        batch_size,
+        ..LowDiffConfig::default()
+    };
+
+    let net = ReplicaNet::new(ranks);
+    let store_a = mem_store();
+    let mut state = ModelState::new(init.clone());
+    let mut strat =
+        PeerReplicateStrategy::new(Arc::clone(&store_a), cfg.clone(), Arc::clone(&net), 0, k);
+    let mut comp = TopK::new(0.25);
+    strat.after_update(&state, &AuxView::NONE); // anchor full at 0
+    for g in &grads {
+        let cg = Arc::new(comp.compress(g));
+        strat.on_synced_gradient(state.iteration, &cg, &AuxView::NONE);
+        state.apply_gradient(&adam, &cg.to_dense());
+        strat.after_update(&state, &AuxView::NONE);
+    }
+    strat.flush();
+    drop(strat);
+
+    // Reference: plain LowDiff, same schedule, no peer tier.
+    let store_b = mem_store();
+    let mut ref_state = ModelState::new(init);
+    let mut strat = LowDiffStrategy::new(Arc::clone(&store_b), cfg);
+    let mut comp = TopK::new(0.25);
+    strat.after_update(&ref_state, &AuxView::NONE);
+    for g in &grads {
+        let cg = Arc::new(comp.compress(g));
+        strat.on_synced_gradient(ref_state.iteration, &cg, &AuxView::NONE);
+        ref_state.apply_gradient(&adam, &cg.to_dense());
+        strat.after_update(&ref_state, &AuxView::NONE);
+    }
+    strat.flush();
+    drop(strat);
+
+    assert_eq!(state.params, ref_state.params, "trace replay diverged");
+    assert_stores_identical(&store_a, &store_b, "lowdiff-peer durable tier");
+
+    // Every ring peer mirrors the durable store byte-for-byte.
+    let sources = peer_recovery_stores(&net, 0);
+    assert_eq!(
+        sources.len(),
+        k.min(ranks - 1),
+        "every ring peer should hold replicas"
+    );
+    for (tier, peer_store) in &sources {
+        assert_stores_identical(peer_store, &store_b, tier);
+        assert_recovers_to(peer_store, &state, tier);
+    }
+}
+
 // ------------------------------------------------- mixed v1/v2 diff chains
 
 /// Recovery over a differential chain whose batches mix the legacy raw-index
@@ -570,6 +644,11 @@ fn all_strategies_match_reference_on_default_trace() {
 }
 
 #[test]
+fn peer_replication_mirrors_durable_store() {
+    check_peer_mirror(16, 32, 25, 5, 2, 3, 2);
+}
+
+#[test]
 fn mixed_version_chain_matches_dense_replay() {
     check_mixed_version_chain(21, 48, 23, 3);
 }
@@ -730,6 +809,21 @@ proptest! {
         seed in 0u64..1000,
     ) {
         check_striped_equivalence(scheme, stripes, seed);
+    }
+
+    /// Peer replication is a pure fan-out: the durable store stays
+    /// byte-identical to plain LowDiff and every ring peer mirrors it.
+    #[test]
+    fn peer_replication_is_byte_identical(
+        seed in 0u64..1000,
+        psi in 8usize..40,
+        iters in 4u64..24,
+        full_every in 2u64..8,
+        batch_size in 1usize..4,
+        ranks in 2usize..5,
+        k_raw in 0usize..3,
+    ) {
+        check_peer_mirror(seed, psi, iters, full_every, batch_size, ranks, 1 + k_raw % (ranks - 1));
     }
 
     /// Chains mixing v1 and v2 diff blobs recover exactly (satellite: the
