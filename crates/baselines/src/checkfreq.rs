@@ -16,7 +16,8 @@
 //! snapshot queued; the next submit blocks).
 
 use lowdiff::engine::{
-    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, TierStack,
+    CheckpointEngine, CheckpointPolicy, CowTicket, EngineConfig, EngineCtx, FullOpts, Job,
+    TierStack,
 };
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::AuxView;
@@ -38,11 +39,25 @@ impl CheckpointPolicy for CheckFreqPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        if let Job::Full(snap) = job {
-            cx.persist_full(&self.tiers, &snap.state, &snap.aux(), &FullOpts::durable());
-            cx.recycle_state(snap);
-        } else {
-            debug_assert!(false, "checkfreq submits full snapshots");
+        match job {
+            Job::Full(snap) => {
+                cx.persist_full(&self.tiers, &snap.state, &snap.aux(), &FullOpts::durable());
+                cx.recycle_state(snap);
+            }
+            Job::IncrementalFull(ticket) => {
+                // Incremental capture: sweep cold chunks, seal, persist the
+                // finished frame (byte-identical to the blocking path).
+                if cx.finish_capture(&ticket) {
+                    cx.persist_full_encoded(
+                        &self.tiers,
+                        ticket.iteration(),
+                        ticket.sealed_bytes(),
+                        &FullOpts::durable(),
+                    );
+                }
+                cx.release_ticket(ticket);
+            }
+            _ => debug_assert!(false, "checkfreq submits full snapshots"),
         }
     }
 }
@@ -101,6 +116,10 @@ impl CheckpointStrategy for CheckFreqStrategy {
         "checkfreq"
     }
 
+    fn prime(&mut self, state: &ModelState, aux: &AuxView<'_>) {
+        self.engine.prime_capture(state, aux);
+    }
+
     fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !state.iteration.is_multiple_of(self.every) {
             return Secs::ZERO;
@@ -111,6 +130,10 @@ impl CheckpointStrategy for CheckFreqStrategy {
         // pipeline is full — the CheckFreq stall at high frequency. A dead
         // persist thread degrades the run instead of aborting training.
         self.engine.submit_full(t0, state, aux).stall
+    }
+
+    fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        self.engine.take_pending_capture()
     }
 
     fn flush(&mut self) -> Secs {

@@ -16,8 +16,8 @@
 //! recovery-priority order.
 
 use lowdiff::engine::{
-    AckMode, CheckpointEngine, CheckpointPolicy, DurableTier, EngineConfig, EngineCtx, FullOpts,
-    Job, MemoryTier, RecoveryTier, TierStack,
+    AckMode, CheckpointEngine, CheckpointPolicy, CowTicket, DurableTier, EngineConfig, EngineCtx,
+    FullOpts, Job, MemoryTier, RecoveryTier, TierStack,
 };
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::AuxView;
@@ -43,20 +43,37 @@ impl CheckpointPolicy for GeminiPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        let Job::Full(snap) = job else {
-            debug_assert!(false, "gemini submits full snapshots");
-            return;
-        };
-        // Memory-tier copy (peer CPU RAM over the network in the real
-        // system); aligned iterations also ride the durable tier, written
-        // from the same encode.
-        let tiers = if snap.state.iteration.is_multiple_of(self.persist_every) {
-            &self.both
-        } else {
-            &self.mem_only
-        };
-        cx.persist_full(tiers, &snap.state, &snap.aux(), &FullOpts::durable());
-        cx.recycle_state(snap);
+        match job {
+            Job::Full(snap) => {
+                // Memory-tier copy (peer CPU RAM over the network in the
+                // real system); aligned iterations also ride the durable
+                // tier, written from the same encode.
+                let tiers = if snap.state.iteration.is_multiple_of(self.persist_every) {
+                    &self.both
+                } else {
+                    &self.mem_only
+                };
+                cx.persist_full(tiers, &snap.state, &snap.aux(), &FullOpts::durable());
+                cx.recycle_state(snap);
+            }
+            Job::IncrementalFull(ticket) => {
+                let tiers = if ticket.iteration().is_multiple_of(self.persist_every) {
+                    &self.both
+                } else {
+                    &self.mem_only
+                };
+                if cx.finish_capture(&ticket) {
+                    cx.persist_full_encoded(
+                        tiers,
+                        ticket.iteration(),
+                        ticket.sealed_bytes(),
+                        &FullOpts::durable(),
+                    );
+                }
+                cx.release_ticket(ticket);
+            }
+            _ => debug_assert!(false, "gemini submits full snapshots"),
+        }
     }
 }
 
@@ -169,12 +186,20 @@ impl CheckpointStrategy for GeminiStrategy {
         "gemini"
     }
 
+    fn prime(&mut self, state: &ModelState, aux: &AuxView<'_>) {
+        self.engine.prime_capture(state, aux);
+    }
+
     fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !state.iteration.is_multiple_of(self.mem_every) {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
         self.engine.submit_full(t0, state, aux).stall
+    }
+
+    fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        self.engine.take_pending_capture()
     }
 
     fn flush(&mut self) -> Secs {

@@ -20,7 +20,8 @@
 //! restores the moments from the newest blob (exact).
 
 use lowdiff::engine::{
-    CheckpointEngine, CheckpointPolicy, EngineConfig, EngineCtx, FullOpts, Job, TierStack,
+    CheckpointEngine, CheckpointPolicy, CowTicket, EngineConfig, EngineCtx, FullOpts, Job,
+    TierStack,
 };
 use lowdiff::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::sparsify::TopK;
@@ -60,9 +61,25 @@ impl CheckpointPolicy for NaiveDcPolicy {
     }
 
     fn process(&mut self, job: Job, cx: &mut EngineCtx<'_>) {
-        let Job::Full(snap) = job else {
-            debug_assert!(false, "naive-dc submits full snapshots");
-            return;
+        let snap = match job {
+            Job::Full(snap) => snap,
+            Job::IncrementalFull(ticket) => {
+                // Naïve DC needs the materialized state (delta computation
+                // reads `snap.state`), so complete the capture and decode
+                // the sealed frame back into a pooled snapshot — the frame
+                // is byte-identical to the blocking encode, so the decode
+                // round-trips exactly.
+                let snap = cx.complete_capture_into_snapshot(&ticket);
+                cx.release_ticket(ticket);
+                match snap {
+                    Some(snap) => snap,
+                    None => return,
+                }
+            }
+            _ => {
+                debug_assert!(false, "naive-dc submits full snapshots");
+                return;
+            }
         };
         let state = &snap.state;
         if !self.has_base || state.iteration.is_multiple_of(self.full_every) {
@@ -255,12 +272,20 @@ impl CheckpointStrategy for NaiveDcStrategy {
         "naive-dc"
     }
 
+    fn prime(&mut self, state: &ModelState, aux: &AuxView<'_>) {
+        self.engine.prime_capture(state, aux);
+    }
+
     fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         if !self.engine.wants_capture(state.iteration) {
             return Secs::ZERO;
         }
         let t0 = Instant::now();
         self.engine.submit_full(t0, state, aux).stall
+    }
+
+    fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        self.engine.take_pending_capture()
     }
 
     fn flush(&mut self) -> Secs {

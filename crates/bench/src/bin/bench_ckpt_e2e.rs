@@ -13,7 +13,7 @@
 //!
 //! Usage: `bench_ckpt_e2e [--psi N] [--iters K] [--mbps B] [--stripes S]
 //! [--peers P] [--quant-bits Q] [--adaptive] [--max-quant-err E]
-//! [--out PATH] [--smoke]`
+//! [--snapshot-mode blocking|incremental] [--out PATH] [--smoke]`
 //! (defaults: 262144 params, 40 iterations, 300 MB/s, 1 stripe, 1 peer,
 //! 8-bit quantized row, BENCH_ckpt_e2e.json). `--stripes S` fans every
 //! checkpoint blob out into S concurrent ranged writes sealed by a
@@ -23,7 +23,12 @@
 //! `--peers P` sizes the `lowdiff-peer` row — LowDiff over a
 //! `[PeerTier(P), DurableTier(async)]` recovery stack, every checkpoint
 //! object streamed to P ring peers with the durable write trailing
-//! asynchronously (0 drops the row). `--quant-bits Q` adds a
+//! asynchronously (0 drops the row). `--snapshot-mode` selects how full
+//! checkpoints leave the training thread — `blocking` (one-shot copy, the
+//! default) or `incremental` (chunked copy-on-write capture swept off the
+//! training thread); an always-present `lowdiff-cow` row runs LowDiff with
+//! incremental capture regardless, so every recorded JSON carries the
+//! blocking-vs-COW `snapshot_peak_ms` comparison. `--quant-bits Q` adds a
 //! `lowdiff-qQ` row persisting differentials
 //! through the v3 quantized codec (0 disables it); `--adaptive` +
 //! `--max-quant-err E` let the per-chunk width chooser move on the
@@ -45,7 +50,7 @@
 use lowdiff::lowdiff::{LowDiffConfig, LowDiffStrategy};
 use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::strategy::CheckpointStrategy;
-use lowdiff::{EngineConfig, PeerReplicateStrategy};
+use lowdiff::{EngineConfig, PeerReplicateStrategy, SnapshotMode};
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_bench::print_table;
 use lowdiff_comm::ReplicaNet;
@@ -79,6 +84,10 @@ fn alloc_counts() -> (u64, u64) {
 struct E2eResult {
     name: &'static str,
     stall_per_iter_ms: f64,
+    /// 99th-percentile single-iteration stall (nearest-rank over the
+    /// per-iteration samples) — the spike the tail of the distribution
+    /// hides from the mean.
+    stall_p99_ms: f64,
     total_stall_secs: f64,
     drain_secs: f64,
     wall_secs: f64,
@@ -89,6 +98,12 @@ struct E2eResult {
     writes: u64,
     /// Largest single snapshot-stage sample (capture + enqueue).
     snapshot_peak_ms: f64,
+    /// Largest copy-on-write capture span (framing → seal, overlapped
+    /// with compute). Zero in blocking mode.
+    capture_peak_ms: f64,
+    /// Chunks copied by the update-path COW hook vs the worker sweeper.
+    cow_chunks: u64,
+    sweep_chunks: u64,
     /// Allocations during the post-warmup iterations (count-allocs builds).
     steady_allocs: u64,
     /// ... of at least `4Ψ` bytes — full-state-sized.
@@ -170,25 +185,35 @@ fn run_strategy<S: CheckpointStrategy>(
     state: &ModelState,
 ) -> E2eResult {
     let mut state = state.clone();
+    // Mirror Trainer::run_with_data's warm-up: engine capture pools are
+    // sized (and page-touched) before the first measured iteration, the
+    // same contract real training runs get.
+    strat.prime(&state, &AuxView::NONE);
     // Allocation accounting ignores a warmup prefix: pools fill during the
     // first few checkpoints, steady state is what the tentpole claims.
     let warmup = (iters / 4).clamp(1, 10).min(iters.saturating_sub(1));
     let wall = Instant::now();
     let mut total_stall = 0.0f64;
+    let mut samples = Vec::with_capacity(iters as usize);
     let mut at_warm = alloc_counts();
     for i in 0..iters {
         if i == warmup {
             at_warm = alloc_counts();
         }
-        total_stall += per_iter(&mut strat, &mut state);
+        let stall = per_iter(&mut strat, &mut state);
+        samples.push(stall);
+        total_stall += stall;
     }
     let at_end = alloc_counts();
     let drain = strat.flush().as_f64();
     let wall_secs = wall.elapsed().as_secs_f64();
     let stats = strat.stats();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99 = samples[(samples.len() * 99).div_ceil(100).saturating_sub(1)];
     E2eResult {
         name,
         stall_per_iter_ms: total_stall / iters as f64 * 1e3,
+        stall_p99_ms: p99 * 1e3,
         total_stall_secs: total_stall,
         drain_secs: drain,
         wall_secs,
@@ -196,6 +221,9 @@ fn run_strategy<S: CheckpointStrategy>(
         diff_bytes_written: stats.diff_bytes_written,
         writes: stats.writes,
         snapshot_peak_ms: stats.engine.snapshot.max.as_f64() * 1e3,
+        capture_peak_ms: stats.engine.capture.max.as_f64() * 1e3,
+        cow_chunks: stats.engine.cow_chunks,
+        sweep_chunks: stats.engine.sweep_chunks,
         steady_allocs: at_end.0 - at_warm.0,
         steady_large_allocs: at_end.1 - at_warm.1,
     }
@@ -270,6 +298,7 @@ fn main() {
     let mut quant_bits: u8 = 8;
     let mut adaptive = false;
     let mut max_quant_err: f32 = 0.0;
+    let mut snapshot = SnapshotMode::Blocking;
     let mut out_path = String::from("BENCH_ckpt_e2e.json");
     let mut out_explicit = false;
     let mut smoke = false;
@@ -289,6 +318,13 @@ fn main() {
             "--adaptive" => adaptive = true,
             "--max-quant-err" => {
                 max_quant_err = val("--max-quant-err").parse().expect("bad --max-quant-err")
+            }
+            "--snapshot-mode" => {
+                snapshot = match val("--snapshot-mode").as_str() {
+                    "blocking" => SnapshotMode::Blocking,
+                    "incremental" => SnapshotMode::Incremental,
+                    other => panic!("--snapshot-mode must be blocking|incremental, got {other}"),
+                }
             }
             "--out" => {
                 out_path = val("--out");
@@ -324,11 +360,12 @@ fn main() {
     };
     let ecfg = move || EngineConfig {
         stripe,
+        snapshot,
         ..EngineConfig::default()
     };
     eprintln!(
         "bench_ckpt_e2e: {psi} params, {iters} iterations, {mbps} MB/s storage, \
-         {stripes} stripe(s), {peers} replica peer(s)"
+         {stripes} stripe(s), {peers} replica peer(s), {snapshot:?} snapshots"
     );
 
     // One recorded gradient, reused every iteration: the stall numbers are
@@ -350,20 +387,27 @@ fn main() {
     let mut results: Vec<E2eResult> = Vec::new();
 
     // LowDiff (Algorithm 1): per-iteration compressed differentials,
-    // batched writes, full every 10.
-    {
+    // batched writes, full every 10. Runs twice: once at the requested
+    // snapshot mode and once with incremental COW capture, so the
+    // `snapshot_peak_ms` delta (the full-checkpoint stall spike this
+    // bench exists to kill) is always in the recorded JSON.
+    for (row, row_mode) in [
+        ("lowdiff", snapshot),
+        ("lowdiff-cow", SnapshotMode::Incremental),
+    ] {
         let strat = LowDiffStrategy::new(
             throttled_store(mbps),
             LowDiffConfig {
                 full_every: 10,
                 batch_size: 4,
                 stripe,
+                snapshot: row_mode,
                 ..LowDiffConfig::default()
             },
         );
         let cg = Arc::clone(&cg);
         results.push(run_strategy(
-            "lowdiff",
+            row,
             iters,
             strat,
             move |s, st| {
@@ -390,6 +434,7 @@ fn main() {
                 full_every: 10,
                 batch_size: 4,
                 stripe,
+                snapshot,
                 ..LowDiffConfig::default()
             },
             net,
@@ -428,6 +473,7 @@ fn main() {
                 full_every: 10,
                 batch_size: 4,
                 stripe,
+                snapshot,
                 value_codec: ValueCodec::Quantized(quant_cfg),
                 ..LowDiffConfig::default()
             },
@@ -596,12 +642,18 @@ fn main() {
             vec![
                 r.name.to_string(),
                 format!("{:.3}ms", r.stall_per_iter_ms),
+                format!("{:.3}ms", r.stall_p99_ms),
                 format!("{:.3}s", r.total_stall_secs),
                 format!("{:.3}s", r.drain_secs),
                 format!("{:.1}MB", r.bytes_written as f64 / 1e6),
                 format!("{:.2}MB", r.diff_bytes_written as f64 / 1e6),
                 r.writes.to_string(),
                 format!("{:.3}ms", r.snapshot_peak_ms),
+                if r.cow_chunks + r.sweep_chunks > 0 {
+                    format!("{}/{}", r.cow_chunks, r.sweep_chunks)
+                } else {
+                    "-".to_string()
+                },
                 if counting {
                     format!("{}/{}", r.steady_large_allocs, r.steady_allocs)
                 } else {
@@ -615,12 +667,14 @@ fn main() {
         &[
             "strategy",
             "stall/iter",
+            "stall p99",
             "stall total",
             "drain",
             "written",
             "diff bytes",
             "writes",
             "snap peak",
+            "cow/sweep",
             "big/all allocs",
         ],
         &rows,
@@ -661,13 +715,21 @@ fn main() {
     json.push_str(&format!("  \"storage_mbps\": {mbps},\n"));
     json.push_str(&format!("  \"persist_stripes\": {stripes},\n"));
     json.push_str(&format!("  \"replica_peers\": {peers},\n"));
+    json.push_str(&format!(
+        "  \"snapshot_mode\": \"{}\",\n",
+        match snapshot {
+            SnapshotMode::Blocking => "blocking",
+            SnapshotMode::Incremental => "incremental",
+        }
+    ));
     json.push_str(&format!("  \"alloc_counting\": {counting},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"persist_stripes\": {stripes}, \"stall_per_iter_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"diff_bytes_written\": {}, \"writes\": {}, \"snapshot_peak_ms\": {:.6}, \"steady_allocs\": {}, \"steady_large_allocs\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"persist_stripes\": {stripes}, \"stall_per_iter_ms\": {:.6}, \"stall_p99_ms\": {:.6}, \"total_stall_secs\": {:.6}, \"drain_secs\": {:.6}, \"wall_secs\": {:.6}, \"bytes_written\": {}, \"diff_bytes_written\": {}, \"writes\": {}, \"snapshot_peak_ms\": {:.6}, \"capture_peak_ms\": {:.6}, \"cow_chunks\": {}, \"sweep_chunks\": {}, \"steady_allocs\": {}, \"steady_large_allocs\": {}}}{}\n",
             r.name,
             r.stall_per_iter_ms,
+            r.stall_p99_ms,
             r.total_stall_secs,
             r.drain_secs,
             r.wall_secs,
@@ -675,6 +737,9 @@ fn main() {
             r.diff_bytes_written,
             r.writes,
             r.snapshot_peak_ms,
+            r.capture_peak_ms,
+            r.cow_chunks,
+            r.sweep_chunks,
             r.steady_allocs,
             r.steady_large_allocs,
             if i + 1 < results.len() { "," } else { "" }

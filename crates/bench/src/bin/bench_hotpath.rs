@@ -13,6 +13,13 @@
 //! BENCH_hotpath.json). `--smoke` runs a tiny single-rep configuration for
 //! CI sanity and skips the JSON unless `--out` is given explicitly.
 //! `scripts/bench.sh` builds release and refreshes the JSON at the repo root.
+//!
+//! Every optimized kernel is additionally re-timed with the worker pool
+//! forced to 1, 2 and 4 threads (`pool_sweep` per row in the JSON), so the
+//! recorded numbers separate algorithmic speedup from thread scaling.
+//! Kernels that don't fan out through the calling thread's pool (the
+//! allreduce drives its own worker group) stay flat across the sweep —
+//! that flatness is the recorded fact.
 
 use lowdiff_bench::print_table;
 use lowdiff_comm::WorkerGroup;
@@ -23,11 +30,16 @@ use lowdiff_util::crc::{crc32, crc32_bytewise};
 use lowdiff_util::DetRng;
 use std::time::Instant;
 
+/// Pool widths every optimized kernel is re-timed at.
+const POOL_SWEEP: [usize; 3] = [1, 2, 4];
+
 struct BenchResult {
     name: &'static str,
     what: &'static str,
     baseline_secs: f64,
     optimized_secs: f64,
+    /// Optimized-kernel time at each [`POOL_SWEEP`] width.
+    pool_sweep: Vec<(usize, f64)>,
 }
 
 impl BenchResult {
@@ -46,6 +58,17 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
         drop(out);
     }
     best
+}
+
+/// Best-of-`reps` time of `f` with the pool forced to each sweep width.
+fn sweep_pool<R>(reps: usize, mut f: impl FnMut() -> R) -> Vec<(usize, f64)> {
+    POOL_SWEEP
+        .iter()
+        .map(|&t| {
+            let secs = rayon::pool::with_num_threads(t, || time_best(reps, &mut f));
+            (t, secs)
+        })
+        .collect()
 }
 
 fn main() {
@@ -104,6 +127,7 @@ fn main() {
             what: "full checkpoint serialize (3 x elems f32)",
             baseline_secs: base,
             optimized_secs: opt,
+            pool_sweep: sweep_pool(reps, || codec::encode_model_state(&st)),
         });
 
         // The reference decoder predates the v2 full format, so the decode
@@ -118,6 +142,7 @@ fn main() {
             what: "full checkpoint deserialize",
             baseline_secs: base,
             optimized_secs: opt,
+            pool_sweep: sweep_pool(reps, || codec::decode_model_state(&bytes).unwrap()),
         });
 
         let base = time_best(reps, || crc32_bytewise(&bytes));
@@ -127,6 +152,7 @@ fn main() {
             what: "checksum over the encoded checkpoint",
             baseline_secs: base,
             optimized_secs: opt,
+            pool_sweep: sweep_pool(reps, || crc32(&bytes)),
         });
     }
 
@@ -157,6 +183,7 @@ fn main() {
             what: "dense mean allreduce across ranks",
             baseline_secs: base,
             optimized_secs: opt,
+            pool_sweep: sweep_pool(reps, || run(false)),
         });
     }
 
@@ -170,6 +197,7 @@ fn main() {
             what: "top-1% selection over the gradient",
             baseline_secs: base,
             optimized_secs: opt,
+            pool_sweep: sweep_pool(reps, || TopK::select(&grad, k)),
         });
     }
 
@@ -206,6 +234,12 @@ fn main() {
             what: "one optimizer step over the full parameter vector",
             baseline_secs: base,
             optimized_secs: opt,
+            pool_sweep: sweep_pool(reps, || {
+                let mut st = AdamState::new(elems);
+                let mut p = vec![0.5f32; elems];
+                adam.step(&mut st, &mut p, &grad);
+                p[0]
+            }),
         });
     }
 
@@ -213,17 +247,29 @@ fn main() {
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
-            vec![
+            let mut row = vec![
                 r.name.to_string(),
                 format!("{:.1}ms", r.baseline_secs * 1e3),
                 format!("{:.1}ms", r.optimized_secs * 1e3),
                 format!("{:.2}x", r.speedup()),
-            ]
+            ];
+            for (_, secs) in &r.pool_sweep {
+                row.push(format!("{:.1}ms", secs * 1e3));
+            }
+            row
         })
         .collect();
     print_table(
         &format!("hot-path kernels, {elems} elements"),
-        &["kernel", "baseline", "optimized", "speedup"],
+        &[
+            "kernel",
+            "baseline",
+            "optimized",
+            "speedup",
+            "@1 thread",
+            "@2 threads",
+            "@4 threads",
+        ],
         &rows,
     );
 
@@ -239,8 +285,14 @@ fn main() {
     json.push_str(&format!("  \"pool_threads\": {threads},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let sweep = r
+            .pool_sweep
+            .iter()
+            .map(|(t, s)| format!("{{\"threads\": {t}, \"secs\": {s:.6}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"what\": \"{}\", \"baseline_secs\": {:.6}, \"optimized_secs\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"what\": \"{}\", \"baseline_secs\": {:.6}, \"optimized_secs\": {:.6}, \"speedup\": {:.3}, \"pool_sweep\": [{sweep}]}}{}\n",
             r.name,
             r.what,
             r.baseline_secs,

@@ -19,6 +19,14 @@
 //!
 //! * [`CrashPoint::PreSnapshot`] — death on the training thread before the
 //!   state is even captured: the job never enters the pipeline.
+//! * [`CrashPoint::MidCapture`] — incremental snapshots: death while the
+//!   copy-on-write capture is still assembling the full frame in memory.
+//!   Some chunks have been copied into the (unsealed) snapshot buffer, but
+//!   nothing has been encoded or written — the partially captured frame
+//!   dies with the process and recovery sees only earlier checkpoints. For
+//!   blocking-capture strategies that never go through a ticket (LowDiff+'s
+//!   replica-side copy), the point fires in the equivalent window between
+//!   the replica snapshot copy and its persist.
 //! * [`CrashPoint::PostEncode`] — death after encode, before any byte is
 //!   written: the blob never lands.
 //! * [`CrashPoint::MidPersist`] — power cut mid-write: a truncated prefix
@@ -46,6 +54,9 @@ use std::sync::Arc;
 pub enum CrashPoint {
     /// Training thread, before the snapshot is captured into a slot.
     PreSnapshot,
+    /// Incremental capture, after some chunks have been copied into the
+    /// unsealed snapshot frame, before it is sealed or persisted.
+    MidCapture,
     /// Worker thread, after encode, before any byte is written.
     PostEncode,
     /// Worker thread, mid-write: a torn prefix lands, then death.
@@ -58,8 +69,9 @@ pub enum CrashPoint {
 }
 
 /// Every crash point, in pipeline order — the torture matrix iterates this.
-pub const ALL_CRASH_POINTS: [CrashPoint; 5] = [
+pub const ALL_CRASH_POINTS: [CrashPoint; 6] = [
     CrashPoint::PreSnapshot,
+    CrashPoint::MidCapture,
     CrashPoint::PostEncode,
     CrashPoint::MidPersist,
     CrashPoint::MidStripe,

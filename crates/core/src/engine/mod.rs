@@ -35,12 +35,14 @@
 //! (policies account through [`EngineCtx`]) and exports a small health
 //! blob ([`HEALTH_KEY`]) that `lowdiff-ctl health` surfaces.
 
+pub mod cow;
 pub mod crash;
 pub mod metrics;
 pub mod persist;
 pub mod policy;
 pub mod tier;
 
+pub use cow::{CowRegion, CowTicket, COW_CHUNK_ELEMS};
 pub use crash::{CrashInjector, CrashPoint, ALL_CRASH_POINTS};
 pub use metrics::{EngineCounters, EngineMetrics, LatencyHist, StageLatency};
 pub use persist::{EngineCtx, FullOpts, Tier};
@@ -136,6 +138,23 @@ impl SnapshotSlots {
 /// the `full-`/`diff-` key spaces so checkpoint discovery ignores it).
 pub const HEALTH_KEY: &str = "meta-engine-health.json";
 
+/// How `submit_full` captures the model state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Capture the whole state into a snapshot slot before submit returns
+    /// (one blocking ~3Ψ copy on the training thread). The historical
+    /// path, byte-identical wire output, safe for any caller.
+    #[default]
+    Blocking,
+    /// Frame the checkpoint at submit (microseconds) and capture the
+    /// state chunk-by-chunk afterwards: copy-on-write hooks in the update
+    /// path plus a worker-side sweeper ([`cow::CowTicket`]). Produces
+    /// byte-identical blobs, but the caller **must** route every mutation
+    /// of params/moments/residual through the pending ticket's hooks
+    /// (the trainer does; opt in only when driving the hooks).
+    Incremental,
+}
+
 /// Engine construction parameters.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -159,6 +178,9 @@ pub struct EngineConfig {
     /// per-chunk quantized (v3, bounded-lossy). The default keeps every
     /// existing path byte-identical.
     pub value_codec: ValueCodec,
+    /// Full-state capture mode for `submit_full` (blocking copy vs
+    /// incremental copy-on-write). See [`SnapshotMode`].
+    pub snapshot: SnapshotMode,
 }
 
 impl Default for EngineConfig {
@@ -170,6 +192,7 @@ impl Default for EngineConfig {
             stripe: StripeCfg::default(),
             crash: None,
             value_codec: ValueCodec::F32,
+            snapshot: SnapshotMode::default(),
         }
     }
 }
@@ -199,6 +222,11 @@ pub struct CheckpointEngine {
     force_full: Arc<AtomicBool>,
     buffers: Arc<BufferPool<u8>>,
     snaps: Arc<SnapshotSlots>,
+    cow: Arc<cow::CowTickets>,
+    snapshot_mode: SnapshotMode,
+    /// The newest in-flight incremental capture, until the adapter picks
+    /// it up via [`Self::take_pending_capture`] to drive the COW hooks.
+    pending: Option<Arc<CowTicket>>,
     crash: Option<Arc<CrashInjector>>,
     value_codec: ValueCodec,
     stall: Secs,
@@ -229,6 +257,14 @@ impl CheckpointEngine {
         let buffers = Arc::new(BufferPool::default());
         // Worker slot + queued slots + the one the trainer is refilling.
         let snaps = Arc::new(SnapshotSlots::new(cfg.queue_capacity + 2));
+        // COW tickets need one slot more than the snapshot pool: the
+        // worker frees its queue slot (unblocking the next submit) before
+        // the persist completes and releases its ticket, and the trainer's
+        // capture guard pins the newest ticket besides — at saturation
+        // `queue_capacity + 2` tickets are simultaneously in flight, so
+        // one extra keeps the pool from running dry (a dry pool means a
+        // cold Ψ-sized allocation on the training thread).
+        let cow = Arc::new(cow::CowTickets::new(cfg.queue_capacity + 3));
         let (job_tx, job_rx) = bounded(cfg.queue_capacity);
         let (ctl_tx, ctl_rx) = unbounded();
         let worker = {
@@ -237,6 +273,7 @@ impl CheckpointEngine {
             let force_full = Arc::clone(&force_full);
             let buffers = Arc::clone(&buffers);
             let snaps = Arc::clone(&snaps);
+            let cow = Arc::clone(&cow);
             let crash = cfg.crash.clone();
             let retry = cfg.retry;
             let stripe = cfg.stripe;
@@ -256,6 +293,7 @@ impl CheckpointEngine {
                         metrics,
                         buffers,
                         snaps,
+                        cow,
                         crash,
                     )
                 })
@@ -271,6 +309,9 @@ impl CheckpointEngine {
             force_full,
             buffers,
             snaps,
+            cow,
+            snapshot_mode: cfg.snapshot,
+            pending: None,
             crash: cfg.crash,
             value_codec: cfg.value_codec,
             stall: Secs::ZERO,
@@ -302,6 +343,12 @@ impl CheckpointEngine {
             // Inline engines recycle the slot before submit returns: a
             // single slot double-buffers against nothing and suffices.
             snaps: Arc::new(SnapshotSlots::new(1)),
+            // COW tickets need one extra slot: the trainer's capture guard
+            // pins the previous ticket until the next full replaces it, so
+            // two tickets alternate even though persists are inline.
+            cow: Arc::new(cow::CowTickets::new(2)),
+            snapshot_mode: cfg.snapshot,
+            pending: None,
             crash: cfg.crash,
             value_codec: cfg.value_codec,
             stall: Secs::ZERO,
@@ -316,6 +363,17 @@ impl CheckpointEngine {
 
     pub fn store(&self) -> &Arc<CheckpointStore> {
         &self.store
+    }
+
+    /// One-time warm-up before the first training iteration: in
+    /// incremental snapshot mode, pre-size (and page-touch) the COW
+    /// ticket pool for captures shaped like `state` + `aux`, so the first
+    /// anchors don't pay the pool's allocation and page-fault cost on the
+    /// training thread. Idempotent; a no-op in blocking mode.
+    pub fn prime_capture(&self, state: &ModelState, aux: &AuxView<'_>) {
+        if self.snapshot_mode == SnapshotMode::Incremental {
+            self.cow.prime(state, aux);
+        }
     }
 
     /// Ask the policy's training-side gate (synchronous engines).
@@ -350,9 +408,34 @@ impl CheckpointEngine {
                 delivered: false,
             };
         }
-        let mut slot = self.snaps.get_primed(state, aux);
-        slot.capture(state, aux);
-        self.submit(since, Job::Full(slot))
+        match self.snapshot_mode {
+            SnapshotMode::Blocking => {
+                let mut slot = self.snaps.get_primed(state, aux);
+                slot.capture(state, aux);
+                self.submit(since, Job::Full(slot))
+            }
+            SnapshotMode::Incremental => {
+                let mut ticket = self.cow.get_primed(state, aux);
+                Arc::get_mut(&mut ticket)
+                    .expect("pooled COW ticket must be exclusive")
+                    .reset(state, aux);
+                // A prior capture nobody picked up is completed from the
+                // live state before it is superseded (the caller contract
+                // says unhooked mutation hasn't happened yet).
+                if let Some(stale) = self.pending.replace(Arc::clone(&ticket)) {
+                    stale.cow_all();
+                }
+                self.submit(since, Job::IncrementalFull(ticket))
+            }
+        }
+    }
+
+    /// Hand the newest in-flight incremental capture to the adapter so the
+    /// training loop can drive its copy-on-write hooks (and complete it
+    /// before any unhooked mutation). `None` in blocking mode or when no
+    /// capture is pending.
+    pub fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        self.pending.take()
     }
 
     /// Submit a job captured since `since` (the adapter's hook entry). The
@@ -370,6 +453,12 @@ impl CheckpointEngine {
             }
         }
         let delivered = if let Some(tx) = &self.job_tx {
+            // The snapshot stage ends when the job is ready to enqueue:
+            // waiting out a full queue below is backpressure (counted, and
+            // still part of the returned stall), not snapshot work —
+            // folding it in would mask the capture-cost signal this stage
+            // exists to expose.
+            self.metrics.snapshot.record(since.elapsed());
             match tx.try_send(job) {
                 Ok(()) => true,
                 Err(TrySendError::Full(job)) => {
@@ -391,6 +480,7 @@ impl CheckpointEngine {
                 metrics: &self.metrics,
                 buffers: &self.buffers,
                 snaps: &self.snaps,
+                cow: &self.cow,
                 crash: self.crash.as_deref(),
                 value_codec: &self.value_codec,
             };
@@ -406,7 +496,6 @@ impl CheckpointEngine {
         };
         if let Some(tx) = &self.job_tx {
             self.metrics.note_depth(tx.len() as u64);
-            self.metrics.snapshot.record(since.elapsed());
         }
         if !delivered {
             // Worker gone: checkpointing stops advancing; training
@@ -451,6 +540,7 @@ impl CheckpointEngine {
                 metrics: &self.metrics,
                 buffers: &self.buffers,
                 snaps: &self.snaps,
+                cow: &self.cow,
                 crash: self.crash.as_deref(),
                 value_codec: &self.value_codec,
             };
@@ -477,6 +567,7 @@ impl CheckpointEngine {
                 metrics: &self.metrics,
                 buffers: &self.buffers,
                 snaps: &self.snaps,
+                cow: &self.cow,
                 crash: self.crash.as_deref(),
                 value_codec: &self.value_codec,
             };
@@ -534,6 +625,8 @@ impl CheckpointEngine {
                 "{{\"strategy\":\"{}\",\"stall_seconds\":{:.9},",
                 "\"queue_depth\":{},\"queue_peak\":{},\"queue_capacity\":{},",
                 "\"snapshot_count\":{},\"snapshot_p50_us\":{:.3},\"snapshot_p99_us\":{:.3},",
+                "\"capture_count\":{},\"capture_p50_us\":{:.3},\"capture_p99_us\":{:.3},",
+                "\"cow_chunks\":{},\"sweep_chunks\":{},",
                 "\"encode_count\":{},\"encode_p50_us\":{:.3},\"encode_p99_us\":{:.3},",
                 "\"persist_count\":{},\"persist_p50_us\":{:.3},\"persist_p99_us\":{:.3},",
                 "\"io_errors\":{},\"io_retries\":{},\"dropped_batches\":{},\"degraded\":{},",
@@ -547,6 +640,11 @@ impl CheckpointEngine {
             e.snapshot.count,
             us(e.snapshot.p50),
             us(e.snapshot.p99),
+            e.capture.count,
+            us(e.capture.p50),
+            us(e.capture.p99),
+            e.cow_chunks,
+            e.sweep_chunks,
             e.encode.count,
             us(e.encode.p50),
             us(e.encode.p99),
@@ -598,6 +696,7 @@ fn worker_loop(
     metrics: Arc<EngineMetrics>,
     buffers: Arc<BufferPool<u8>>,
     snaps: Arc<SnapshotSlots>,
+    cow: Arc<cow::CowTickets>,
     crash: Option<Arc<CrashInjector>>,
 ) {
     let mut cx = EngineCtx {
@@ -608,6 +707,7 @@ fn worker_loop(
         metrics: &metrics,
         buffers: &buffers,
         snaps: &snaps,
+        cow: &cow,
         crash: crash.as_deref(),
         value_codec: &value_codec,
     };

@@ -26,6 +26,7 @@
 //! the write sequence below is byte-identical to the pre-tier engine —
 //! the `engine_equivalence` proptests pin that.
 
+use super::cow::{CowTicket, CowTickets};
 use super::crash::{CrashInjector, CrashPoint};
 use super::metrics::EngineMetrics;
 use super::policy::FullSnapshot;
@@ -41,6 +42,7 @@ use lowdiff_storage::{with_retry, CheckpointStore, RetryPolicy, StripeCfg, Strip
 use lowdiff_util::BufferPool;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How a landed full checkpoint is accounted (Gemini's memory-tier fulls
@@ -108,6 +110,7 @@ pub struct EngineCtx<'a> {
     pub(super) metrics: &'a EngineMetrics,
     pub(super) buffers: &'a BufferPool<u8>,
     pub(super) snaps: &'a SnapshotSlots,
+    pub(super) cow: &'a CowTickets,
     pub(super) crash: Option<&'a CrashInjector>,
     pub(super) value_codec: &'a ValueCodec,
 }
@@ -300,17 +303,33 @@ impl EngineCtx<'_> {
         let mut bytes = self.buffers.get();
         codec::encode_full_checkpoint_into(state, aux, &mut bytes);
         self.metrics.encode.record(t0.elapsed());
-        if self.crash_hit(CrashPoint::PostEncode) {
-            self.buffers.put(bytes);
+        let ok = self.persist_full_encoded(tiers, state.iteration, &bytes, opts);
+        self.buffers.put(bytes);
+        ok
+    }
+
+    /// Fan an already-encoded full-checkpoint blob across the tier stack
+    /// (the post-encode half of [`Self::persist_full`], shared with the
+    /// incremental-capture path whose sealed ticket *is* the encoded
+    /// blob). Owns the [`CrashPoint::PostEncode`] boundary and all
+    /// per-tier accounting/GC/re-anchor behavior.
+    pub fn persist_full_encoded(
+        &mut self,
+        tiers: &TierStack,
+        iteration: u64,
+        bytes: &[u8],
+        opts: &FullOpts,
+    ) -> bool {
+        if self.crash_dead() || self.crash_hit(CrashPoint::PostEncode) {
             return false;
         }
         let written = bytes.len() as u64;
         let mut ok_overall = true;
         for tier in tiers.iter() {
             let outcome = match tier.backing() {
-                TierBacking::Store(store) => self.store_write_full(store, state.iteration, &bytes),
+                TierBacking::Store(store) => self.store_write_full(store, iteration, bytes),
                 TierBacking::Object(sink) => {
-                    self.object_write(sink, &CheckpointStore::full_key(state.iteration), &bytes)
+                    self.object_write(sink, &CheckpointStore::full_key(iteration), bytes)
                 }
             };
             let TierWrite::Done {
@@ -321,7 +340,6 @@ impl EngineCtx<'_> {
                 landed,
             } = outcome
             else {
-                self.buffers.put(bytes);
                 return false;
             };
             {
@@ -366,11 +384,71 @@ impl EngineCtx<'_> {
                 }
             }
         }
-        self.buffers.put(bytes);
         if !ok_overall && opts.reanchor_on_failure {
             self.request_reanchor();
         }
         ok_overall
+    }
+
+    /// Complete an incremental capture on the worker: sweep every chunk
+    /// the training thread's COW hooks haven't captured yet, fold the
+    /// capture telemetry into the engine metrics, then seal the frame's
+    /// CRC. Returns `false` — the ticket stays unsealed and nothing may
+    /// land — when the engine is dead or the armed
+    /// [`CrashPoint::MidCapture`] fires in the window where the frame is
+    /// assembled only in memory.
+    pub fn finish_capture(&mut self, ticket: &CowTicket) -> bool {
+        if self.crash_dead() {
+            return false;
+        }
+        ticket.sweep();
+        let (cow, swept) = ticket.chunk_counts();
+        self.metrics.cow_chunks.fetch_add(cow, Ordering::Relaxed);
+        self.metrics
+            .sweep_chunks
+            .fetch_add(swept, Ordering::Relaxed);
+        self.metrics.capture.record(ticket.started().elapsed());
+        if self.crash_hit(CrashPoint::MidCapture) {
+            return false;
+        }
+        let t0 = Instant::now();
+        ticket.seal();
+        self.metrics.encode.record(t0.elapsed());
+        true
+    }
+
+    /// Complete an incremental capture and materialize it as a pooled
+    /// [`FullSnapshot`] — for policies that need the decoded model state
+    /// (Naïve DC's differential path), at the cost of losing the
+    /// streaming. Decode→re-encode of the v2 format is bit-exact, so the
+    /// byte-identity invariant survives the round trip.
+    pub fn complete_capture_into_snapshot(
+        &mut self,
+        ticket: &CowTicket,
+    ) -> Option<Box<FullSnapshot>> {
+        if !self.finish_capture(ticket) {
+            return None;
+        }
+        let fc = codec::decode_full_checkpoint(ticket.sealed_bytes()).ok()?;
+        let view = fc.aux.view();
+        let mut snap = self.snaps.get_primed(&fc.state, &view);
+        snap.capture(&fc.state, &view);
+        Some(snap)
+    }
+
+    /// Return a processed COW ticket to the engine's pool so the next
+    /// incremental anchor reuses its frame buffer. The ticket becomes
+    /// reusable once the submitter's pending handle is dropped too.
+    pub fn release_ticket(&self, ticket: Arc<CowTicket>) {
+        self.cow.put(ticket);
+    }
+
+    /// [`CrashPoint::MidCapture`] check for strategies that capture their
+    /// fulls outside the ticket machinery (LowDiff+'s replica-side
+    /// snapshot copy): fires in the equivalent window between capture and
+    /// persist. `true` means the simulated process just died.
+    pub fn capture_interrupted(&self) -> bool {
+        self.crash_hit(CrashPoint::MidCapture)
     }
 
     /// Encode the writer's buffered differential batch once and fan it
@@ -644,6 +722,7 @@ mod tests {
         let metrics = EngineMetrics::default();
         let buffers = BufferPool::default();
         let snaps = SnapshotSlots::new(1);
+        let cow = CowTickets::new(1);
         let mut cx = EngineCtx {
             retry: &retry,
             stripe: &stripe,
@@ -652,6 +731,7 @@ mod tests {
             metrics: &metrics,
             buffers: &buffers,
             snaps: &snaps,
+            cow: &cow,
             crash: None,
             value_codec: &ValueCodec::F32,
         };

@@ -2,6 +2,7 @@
 //! the pipeline mechanics (queues, threads, retry, stats) move into the
 //! engine: *what to capture*, *full vs diff*, *batch boundaries*.
 
+use super::cow::CowTicket;
 use super::persist::EngineCtx;
 use lowdiff_compress::{AuxView, CompressedGrad, CompressorCfg, QuantPolicyState};
 use lowdiff_optim::ModelState;
@@ -74,6 +75,12 @@ impl FullSnapshot {
 pub enum Job {
     /// A full model + aux snapshot (already copied off the "GPU").
     Full(Box<FullSnapshot>),
+    /// An in-flight incremental (copy-on-write) full capture: the frame
+    /// is already laid out at its wire offsets; the policy completes the
+    /// capture ([`EngineCtx::finish_capture`]) — sweeping cold chunks
+    /// while the training thread's COW hooks race it — then persists the
+    /// sealed bytes and releases the ticket back to the pool.
+    IncrementalFull(Arc<CowTicket>),
     /// A reused compressed gradient — LowDiff's zero-copy differential
     /// (the `Arc` is the IPC handle; cloning it is the only transmission).
     Diff {

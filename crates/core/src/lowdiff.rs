@@ -22,8 +22,8 @@
 
 use crate::batched::{BatchMode, BatchedWriter};
 use crate::engine::{
-    CheckpointEngine, CheckpointPolicy, CrashInjector, EngineConfig, EngineCtx, FullOpts, Job,
-    PolicyCtl, TierStack,
+    CheckpointEngine, CheckpointPolicy, CowTicket, CrashInjector, EngineConfig, EngineCtx,
+    FullOpts, Job, PolicyCtl, SnapshotMode, TierStack,
 };
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::{AuxView, CompressedGrad};
@@ -63,6 +63,10 @@ pub struct LowDiffConfig {
     /// bit-exact recovery) or per-chunk quantized (v3, bounded-lossy,
     /// ~2–3× smaller diff writes at 8 bits).
     pub value_codec: ValueCodec,
+    /// Full-state capture mode: blocking copy (default) or incremental
+    /// copy-on-write ([`SnapshotMode::Incremental`] — requires the caller
+    /// to drive the COW hooks, as [`crate::trainer::Trainer`] does).
+    pub snapshot: SnapshotMode,
 }
 
 impl Default for LowDiffConfig {
@@ -77,6 +81,7 @@ impl Default for LowDiffConfig {
             stripe: StripeCfg::default(),
             crash: None,
             value_codec: ValueCodec::F32,
+            snapshot: SnapshotMode::Blocking,
         }
     }
 }
@@ -119,6 +124,25 @@ impl CheckpointPolicy for LowDiffPolicy {
                 };
                 cx.persist_full(&self.tiers, &snap.state, &snap.aux(), &opts);
                 cx.recycle_state(snap);
+            }
+            Job::IncrementalFull(ticket) => {
+                let opts = FullOpts {
+                    reanchor_on_failure: true,
+                    keep_fulls: self.keep_fulls,
+                };
+                // Sweep the cold chunks (racing the trainer's COW hooks),
+                // seal, and stream the finished frame straight into the
+                // striped/tiered fan-out — same bytes the blocking path
+                // would have written.
+                if cx.finish_capture(&ticket) {
+                    cx.persist_full_encoded(
+                        &self.tiers,
+                        ticket.iteration(),
+                        ticket.sealed_bytes(),
+                        &opts,
+                    );
+                }
+                cx.release_ticket(ticket);
             }
             Job::Dense { .. } => debug_assert!(false, "lowdiff submits compressed gradients"),
         }
@@ -180,6 +204,7 @@ impl LowDiffStrategy {
                 stripe: cfg.stripe,
                 crash: cfg.crash.clone(),
                 value_codec: cfg.value_codec,
+                snapshot: cfg.snapshot,
                 ..EngineConfig::default()
             },
         );
@@ -249,6 +274,10 @@ impl CheckpointStrategy for LowDiffStrategy {
         self.label
     }
 
+    fn prime(&mut self, state: &ModelState, aux: &AuxView<'_>) {
+        self.engine.prime_capture(state, aux);
+    }
+
     fn on_synced_gradient(
         &mut self,
         iteration: u64,
@@ -293,6 +322,10 @@ impl CheckpointStrategy for LowDiffStrategy {
             self.engine.request_reanchor();
         }
         sub.stall
+    }
+
+    fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        self.engine.take_pending_capture()
     }
 
     fn flush(&mut self) -> Secs {

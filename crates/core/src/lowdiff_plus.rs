@@ -138,6 +138,13 @@ impl CheckpointPolicy for LowDiffPlusPolicy {
         drop(m_c); // never hold the replica lock across storage I/O
         self.staging_pool.put(grad); // recycle the staged dense buffer
         cx.with_stats(|s| s.diff_checkpoints += 1); // one in-memory ckpt per iter
+        if persist && cx.capture_interrupted() {
+            // Torture hook: LowDiff+ fulls never go through `submit_full`,
+            // so the MidCapture crash point fires here — between the
+            // replica snapshot and its persist, the same window the
+            // incremental path dies in.
+            return;
+        }
         if persist {
             // A persist that fails is skipped: the in-memory replica is
             // still exact (software recovery unaffected); durable recovery
@@ -255,6 +262,10 @@ impl LowDiffPlusStrategy {
 impl CheckpointStrategy for LowDiffPlusStrategy {
     fn name(&self) -> &'static str {
         "lowdiff+"
+    }
+
+    fn prime(&mut self, state: &ModelState, aux: &AuxView<'_>) {
+        self.engine.prime_capture(state, aux);
     }
 
     fn on_layer_gradient(

@@ -15,7 +15,7 @@
 //! trainer accumulates into [`StrategyStats`] — the quantity every
 //! training-time experiment measures.
 
-use crate::engine::EngineCounters;
+use crate::engine::{CowTicket, EngineCounters};
 use lowdiff_compress::{AuxView, CompressedGrad};
 use lowdiff_optim::ModelState;
 use lowdiff_util::units::Secs;
@@ -126,6 +126,14 @@ pub trait CheckpointStrategy: Send {
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
 
+    /// One-time warm-up before the first training iteration. `state` and
+    /// `aux` have the shape every later capture will have; strategies
+    /// backed by a [`crate::engine::CheckpointEngine`] forward this to
+    /// [`crate::engine::CheckpointEngine::prime_capture`] so the capture
+    /// pools are sized (and their pages faulted in) off the anchor path.
+    /// Idempotent. Default: no-op.
+    fn prime(&mut self, _state: &ModelState, _aux: &AuxView<'_>) {}
+
     /// A layer's parameter gradient just became available during the
     /// backward pass (fires in reverse layer order). `range` addresses the
     /// layer within the flat gradient. Default: ignore.
@@ -163,6 +171,16 @@ pub trait CheckpointStrategy: Send {
         Secs::ZERO
     }
 
+    /// Hand over the in-flight incremental (copy-on-write) capture started
+    /// by the last `after_update`, if any. The trainer polls this after
+    /// every update and drives the ticket's COW hooks until the capture
+    /// completes; strategies running their engine in
+    /// [`crate::engine::SnapshotMode::Blocking`] (the default) return
+    /// `None`. See [`crate::engine::cow::CowTicket`] for the contract.
+    fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        None
+    }
+
     /// Block until all asynchronous checkpoint work is durable. Called at
     /// run end and before intentionally injected failures in tests.
     fn flush(&mut self) -> Secs {
@@ -176,6 +194,10 @@ pub trait CheckpointStrategy: Send {
 impl<T: CheckpointStrategy + ?Sized> CheckpointStrategy for Box<T> {
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn prime(&mut self, state: &ModelState, aux: &AuxView<'_>) {
+        (**self).prime(state, aux)
     }
 
     fn on_layer_gradient(
@@ -199,6 +221,10 @@ impl<T: CheckpointStrategy + ?Sized> CheckpointStrategy for Box<T> {
 
     fn after_update(&mut self, state: &ModelState, aux: &AuxView<'_>) -> Secs {
         (**self).after_update(state, aux)
+    }
+
+    fn take_pending_capture(&mut self) -> Option<Arc<CowTicket>> {
+        (**self).take_pending_capture()
     }
 
     fn flush(&mut self) -> Secs {

@@ -31,6 +31,7 @@
 //!   model-state-only constructor; with error feedback on it silently
 //!   zeroes the residual, which is exactly the divergence `resume` fixes.
 
+use crate::engine::{CowRegion, CowTicket};
 use crate::strategy::{CheckpointStrategy, StrategyStats};
 use lowdiff_compress::{
     AdaptiveQuant, AuxView, CompressedGrad, Compressor, CompressorCfg, ErrorFeedback, TopK,
@@ -174,8 +175,49 @@ pub struct RecoverySource {
     pub store: Arc<CheckpointStore>,
 }
 
+/// The trainer's handle on an in-flight incremental (copy-on-write)
+/// snapshot capture. Completing the capture (`cow_all`) before the ticket's
+/// source buffers can be freed or replaced is a safety obligation, so the
+/// completion lives in `Drop` and the field is declared **first** in
+/// [`Trainer`]: it drops before `state`/`comp`/`strategy`, guaranteeing
+/// the engine's sweeper never touches freed memory.
+#[derive(Default)]
+struct CaptureGuard {
+    ticket: Option<Arc<CowTicket>>,
+}
+
+impl CaptureGuard {
+    fn get(&self) -> Option<&Arc<CowTicket>> {
+        self.ticket.as_ref()
+    }
+
+    /// Finish the held capture (every still-uncaptured chunk is copied
+    /// now) and forget the ticket.
+    fn complete(&mut self) {
+        if let Some(t) = self.ticket.take() {
+            t.cow_all();
+        }
+    }
+
+    /// Swap in a newer in-flight capture, completing the previous one
+    /// first — its sources are about to be mutated again.
+    fn replace(&mut self, ticket: Arc<CowTicket>) {
+        self.complete();
+        self.ticket = Some(ticket);
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
 /// Training engine binding a model, optimizer, compressor and strategy.
 pub struct Trainer<S: CheckpointStrategy> {
+    // NB: declared first — must drop before `state`/`comp`/`strategy`
+    // (see [`CaptureGuard`]).
+    capture: CaptureGuard,
     net: Network,
     state: ModelState,
     adam: Adam,
@@ -234,6 +276,7 @@ impl<S: CheckpointStrategy> Trainer<S> {
             data_rng.next_u64();
         }
         Self {
+            capture: CaptureGuard::default(),
             net,
             state,
             adam,
@@ -484,6 +527,27 @@ impl<S: CheckpointStrategy> Trainer<S> {
     where
         F: FnMut(&mut Network, u64, &mut DetRng) -> (f64, Tensor),
     {
+        // Warm the capture machinery before the first measured iteration:
+        // the aux view here has the exact shape every later capture will
+        // have (contents don't matter for pool sizing), so incremental
+        // engines can pre-size and page-touch their ticket pools without
+        // any anchor paying that one-time cost.
+        let aux = AuxView {
+            residual: match &self.comp {
+                Comp::Ef(c) => Some(c.residual()),
+                Comp::QuantEf(c) => Some(c.residual()),
+                _ => None,
+            },
+            compressor: Some(self.comp_cfg),
+            rng: Some(self.data_rng.state()),
+            quant: match &self.comp {
+                Comp::Quant(q) => Some(q.policy_state()),
+                Comp::QuantEf(c) => Some(c.inner().policy_state()),
+                _ => None,
+            },
+        };
+        self.strategy.prime(&self.state, &aux);
+
         let t_start = Instant::now();
         let mut losses = Vec::with_capacity(iters as usize);
         for _ in 0..iters {
@@ -506,6 +570,14 @@ impl<S: CheckpointStrategy> Trainer<S> {
                 .backward_layerwise(&grad_out, |layer, grad, range| {
                     strategy.on_layer_gradient(t, layer, range, grad);
                 });
+
+            // Copy-on-write: compressing with error feedback overwrites
+            // the residual buffer an in-flight capture may still source
+            // from, so capture the whole residual region first (no-op when
+            // no capture is pending or the frame carries no residual).
+            if let Some(t) = self.capture.get() {
+                t.cow_range(CowRegion::Residual, 0..self.state.num_params());
+            }
 
             // Compress (or pass through dense — moving the flat gradient
             // into the handle, not copying it).
@@ -549,8 +621,28 @@ impl<S: CheckpointStrategy> Trainer<S> {
                     &expanded
                 }
             };
-            self.state.apply_gradient(&self.adam, dense);
+            match self.capture.get() {
+                Some(t) => {
+                    // Copy-on-write update: each block's pre-update
+                    // params/m/v are captured into the in-flight snapshot
+                    // immediately before the kernel overwrites them —
+                    // arithmetic identical to the plain path.
+                    let t = t.as_ref();
+                    self.state.apply_gradient_with_hook(&self.adam, dense, |r| {
+                        t.cow_range(CowRegion::Params, r.clone());
+                        t.cow_range(CowRegion::M, r.clone());
+                        t.cow_range(CowRegion::V, r);
+                    });
+                }
+                None => self.state.apply_gradient(&self.adam, dense),
+            }
             self.strategy.after_update(&self.state, &aux);
+            // An incremental full checkpoint may have just started: hold
+            // its ticket so the COW hooks above protect it from the next
+            // iterations' mutations while the engine sweeps cold chunks.
+            if let Some(t) = self.strategy.take_pending_capture() {
+                self.capture.replace(t);
+            }
         }
         self.strategy.flush();
         TrainerReport {

@@ -77,11 +77,31 @@ impl AdamState {
 impl Adam {
     /// One full optimizer step: `params ← params + Adam(grad)`.
     pub fn step(&self, state: &mut AdamState, params: &mut [f32], grad: &[f32]) {
+        self.step_with_hook(state, params, grad, |_| {});
+    }
+
+    /// [`Adam::step`] with a pre-overwrite hook: `hook(r)` fires immediately
+    /// before the kernel overwrites `params[r]`/`m[r]`/`v[r]`, once per
+    /// update block (the same `1 << 15`-element blocks the parallel kernel
+    /// fans out over, so block boundaries line up with the incremental
+    /// snapshot's chunk map). This is the copy-on-write interception point:
+    /// the hook captures the *pre-update* values of a block into an
+    /// in-flight snapshot before they are destroyed. The hook may run
+    /// concurrently from the parallel kernel's worker threads.
+    ///
+    /// With a no-op hook the arithmetic is bit-identical to [`Adam::step`].
+    pub fn step_with_hook<F: Fn(Range<usize>) + Sync>(
+        &self,
+        state: &mut AdamState,
+        params: &mut [f32],
+        grad: &[f32],
+        hook: F,
+    ) {
         assert_eq!(params.len(), state.len(), "state/param length mismatch");
         assert_eq!(params.len(), grad.len(), "grad/param length mismatch");
         state.t += 1;
         let t = state.t;
-        self.apply_range(state, params, grad, 0..params.len(), t, 0);
+        self.apply_range(state, params, grad, 0..params.len(), t, 0, &hook);
     }
 
     /// Range-restricted step used by sharded recovery.
@@ -106,7 +126,7 @@ impl Adam {
         assert_eq!(grad.len(), range.len(), "grad length != range length");
         assert!(step_t >= 1, "Adam step numbers start at 1");
         let off = range.start;
-        self.apply_range(state, params, grad, range, step_t, off);
+        self.apply_range(state, params, grad, range, step_t, off, &|_| {});
     }
 
     /// Shared kernel: update `params[range]` from `grad[i - grad_off]`.
@@ -114,7 +134,8 @@ impl Adam {
     /// The update is purely elementwise, so it runs in parallel over fixed
     /// chunks of the range — no cross-element data flow means any chunking
     /// is bit-identical to the serial loop.
-    fn apply_range(
+    #[allow(clippy::too_many_arguments)]
+    fn apply_range<F: Fn(Range<usize>) + Sync>(
         &self,
         state: &mut AdamState,
         params: &mut [f32],
@@ -122,6 +143,7 @@ impl Adam {
         range: Range<usize>,
         step_t: u64,
         grad_off: usize,
+        hook: &F,
     ) {
         // Bias corrections depend only on the global step number.
         let bc1 = 1.0 - (self.beta1 as f64).powi(step_t as i32);
@@ -130,6 +152,7 @@ impl Adam {
         let bc2 = bc2 as f32;
         let (b1, b2) = (self.beta1, self.beta2);
 
+        let base = range.start;
         let pr = &mut params[range.clone()];
         let mr = &mut state.m[range.clone()];
         let vr = &mut state.v[range.clone()];
@@ -154,20 +177,38 @@ impl Adam {
             }
         };
 
-        // Serial fast path: on a single-thread pool the chunk fan-out is
-        // pure dispatch overhead, so run the kernel once over the whole
-        // range instead.
+        const CHUNK: usize = 1 << 15;
+
+        // Serial fast path: on a single-thread pool the rayon fan-out is
+        // pure dispatch overhead, so walk the blocks in a plain loop (the
+        // hook still needs per-block granularity; with the elementwise
+        // kernel any chunking is bit-identical to one pass).
         if rayon::pool::current_num_threads() == 1 {
-            kernel(pr, mr, vr, gr);
+            let mut off = 0;
+            while off < pr.len() {
+                let end = (off + CHUNK).min(pr.len());
+                hook(base + off..base + end);
+                kernel(
+                    &mut pr[off..end],
+                    &mut mr[off..end],
+                    &mut vr[off..end],
+                    &gr[off..end],
+                );
+                off = end;
+            }
             return;
         }
 
-        const CHUNK: usize = 1 << 15;
         pr.par_chunks_mut(CHUNK)
             .zip(mr.par_chunks_mut(CHUNK))
             .zip(vr.par_chunks_mut(CHUNK))
             .zip(gr.par_chunks(CHUNK))
-            .for_each(|(((pc, mc), vc), gc)| kernel(pc, mc, vc, gc));
+            .enumerate()
+            .for_each(|(i, (((pc, mc), vc), gc))| {
+                let lo = base + i * CHUNK;
+                hook(lo..lo + pc.len());
+                kernel(pc, mc, vc, gc);
+            });
     }
 
     /// The *delta* this step would apply, without mutating `params`
@@ -351,6 +392,48 @@ mod tests {
                 bits(&st_ref.v),
                 "v diverged at {threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn hook_sees_pre_update_values_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let adam = Adam::default();
+        let n = 2 * (1 << 15) + 33; // three blocks, last one ragged
+        let g = demo_grad(n, 2);
+        let p0: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+
+        for threads in [1usize, 4] {
+            let mut st = AdamState::new(n);
+            let mut p = p0.clone();
+            let seen: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            let shot: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            rayon::pool::with_num_threads(threads, || {
+                // Sneak the param slice into the hook: ranges are disjoint,
+                // so reading params[r] before the kernel touches r is safe.
+                let params_ptr = p.as_ptr() as usize;
+                adam.step_with_hook(&mut st, &mut p, &g, |r| {
+                    let src = unsafe { std::slice::from_raw_parts(params_ptr as *const f32, n) };
+                    for i in r {
+                        seen[i].fetch_add(1, Ordering::Relaxed);
+                        shot[i].store(src[i].to_bits(), Ordering::Relaxed);
+                    }
+                });
+            });
+            for i in 0..n {
+                assert_eq!(seen[i].load(Ordering::Relaxed), 1, "element {i} coverage");
+                assert_eq!(
+                    shot[i].load(Ordering::Relaxed),
+                    p0[i].to_bits(),
+                    "hook saw post-update value at {i} ({threads} threads)"
+                );
+            }
+            // And the update itself matches the hookless step bit-for-bit.
+            let mut st_ref = AdamState::new(n);
+            let mut p_ref = p0.clone();
+            adam.step(&mut st_ref, &mut p_ref, &g);
+            assert_eq!(p, p_ref);
+            assert_eq!(st.m, st_ref.m);
         }
     }
 

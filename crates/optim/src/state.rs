@@ -60,6 +60,21 @@ impl ModelState {
         self.iteration += 1;
     }
 
+    /// [`ModelState::apply_gradient`] with a copy-on-write hook: `hook(r)`
+    /// fires right before the update overwrites `params[r]`, `opt.m[r]`
+    /// and `opt.v[r]` (see [`Adam::step_with_hook`]). The trainer uses it
+    /// to capture pre-update blocks into an in-flight incremental
+    /// snapshot; arithmetic is bit-identical to the hookless path.
+    pub fn apply_gradient_with_hook<F: Fn(std::ops::Range<usize>) + Sync>(
+        &mut self,
+        adam: &Adam,
+        grad: &[f32],
+        hook: F,
+    ) {
+        adam.step_with_hook(&mut self.opt, &mut self.params, grad, hook);
+        self.iteration += 1;
+    }
+
     /// Apply a precomputed delta `C^D = M_{t+1} − M_t` covering params only
     /// (Check-N-Run-style differential that does not track optimizer state).
     /// Used by the Naïve-DC baseline; note the optimizer moments are NOT

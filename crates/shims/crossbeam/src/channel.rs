@@ -157,7 +157,10 @@ fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     }
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
-            queue: VecDeque::new(),
+            // Bounded queues hold at most `cap` items; reserving up front
+            // keeps the send path allocation-free for the channel's whole
+            // life (the persist queue's zero-alloc steady state).
+            queue: cap.map_or_else(VecDeque::new, VecDeque::with_capacity),
             cap,
             senders: 1,
             receivers: 1,

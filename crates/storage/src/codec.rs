@@ -472,6 +472,212 @@ pub fn encode_full_checkpoint_into(state: &ModelState, aux: &AuxView<'_>, buf: &
     seal_into(buf);
 }
 
+/// Byte offsets of the large lazily-capturable regions inside a v2
+/// full-checkpoint frame, as produced by [`encode_full_frame_into`]. The
+/// regions sit at fixed, computable offsets (the header and every aux
+/// section except the residual have static sizes), which is what lets an
+/// incremental snapshot capture chunks **directly into the wire image**:
+/// filling the regions and sealing yields a blob byte-identical to
+/// [`encode_full_checkpoint_into`] on the same state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FullFrameLayout {
+    /// Offset of the `params` region (`Ψ × 4` bytes, f32 LE).
+    pub params_off: usize,
+    /// Offset of the Adam `m` region (`Ψ × 4` bytes, f32 LE).
+    pub m_off: usize,
+    /// Offset of the Adam `v` region (`Ψ × 4` bytes, f32 LE).
+    pub v_off: usize,
+    /// Offset of the error-feedback residual region (`Ψ × 4` bytes, f32
+    /// LE), when the aux view carries one.
+    pub residual_off: Option<usize>,
+    /// Frame length before the 4-byte CRC seal.
+    pub body_len: usize,
+}
+
+/// Compute the [`FullFrameLayout`] of a v2 full checkpoint for `psi`
+/// parameters and the aux sections present in `aux` (only *which* sections
+/// are present matters, not their contents).
+pub fn full_frame_layout(psi: usize, aux: &AuxView<'_>) -> FullFrameLayout {
+    // magic(4) + version(2) + iteration(8) + psi(8) + adam_t(8)
+    let header = 30usize;
+    let params_off = header;
+    let m_off = params_off + psi * 4;
+    let v_off = m_off + psi * 4;
+    let mut off = v_off + psi * 4 + 1; // + aux flags byte
+    if aux.compressor.is_some() {
+        off += 1 + 8 + 1; // kind u8, ratio f64, bits u8
+    }
+    if aux.rng.is_some() {
+        off += 4 * 8;
+    }
+    let residual_off = aux.residual.is_some().then_some(off);
+    if aux.residual.is_some() {
+        off += psi * 4;
+    }
+    if aux.quant.is_some() {
+        off += 4 + 4; // bits/streak/adaptive/floor_bits u8×4, max_err f32
+    }
+    FullFrameLayout {
+        params_off,
+        m_off,
+        v_off,
+        residual_off,
+        body_len: off,
+    }
+}
+
+/// Write an **unsealed** v2 full-checkpoint frame into `buf`: the header
+/// and every small aux section (flags, compressor, RNG cursor, quant
+/// policy) carry their final bytes; the params / m / v / residual regions
+/// are zero-filled placeholders at the offsets the returned
+/// [`FullFrameLayout`] names. Once every region byte has been filled (f32
+/// LE, e.g. chunk by chunk), [`seal_frame`] appends the CRC and the blob
+/// is byte-identical to [`encode_full_checkpoint_into`] for the state the
+/// regions were filled from — the incremental-snapshot byte-identity
+/// invariant, pinned by `frame_fill_seal_matches_blocking_encode`.
+///
+/// `aux.residual` contributes only its *presence* (its length must equal
+/// `psi`); the contents are captured into the region later.
+pub fn encode_full_frame_into(
+    iteration: u64,
+    opt_t: u64,
+    psi: usize,
+    aux: &AuxView<'_>,
+    buf: &mut Vec<u8>,
+) -> FullFrameLayout {
+    if let Some(r) = aux.residual {
+        assert_eq!(r.len(), psi, "residual length must equal parameter count");
+    }
+    let layout = full_frame_layout(psi, aux);
+    buf.clear();
+    buf.reserve(layout.body_len + 4);
+    buf.extend_from_slice(MAGIC_FULL);
+    put_u16(buf, FULL_VERSION_V2);
+    put_u64(buf, iteration);
+    put_u64(buf, psi as u64);
+    put_u64(buf, opt_t);
+    buf.resize(layout.v_off + psi * 4, 0); // params + m + v placeholders
+    put_u8(buf, aux_flag_bits(aux));
+    if let Some(c) = aux.compressor {
+        put_u8(buf, c.kind as u8);
+        put_f64(buf, c.ratio);
+        put_u8(buf, c.bits);
+    }
+    if let Some(rng) = aux.rng {
+        for w in rng {
+            put_u64(buf, w);
+        }
+    }
+    if let Some(off) = layout.residual_off {
+        buf.resize(off + psi * 4, 0); // residual placeholder
+    }
+    if let Some(q) = aux.quant {
+        put_u8(buf, q.bits);
+        put_u8(buf, q.streak);
+        put_u8(buf, u8::from(q.adaptive));
+        put_u8(buf, q.floor_bits);
+        put_f32(buf, q.max_err);
+    }
+    debug_assert_eq!(buf.len(), layout.body_len);
+    layout
+}
+
+/// The aux-section presence bitmask of a view (the frame's flags byte).
+fn aux_flag_bits(aux: &AuxView<'_>) -> u8 {
+    let mut flags = 0u8;
+    if aux.residual.is_some() {
+        flags |= AUX_FLAG_RESIDUAL;
+    }
+    if aux.compressor.is_some() {
+        flags |= AUX_FLAG_COMPRESSOR;
+    }
+    if aux.rng.is_some() {
+        flags |= AUX_FLAG_RNG;
+    }
+    if aux.quant.is_some() {
+        flags |= AUX_FLAG_QUANT_POLICY;
+    }
+    flags
+}
+
+/// [`encode_full_frame_into`] for a buffer that already holds a frame of
+/// the **same shape** (same `psi`, same aux-section mix — e.g. a recycled
+/// incremental-capture ticket): rewrite only the header and the small aux
+/// sections in place and leave the params / m / v / residual region bytes
+/// untouched. The regions still hold the *previous* capture's bytes — the
+/// caller's contract is exactly the frame-filling one: every region byte
+/// is overwritten (chunk by chunk) before [`seal_frame`], so the sealed
+/// blob is byte-identical to a from-scratch encode. Skipping the
+/// multi-MB placeholder zeroing is the point: on the training thread that
+/// memset is a milliseconds-scale stall for nothing.
+///
+/// Falls back to [`encode_full_frame_into`] (full rebuild) when the
+/// buffer doesn't hold a matching frame — wrong length or different
+/// section mix.
+pub fn reframe_full_frame_into(
+    iteration: u64,
+    opt_t: u64,
+    psi: usize,
+    aux: &AuxView<'_>,
+    buf: &mut Vec<u8>,
+) -> FullFrameLayout {
+    if let Some(r) = aux.residual {
+        assert_eq!(r.len(), psi, "residual length must equal parameter count");
+    }
+    let layout = full_frame_layout(psi, aux);
+    let aux_off = layout.v_off + psi * 4;
+    let flags = aux_flag_bits(aux);
+    // A sealed previous frame is body + 4 CRC bytes; an unsealed one
+    // (abandoned capture) is bare body. The flags byte pins the section
+    // mix, and with it every offset this in-place rewrite relies on.
+    let reusable = (buf.len() == layout.body_len || buf.len() == layout.body_len + 4)
+        && buf.get(aux_off).copied() == Some(flags);
+    if !reusable {
+        return encode_full_frame_into(iteration, opt_t, psi, aux, buf);
+    }
+    buf.truncate(layout.body_len);
+    buf[0..4].copy_from_slice(MAGIC_FULL);
+    buf[4..6].copy_from_slice(&FULL_VERSION_V2.to_le_bytes());
+    buf[6..14].copy_from_slice(&iteration.to_le_bytes());
+    buf[14..22].copy_from_slice(&(psi as u64).to_le_bytes());
+    buf[22..30].copy_from_slice(&opt_t.to_le_bytes());
+    let mut off = aux_off;
+    buf[off] = flags;
+    off += 1;
+    if let Some(c) = aux.compressor {
+        buf[off] = c.kind as u8;
+        buf[off + 1..off + 9].copy_from_slice(&c.ratio.to_le_bytes());
+        buf[off + 9] = c.bits;
+        off += 10;
+    }
+    if let Some(rng) = aux.rng {
+        for w in rng {
+            buf[off..off + 8].copy_from_slice(&w.to_le_bytes());
+            off += 8;
+        }
+    }
+    if aux.residual.is_some() {
+        off += psi * 4; // region bytes: captured later, left stale here
+    }
+    if let Some(q) = aux.quant {
+        buf[off] = q.bits;
+        buf[off + 1] = q.streak;
+        buf[off + 2] = u8::from(q.adaptive);
+        buf[off + 3] = q.floor_bits;
+        buf[off + 4..off + 8].copy_from_slice(&q.max_err.to_le_bytes());
+        off += 8;
+    }
+    debug_assert_eq!(off, layout.body_len);
+    layout
+}
+
+/// Seal a filled frame: append the CRC32 of everything written so far.
+/// The public face of the internal `seal_into`, for frames built through
+/// [`encode_full_frame_into`].
+pub fn seal_frame(buf: &mut Vec<u8>) {
+    seal_into(buf);
+}
+
 /// Serialize a full checkpoint in the legacy v1 layout (no aux trailer).
 /// Nothing writes v1 anymore; this exists so backward-compatibility tests
 /// can fabricate old blobs and prove [`decode_full_checkpoint`] still
@@ -1341,6 +1547,130 @@ mod tests {
         let fc = decode_full_checkpoint(&bytes).unwrap();
         assert!(fc.aux.is_empty());
         assert!(fc.lossy);
+    }
+
+    #[test]
+    fn frame_fill_seal_matches_blocking_encode() {
+        // The incremental-capture byte-identity invariant at the codec
+        // layer: framing, filling the regions from the state, and sealing
+        // must reproduce the blocking encoder's blob exactly.
+        let fill = |buf: &mut Vec<u8>, off: usize, xs: &[f32]| {
+            for (i, &x) in xs.iter().enumerate() {
+                buf[off + i * 4..off + i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+            }
+        };
+        for (psi, seed, aux) in [
+            (300, 31, AuxState::default()),
+            (
+                301,
+                32,
+                AuxState {
+                    residual: Some((0..301).map(|i| i as f32 * 0.5 - 7.0).collect()),
+                    compressor: Some(CompressorCfg::topk(0.01)),
+                    rng: Some([7, 8, 9, u64::MAX]),
+                    quant: Some(QuantPolicyState {
+                        bits: 8,
+                        streak: 2,
+                        adaptive: true,
+                        max_err: 0.05,
+                        floor_bits: 4,
+                    }),
+                },
+            ),
+            (
+                64,
+                33,
+                AuxState {
+                    rng: Some([1, 2, 3, 4]),
+                    quant: Some(QuantPolicyState {
+                        bits: 16,
+                        streak: 0,
+                        adaptive: false,
+                        max_err: 0.0,
+                        floor_bits: 4,
+                    }),
+                    ..AuxState::default()
+                },
+            ),
+        ] {
+            let st = demo_state(psi, seed);
+            let view = aux.view();
+            let blocking = encode_full_checkpoint(&st, &view);
+            let mut framed = Vec::new();
+            let layout = encode_full_frame_into(st.iteration, st.opt.t, psi, &view, &mut framed);
+            assert_eq!(layout, full_frame_layout(psi, &view));
+            assert_eq!(framed.len(), layout.body_len);
+            fill(&mut framed, layout.params_off, &st.params);
+            fill(&mut framed, layout.m_off, &st.opt.m);
+            fill(&mut framed, layout.v_off, &st.opt.v);
+            if let Some(r) = view.residual {
+                fill(&mut framed, layout.residual_off.unwrap(), r);
+            } else {
+                assert!(layout.residual_off.is_none());
+            }
+            seal_frame(&mut framed);
+            assert_eq!(framed, blocking, "frame+fill+seal diverged at psi={psi}");
+        }
+    }
+
+    #[test]
+    fn reframe_reuses_matching_buffers_and_rebuilds_others() {
+        let fill = |buf: &mut Vec<u8>, off: usize, xs: &[f32]| {
+            for (i, &x) in xs.iter().enumerate() {
+                buf[off + i * 4..off + i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+            }
+        };
+        let aux = AuxState {
+            residual: Some((0..200).map(|i| i as f32 * 0.25).collect()),
+            compressor: Some(CompressorCfg::topk(0.02)),
+            rng: Some([4, 5, 6, 7]),
+            quant: None,
+        };
+        let view = aux.view();
+        let complete = |st: &ModelState, buf: &mut Vec<u8>, layout: FullFrameLayout| {
+            fill(buf, layout.params_off, &st.params);
+            fill(buf, layout.m_off, &st.opt.m);
+            fill(buf, layout.v_off, &st.opt.v);
+            fill(buf, layout.residual_off.unwrap(), view.residual.unwrap());
+            seal_frame(buf);
+        };
+        // First frame from scratch, filled and sealed.
+        let st1 = demo_state(200, 41);
+        let mut buf = Vec::new();
+        let layout = reframe_full_frame_into(st1.iteration, st1.opt.t, 200, &view, &mut buf);
+        complete(&st1, &mut buf, layout);
+        assert_eq!(buf, encode_full_checkpoint(&st1, &view));
+
+        // Reframe over the sealed buffer: in-place fast path — no
+        // reallocation, stale region bytes — must still seal to exactly
+        // the blocking encoder's output once refilled.
+        let mut st2 = demo_state(200, 42);
+        st2.iteration = 1234;
+        st2.opt.t = 1234;
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        let layout = reframe_full_frame_into(st2.iteration, st2.opt.t, 200, &view, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr, "fast path must not reallocate");
+        complete(&st2, &mut buf, layout);
+        assert_eq!(buf, encode_full_checkpoint(&st2, &view));
+
+        // A different section mix (flags mismatch at the same offset
+        // math) falls back to the full rebuild and still round-trips.
+        let bare = AuxView {
+            residual: None,
+            compressor: Some(CompressorCfg::topk(0.02)),
+            rng: Some([4, 5, 6, 7]),
+            quant: None,
+        };
+        let st3 = demo_state(200, 43);
+        let layout = reframe_full_frame_into(st3.iteration, st3.opt.t, 200, &bare, &mut buf);
+        assert!(layout.residual_off.is_none());
+        fill(&mut buf, layout.params_off, &st3.params);
+        fill(&mut buf, layout.m_off, &st3.opt.m);
+        fill(&mut buf, layout.v_off, &st3.opt.v);
+        seal_frame(&mut buf);
+        assert_eq!(buf, encode_full_checkpoint(&st3, &bare));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Chunked copy-on-write capture primitives.
+//!
+//! An incremental snapshot divides a flat `f32` region into fixed-size
+//! chunks, each with a three-state capture marker:
+//!
+//! ```text
+//!   UNCAPTURED --try_begin (CAS)--> CAPTURING --finish--> CAPTURED
+//! ```
+//!
+//! Two parties race to capture each chunk: the *writer* (the optimizer
+//! update about to overwrite the chunk — the copy-on-write hook) and the
+//! *sweeper* (a background pass capturing cold chunks). The CAS in
+//! [`ChunkStates::try_begin`] picks exactly one winner per chunk; the loser
+//! either skips (sweeper) or spin-waits for `CAPTURED` before mutating the
+//! source (writer, via [`ChunkStates::wait_captured`]). `remaining` counts
+//! down as chunks finish so "capture complete" is a single atomic load.
+//!
+//! The chunk size is a property of the *map*, not of these markers; see
+//! [`ChunkMap`]. [`copy_f32_chunk_le`] is the capture kernel itself — a
+//! bulk f32→little-endian byte copy matching the checkpoint wire format.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Chunk marker states. `u8` payloads of the per-chunk atomics.
+pub const UNCAPTURED: u8 = 0;
+/// A capturer won the CAS and is copying the chunk out.
+pub const CAPTURING: u8 = 1;
+/// The chunk's pre-update bytes are safely in the snapshot buffer.
+pub const CAPTURED: u8 = 2;
+
+/// Geometry of a chunked region: `len` elements split into `chunk`-element
+/// pieces (the last possibly short). Pure arithmetic, no state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkMap {
+    /// Total elements in the region.
+    pub len: usize,
+    /// Elements per chunk (> 0).
+    pub chunk: usize,
+}
+
+impl ChunkMap {
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        Self { len, chunk }
+    }
+
+    /// Number of chunks covering the region (0 for an empty region).
+    pub fn num_chunks(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    /// Element range of chunk `idx`.
+    pub fn range(&self, idx: usize) -> Range<usize> {
+        let start = idx * self.chunk;
+        debug_assert!(start < self.len || (self.len == 0 && start == 0));
+        start..((start + self.chunk).min(self.len))
+    }
+
+    /// Chunk indices overlapping the element range `r` (clamped to the
+    /// region), e.g. the chunks an optimizer update block is about to
+    /// overwrite.
+    pub fn chunks_overlapping(&self, r: Range<usize>) -> Range<usize> {
+        let end = r.end.min(self.len);
+        if r.start >= end {
+            return 0..0;
+        }
+        (r.start / self.chunk)..end.div_ceil(self.chunk)
+    }
+}
+
+/// Per-chunk capture markers plus a completion countdown, shared between
+/// the writer thread (COW hook) and the sweeper.
+pub struct ChunkStates {
+    states: Vec<AtomicU8>,
+    remaining: AtomicUsize,
+}
+
+impl ChunkStates {
+    pub fn new(num_chunks: usize) -> Self {
+        Self {
+            states: (0..num_chunks).map(|_| AtomicU8::new(UNCAPTURED)).collect(),
+            remaining: AtomicUsize::new(num_chunks),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Chunks not yet `CAPTURED`. Zero means the snapshot is complete and
+    /// the buffer may be sealed (Acquire pairs with [`Self::finish`]).
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Try to claim chunk `idx` for capture. `true` means the caller won
+    /// the CAS and **must** copy the chunk then call [`Self::finish`];
+    /// `false` means another party captured it (or is mid-capture).
+    pub fn try_begin(&self, idx: usize) -> bool {
+        self.states[idx]
+            .compare_exchange(UNCAPTURED, CAPTURING, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Mark chunk `idx` captured. Release publishes the copied bytes to
+    /// whoever observes `CAPTURED` (the spin-wait in [`Self::wait_captured`]
+    /// and the sealing thread's [`Self::remaining`] check).
+    pub fn finish(&self, idx: usize) {
+        debug_assert_eq!(self.states[idx].load(Ordering::Relaxed), CAPTURING);
+        self.states[idx].store(CAPTURED, Ordering::Release);
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Spin until chunk `idx` is `CAPTURED`. Called by a writer that lost
+    /// the capture race and must not overwrite the source mid-copy. The
+    /// capture is a short memcpy, so a spin (with `hint::spin_loop`) beats
+    /// parking.
+    pub fn wait_captured(&self, idx: usize) {
+        while self.states[idx].load(Ordering::Acquire) != CAPTURED {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Reset every marker to `UNCAPTURED` for snapshot reuse. Caller must
+    /// have exclusive access (no concurrent capture in flight).
+    pub fn reset(&self) {
+        for s in &self.states {
+            s.store(UNCAPTURED, Ordering::Relaxed);
+        }
+        self.remaining.store(self.states.len(), Ordering::Release);
+    }
+}
+
+/// Copy `src` into `dst` as little-endian f32 bytes (`dst.len() == src.len()*4`).
+/// This is the per-chunk capture kernel; on little-endian targets it lowers
+/// to a straight memcpy.
+pub fn copy_f32_chunk_le(src: &[f32], dst: &mut [u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len() * 4,
+        "destination must be 4 bytes per element"
+    );
+    if cfg!(target_endian = "little") {
+        // Safety: f32 and [u8; 4] have the same size; lengths checked above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr().cast::<u8>(), dst.as_mut_ptr(), dst.len());
+        }
+    } else {
+        for (d, s) in dst.chunks_exact_mut(4).zip(src) {
+            d.copy_from_slice(&s.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_covers_region_exactly() {
+        let m = ChunkMap::new(10, 4);
+        assert_eq!(m.num_chunks(), 3);
+        assert_eq!(m.range(0), 0..4);
+        assert_eq!(m.range(1), 4..8);
+        assert_eq!(m.range(2), 8..10);
+        let exact = ChunkMap::new(8, 4);
+        assert_eq!(exact.num_chunks(), 2);
+        assert_eq!(exact.range(1), 4..8);
+        assert_eq!(ChunkMap::new(0, 4).num_chunks(), 0);
+    }
+
+    #[test]
+    fn overlap_clamps_and_rounds() {
+        let m = ChunkMap::new(10, 4);
+        assert_eq!(m.chunks_overlapping(0..10), 0..3);
+        assert_eq!(m.chunks_overlapping(3..5), 0..2);
+        assert_eq!(m.chunks_overlapping(4..8), 1..2);
+        assert_eq!(m.chunks_overlapping(9..100), 2..3);
+        assert_eq!(m.chunks_overlapping(10..12), 0..0);
+        assert_eq!(m.chunks_overlapping(5..5), 0..0);
+    }
+
+    #[test]
+    fn states_single_winner_and_countdown() {
+        let s = ChunkStates::new(3);
+        assert_eq!(s.remaining(), 3);
+        assert!(s.try_begin(1));
+        assert!(!s.try_begin(1), "second claimant must lose the CAS");
+        s.finish(1);
+        assert!(!s.try_begin(1), "captured chunks are never re-claimed");
+        s.wait_captured(1); // returns immediately
+        assert!(s.try_begin(0));
+        s.finish(0);
+        assert!(s.try_begin(2));
+        s.finish(2);
+        assert_eq!(s.remaining(), 0);
+        s.reset();
+        assert_eq!(s.remaining(), 3);
+        assert!(s.try_begin(1));
+    }
+
+    #[test]
+    fn chunk_copy_is_wire_identical() {
+        let src: Vec<f32> = (0..37).map(|i| i as f32 * 0.25 - 3.0).collect();
+        let mut dst = vec![0u8; src.len() * 4];
+        copy_f32_chunk_le(&src, &mut dst);
+        let expect: Vec<u8> = src.iter().flat_map(|x| x.to_le_bytes()).collect();
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn racing_sweeper_and_writer_capture_every_chunk_once() {
+        // A writer overwriting chunks front-to-back races a sweeper going
+        // back-to-front; every chunk must be captured exactly once and the
+        // snapshot must equal the pre-race source.
+        let n_chunks = 64usize;
+        let chunk = 32usize;
+        let map = ChunkMap::new(n_chunks * chunk, chunk);
+        let src: Vec<f32> = (0..map.len).map(|i| i as f32).collect();
+        let states = ChunkStates::new(n_chunks);
+        let snap: Vec<AtomicU8> = (0..map.len * 4).map(|_| AtomicU8::new(0)).collect();
+        let capture = |idx: usize| {
+            let r = map.range(idx);
+            let mut tmp = vec![0u8; (r.end - r.start) * 4];
+            copy_f32_chunk_le(&src[r.clone()], &mut tmp);
+            for (i, b) in tmp.into_iter().enumerate() {
+                snap[r.start * 4 + i].store(b, Ordering::Relaxed);
+            }
+            states.finish(idx);
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for idx in (0..n_chunks).rev() {
+                    if states.try_begin(idx) {
+                        capture(idx);
+                    }
+                }
+            });
+            for idx in 0..n_chunks {
+                if states.try_begin(idx) {
+                    capture(idx);
+                } else {
+                    states.wait_captured(idx);
+                }
+            }
+        });
+        assert_eq!(states.remaining(), 0);
+        let got: Vec<u8> = snap.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let expect: Vec<u8> = src.iter().flat_map(|x| x.to_le_bytes()).collect();
+        assert_eq!(got, expect);
+    }
+}

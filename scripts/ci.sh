@@ -17,9 +17,11 @@
 #                            bound; the f32 path stays bit-exact
 # 7. bench --smoke         — both benchmark binaries complete on a tiny
 #                            configuration (no JSON written); the e2e
-#                            bench runs three times — 1 and 4 persist
-#                            stripes, then with adaptive quantization on —
-#                            so the legacy, striped, quantized, and
+#                            bench runs four times — 1 and 4 persist
+#                            stripes (blocking snapshots), then with
+#                            incremental COW snapshots on, then with
+#                            adaptive quantization on — so the legacy,
+#                            striped, incremental-capture, quantized, and
 #                            peer-replicated write paths are all
 #                            exercised end-to-end
 #
@@ -65,6 +67,10 @@ MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_ckpt_e2e --smoke --stripes 1
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_ckpt_e2e --smoke --stripes 4
+# Incremental copy-on-write snapshots end-to-end (the blocking runs above
+# are the "off" leg; every strategy does fulls through the COW ticket here).
+MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
+  target/release/bench_ckpt_e2e --smoke --snapshot-mode incremental
 MALLOC_MMAP_THRESHOLD_=134217728 MALLOC_TRIM_THRESHOLD_=134217728 \
   target/release/bench_ckpt_e2e --smoke --quant-bits 8 --adaptive --max-quant-err 2e-3 --peers 2
 

@@ -26,7 +26,7 @@ use lowdiff::engine::peer_recovery_stores;
 use lowdiff::{
     CheckpointStrategy, CrashInjector, CrashPoint, EngineConfig, LowDiffConfig, LowDiffPlusConfig,
     LowDiffPlusStrategy, LowDiffStrategy, NoCheckpoint, PeerReplicateStrategy, RecoverySource,
-    ResumeOpts, Trainer, TrainerConfig, ALL_CRASH_POINTS,
+    ResumeOpts, SnapshotMode, Trainer, TrainerConfig, ALL_CRASH_POINTS,
 };
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_comm::ReplicaNet;
@@ -43,8 +43,32 @@ use std::sync::Arc;
 
 /// Iterations per run. Every (strategy, crash-point) schedule below hits
 /// each crash point at least 8 times within this budget, so any armed
-/// `nth ∈ [2, 8]` is guaranteed to fire.
+/// `nth ∈ [2, 8]` is guaranteed to fire. Exception: MidCapture fires once
+/// per *full* checkpoint, and the sparsest full cadence below (LowDiff's
+/// `full_every: 6`) yields only 4 — MidCapture cells draw `nth ∈ [2, 4]`.
 const TOTAL: u64 = 24;
+
+/// The armed occurrence count for a cell: `[2, 8]` normally, clamped to
+/// `[2, 4]` for MidCapture (see [`TOTAL`]).
+fn arm_nth(point: CrashPoint, seed: u64) -> u64 {
+    let span = if point == CrashPoint::MidCapture {
+        3
+    } else {
+        7
+    };
+    2 + DetRng::new(seed).next_u64() % span
+}
+
+/// MidCapture only exists on the incremental snapshot path, so those
+/// cells opt into it; every other cell keeps the default blocking
+/// snapshot, leaving the legacy cells' store layouts bit-identical.
+fn snapshot_mode(point: CrashPoint) -> SnapshotMode {
+    if point == CrashPoint::MidCapture {
+        SnapshotMode::Incremental
+    } else {
+        SnapshotMode::Blocking
+    }
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Scheme {
@@ -93,7 +117,7 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
     straight.run_with_data(TOTAL, data_step());
     let want = straight.state().clone();
 
-    let nth = 2 + DetRng::new(0x7081 ^ cell_seed.rotate_left(17)).next_u64() % 7;
+    let nth = arm_nth(point, 0x7081 ^ cell_seed.rotate_left(17));
     let injector = CrashInjector::arm(point, nth);
     let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
     // MidStripe only exists on the striped persist path, so those cells
@@ -108,8 +132,10 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
     } else {
         StripeCfg::default()
     };
+    let snapshot = snapshot_mode(point);
     let ecfg = || EngineConfig {
         stripe,
+        snapshot,
         crash: Some(Arc::clone(&injector)),
         ..EngineConfig::default()
     };
@@ -122,6 +148,7 @@ fn torture_cell(scheme: Scheme, point: CrashPoint, error_feedback: bool, cell_se
                 full_every: 6,
                 batch_size: 2,
                 stripe,
+                snapshot,
                 crash: Some(Arc::clone(&injector)),
                 ..LowDiffConfig::default()
             },
@@ -243,7 +270,7 @@ fn quant_torture_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
     straight.run_with_data(TOTAL, data_step());
     let want = straight.state().clone();
 
-    let nth = 2 + DetRng::new(0x51AB ^ cell_seed.rotate_left(11)).next_u64() % 7;
+    let nth = arm_nth(point, 0x51AB ^ cell_seed.rotate_left(11));
     let injector = CrashInjector::arm(point, nth);
     let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
     let stripe = if point == CrashPoint::MidStripe {
@@ -260,6 +287,7 @@ fn quant_torture_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
             full_every: 6,
             batch_size: 2,
             stripe,
+            snapshot: snapshot_mode(point),
             crash: Some(Arc::clone(&injector)),
             value_codec: ValueCodec::Quantized(QuantizedValues {
                 bits: 8,
@@ -342,7 +370,7 @@ fn rank_loss_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
     straight.run_with_data(TOTAL, data_step());
     let want = straight.state().clone();
 
-    let nth = 2 + DetRng::new(0xC4A5 ^ cell_seed.rotate_left(23)).next_u64() % 7;
+    let nth = arm_nth(point, 0xC4A5 ^ cell_seed.rotate_left(23));
     let injector = CrashInjector::arm(point, nth);
     let store = Arc::new(CheckpointStore::new(Arc::new(MemoryBackend::new())));
     let stripe = if point == CrashPoint::MidStripe {
@@ -360,6 +388,7 @@ fn rank_loss_cell(point: CrashPoint, error_feedback: bool, cell_seed: u64) {
             full_every: 6,
             batch_size: 2,
             stripe,
+            snapshot: snapshot_mode(point),
             crash: Some(Arc::clone(&injector)),
             ..LowDiffConfig::default()
         },
@@ -453,10 +482,21 @@ fn smoke_every_strategy_survives_a_torn_write() {
     }
 }
 
-/// The full matrix: {six strategies} × {five crash points} × {EF on/off}
-/// (LowDiff+ dense-only). 55 cells, each asserting bit-identical final
+/// CI smoke subset: every strategy survives dying mid-incremental-capture
+/// (the partially captured frame must vanish without a trace) and resumes
+/// bit-exactly, EF alternating across schemes.
+#[test]
+fn smoke_every_strategy_survives_a_mid_capture_crash() {
+    for (i, scheme) in SCHEMES.into_iter().enumerate() {
+        torture_cell(scheme, CrashPoint::MidCapture, i % 2 == 1, 600 + i as u64);
+    }
+}
+
+/// The full matrix: {six strategies} × {six crash points} × {EF on/off}
+/// (LowDiff+ dense-only). 66 cells, each asserting bit-identical final
 /// parameters and Adam moments. MidStripe cells run the striped persist
-/// path; all other cells keep the legacy single-blob layout.
+/// path, MidCapture cells the incremental (copy-on-write) snapshot path;
+/// all other cells keep the legacy single-blob blocking layout.
 #[test]
 fn torture_matrix_all_strategies_all_crash_points() {
     let mut cell = 0u64;
@@ -474,7 +514,7 @@ fn torture_matrix_all_strategies_all_crash_points() {
 }
 
 /// Quantized extension of the matrix: {adaptive quant compressor + v3 diff
-/// codec} × {five crash points} × {EF on/off}. 10 cells, each asserting
+/// codec} × {six crash points} × {EF on/off}. 12 cells, each asserting
 /// the resumed state is bit-identical to the straight quantized run.
 #[test]
 fn torture_matrix_quantized_compressor_all_crash_points() {
@@ -497,7 +537,7 @@ fn smoke_whole_rank_loss_recovers_from_peers() {
 }
 
 /// Whole-rank-loss extension of the matrix: {peer-replicated LowDiff} ×
-/// {five crash points} × {EF on/off}. 10 cells; the lost rank's durable
+/// {six crash points} × {EF on/off}. 12 cells; the lost rank's durable
 /// store is destroyed with it, recovery runs over peer replicas alone,
 /// and the resumed state must still be bit-identical to the straight run.
 #[test]

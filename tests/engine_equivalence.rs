@@ -17,7 +17,8 @@ use lowdiff::lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 use lowdiff::recovery::recover_serial;
 use lowdiff::strategy::CheckpointStrategy;
 use lowdiff::{
-    AuxView, EngineConfig, NoCheckpoint, PeerReplicateStrategy, ResumeOpts, Trainer, TrainerConfig,
+    AuxView, EngineConfig, NoCheckpoint, PeerReplicateStrategy, ResumeOpts, SnapshotMode, Trainer,
+    TrainerConfig,
 };
 use lowdiff_baselines::{CheckFreqStrategy, GeminiStrategy, NaiveDcStrategy, TorchSaveStrategy};
 use lowdiff_comm::ReplicaNet;
@@ -455,13 +456,19 @@ fn check_mixed_version_chain(seed: u64, psi: usize, iters: u64, batch: usize) {
 // ------------------------------------------- striped persist equivalence
 
 /// Drive one strategy through a real [`Trainer`] run at the given stripe
-/// configuration, returning the store it wrote. `scheme` indexes the same
-/// six schemes the torture matrix exercises.
-fn run_scheme_with_stripes(scheme: usize, stripe: StripeCfg, seed: u64) -> Arc<CheckpointStore> {
+/// configuration and snapshot mode, returning the store it wrote. `scheme`
+/// indexes the same six schemes the torture matrix exercises.
+fn run_scheme(
+    scheme: usize,
+    stripe: StripeCfg,
+    snapshot: SnapshotMode,
+    ef: bool,
+    seed: u64,
+) -> Arc<CheckpointStore> {
     let dense_only = scheme == 1; // lowdiff+ runs dense
     let cfg = TrainerConfig {
         compress_ratio: if dense_only { None } else { Some(0.25) },
-        error_feedback: false,
+        error_feedback: ef && !dense_only,
         data_seed: 0xEC0 ^ seed,
         ..TrainerConfig::default()
     };
@@ -469,6 +476,7 @@ fn run_scheme_with_stripes(scheme: usize, stripe: StripeCfg, seed: u64) -> Arc<C
     let network = mlp(&[4, 10, 2], 8);
     let ecfg = EngineConfig {
         stripe,
+        snapshot,
         ..EngineConfig::default()
     };
     let strat: Box<dyn CheckpointStrategy> = match scheme {
@@ -478,6 +486,7 @@ fn run_scheme_with_stripes(scheme: usize, stripe: StripeCfg, seed: u64) -> Arc<C
                 full_every: 6,
                 batch_size: 2,
                 stripe,
+                snapshot,
                 ..LowDiffConfig::default()
             },
         )),
@@ -582,22 +591,43 @@ fn check_striped_equivalence(scheme: usize, stripes: usize, seed: u64) {
         "naive-dc",
     ];
     let what = names[scheme];
-    let legacy = run_scheme_with_stripes(scheme, StripeCfg::default(), seed);
-    let striped = run_scheme_with_stripes(
+    let legacy = run_scheme(
+        scheme,
+        StripeCfg::default(),
+        SnapshotMode::Blocking,
+        false,
+        seed,
+    );
+    let striped = run_scheme(
         scheme,
         StripeCfg {
             stripes,
             min_stripe_bytes: 1, // toy model: stripe even tiny blobs
         },
+        SnapshotMode::Blocking,
+        false,
         seed,
     );
     assert_striped_matches_legacy(&striped, &legacy, what);
 
     // Recovery through the real resume path lands on the identical state.
+    assert_resume_equal(&striped, &legacy, scheme, false, seed, what);
+}
+
+/// Resume both stores through the real resume path and require identical
+/// recovered state (or identical unrecoverability).
+fn assert_resume_equal(
+    store_a: &CheckpointStore,
+    store_b: &CheckpointStore,
+    scheme: usize,
+    ef: bool,
+    seed: u64,
+    what: &str,
+) {
     let dense_only = scheme == 1;
     let cfg = TrainerConfig {
         compress_ratio: if dense_only { None } else { Some(0.25) },
-        error_feedback: false,
+        error_feedback: ef && !dense_only,
         data_seed: 0xEC0 ^ seed,
         ..TrainerConfig::default()
     };
@@ -616,7 +646,7 @@ fn check_striped_equivalence(scheme: usize, stripes: usize, seed: u64) {
         .unwrap()
         .map(|(tr, _)| tr.state().clone())
     };
-    match (resume(&striped), resume(&legacy)) {
+    match (resume(store_a), resume(store_b)) {
         (Some(a), Some(b)) => {
             assert_eq!(a.iteration, b.iteration, "{what}: resume iteration");
             assert_eq!(a.params, b.params, "{what}: resume params");
@@ -625,11 +655,35 @@ fn check_striped_equivalence(scheme: usize, stripes: usize, seed: u64) {
         }
         (None, None) => {}
         (a, b) => panic!(
-            "{what}: resume disagrees about recoverability (striped: {}, legacy: {})",
+            "{what}: resume disagrees about recoverability ({} vs {})",
             a.is_some(),
             b.is_some()
         ),
     }
+}
+
+// --------------------------------------- incremental snapshot equivalence
+
+/// The sacred invariant of the COW capture path: a full checkpoint captured
+/// incrementally (chunks copied by the update hook mid-step + swept by the
+/// worker) must be **byte-identical** to the blocking copy's encoded frame
+/// — same keys, same bytes, same resume — for every strategy, with and
+/// without error feedback (EF rewrites the residual the frame carries).
+fn check_incremental_equivalence(scheme: usize, ef: bool, seed: u64) {
+    let names = [
+        "lowdiff",
+        "lowdiff+",
+        "checkfreq",
+        "torch-save",
+        "gemini",
+        "naive-dc",
+    ];
+    let what = names[scheme];
+    let stripe = StripeCfg::default();
+    let blocking = run_scheme(scheme, stripe, SnapshotMode::Blocking, ef, seed);
+    let incremental = run_scheme(scheme, stripe, SnapshotMode::Incremental, ef, seed);
+    assert_stores_identical(&incremental, &blocking, what);
+    assert_resume_equal(&incremental, &blocking, scheme, ef, seed, what);
 }
 
 // ------------------------------------------------------------------ tests
@@ -660,6 +714,16 @@ fn mixed_version_chain_matches_dense_replay() {
 fn all_strategies_striped_matches_single_blob() {
     for scheme in 0..6 {
         check_striped_equivalence(scheme, 4, 31 + scheme as u64);
+    }
+}
+
+/// Incremental COW capture is byte-invisible: every strategy's store after
+/// an incremental-snapshot run is identical to its blocking-snapshot run,
+/// with and without error feedback.
+#[test]
+fn all_strategies_incremental_matches_blocking() {
+    for scheme in 0..6 {
+        check_incremental_equivalence(scheme, scheme % 2 == 0, 51 + scheme as u64);
     }
 }
 
@@ -809,6 +873,17 @@ proptest! {
         seed in 0u64..1000,
     ) {
         check_striped_equivalence(scheme, stripes, seed);
+    }
+
+    /// COW-captured full checkpoints are byte-identical to the blocking
+    /// copy's for every strategy and either error-feedback setting.
+    #[test]
+    fn incremental_snapshot_is_byte_identical(
+        scheme in 0usize..6,
+        ef_raw in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        check_incremental_equivalence(scheme, ef_raw == 1, seed);
     }
 
     /// Peer replication is a pure fan-out: the durable store stays
