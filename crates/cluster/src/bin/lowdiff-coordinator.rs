@@ -1,0 +1,91 @@
+//! `lowdiff-coordinator` — the cluster coordinator process.
+//!
+//! ```text
+//! lowdiff-coordinator --listen 127.0.0.1:0 --world 3 --dir /data/run1 \
+//!     [--num-chunks 16] [--vnodes 64] \
+//!     [--heartbeat-timeout-ms 3000] [--barrier-timeout-ms 30000]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound (orchestrators parse this to
+//! learn the port when `--listen` uses port 0), then serves until a
+//! `Shutdown` message arrives (`lowdiff-ctl cluster <addr> shutdown`).
+
+use lowdiff_cluster::rt::{CoordConfig, Coordinator};
+use lowdiff_storage::{CheckpointStore, DiskBackend};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lowdiff-coordinator --listen ADDR --world N --dir DIR \
+         [--num-chunks N] [--vnodes N] [--heartbeat-timeout-ms MS] \
+         [--barrier-timeout-ms MS]"
+    );
+    exit(64);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("lowdiff-coordinator: bad or missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen = None;
+    let mut world = None;
+    let mut dir = None;
+    let mut num_chunks = 16u32;
+    let mut vnodes = 64usize;
+    let mut heartbeat_ms = 3000u64;
+    let mut barrier_ms = 30_000u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => listen = args.next(),
+            "--world" => world = Some(parse::<u32>("--world", args.next())),
+            "--dir" => dir = args.next(),
+            "--num-chunks" => num_chunks = parse("--num-chunks", args.next()),
+            "--vnodes" => vnodes = parse("--vnodes", args.next()),
+            "--heartbeat-timeout-ms" => heartbeat_ms = parse("--heartbeat-timeout-ms", args.next()),
+            "--barrier-timeout-ms" => barrier_ms = parse("--barrier-timeout-ms", args.next()),
+            _ => usage(),
+        }
+    }
+    let (Some(listen), Some(world), Some(dir)) = (listen, world, dir) else {
+        usage();
+    };
+
+    let global = match DiskBackend::new(std::path::Path::new(&dir).join("global")) {
+        Ok(b) => Arc::new(CheckpointStore::new(Arc::new(b))),
+        Err(e) => {
+            eprintln!("lowdiff-coordinator: cannot open {dir}/global: {e}");
+            exit(1);
+        }
+    };
+    let cfg = CoordConfig {
+        world_size: world,
+        num_chunks,
+        vnodes,
+        heartbeat_timeout: Duration::from_millis(heartbeat_ms),
+        barrier_timeout: Duration::from_millis(barrier_ms),
+        global_store: Some(global),
+    };
+    match Coordinator::start(listen.as_str(), cfg) {
+        Ok(coord) => {
+            // Parsed by orchestrators; keep the format stable.
+            println!("listening on {}", coord.addr());
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            coord.join();
+        }
+        Err(e) => {
+            eprintln!("lowdiff-coordinator: bind failed: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! `lowdiff-worker` — one rank of a multi-process training cluster.
+//!
+//! ```text
+//! lowdiff-worker --coord 127.0.0.1:7070 --dir /data/run1 --name w0 \
+//!     --iters 30 --epoch-iters 10 [--rank 0] [--dims 6,16,2] [--seed 3] \
+//!     [--data-seed 11] [--ratio 0.25] [--dense] [--resume] \
+//!     [--heartbeat-ms 500] [--barrier-timeout-ms 30000] [--step-delay-ms 0]
+//! ```
+//!
+//! Exit status: `0` = reached the iteration target, `2` = degraded (an
+//! epoch barrier failed — a peer died), `1` = error.
+
+use lowdiff_cluster::rt::{run_worker, WorkerConfig};
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lowdiff-worker --coord ADDR --dir DIR --name NAME --iters N \
+         --epoch-iters N [--rank R] [--dims A,B,C] [--seed S] [--data-seed S] \
+         [--ratio RHO | --dense] [--resume] [--heartbeat-ms MS] \
+         [--barrier-timeout-ms MS] [--step-delay-ms MS]"
+    );
+    exit(64);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(x) => x,
+        None => {
+            eprintln!("lowdiff-worker: bad or missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut coord = None;
+    let mut dir = None;
+    let mut name = None;
+    let mut rank = None;
+    let mut dims = vec![6usize, 16, 2];
+    let mut seed = 3u64;
+    let mut data_seed = 11u64;
+    let mut ratio = Some(0.25f64);
+    let mut iters = None;
+    let mut epoch_iters = None;
+    let mut resume = false;
+    let mut heartbeat_ms = 500u64;
+    let mut barrier_ms = 30_000u64;
+    let mut step_delay_ms = 0u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--coord" => coord = args.next(),
+            "--dir" => dir = args.next(),
+            "--name" => name = args.next(),
+            "--rank" => rank = Some(parse::<u32>("--rank", args.next())),
+            "--dims" => {
+                let s: String = parse("--dims", args.next());
+                dims = s
+                    .split(',')
+                    .map(|d| d.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--seed" => seed = parse("--seed", args.next()),
+            "--data-seed" => data_seed = parse("--data-seed", args.next()),
+            "--ratio" => ratio = Some(parse("--ratio", args.next())),
+            "--dense" => ratio = None,
+            "--iters" => iters = Some(parse::<u64>("--iters", args.next())),
+            "--epoch-iters" => epoch_iters = Some(parse::<u64>("--epoch-iters", args.next())),
+            "--resume" => resume = true,
+            "--heartbeat-ms" => heartbeat_ms = parse("--heartbeat-ms", args.next()),
+            "--barrier-timeout-ms" => barrier_ms = parse("--barrier-timeout-ms", args.next()),
+            "--step-delay-ms" => step_delay_ms = parse("--step-delay-ms", args.next()),
+            _ => usage(),
+        }
+    }
+    let (Some(coord), Some(dir), Some(name), Some(iters), Some(epoch_iters)) =
+        (coord, dir, name, iters, epoch_iters)
+    else {
+        usage();
+    };
+
+    let cfg = WorkerConfig {
+        coord,
+        dir: dir.into(),
+        name,
+        rank_hint: rank,
+        dims,
+        seed,
+        data_seed,
+        compress_ratio: ratio,
+        iters,
+        epoch_iters,
+        resume,
+        heartbeat_every: Duration::from_millis(heartbeat_ms),
+        barrier_timeout: Duration::from_millis(barrier_ms),
+        step_delay: Duration::from_millis(step_delay_ms),
+    };
+    match run_worker(cfg) {
+        Ok(report) => {
+            // Parsed by orchestrators/tests; keep the format stable.
+            println!(
+                "worker rank={} world={} final={} resumed={} degraded={}",
+                report.rank,
+                report.world_size,
+                report.final_iteration,
+                report
+                    .resumed_from
+                    .map_or("none".to_string(), |i| i.to_string()),
+                report.degraded.as_deref().unwrap_or("none"),
+            );
+            exit(if report.degraded.is_some() { 2 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("lowdiff-worker: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The multi-process cluster runtime: a TCP [`coordinator`] fronting
+//! worker *processes* ([`worker`]), with [`hashring`] deciding which rank
+//! persists which slice of the parameter vector.
+//!
+//! This is the deployment-shaped counterpart of the in-process simulator
+//! in the crate root: the same `CheckpointEngine`/`Trainer` mechanism,
+//! but ranks are separate OS processes that can really be killed, and the
+//! global checkpoint is stitched from per-rank shard manifests.
+
+pub mod coordinator;
+pub mod hashring;
+pub mod worker;
+
+pub use coordinator::{CoordConfig, Coordinator};
+pub use hashring::HashRing;
+pub use worker::{run_worker, WorkerConfig, WorkerReport};

@@ -20,13 +20,19 @@
 //!   rank streams checkpoint blobs into k peers' memory ([`ReplicaNet`]),
 //!   so a lost rank is rebuilt from a surviving peer with no storage
 //!   round-trip (the engine's `PeerTier` rides on it).
+//! * [`wire`] — the TCP coordinator protocol for *multi-process* clusters:
+//!   length-prefixed CRC-sealed frames carrying registration, heartbeats,
+//!   epoch barriers, and shard-seal reports, plus the blocking
+//!   [`CoordClient`] request/response channel.
 
 pub mod cost;
 pub mod group;
 pub mod pool;
 pub mod rendezvous;
 pub mod replicate;
+pub mod wire;
 
 pub use group::{WorkerCtx, WorkerGroup};
 pub use pool::SyncPool;
 pub use replicate::{PeerUnreachable, ReplicaNet};
+pub use wire::{CoordClient, MemberStatus, Msg};

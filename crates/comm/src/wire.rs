@@ -1,0 +1,578 @@
+//! Coordinator wire protocol — the TCP contract between
+//! `lowdiff-coordinator` and worker/ctl processes.
+//!
+//! Ranks used to be threads sharing `Arc` handles; crossing a process
+//! boundary needs a real byte protocol. Like every on-disk format in this
+//! repo, it is hand-rolled and primitive-only: length-prefixed frames,
+//! little-endian integers, a CRC32 trailer per frame, and strict decode
+//! errors (`InvalidData`) instead of panics — a malformed or truncated
+//! frame from a dying peer must never take the coordinator down with it.
+//!
+//! ```text
+//! frame := u32 payload_len | payload | u32 crc32(payload)
+//! payload := u8 tag | fields…
+//! ```
+//!
+//! One request frame always yields exactly one response frame, so both
+//! sides run a plain blocking read-dispatch-write loop; timeouts come
+//! from the socket (`set_read_timeout`), not from the framing.
+
+use lowdiff_util::crc32;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Upper bound on a frame payload: coordinator traffic is metadata only
+/// (no tensor bytes cross this channel), so anything larger is garbage —
+/// reject before allocating.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// One member row in a [`Msg::StatusReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberStatus {
+    pub rank: u32,
+    pub alive: bool,
+    /// Newest shard full checkpoint this rank reported sealed
+    /// (`None` before the first seal).
+    pub sealed: Option<u64>,
+    /// Milliseconds since the coordinator last heard from this rank.
+    pub last_seen_ms: u64,
+}
+
+/// Every message that crosses the coordinator channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Worker → coordinator: join the cluster. `rank_hint` pins a rank
+    /// (a restarted worker reclaiming its shard); `None` takes the next
+    /// free slot. `psi` is the flat parameter count of the model this
+    /// worker trains — the coordinator rejects mismatches (a shard
+    /// partition is only meaningful over one agreed Ψ).
+    Register {
+        name: String,
+        rank_hint: Option<u32>,
+        psi: u64,
+    },
+    /// Coordinator → worker: admitted. Carries the consistent-hash shard
+    /// assignment: `chunks` are this rank's chunk ids out of
+    /// `num_chunks` equal slices of the flat parameter vector.
+    Welcome {
+        rank: u32,
+        world_size: u32,
+        epoch: u64,
+        num_chunks: u32,
+        chunks: Vec<u32>,
+    },
+    /// Coordinator → worker: registration refused (cluster full, late
+    /// joiner mid-epoch, rank still alive).
+    Reject { reason: String },
+    /// Worker → coordinator: liveness ping.
+    Heartbeat { rank: u32 },
+    /// Coordinator → worker: ping acknowledged; piggybacks the epoch.
+    HeartbeatAck { epoch: u64 },
+    /// Worker → coordinator: entered the end-of-epoch barrier.
+    BarrierEnter { rank: u32, epoch: u64 },
+    /// Coordinator → worker: every rank arrived; proceed.
+    BarrierRelease { epoch: u64 },
+    /// Coordinator → worker: the barrier degraded — `missing` ranks
+    /// never arrived within the timeout. The epoch does not advance.
+    BarrierFailed {
+        epoch: u64,
+        missing: Vec<u32>,
+        reason: String,
+    },
+    /// Worker → coordinator: this rank's shard full checkpoint for
+    /// `iteration` is sealed in its store (`len`/`crc` of the encoded
+    /// shard blob, recorded into the global manifest).
+    ShardSealed {
+        rank: u32,
+        iteration: u64,
+        len: u64,
+        crc: u32,
+    },
+    /// Coordinator → worker: seal recorded. `global_sealed` is true iff
+    /// this report completed the set and the stitched global manifest
+    /// for `iteration` is now durable.
+    SealAck { iteration: u64, global_sealed: bool },
+    /// ctl → coordinator: membership/epoch/checkpoint query.
+    Status,
+    /// Coordinator → ctl: cluster snapshot.
+    StatusReport {
+        epoch: u64,
+        world_size: u32,
+        members: Vec<MemberStatus>,
+        /// Newest globally sealed checkpoint iteration, if any.
+        last_global: Option<u64>,
+    },
+    /// ctl → coordinator: shut the coordinator down (tests/teardown).
+    Shutdown,
+    /// Generic acknowledgement.
+    Ok,
+}
+
+const TAG_REGISTER: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_REJECT: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_HEARTBEAT_ACK: u8 = 5;
+const TAG_BARRIER_ENTER: u8 = 6;
+const TAG_BARRIER_RELEASE: u8 = 7;
+const TAG_BARRIER_FAILED: u8 = 8;
+const TAG_SHARD_SEALED: u8 = 9;
+const TAG_SEAL_ACK: u8 = 10;
+const TAG_STATUS: u8 = 11;
+const TAG_STATUS_REPORT: u8 = 12;
+const TAG_SHUTDOWN: u8 = 13;
+const TAG_OK: u8 = 14;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec_u32(out: &mut Vec<u8>, v: &[u32]) {
+    put_u32(out, v.len() as u32);
+    for x in v {
+        put_u32(out, *x);
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    out.push(v.is_some() as u8);
+    put_u64(out, v.unwrap_or(0));
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire: {what}"))
+}
+
+/// Cursor helper: split `n` bytes off the front or fail.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> io::Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(bad("truncated payload"));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> io::Result<u8> {
+    Ok(take(buf, 1)?[0])
+}
+
+fn get_u32(buf: &mut &[u8]) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+}
+
+fn get_u64(buf: &mut &[u8]) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+fn get_str(buf: &mut &[u8]) -> io::Result<String> {
+    let n = get_u32(buf)? as usize;
+    if n > MAX_FRAME as usize {
+        return Err(bad("oversized string"));
+    }
+    String::from_utf8(take(buf, n)?.to_vec()).map_err(|_| bad("non-utf8 string"))
+}
+
+fn get_vec_u32(buf: &mut &[u8]) -> io::Result<Vec<u32>> {
+    let n = get_u32(buf)? as usize;
+    if n > MAX_FRAME as usize / 4 {
+        return Err(bad("oversized vec"));
+    }
+    (0..n).map(|_| get_u32(buf)).collect()
+}
+
+fn get_opt_u64(buf: &mut &[u8]) -> io::Result<Option<u64>> {
+    let some = get_u8(buf)? != 0;
+    let v = get_u64(buf)?;
+    Ok(some.then_some(v))
+}
+
+impl Msg {
+    /// Serialize into a payload (tag + fields, no frame header/CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Msg::Register {
+                name,
+                rank_hint,
+                psi,
+            } => {
+                out.push(TAG_REGISTER);
+                put_str(&mut out, name);
+                put_opt_u64(&mut out, rank_hint.map(u64::from));
+                put_u64(&mut out, *psi);
+            }
+            Msg::Welcome {
+                rank,
+                world_size,
+                epoch,
+                num_chunks,
+                chunks,
+            } => {
+                out.push(TAG_WELCOME);
+                put_u32(&mut out, *rank);
+                put_u32(&mut out, *world_size);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, *num_chunks);
+                put_vec_u32(&mut out, chunks);
+            }
+            Msg::Reject { reason } => {
+                out.push(TAG_REJECT);
+                put_str(&mut out, reason);
+            }
+            Msg::Heartbeat { rank } => {
+                out.push(TAG_HEARTBEAT);
+                put_u32(&mut out, *rank);
+            }
+            Msg::HeartbeatAck { epoch } => {
+                out.push(TAG_HEARTBEAT_ACK);
+                put_u64(&mut out, *epoch);
+            }
+            Msg::BarrierEnter { rank, epoch } => {
+                out.push(TAG_BARRIER_ENTER);
+                put_u32(&mut out, *rank);
+                put_u64(&mut out, *epoch);
+            }
+            Msg::BarrierRelease { epoch } => {
+                out.push(TAG_BARRIER_RELEASE);
+                put_u64(&mut out, *epoch);
+            }
+            Msg::BarrierFailed {
+                epoch,
+                missing,
+                reason,
+            } => {
+                out.push(TAG_BARRIER_FAILED);
+                put_u64(&mut out, *epoch);
+                put_vec_u32(&mut out, missing);
+                put_str(&mut out, reason);
+            }
+            Msg::ShardSealed {
+                rank,
+                iteration,
+                len,
+                crc,
+            } => {
+                out.push(TAG_SHARD_SEALED);
+                put_u32(&mut out, *rank);
+                put_u64(&mut out, *iteration);
+                put_u64(&mut out, *len);
+                put_u32(&mut out, *crc);
+            }
+            Msg::SealAck {
+                iteration,
+                global_sealed,
+            } => {
+                out.push(TAG_SEAL_ACK);
+                put_u64(&mut out, *iteration);
+                out.push(*global_sealed as u8);
+            }
+            Msg::Status => out.push(TAG_STATUS),
+            Msg::StatusReport {
+                epoch,
+                world_size,
+                members,
+                last_global,
+            } => {
+                out.push(TAG_STATUS_REPORT);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, *world_size);
+                put_u32(&mut out, members.len() as u32);
+                for m in members {
+                    put_u32(&mut out, m.rank);
+                    out.push(m.alive as u8);
+                    put_opt_u64(&mut out, m.sealed);
+                    put_u64(&mut out, m.last_seen_ms);
+                }
+                put_opt_u64(&mut out, *last_global);
+            }
+            Msg::Shutdown => out.push(TAG_SHUTDOWN),
+            Msg::Ok => out.push(TAG_OK),
+        }
+        out
+    }
+
+    /// Strict inverse of [`Msg::encode`]: trailing bytes, truncation, or
+    /// an unknown tag are `InvalidData`, never a panic.
+    pub fn decode(mut buf: &[u8]) -> io::Result<Msg> {
+        let buf = &mut buf;
+        let msg = match get_u8(buf)? {
+            TAG_REGISTER => Msg::Register {
+                name: get_str(buf)?,
+                rank_hint: get_opt_u64(buf)?.map(|v| v as u32),
+                psi: get_u64(buf)?,
+            },
+            TAG_WELCOME => Msg::Welcome {
+                rank: get_u32(buf)?,
+                world_size: get_u32(buf)?,
+                epoch: get_u64(buf)?,
+                num_chunks: get_u32(buf)?,
+                chunks: get_vec_u32(buf)?,
+            },
+            TAG_REJECT => Msg::Reject {
+                reason: get_str(buf)?,
+            },
+            TAG_HEARTBEAT => Msg::Heartbeat {
+                rank: get_u32(buf)?,
+            },
+            TAG_HEARTBEAT_ACK => Msg::HeartbeatAck {
+                epoch: get_u64(buf)?,
+            },
+            TAG_BARRIER_ENTER => Msg::BarrierEnter {
+                rank: get_u32(buf)?,
+                epoch: get_u64(buf)?,
+            },
+            TAG_BARRIER_RELEASE => Msg::BarrierRelease {
+                epoch: get_u64(buf)?,
+            },
+            TAG_BARRIER_FAILED => Msg::BarrierFailed {
+                epoch: get_u64(buf)?,
+                missing: get_vec_u32(buf)?,
+                reason: get_str(buf)?,
+            },
+            TAG_SHARD_SEALED => Msg::ShardSealed {
+                rank: get_u32(buf)?,
+                iteration: get_u64(buf)?,
+                len: get_u64(buf)?,
+                crc: get_u32(buf)?,
+            },
+            TAG_SEAL_ACK => Msg::SealAck {
+                iteration: get_u64(buf)?,
+                global_sealed: get_u8(buf)? != 0,
+            },
+            TAG_STATUS => Msg::Status,
+            TAG_STATUS_REPORT => {
+                let epoch = get_u64(buf)?;
+                let world_size = get_u32(buf)?;
+                let n = get_u32(buf)? as usize;
+                if n > MAX_FRAME as usize / 16 {
+                    return Err(bad("oversized member list"));
+                }
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    members.push(MemberStatus {
+                        rank: get_u32(buf)?,
+                        alive: get_u8(buf)? != 0,
+                        sealed: get_opt_u64(buf)?,
+                        last_seen_ms: get_u64(buf)?,
+                    });
+                }
+                Msg::StatusReport {
+                    epoch,
+                    world_size,
+                    members,
+                    last_global: get_opt_u64(buf)?,
+                }
+            }
+            TAG_SHUTDOWN => Msg::Shutdown,
+            TAG_OK => Msg::Ok,
+            t => return Err(bad(&format!("unknown tag {t}"))),
+        };
+        if !buf.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(msg)
+    }
+}
+
+/// Write one framed message. Any socket error surfaces as `Err` — the
+/// caller decides whether a broken pipe is fatal (worker) or just a dead
+/// client (coordinator).
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> io::Result<()> {
+    let payload = msg.encode();
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    put_u32(&mut frame, crc32(&payload));
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one framed message. `Ok(None)` is a clean EOF on the frame
+/// boundary (peer closed); everything else — truncation mid-frame, CRC
+/// mismatch, oversized length — is an error.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(bad(&format!("frame length {len} exceeds {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    if u32::from_le_bytes(trailer) != crc32(&payload) {
+        return Err(bad("frame CRC mismatch"));
+    }
+    Msg::decode(&payload).map(Some)
+}
+
+/// A blocking request/response channel to the coordinator. Every call
+/// returns `io::Result` — a dead coordinator is an error the caller
+/// handles, never a panic or an infinite hang (reads are bounded by the
+/// socket timeout set at connect).
+pub struct CoordClient {
+    stream: TcpStream,
+}
+
+impl CoordClient {
+    /// Connect with `timeout` bounding the dial and every subsequent
+    /// read/write on the channel.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Self> {
+        let addr: SocketAddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream })
+    }
+
+    /// Widen (or narrow) the read timeout — barrier waits legitimately
+    /// exceed the heartbeat-scale default.
+    pub fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// One request, one response.
+    pub fn rpc(&mut self, msg: &Msg) -> io::Result<Msg> {
+        write_msg(&mut self.stream, msg)?;
+        read_msg(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::ConnectionAborted, "coordinator hung up"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let bytes = msg.encode();
+        assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip(Msg::Register {
+            name: "worker-a".into(),
+            rank_hint: None,
+            psi: 1_000_003,
+        });
+        roundtrip(Msg::Register {
+            name: "worker-b".into(),
+            rank_hint: Some(2),
+            psi: 0,
+        });
+        roundtrip(Msg::Welcome {
+            rank: 1,
+            world_size: 3,
+            epoch: 7,
+            num_chunks: 64,
+            chunks: vec![0, 5, 63],
+        });
+        roundtrip(Msg::Reject {
+            reason: "cluster full".into(),
+        });
+        roundtrip(Msg::Heartbeat { rank: 2 });
+        roundtrip(Msg::HeartbeatAck { epoch: 9 });
+        roundtrip(Msg::BarrierEnter { rank: 0, epoch: 3 });
+        roundtrip(Msg::BarrierRelease { epoch: 3 });
+        roundtrip(Msg::BarrierFailed {
+            epoch: 3,
+            missing: vec![1],
+            reason: "heartbeat timeout".into(),
+        });
+        roundtrip(Msg::ShardSealed {
+            rank: 1,
+            iteration: 40,
+            len: 12345,
+            crc: 0xdeadbeef,
+        });
+        roundtrip(Msg::SealAck {
+            iteration: 40,
+            global_sealed: true,
+        });
+        roundtrip(Msg::Status);
+        roundtrip(Msg::StatusReport {
+            epoch: 4,
+            world_size: 3,
+            members: vec![
+                MemberStatus {
+                    rank: 0,
+                    alive: true,
+                    sealed: Some(40),
+                    last_seen_ms: 12,
+                },
+                MemberStatus {
+                    rank: 1,
+                    alive: false,
+                    sealed: None,
+                    last_seen_ms: 5000,
+                },
+            ],
+            last_global: Some(40),
+        });
+        roundtrip(Msg::Shutdown);
+        roundtrip(Msg::Ok);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Msg::decode(&[]).is_err(), "empty payload");
+        assert!(Msg::decode(&[200]).is_err(), "unknown tag");
+        let mut ok = Msg::Heartbeat { rank: 1 }.encode();
+        ok.push(0); // trailing byte
+        assert!(Msg::decode(&ok).is_err(), "trailing bytes rejected");
+        let short = &Msg::Welcome {
+            rank: 0,
+            world_size: 1,
+            epoch: 0,
+            num_chunks: 4,
+            chunks: vec![1, 2],
+        }
+        .encode();
+        assert!(
+            Msg::decode(&short[..short.len() - 2]).is_err(),
+            "truncation rejected"
+        );
+    }
+
+    #[test]
+    fn framing_roundtrips_and_rejects_corruption() {
+        let msg = Msg::BarrierEnter { rank: 2, epoch: 11 };
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).unwrap();
+        let got = read_msg(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, msg);
+        // Clean EOF on the boundary.
+        assert!(read_msg(&mut &[][..]).unwrap().is_none());
+        // Flip a payload byte: CRC catches it.
+        let mut torn = buf.clone();
+        torn[5] ^= 0xff;
+        assert!(read_msg(&mut &torn[..]).is_err());
+        // Truncation mid-frame is an error, not a clean EOF.
+        assert!(read_msg(&mut &buf[..buf.len() - 2]).is_err());
+        // Oversized frame length rejected before allocation.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, MAX_FRAME + 1);
+        huge.extend_from_slice(&[0; 16]);
+        assert!(read_msg(&mut &huge[..]).is_err());
+    }
+}

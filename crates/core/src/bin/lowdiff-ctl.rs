@@ -9,6 +9,7 @@
 //!                                        restore the newest state
 //! lowdiff-ctl gc <dir> --keep-from ITER  delete older checkpoints
 //! lowdiff-ctl inspect <blob>             wire-format summary of one blob
+//! lowdiff-ctl cluster <addr> [shutdown]  query (or stop) a coordinator
 //! ```
 //!
 //! Storage errors never panic: every command degrades to a diagnostic on
@@ -37,7 +38,8 @@ fn usage() -> ! {
          lowdiff-ctl health <dir>\n  lowdiff-ctl resume-info <dir>\n  \
          lowdiff-ctl recover <dir> [--shards N] [--out FILE]\n  \
          lowdiff-ctl gc <dir> --keep-from ITER\n  \
-         lowdiff-ctl inspect <blob>"
+         lowdiff-ctl inspect <blob>\n  \
+         lowdiff-ctl cluster <addr> [shutdown]"
     );
     exit(2);
 }
@@ -329,9 +331,10 @@ fn cmd_health(dir: &str) {
             f("dropped_batches"),
             f("degraded"),
         );
-        // Per-tier write ledger: "name b=<bytes> a=<acks> e=<errors>"
+        // Per-tier write ledger: "name b=<bytes> a=<acks> e=<errors> c=<clamped>"
         // entries joined with '|' (the blob stays comma-free so the flat
-        // scanner above keeps working).
+        // scanner above keeps working). `c=` is absent in pre-clamp health
+        // blobs; render it only when present.
         if let Some(tiers) = json_field(&json, "tiers").filter(|t| !t.is_empty()) {
             out!("  recovery tiers:");
             for tier in tiers.split('|') {
@@ -342,12 +345,19 @@ fn cmd_health(dir: &str) {
                         .unwrap_or("?")
                         .to_string()
                 };
+                let clamped = field("c=");
+                let clamped = if clamped != "?" && clamped != "0" {
+                    format!(" clamped={clamped}")
+                } else {
+                    String::new()
+                };
                 out!(
-                    "    {:<8} bytes={:<12} acks={:<8} errors={}",
+                    "    {:<8} bytes={:<12} acks={:<8} errors={}{}",
                     name,
                     field("b="),
                     field("a="),
                     field("e="),
+                    clamped,
                 );
             }
         }
@@ -579,6 +589,71 @@ fn main() {
             cmd_gc(dir, keep);
         }
         Some("inspect") => cmd_inspect(args.get(2).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("cluster") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let shutdown = match args.get(3).map(String::as_str) {
+                None => false,
+                Some("shutdown") => true,
+                Some(_) => usage(),
+            };
+            cmd_cluster(addr, shutdown);
+        }
         _ => usage(),
+    }
+}
+
+/// Query a running coordinator: membership, epoch, last sealed global
+/// checkpoint. With `shutdown`, ask the coordinator to stop instead.
+fn cmd_cluster(addr: &str, shutdown: bool) {
+    use lowdiff_comm::wire::{CoordClient, Msg};
+    let mut client = or_die(
+        "cluster connect",
+        CoordClient::connect(addr, std::time::Duration::from_secs(5)),
+    );
+    if shutdown {
+        match or_die("cluster shutdown", client.rpc(&Msg::Shutdown)) {
+            Msg::Ok => out!("coordinator at {addr} shutting down"),
+            other => {
+                eprintln!("unexpected shutdown reply: {other:?}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    match or_die("cluster status", client.rpc(&Msg::Status)) {
+        Msg::StatusReport {
+            epoch,
+            world_size,
+            members,
+            last_global,
+        } => {
+            out!("coordinator {addr}");
+            out!("  epoch              {epoch}");
+            out!(
+                "  world              {}/{} ranks registered",
+                members.len(),
+                world_size
+            );
+            out!(
+                "  last global seal   {}",
+                last_global.map_or("none".to_string(), |i| format!("iteration {i}"))
+            );
+            for m in &members {
+                out!(
+                    "  rank {:>3}  {}  sealed={}  last-seen={}ms",
+                    m.rank,
+                    if m.alive { "alive" } else { "DEAD " },
+                    m.sealed.map_or("none".to_string(), |i| i.to_string()),
+                    m.last_seen_ms,
+                );
+            }
+            if (members.iter().filter(|m| m.alive).count() as u32) < world_size {
+                exit(3); // degraded membership, like `health`'s broken-chain code
+            }
+        }
+        other => {
+            eprintln!("unexpected status reply: {other:?}");
+            exit(1);
+        }
     }
 }

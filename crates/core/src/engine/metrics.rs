@@ -44,11 +44,8 @@ impl LatencyHist {
     }
 
     pub fn snapshot(&self) -> StageLatency {
-        let counts: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|b| self.counts[b].load(Ordering::Relaxed));
         let count: u64 = counts.iter().sum();
         let total = Secs(self.total_nanos.load(Ordering::Relaxed) as f64 * 1e-9);
         StageLatency {
@@ -57,6 +54,7 @@ impl LatencyHist {
             p50: Secs(quantile_nanos(&counts, count, 0.50) as f64 * 1e-9),
             p99: Secs(quantile_nanos(&counts, count, 0.99) as f64 * 1e-9),
             max: Secs(self.max_nanos.load(Ordering::Relaxed) as f64 * 1e-9),
+            buckets: counts,
         }
     }
 }
@@ -78,7 +76,7 @@ fn quantile_nanos(counts: &[u64], total: u64, q: f64) -> u64 {
 }
 
 /// Aggregated latency of one pipeline stage.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct StageLatency {
     /// Samples recorded.
     pub count: u64,
@@ -90,18 +88,35 @@ pub struct StageLatency {
     pub p99: Secs,
     /// Largest single sample (exact, not bucketed).
     pub max: Secs,
+    /// Raw log2 bucket counts, kept so merges stay statistical: summing
+    /// two sides' buckets and re-reading the quantile is exact at bucket
+    /// granularity, whereas `max(p99_a, p99_b)` is not any percentile of
+    /// the combined population.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for StageLatency {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total: Secs(0.0),
+            p50: Secs(0.0),
+            p99: Secs(0.0),
+            max: Secs(0.0),
+            buckets: [0; BUCKETS],
+        }
+    }
 }
 
 impl StageLatency {
     fn merge(&mut self, other: &StageLatency) {
         self.count += other.count;
         self.total += other.total;
-        if other.p50 > self.p50 {
-            self.p50 = other.p50;
+        for (b, c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
         }
-        if other.p99 > self.p99 {
-            self.p99 = other.p99;
-        }
+        self.p50 = Secs(quantile_nanos(&self.buckets, self.count, 0.50) as f64 * 1e-9);
+        self.p99 = Secs(quantile_nanos(&self.buckets, self.count, 0.99) as f64 * 1e-9);
         if other.max > self.max {
             self.max = other.max;
         }
@@ -240,6 +255,44 @@ mod tests {
         assert!(!c.queue_saturated());
         c.queue_depth = 2;
         assert!(c.queue_saturated());
+    }
+
+    // Regression: merge used to take max(p99_a, p99_b), which is not a
+    // percentile of the combined population. A 0.5% slow tail diluted
+    // across a large fast side must *drop out* of the merged p99.
+    #[test]
+    fn merge_recomputes_p99_from_bucket_counts() {
+        let a = EngineMetrics::default();
+        for _ in 0..90 {
+            a.snapshot.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            a.snapshot.record(Duration::from_millis(50));
+        }
+        let b = EngineMetrics::default();
+        for _ in 0..1900 {
+            b.snapshot.record(Duration::from_micros(10));
+        }
+        let sa = a.snapshot.snapshot();
+        let sb = b.snapshot.snapshot();
+        assert!(sa.p99.as_f64() >= 50e-3, "side A alone has a slow p99");
+        let mut merged = sa;
+        merged.merge(&sb);
+        assert_eq!(merged.count, 2000);
+        assert!(
+            merged.p99.as_f64() <= 20e-6,
+            "merged p99 {} must reflect the combined population (slow tail is 0.5%), not max-of-sides",
+            merged.p99
+        );
+        assert!(
+            merged.max.as_f64() >= 50e-3,
+            "max stays the true max across sides"
+        );
+        // Bucket counts accumulated: merging again keeps the statistics.
+        let mut again = merged;
+        again.merge(&sa);
+        assert_eq!(again.count, 2100);
+        assert!(again.p50 <= again.p99);
     }
 
     #[test]

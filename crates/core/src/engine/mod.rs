@@ -659,7 +659,12 @@ impl CheckpointEngine {
             // naive json_field scanner stays valid: "durable b=.. a=.. e=..|peer ..".
             s.tiers
                 .iter()
-                .map(|t| format!("{} b={} a={} e={}", t.name, t.bytes, t.acks, t.errors))
+                .map(|t| {
+                    format!(
+                        "{} b={} a={} e={} c={}",
+                        t.name, t.bytes, t.acks, t.errors, t.clamped
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("|"),
         );

@@ -98,6 +98,8 @@ enum TierWrite {
         errors: u64,
         /// Bytes acknowledged on this tier (per-tier ledger).
         landed: u64,
+        /// Replica slots refused by a fan-out clamp (per-tier ledger).
+        clamped: u64,
     },
 }
 
@@ -214,6 +216,7 @@ impl EngineCtx<'_> {
             acks: ok as u64,
             errors: !ok as u64,
             landed: if ok { bytes.len() as u64 } else { 0 },
+            clamped: 0,
         }
     }
 
@@ -258,6 +261,7 @@ impl EngineCtx<'_> {
             acks: ok as u64,
             errors: !ok as u64,
             landed: if ok { bytes.len() as u64 } else { 0 },
+            clamped: 0,
         }
     }
 
@@ -283,6 +287,7 @@ impl EngineCtx<'_> {
             acks: rep.acks,
             errors: rep.errors,
             landed: rep.bytes,
+            clamped: rep.clamped,
         }
     }
 
@@ -338,6 +343,7 @@ impl EngineCtx<'_> {
                 acks,
                 errors,
                 landed,
+                clamped,
             } = outcome
             else {
                 return false;
@@ -349,6 +355,7 @@ impl EngineCtx<'_> {
                 ts.acks += acks;
                 ts.errors += errors;
                 ts.bytes += landed;
+                ts.clamped += clamped;
                 if ok {
                     // Only store-backed tiers feed the global write
                     // ledger — `bytes_written` stays "bytes handed to
@@ -489,6 +496,7 @@ impl EngineCtx<'_> {
                 acks,
                 errors,
                 landed,
+                clamped,
             } = outcome
             else {
                 // Durable-but-unacknowledged (or torn) writes leave the
@@ -504,6 +512,7 @@ impl EngineCtx<'_> {
             ts.acks += acks;
             ts.errors += errors;
             ts.bytes += landed;
+            ts.clamped += clamped;
             if ok {
                 if matches!(tier.backing(), TierBacking::Store(_)) {
                     s.writes += 1;
@@ -578,6 +587,7 @@ impl EngineCtx<'_> {
                 acks,
                 errors,
                 landed,
+                clamped,
             } = outcome
             else {
                 self.buffers.put(bytes);
@@ -589,6 +599,7 @@ impl EngineCtx<'_> {
             ts.acks += acks;
             ts.errors += errors;
             ts.bytes += landed;
+            ts.clamped += clamped;
             if ok {
                 if matches!(tier.backing(), TierBacking::Store(_)) {
                     s.writes += 1;
@@ -634,6 +645,7 @@ impl EngineCtx<'_> {
                 acks,
                 errors,
                 landed,
+                clamped,
             } = outcome
             else {
                 return false;
@@ -644,6 +656,7 @@ impl EngineCtx<'_> {
             ts.acks += acks;
             ts.errors += errors;
             ts.bytes += landed;
+            ts.clamped += clamped;
             if ok {
                 if matches!(tier.backing(), TierBacking::Store(_)) {
                     s.writes += 1;
@@ -680,6 +693,7 @@ impl EngineCtx<'_> {
             acks: ok as u64,
             errors: !ok as u64,
             landed: if ok { bytes.len() as u64 } else { 0 },
+            clamped: 0,
         }
     }
 

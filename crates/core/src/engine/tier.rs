@@ -69,6 +69,12 @@ pub struct SinkReport {
     pub errors: u64,
     /// Bytes acknowledged across all replicas.
     pub bytes: u64,
+    /// Replica slots the sink refused to even attempt because the
+    /// requested fan-out exceeded what the topology supports (peer rings
+    /// clamp `k` to `ranks − 1` so a blob never "replicates" to its own
+    /// sender). Not an error — the write degrades gracefully — but the
+    /// operator asked for more copies than exist.
+    pub clamped: u64,
 }
 
 /// A non-store transport a tier can write through: receives the encoded
@@ -260,10 +266,8 @@ impl PeerTier {
     pub fn new(net: Arc<ReplicaNet>, rank: usize, replicas: usize) -> Self {
         let n = net.num_ranks();
         assert!(rank < n, "rank {rank} outside the {n}-rank net");
-        assert!(
-            replicas >= 1 && replicas < n,
-            "peer replication needs 1 ≤ k ≤ ranks−1 (k={replicas}, ranks={n})"
-        );
+        assert!(n >= 2, "peer replication needs at least 2 ranks");
+        assert!(replicas >= 1, "peer replication needs k ≥ 1");
         Self {
             net,
             rank,
@@ -280,8 +284,18 @@ impl PeerTier {
         self.rank
     }
 
+    /// The configured fan-out (`k` as requested, before clamping).
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// The fan-out actually used: `min(k, ranks − 1)`. With `k ≥ n` the
+    /// naive ring walk `rank+1 … rank+k (mod n)` wraps past the whole
+    /// ring, "replicating" to the sender itself and double-counting
+    /// peers — a self-copy survives exactly the failures the original
+    /// does, i.e. it adds zero durability while inflating ack counts.
+    pub fn effective_replicas(&self) -> usize {
+        self.replicas.min(self.net.num_ranks() - 1)
     }
 
     /// Replicas still waiting for a live target (tests/telemetry).
@@ -289,10 +303,16 @@ impl PeerTier {
         self.pending.lock().len()
     }
 
-    /// The k ring successors of this rank: `rank+1 … rank+k (mod n)`.
+    /// The distinct ring successors of this rank:
+    /// `rank+1 … rank+min(k, n−1) (mod n)` — clamped so the walk can
+    /// never reach the sender, deduped defensively all the same.
     fn ring_peers(&self) -> impl Iterator<Item = usize> + '_ {
         let n = self.net.num_ranks();
-        (1..=self.replicas).map(move |i| (self.rank + i) % n)
+        let mut seen = vec![false; n];
+        seen[self.rank] = true;
+        (1..=self.effective_replicas())
+            .map(move |i| (self.rank + i) % n)
+            .filter(move |&t| !std::mem::replace(&mut seen[t], true))
     }
 
     /// Retry the backlog: original target first (it may have revived),
@@ -321,7 +341,10 @@ impl PeerTier {
 
 impl ObjectSink for PeerTier {
     fn put_object(&self, key: &str, bytes: &[u8]) -> SinkReport {
-        let mut rep = SinkReport::default();
+        let mut rep = SinkReport {
+            clamped: (self.replicas - self.effective_replicas()) as u64,
+            ..SinkReport::default()
+        };
         // "Next interval" re-replication happens first, so a healed peer
         // regains the dropped replica before (in key order) the fresh one.
         self.rereplicate_pending(&mut rep);
@@ -466,12 +489,35 @@ mod tests {
             SinkReport {
                 acks: 2,
                 errors: 0,
-                bytes: 8
+                bytes: 8,
+                clamped: 0
             }
         );
         assert_eq!(*net.fetch(2, 1, "full-0000000003.ckpt").unwrap(), b"blob");
         assert_eq!(*net.fetch(3, 1, "full-0000000003.ckpt").unwrap(), b"blob");
         assert!(net.fetch(0, 1, "full-0000000003.ckpt").is_none());
+    }
+
+    // Regression: with k ≥ n the ring walk `(rank + i) % n` used to wrap
+    // around and target the sender itself (plus duplicate peers). The
+    // effective fan-out must clamp to n − 1 distinct non-self peers and
+    // the refused slots must be visible in the report.
+    #[test]
+    fn oversized_ring_clamps_and_never_self_targets() {
+        let net = ReplicaNet::new(3);
+        let tier = PeerTier::new(Arc::clone(&net), 1, 5); // k=5 ≥ n=3
+        assert_eq!(tier.replicas(), 5, "requested k is preserved");
+        assert_eq!(tier.effective_replicas(), 2, "effective k clamps to n−1");
+        let peers: Vec<usize> = tier.ring_peers().collect();
+        assert_eq!(peers, vec![2, 0], "distinct successors, sender excluded");
+        let rep = tier.put_object("k", b"blob");
+        assert_eq!(rep.acks, 2, "one replica per distinct peer");
+        assert_eq!(rep.errors, 0);
+        assert_eq!(rep.bytes, 8);
+        assert_eq!(rep.clamped, 3, "refused slots accounted per write");
+        assert!(net.fetch(1, 1, "k").is_none(), "no self-replica ever lands");
+        assert_eq!(*net.fetch(2, 1, "k").unwrap(), b"blob");
+        assert_eq!(*net.fetch(0, 1, "k").unwrap(), b"blob");
     }
 
     #[test]

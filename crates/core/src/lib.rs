@@ -27,6 +27,7 @@ pub mod peer;
 pub mod pipeline;
 pub mod queue;
 pub mod recovery;
+pub mod shard;
 pub mod strategy;
 pub mod trainer;
 
@@ -44,6 +45,7 @@ pub use lowdiff_plus::{LowDiffPlusConfig, LowDiffPlusStrategy};
 pub use peer::PeerReplicateStrategy;
 pub use queue::ReusingQueue;
 pub use recovery::{recover_serial, recover_sharded, RecoveryReport};
+pub use shard::ShardedStrategy;
 pub use strategy::{CheckpointStrategy, NoCheckpoint, StrategyStats, TierStats};
 pub use trainer::{
     RecoverySource, ResumeOpts, ResumeReport, Trainer, TrainerConfig, TrainerReport,

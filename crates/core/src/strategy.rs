@@ -35,6 +35,10 @@ pub struct TierStats {
     pub acks: u64,
     /// Failed writes / dropped replicas on this tier.
     pub errors: u64,
+    /// Replica slots the tier refused because the configured fan-out
+    /// exceeds the topology (e.g. a peer ring clamps `k` to `ranks − 1`).
+    /// Non-zero means the operator asked for more copies than can exist.
+    pub clamped: u64,
 }
 
 /// Accumulated accounting for one training run.
@@ -111,6 +115,7 @@ impl StrategyStats {
             mine.bytes += t.bytes;
             mine.acks += t.acks;
             mine.errors += t.errors;
+            mine.clamped += t.clamped;
         }
     }
 
@@ -294,6 +299,7 @@ mod tests {
                 bytes: 100,
                 acks: 2,
                 errors: 0,
+                clamped: 0,
             }],
         };
         let b = StrategyStats {
@@ -316,12 +322,14 @@ mod tests {
                     bytes: 50,
                     acks: 1,
                     errors: 1,
+                    clamped: 0,
                 },
                 TierStats {
                     name: "peer",
                     bytes: 10,
                     acks: 3,
                     errors: 2,
+                    clamped: 0,
                 },
             ],
         };
@@ -345,12 +353,14 @@ mod tests {
                     bytes: 150,
                     acks: 3,
                     errors: 1,
+                    clamped: 0,
                 },
                 TierStats {
                     name: "peer",
                     bytes: 10,
                     acks: 3,
                     errors: 2,
+                    clamped: 0,
                 },
             ],
             "tier ledgers merge by name, unseen tiers append in order"

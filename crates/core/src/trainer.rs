@@ -38,7 +38,7 @@ use lowdiff_compress::{
 };
 use lowdiff_model::Network;
 use lowdiff_optim::{Adam, ModelState};
-use lowdiff_storage::codec::FullCheckpoint;
+use lowdiff_storage::codec::{DiffEntry, FullCheckpoint};
 use lowdiff_storage::CheckpointStore;
 use lowdiff_tensor::Tensor;
 use lowdiff_util::units::Secs;
@@ -333,6 +333,36 @@ impl<S: CheckpointStrategy> Trainer<S> {
         store: &CheckpointStore,
         opts: ResumeOpts,
     ) -> io::Result<(Self, ResumeReport)> {
+        // Fetch the chain only when the replay path below will consume it
+        // (same gate as `resume_from_parts`), so anchor-only resumes never
+        // touch the differential objects.
+        let ef_on = cfg.error_feedback && cfg.compresses();
+        let will_replay = opts.fast_forward && !(ef_on && fc.aux.residual.is_some());
+        let chain = if will_replay {
+            store.diff_chain_from(fc.state.iteration)?
+        } else {
+            Vec::new()
+        };
+        Self::resume_from_parts(net, adam, strategy, cfg, fc, chain, opts)
+    }
+
+    /// Resume from an already-decoded [`FullCheckpoint`] plus an
+    /// already-fetched differential chain — the store-free core of
+    /// [`Trainer::resume_from`]. Cluster workers use this directly: they
+    /// stitch the per-rank shard checkpoints and diff chains into global
+    /// parts first ([`lowdiff_storage::shard`]) and hand the result here.
+    /// `chain` must be the diffs *after* `fc`'s iteration, in order; it is
+    /// ignored whenever the replay gate (fast-forward off, or an
+    /// error-feedback residual anchoring the resume) disables replay.
+    pub fn resume_from_parts(
+        net: Network,
+        adam: Adam,
+        strategy: S,
+        cfg: TrainerConfig,
+        fc: FullCheckpoint,
+        chain: Vec<DiffEntry>,
+        opts: ResumeOpts,
+    ) -> io::Result<(Self, ResumeReport)> {
         let expected = cfg.compressor_cfg();
         if let Some(stored) = fc.aux.compressor {
             if stored != expected {
@@ -366,7 +396,6 @@ impl<S: CheckpointStrategy> Trainer<S> {
         let mut replayed = 0usize;
         let mut observed: Vec<(f32, u8)> = Vec::new();
         if opts.fast_forward && !(ef_on && has_residual) {
-            let chain = store.diff_chain_from(full_iteration)?;
             replayed = chain.len();
             for entry in &chain {
                 if let CompressedGrad::Quant(q) = &entry.grad {

@@ -25,6 +25,7 @@ pub mod backend;
 pub mod codec;
 pub mod faults;
 pub mod retry;
+pub mod shard;
 pub mod store;
 pub mod stripe;
 
@@ -32,5 +33,6 @@ pub use backend::{DiskBackend, MemoryBackend, StorageBackend, ThrottledBackend};
 pub use codec::FullCheckpoint;
 pub use faults::{FaultConfig, FaultCounters, FaultyBackend};
 pub use retry::{with_retry, with_retry_if, Retried, RetryPolicy};
+pub use shard::{GlobalManifest, ShardSeal, ShardSpec};
 pub use store::CheckpointStore;
 pub use stripe::{StripeCfg, StripeManifest};

@@ -90,6 +90,55 @@ impl CheckpointStore {
         format!("diff-{start:010}-{end:010}.ckpt")
     }
 
+    /// Canonical key of a stitched-global manifest (cluster mode): the
+    /// coordinator-written seal record over every rank's shard full.
+    pub fn global_key(iteration: u64) -> String {
+        format!("global-{iteration:010}.gm.ckpt")
+    }
+
+    /// Seal a global checkpoint: writing the manifest is the visibility
+    /// point, exactly like the LDSM stripe seal — shard blobs without a
+    /// decodable manifest are invisible to cluster recovery.
+    pub fn put_global_manifest(&self, manifest: &crate::shard::GlobalManifest) -> io::Result<()> {
+        self.backend
+            .put(&Self::global_key(manifest.iteration), &manifest.encode())
+    }
+
+    /// Iterations with a global manifest blob present, ascending (the
+    /// blob may still fail its CRC on read; walkers skip those).
+    pub fn global_iterations(&self) -> io::Result<Vec<u64>> {
+        let mut out: Vec<u64> = self
+            .backend
+            .list()?
+            .iter()
+            .filter_map(|k| {
+                k.strip_prefix("global-")?
+                    .strip_suffix(".gm.ckpt")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Load and validate the global manifest sealed at `iteration`.
+    pub fn get_global_manifest(&self, iteration: u64) -> io::Result<crate::shard::GlobalManifest> {
+        crate::shard::GlobalManifest::decode(&self.get_retried(&Self::global_key(iteration))?)
+    }
+
+    /// The newest decodable global manifest, walking backwards past any
+    /// torn/corrupt blobs (same contract as
+    /// [`CheckpointStore::latest_valid_full_checkpoint`]).
+    pub fn latest_global_manifest(&self) -> io::Result<Option<crate::shard::GlobalManifest>> {
+        for iter in self.global_iterations()?.into_iter().rev() {
+            if let Ok(m) = self.get_global_manifest(iter) {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
     fn full_data_key(iteration: u64) -> String {
         format!("full-{iteration:010}.sd.ckpt")
     }

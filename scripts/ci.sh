@@ -15,7 +15,15 @@
 # 6. fidelity smoke        — the recovery-fidelity harness: quantized v3
 #                            chains recover within the configured error
 #                            bound; the f32 path stays bit-exact
-# 7. bench --smoke         — both benchmark binaries complete on a tiny
+# 7. cluster smoke         — the 3-process cluster e2e: TCP coordinator +
+#                            3 worker processes, a sealed global
+#                            checkpoint, rank 1 killed mid-run (survivors
+#                            degrade their barrier, no hangs), all ranks
+#                            resumed from the stitched global manifest,
+#                            final state bit-identical to an unkilled run.
+#                            Hard-capped by `timeout` so a protocol hang
+#                            can never wedge the gate.
+# 8. bench --smoke         — both benchmark binaries complete on a tiny
 #                            configuration (no JSON written); the e2e
 #                            bench runs four times — 1 and 4 persist
 #                            stripes (blocking snapshots), then with
@@ -56,6 +64,12 @@ echo "== fidelity smoke =="
 # Recovery-fidelity harness (tests/fidelity.rs): wire-level quantization
 # bound, recovered-parameter error, resumed-loss drift, size accounting.
 cargo test -q --test fidelity
+
+echo "== cluster smoke =="
+# Multi-process sharded cluster (crates/cluster/tests/cluster_e2e.rs):
+# spawn coordinator + 3 workers, checkpoint, kill rank 1, resume, assert
+# the stitched shard state is bit-identical to the uninterrupted run.
+timeout 300 cargo test -q -p lowdiff-cluster --test cluster_e2e
 
 echo "== bench smoke =="
 cargo build --release -q -p lowdiff-bench --features count-allocs \
